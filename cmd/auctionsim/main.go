@@ -1,0 +1,130 @@
+// Command auctionsim runs the Section V auction market and reports
+// market-level statistics: provider revenue, fill rate, click-through
+// volume, and a distribution summary of advertiser spending against
+// targets. It is the "operator's view" of the simulation — useful for
+// sanity-checking workloads and for exploring how the ROI-equalizing
+// population behaves over time.
+//
+// Usage:
+//
+//	auctionsim -n 2000 -auctions 5000 -method RHTALU -report 1000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/strategy"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		n        = flag.Int("n", 2000, "number of advertisers")
+		slots    = flag.Int("slots", workload.DefaultSlots, "number of slots (k)")
+		keywords = flag.Int("keywords", workload.DefaultKeywords, "number of keywords")
+		auctions = flag.Int("auctions", 5000, "number of auctions to run")
+		method   = flag.String("method", "RHTALU", "winner determination: LP, H, RH, RHTALU, RH-parallel")
+		report   = flag.Int("report", 1000, "print a summary every this many auctions")
+		seed     = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	m, err := parseMethod(*method)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "auctionsim:", err)
+		os.Exit(2)
+	}
+
+	inst := workload.Generate(rand.New(rand.NewSource(*seed)), *n, *slots, *keywords)
+	queries := inst.Queries(rand.New(rand.NewSource(*seed+1)), *auctions)
+	w := strategy.NewWorld(inst, m, *seed+2)
+
+	fmt.Printf("auctionsim: n=%d k=%d keywords=%d method=%v auctions=%d\n",
+		*n, *slots, *keywords, m, *auctions)
+	fmt.Println("auction\trevenue\tclicks\tfill%\tms/auction")
+
+	var (
+		revenue   float64
+		clicks    int
+		filled    int
+		slotTotal int
+	)
+	windowStart := time.Now()
+	for a, q := range queries {
+		o := w.RunAuction(q)
+		revenue += o.Revenue
+		for j := range o.AdvOf {
+			slotTotal++
+			if o.AdvOf[j] >= 0 {
+				filled++
+			}
+			if o.Clicked[j] {
+				clicks++
+			}
+		}
+		if (a+1)%*report == 0 {
+			elapsed := time.Since(windowStart)
+			fmt.Printf("%d\t%.0f\t%d\t%.1f\t%.3f\n",
+				a+1, revenue, clicks,
+				100*float64(filled)/float64(slotTotal),
+				float64(elapsed.Microseconds())/1000/float64(*report))
+			windowStart = time.Now()
+		}
+	}
+
+	printSpendSummary(inst, w)
+}
+
+func parseMethod(s string) (strategy.Method, error) {
+	switch strings.ToUpper(s) {
+	case "LP":
+		return strategy.MethodLP, nil
+	case "H":
+		return strategy.MethodH, nil
+	case "RH":
+		return strategy.MethodRH, nil
+	case "RHTALU":
+		return strategy.MethodRHTALU, nil
+	case "RH-PARALLEL", "RHPARALLEL":
+		return strategy.MethodRHParallel, nil
+	}
+	return 0, fmt.Errorf("unknown method %q (want LP, H, RH, RHTALU, RH-parallel)", s)
+}
+
+// printSpendSummary shows how well the ROI-equalizing population
+// tracked its target spending rates — the quantity the Figure 5
+// heuristic steers.
+func printSpendSummary(inst *workload.Instance, w *strategy.World) {
+	acct := w.Accounting()
+	t := float64(w.Auctions())
+	ratios := make([]float64, 0, inst.N)
+	for i := 0; i < inst.N; i++ {
+		ratios = append(ratios, acct.SpentTotal[i]/t/float64(inst.Target[i]))
+	}
+	sort.Float64s(ratios)
+	pct := func(p float64) float64 {
+		idx := int(math.Ceil(p*float64(len(ratios)))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		return ratios[idx]
+	}
+	fmt.Println()
+	fmt.Println("spend-rate / target-rate distribution (1.0 = exactly on target):")
+	fmt.Printf("  p10=%.3f  p50=%.3f  p90=%.3f  max=%.3f\n",
+		pct(0.10), pct(0.50), pct(0.90), ratios[len(ratios)-1])
+	over := 0
+	for _, r := range ratios {
+		if r > 1 {
+			over++
+		}
+	}
+	fmt.Printf("  advertisers over target: %d / %d\n", over, inst.N)
+}

@@ -1,0 +1,186 @@
+// Command bidlang runs a bidding program (the Section II language)
+// against a small advertiser database and prints the resulting Bids
+// table — a REPL-style harness for developing strategies before
+// submitting them to the auction platform.
+//
+// The database is described by a plain-text setup block, the program
+// by a source file:
+//
+//	bidlang -program roi.sql -keywords keywords.tsv \
+//	        -amtSpent 10 -time 5 -target 2 -query boot
+//
+// keywords.tsv holds one keyword per line:
+//
+//	text <TAB> formula <TAB> maxbid <TAB> roi <TAB> bid <TAB> relevance
+//
+// With no -keywords flag the Figure 4 table (boot/shoe) is used, so
+//
+//	bidlang -program fig5.sql -query boot
+//
+// reproduces the paper's worked example end to end.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/sqlmini"
+	"repro/internal/table"
+)
+
+func main() {
+	var (
+		programPath = flag.String("program", "", "bidding-program source file (required)")
+		keywordPath = flag.String("keywords", "", "keywords TSV (default: the paper's Figure 4 table)")
+		amtSpent    = flag.Float64("amtSpent", 10, "amount spent so far")
+		timeNow     = flag.Float64("time", 5, "current time")
+		target      = flag.Float64("target", 2, "target spending rate")
+		query       = flag.String("query", "boot", "keyword of the incoming search query")
+		selectQ     = flag.String("select", "", "optional SELECT to run after the program, e.g. 'SELECT text, bid FROM Keywords ORDER BY bid DESC'")
+	)
+	flag.Parse()
+	if *programPath == "" {
+		fmt.Fprintln(os.Stderr, "bidlang: -program is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	src, err := os.ReadFile(*programPath)
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := sqlmini.Compile(string(src))
+	if err != nil {
+		fatal(err)
+	}
+
+	db := table.NewDB()
+	kw, err := loadKeywords(*keywordPath)
+	if err != nil {
+		fatal(err)
+	}
+	db.Add(kw)
+
+	// Relevance: 1 for the query keyword, 0 otherwise (the §V model).
+	textCol, _ := kw.Col("text")
+	relCol, _ := kw.Col("relevance")
+	found := false
+	for _, row := range kw.Rows {
+		if row[textCol].S == *query {
+			row[relCol] = table.F(1)
+			found = true
+		} else {
+			row[relCol] = table.F(0)
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "bidlang: warning: query %q matches no keyword\n", *query)
+	}
+
+	// One Bids row per distinct formula in the Keywords table.
+	bids := table.New("Bids",
+		table.Column{Name: "formula", Kind: table.String},
+		table.Column{Name: "value", Kind: table.Float})
+	fCol, _ := kw.Col("formula")
+	seen := map[string]bool{}
+	for _, row := range kw.Rows {
+		f := row[fCol].S
+		if !seen[f] {
+			seen[f] = true
+			bids.Insert(table.Row{table.S(f), table.F(0)})
+		}
+	}
+	db.Add(bids)
+	db.Add(table.New("Query", table.Column{Name: "kw", Kind: table.String}))
+
+	db.SetScalar("amtSpent", table.F(*amtSpent))
+	db.SetScalar("time", table.F(*timeNow))
+	db.SetScalar("targetSpendRate", table.F(*target))
+
+	if err := prog.Install(db); err != nil {
+		fatal(err)
+	}
+	qt, _ := db.Table("Query")
+	if err := qt.Insert(table.Row{table.S(*query)}); err != nil {
+		fatal(err)
+	}
+
+	fmt.Println("Keywords after program run:")
+	fmt.Println("  text\tformula\tmaxbid\troi\tbid\trelevance")
+	for _, row := range kw.Rows {
+		fields := make([]string, len(row))
+		for i, v := range row {
+			fields[i] = v.String()
+		}
+		fmt.Println("  " + strings.Join(fields, "\t"))
+	}
+	fmt.Println()
+	fmt.Println("Bids table (the program's output):")
+	for _, row := range bids.Rows {
+		fmt.Printf("  %-30s %s\n", row[0].S, row[1].String())
+	}
+
+	if *selectQ != "" {
+		rows, err := sqlmini.Query(db, *selectQ)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+		fmt.Printf("%s\n", sqlmini.FormatRows(rows))
+	}
+}
+
+// loadKeywords reads the TSV, or returns the Figure 4 table when path
+// is empty.
+func loadKeywords(path string) (*table.Table, error) {
+	kw := table.New("Keywords",
+		table.Column{Name: "text", Kind: table.String},
+		table.Column{Name: "formula", Kind: table.String},
+		table.Column{Name: "maxbid", Kind: table.Float},
+		table.Column{Name: "roi", Kind: table.Float},
+		table.Column{Name: "bid", Kind: table.Float},
+		table.Column{Name: "relevance", Kind: table.Float},
+	)
+	if path == "" {
+		kw.Insert(table.Row{table.S("boot"), table.S("Click AND Slot1"),
+			table.F(5), table.F(2), table.F(4), table.F(0.8)})
+		kw.Insert(table.Row{table.S("shoe"), table.S("Click"),
+			table.F(6), table.F(1), table.F(8), table.F(0.2)})
+		return kw, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	for lineNo, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.Split(line, "\t")
+		if len(parts) != 6 {
+			return nil, fmt.Errorf("keywords line %d: want 6 tab-separated fields, got %d", lineNo+1, len(parts))
+		}
+		nums := make([]float64, 4)
+		for i := 0; i < 4; i++ {
+			v, err := strconv.ParseFloat(strings.TrimSpace(parts[i+2]), 64)
+			if err != nil {
+				return nil, fmt.Errorf("keywords line %d: bad number %q", lineNo+1, parts[i+2])
+			}
+			nums[i] = v
+		}
+		kw.Insert(table.Row{
+			table.S(parts[0]), table.S(parts[1]),
+			table.F(nums[0]), table.F(nums[1]), table.F(nums[2]), table.F(nums[3]),
+		})
+	}
+	return kw, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bidlang:", err)
+	os.Exit(1)
+}

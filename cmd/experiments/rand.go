@@ -1,0 +1,7 @@
+package main
+
+import "math/rand"
+
+// newRand returns a seeded PRNG; a helper so every seed derivation in
+// the harness reads the same way.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,118 @@
+package ssa_test
+
+import (
+	"fmt"
+	"log"
+
+	ssa "repro"
+)
+
+// Example runs a complete multi-feature auction: two advertisers with
+// different outcome preferences, winner determination by the paper's
+// reduced Hungarian algorithm, and the optimal expected revenue.
+func Example() {
+	model := ssa.NewModel(2, 2)
+	model.Click[0][0], model.Click[0][1] = 0.5, 0.25 // brand
+	model.Click[1][0], model.Click[1][1] = 0.5, 0.25 // shop
+	model.Purchase[1][0], model.Purchase[1][1] = 0.2, 0.2
+
+	auction := &ssa.Auction{
+		Slots: 2,
+		Probs: model,
+		Advertisers: []ssa.Advertiser{
+			// Pays for presence at the top, clicked or not.
+			{ID: "brand", Bids: ssa.MustParseBids("Slot1 : 8")},
+			// Pays per click and a premium per purchase.
+			{ID: "shop", Bids: ssa.MustParseBids("Click : 4\nPurchase : 30")},
+		},
+	}
+	res, err := auction.Determine(ssa.RH)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for j, i := range res.AdvOf {
+		fmt.Printf("slot %d: %s\n", j+1, auction.Advertisers[i].ID)
+	}
+	fmt.Printf("expected revenue: %.2f\n", res.ExpectedRevenue)
+	// Output:
+	// slot 1: brand
+	// slot 2: shop
+	// expected revenue: 10.50
+}
+
+// ExampleParseBids shows the paper's Figure 3 Bids table: the
+// advertiser owes the sum of all true rows, so a purchase from slot 1
+// costs him 7.
+func ExampleParseBids() {
+	bids, err := ssa.ParseBids(`
+Purchase : 5
+Slot1 OR Slot2 : 2
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	both := ssa.Outcome{Slot: 1, Clicked: true, Purchased: true}
+	fmt.Println(bids.Payment(both))
+	// Output:
+	// 7
+}
+
+// ExampleOneDependent shows the Theorem 2 / Theorem 3 boundary: bids
+// on one's own placement are tractable, bids relating two
+// advertisers' placements are not.
+func ExampleOneDependent() {
+	mine := ssa.MustParseFormula("Click AND (Slot1 OR Slot2)")
+	rivalry := ssa.MustParseFormula("Slot1 AND Adv(rival)@2")
+	fmt.Println(ssa.OneDependent(mine), ssa.OneDependent(rivalry))
+	// Output:
+	// true false
+}
+
+// ExampleCompileProgram compiles and runs a miniature bidding
+// program: a trigger that raises a bid whenever a query arrives.
+func ExampleCompileProgram() {
+	db := ssa.NewDB()
+	kw := ssa.NewTable("Keywords",
+		ssa.Column{Name: "text", Kind: ssa.String},
+		ssa.Column{Name: "bid", Kind: ssa.Float})
+	if err := kw.Insert(ssa.Row{ssa.S("boot"), ssa.F(3)}); err != nil {
+		log.Fatal(err)
+	}
+	db.Add(kw)
+	db.Add(ssa.NewTable("Query", ssa.Column{Name: "kw", Kind: ssa.String}))
+
+	prog, err := ssa.CompileProgram(`
+CREATE TRIGGER up AFTER INSERT ON Query
+{
+  UPDATE Keywords SET bid = bid + 1 WHERE text = NEW.kw;
+}`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := prog.Install(db); err != nil {
+		log.Fatal(err)
+	}
+	q, _ := db.Table("Query")
+	for i := 0; i < 3; i++ {
+		if err := q.Insert(ssa.Row{ssa.S("boot")}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println(kw.Rows[0][1])
+	// Output:
+	// 6
+}
+
+// ExampleNewSimWorld runs a tiny Section V market under the
+// threshold-algorithm engine and reports provider revenue.
+func ExampleNewSimWorld() {
+	inst := ssa.GenerateInstance(7, 100, 5, 4)
+	world := ssa.NewSimWorld(inst, ssa.SimRHTALU, 11)
+	var revenue float64
+	for _, q := range ssa.QueryStream(inst, 13, 500) {
+		revenue += world.RunAuction(q).Revenue
+	}
+	fmt.Println(revenue > 0, world.Auctions())
+	// Output:
+	// true 500
+}

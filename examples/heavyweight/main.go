@@ -1,0 +1,115 @@
+// heavyweight demonstrates the Section III-F model: click
+// probabilities that depend on which slots hold famous ("heavyweight")
+// advertisers, and bids that reference that pattern — "pay extra if
+// the slot above me holds a lightweight".
+//
+// Winner determination enumerates the 2^k heavyweight-slot patterns,
+// solving two independent matchings per pattern; the example runs the
+// enumeration both serially and in parallel and confirms they agree.
+//
+// Run:  go run ./examples/heavyweight
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	ssa "repro"
+)
+
+func main() {
+	const slots = 6
+	const n = 40
+
+	base := ssa.NewModel(n, slots)
+	advertisers := make([]ssa.Advertiser, n)
+	for i := 0; i < n; i++ {
+		heavy := i < 6 // the first six are household names
+		for j := 0; j < slots; j++ {
+			p := 0.7 / float64(j+1)
+			if heavy {
+				p = 0.9 / float64(j+1) // famous ads get clicked more
+			}
+			base.Click[i][j] = p
+			base.Purchase[i][j] = 0.15
+		}
+		bids := ssa.MustParseBids(fmt.Sprintf("Click : %d", 10+(i*7)%25))
+		if !heavy {
+			// Small shops fear standing directly under a giant: pay a
+			// premium for slot 2 only when slot 1 holds a lightweight.
+			bids = append(bids, ssa.Bid{
+				F:     ssa.MustParseFormula("Slot2 AND NOT Heavy1"),
+				Value: 12,
+			})
+		}
+		advertisers[i] = ssa.Advertiser{
+			ID:    fmt.Sprintf("adv%02d", i),
+			Bids:  bids,
+			Heavy: heavy,
+		}
+	}
+
+	auction := &ssa.HeavyAuction{
+		Slots:       slots,
+		Advertisers: advertisers,
+		Model: &ssa.HeavyModel{
+			Base: base,
+			// Every heavyweight above a slot siphons 30% of its clicks.
+			Factor: ssa.ShadowFactors(slots, 0.30),
+		},
+	}
+
+	start := time.Now()
+	serial, err := auction.Determine(false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	serialDur := time.Since(start)
+
+	start = time.Now()
+	parallel, err := auction.Determine(true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	parallelDur := time.Since(start)
+
+	fmt.Printf("2^%d = %d heavyweight patterns enumerated\n", slots, 1<<slots)
+	fmt.Printf("serial:   revenue %.2f in %v\n", serial.ExpectedRevenue, serialDur)
+	fmt.Printf("parallel: revenue %.2f in %v\n", parallel.ExpectedRevenue, parallelDur)
+	if diff := serial.ExpectedRevenue - parallel.ExpectedRevenue; diff > 1e-9 || diff < -1e-9 {
+		log.Fatal("serial and parallel enumeration disagree; this is a bug")
+	}
+
+	fmt.Println("\nwinning allocation (H = heavyweight):")
+	for j, i := range serial.AdvOf {
+		if i < 0 {
+			fmt.Printf("  slot %d: (empty)\n", j+1)
+			continue
+		}
+		tag := " "
+		if advertisers[i].Heavy {
+			tag = "H"
+		}
+		fmt.Printf("  slot %d: %s %s\n", j+1, advertisers[i].ID, tag)
+	}
+
+	// How much does pattern-awareness matter? Compare with a run that
+	// ignores shadowing (factor 1 everywhere) and pattern bids.
+	flat := &ssa.HeavyAuction{
+		Slots:       slots,
+		Advertisers: advertisers,
+		Model:       &ssa.HeavyModel{Base: base}, // nil Factor: no shadowing
+	}
+	flatRes, err := flat.Determine(false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	blindScore, err := auction.Score(flatRes.AdvOf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nignoring heavyweight shadowing, the provider would *predict* revenue %.2f,\n", flatRes.ExpectedRevenue)
+	fmt.Printf("but under the true pattern-aware model that allocation earns %.2f,\n", blindScore)
+	fmt.Printf("vs the pattern-aware optimum of %.2f\n", serial.ExpectedRevenue)
+}

@@ -1,0 +1,80 @@
+// keywordpruning shows the provider-side pipeline of Section IV: the
+// keyword index prunes the advertiser population before any bidding
+// program runs, fractional relevance scores flow into each program's
+// Keywords table (Figure 4's 0.8 / 0.2 column), and winner
+// determination sees only the pruned set.
+//
+// Run:  go run ./examples/keywordpruning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	ssa "repro"
+)
+
+func main() {
+	// A small advertiser population with registered keyword interests.
+	registered := map[int][]string{
+		0: {"leather boot", "winter boot"},
+		1: {"running shoe"},
+		2: {"boot polish kit"},
+		3: {"piano tuner"}, // never relevant to footwear queries
+		4: {"boot"},
+	}
+	index := ssa.NewKeywordIndex()
+	for adv, kws := range registered {
+		for _, kw := range kws {
+			index.Register(adv, kw)
+		}
+	}
+
+	query := "red leather boot"
+	fmt.Printf("query: %q\n\nmatches:\n", query)
+	matches := index.Query(query)
+	for _, m := range matches {
+		fmt.Printf("  advertiser %d  keyword %-16q relevance %.2f\n",
+			m.Advertiser, m.Keyword, m.Relevance)
+	}
+	interested := index.Interested(query)
+	fmt.Printf("\nprograms to evaluate: %v of %d registered advertisers\n\n",
+		interested, len(registered))
+
+	// Each interested advertiser's program sees its best relevance for
+	// the query and produces a Click bid scaled by it — a miniature
+	// stand-in for the Figure 5 machinery (which examples/roiprogram
+	// runs in full).
+	bestRel := map[int]float64{}
+	for _, m := range matches {
+		if m.Relevance > bestRel[m.Advertiser] {
+			bestRel[m.Advertiser] = m.Relevance
+		}
+	}
+	baseValue := map[int]float64{0: 40, 1: 35, 2: 20, 3: 50, 4: 25}
+
+	const slots = 2
+	model := ssa.NewModel(len(interested), slots)
+	auction := &ssa.Auction{Slots: slots, Probs: model}
+	for row, adv := range interested {
+		model.Click[row][0], model.Click[row][1] = 0.5, 0.3
+		bid := baseValue[adv] * bestRel[adv]
+		auction.Advertisers = append(auction.Advertisers, ssa.Advertiser{
+			ID:   fmt.Sprintf("adv%d", adv),
+			Bids: ssa.MustParseBids(fmt.Sprintf("Click : %g", bid)),
+		})
+	}
+	res, err := auction.Determine(ssa.RH)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("allocation over the pruned set:")
+	for j, i := range res.AdvOf {
+		name := "(empty)"
+		if i >= 0 {
+			name = auction.Advertisers[i].ID
+		}
+		fmt.Printf("  slot %d: %s\n", j+1, name)
+	}
+	fmt.Printf("expected revenue: %.2f\n", res.ExpectedRevenue)
+}

@@ -1,0 +1,130 @@
+// roiprogram runs the paper's Figure 5 bidding program — the
+// ROI-equalizing dynamic strategy, written in the Section II SQL
+// dialect — through the interpreter, reproducing the worked example
+// of Figures 4 and 6 and then letting the strategy evolve over a
+// stream of queries.
+//
+// Run:  go run ./examples/roiprogram
+package main
+
+import (
+	"fmt"
+	"log"
+
+	ssa "repro"
+)
+
+// The Figure 5 program (line 11's comparison corrected to `>`, per
+// the surrounding prose).
+const fig5 = `
+CREATE TRIGGER bid AFTER INSERT ON Query
+{
+  IF amtSpent / time < targetSpendRate THEN
+    UPDATE Keywords
+    SET bid = bid + 1
+    WHERE roi = ( SELECT MAX( K.roi ) FROM Keywords K )
+      AND relevance > 0
+      AND bid < maxbid;
+  ELSEIF amtSpent / time > targetSpendRate THEN
+    UPDATE Keywords
+    SET bid = bid - 1
+    WHERE roi = ( SELECT MIN( K.roi ) FROM Keywords K )
+      AND relevance > 0
+      AND bid > 0;
+  ENDIF;
+
+  UPDATE Bids
+  SET value = ( SELECT SUM( K.bid )
+                FROM Keywords K
+                WHERE K.relevance > 0.7
+                  AND K.formula = Bids.formula );
+}
+`
+
+func main() {
+	db := ssa.NewDB()
+
+	// The advertiser's private Keywords table, exactly Figure 4.
+	kw := ssa.NewTable("Keywords",
+		ssa.Column{Name: "text", Kind: ssa.String},
+		ssa.Column{Name: "formula", Kind: ssa.String},
+		ssa.Column{Name: "maxbid", Kind: ssa.Float},
+		ssa.Column{Name: "roi", Kind: ssa.Float},
+		ssa.Column{Name: "bid", Kind: ssa.Float},
+		ssa.Column{Name: "relevance", Kind: ssa.Float},
+	)
+	check(kw.Insert(ssa.Row{ssa.S("boot"), ssa.S("Click AND Slot1"), ssa.F(5), ssa.F(2), ssa.F(4), ssa.F(0.8)}))
+	check(kw.Insert(ssa.Row{ssa.S("shoe"), ssa.S("Click"), ssa.F(6), ssa.F(1), ssa.F(8), ssa.F(0.2)}))
+	db.Add(kw)
+
+	bids := ssa.NewTable("Bids",
+		ssa.Column{Name: "formula", Kind: ssa.String},
+		ssa.Column{Name: "value", Kind: ssa.Float},
+	)
+	check(bids.Insert(ssa.Row{ssa.S("Click AND Slot1"), ssa.F(0)}))
+	check(bids.Insert(ssa.Row{ssa.S("Click"), ssa.F(0)}))
+	db.Add(bids)
+
+	query := ssa.NewTable("Query", ssa.Column{Name: "kw", Kind: ssa.String})
+	db.Add(query)
+
+	// Provider-maintained scalars: pin spending exactly on target so
+	// the first run leaves bids as in Figure 4.
+	db.SetScalar("amtSpent", ssa.F(10))
+	db.SetScalar("time", ssa.F(5))
+	db.SetScalar("targetSpendRate", ssa.F(2))
+
+	prog, err := ssa.CompileProgram(fig5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := prog.Install(db); err != nil {
+		log.Fatal(err)
+	}
+
+	// Auction 1: the worked example. The output Bids table must be
+	// Figure 6: Click∧Slot1 → 4, Click → 0.
+	check(query.Insert(ssa.Row{ssa.S("boot")}))
+	fmt.Println("after the Figure 4 auction (spending on target):")
+	printBids(bids)
+
+	// Now let the strategy breathe: underspend for three auctions
+	// (bids on the max-ROI keyword climb, capped at maxbid), then
+	// overspend for two (the min-ROI keyword's bid falls).
+	fmt.Println("\nunderspending (amtSpent/time < target): boot bid climbs to its max of 5")
+	db.SetScalar("amtSpent", ssa.F(1))
+	for i := 0; i < 3; i++ {
+		check(query.Insert(ssa.Row{ssa.S("boot")}))
+		printKeywordBids(kw)
+	}
+
+	fmt.Println("\noverspending: shoe (lowest ROI) decrements")
+	db.SetScalar("amtSpent", ssa.F(100))
+	for i := 0; i < 2; i++ {
+		check(query.Insert(ssa.Row{ssa.S("shoe")}))
+		printKeywordBids(kw)
+	}
+
+	fmt.Println("\nfinal Bids table for a 'shoe' query:")
+	printBids(bids)
+}
+
+func printBids(bids *ssa.Table) {
+	for _, row := range bids.Rows {
+		fmt.Printf("  %-17s -> %s\n", row[0].S, row[1].String())
+	}
+}
+
+func printKeywordBids(kw *ssa.Table) {
+	fmt.Print("  bids:")
+	for _, row := range kw.Rows {
+		fmt.Printf("  %s=%s", row[0].S, row[4].String())
+	}
+	fmt.Println()
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

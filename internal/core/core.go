@@ -1,0 +1,97 @@
+// Package core is the auction engine: it ties the bidding language
+// (internal/formula), the outcome probability models
+// (internal/probmodel), and the winner-determination solvers
+// (internal/matching, internal/lp) into the multi-feature sponsored
+// search auction of the paper.
+//
+// The central object is Auction: a set of advertisers with Bids
+// tables over Click/Purchase/Slot predicates plus a probability
+// model. Determine solves winner determination — the allocation of
+// slots to advertisers maximizing expected revenue under the
+// pay-what-you-bid assumption — by any of the paper's methods (LP, H,
+// RH, parallel RH, the separable fast path, or brute force), after
+// verifying the bids lie in the tractable 1-dependent fragment of
+// Theorem 2. Bids on 2-dependent events (such as "I am placed above
+// my rival", Theorem 3) are rejected by these methods and handled
+// only by the exponential DetermineGeneral oracle.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/formula"
+	"repro/internal/probmodel"
+)
+
+// Advertiser is one bidder: an identifier, a Bids table produced by
+// its bidding program, and (for the Section III-F model) its
+// heavyweight classification.
+type Advertiser struct {
+	ID    string
+	Bids  formula.Bids
+	Heavy bool
+}
+
+// Auction is one winner-determination instance.
+type Auction struct {
+	// Slots is k, the number of advertising slots on the page.
+	Slots int
+	// Advertisers holds the bidders; Probs rows are indexed in
+	// parallel.
+	Advertisers []Advertiser
+	// Probs gives click and purchase probabilities per advertiser and
+	// slot (n×k).
+	Probs *probmodel.Model
+}
+
+// ErrNotOneDependent reports bids outside the tractable fragment.
+var ErrNotOneDependent = errors.New(
+	"core: bids reference other advertisers' placements (not 1-dependent); " +
+		"winner determination for such bids is APX-hard (Theorem 3) — " +
+		"use DetermineGeneral for tiny instances")
+
+// Validate checks structural consistency.
+func (a *Auction) Validate() error {
+	if a.Slots < 0 {
+		return fmt.Errorf("core: negative slot count %d", a.Slots)
+	}
+	if a.Probs == nil {
+		return errors.New("core: nil probability model")
+	}
+	if err := a.Probs.Validate(); err != nil {
+		return err
+	}
+	if got := a.Probs.Advertisers(); got != len(a.Advertisers) {
+		return fmt.Errorf("core: model covers %d advertisers, auction has %d", got, len(a.Advertisers))
+	}
+	if len(a.Advertisers) > 0 && a.Probs.Slots() != a.Slots {
+		return fmt.Errorf("core: model covers %d slots, auction has %d", a.Probs.Slots(), a.Slots)
+	}
+	return nil
+}
+
+// Result is a winner-determination outcome.
+type Result struct {
+	// AdvOf maps slot index (0-based, slot 0 topmost) to advertiser
+	// index, or -1 for an empty slot.
+	AdvOf []int
+	// SlotOf maps advertiser index to slot index, or -1.
+	SlotOf []int
+	// ExpectedRevenue is the total expected payment over all
+	// advertisers (assigned and unassigned) under pay-what-you-bid.
+	ExpectedRevenue float64
+	// Method records which algorithm produced the result.
+	Method Method
+}
+
+// Assigned returns the number of filled slots.
+func (r *Result) Assigned() int {
+	n := 0
+	for _, i := range r.AdvOf {
+		if i >= 0 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,475 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"repro/internal/formula"
+	"repro/internal/matching"
+	"repro/internal/probmodel"
+)
+
+const tol = 1e-7
+
+// randAuction builds a random auction with 1-dependent multi-feature
+// bids (Click, Purchase, slot predicates, negations, Unplaced).
+func randAuction(rng *rand.Rand, n, k int) *Auction {
+	m := probmodel.New(n, k)
+	a := &Auction{Slots: k, Probs: m}
+	for i := 0; i < n; i++ {
+		for j := 0; j < k; j++ {
+			m.Click[i][j] = rng.Float64()
+			m.Purchase[i][j] = rng.Float64() * 0.5
+		}
+		var bids formula.Bids
+		nb := 1 + rng.Intn(3)
+		for b := 0; b < nb; b++ {
+			bids = append(bids, formula.Bid{F: randOneDepFormula(rng, k), Value: float64(rng.Intn(20))})
+		}
+		a.Advertisers = append(a.Advertisers, Advertiser{ID: "a" + strconv.Itoa(i), Bids: bids})
+	}
+	return a
+}
+
+func randOneDepFormula(rng *rand.Rand, k int) formula.Expr {
+	var leaf func(depth int) formula.Expr
+	leaf = func(depth int) formula.Expr {
+		if depth == 0 || rng.Intn(2) == 0 {
+			switch rng.Intn(5) {
+			case 0:
+				return formula.Click{}
+			case 1:
+				return formula.Purchase{}
+			case 2:
+				return formula.Slot{J: 1 + rng.Intn(k)}
+			case 3:
+				return formula.Unplaced{}
+			default:
+				return formula.SlotIn(1+rng.Intn(k), 1+rng.Intn(k))
+			}
+		}
+		switch rng.Intn(3) {
+		case 0:
+			return formula.Not{X: leaf(depth - 1)}
+		case 1:
+			return formula.And{X: leaf(depth - 1), Y: leaf(depth - 1)}
+		default:
+			return formula.Or{X: leaf(depth - 1), Y: leaf(depth - 1)}
+		}
+	}
+	return leaf(2)
+}
+
+// TestAllMethodsAgree: LP, H, RH, parallel RH, and Brute must produce
+// the same expected revenue on random multi-feature instances, and it
+// must equal the outcome-level general oracle (which validates the
+// whole Theorem 2 reduction, baselines included).
+func TestAllMethodsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	methods := []Method{MethodLP, MethodHungarian, MethodReduced, MethodReducedParallel, MethodBrute}
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(6)
+		k := 1 + rng.Intn(4)
+		a := randAuction(rng, n, k)
+		general, err := a.DetermineGeneral()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range methods {
+			res, err := a.Determine(m)
+			if err != nil {
+				t.Fatalf("%v: %v", m, err)
+			}
+			if math.Abs(res.ExpectedRevenue-general.ExpectedRevenue) > tol {
+				t.Fatalf("trial %d: %v revenue %g != general %g (n=%d k=%d)",
+					trial, m, res.ExpectedRevenue, general.ExpectedRevenue, n, k)
+			}
+		}
+	}
+}
+
+// TestUnplacedBidsBaseline: with a bid on being unplaced, leaving an
+// advertiser out earns money, and the engine must weigh that against
+// placement revenue.
+func TestUnplacedBidsBaseline(t *testing.T) {
+	m := probmodel.New(2, 1)
+	m.Click[0][0], m.Click[1][0] = 1, 1
+	a := &Auction{
+		Slots: 1,
+		Probs: m,
+		Advertisers: []Advertiser{
+			// Pays 10 if unplaced, only 3 if clicked in slot 1.
+			{ID: "stayout", Bids: formula.Bids{
+				{F: formula.Unplaced{}, Value: 10},
+				{F: formula.MustParse("Click AND Slot1"), Value: 3},
+			}},
+			// Pays 5 for a click.
+			{ID: "normal", Bids: formula.Bids{{F: formula.Click{}, Value: 5}}},
+		},
+	}
+	res, err := a.Determine(MethodReduced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Best: stayout unplaced (10) + normal in slot (5) = 15.
+	if math.Abs(res.ExpectedRevenue-15) > tol {
+		t.Fatalf("revenue %g, want 15", res.ExpectedRevenue)
+	}
+	if res.AdvOf[0] != 1 {
+		t.Fatalf("slot should go to 'normal', got %d", res.AdvOf[0])
+	}
+	general, err := a.DetermineGeneral()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(general.ExpectedRevenue-15) > tol {
+		t.Fatalf("general revenue %g, want 15", general.ExpectedRevenue)
+	}
+}
+
+// TestExpectedPaymentHandRolled pins the valuation arithmetic on a
+// hand-computed case.
+func TestExpectedPaymentHandRolled(t *testing.T) {
+	m := probmodel.New(1, 2)
+	m.Click[0][0], m.Click[0][1] = 0.5, 0.2
+	m.Purchase[0][0], m.Purchase[0][1] = 0.4, 0.1
+	a := &Auction{Slots: 2, Probs: m, Advertisers: []Advertiser{{
+		ID: "x",
+		Bids: formula.Bids{
+			{F: formula.MustParse("Purchase"), Value: 10},
+			{F: formula.MustParse("Slot1 OR Slot2"), Value: 2},
+			{F: formula.MustParse("Click AND Slot1"), Value: 4},
+		},
+	}}}
+	// Slot 1 (index 0): P(purchase)=0.5·0.4=0.2 → 2 ; slots bid → 2 ;
+	// click∧slot1: P(click)=0.5 → 2. Total 6.
+	if got := a.expectedPayment(0, 0); math.Abs(got-6) > tol {
+		t.Fatalf("slot1 expected payment %g, want 6", got)
+	}
+	// Slot 2 (index 1): purchase 0.2·0.1=0.02 → 0.2 ; slots bid → 2 ;
+	// click∧slot1 never true. Total 2.2.
+	if got := a.expectedPayment(0, 1); math.Abs(got-2.2) > tol {
+		t.Fatalf("slot2 expected payment %g, want 2.2", got)
+	}
+}
+
+// TestTwoDependentRejected: bids on "above my rival" must be rejected
+// by every fast method (Theorem 3) and handled by the general oracle.
+func TestTwoDependentRejected(t *testing.T) {
+	m := probmodel.New(2, 2)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			m.Click[i][j] = 0.5
+		}
+	}
+	a := &Auction{Slots: 2, Probs: m, Advertisers: []Advertiser{
+		{ID: "me", Bids: formula.Bids{{F: formula.Above("rival", 2), Value: 7}}},
+		{ID: "rival", Bids: formula.Bids{{F: formula.Click{}, Value: 1}}},
+	}}
+	for _, method := range []Method{MethodLP, MethodHungarian, MethodReduced, MethodBrute} {
+		if _, err := a.Determine(method); !errors.Is(err, ErrNotOneDependent) {
+			t.Fatalf("%v: err = %v, want ErrNotOneDependent", method, err)
+		}
+	}
+	res, err := a.DetermineGeneral()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Optimum: me above rival (7) + rival's click value 0.5·1.
+	if math.Abs(res.ExpectedRevenue-7.5) > tol {
+		t.Fatalf("general revenue %g, want 7.5", res.ExpectedRevenue)
+	}
+	if res.SlotOf[0] != 0 || res.SlotOf[1] != 1 {
+		t.Fatalf("allocation %v, want me above rival", res.SlotOf)
+	}
+}
+
+func TestGeneralRefusesLargeInstances(t *testing.T) {
+	a := randAuction(rand.New(rand.NewSource(1)), 11, 2)
+	if _, err := a.DetermineGeneral(); err == nil {
+		t.Fatal("expected size refusal")
+	}
+}
+
+func TestHeavyPredicateRoutedToHeavyAuction(t *testing.T) {
+	m := probmodel.New(1, 2)
+	a := &Auction{Slots: 2, Probs: m, Advertisers: []Advertiser{
+		{ID: "x", Bids: formula.Bids{{F: formula.MustParse("Slot2 AND NOT Heavy1"), Value: 3}}},
+	}}
+	if _, err := a.Determine(MethodReduced); err == nil {
+		t.Fatal("heavyweight bids must be rejected by Auction.Determine")
+	}
+}
+
+// TestSeparableMethod: on a separable model with click-only bids the
+// fast path equals the Hungarian optimum; on non-separable input it
+// errors.
+func TestSeparableMethod(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	n, k := 20, 4
+	adv := make([]float64, n)
+	slot := make([]float64, k)
+	for i := range adv {
+		adv[i] = 0.5 + rng.Float64()
+	}
+	for j := range slot {
+		slot[j] = rng.Float64() * 0.5
+	}
+	m := probmodel.New(n, k)
+	a := &Auction{Slots: k, Probs: m}
+	for i := 0; i < n; i++ {
+		for j := 0; j < k; j++ {
+			m.Click[i][j] = adv[i] * slot[j]
+		}
+		a.Advertisers = append(a.Advertisers, Advertiser{
+			ID:   "a" + strconv.Itoa(i),
+			Bids: formula.Bids{{F: formula.Click{}, Value: float64(1 + rng.Intn(30))}},
+		})
+	}
+	fast, err := a.Determine(MethodSeparable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := a.Determine(MethodHungarian)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fast.ExpectedRevenue-slow.ExpectedRevenue) > 1e-6 {
+		t.Fatalf("separable %g != hungarian %g", fast.ExpectedRevenue, slow.ExpectedRevenue)
+	}
+
+	// Break separability (the paper's Figure 7 shape) → error.
+	m.Click[0][0] = math.Min(1, m.Click[0][0]+0.3)
+	if _, err := a.Determine(MethodSeparable); err == nil {
+		t.Fatal("non-separable input must be rejected")
+	}
+
+	// Multi-feature bids → error even when probabilities separate.
+	m.Click[0][0] = adv[0] * slot[0]
+	a.Advertisers[0].Bids = formula.Bids{{F: formula.MustParse("Slot1 OR Slot2"), Value: 5}}
+	if _, err := a.Determine(MethodSeparable); err == nil {
+		t.Fatal("multi-feature bids must be rejected by the separable path")
+	}
+}
+
+// heavyOracle enumerates all partial allocations, scoring each under
+// its induced heavyweight pattern.
+func heavyOracle(h *HeavyAuction) float64 {
+	best := math.Inf(-1)
+	matching.EnumeratePartial(len(h.Advertisers), h.Slots, func(advOf []int) {
+		var pattern uint64
+		for j, i := range advOf {
+			if i >= 0 && h.Advertisers[i].Heavy {
+				pattern |= 1 << uint(j)
+			}
+		}
+		rev := 0.0
+		for i := range h.Advertisers {
+			placed := -1
+			for j, ii := range advOf {
+				if ii == i {
+					placed = j
+					break
+				}
+			}
+			if placed < 0 {
+				rev += h.Advertisers[i].Bids.Payment(formula.Outcome{HeavySlots: pattern})
+			} else {
+				rev += h.expectedPaymentPattern(i, placed, pattern)
+			}
+		}
+		if rev > best {
+			best = rev
+		}
+	})
+	return best
+}
+
+func TestHeavyDetermineMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(5)
+		k := 1 + rng.Intn(3)
+		base := probmodel.New(n, k)
+		h := &HeavyAuction{Slots: k, Model: &probmodel.HeavyModel{
+			Base:   base,
+			Factor: probmodel.ShadowFactors(k, 0.3),
+		}}
+		for i := 0; i < n; i++ {
+			for j := 0; j < k; j++ {
+				base.Click[i][j] = rng.Float64()
+				base.Purchase[i][j] = rng.Float64() * 0.3
+			}
+			var bids formula.Bids
+			bids = append(bids, formula.Bid{F: randOneDepFormula(rng, k), Value: float64(rng.Intn(10))})
+			if rng.Intn(2) == 0 {
+				// A heavyweight-pattern bid, e.g. "slot above me is light".
+				f := formula.And{X: formula.Slot{J: 1 + rng.Intn(k)}, Y: formula.Not{X: formula.Heavy{J: 1 + rng.Intn(k)}}}
+				bids = append(bids, formula.Bid{F: f, Value: float64(rng.Intn(10))})
+			}
+			h.Advertisers = append(h.Advertisers, Advertiser{
+				ID:    "a" + strconv.Itoa(i),
+				Bids:  bids,
+				Heavy: rng.Intn(2) == 0,
+			})
+			h.Model.IsHeavy = append(h.Model.IsHeavy, h.Advertisers[i].Heavy)
+		}
+		want := heavyOracle(h)
+		for _, parallel := range []bool{false, true} {
+			res, err := h.Determine(parallel)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(res.ExpectedRevenue-want) > tol {
+				t.Fatalf("trial %d parallel=%v: heavy2k %g != oracle %g (n=%d k=%d)",
+					trial, parallel, res.ExpectedRevenue, want, n, k)
+			}
+			if res.Method != MethodHeavy2K {
+				t.Fatalf("method %v", res.Method)
+			}
+		}
+	}
+}
+
+// TestVCGProperties: non-negative, individually rational (never above
+// the winner's adjusted value), zero for losers; and for a single
+// slot with click-only bids, equal to the second-highest expected
+// revenue (the classic Vickrey auction).
+func TestVCGProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(6)
+		k := 1 + rng.Intn(3)
+		a := randAuction(rng, n, k)
+		res, err := a.Determine(MethodHungarian)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pay, err := a.VCGPayments(res, MethodHungarian)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, _, err := a.adjustedMatrix()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, p := range pay {
+			if p < -tol {
+				t.Fatalf("negative VCG payment %g", p)
+			}
+			j := res.SlotOf[i]
+			if j < 0 {
+				if p != 0 {
+					t.Fatalf("loser pays %g", p)
+				}
+				continue
+			}
+			if p > w[i][j]+tol {
+				t.Fatalf("VCG payment %g exceeds value %g (not IR)", p, w[i][j])
+			}
+		}
+	}
+}
+
+func TestVCGSecondPriceSingleSlot(t *testing.T) {
+	m := probmodel.New(3, 1)
+	m.Click[0][0], m.Click[1][0], m.Click[2][0] = 0.5, 0.5, 0.5
+	a := &Auction{Slots: 1, Probs: m, Advertisers: []Advertiser{
+		{ID: "hi", Bids: formula.Bids{{F: formula.Click{}, Value: 10}}}, // EV 5
+		{ID: "mid", Bids: formula.Bids{{F: formula.Click{}, Value: 6}}}, // EV 3
+		{ID: "lo", Bids: formula.Bids{{F: formula.Click{}, Value: 2}}},  // EV 1
+	}}
+	res, err := a.Determine(MethodBrute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pay, err := a.VCGPayments(res, MethodBrute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AdvOf[0] != 0 {
+		t.Fatalf("winner %d, want 0", res.AdvOf[0])
+	}
+	if math.Abs(pay[0]-3) > tol {
+		t.Fatalf("VCG payment %g, want second-highest EV 3", pay[0])
+	}
+}
+
+func TestValidateCatchesShapeErrors(t *testing.T) {
+	a := &Auction{Slots: 2, Probs: probmodel.New(3, 2)}
+	if err := a.Validate(); err == nil {
+		t.Fatal("advertiser count mismatch not caught")
+	}
+	b := &Auction{Slots: 3, Probs: probmodel.New(1, 2),
+		Advertisers: []Advertiser{{ID: "x"}}}
+	if err := b.Validate(); err == nil {
+		t.Fatal("slot count mismatch not caught")
+	}
+	c := &Auction{Slots: 1}
+	if err := c.Validate(); err == nil {
+		t.Fatal("nil model not caught")
+	}
+	bad := probmodel.New(1, 1)
+	bad.Click[0][0] = 1.5
+	d := &Auction{Slots: 1, Probs: bad, Advertisers: []Advertiser{{ID: "x"}}}
+	if err := d.Validate(); err == nil {
+		t.Fatal("out-of-range probability not caught")
+	}
+}
+
+func TestResultAssigned(t *testing.T) {
+	r := &Result{AdvOf: []int{2, -1, 0}}
+	if r.Assigned() != 2 {
+		t.Fatalf("Assigned = %d", r.Assigned())
+	}
+}
+
+// TestHeavyScoreConsistency: Determine's reported revenue equals
+// Score of its own allocation, and Score rejects malformed input.
+func TestHeavyScoreConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(5)
+		k := 1 + rng.Intn(3)
+		base := probmodel.New(n, k)
+		h := &HeavyAuction{Slots: k, Model: &probmodel.HeavyModel{
+			Base:   base,
+			Factor: probmodel.ShadowFactors(k, 0.2),
+		}}
+		for i := 0; i < n; i++ {
+			for j := 0; j < k; j++ {
+				base.Click[i][j] = rng.Float64()
+			}
+			h.Advertisers = append(h.Advertisers, Advertiser{
+				ID:    "a" + strconv.Itoa(i),
+				Bids:  formula.Bids{{F: formula.Click{}, Value: float64(1 + rng.Intn(9))}},
+				Heavy: rng.Intn(2) == 0,
+			})
+		}
+		res, err := h.Determine(false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		score, err := h.Score(res.AdvOf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(score-res.ExpectedRevenue) > tol {
+			t.Fatalf("Score %g != Determine revenue %g", score, res.ExpectedRevenue)
+		}
+	}
+	h := &HeavyAuction{Slots: 2, Model: &probmodel.HeavyModel{Base: probmodel.New(1, 2)},
+		Advertisers: []Advertiser{{ID: "x"}}}
+	if _, err := h.Score([]int{0}); err == nil {
+		t.Fatal("wrong arity accepted")
+	}
+	if _, err := h.Score([]int{0, 0}); err == nil {
+		t.Fatal("duplicate assignment accepted")
+	}
+	if _, err := h.Score([]int{0, 5}); err == nil {
+		t.Fatal("unknown advertiser accepted")
+	}
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/formula"
+	"repro/internal/probmodel"
+)
+
+// randCrossFormula builds a formula over exactly one *other*
+// advertiser's placement (Definition 1: still 1-dependent).
+func randCrossFormula(rng *rand.Rand, other string, k int) formula.Expr {
+	var e formula.Expr = formula.AdvSlot{Adv: other, J: 1 + rng.Intn(k)}
+	switch rng.Intn(3) {
+	case 0:
+		e = formula.Not{X: e}
+	case 1:
+		e = formula.Or{X: e, Y: formula.AdvSlot{Adv: other, J: 1 + rng.Intn(k)}}
+	}
+	return e
+}
+
+// TestCrossBidsMatchGeneral drives the full Theorem 2 construction:
+// auctions mixing own-placement bids with bids on one other
+// advertiser's slot must agree with the outcome-level oracle across
+// every fast method.
+func TestCrossBidsMatchGeneral(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	methods := []Method{MethodLP, MethodHungarian, MethodReduced, MethodBrute}
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(5)
+		k := 1 + rng.Intn(3)
+		a := randAuction(rng, n, k)
+		// Sprinkle cross bids: each advertiser may bid on one other's
+		// placement.
+		for i := range a.Advertisers {
+			if rng.Intn(2) == 0 {
+				continue
+			}
+			other := rng.Intn(n)
+			if other == i {
+				continue
+			}
+			a.Advertisers[i].Bids = append(a.Advertisers[i].Bids, formula.Bid{
+				F:     randCrossFormula(rng, a.Advertisers[other].ID, k),
+				Value: float64(rng.Intn(15)),
+			})
+		}
+		general, err := a.DetermineGeneral()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range methods {
+			res, err := a.Determine(m)
+			if err != nil {
+				t.Fatalf("trial %d %v: %v", trial, m, err)
+			}
+			if math.Abs(res.ExpectedRevenue-general.ExpectedRevenue) > tol {
+				t.Fatalf("trial %d %v: %g != general %g (n=%d k=%d)",
+					trial, m, res.ExpectedRevenue, general.ExpectedRevenue, n, k)
+			}
+		}
+	}
+}
+
+// TestCrossBidOnSelfViaAdvSlot: referencing one's own ID through
+// AdvSlot is equivalent to a Slot predicate and stays tractable.
+func TestCrossBidOnSelfViaAdvSlot(t *testing.T) {
+	m := probmodel.New(1, 2)
+	a := &Auction{Slots: 2, Probs: m, Advertisers: []Advertiser{{
+		ID:   "me",
+		Bids: formula.Bids{{F: formula.AdvSlot{Adv: "me", J: 1}, Value: 5}},
+	}}}
+	res, err := a.Determine(MethodReduced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	general, err := a.DetermineGeneral()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.ExpectedRevenue-5) > tol || math.Abs(general.ExpectedRevenue-5) > tol {
+		t.Fatalf("revenues %g / %g, want 5", res.ExpectedRevenue, general.ExpectedRevenue)
+	}
+}
+
+// TestCrossBidOnAbsentAdvertiser: a bid on an advertiser not in the
+// auction is constant (the target is never placed).
+func TestCrossBidOnAbsentAdvertiser(t *testing.T) {
+	m := probmodel.New(1, 1)
+	m.Click[0][0] = 1
+	a := &Auction{Slots: 1, Probs: m, Advertisers: []Advertiser{{
+		ID: "me",
+		Bids: formula.Bids{
+			{F: formula.Not{X: formula.AdvSlot{Adv: "ghost", J: 1}}, Value: 3}, // always true
+			{F: formula.AdvSlot{Adv: "ghost", J: 1}, Value: 100},               // never true
+			{F: formula.Click{}, Value: 2},
+		},
+	}}}
+	res, err := a.Determine(MethodHungarian)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.ExpectedRevenue-5) > tol {
+		t.Fatalf("revenue %g, want 3 (constant) + 2 (click) = 5", res.ExpectedRevenue)
+	}
+	general, err := a.DetermineGeneral()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(general.ExpectedRevenue-5) > tol {
+		t.Fatalf("general %g, want 5", general.ExpectedRevenue)
+	}
+}
+
+// TestMixedSelfOtherRejected: Self ∧ Other dependence is 2-dependent.
+func TestMixedSelfOtherRejected(t *testing.T) {
+	m := probmodel.New(2, 2)
+	a := &Auction{Slots: 2, Probs: m, Advertisers: []Advertiser{
+		{ID: "a", Bids: formula.Bids{{
+			F:     formula.And{X: formula.Slot{J: 1}, Y: formula.AdvSlot{Adv: "b", J: 2}},
+			Value: 3,
+		}}},
+		{ID: "b", Bids: formula.Bids{{F: formula.Click{}, Value: 1}}},
+	}}
+	if _, err := a.Determine(MethodReduced); err == nil {
+		t.Fatal("Self∧Other bid must be rejected")
+	}
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/formula"
+	"repro/internal/lp"
+	"repro/internal/matching"
+)
+
+// Method selects a winner-determination algorithm.
+type Method int
+
+// Winner-determination methods, in the order the paper evaluates them
+// (Section V), plus the separable fast path and the brute-force
+// oracle.
+const (
+	// MethodLP solves the assignment linear program with the simplex
+	// method (paper method 1).
+	MethodLP Method = iota
+	// MethodHungarian runs the Hungarian algorithm on the full
+	// bipartite graph (paper method 2, "H").
+	MethodHungarian
+	// MethodReduced runs the paper's reduced-graph algorithm
+	// (Section III-E, method 3, "RH").
+	MethodReduced
+	// MethodReducedParallel is RH with the tree-parallel top-k phase.
+	MethodReducedParallel
+	// MethodSeparable is the platforms' sort-based allocation; it
+	// requires a separable click-probability matrix and bids on Click
+	// only, and returns an error otherwise (Section III-C).
+	MethodSeparable
+	// MethodBrute enumerates all allocations; the correctness oracle.
+	MethodBrute
+	// MethodHeavy2K is the Section III-F heavyweight/lightweight
+	// pattern enumeration, reported by HeavyAuction.Determine.
+	MethodHeavy2K
+)
+
+// String implements fmt.Stringer.
+func (m Method) String() string {
+	switch m {
+	case MethodLP:
+		return "LP"
+	case MethodHungarian:
+		return "H"
+	case MethodReduced:
+		return "RH"
+	case MethodReducedParallel:
+		return "RH-parallel"
+	case MethodSeparable:
+		return "Separable"
+	case MethodBrute:
+		return "Brute"
+	case MethodHeavy2K:
+		return "Heavy2K"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Determine solves winner determination with the given method. All
+// bids must be 1-dependent and heavyweight-free (Theorem 2); bids on
+// other advertisers' placements yield ErrNotOneDependent, and bids on
+// the heavyweight pattern must go through HeavyAuction.
+func (a *Auction) Determine(method Method) (*Result, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	w, baseline, err := a.adjustedMatrix()
+	if err != nil {
+		return nil, err
+	}
+	var assign matching.Assignment
+	switch method {
+	case MethodLP:
+		res, err := lp.SolveAssignment(w)
+		if err != nil {
+			return nil, err
+		}
+		assign = matching.Assignment{SlotOf: res.SlotOf, AdvOf: res.AdvOf, Value: res.Value}
+	case MethodHungarian:
+		assign = matching.MaxWeight(w)
+	case MethodReduced:
+		assign = matching.MaxWeightReduced(w)
+	case MethodReducedParallel:
+		assign = matching.MaxWeightReducedParallel(w, runtime.GOMAXPROCS(0))
+	case MethodSeparable:
+		var err error
+		assign, err = a.separableAssign()
+		if err != nil {
+			return nil, err
+		}
+	case MethodBrute:
+		assign = matching.BruteForce(w)
+	default:
+		return nil, fmt.Errorf("core: unknown method %v", method)
+	}
+	return &Result{
+		AdvOf:           assign.AdvOf,
+		SlotOf:          assign.SlotOf,
+		ExpectedRevenue: assign.Value + baseline,
+		Method:          method,
+	}, nil
+}
+
+// separableAssign implements the existing platforms' allocation: it
+// demands that every advertiser bids a single value on Click and that
+// the click-probability matrix is separable; then expected revenue
+// separates as (bid·advFactor)·slotFactor and sorting wins.
+func (a *Auction) separableAssign() (matching.Assignment, error) {
+	const tol = 1e-9
+	advF, slotF, ok := matching.IsSeparable(a.Probs.Click, tol)
+	if !ok {
+		return matching.Assignment{}, fmt.Errorf(
+			"core: click probabilities are not separable; %s requires separability (Section III-C)", MethodSeparable)
+	}
+	n := len(a.Advertisers)
+	adv := make([]float64, n)
+	for i := 0; i < n; i++ {
+		bid, ok := clickOnlyBid(a.Advertisers[i].Bids)
+		if !ok {
+			return matching.Assignment{}, fmt.Errorf(
+				"core: advertiser %s has multi-feature bids; %s supports single-feature Click bids only",
+				a.Advertisers[i].ID, MethodSeparable)
+		}
+		adv[i] = bid * advF[i]
+	}
+	return matching.Separable(adv, slotF), nil
+}
+
+// clickOnlyBid reports whether the table is the traditional
+// single-feature bid — exactly one row on the bare Click predicate —
+// and returns its value.
+func clickOnlyBid(b formula.Bids) (float64, bool) {
+	if len(b) != 1 {
+		return 0, false
+	}
+	if _, ok := b[0].F.(formula.Click); !ok {
+		return 0, false
+	}
+	return b[0].Value, true
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/formula"
+	"repro/internal/matching"
+)
+
+// DetermineGeneral is the exponential-time oracle for bids of
+// arbitrary m-dependence: it enumerates every partial allocation and
+// evaluates the expected revenue directly, with each advertiser's
+// formulas seeing the full slot assignment (so 2-dependent events
+// like "I am above my rival" are priced exactly). Click and purchase
+// probabilities remain 1-dependent, per Section III-A.
+//
+// Theorem 3 shows no polynomial algorithm can approximate this beyond
+// constant factors (APX-hardness); the oracle exists for tests and
+// tiny instances, mirroring the paper's "conceptually, winners can be
+// determined by a brute force algorithm" remark in Section III-F.
+func (a *Auction) DetermineGeneral() (*Result, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(a.Advertisers)
+	if n > 10 || a.Slots > 6 {
+		return nil, fmt.Errorf("core: DetermineGeneral is exponential; refusing n=%d, k=%d (max 10 advertisers, 6 slots)",
+			n, a.Slots)
+	}
+	best := &Result{
+		AdvOf:  make([]int, a.Slots),
+		SlotOf: make([]int, n),
+		Method: MethodBrute,
+	}
+	first := true
+	matching.EnumeratePartial(n, a.Slots, func(advOf []int) {
+		rev := a.expectedRevenueOf(advOf)
+		if first || rev > best.ExpectedRevenue {
+			first = false
+			best.ExpectedRevenue = rev
+			copy(best.AdvOf, advOf)
+		}
+	})
+	for i := range best.SlotOf {
+		best.SlotOf[i] = -1
+	}
+	for j, i := range best.AdvOf {
+		if i >= 0 {
+			best.SlotOf[i] = j
+		}
+	}
+	return best, nil
+}
+
+// expectedRevenueOf computes total expected payment for a concrete
+// allocation, letting formulas reference other advertisers' slots.
+func (a *Auction) expectedRevenueOf(advOf []int) float64 {
+	// Build the shared OtherSlots view (1-based slots).
+	others := make(map[string]int, len(advOf))
+	for j, i := range advOf {
+		if i >= 0 {
+			others[a.Advertisers[i].ID] = j + 1
+		}
+	}
+	var total float64
+	slotOf := make([]int, len(a.Advertisers))
+	for i := range slotOf {
+		slotOf[i] = -1
+	}
+	for j, i := range advOf {
+		if i >= 0 {
+			slotOf[i] = j
+		}
+	}
+	for i := range a.Advertisers {
+		bids := a.Advertisers[i].Bids
+		j := slotOf[i]
+		if j < 0 {
+			total += bids.Payment(formula.Outcome{OtherSlots: others})
+			continue
+		}
+		w := a.Probs.Click[i][j]
+		q := a.Probs.Purchase[i][j]
+		slot := j + 1
+		if p := 1 - w; p > 0 {
+			total += p * bids.Payment(formula.Outcome{Slot: slot, OtherSlots: others})
+		}
+		if p := w * (1 - q); p > 0 {
+			total += p * bids.Payment(formula.Outcome{Slot: slot, Clicked: true, OtherSlots: others})
+		}
+		if p := w * q; p > 0 {
+			total += p * bids.Payment(formula.Outcome{Slot: slot, Clicked: true, Purchased: true, OtherSlots: others})
+		}
+	}
+	return total
+}

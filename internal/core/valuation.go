@@ -1,0 +1,147 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/formula"
+)
+
+// This file implements the Theorem 2 construction: for 1-dependent
+// bids, every bid of $d on event E contributes, per slot j, exactly
+// d·P(E | advertiser in slot j) to the expected revenue of assigning
+// that slot, plus a slot-independent contribution for the unassigned
+// outcome. Filling out the advertiser×slot table of these expected
+// values turns winner determination into maximum-weight bipartite
+// matching.
+
+// expectedPayment returns the expected payment of advertiser i if
+// placed in slot j (0-based), under the auction's click and purchase
+// model, over all of i's own bids.
+func (a *Auction) expectedPayment(i, j int) float64 {
+	return a.expectedPaymentBids(a.Advertisers[i].Bids, i, j)
+}
+
+// expectedPaymentBids evaluates a bid subset: with w = P(click | slot)
+// and q = P(purchase | click, slot), the reachable outcomes are
+// (no click), (click, no purchase), and (click, purchase) with
+// probabilities 1−w, w(1−q), and wq.
+func (a *Auction) expectedPaymentBids(bids formula.Bids, i, j int) float64 {
+	w := a.Probs.Click[i][j]
+	q := a.Probs.Purchase[i][j]
+	slot := j + 1 // formula predicates are 1-based
+	var total float64
+	if p := 1 - w; p > 0 {
+		total += p * bids.Payment(formula.Outcome{Slot: slot})
+	}
+	if p := w * (1 - q); p > 0 {
+		total += p * bids.Payment(formula.Outcome{Slot: slot, Clicked: true})
+	}
+	if p := w * q; p > 0 {
+		total += p * bids.Payment(formula.Outcome{Slot: slot, Clicked: true, Purchased: true})
+	}
+	return total
+}
+
+// unassignedPayment returns advertiser i's payment in the unassigned
+// outcome (no slot ⇒ no click ⇒ no purchase), which is deterministic.
+// Bids like "pay 1 if NOT Slot1" make this non-zero, so it cannot be
+// ignored: the matching runs on weights shifted by this baseline.
+func (a *Auction) unassignedPayment(i int) float64 {
+	return a.Advertisers[i].Bids.Payment(formula.Outcome{})
+}
+
+// RevenueMatrix returns the n×k matrix of expected payments (the
+// paper's Figure 9 "revenue matrix"), without baseline adjustment.
+func (a *Auction) RevenueMatrix() [][]float64 {
+	n := len(a.Advertisers)
+	w := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		w[i] = make([]float64, a.Slots)
+		for j := 0; j < a.Slots; j++ {
+			w[i][j] = a.expectedPayment(i, j)
+		}
+	}
+	return w
+}
+
+// adjustedMatrix builds the Theorem 2 table: w[i][j] is the total
+// expected-revenue change, relative to everyone-unassigned, of
+// placing advertiser i in slot j — summed over every bid (from any
+// advertiser) whose event depends on advertiser i's placement.
+// baseline is the total payment in the all-unassigned outcome. The
+// matching optimum over w plus baseline equals the expected-revenue
+// optimum.
+//
+// Bids fall into three classes by their dependence set:
+//
+//   - own-placement bids (Click/Purchase/Slot/Unplaced only): their
+//     expected value per slot comes from the click/purchase model;
+//   - constant bids (no predicates): pure baseline;
+//   - single-other bids (AdvSlot(x, ·) only): deterministic given x's
+//     slot, attributed to x's row — the paper's proof converts the
+//     bid into OR-bids on E ∧ Slot^x_j, which is exactly this;
+//   - anything else is not 1-dependent and yields ErrNotOneDependent
+//     (heavyweight references are directed to HeavyAuction).
+func (a *Auction) adjustedMatrix() (w [][]float64, baseline float64, err error) {
+	n := len(a.Advertisers)
+	index := make(map[string]int, n)
+	for i := range a.Advertisers {
+		index[a.Advertisers[i].ID] = i
+	}
+	w = make([][]float64, n)
+	for i := 0; i < n; i++ {
+		w[i] = make([]float64, a.Slots)
+	}
+	for x := 0; x < n; x++ {
+		var own formula.Bids
+		for _, bid := range a.Advertisers[x].Bids {
+			d := formula.Analyze(bid.F)
+			switch {
+			case d.Heavy:
+				return nil, 0, fmt.Errorf(
+					"core: advertiser %s bids on the heavyweight pattern; use HeavyAuction.Determine",
+					a.Advertisers[x].ID)
+			case len(d.Others) == 0:
+				// Own-placement or constant: expected-value machinery.
+				own = append(own, bid)
+			case len(d.Others) == 1 && !d.Self:
+				// 1-dependent on one other advertiser's slot: the event
+				// is deterministic given that slot.
+				other, ok := index[d.Others[0]]
+				if !ok {
+					// References an advertiser not in this auction: the
+					// target is never placed, so the bid is constant.
+					if bid.F.Eval(formula.Outcome{}) {
+						baseline += bid.Value
+					}
+					continue
+				}
+				unplaced := bid.F.Eval(formula.Outcome{OtherSlots: map[string]int{}})
+				base := 0.0
+				if unplaced {
+					base = bid.Value
+				}
+				baseline += base
+				slotView := map[string]int{}
+				for j := 0; j < a.Slots; j++ {
+					slotView[d.Others[0]] = j + 1
+					if bid.F.Eval(formula.Outcome{OtherSlots: slotView}) {
+						w[other][j] += bid.Value - base
+					} else {
+						w[other][j] -= base
+					}
+				}
+			default:
+				return nil, 0, fmt.Errorf("advertiser %s: %w", a.Advertisers[x].ID, ErrNotOneDependent)
+			}
+		}
+		// Own bids: expected payment per slot minus the unassigned
+		// baseline.
+		b := own.Payment(formula.Outcome{})
+		baseline += b
+		for j := 0; j < a.Slots; j++ {
+			w[x][j] += a.expectedPaymentBids(own, x, j) - b
+		}
+	}
+	return w, baseline, nil
+}

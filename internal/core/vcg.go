@@ -1,0 +1,111 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/formula"
+	"repro/internal/probmodel"
+)
+
+// VCG pricing (Vickrey–Clarke–Groves): each winner is charged his
+// social opportunity cost — the amount by which his presence lowers
+// the best achievable total value of everyone else. The paper notes
+// that given winner determination as a subroutine, Vickrey pricing is
+// "a very simple computation": one winner-determination call per
+// winner, on the auction with that advertiser removed.
+//
+// Values here are expected payments under pay-what-you-bid, i.e. the
+// same objective winner determination maximizes; a bidder's VCG
+// charge replaces that face value as what he actually pays.
+
+// VCGPayments computes the Vickrey payment of every advertiser for
+// the allocation res (which should be an optimal allocation produced
+// by Determine). Losers pay zero... and winners pay
+//
+//	p_i = OPT(without i) − (OPT − v_i)
+//
+// where v_i is advertiser i's expected payment in the optimal
+// allocation (net of his unassigned baseline, which he obtains no
+// matter what). The method used for the counterfactual solves is
+// given by method.
+func (a *Auction) VCGPayments(res *Result, method Method) ([]float64, error) {
+	n := len(a.Advertisers)
+	payments := make([]float64, n)
+	if n == 0 {
+		return payments, nil
+	}
+	// VCG charges each winner his externality on the *others*; that
+	// accounting assumes w[i][j] is advertiser i's own value for slot
+	// j. Bids on other advertisers' placements break the attribution,
+	// so they are rejected here even though Determine accepts them.
+	for i := range a.Advertisers {
+		for _, bid := range a.Advertisers[i].Bids {
+			if d := formula.Analyze(bid.F); len(d.Others) > 0 {
+				return nil, fmt.Errorf(
+					"core: VCG pricing is undefined for bids on other advertisers' placements (advertiser %s)",
+					a.Advertisers[i].ID)
+			}
+		}
+	}
+	w, _, err := a.adjustedMatrix()
+	if err != nil {
+		return nil, err
+	}
+	// Welfare here is the matching value over adjusted weights: the
+	// baseline terms cancel in the VCG formula for everyone (each
+	// advertiser's baseline is obtained in every allocation).
+	optOthers := func(skip int) (float64, error) {
+		sub := &Auction{
+			Slots:       a.Slots,
+			Advertisers: make([]Advertiser, 0, n-1),
+			Probs:       nil,
+		}
+		// Build a reduced auction without advertiser skip.
+		click := make([][]float64, 0, n-1)
+		purchase := make([][]float64, 0, n-1)
+		for i := 0; i < n; i++ {
+			if i == skip {
+				continue
+			}
+			sub.Advertisers = append(sub.Advertisers, a.Advertisers[i])
+			click = append(click, a.Probs.Click[i])
+			purchase = append(purchase, a.Probs.Purchase[i])
+		}
+		sub.Probs = &probmodel.Model{Click: click, Purchase: purchase}
+		r, err := sub.Determine(method)
+		if err != nil {
+			return 0, err
+		}
+		// Convert back to adjusted welfare by removing the baseline.
+		_, base, err := sub.adjustedMatrix()
+		if err != nil {
+			return 0, err
+		}
+		return r.ExpectedRevenue - base, nil
+	}
+
+	// Total adjusted welfare of the given allocation.
+	var total float64
+	for j, i := range res.AdvOf {
+		if i >= 0 {
+			total += w[i][j]
+		}
+	}
+	for i := 0; i < n; i++ {
+		j := res.SlotOf[i]
+		if j < 0 {
+			continue // losers pay nothing under VCG
+		}
+		withoutI, err := optOthers(i)
+		if err != nil {
+			return nil, err
+		}
+		othersNow := total - w[i][j]
+		p := withoutI - othersNow
+		if p < 0 {
+			p = 0 // numerical guard; VCG payments are non-negative at optimum
+		}
+		payments[i] = p
+	}
+	return payments, nil
+}

@@ -1,0 +1,99 @@
+package formula
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Bid is one row of an advertiser's Bids table (Section II-A): the
+// advertiser pays Value if F is true in the realized outcome.
+type Bid struct {
+	F     Expr
+	Value float64
+}
+
+// Bids is an advertiser's Bids table: an OR-bid over formulas. When
+// several formulas hold simultaneously, the advertiser owes the sum
+// of the corresponding values — exactly the paper's semantics for the
+// table in Figure 3 (5¢ for Purchase, 2¢ for Slot1 ∨ Slot2, hence 7¢
+// for both).
+type Bids []Bid
+
+// Payment returns the total amount owed in outcome o: the sum of
+// values of all rows whose formula is true.
+func (b Bids) Payment(o Outcome) float64 {
+	var total float64
+	for _, bid := range b {
+		if bid.F.Eval(o) {
+			total += bid.Value
+		}
+	}
+	return total
+}
+
+// OneDependent reports whether every row's event is 1-dependent and
+// heavyweight-free, i.e. the whole table lies in the Theorem 2
+// fragment.
+func (b Bids) OneDependent() bool {
+	for _, bid := range b {
+		if !OneDependent(bid.F) {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxDependence returns the largest m-dependence over the table's
+// rows and whether any row references the heavyweight pattern.
+func (b Bids) MaxDependence() (m int, heavy bool) {
+	for _, bid := range b {
+		d := Analyze(bid.F)
+		mm := len(d.Others)
+		if d.Self {
+			mm++
+		}
+		if mm > m {
+			m = mm
+		}
+		heavy = heavy || d.Heavy
+	}
+	return m, heavy
+}
+
+// String renders the table, one "formula : value" row per line.
+func (b Bids) String() string {
+	var sb strings.Builder
+	for i, bid := range b {
+		if i > 0 {
+			sb.WriteByte('\n')
+		}
+		fmt.Fprintf(&sb, "%s : %g", bid.F, bid.Value)
+	}
+	return sb.String()
+}
+
+// ParseBids parses a textual Bids table: one "formula : value" row
+// per line; blank lines and lines starting with '#' are skipped.
+func ParseBids(src string) (Bids, error) {
+	var out Bids
+	for lineNo, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		idx := strings.LastIndex(line, ":")
+		if idx < 0 {
+			return nil, fmt.Errorf("formula: bids line %d: missing ':' in %q", lineNo+1, line)
+		}
+		f, err := Parse(line[:idx])
+		if err != nil {
+			return nil, fmt.Errorf("formula: bids line %d: %v", lineNo+1, err)
+		}
+		var v float64
+		if _, err := fmt.Sscanf(strings.TrimSpace(line[idx+1:]), "%g", &v); err != nil {
+			return nil, fmt.Errorf("formula: bids line %d: bad value %q", lineNo+1, line[idx+1:])
+		}
+		out = append(out, Bid{F: f, Value: v})
+	}
+	return out, nil
+}

@@ -1,0 +1,340 @@
+// Package formula implements the Boolean bid-formula language from
+// Section II of Martin, Gehrke, and Halpern, "Toward Expressive and
+// Scalable Sponsored Search Auctions" (ICDE 2008).
+//
+// An advertiser's bid is a pair (formula, value): the advertiser pays
+// value if the formula is true in the realized auction outcome.
+// Formulas are Boolean combinations of the outcome predicates the
+// paper makes available to each advertiser:
+//
+//	Slot j     — the advertiser's ad was placed in slot j (1-based)
+//	Click      — the user clicked the advertiser's ad
+//	Purchase   — the user purchased via the advertiser's ad
+//	Heavy j    — slot j was assigned to a heavyweight advertiser
+//	             (the Section III-F extension)
+//	Adv(a) @ j — advertiser a (someone else) was placed in slot j;
+//	             used only to express the m-dependent events of
+//	             Theorem 3, which the tractable engine must reject
+//
+// The package provides an AST, a parser for a small infix syntax, an
+// evaluator over concrete outcomes, and the dependence analysis that
+// underlies Theorems 2 and 3 (is an event 1-dependent?).
+package formula
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Outcome is one advertiser's view of a realized auction outcome. It
+// carries everything needed to evaluate that advertiser's formulas:
+// the slot the advertiser received (0 if none), whether the user
+// clicked and purchased, the heavyweight pattern over slots, and —
+// for evaluating m-dependent events in oracles and tests — the slots
+// assigned to other advertisers.
+type Outcome struct {
+	// Slot is the 1-based slot assigned to the bidding advertiser,
+	// or 0 if the advertiser received no slot.
+	Slot int
+	// Clicked reports whether the user clicked the advertiser's ad.
+	Clicked bool
+	// Purchased reports whether the user made a purchase via the ad.
+	// Purchased implies Clicked in every reachable outcome.
+	Purchased bool
+	// HeavySlots is a bitmask over slots: bit j-1 is set when slot j
+	// holds a heavyweight advertiser. Zero when the heavyweight model
+	// is not in use.
+	HeavySlots uint64
+	// OtherSlots maps another advertiser's ID to the 1-based slot that
+	// advertiser received. Advertisers absent from the map received no
+	// slot. Only needed to evaluate formulas containing AdvSlot nodes.
+	OtherSlots map[string]int
+}
+
+// Expr is a node in a bid-formula AST.
+type Expr interface {
+	// Eval reports whether the formula holds in the given outcome.
+	Eval(o Outcome) bool
+	// String renders the formula in the package's concrete syntax.
+	// Parsing the result yields a structurally identical formula.
+	String() string
+	// appendDeps accumulates the advertiser labels the formula's truth
+	// value may depend on (see Deps).
+	appendDeps(set map[string]bool, heavy *bool)
+}
+
+// The sentinel label used in dependence sets for "the bidding
+// advertiser himself".
+const selfLabel = "\x00self"
+
+// Const is the constant TRUE or FALSE.
+type Const bool
+
+// Eval implements Expr.
+func (c Const) Eval(Outcome) bool { return bool(c) }
+
+// String implements Expr.
+func (c Const) String() string {
+	if c {
+		return "TRUE"
+	}
+	return "FALSE"
+}
+
+func (c Const) appendDeps(map[string]bool, *bool) {}
+
+// Click is the predicate "the user clicked the advertiser's ad".
+type Click struct{}
+
+// Eval implements Expr.
+func (Click) Eval(o Outcome) bool { return o.Clicked }
+
+// String implements Expr.
+func (Click) String() string { return "Click" }
+
+func (Click) appendDeps(set map[string]bool, _ *bool) { set[selfLabel] = true }
+
+// Purchase is the predicate "the user purchased via the ad".
+type Purchase struct{}
+
+// Eval implements Expr.
+func (Purchase) Eval(o Outcome) bool { return o.Purchased }
+
+// String implements Expr.
+func (Purchase) String() string { return "Purchase" }
+
+func (Purchase) appendDeps(set map[string]bool, _ *bool) { set[selfLabel] = true }
+
+// Slot is the predicate "the advertiser's ad was placed in slot J".
+// J is 1-based, matching the paper's Slot_1 … Slot_k.
+type Slot struct{ J int }
+
+// Eval implements Expr.
+func (s Slot) Eval(o Outcome) bool { return o.Slot == s.J }
+
+// String implements Expr.
+func (s Slot) String() string { return fmt.Sprintf("Slot%d", s.J) }
+
+func (s Slot) appendDeps(set map[string]bool, _ *bool) { set[selfLabel] = true }
+
+// Heavy is the Section III-F predicate "slot J was assigned to a
+// heavyweight advertiser".
+type Heavy struct{ J int }
+
+// Eval implements Expr.
+func (h Heavy) Eval(o Outcome) bool { return o.HeavySlots&(1<<uint(h.J-1)) != 0 }
+
+// String implements Expr.
+func (h Heavy) String() string { return fmt.Sprintf("Heavy%d", h.J) }
+
+func (h Heavy) appendDeps(_ map[string]bool, heavy *bool) { *heavy = true }
+
+// AdvSlot is the predicate "advertiser Adv was placed in slot J".
+// It references another advertiser's placement, so any formula that
+// contains it is at least 2-dependent and falls outside the tractable
+// fragment (Theorem 3). The engine's analyzer rejects such bids; the
+// brute-force oracle can still evaluate them.
+type AdvSlot struct {
+	Adv string
+	J   int
+}
+
+// Eval implements Expr.
+func (a AdvSlot) Eval(o Outcome) bool { return o.OtherSlots[a.Adv] == a.J }
+
+// String implements Expr.
+func (a AdvSlot) String() string { return fmt.Sprintf("Adv(%s)@%d", a.Adv, a.J) }
+
+func (a AdvSlot) appendDeps(set map[string]bool, _ *bool) { set[a.Adv] = true }
+
+// Not is logical negation.
+type Not struct{ X Expr }
+
+// Eval implements Expr.
+func (n Not) Eval(o Outcome) bool { return !n.X.Eval(o) }
+
+// String implements Expr.
+func (n Not) String() string { return "NOT " + paren(n.X) }
+
+func (n Not) appendDeps(set map[string]bool, heavy *bool) { n.X.appendDeps(set, heavy) }
+
+// And is logical conjunction.
+type And struct{ X, Y Expr }
+
+// Eval implements Expr.
+func (a And) Eval(o Outcome) bool { return a.X.Eval(o) && a.Y.Eval(o) }
+
+// String implements Expr.
+func (a And) String() string { return parenOr(a.X) + " AND " + parenOr(a.Y) }
+
+func (a And) appendDeps(set map[string]bool, heavy *bool) {
+	a.X.appendDeps(set, heavy)
+	a.Y.appendDeps(set, heavy)
+}
+
+// Or is logical disjunction.
+type Or struct{ X, Y Expr }
+
+// Eval implements Expr.
+func (r Or) Eval(o Outcome) bool { return r.X.Eval(o) || r.Y.Eval(o) }
+
+// String implements Expr.
+func (r Or) String() string { return r.X.String() + " OR " + r.Y.String() }
+
+func (r Or) appendDeps(set map[string]bool, heavy *bool) {
+	r.X.appendDeps(set, heavy)
+	r.Y.appendDeps(set, heavy)
+}
+
+// paren wraps compound sub-expressions in parentheses for unambiguous
+// printing under a NOT.
+func paren(e Expr) string {
+	switch e.(type) {
+	case And, Or:
+		return "(" + e.String() + ")"
+	}
+	return e.String()
+}
+
+// parenOr wraps OR sub-expressions appearing under an AND.
+func parenOr(e Expr) string {
+	if _, ok := e.(Or); ok {
+		return "(" + e.String() + ")"
+	}
+	return e.String()
+}
+
+// Deps describes what a formula's truth value can depend on.
+type Deps struct {
+	// Self reports whether the formula references the bidding
+	// advertiser's own placement, click, or purchase.
+	Self bool
+	// Others lists the labels of other advertisers whose placement the
+	// formula references, sorted.
+	Others []string
+	// Heavy reports whether the formula references the heavyweight
+	// pattern (a class-level dependence, Section III-F).
+	Heavy bool
+}
+
+// Analyze computes the dependence set of e.
+func Analyze(e Expr) Deps {
+	set := make(map[string]bool)
+	var heavy bool
+	e.appendDeps(set, &heavy)
+	d := Deps{Heavy: heavy}
+	for label := range set {
+		if label == selfLabel {
+			d.Self = true
+			continue
+		}
+		d.Others = append(d.Others, label)
+	}
+	sort.Strings(d.Others)
+	return d
+}
+
+// MDependence returns m such that the event denoted by e is
+// m-dependent in the sense of Definition 1: the number of advertisers
+// whose slot assignment the event's probability can depend on. The
+// heavyweight predicates do not count toward m (they depend on the
+// class pattern, not on any individual advertiser's identity), but
+// Deps.Heavy lets callers detect them.
+func MDependence(e Expr) int {
+	d := Analyze(e)
+	m := len(d.Others)
+	if d.Self {
+		m++
+	}
+	return m
+}
+
+// OneDependent reports whether the event denoted by e is 1-dependent
+// and free of heavyweight predicates, i.e. whether it lies in the
+// fragment for which Theorem 2 makes winner determination a
+// maximum-weight bipartite matching.
+func OneDependent(e Expr) bool {
+	d := Analyze(e)
+	return len(d.Others) == 0 && !d.Heavy
+}
+
+// Above constructs the Theorem 3 event E_{i>i'}: the bidding
+// advertiser gets some slot and is placed above advertiser other, who
+// may or may not get a slot. Slots are numbered so that smaller j is
+// higher on the page. k is the number of slots.
+//
+//	E = ∨_j ( Slot_j ∧ ( (∨_{j'>j} AdvSlot(other,j')) ∨ ∧_{j'} ¬AdvSlot(other,j') ) )
+func Above(other string, k int) Expr {
+	var whole Expr
+	for j := 1; j <= k; j++ {
+		// other strictly below slot j, or other unplaced.
+		var below Expr = otherUnplaced(other, k)
+		for jp := j + 1; jp <= k; jp++ {
+			below = Or{below, AdvSlot{other, jp}}
+		}
+		term := And{Slot{j}, below}
+		if whole == nil {
+			whole = term
+		} else {
+			whole = Or{whole, term}
+		}
+	}
+	if whole == nil {
+		return Const(false)
+	}
+	return whole
+}
+
+// otherUnplaced builds ∧_j ¬AdvSlot(other, j).
+func otherUnplaced(other string, k int) Expr {
+	var e Expr = Not{AdvSlot{other, 1}}
+	for j := 2; j <= k; j++ {
+		e = And{e, Not{AdvSlot{other, j}}}
+	}
+	return e
+}
+
+// Unplaced is the event that the bidding advertiser received no slot:
+// ∧_j ¬Slot_j over k slots, represented directly.
+type Unplaced struct{}
+
+// Eval implements Expr.
+func (Unplaced) Eval(o Outcome) bool { return o.Slot == 0 }
+
+// String implements Expr.
+func (Unplaced) String() string { return "Unplaced" }
+
+func (Unplaced) appendDeps(set map[string]bool, _ *bool) { set[selfLabel] = true }
+
+// SlotIn constructs Slot_{js[0]} ∨ … ∨ Slot_{js[len-1]}, a common
+// multi-feature bid shape ("top or bottom slot", Section I-A).
+func SlotIn(js ...int) Expr {
+	if len(js) == 0 {
+		return Const(false)
+	}
+	var e Expr = Slot{js[0]}
+	for _, j := range js[1:] {
+		e = Or{e, Slot{j}}
+	}
+	return e
+}
+
+// Canonical returns a canonical string for use as a map key. Two
+// formulas that print identically are structurally identical, so
+// String already serves; Canonical exists to make that contract
+// explicit at call sites.
+func Canonical(e Expr) string { return e.String() }
+
+// MustParse parses src and panics on error. For tests and literals.
+func MustParse(src string) Expr {
+	e, err := Parse(src)
+	if err != nil {
+		panic(fmt.Sprintf("formula.MustParse(%q): %v", src, err))
+	}
+	return e
+}
+
+// normalizeSpace collapses runs of whitespace; used by the parser's
+// error reporting.
+func normalizeSpace(s string) string { return strings.Join(strings.Fields(s), " ") }

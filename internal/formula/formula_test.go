@@ -1,0 +1,321 @@
+package formula
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseBasics(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"Click", "Click"},
+		{"Purchase", "Purchase"},
+		{"Slot1", "Slot1"},
+		{"slot12", "Slot12"},
+		{"Heavy3", "Heavy3"},
+		{"TRUE", "TRUE"},
+		{"false", "FALSE"},
+		{"Click AND Slot1", "Click AND Slot1"},
+		{"Click ∧ Slot1", "Click AND Slot1"},
+		{"Click & Slot1", "Click AND Slot1"},
+		{"Click && Slot1", "Click AND Slot1"},
+		{"Slot1 ∨ Slot2", "Slot1 OR Slot2"},
+		{"Slot1 || Slot2", "Slot1 OR Slot2"},
+		{"NOT Click", "NOT Click"},
+		{"¬Click", "NOT Click"},
+		{"!Click", "NOT Click"},
+		{"Click AND (Slot1 OR Slot2)", "Click AND (Slot1 OR Slot2)"},
+		{"NOT (Click AND Slot1)", "NOT (Click AND Slot1)"},
+		{"Unplaced", "Unplaced"},
+		{"Adv(nike)@2", "Adv(nike)@2"},
+		{"Purchase AND Click AND Slot1", "Purchase AND Click AND Slot1"},
+	}
+	for _, c := range cases {
+		e, err := Parse(c.src)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.src, err)
+			continue
+		}
+		if got := e.String(); got != c.want {
+			t.Errorf("Parse(%q).String() = %q, want %q", c.src, got, c.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"", "AND", "Click AND", "Slot0", "Slot", "Heavy0",
+		"(Click", "Click)", "Click OR OR Slot1", "Adv(", "Adv(x)@0", "Adv(x)",
+		"Click Slot1",
+	}
+	for _, src := range bad {
+		if e, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded with %v, want error", src, e)
+		}
+	}
+}
+
+func TestPrecedence(t *testing.T) {
+	// NOT > AND > OR.
+	e := MustParse("NOT Click AND Slot1 OR Purchase")
+	// Parsed as ((NOT Click) AND Slot1) OR Purchase.
+	o := Outcome{Clicked: true, Purchased: true}
+	if !e.Eval(o) {
+		t.Fatalf("expected Purchase branch to satisfy %s", e)
+	}
+	o = Outcome{Clicked: true, Slot: 1}
+	if e.Eval(o) {
+		t.Fatalf("Clicked should defeat NOT Click AND Slot1 in %s", e)
+	}
+	o = Outcome{Slot: 1}
+	if !e.Eval(o) {
+		t.Fatalf("unclicked slot 1 should satisfy %s", e)
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 500; trial++ {
+		e := randomExpr(rng, 4)
+		s := e.String()
+		back, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(String(%v)) = error %v", s, err)
+		}
+		if back.String() != s {
+			t.Fatalf("round trip changed %q to %q", s, back.String())
+		}
+		// Semantics preserved across random outcomes.
+		for i := 0; i < 20; i++ {
+			o := randomOutcome(rng)
+			if e.Eval(o) != back.Eval(o) {
+				t.Fatalf("round trip changed semantics of %q on %+v", s, o)
+			}
+		}
+	}
+}
+
+func TestEvalPredicates(t *testing.T) {
+	o := Outcome{Slot: 2, Clicked: true, Purchased: false, HeavySlots: 0b101,
+		OtherSlots: map[string]int{"nike": 1}}
+	checks := []struct {
+		src  string
+		want bool
+	}{
+		{"Slot2", true},
+		{"Slot1", false},
+		{"Click", true},
+		{"Purchase", false},
+		{"Heavy1", true},
+		{"Heavy2", false},
+		{"Heavy3", true},
+		{"Unplaced", false},
+		{"Adv(nike)@1", true},
+		{"Adv(nike)@2", false},
+		{"Adv(ghost)@1", false},
+		{"Click AND NOT Purchase", true},
+		{"Slot1 OR Slot2", true},
+	}
+	for _, c := range checks {
+		if got := MustParse(c.src).Eval(o); got != c.want {
+			t.Errorf("%s on %+v = %v, want %v", c.src, o, got, c.want)
+		}
+	}
+}
+
+func TestDeMorganProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomExpr(r, 3), randomExpr(r, 3)
+		lhs := Not{And{a, b}}
+		rhs := Or{Not{a}, Not{b}}
+		for i := 0; i < 30; i++ {
+			o := randomOutcome(rng)
+			if lhs.Eval(o) != rhs.Eval(o) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDependenceAnalysis(t *testing.T) {
+	cases := []struct {
+		src   string
+		m     int
+		one   bool
+		heavy bool
+	}{
+		{"TRUE", 0, true, false},
+		{"Click", 1, true, false},
+		{"Purchase AND Slot1", 1, true, false},
+		{"Slot1 OR Slot15", 1, true, false},
+		{"Click AND Adv(nike)@1", 2, false, false},
+		{"Adv(nike)@1 AND Adv(adidas)@2", 2, false, false},
+		{"Heavy1", 0, false, true},
+		{"Slot2 AND NOT Heavy1", 1, false, true},
+	}
+	for _, c := range cases {
+		e := MustParse(c.src)
+		if m := MDependence(e); m != c.m {
+			t.Errorf("MDependence(%s) = %d, want %d", c.src, m, c.m)
+		}
+		if one := OneDependent(e); one != c.one {
+			t.Errorf("OneDependent(%s) = %v, want %v", c.src, one, c.one)
+		}
+		if h := Analyze(e).Heavy; h != c.heavy {
+			t.Errorf("Analyze(%s).Heavy = %v, want %v", c.src, h, c.heavy)
+		}
+	}
+}
+
+// TestAboveEvent checks the Theorem 3 construction E_{i>i'} against a
+// direct definition on all slot configurations.
+func TestAboveEvent(t *testing.T) {
+	const k = 4
+	e := Above("rival", k)
+	if MDependence(e) != 2 {
+		t.Fatalf("Above must be 2-dependent, got %d", MDependence(e))
+	}
+	for mySlot := 0; mySlot <= k; mySlot++ {
+		for rivalSlot := 0; rivalSlot <= k; rivalSlot++ {
+			if mySlot == rivalSlot && mySlot != 0 {
+				continue // impossible: one slot per advertiser
+			}
+			o := Outcome{Slot: mySlot, OtherSlots: map[string]int{}}
+			if rivalSlot > 0 {
+				o.OtherSlots["rival"] = rivalSlot
+			}
+			want := mySlot != 0 && (rivalSlot == 0 || rivalSlot > mySlot)
+			if got := e.Eval(o); got != want {
+				t.Errorf("Above: my=%d rival=%d got %v want %v", mySlot, rivalSlot, got, want)
+			}
+		}
+	}
+}
+
+func TestBidsPaymentFig3(t *testing.T) {
+	// Figure 3: pay 5 for Purchase, 2 for Slot1 ∨ Slot2 — the text
+	// notes the advertiser pays 7 when both hold.
+	bids := Bids{
+		{MustParse("Purchase"), 5},
+		{MustParse("Slot1 OR Slot2"), 2},
+	}
+	cases := []struct {
+		o    Outcome
+		want float64
+	}{
+		{Outcome{Slot: 1, Clicked: true, Purchased: true}, 7},
+		{Outcome{Slot: 2, Clicked: true, Purchased: false}, 2},
+		{Outcome{Slot: 3, Clicked: true, Purchased: true}, 5},
+		{Outcome{Slot: 3, Clicked: false}, 0},
+		{Outcome{}, 0},
+	}
+	for _, c := range cases {
+		if got := bids.Payment(c.o); got != c.want {
+			t.Errorf("payment in %+v = %g, want %g", c.o, got, c.want)
+		}
+	}
+	if !bids.OneDependent() {
+		t.Error("Figure 3 bids should be 1-dependent")
+	}
+}
+
+func TestBidsMaxDependence(t *testing.T) {
+	bids := Bids{
+		{MustParse("Click"), 3},
+		{Above("rival", 3), 10},
+	}
+	if bids.OneDependent() {
+		t.Error("table with an Above bid must not be 1-dependent")
+	}
+	m, heavy := bids.MaxDependence()
+	if m != 2 || heavy {
+		t.Errorf("MaxDependence = (%d, %v), want (2, false)", m, heavy)
+	}
+}
+
+func TestParseBids(t *testing.T) {
+	src := `
+# purchase bid
+Purchase : 5
+Slot1 OR Slot2 : 2.5
+
+Click AND Slot1 : 4
+`
+	bids, err := ParseBids(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bids) != 3 {
+		t.Fatalf("got %d bids, want 3", len(bids))
+	}
+	if bids[1].Value != 2.5 || bids[1].F.String() != "Slot1 OR Slot2" {
+		t.Errorf("bad second bid: %v %g", bids[1].F, bids[1].Value)
+	}
+	if _, err := ParseBids("Click 5"); err == nil {
+		t.Error("missing colon should fail")
+	}
+	if _, err := ParseBids("Click : x"); err == nil {
+		t.Error("bad value should fail")
+	}
+}
+
+func TestSlotIn(t *testing.T) {
+	e := SlotIn(1, 3)
+	for slot, want := range map[int]bool{1: true, 2: false, 3: true, 0: false} {
+		if got := e.Eval(Outcome{Slot: slot}); got != want {
+			t.Errorf("SlotIn(1,3) at slot %d = %v, want %v", slot, got, want)
+		}
+	}
+	if SlotIn().Eval(Outcome{Slot: 1}) {
+		t.Error("empty SlotIn must be FALSE")
+	}
+}
+
+// randomExpr builds a random formula of bounded depth.
+func randomExpr(rng *rand.Rand, depth int) Expr {
+	if depth == 0 || rng.Intn(3) == 0 {
+		switch rng.Intn(6) {
+		case 0:
+			return Click{}
+		case 1:
+			return Purchase{}
+		case 2:
+			return Slot{1 + rng.Intn(4)}
+		case 3:
+			return Heavy{1 + rng.Intn(4)}
+		case 4:
+			return Const(rng.Intn(2) == 0)
+		default:
+			return Unplaced{}
+		}
+	}
+	switch rng.Intn(3) {
+	case 0:
+		return Not{randomExpr(rng, depth-1)}
+	case 1:
+		return And{randomExpr(rng, depth-1), randomExpr(rng, depth-1)}
+	default:
+		return Or{randomExpr(rng, depth-1), randomExpr(rng, depth-1)}
+	}
+}
+
+func randomOutcome(rng *rand.Rand) Outcome {
+	o := Outcome{
+		Slot:       rng.Intn(5), // 0..4
+		Clicked:    rng.Intn(2) == 0,
+		HeavySlots: uint64(rng.Intn(16)),
+	}
+	if o.Clicked {
+		o.Purchased = rng.Intn(2) == 0
+	}
+	return o
+}

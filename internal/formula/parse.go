@@ -1,0 +1,236 @@
+package formula
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Parse parses a bid formula in the package's concrete syntax.
+//
+// Grammar (standard precedence: NOT binds tightest, then AND, then OR):
+//
+//	orExpr   := andExpr { ("OR" | "∨" | "|" | "||") andExpr }
+//	andExpr  := notExpr { ("AND" | "∧" | "&" | "&&") notExpr }
+//	notExpr  := ("NOT" | "¬" | "!") notExpr | atom
+//	atom     := "(" orExpr ")" | predicate | "TRUE" | "FALSE"
+//	predicate := "Click" | "Purchase" | "Unplaced"
+//	           | "Slot" digits | "Heavy" digits
+//	           | "Adv" "(" label ")" "@" digits
+//
+// Keywords are case-insensitive; SlotJ and HeavyJ require J ≥ 1.
+func Parse(src string) (Expr, error) {
+	p := &parser{toks: lex(src), src: src}
+	e, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.eof() {
+		return nil, fmt.Errorf("formula: trailing input %q in %q", p.peek().text, normalizeSpace(src))
+	}
+	return e, nil
+}
+
+type token struct {
+	text string
+	pos  int
+}
+
+// lex splits src into tokens: identifiers (letters+digits), single
+// symbolic operators, and parentheses. Unicode connectives are mapped
+// to their ASCII keywords.
+func lex(src string) []token {
+	var toks []token
+	rs := []rune(src)
+	i := 0
+	for i < len(rs) {
+		r := rs[i]
+		switch {
+		case unicode.IsSpace(r):
+			i++
+		case r == '(' || r == ')' || r == '@':
+			toks = append(toks, token{string(r), i})
+			i++
+		case r == '∧':
+			toks = append(toks, token{"AND", i})
+			i++
+		case r == '∨':
+			toks = append(toks, token{"OR", i})
+			i++
+		case r == '¬' || r == '!':
+			toks = append(toks, token{"NOT", i})
+			i++
+		case r == '&':
+			toks = append(toks, token{"AND", i})
+			i++
+			if i < len(rs) && rs[i] == '&' {
+				i++
+			}
+		case r == '|':
+			toks = append(toks, token{"OR", i})
+			i++
+			if i < len(rs) && rs[i] == '|' {
+				i++
+			}
+		case unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_':
+			j := i
+			for j < len(rs) && (unicode.IsLetter(rs[j]) || unicode.IsDigit(rs[j]) || rs[j] == '_' || rs[j] == '-') {
+				j++
+			}
+			toks = append(toks, token{string(rs[i:j]), i})
+			i = j
+		default:
+			toks = append(toks, token{string(r), i})
+			i++
+		}
+	}
+	return toks
+}
+
+type parser struct {
+	toks []token
+	i    int
+	src  string
+}
+
+func (p *parser) eof() bool { return p.i >= len(p.toks) }
+
+func (p *parser) peek() token {
+	if p.eof() {
+		return token{"", len(p.src)}
+	}
+	return p.toks[p.i]
+}
+
+func (p *parser) next() token {
+	t := p.peek()
+	p.i++
+	return t
+}
+
+// accept consumes the next token if it case-insensitively equals text.
+func (p *parser) accept(text string) bool {
+	if !p.eof() && strings.EqualFold(p.toks[p.i].text, text) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseOr() (Expr, error) {
+	e, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept("OR") {
+		rhs, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		e = Or{e, rhs}
+	}
+	return e, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	e, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept("AND") {
+		rhs, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		e = And{e, rhs}
+	}
+	return e, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.accept("NOT") {
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return Not{e}, nil
+	}
+	return p.parseAtom()
+}
+
+func (p *parser) parseAtom() (Expr, error) {
+	if p.eof() {
+		return nil, fmt.Errorf("formula: unexpected end of input in %q", normalizeSpace(p.src))
+	}
+	if p.accept("(") {
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if !p.accept(")") {
+			return nil, fmt.Errorf("formula: missing ')' at offset %d in %q", p.peek().pos, normalizeSpace(p.src))
+		}
+		return e, nil
+	}
+	t := p.next()
+	lower := strings.ToLower(t.text)
+	switch lower {
+	case "click":
+		return Click{}, nil
+	case "purchase":
+		return Purchase{}, nil
+	case "unplaced":
+		return Unplaced{}, nil
+	case "true":
+		return Const(true), nil
+	case "false":
+		return Const(false), nil
+	case "adv":
+		return p.parseAdvSlot(t)
+	}
+	if j, ok := suffixIndex(lower, "slot"); ok {
+		return Slot{j}, nil
+	}
+	if j, ok := suffixIndex(lower, "heavy"); ok {
+		return Heavy{j}, nil
+	}
+	return nil, fmt.Errorf("formula: unexpected token %q at offset %d in %q", t.text, t.pos, normalizeSpace(p.src))
+}
+
+// parseAdvSlot parses the remainder of Adv(label)@j after the Adv
+// keyword has been consumed.
+func (p *parser) parseAdvSlot(kw token) (Expr, error) {
+	if !p.accept("(") {
+		return nil, fmt.Errorf("formula: expected '(' after Adv at offset %d", kw.pos)
+	}
+	label := p.next()
+	if label.text == "" || label.text == ")" {
+		return nil, fmt.Errorf("formula: expected advertiser label after Adv( at offset %d", kw.pos)
+	}
+	if !p.accept(")") {
+		return nil, fmt.Errorf("formula: missing ')' after Adv(%s at offset %d", label.text, kw.pos)
+	}
+	if !p.accept("@") {
+		return nil, fmt.Errorf("formula: expected '@slot' after Adv(%s) at offset %d", label.text, kw.pos)
+	}
+	jt := p.next()
+	j, err := strconv.Atoi(jt.text)
+	if err != nil || j < 1 {
+		return nil, fmt.Errorf("formula: bad slot index %q after Adv(%s)@ at offset %d", jt.text, label.text, jt.pos)
+	}
+	return AdvSlot{label.text, j}, nil
+}
+
+// suffixIndex matches tokens of the form <kw><digits> with digits ≥ 1,
+// e.g. slot3, heavy12.
+func suffixIndex(lower, kw string) (int, bool) {
+	if !strings.HasPrefix(lower, kw) || len(lower) == len(kw) {
+		return 0, false
+	}
+	j, err := strconv.Atoi(lower[len(kw):])
+	if err != nil || j < 1 {
+		return 0, false
+	}
+	return j, true
+}

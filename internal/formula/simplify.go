@@ -1,0 +1,141 @@
+package formula
+
+// Simplify rewrites a formula into an equivalent, typically smaller
+// one: negation-normal form with constant folding and local
+// absorption. Bidding programs assemble formulas mechanically (the
+// truth-table compression, strategy templates), so the engine
+// benefits from cheap normalization before repeated evaluation.
+//
+// Guarantees: the result evaluates identically on every Outcome, and
+// Simplify is idempotent on its own output for the rewrite set below.
+func Simplify(e Expr) Expr {
+	return fold(nnf(e, false))
+}
+
+// nnf pushes negations down to literals (De Morgan), tracking the
+// current polarity.
+func nnf(e Expr, negate bool) Expr {
+	switch e := e.(type) {
+	case Not:
+		return nnf(e.X, !negate)
+	case And:
+		if negate {
+			return Or{nnf(e.X, true), nnf(e.Y, true)}
+		}
+		return And{nnf(e.X, false), nnf(e.Y, false)}
+	case Or:
+		if negate {
+			return And{nnf(e.X, true), nnf(e.Y, true)}
+		}
+		return Or{nnf(e.X, false), nnf(e.Y, false)}
+	case Const:
+		return Const(bool(e) != negate)
+	default:
+		if negate {
+			return Not{e}
+		}
+		return e
+	}
+}
+
+// fold applies bottom-up constant folding and local identities:
+// x∧TRUE=x, x∧FALSE=FALSE, x∨TRUE=TRUE, x∨FALSE=x, x∧x=x, x∨x=x,
+// x∧¬x=FALSE, x∨¬x=TRUE (syntactic x).
+func fold(e Expr) Expr {
+	switch e := e.(type) {
+	case And:
+		x, y := fold(e.X), fold(e.Y)
+		if c, ok := x.(Const); ok {
+			if bool(c) {
+				return y
+			}
+			return Const(false)
+		}
+		if c, ok := y.(Const); ok {
+			if bool(c) {
+				return x
+			}
+			return Const(false)
+		}
+		if x.String() == y.String() {
+			return x
+		}
+		if complementary(x, y) {
+			return Const(false)
+		}
+		return And{x, y}
+	case Or:
+		x, y := fold(e.X), fold(e.Y)
+		if c, ok := x.(Const); ok {
+			if bool(c) {
+				return Const(true)
+			}
+			return y
+		}
+		if c, ok := y.(Const); ok {
+			if bool(c) {
+				return Const(true)
+			}
+			return x
+		}
+		if x.String() == y.String() {
+			return x
+		}
+		if complementary(x, y) {
+			return Const(true)
+		}
+		return Or{x, y}
+	case Not:
+		x := fold(e.X)
+		if c, ok := x.(Const); ok {
+			return Const(!bool(c))
+		}
+		if n, ok := x.(Not); ok {
+			return n.X
+		}
+		return Not{x}
+	default:
+		return e
+	}
+}
+
+// complementary reports x == ¬y or ¬x == y syntactically.
+func complementary(x, y Expr) bool {
+	if n, ok := x.(Not); ok && n.X.String() == y.String() {
+		return true
+	}
+	if n, ok := y.(Not); ok && n.X.String() == x.String() {
+		return true
+	}
+	return false
+}
+
+// SimplifyBids normalizes every formula in a Bids table and merges
+// rows whose normalized formulas coincide (summing values, preserving
+// OR-bid semantics), dropping rows that simplify to FALSE or to value
+// zero.
+func SimplifyBids(b Bids) Bids {
+	var out Bids
+	index := make(map[string]int)
+	for _, bid := range b {
+		f := Simplify(bid.F)
+		if c, ok := f.(Const); ok && !bool(c) {
+			continue
+		}
+		key := f.String()
+		if at, ok := index[key]; ok {
+			out[at].Value += bid.Value
+			continue
+		}
+		index[key] = len(out)
+		out = append(out, Bid{F: f, Value: bid.Value})
+	}
+	// Drop zero-value rows (possibly created by merging +v and −v).
+	kept := out[:0]
+	for _, bid := range out {
+		if bid.Value != 0 {
+			kept = append(kept, bid)
+		}
+	}
+	return kept
+}

@@ -1,0 +1,202 @@
+package formula
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSimplifyBasics(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"Click AND TRUE", "Click"},
+		{"Click AND FALSE", "FALSE"},
+		{"Click OR TRUE", "TRUE"},
+		{"Click OR FALSE", "Click"},
+		{"Click AND Click", "Click"},
+		{"Click OR Click", "Click"},
+		{"Click AND NOT Click", "FALSE"},
+		{"Click OR NOT Click", "TRUE"},
+		{"NOT NOT Click", "Click"},
+		{"NOT (Click AND Slot1)", "NOT Click OR NOT Slot1"},
+		{"NOT (Click OR Slot1)", "NOT Click AND NOT Slot1"},
+		{"NOT TRUE", "FALSE"},
+		{"NOT (Click AND TRUE)", "NOT Click"},
+		{"(Click AND TRUE) OR (Slot1 AND FALSE)", "Click"},
+	}
+	for _, c := range cases {
+		got := Simplify(MustParse(c.in)).String()
+		if got != c.want {
+			t.Errorf("Simplify(%s) = %s, want %s", c.in, got, c.want)
+		}
+	}
+}
+
+// TestSimplifyPreservesSemantics: the rewrite never changes the
+// evaluation on any outcome.
+func TestSimplifyPreservesSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(301))
+	for trial := 0; trial < 1000; trial++ {
+		e := randomExpr(rng, 5)
+		s := Simplify(e)
+		for probe := 0; probe < 25; probe++ {
+			o := randomOutcome(rng)
+			if e.Eval(o) != s.Eval(o) {
+				t.Fatalf("Simplify changed semantics:\n  in:  %s\n  out: %s\n  on %+v",
+					e, s, o)
+			}
+		}
+	}
+}
+
+// TestSimplifyIdempotent: simplifying twice is a no-op.
+func TestSimplifyIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := randomExpr(rng, 4)
+		once := Simplify(e)
+		return Simplify(once).String() == once.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSimplifyBoundedGrowth: negation normal form can duplicate NOT
+// nodes (De Morgan), but never more than doubles the formula.
+func TestSimplifyBoundedGrowth(t *testing.T) {
+	rng := rand.New(rand.NewSource(307))
+	for trial := 0; trial < 500; trial++ {
+		e := randomExpr(rng, 5)
+		if got, in := nodeCount(Simplify(e)), nodeCount(e); got > 2*in {
+			t.Fatalf("Simplify grew %s (%d nodes) to %s (%d nodes)", e, in, Simplify(e), got)
+		}
+	}
+}
+
+func nodeCount(e Expr) int {
+	switch e := e.(type) {
+	case Not:
+		return 1 + nodeCount(e.X)
+	case And:
+		return 1 + nodeCount(e.X) + nodeCount(e.Y)
+	case Or:
+		return 1 + nodeCount(e.X) + nodeCount(e.Y)
+	default:
+		return 1
+	}
+}
+
+func TestSimplifyBids(t *testing.T) {
+	b := Bids{
+		{MustParse("Click AND TRUE"), 3},
+		{MustParse("Click"), 2},           // merges with the row above
+		{MustParse("Slot1 AND FALSE"), 9}, // drops
+		{MustParse("Purchase"), 5},
+		{MustParse("Purchase"), -5}, // cancels to zero and drops
+	}
+	out := SimplifyBids(b)
+	if len(out) != 1 {
+		t.Fatalf("SimplifyBids -> %v, want a single merged Click row", out)
+	}
+	if out[0].F.String() != "Click" || out[0].Value != 5 {
+		t.Fatalf("merged row %v %g", out[0].F, out[0].Value)
+	}
+}
+
+// TestSimplifyBidsPaymentEquivalent: compression never changes what
+// an advertiser owes.
+func TestSimplifyBidsPaymentEquivalent(t *testing.T) {
+	rng := rand.New(rand.NewSource(311))
+	for trial := 0; trial < 300; trial++ {
+		var b Bids
+		for i := 0; i < 1+rng.Intn(5); i++ {
+			b = append(b, Bid{F: randomExpr(rng, 3), Value: float64(rng.Intn(10))})
+		}
+		s := SimplifyBids(b)
+		for probe := 0; probe < 20; probe++ {
+			o := randomOutcome(rng)
+			if b.Payment(o) != s.Payment(o) {
+				t.Fatalf("payment changed: %v -> %v on %+v", b, s, o)
+			}
+		}
+	}
+}
+
+func TestTruthTableBidsEquivalent(t *testing.T) {
+	rng := rand.New(rand.NewSource(313))
+	for trial := 0; trial < 100; trial++ {
+		k := 1 + rng.Intn(4)
+		tt := NewTruthTable(k)
+		for slot := 0; slot <= k; slot++ {
+			for _, cp := range reachable(slot) {
+				if rng.Intn(2) == 0 {
+					if err := tt.Set(slot, cp[0], cp[1], float64(rng.Intn(9))); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		}
+		bids := tt.Bids()
+		// Every reachable outcome pays identically.
+		for slot := 0; slot <= k; slot++ {
+			for _, cp := range reachable(slot) {
+				o := Outcome{Slot: slot, Clicked: cp[0], Purchased: cp[1]}
+				if got, want := bids.Payment(o), tt.Payment(o); got != want {
+					t.Fatalf("k=%d outcome %+v: bids pay %g, table says %g", k, o, got, want)
+				}
+			}
+		}
+		if !bids.OneDependent() {
+			t.Fatal("truth-table bids must be 1-dependent")
+		}
+	}
+}
+
+func TestTruthTableSetValidation(t *testing.T) {
+	tt := NewTruthTable(2)
+	if err := tt.Set(3, false, false, 1); err == nil {
+		t.Fatal("slot out of range accepted")
+	}
+	if err := tt.Set(1, false, true, 1); err == nil {
+		t.Fatal("purchase without click accepted")
+	}
+	if err := tt.Set(0, true, false, 1); err == nil {
+		t.Fatal("click without slot accepted")
+	}
+}
+
+// TestFig2Shape reproduces the paper's Figure 2 rows: value 7 for
+// (Purchase, Click, Slot1), 2 for (Click, Slot1, no purchase), 5 for
+// (Purchase, Click, Slot3), 0 for (Click, Slot3, no purchase) — which
+// is exactly the Figure 3 OR-bid {Purchase: 5, Slot1∨Slot2: 2}.
+func TestFig2Shape(t *testing.T) {
+	tt := NewTruthTable(3)
+	check := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	check(tt.Set(1, true, true, 7))
+	check(tt.Set(1, true, false, 2))
+	check(tt.Set(1, false, false, 2))
+	check(tt.Set(2, true, true, 7))
+	check(tt.Set(2, true, false, 2))
+	check(tt.Set(2, false, false, 2))
+	check(tt.Set(3, true, true, 5))
+	check(tt.Set(0, false, false, 0))
+
+	fig3 := Bids{
+		{MustParse("Purchase"), 5},
+		{MustParse("Slot1 OR Slot2"), 2},
+	}
+	for slot := 0; slot <= 3; slot++ {
+		for _, cp := range reachable(slot) {
+			o := Outcome{Slot: slot, Clicked: cp[0], Purchased: cp[1]}
+			if tt.Payment(o) != fig3.Payment(o) {
+				t.Fatalf("Figure 2 table and Figure 3 bids disagree on %+v: %g vs %g",
+					o, tt.Payment(o), fig3.Payment(o))
+			}
+		}
+	}
+}

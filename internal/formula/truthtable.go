@@ -1,0 +1,112 @@
+package formula
+
+import "fmt"
+
+// TruthTable is the paper's Figure 2 representation: an explicit
+// value for every truth assignment to the advertiser's predicates
+// (Purchase, Click, Slot_1 … Slot_k). Its size is exponential in the
+// number of predicates, which is why the paper compresses valuations
+// into OR-bids on formulas; this type exists to express the
+// conceptual model, convert it to a Bids table, and cross-check the
+// compression.
+type TruthTable struct {
+	// Slots is k, the number of slot predicates.
+	Slots int
+	// Value maps an assignment index to the advertiser's value for
+	// outcomes with that assignment. Indexing: bit 0 = Click, bit 1 =
+	// Purchase, and the slot number occupies the remaining bits
+	// (0 = unplaced, j = Slot_j); see Index.
+	Value map[int]float64
+}
+
+// NewTruthTable returns an empty table over k slots.
+func NewTruthTable(k int) *TruthTable {
+	return &TruthTable{Slots: k, Value: make(map[int]float64)}
+}
+
+// Index encodes an outcome for table lookup. Contradictory
+// assignments (a purchase without a click) do not arise from Outcome
+// values.
+func (t *TruthTable) Index(o Outcome) int {
+	idx := o.Slot << 2
+	if o.Clicked {
+		idx |= 1
+	}
+	if o.Purchased {
+		idx |= 2
+	}
+	return idx
+}
+
+// Set assigns a value to the outcome class (slot 0 = unplaced).
+func (t *TruthTable) Set(slot int, clicked, purchased bool, v float64) error {
+	if slot < 0 || slot > t.Slots {
+		return fmt.Errorf("formula: slot %d out of range [0,%d]", slot, t.Slots)
+	}
+	if purchased && !clicked {
+		return fmt.Errorf("formula: purchase without click is unreachable")
+	}
+	if clicked && slot == 0 {
+		return fmt.Errorf("formula: click without a slot is unreachable")
+	}
+	t.Value[t.Index(Outcome{Slot: slot, Clicked: clicked, Purchased: purchased})] = v
+	return nil
+}
+
+// Payment reads the advertiser's value for the outcome (0 when the
+// class was never Set).
+func (t *TruthTable) Payment(o Outcome) float64 {
+	return t.Value[t.Index(o)]
+}
+
+// Bids compresses the table into an equivalent Bids table: one row
+// per non-zero outcome class, whose formula is the minterm of the
+// class — the direct constructive reading of the paper's remark that
+// "conceptually, the advertiser associates a value with each truth
+// assignment" while the run-time system stores OR-bids. The result
+// pays exactly Payment(o) in every reachable outcome.
+func (t *TruthTable) Bids() Bids {
+	var out Bids
+	// Deterministic order: slot, then click, then purchase.
+	for slot := 0; slot <= t.Slots; slot++ {
+		for _, cp := range reachable(slot) {
+			o := Outcome{Slot: slot, Clicked: cp[0], Purchased: cp[1]}
+			v := t.Value[t.Index(o)]
+			if v == 0 {
+				continue
+			}
+			out = append(out, Bid{F: minterm(t.Slots, slot, cp[0], cp[1]), Value: v})
+		}
+	}
+	return out
+}
+
+// reachable lists the click/purchase combinations possible for a
+// placement: an unplaced ad is never clicked.
+func reachable(slot int) [][2]bool {
+	if slot == 0 {
+		return [][2]bool{{false, false}}
+	}
+	return [][2]bool{{false, false}, {true, false}, {true, true}}
+}
+
+// minterm builds the conjunction pinning exactly one outcome class.
+// Slot position: Slot_j for a placement, Unplaced for none. Click and
+// purchase are pinned with (possibly negated) literals; "no click"
+// needs no purchase literal (purchases imply clicks).
+func minterm(k, slot int, clicked, purchased bool) Expr {
+	var pos Expr
+	if slot == 0 {
+		pos = Unplaced{}
+	} else {
+		pos = Slot{J: slot}
+	}
+	switch {
+	case !clicked:
+		return And{pos, Not{Click{}}}
+	case clicked && !purchased:
+		return And{pos, And{Click{}, Not{Purchase{}}}}
+	default:
+		return And{pos, Purchase{}}
+	}
+}

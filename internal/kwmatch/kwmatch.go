@@ -1,0 +1,147 @@
+// Package kwmatch is the keyword-matching substrate Section IV takes
+// as given: "search providers use their proprietary keyword matching
+// algorithms to prune away advertisers who are not interested in the
+// search keywords for the current auction." This package provides an
+// open version: an inverted index from query tokens to the
+// advertisers whose registered keywords mention them, with a
+// relevance score per (advertiser, keyword) — the score that fills
+// the relevance column of each program's Keywords table (Figure 4's
+// boot 0.8 / shoe 0.2).
+//
+// Relevance of a registered keyword to a query is token overlap: the
+// fraction of the keyword's tokens appearing in the query. A query
+// for "red leather boot" gives keyword "leather boot" relevance 1 and
+// keyword "boot polish kit" relevance 1/3.
+package kwmatch
+
+import (
+	"sort"
+	"strings"
+	"unicode"
+)
+
+// Index maps query tokens to registered advertiser keywords.
+type Index struct {
+	// postings[token] lists registrations whose keyword contains the
+	// token.
+	postings map[string][]posting
+	// regs[advertiser] lists that advertiser's registrations, in
+	// registration order, for relevance reporting.
+	regs map[int][]Registration
+}
+
+type posting struct {
+	advertiser int
+	reg        int // index into regs[advertiser]
+}
+
+// Registration is one (advertiser, keyword) interest.
+type Registration struct {
+	Keyword string
+	tokens  []string
+}
+
+// New returns an empty index.
+func New() *Index {
+	return &Index{
+		postings: make(map[string][]posting),
+		regs:     make(map[int][]Registration),
+	}
+}
+
+// Tokenize lowercases and splits on any non-letter/non-digit rune,
+// dropping empty tokens and duplicates (order preserved).
+func Tokenize(s string) []string {
+	fields := strings.FieldsFunc(strings.ToLower(s), func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsDigit(r)
+	})
+	seen := make(map[string]bool, len(fields))
+	out := fields[:0]
+	for _, f := range fields {
+		if !seen[f] {
+			seen[f] = true
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Register records that the advertiser is interested in keyword.
+// Blank keywords (no tokens) are ignored.
+func (x *Index) Register(advertiser int, keyword string) {
+	tokens := Tokenize(keyword)
+	if len(tokens) == 0 {
+		return
+	}
+	reg := Registration{Keyword: keyword, tokens: tokens}
+	x.regs[advertiser] = append(x.regs[advertiser], reg)
+	idx := len(x.regs[advertiser]) - 1
+	for _, tok := range tokens {
+		x.postings[tok] = append(x.postings[tok], posting{advertiser, idx})
+	}
+}
+
+// Match is one scored (advertiser, keyword) hit for a query.
+type Match struct {
+	Advertiser int
+	Keyword    string
+	// Relevance is the fraction of the keyword's tokens found in the
+	// query, in (0, 1].
+	Relevance float64
+}
+
+// Query scores every registration sharing at least one token with
+// the query and returns hits sorted by descending relevance (ties:
+// ascending advertiser, then keyword). The advertisers appearing here
+// are exactly the set whose bidding programs need to run — everyone
+// else is pruned before program evaluation even starts.
+func (x *Index) Query(query string) []Match {
+	qTokens := Tokenize(query)
+	type key struct{ adv, reg int }
+	hits := make(map[key]int) // -> count of matched tokens
+	for _, t := range qTokens {
+		for _, p := range x.postings[t] {
+			hits[key{p.advertiser, p.reg}]++
+		}
+	}
+	out := make([]Match, 0, len(hits))
+	for k, count := range hits {
+		reg := x.regs[k.adv][k.reg]
+		out = append(out, Match{
+			Advertiser: k.adv,
+			Keyword:    reg.Keyword,
+			Relevance:  float64(count) / float64(len(reg.tokens)),
+		})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Relevance != out[b].Relevance {
+			return out[a].Relevance > out[b].Relevance
+		}
+		if out[a].Advertiser != out[b].Advertiser {
+			return out[a].Advertiser < out[b].Advertiser
+		}
+		return out[a].Keyword < out[b].Keyword
+	})
+	return out
+}
+
+// Interested returns the distinct advertisers with any hit for the
+// query, ascending — the pruned program-evaluation set.
+func (x *Index) Interested(query string) []int {
+	seen := make(map[int]bool)
+	for _, m := range x.Query(query) {
+		seen[m.Advertiser] = true
+	}
+	out := make([]int, 0, len(seen))
+	for adv := range seen {
+		out = append(out, adv)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Registrations returns the advertiser's registered keywords in
+// registration order.
+func (x *Index) Registrations(advertiser int) []Registration {
+	return x.regs[advertiser]
+}

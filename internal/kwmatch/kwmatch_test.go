@@ -1,0 +1,170 @@
+package kwmatch
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestTokenize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"Red Leather Boot", []string{"red", "leather", "boot"}},
+		{"boot, boot; BOOT", []string{"boot"}},
+		{"  ", nil},
+		{"size-9 boot", []string{"size", "9", "boot"}},
+		{"", nil},
+	}
+	for _, c := range cases {
+		got := Tokenize(c.in)
+		if len(got) == 0 && len(c.want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestQueryRelevance(t *testing.T) {
+	x := New()
+	x.Register(1, "leather boot")
+	x.Register(1, "boot polish kit")
+	x.Register(2, "running shoe")
+	x.Register(3, "boot")
+
+	got := x.Query("red leather boot")
+	// Expected: adv1 "leather boot" 1.0; adv3 "boot" 1.0;
+	// adv1 "boot polish kit" 1/3; adv2 none.
+	if len(got) != 3 {
+		t.Fatalf("got %d matches: %v", len(got), got)
+	}
+	if got[0].Relevance != 1 || got[1].Relevance != 1 {
+		t.Fatalf("top matches should have relevance 1: %v", got)
+	}
+	if got[0].Advertiser != 1 || got[1].Advertiser != 3 {
+		t.Fatalf("tie order should be by advertiser: %v", got)
+	}
+	if got[2].Advertiser != 1 || got[2].Keyword != "boot polish kit" {
+		t.Fatalf("partial match missing: %v", got)
+	}
+	if diff := got[2].Relevance - 1.0/3; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("partial relevance %g, want 1/3", got[2].Relevance)
+	}
+}
+
+func TestInterestedPrunes(t *testing.T) {
+	x := New()
+	x.Register(0, "guitar strings")
+	x.Register(1, "piano tuner")
+	x.Register(2, "guitar amp")
+	x.Register(3, "sheet music")
+	got := x.Interested("cheap guitar")
+	want := []int{0, 2}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Interested = %v, want %v", got, want)
+	}
+	if hits := x.Interested("vacuum cleaner"); len(hits) != 0 {
+		t.Fatalf("unrelated query matched %v", hits)
+	}
+}
+
+func TestFig4Relevances(t *testing.T) {
+	// The Figure 4 flavor: an advertiser interested in "boot" and
+	// "shoe"; a boot-heavy query should score boot fully and shoe not
+	// at all (binary single-token keywords).
+	x := New()
+	x.Register(7, "boot")
+	x.Register(7, "shoe")
+	got := x.Query("winter boot sale")
+	if len(got) != 1 || got[0].Keyword != "boot" || got[0].Relevance != 1 {
+		t.Fatalf("query should hit only 'boot' fully: %v", got)
+	}
+}
+
+func TestBlankRegistrationIgnored(t *testing.T) {
+	x := New()
+	x.Register(1, "   ")
+	if regs := x.Registrations(1); len(regs) != 0 {
+		t.Fatalf("blank keyword registered: %v", regs)
+	}
+}
+
+// TestQueryAgainstNaiveScan cross-checks the inverted index against a
+// direct scan over random registrations.
+func TestQueryAgainstNaiveScan(t *testing.T) {
+	vocab := []string{"boot", "shoe", "red", "blue", "kit", "sale", "run", "walk"}
+	rng := rand.New(rand.NewSource(601))
+	for trial := 0; trial < 100; trial++ {
+		x := New()
+		type reg struct {
+			adv int
+			kw  string
+		}
+		var regs []reg
+		for adv := 0; adv < 10; adv++ {
+			for r := 0; r < 1+rng.Intn(3); r++ {
+				nw := 1 + rng.Intn(3)
+				words := make([]string, nw)
+				for i := range words {
+					words[i] = vocab[rng.Intn(len(vocab))]
+				}
+				kw := strings.Join(words, " ")
+				x.Register(adv, kw)
+				regs = append(regs, reg{adv, kw})
+			}
+		}
+		qWords := make([]string, 1+rng.Intn(4))
+		for i := range qWords {
+			qWords[i] = vocab[rng.Intn(len(vocab))]
+		}
+		query := strings.Join(qWords, " ")
+
+		// Naive relevance per registration.
+		qSet := map[string]bool{}
+		for _, tkn := range Tokenize(query) {
+			qSet[tkn] = true
+		}
+		type hit struct {
+			adv int
+			kw  string
+			rel float64
+		}
+		var want []hit
+		for _, r := range regs {
+			toks := Tokenize(r.kw)
+			matched := 0
+			for _, tkn := range toks {
+				if qSet[tkn] {
+					matched++
+				}
+			}
+			if matched > 0 {
+				want = append(want, hit{r.adv, r.kw, float64(matched) / float64(len(toks))})
+			}
+		}
+		got := x.Query(query)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d hits, naive %d (query %q)", trial, len(got), len(want), query)
+		}
+		sort.Slice(want, func(a, b int) bool {
+			if want[a].rel != want[b].rel {
+				return want[a].rel > want[b].rel
+			}
+			if want[a].adv != want[b].adv {
+				return want[a].adv < want[b].adv
+			}
+			return want[a].kw < want[b].kw
+		})
+		for i := range want {
+			if got[i].Advertiser != want[i].adv || got[i].Keyword != want[i].kw ||
+				got[i].Relevance != want[i].rel {
+				t.Fatalf("trial %d hit %d: got %+v, want %+v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,205 @@
+// Package logical implements the "logical updates" machinery of
+// Section IV-B: when many bidding programs adjust their state by the
+// same operation (for example, every overspending ROI bidder
+// decrements its bid by one), the programs are kept in a list sorted
+// by their stored bid and the shared change is applied by bumping a
+// single adjustment variable in O(1), instead of touching every
+// program. Programs whose guard conditions will expire (bid reaching
+// zero or its maximum, spending rate crossing the target) are moved
+// between lists by triggers keyed on shared monotonic variables.
+package logical
+
+import (
+	"container/heap"
+
+	"repro/internal/oslist"
+	"repro/internal/topk"
+)
+
+// Group is a set of members whose effective value is
+// storedValue + Adj, with Adj shared by the whole group. Members are
+// kept sorted by stored value; because a shared adjustment moves all
+// effective values equally, the order never needs repair — this is
+// exactly the paper's decrement/increment/constant list.
+//
+// Member IDs live in a fixed universe [0, universe) and the stored
+// values are array-backed, so Effective — the hot random-access path
+// of the threshold algorithm — is one bounds check and one load.
+type Group struct {
+	adj     float64
+	list    *oslist.List
+	stored  []float64
+	present []bool
+	size    int
+}
+
+// NewGroup returns an empty group over member IDs in [0, universe).
+// seed perturbs the underlying treap.
+func NewGroup(seed uint64, universe int) *Group {
+	return &Group{
+		list:    oslist.New(seed),
+		stored:  make([]float64, universe),
+		present: make([]bool, universe),
+	}
+}
+
+// Adjust applies a logical update: every member's effective value
+// changes by delta in O(1).
+func (g *Group) Adjust(delta float64) { g.adj += delta }
+
+// Adjustment returns the group's accumulated adjustment.
+func (g *Group) Adjustment() float64 { return g.adj }
+
+// Insert adds member id with the given current effective value. The
+// id must lie in [0, universe) and must not already be a member.
+func (g *Group) Insert(id int, effective float64) {
+	stored := effective - g.adj
+	g.stored[id] = stored
+	g.present[id] = true
+	g.size++
+	g.list.Insert(oslist.Entry{ID: id, Score: stored})
+}
+
+// Remove deletes member id, returning its effective value at removal
+// time. ok is false if id is not a member.
+func (g *Group) Remove(id int) (effective float64, ok bool) {
+	if id < 0 || id >= len(g.present) || !g.present[id] {
+		return 0, false
+	}
+	stored := g.stored[id]
+	g.present[id] = false
+	g.size--
+	g.list.Delete(oslist.Entry{ID: id, Score: stored})
+	return stored + g.adj, true
+}
+
+// Effective returns member id's current effective value.
+func (g *Group) Effective(id int) (float64, bool) {
+	if id < 0 || id >= len(g.present) || !g.present[id] {
+		return 0, false
+	}
+	return g.stored[id] + g.adj, true
+}
+
+// Contains reports membership.
+func (g *Group) Contains(id int) bool {
+	return id >= 0 && id < len(g.present) && g.present[id]
+}
+
+// Len returns the number of members.
+func (g *Group) Len() int { return g.size }
+
+// Cursor iterates the group's members in descending effective order.
+func (g *Group) Cursor() *GroupCursor {
+	return &GroupCursor{group: g, cur: g.list.NewCursor()}
+}
+
+// GroupCursor yields (id, effective value) in descending order.
+type GroupCursor struct {
+	group *Group
+	cur   *oslist.Cursor
+}
+
+// Next returns the next member, or ok=false when exhausted.
+func (c *GroupCursor) Next() (id int, effective float64, ok bool) {
+	e, ok := c.cur.Next()
+	if !ok {
+		return 0, 0, false
+	}
+	return e.ID, e.Score + c.group.adj, true
+}
+
+// MergedSource provides sorted access by descending effective value
+// across several groups (a member belongs to exactly one group), as a
+// ta.Source: the threshold algorithm's bid list is the merge of the
+// increment, decrement, and constant lists for a keyword.
+type MergedSource struct {
+	groups  []*Group
+	cursors []*GroupCursor
+	merge   mergeHeap
+}
+
+// NewMergedSource builds a merged sorted view over the groups as they
+// stand now; mutations invalidate the source. Lookup resolves through
+// whichever group currently holds the member.
+func NewMergedSource(groups ...*Group) *MergedSource {
+	s := &MergedSource{groups: groups}
+	for _, g := range groups {
+		c := g.Cursor()
+		if id, eff, ok := c.Next(); ok {
+			s.merge = append(s.merge, mergeItem{id: id, eff: eff, cur: c})
+		}
+		s.cursors = append(s.cursors, c)
+	}
+	heap.Init(&s.merge)
+	return s
+}
+
+// Next implements ta.Source sorted access.
+func (s *MergedSource) Next() (int, float64, bool) {
+	if len(s.merge) == 0 {
+		return 0, 0, false
+	}
+	top := s.merge[0]
+	if id, eff, ok := top.cur.Next(); ok {
+		s.merge[0] = mergeItem{id: id, eff: eff, cur: top.cur}
+		heap.Fix(&s.merge, 0)
+	} else {
+		heap.Pop(&s.merge)
+	}
+	return top.id, top.eff, true
+}
+
+// Lookup implements ta.Source random access.
+func (s *MergedSource) Lookup(id int) float64 {
+	for _, g := range s.groups {
+		if eff, ok := g.Effective(id); ok {
+			return eff
+		}
+	}
+	return 0
+}
+
+type mergeItem struct {
+	id  int
+	eff float64
+	cur *GroupCursor
+}
+
+type mergeHeap []mergeItem
+
+func (h mergeHeap) Len() int { return len(h) }
+func (h mergeHeap) Less(a, b int) bool {
+	if h[a].eff != h[b].eff {
+		return h[a].eff > h[b].eff
+	}
+	return h[a].id < h[b].id
+}
+func (h mergeHeap) Swap(a, b int)       { h[a], h[b] = h[b], h[a] }
+func (h *mergeHeap) Push(x interface{}) { *h = append(*h, x.(mergeItem)) }
+func (h *mergeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// TopEffective returns the k members with the highest effective
+// values across the groups without running a full merge: it reads at
+// most k entries from each group. Useful when a plain top-k (rather
+// than full TA) over the merged lists is wanted.
+func TopEffective(k int, groups ...*Group) []topk.Item {
+	h := topk.NewHeap(k)
+	for _, g := range groups {
+		c := g.Cursor()
+		for taken := 0; taken < k; taken++ {
+			id, eff, ok := c.Next()
+			if !ok {
+				break
+			}
+			h.Offer(topk.Item{ID: id, Score: eff})
+		}
+	}
+	return h.Items()
+}

@@ -1,0 +1,250 @@
+package logical
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ta"
+	"repro/internal/topk"
+)
+
+func TestGroupAdjustEqualsExplicit(t *testing.T) {
+	// Model: explicit map of id -> value updated every step; group
+	// applies one logical adjustment per step. Values must agree.
+	rng := rand.New(rand.NewSource(51))
+	g := NewGroup(1, 100)
+	explicit := map[int]float64{}
+	for id := 0; id < 50; id++ {
+		v := rng.Float64() * 100
+		g.Insert(id, v)
+		explicit[id] = v
+	}
+	for step := 0; step < 200; step++ {
+		delta := float64(rng.Intn(5) - 2)
+		g.Adjust(delta)
+		for id := range explicit {
+			explicit[id] += delta
+		}
+		// Occasionally remove and re-insert a member (a "winner").
+		if step%7 == 0 {
+			id := rng.Intn(50)
+			eff, ok := g.Remove(id)
+			if !ok {
+				t.Fatalf("missing member %d", id)
+			}
+			if math.Abs(eff-explicit[id]) > 1e-9 {
+				t.Fatalf("step %d: removal saw %g, explicit %g", step, eff, explicit[id])
+			}
+			nv := rng.Float64() * 100
+			g.Insert(id, nv)
+			explicit[id] = nv
+		}
+	}
+	for id, want := range explicit {
+		got, ok := g.Effective(id)
+		if !ok || math.Abs(got-want) > 1e-9 {
+			t.Fatalf("id %d: group %g, explicit %g", id, got, want)
+		}
+	}
+}
+
+func TestGroupOrderPreservedUnderAdjust(t *testing.T) {
+	g := NewGroup(2, 10)
+	g.Insert(1, 10)
+	g.Insert(2, 20)
+	g.Adjust(-5)
+	g.Insert(3, 12) // effective 12, stored 17
+	c := g.Cursor()
+	var ids []int
+	for {
+		id, _, ok := c.Next()
+		if !ok {
+			break
+		}
+		ids = append(ids, id)
+	}
+	// Effective: 2→15, 3→12, 1→5.
+	want := []int{2, 3, 1}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("order %v, want %v", ids, want)
+		}
+	}
+}
+
+func TestMergedSourceSortedAccess(t *testing.T) {
+	inc, dec, con := NewGroup(3, 10), NewGroup(4, 10), NewGroup(5, 10)
+	inc.Insert(0, 9)
+	inc.Insert(1, 3)
+	dec.Insert(2, 7)
+	dec.Insert(3, 1)
+	con.Insert(4, 5)
+	src := NewMergedSource(inc, dec, con)
+	var got []float64
+	for {
+		_, v, ok := src.Next()
+		if !ok {
+			break
+		}
+		got = append(got, v)
+	}
+	want := []float64{9, 7, 5, 3, 1}
+	if len(got) != len(want) {
+		t.Fatalf("merged %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("merged %v, want %v", got, want)
+		}
+	}
+	if v := src.Lookup(2); v != 7 {
+		t.Fatalf("Lookup(2) = %g, want 7", v)
+	}
+	if v := src.Lookup(99); v != 0 {
+		t.Fatalf("Lookup(missing) = %g, want 0", v)
+	}
+}
+
+func TestMergedSourceAsTASource(t *testing.T) {
+	// A merged group source must behave as a valid ta.Source; check
+	// TA over (static attribute, merged bids) equals a naive scan.
+	rng := rand.New(rand.NewSource(61))
+	const n = 200
+	w := make([]float64, n)
+	bids := make([]float64, n)
+	inc, dec, con := NewGroup(6, 200), NewGroup(7, 200), NewGroup(8, 200)
+	groups := []*Group{inc, dec, con}
+	for i := 0; i < n; i++ {
+		w[i] = rng.Float64()
+		bids[i] = float64(rng.Intn(50))
+		groups[rng.Intn(3)].Insert(i, bids[i])
+	}
+	inc.Adjust(3)
+	dec.Adjust(-2)
+	for i := 0; i < n; i++ {
+		if eff, ok := inc.Effective(i); ok {
+			bids[i] = eff
+		}
+		if eff, ok := dec.Effective(i); ok {
+			bids[i] = eff
+		}
+	}
+
+	wItems := make([]topk.Item, n)
+	for i := range wItems {
+		wItems[i] = topk.Item{ID: i, Score: w[i]}
+	}
+	sortItems(wItems)
+	wSource := &ta.SliceSource{Items: wItems, Get: func(id int) float64 { return w[id] }}
+	bidSource := NewMergedSource(inc, dec, con)
+
+	f := func(v []float64) float64 { return v[0] * v[1] }
+	got, _ := ta.TopK(5, []ta.Source{wSource, bidSource}, f)
+
+	h := topk.NewHeap(5)
+	for i := 0; i < n; i++ {
+		h.Offer(topk.Item{ID: i, Score: w[i] * bids[i]})
+	}
+	want := h.Items()
+	for i := range want {
+		if math.Abs(got[i].Score-want[i].Score) > 1e-12 {
+			t.Fatalf("TA over merged source: got %v want %v", got, want)
+		}
+	}
+}
+
+func sortItems(items []topk.Item) {
+	for i := 1; i < len(items); i++ {
+		for j := i; j > 0; j-- {
+			a, b := items[j-1], items[j]
+			if a.Score > b.Score || (a.Score == b.Score && a.ID < b.ID) {
+				break
+			}
+			items[j-1], items[j] = b, a
+		}
+	}
+}
+
+func TestTopEffective(t *testing.T) {
+	a, b := NewGroup(9, 20), NewGroup(10, 20)
+	for i := 0; i < 10; i++ {
+		a.Insert(i, float64(i))
+	}
+	for i := 10; i < 20; i++ {
+		b.Insert(i, float64(i))
+	}
+	b.Adjust(-100) // all of b now far below a
+	got := TopEffective(3, a, b)
+	want := []int{9, 8, 7}
+	for i := range want {
+		if got[i].ID != want[i] {
+			t.Fatalf("TopEffective = %v, want IDs %v", got, want)
+		}
+	}
+}
+
+func TestTriggersFireInOrder(t *testing.T) {
+	var tr Triggers
+	var fired []int
+	tr.Add(5, nil, func() { fired = append(fired, 5) })
+	tr.Add(2, nil, func() { fired = append(fired, 2) })
+	tr.Add(8, nil, func() { fired = append(fired, 8) })
+	if n := tr.Advance(4); n != 1 || len(fired) != 1 || fired[0] != 2 {
+		t.Fatalf("Advance(4): n=%d fired=%v", n, fired)
+	}
+	if n := tr.Advance(10); n != 2 {
+		t.Fatalf("Advance(10): n=%d", n)
+	}
+	if fired[1] != 5 || fired[2] != 8 {
+		t.Fatalf("firing order %v", fired)
+	}
+}
+
+func TestTriggersStaleGeneration(t *testing.T) {
+	var tr Triggers
+	gen := 0
+	fired := 0
+	tr.Add(1, &gen, func() { fired++ })
+	tr.Add(2, &gen, func() { fired++ })
+	gen++ // both triggers now stale
+	if n := tr.Advance(10); n != 0 || fired != 0 {
+		t.Fatalf("stale triggers fired: n=%d fired=%d", n, fired)
+	}
+	tr.Add(3, &gen, func() { fired++ })
+	if n := tr.Advance(10); n != 1 || fired != 1 {
+		t.Fatalf("fresh trigger should fire: n=%d fired=%d", n, fired)
+	}
+}
+
+func TestTriggersCascade(t *testing.T) {
+	// A firing trigger registers another due trigger; it must fire in
+	// the same Advance.
+	var tr Triggers
+	var fired []string
+	tr.Add(1, nil, func() {
+		fired = append(fired, "first")
+		tr.Add(2, nil, func() { fired = append(fired, "second") })
+	})
+	if n := tr.Advance(5); n != 2 {
+		t.Fatalf("cascade: n=%d fired=%v", n, fired)
+	}
+	if len(fired) != 2 || fired[1] != "second" {
+		t.Fatalf("cascade order %v", fired)
+	}
+}
+
+func TestTriggersSameCriticalKeepInsertionOrder(t *testing.T) {
+	var tr Triggers
+	var fired []int
+	for i := 0; i < 5; i++ {
+		i := i
+		tr.Add(1, nil, func() { fired = append(fired, i) })
+	}
+	tr.Advance(1)
+	for i := range fired {
+		if fired[i] != i {
+			t.Fatalf("same-critical firing order %v", fired)
+		}
+	}
+}

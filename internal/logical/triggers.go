@@ -1,0 +1,85 @@
+package logical
+
+import "container/heap"
+
+// Triggers is a priority queue of callbacks keyed on critical values
+// of one shared monotonic variable (time, or the number of auctions a
+// keyword has appeared in — Section IV-B). Advancing the variable
+// fires, in order, every trigger whose critical value has been
+// reached.
+//
+// Triggers carry a generation tag so that stale registrations — for a
+// program whose state was since recomputed, e.g. because it won an
+// auction — can be skipped cheaply instead of searched for and
+// removed.
+type Triggers struct {
+	pq triggerHeap
+}
+
+// Trigger is one registered callback.
+type trigger struct {
+	critical float64
+	seq      int // insertion order; makes firing order deterministic
+	fn       func()
+	gen      *int // pointer to the owner's generation counter
+	genAt    int  // generation at registration; stale if it moved
+}
+
+// Add registers fn to fire once the variable reaches critical. gen,
+// if non-nil, points to a generation counter: if *gen differs from
+// its value at registration time when the trigger comes due, the
+// trigger is stale and is discarded silently.
+func (t *Triggers) Add(critical float64, gen *int, fn func()) {
+	item := trigger{critical: critical, seq: t.pq.nextSeq, fn: fn, gen: gen}
+	t.pq.nextSeq++
+	if gen != nil {
+		item.genAt = *gen
+	}
+	heap.Push(&t.pq, item)
+}
+
+// Advance moves the shared variable to value, firing all due
+// triggers in (critical, insertion) order. It returns the number of
+// callbacks actually invoked (stale triggers are dropped without
+// counting). Callbacks may register new triggers; new registrations
+// at or below value fire within the same Advance call.
+func (t *Triggers) Advance(value float64) int {
+	fired := 0
+	for len(t.pq.items) > 0 && t.pq.items[0].critical <= value {
+		item := heap.Pop(&t.pq).(trigger)
+		if item.gen != nil && *item.gen != item.genAt {
+			continue // stale
+		}
+		item.fn()
+		fired++
+	}
+	return fired
+}
+
+// Len returns the number of pending registrations, including stale
+// ones not yet discarded.
+func (t *Triggers) Len() int { return len(t.pq.items) }
+
+type triggerHeap struct {
+	items   []trigger
+	nextSeq int
+}
+
+func (h triggerHeap) Len() int { return len(h.items) }
+func (h triggerHeap) Less(a, b int) bool {
+	if h.items[a].critical != h.items[b].critical {
+		return h.items[a].critical < h.items[b].critical
+	}
+	return h.items[a].seq < h.items[b].seq
+}
+func (h triggerHeap) Swap(a, b int) { h.items[a], h.items[b] = h.items[b], h.items[a] }
+func (h *triggerHeap) Push(x interface{}) {
+	h.items = append(h.items, x.(trigger))
+}
+func (h *triggerHeap) Pop() interface{} {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}

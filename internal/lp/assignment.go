@@ -1,0 +1,97 @@
+package lp
+
+import "fmt"
+
+// AssignmentResult is the rounded solution of the winner-determination
+// LP: an assignment of slots to advertisers plus the LP optimum.
+type AssignmentResult struct {
+	// AdvOf maps slot index -> advertiser index or -1.
+	AdvOf []int
+	// SlotOf maps advertiser index -> slot index or -1.
+	SlotOf []int
+	// Value is the LP objective value.
+	Value float64
+	// Iterations is the number of simplex pivots used.
+	Iterations int
+}
+
+// SolveAssignment solves the winner-determination problem by linear
+// programming — the paper's baseline method LP. Variables x_{ij}
+// indicate advertiser i taking slot j; the constraints say each
+// advertiser takes at most one slot and each slot holds at most one
+// advertiser:
+//
+//	maximize   Σ_{ij} w[i][j]·x_{ij}
+//	subject to Σ_j x_{ij} ≤ 1  for every advertiser i
+//	           Σ_i x_{ij} ≤ 1  for every slot j
+//	           x ≥ 0
+//
+// The constraint matrix is the clique matrix of a perfect graph, so
+// by Chvátal's theorem the LP has an integral (0/1) optimum, and the
+// simplex method lands on an integral vertex. Entries are rounded
+// with tolerance when reading out the assignment; non-positive-weight
+// placements are dropped, matching the matching package's convention.
+func SolveAssignment(w [][]float64) (*AssignmentResult, error) {
+	n := len(w)
+	k := 0
+	if n > 0 {
+		k = len(w[0])
+	}
+	res := &AssignmentResult{
+		AdvOf:  make([]int, k),
+		SlotOf: make([]int, n),
+	}
+	for j := range res.AdvOf {
+		res.AdvOf[j] = -1
+	}
+	for i := range res.SlotOf {
+		res.SlotOf[i] = -1
+	}
+	if n == 0 || k == 0 {
+		return res, nil
+	}
+
+	nv := n * k
+	c := make([]float64, nv)
+	for i := 0; i < n; i++ {
+		for j := 0; j < k; j++ {
+			// Clamp negative weights to zero: an optimal partial
+			// matching never uses them, and clamping keeps the LP
+			// optimum equal to the partial-matching optimum.
+			if w[i][j] > 0 {
+				c[i*k+j] = w[i][j]
+			}
+		}
+	}
+	cons := make([]Constraint, 0, n+k)
+	for i := 0; i < n; i++ {
+		a := make([]float64, nv)
+		for j := 0; j < k; j++ {
+			a[i*k+j] = 1
+		}
+		cons = append(cons, Constraint{A: a, Rel: LE, B: 1})
+	}
+	for j := 0; j < k; j++ {
+		a := make([]float64, nv)
+		for i := 0; i < n; i++ {
+			a[i*k+j] = 1
+		}
+		cons = append(cons, Constraint{A: a, Rel: LE, B: 1})
+	}
+	sol, err := (&Problem{C: c, Cons: cons}).Solve()
+	if err != nil {
+		return nil, fmt.Errorf("lp: winner-determination LP: %w", err)
+	}
+	res.Iterations = sol.Iterations
+	const half = 0.5
+	for i := 0; i < n; i++ {
+		for j := 0; j < k; j++ {
+			if sol.X[i*k+j] > half && w[i][j] > 0 {
+				res.AdvOf[j] = i
+				res.SlotOf[i] = j
+				res.Value += w[i][j]
+			}
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,395 @@
+// Package lp implements a general-purpose linear-programming solver —
+// a dense two-phase primal simplex method — together with the
+// assignment-LP formulation of winner determination used as the
+// baseline method "LP" in the paper's evaluation (Section V).
+//
+// The paper solved this LP with the GNU Linear Programming Kit's
+// simplex routine; this package is the from-scratch substitute. By a
+// theorem of Chvátal the winner-determination LP always has an
+// integral optimum (its constraint rows are the maximal cliques of a
+// perfect graph), which the tests verify: the simplex solution is
+// always 0/1 and matches the matching-based optimum.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Rel is the relation of a constraint row.
+type Rel int
+
+// Constraint relations.
+const (
+	LE Rel = iota // A·x ≤ B
+	GE            // A·x ≥ B
+	EQ            // A·x = B
+)
+
+// Constraint is one linear constraint over the problem's variables.
+type Constraint struct {
+	A   []float64
+	Rel Rel
+	B   float64
+}
+
+// Problem is a linear program: maximize C·x subject to the
+// constraints and x ≥ 0.
+type Problem struct {
+	C    []float64
+	Cons []Constraint
+}
+
+// Errors returned by Solve.
+var (
+	ErrInfeasible = errors.New("lp: problem is infeasible")
+	ErrUnbounded  = errors.New("lp: problem is unbounded")
+	ErrNoProgress = errors.New("lp: iteration limit reached")
+)
+
+const eps = 1e-9
+
+// Solution is an optimal solution to a Problem.
+type Solution struct {
+	X   []float64
+	Obj float64
+	// Iterations is the total number of simplex pivots across both
+	// phases, exposed for the benchmark harness.
+	Iterations int
+	// Duals holds the dual value (shadow price) of each ≤ constraint,
+	// read from the reduced cost of its slack column at optimality;
+	// entries for ≥ and = constraints are NaN (their duals would
+	// require tracking surplus/artificial columns through phase 1).
+	// For the winner-determination LP the slot constraints' duals are
+	// market-clearing slot prices: complementary slackness makes every
+	// matched edge satisfy w[i][j] = u_i + v_j exactly.
+	Duals []float64
+}
+
+// Solve runs the two-phase primal simplex method and returns an
+// optimal solution, or one of ErrInfeasible / ErrUnbounded.
+func (p *Problem) Solve() (*Solution, error) {
+	nv := len(p.C)
+	for i, c := range p.Cons {
+		if len(c.A) != nv {
+			return nil, fmt.Errorf("lp: constraint %d has %d coefficients, want %d", i, len(c.A), nv)
+		}
+	}
+	t := newTableau(p)
+	iters := 0
+	if t.needPhase1 {
+		n, err := t.phase1()
+		iters += n
+		if err != nil {
+			return nil, err
+		}
+	}
+	t.barArtificials = true
+	t.installObjective(p.C)
+	n, err := t.optimize()
+	iters += n
+	if err != nil {
+		return nil, err
+	}
+	x := t.extract(nv)
+	obj := 0.0
+	for i, ci := range p.C {
+		obj += ci * x[i]
+	}
+	return &Solution{X: x, Obj: obj, Iterations: iters, Duals: t.duals()}, nil
+}
+
+// tableau is a dense simplex tableau in canonical form: rows are
+// constraints (equality form, b ≥ 0), columns are structural
+// variables then slacks/surpluses then artificials then the RHS. Row
+// z is the reduced-cost row of the current objective (maximization:
+// optimal when all reduced costs ≤ 0... we store the negated
+// convention below).
+type tableau struct {
+	m, cols    int // constraint rows; total variable columns (excl. RHS)
+	a          [][]float64
+	z          []float64 // objective row: z[j] = c_B·B⁻¹A_j − c_j; optimal when all ≥ −eps
+	basis      []int     // basis[r] = column basic in row r
+	artStart   int       // first artificial column, or cols if none
+	slackOf    []int     // slackOf[r] = slack column of LE row r, or −1
+	needPhase1 bool
+	// barArtificials is set after phase 1: artificial columns may
+	// never re-enter the basis during phase 2.
+	barArtificials bool
+}
+
+func newTableau(p *Problem) *tableau {
+	nv := len(p.C)
+	m := len(p.Cons)
+	// Count slack/surplus and artificial columns.
+	nSlack, nArt := 0, 0
+	for _, c := range p.Cons {
+		if c.Rel != EQ {
+			nSlack++
+		}
+		b, rel := c.B, c.Rel
+		if b < 0 {
+			rel = flip(rel)
+		}
+		// After normalizing b ≥ 0: LE rows get a slack that can start
+		// basic; GE and EQ rows need an artificial.
+		if rel != LE {
+			nArt++
+		}
+	}
+	t := &tableau{
+		m:        m,
+		cols:     nv + nSlack + nArt,
+		artStart: nv + nSlack,
+	}
+	t.a = make([][]float64, m)
+	t.z = make([]float64, t.cols+1)
+	t.basis = make([]int, m)
+	t.slackOf = make([]int, m)
+	for r := range t.slackOf {
+		t.slackOf[r] = -1
+	}
+	slackCol := nv
+	artCol := t.artStart
+	for r, c := range p.Cons {
+		row := make([]float64, t.cols+1)
+		sign := 1.0
+		rel := c.Rel
+		if c.B < 0 {
+			sign = -1
+			rel = flip(rel)
+		}
+		for j, aj := range c.A {
+			row[j] = sign * aj
+		}
+		row[t.cols] = sign * c.B
+		switch rel {
+		case LE:
+			row[slackCol] = 1
+			t.basis[r] = slackCol
+			t.slackOf[r] = slackCol
+			slackCol++
+		case GE:
+			row[slackCol] = -1
+			slackCol++
+			row[artCol] = 1
+			t.basis[r] = artCol
+			artCol++
+			t.needPhase1 = true
+		case EQ:
+			row[artCol] = 1
+			t.basis[r] = artCol
+			artCol++
+			t.needPhase1 = true
+		}
+		t.a[r] = row
+	}
+	return t
+}
+
+func flip(r Rel) Rel {
+	switch r {
+	case LE:
+		return GE
+	case GE:
+		return LE
+	}
+	return EQ
+}
+
+// phase1 minimizes the sum of artificials. On success all artificials
+// are zero (and driven out of the basis where possible).
+func (t *tableau) phase1() (int, error) {
+	// Objective: maximize −Σ artificials. Reduced costs must reflect
+	// the initial basis (artificials basic with coefficient −1).
+	for j := range t.z {
+		t.z[j] = 0
+	}
+	for j := t.artStart; j < t.cols; j++ {
+		t.z[j] = 1 // c_j = −1 → −c_j = 1 before basis adjustment below
+	}
+	// Subtract rows whose basic variable is artificial so basic
+	// columns have zero reduced cost.
+	for r, b := range t.basis {
+		if b >= t.artStart {
+			for j := 0; j <= t.cols; j++ {
+				t.z[j] -= t.a[r][j]
+			}
+		}
+	}
+	iters, err := t.optimize()
+	if err != nil {
+		return iters, err
+	}
+	if t.z[t.cols] < -eps { // phase-1 objective value = −Σ artificials
+		return iters, ErrInfeasible
+	}
+	// Pivot any artificial still (degenerately) basic out of the
+	// basis. If no structural column has a non-zero entry in the row,
+	// the constraint is redundant and the artificial stays basic at
+	// value zero, which is harmless.
+	for r, b := range t.basis {
+		if b < t.artStart {
+			continue
+		}
+		for j := 0; j < t.artStart; j++ {
+			if math.Abs(t.a[r][j]) > eps {
+				t.pivot(r, j)
+				break
+			}
+		}
+	}
+	return iters, nil
+}
+
+// installObjective loads the phase-2 objective (maximize c·x) and
+// makes the reduced costs consistent with the current basis.
+// Artificial columns are barred from re-entering.
+func (t *tableau) installObjective(c []float64) {
+	for j := range t.z {
+		t.z[j] = 0
+	}
+	for j, cj := range c {
+		t.z[j] = -cj
+	}
+	// Eliminate basic columns from the objective row.
+	for r, b := range t.basis {
+		if math.Abs(t.z[b]) < eps {
+			continue
+		}
+		f := t.z[b]
+		for j := 0; j <= t.cols; j++ {
+			t.z[j] -= f * t.a[r][j]
+		}
+	}
+}
+
+// maxIterFactor bounds total pivots at maxIterFactor·(m+cols) before
+// giving up; Bland's rule (used after blandAfter pivots) guarantees
+// termination, so the bound is a safety net against bugs only.
+const (
+	maxIterFactor = 50
+	blandAfter    = 10000
+)
+
+// optimize runs primal simplex pivots until optimality.
+func (t *tableau) optimize() (int, error) {
+	limit := maxIterFactor * (t.m + t.cols)
+	if limit < 1000 {
+		limit = 1000
+	}
+	for iter := 0; iter < limit; iter++ {
+		col := t.chooseColumn(iter >= blandAfter)
+		if col < 0 {
+			return iter, nil // optimal
+		}
+		row := t.chooseRow(col)
+		if row < 0 {
+			return iter, ErrUnbounded
+		}
+		t.pivot(row, col)
+	}
+	return limit, ErrNoProgress
+}
+
+// chooseColumn picks the entering column: most negative reduced cost
+// (Dantzig) or the lowest-index negative one (Bland). Artificial
+// columns never re-enter after phase 1.
+func (t *tableau) chooseColumn(bland bool) int {
+	limit := t.cols
+	if t.barArtificials {
+		limit = t.artStart
+	}
+	best, bestVal := -1, -eps
+	for j := 0; j < limit; j++ {
+		if t.z[j] < bestVal {
+			if bland {
+				return j
+			}
+			best, bestVal = j, t.z[j]
+		}
+	}
+	return best
+}
+
+// chooseRow performs the ratio test for entering column col; returns
+// −1 if the column is unbounded. Ties are broken toward the smallest
+// basis index (Bland-compatible) so that the Bland fallback in
+// chooseColumn yields a provably terminating rule.
+func (t *tableau) chooseRow(col int) int {
+	best := -1
+	bestRatio := math.Inf(1)
+	for r := 0; r < t.m; r++ {
+		arc := t.a[r][col]
+		if arc <= eps {
+			continue
+		}
+		ratio := t.a[r][t.cols] / arc
+		if ratio < bestRatio-eps {
+			best, bestRatio = r, ratio
+		} else if ratio < bestRatio+eps && best >= 0 {
+			if t.basis[r] < t.basis[best] {
+				best = r
+			}
+		}
+	}
+	return best
+}
+
+// pivot makes column col basic in row row.
+func (t *tableau) pivot(row, col int) {
+	piv := t.a[row][col]
+	inv := 1 / piv
+	prow := t.a[row]
+	for j := 0; j <= t.cols; j++ {
+		prow[j] *= inv
+	}
+	prow[col] = 1
+	for r := 0; r < t.m; r++ {
+		if r == row {
+			continue
+		}
+		f := t.a[r][col]
+		if f == 0 {
+			continue
+		}
+		arow := t.a[r]
+		for j := 0; j <= t.cols; j++ {
+			arow[j] -= f * prow[j]
+		}
+		arow[col] = 0
+	}
+	if f := t.z[col]; f != 0 {
+		for j := 0; j <= t.cols; j++ {
+			t.z[j] -= f * prow[j]
+		}
+		t.z[col] = 0
+	}
+	t.basis[row] = col
+}
+
+// duals reads the dual value of every LE constraint: the reduced
+// cost of its slack column (c_B·B⁻¹·e_r − 0 = y_r).
+func (t *tableau) duals() []float64 {
+	out := make([]float64, t.m)
+	for r := 0; r < t.m; r++ {
+		if sc := t.slackOf[r]; sc >= 0 {
+			out[r] = t.z[sc]
+		} else {
+			out[r] = math.NaN()
+		}
+	}
+	return out
+}
+
+// extract reads the current values of the first nv variables.
+func (t *tableau) extract(nv int) []float64 {
+	x := make([]float64, nv)
+	for r, b := range t.basis {
+		if b < nv {
+			x[b] = t.a[r][t.cols]
+		}
+	}
+	return x
+}

@@ -1,0 +1,344 @@
+package lp
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/matching"
+)
+
+const tol = 1e-6
+
+func solveOK(t *testing.T, p *Problem) *Solution {
+	t.Helper()
+	s, err := p.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	return s
+}
+
+func TestSimpleMaximization(t *testing.T) {
+	// max 3x + 2y s.t. x + y ≤ 4, x + 3y ≤ 6 → x=4, y=0, obj 12.
+	p := &Problem{
+		C: []float64{3, 2},
+		Cons: []Constraint{
+			{A: []float64{1, 1}, Rel: LE, B: 4},
+			{A: []float64{1, 3}, Rel: LE, B: 6},
+		},
+	}
+	s := solveOK(t, p)
+	if math.Abs(s.Obj-12) > tol {
+		t.Fatalf("obj %g, want 12 (x=%v)", s.Obj, s.X)
+	}
+}
+
+func TestInteriorOptimum(t *testing.T) {
+	// max x + y s.t. 2x + y ≤ 4, x + 2y ≤ 4 → x=y=4/3, obj 8/3.
+	p := &Problem{
+		C: []float64{1, 1},
+		Cons: []Constraint{
+			{A: []float64{2, 1}, Rel: LE, B: 4},
+			{A: []float64{1, 2}, Rel: LE, B: 4},
+		},
+	}
+	s := solveOK(t, p)
+	if math.Abs(s.Obj-8.0/3) > tol {
+		t.Fatalf("obj %g, want %g", s.Obj, 8.0/3)
+	}
+	if math.Abs(s.X[0]-4.0/3) > tol || math.Abs(s.X[1]-4.0/3) > tol {
+		t.Fatalf("x = %v, want [4/3 4/3]", s.X)
+	}
+}
+
+func TestEqualityConstraintNeedsPhase1(t *testing.T) {
+	// max x + 2y s.t. x + y = 3, y ≤ 2 → x=1, y=2, obj 5.
+	p := &Problem{
+		C: []float64{1, 2},
+		Cons: []Constraint{
+			{A: []float64{1, 1}, Rel: EQ, B: 3},
+			{A: []float64{0, 1}, Rel: LE, B: 2},
+		},
+	}
+	s := solveOK(t, p)
+	if math.Abs(s.Obj-5) > tol {
+		t.Fatalf("obj %g, want 5 (x=%v)", s.Obj, s.X)
+	}
+}
+
+func TestGEConstraint(t *testing.T) {
+	// max -x s.t. x ≥ 2 → x=2, obj −2 (maximize −x means minimize x).
+	p := &Problem{
+		C:    []float64{-1},
+		Cons: []Constraint{{A: []float64{1}, Rel: GE, B: 2}},
+	}
+	s := solveOK(t, p)
+	if math.Abs(s.Obj+2) > tol {
+		t.Fatalf("obj %g, want -2", s.Obj)
+	}
+}
+
+func TestNegativeRHSNormalization(t *testing.T) {
+	// −x ≤ −2 is x ≥ 2.
+	p := &Problem{
+		C:    []float64{-1},
+		Cons: []Constraint{{A: []float64{-1}, Rel: LE, B: -2}},
+	}
+	s := solveOK(t, p)
+	if math.Abs(s.X[0]-2) > tol {
+		t.Fatalf("x = %v, want [2]", s.X)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := &Problem{
+		C: []float64{1},
+		Cons: []Constraint{
+			{A: []float64{1}, Rel: LE, B: 1},
+			{A: []float64{1}, Rel: GE, B: 2},
+		},
+	}
+	if _, err := p.Solve(); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := &Problem{
+		C:    []float64{1, 0},
+		Cons: []Constraint{{A: []float64{0, 1}, Rel: LE, B: 1}},
+	}
+	if _, err := p.Solve(); !errors.Is(err, ErrUnbounded) {
+		t.Fatalf("err = %v, want ErrUnbounded", err)
+	}
+}
+
+func TestDegenerateProblem(t *testing.T) {
+	// Multiple redundant constraints intersecting at the optimum.
+	p := &Problem{
+		C: []float64{1, 1},
+		Cons: []Constraint{
+			{A: []float64{1, 0}, Rel: LE, B: 1},
+			{A: []float64{0, 1}, Rel: LE, B: 1},
+			{A: []float64{1, 1}, Rel: LE, B: 2},
+			{A: []float64{2, 2}, Rel: LE, B: 4},
+		},
+	}
+	s := solveOK(t, p)
+	if math.Abs(s.Obj-2) > tol {
+		t.Fatalf("obj %g, want 2", s.Obj)
+	}
+}
+
+func TestRedundantEquality(t *testing.T) {
+	// x + y = 2 twice; max x → x=2.
+	p := &Problem{
+		C: []float64{1, 0},
+		Cons: []Constraint{
+			{A: []float64{1, 1}, Rel: EQ, B: 2},
+			{A: []float64{1, 1}, Rel: EQ, B: 2},
+		},
+	}
+	s := solveOK(t, p)
+	if math.Abs(s.Obj-2) > tol {
+		t.Fatalf("obj %g, want 2", s.Obj)
+	}
+}
+
+func TestArityMismatch(t *testing.T) {
+	p := &Problem{C: []float64{1}, Cons: []Constraint{{A: []float64{1, 2}, Rel: LE, B: 1}}}
+	if _, err := p.Solve(); err == nil {
+		t.Fatal("want arity error")
+	}
+}
+
+func randWeights(rng *rand.Rand, n, k int) [][]float64 {
+	w := make([][]float64, n)
+	for i := range w {
+		w[i] = make([]float64, k)
+		for j := range w[i] {
+			w[i][j] = rng.Float64() * 10
+		}
+	}
+	return w
+}
+
+// TestAssignmentLPMatchesMatching is the Chvátal integrality check:
+// the LP optimum equals the combinatorial matching optimum, and the
+// extracted solution is a valid assignment.
+func TestAssignmentLPMatchesMatching(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 60; trial++ {
+		n := rng.Intn(12)
+		k := 1 + rng.Intn(5)
+		w := randWeights(rng, n, k)
+		res, err := SolveAssignment(w)
+		if err != nil {
+			t.Fatalf("n=%d k=%d: %v", n, k, err)
+		}
+		want := matching.MaxWeight(w)
+		if math.Abs(res.Value-want.Value) > 1e-6 {
+			t.Fatalf("n=%d k=%d: LP %g != matching %g", n, k, res.Value, want.Value)
+		}
+		seen := map[int]bool{}
+		for j, i := range res.AdvOf {
+			if i < 0 {
+				continue
+			}
+			if seen[i] {
+				t.Fatalf("advertiser %d in two slots", i)
+			}
+			seen[i] = true
+			if res.SlotOf[i] != j {
+				t.Fatalf("inconsistent SlotOf/AdvOf")
+			}
+		}
+	}
+}
+
+// TestAssignmentLPIntegrality verifies the LP vertex itself is 0/1,
+// not merely that rounding recovers the optimum.
+func TestAssignmentLPIntegrality(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(8)
+		k := 1 + rng.Intn(4)
+		w := randWeights(rng, n, k)
+		nv := n * k
+		c := make([]float64, nv)
+		for i := 0; i < n; i++ {
+			for j := 0; j < k; j++ {
+				c[i*k+j] = w[i][j]
+			}
+		}
+		var cons []Constraint
+		for i := 0; i < n; i++ {
+			a := make([]float64, nv)
+			for j := 0; j < k; j++ {
+				a[i*k+j] = 1
+			}
+			cons = append(cons, Constraint{A: a, Rel: LE, B: 1})
+		}
+		for j := 0; j < k; j++ {
+			a := make([]float64, nv)
+			for i := 0; i < n; i++ {
+				a[i*k+j] = 1
+			}
+			cons = append(cons, Constraint{A: a, Rel: LE, B: 1})
+		}
+		s, err := (&Problem{C: c, Cons: cons}).Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, x := range s.X {
+			if math.Abs(x) > 1e-7 && math.Abs(x-1) > 1e-7 {
+				t.Fatalf("fractional vertex component %g", x)
+			}
+		}
+	}
+}
+
+func TestAssignmentLPEmpty(t *testing.T) {
+	res, err := SolveAssignment(nil)
+	if err != nil || res.Value != 0 {
+		t.Fatalf("empty: %v %v", res, err)
+	}
+}
+
+func TestQuickPropertyLPNeverBelowGreedy(t *testing.T) {
+	// The LP optimum is an upper bound for any greedy single
+	// assignment (pick the global best edge).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		k := 1 + rng.Intn(3)
+		w := randWeights(rng, n, k)
+		res, err := SolveAssignment(w)
+		if err != nil {
+			return false
+		}
+		bestEdge := 0.0
+		for i := range w {
+			for j := range w[i] {
+				if w[i][j] > bestEdge {
+					bestEdge = w[i][j]
+				}
+			}
+		}
+		return res.Value >= bestEdge-1e-7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAssignmentDualsAreMarketPrices: at optimality the duals of the
+// advertiser and slot constraints form a feasible dual (u_i + v_j ≥
+// w_ij) with complementary slackness on matched edges — i.e. the slot
+// duals are competitive-equilibrium slot prices.
+func TestAssignmentDualsAreMarketPrices(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(8)
+		k := 1 + rng.Intn(4)
+		w := randWeights(rng, n, k)
+		nv := n * k
+		c := make([]float64, nv)
+		for i := 0; i < n; i++ {
+			for j := 0; j < k; j++ {
+				c[i*k+j] = w[i][j]
+			}
+		}
+		var cons []Constraint
+		for i := 0; i < n; i++ {
+			a := make([]float64, nv)
+			for j := 0; j < k; j++ {
+				a[i*k+j] = 1
+			}
+			cons = append(cons, Constraint{A: a, Rel: LE, B: 1})
+		}
+		for j := 0; j < k; j++ {
+			a := make([]float64, nv)
+			for i := 0; i < n; i++ {
+				a[i*k+j] = 1
+			}
+			cons = append(cons, Constraint{A: a, Rel: LE, B: 1})
+		}
+		sol, err := (&Problem{C: c, Cons: cons}).Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		u := sol.Duals[:n]
+		v := sol.Duals[n:]
+		var dualObj float64
+		for i := 0; i < n; i++ {
+			if u[i] < -tol {
+				t.Fatalf("negative dual u[%d] = %g", i, u[i])
+			}
+			dualObj += u[i]
+			for j := 0; j < k; j++ {
+				if w[i][j] > u[i]+v[j]+1e-6 {
+					t.Fatalf("dual infeasible: w[%d][%d]=%g > u+v=%g", i, j, w[i][j], u[i]+v[j])
+				}
+				// Complementary slackness on matched edges.
+				if sol.X[i*k+j] > 0.5 && math.Abs(w[i][j]-u[i]-v[j]) > 1e-6 {
+					t.Fatalf("CS violated on matched edge (%d,%d): w=%g u+v=%g",
+						i, j, w[i][j], u[i]+v[j])
+				}
+			}
+		}
+		for j := 0; j < k; j++ {
+			if v[j] < -tol {
+				t.Fatalf("negative slot price v[%d] = %g", j, v[j])
+			}
+			dualObj += v[j]
+		}
+		// Strong duality: dual objective equals the primal optimum.
+		if math.Abs(dualObj-sol.Obj) > 1e-6 {
+			t.Fatalf("duality gap: dual %g, primal %g", dualObj, sol.Obj)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package lp
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestRandomFeasibleLPs checks two semidecidable properties on random
+// LPs with ≤ constraints and non-negative b (always feasible at 0):
+// the returned point satisfies every constraint, and it weakly
+// dominates a cloud of random feasible points (local optimality
+// evidence without an external solver).
+func TestRandomFeasibleLPs(t *testing.T) {
+	rng := rand.New(rand.NewSource(211))
+	for trial := 0; trial < 120; trial++ {
+		nv := 1 + rng.Intn(6)
+		m := 1 + rng.Intn(6)
+		p := &Problem{C: make([]float64, nv)}
+		for v := range p.C {
+			p.C[v] = rng.NormFloat64()
+		}
+		for r := 0; r < m; r++ {
+			a := make([]float64, nv)
+			for v := range a {
+				a[v] = rng.Float64() // non-negative rows keep it bounded when c>0 dims covered
+			}
+			p.Cons = append(p.Cons, Constraint{A: a, Rel: LE, B: rng.Float64() * 10})
+		}
+		// Ensure boundedness: add a box constraint on every variable.
+		for v := 0; v < nv; v++ {
+			a := make([]float64, nv)
+			a[v] = 1
+			p.Cons = append(p.Cons, Constraint{A: a, Rel: LE, B: 5 + rng.Float64()*10})
+		}
+
+		sol, err := p.Solve()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Feasibility.
+		for v, x := range sol.X {
+			if x < -1e-7 {
+				t.Fatalf("trial %d: x[%d] = %g negative", trial, v, x)
+			}
+		}
+		for r, c := range p.Cons {
+			dot := 0.0
+			for v := range c.A {
+				dot += c.A[v] * sol.X[v]
+			}
+			if dot > c.B+1e-6 {
+				t.Fatalf("trial %d: constraint %d violated: %g > %g", trial, r, dot, c.B)
+			}
+		}
+		// Dominance over random feasible points (rejection sampling).
+		for probe := 0; probe < 200; probe++ {
+			x := make([]float64, nv)
+			for v := range x {
+				x[v] = rng.Float64() * 5
+			}
+			feasible := true
+			for _, c := range p.Cons {
+				dot := 0.0
+				for v := range c.A {
+					dot += c.A[v] * x[v]
+				}
+				if dot > c.B {
+					feasible = false
+					break
+				}
+			}
+			if !feasible {
+				continue
+			}
+			obj := 0.0
+			for v := range x {
+				obj += p.C[v] * x[v]
+			}
+			if obj > sol.Obj+1e-6 {
+				t.Fatalf("trial %d: found feasible point with objective %g > claimed optimum %g",
+					trial, obj, sol.Obj)
+			}
+		}
+	}
+}
+
+// TestKnownOptimaBattery pins a set of textbook LPs.
+func TestKnownOptimaBattery(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Problem
+		want float64
+	}{
+		{
+			// Klee–Minty-ish cube, d=3 (stress pivoting, optimum 100).
+			name: "kleeminty3",
+			p: Problem{
+				C: []float64{100, 10, 1},
+				Cons: []Constraint{
+					{A: []float64{1, 0, 0}, Rel: LE, B: 1},
+					{A: []float64{20, 1, 0}, Rel: LE, B: 100},
+					{A: []float64{200, 20, 1}, Rel: LE, B: 10000},
+				},
+			},
+			want: 10000,
+		},
+		{
+			name: "transport",
+			// min-style: maximize −cost of a 2×2 transportation LP with
+			// equality supply/demand: supplies 3,2; demands 2,3;
+			// costs 1,2 / 3,1 → optimal cost 2·1+1·2+2·1 = 6 → obj −6.
+			p: Problem{
+				C: []float64{-1, -2, -3, -1},
+				Cons: []Constraint{
+					{A: []float64{1, 1, 0, 0}, Rel: EQ, B: 3},
+					{A: []float64{0, 0, 1, 1}, Rel: EQ, B: 2},
+					{A: []float64{1, 0, 1, 0}, Rel: EQ, B: 2},
+					{A: []float64{0, 1, 0, 1}, Rel: EQ, B: 3},
+				},
+			},
+			want: -6,
+		},
+		{
+			name: "mixedRelations",
+			// max x+y s.t. x ≥ 1, y ≥ 1, x+y ≤ 5 → 5.
+			p: Problem{
+				C: []float64{1, 1},
+				Cons: []Constraint{
+					{A: []float64{1, 0}, Rel: GE, B: 1},
+					{A: []float64{0, 1}, Rel: GE, B: 1},
+					{A: []float64{1, 1}, Rel: LE, B: 5},
+				},
+			},
+			want: 5,
+		},
+	}
+	for _, c := range cases {
+		sol, err := c.p.Solve()
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if math.Abs(sol.Obj-c.want) > 1e-6 {
+			t.Fatalf("%s: obj %g, want %g (x=%v)", c.name, sol.Obj, c.want, sol.X)
+		}
+	}
+}
+
+// TestInfeasibleEqualitySystem exercises phase 1's failure path on an
+// inconsistent equality system.
+func TestInfeasibleEqualitySystem(t *testing.T) {
+	p := &Problem{
+		C: []float64{1, 1},
+		Cons: []Constraint{
+			{A: []float64{1, 1}, Rel: EQ, B: 2},
+			{A: []float64{1, 1}, Rel: EQ, B: 3},
+		},
+	}
+	if _, err := p.Solve(); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}

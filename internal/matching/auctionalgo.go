@@ -1,0 +1,98 @@
+package matching
+
+import "math"
+
+// AuctionAssign solves the maximum-weight partial assignment with
+// Bertsekas's auction algorithm — a third solver alongside the
+// Hungarian kernel and the LP, fitting for a library about auctions:
+// slots literally bid for advertisers.
+//
+// Slots act as bidders. The objects are the n advertisers plus k
+// zero-value dummy objects ("stay empty"), all starting at price
+// zero. An unassigned slot computes the net value (value − price) of
+// every object, grabs the best, and raises its price by the bid
+// increment (best − secondBest + ε), possibly evicting the previous
+// holder. Within a single run every priced-up object remains held, so
+// at termination ε-complementary slackness gives
+//
+//	value(assignment) ≥ OPT − k·ε.
+//
+// For integer weights any ε < 1/k therefore yields the exact optimum
+// (the classic integrality argument); for real weights the result is
+// ε-optimal. The simple forward auction is used deliberately — the
+// asymmetric ε-scaling variant needs Bertsekas–Castañón reverse
+// auctions to keep unheld objects' prices honest, and the run time
+// O(k·n·maxW/ε) is already fine for the small-ε-relative-to-weights
+// regime the engine needs.
+func AuctionAssign(n, k int, weight func(i, j int) float64, eps float64) Assignment {
+	advOf := make([]int, k)
+	for j := range advOf {
+		advOf[j] = -1
+	}
+	if n == 0 || k == 0 {
+		return newAssignmentFunc(weight, n, advOf)
+	}
+	if eps <= 0 {
+		eps = 1.0 / float64(k+1)
+	}
+
+	m := n + k // objects: advertisers then per-slot dummies
+	// Clamp negatives: an empty slot always beats a negative edge.
+	value := func(obj, j int) float64 {
+		if obj >= n {
+			return 0
+		}
+		v := weight(obj, j)
+		if v < 0 {
+			return 0
+		}
+		return v
+	}
+
+	price := make([]float64, m)
+	holder := make([]int, m) // object -> slot holding it, or −1
+	objOf := make([]int, k)  // slot -> object, or −1
+	for o := range holder {
+		holder[o] = -1
+	}
+	unassigned := make([]int, 0, k)
+	for j := 0; j < k; j++ {
+		objOf[j] = -1
+		unassigned = append(unassigned, j)
+	}
+
+	for len(unassigned) > 0 {
+		j := unassigned[len(unassigned)-1]
+		unassigned = unassigned[:len(unassigned)-1]
+
+		bestO := -1
+		bestV, secondV := math.Inf(-1), math.Inf(-1)
+		for o := 0; o < m; o++ {
+			v := value(o, j) - price[o]
+			if v > bestV {
+				secondV = bestV
+				bestV, bestO = v, o
+			} else if v > secondV {
+				secondV = v
+			}
+		}
+		if math.IsInf(secondV, -1) {
+			secondV = bestV // single-object degenerate case
+		}
+		price[bestO] += bestV - secondV + eps
+		if prev := holder[bestO]; prev >= 0 {
+			objOf[prev] = -1
+			unassigned = append(unassigned, prev)
+		}
+		holder[bestO] = j
+		objOf[j] = bestO
+	}
+
+	for j := 0; j < k; j++ {
+		if o := objOf[j]; o >= 0 && o < n {
+			advOf[j] = o
+		}
+	}
+	dropNonPositiveFunc(weight, advOf)
+	return newAssignmentFunc(weight, n, advOf)
+}

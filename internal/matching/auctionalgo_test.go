@@ -1,0 +1,82 @@
+package matching
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestAuctionAssignExactOnIntegers: with integer weights and
+// ε < 1/k, ε-complementary slackness forces the exact optimum.
+func TestAuctionAssignExactOnIntegers(t *testing.T) {
+	rng := rand.New(rand.NewSource(501))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(40)
+		k := 1 + rng.Intn(6)
+		w := make([][]float64, n)
+		for i := range w {
+			w[i] = make([]float64, k)
+			for j := range w[i] {
+				w[i][j] = float64(rng.Intn(60) - 10)
+			}
+		}
+		got := AuctionAssign(n, k, func(i, j int) float64 { return w[i][j] }, 0)
+		checkValid(t, w, got)
+		want := MaxWeight(w)
+		if math.Abs(got.Value-want.Value) > 1e-9 {
+			t.Fatalf("n=%d k=%d: auction %g != hungarian %g", n, k, got.Value, want.Value)
+		}
+	}
+}
+
+// TestAuctionAssignEpsOptimalOnFloats: with real weights the value is
+// within k·ε of the optimum.
+func TestAuctionAssignEpsOptimalOnFloats(t *testing.T) {
+	rng := rand.New(rand.NewSource(503))
+	for trial := 0; trial < 100; trial++ {
+		n := rng.Intn(30)
+		k := 1 + rng.Intn(5)
+		w := randMatrix(rng, n, k, true)
+		const eps = 1e-4
+		got := AuctionAssign(n, k, func(i, j int) float64 { return w[i][j] }, eps)
+		checkValid(t, w, got)
+		want := MaxWeight(w)
+		if got.Value < want.Value-float64(k)*eps-1e-9 {
+			t.Fatalf("n=%d k=%d: auction %g below eps-optimality bound of %g",
+				n, k, got.Value, want.Value)
+		}
+		if got.Value > want.Value+1e-9 {
+			t.Fatalf("n=%d k=%d: auction %g exceeds optimum %g", n, k, got.Value, want.Value)
+		}
+	}
+}
+
+func TestAuctionAssignEdgeCases(t *testing.T) {
+	if a := AuctionAssign(0, 3, nil, 0); a.Value != 0 {
+		t.Fatalf("empty: %+v", a)
+	}
+	w := [][]float64{{-1, -2}}
+	a := AuctionAssign(1, 2, func(i, j int) float64 { return w[i][j] }, 0)
+	if a.Value != 0 || a.AdvOf[0] != -1 || a.AdvOf[1] != -1 {
+		t.Fatalf("all-negative: %+v", a)
+	}
+}
+
+func TestAuctionAssignLargeSkew(t *testing.T) {
+	// One advertiser dominates every slot; the auction must give him
+	// exactly one slot (the best) and fill the rest with runners-up.
+	w := [][]float64{
+		{100, 90, 80},
+		{10, 9, 8},
+		{7, 6, 5},
+		{4, 3, 2},
+	}
+	a := AuctionAssign(4, 3, func(i, j int) float64 { return w[i][j] }, 0)
+	want := MaxWeight(w)
+	if math.Abs(a.Value-want.Value) > 1e-6 {
+		t.Fatalf("auction %g != %g", a.Value, want.Value)
+	}
+	if a.SlotOf[0] != 0 {
+		t.Fatalf("dominant advertiser should take slot 0, got %d", a.SlotOf[0])
+	}
+}

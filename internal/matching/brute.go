@@ -1,0 +1,81 @@
+package matching
+
+// BruteForce enumerates every partial assignment of slots to
+// advertisers (each slot left empty or given a distinct advertiser)
+// and returns one with maximum total weight. Its cost is
+// O((n+1)·n·(n−1)⋯) ≈ O(n^k), usable only for tiny instances; it is
+// the correctness oracle the fast solvers are tested against, and it
+// corresponds to the paper's observation (Section III-F) that fully
+// general valuations admit only brute-force winner determination.
+func BruteForce(w [][]float64) Assignment {
+	n := len(w)
+	k := 0
+	if n > 0 {
+		k = len(w[0])
+	}
+	best := make([]int, k)
+	cur := make([]int, k)
+	for j := range best {
+		best[j] = -1
+		cur[j] = -1
+	}
+	used := make([]bool, n)
+	bestVal := 0.0
+	var rec func(j int, val float64)
+	rec = func(j int, val float64) {
+		if j == k {
+			if val > bestVal {
+				bestVal = val
+				copy(best, cur)
+			}
+			return
+		}
+		// Leave slot j empty.
+		cur[j] = -1
+		rec(j+1, val)
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			used[i] = true
+			cur[j] = i
+			rec(j+1, val+w[i][j])
+			cur[j] = -1
+			used[i] = false
+		}
+	}
+	rec(0, 0)
+	return newAssignment(w, n, best)
+}
+
+// EnumeratePartial calls fn with every partial assignment of k slots
+// to n advertisers (advOf[j] = advertiser index or -1), reusing the
+// same backing slice across calls. It underlies the general
+// m-dependent brute-force oracle in the core package.
+func EnumeratePartial(n, k int, fn func(advOf []int)) {
+	cur := make([]int, k)
+	for j := range cur {
+		cur[j] = -1
+	}
+	used := make([]bool, n)
+	var rec func(j int)
+	rec = func(j int) {
+		if j == k {
+			fn(cur)
+			return
+		}
+		cur[j] = -1
+		rec(j + 1)
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			used[i] = true
+			cur[j] = i
+			rec(j + 1)
+			cur[j] = -1
+			used[i] = false
+		}
+	}
+	rec(0)
+}

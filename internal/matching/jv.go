@@ -1,0 +1,131 @@
+package matching
+
+// assignRows solves the maximum-weight assignment of nr rows to nc
+// columns by shortest augmenting paths with potentials (the
+// Jonker–Volgenant refinement of the Hungarian method of Kuhn and
+// Munkres). Each row additionally owns a zero-weight dummy column, so
+// a row may stay unassigned and negative-weight pairings are never
+// forced (weights are clamped below at zero, which preserves the
+// optimum of the partial-matching problem: a negative edge can always
+// be dropped).
+//
+// The returned slice maps each row to its real column, or −1.
+//
+// Each of the nr phases initializes slack arrays over nc+nr columns,
+// so the cost is Θ(nr·(nc+nr)) at best and O(nr·(nc+nr)²) in the
+// worst case. Orientation therefore matters:
+//
+//   - the paper's method H runs rows = advertisers over the full
+//     graph, whose Θ(n·(k+n)) ≥ Θ(n²) floor is exactly the
+//     quadratic-in-n behavior that motivates the reduced algorithm;
+//   - the reduced solve (method RH) runs rows = slots over the ≤ k²
+//     candidates, giving the O(k⁵)-bounded tail of Section III-E.
+func assignRows(nr, nc int, weight func(r, c int) float64) []int {
+	m := nc + nr // columns: real ones, then one dummy per row
+	cost := func(r, c int) float64 {
+		if c >= nc {
+			return 0
+		}
+		w := weight(r, c)
+		if w <= 0 {
+			return 0
+		}
+		return -w
+	}
+
+	const inf = 1e308
+	u := make([]float64, nr)  // row potentials
+	v := make([]float64, m+1) // column potentials; col m is the sentinel
+	p := make([]int, m+1)     // p[c] = row matched to column c, −1 free
+	way := make([]int, m+1)   // predecessor column on the alternating path
+	minv := make([]float64, m+1)
+	used := make([]bool, m+1)
+	for c := range p {
+		p[c] = -1
+	}
+
+	for r := 0; r < nr; r++ {
+		p[m] = r
+		c0 := m
+		for c := 0; c <= m; c++ {
+			minv[c] = inf
+			used[c] = false
+		}
+		for {
+			used[c0] = true
+			r0 := p[c0]
+			delta := inf
+			c1 := -1
+			for c := 0; c < m; c++ {
+				if used[c] {
+					continue
+				}
+				cur := cost(r0, c) - u[r0] - v[c]
+				if cur < minv[c] {
+					minv[c] = cur
+					way[c] = c0
+				}
+				// Prefer free columns on ties: the dummy block gives
+				// every row a zero-cost exit, and without this
+				// preference Dijkstra chains through arbitrarily many
+				// equal-cost matched dummies, degrading the phase from
+				// O(path·m) to O(n·m).
+				if minv[c] < delta || (minv[c] == delta && c1 >= 0 && p[c] < 0 && p[c1] >= 0) {
+					delta = minv[c]
+					c1 = c
+				}
+			}
+			for c := 0; c <= m; c++ {
+				if used[c] {
+					u[p[c]] += delta
+					v[c] -= delta
+				} else {
+					minv[c] -= delta
+				}
+			}
+			c0 = c1
+			if p[c0] < 0 {
+				break
+			}
+		}
+		for c0 != m {
+			c1 := way[c0]
+			p[c0] = p[c1]
+			c0 = c1
+		}
+	}
+
+	colOf := make([]int, nr)
+	for r := range colOf {
+		colOf[r] = -1
+	}
+	for c := 0; c < nc; c++ {
+		if p[c] >= 0 {
+			colOf[p[c]] = c
+		}
+	}
+	return colOf
+}
+
+// solveJV solves the advertiser×slot assignment with rows =
+// advertisers (method H's orientation) and returns slot → advertiser.
+func solveJV(n, k int, weight func(i, j int) float64) []int {
+	slotOf := assignRows(n, k, weight)
+	advOf := make([]int, k)
+	for j := range advOf {
+		advOf[j] = -1
+	}
+	for i, j := range slotOf {
+		if j >= 0 {
+			advOf[j] = i
+		}
+	}
+	return advOf
+}
+
+// solveJVBySlots solves the same problem with rows = slots — the
+// right orientation when advertisers vastly outnumber slots, as in
+// the reduced graph. It returns slot → advertiser.
+func solveJVBySlots(n, k int, weight func(i, j int) float64) []int {
+	return assignRows(k, n, func(j, i int) float64 { return weight(i, j) })
+}

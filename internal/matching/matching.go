@@ -1,0 +1,104 @@
+// Package matching implements maximum-weight bipartite matching
+// between advertisers and slots, the computational core of winner
+// determination (Theorem 2 of the paper).
+//
+// Three exact solvers are provided:
+//
+//   - MaxWeight — the "straightforward" Hungarian method (paper's
+//     method H): a shortest-augmenting-path assignment solver run on
+//     the full bipartite graph, padded square so that every advertiser
+//     may also remain unassigned. Its per-auction cost is Θ(n·max(n,k))
+//     in the number of advertisers n, which is why it does not scale.
+//
+//   - MaxWeightReduced — the paper's contribution (method RH,
+//     Section III-E): first find, for each slot, the k advertisers
+//     with the highest expected revenue in that slot (O(nk log k) via
+//     bounded heaps), take the union (≤ k² advertisers), and run the
+//     Hungarian method on the reduced graph (O(k⁵)-bounded). An
+//     optimal matching of the full graph always survives in the
+//     reduced graph.
+//
+//   - BruteForce — exhaustive enumeration over all partial slot
+//     assignments; the correctness oracle for tests (tiny inputs only).
+//
+// Weights may be negative; a negative edge is never part of an optimal
+// assignment because advertisers and slots may both stay unassigned.
+package matching
+
+// Assignment is a partial matching of advertisers to slots.
+type Assignment struct {
+	// SlotOf maps advertiser index -> slot index, or -1 if the
+	// advertiser received no slot.
+	SlotOf []int
+	// AdvOf maps slot index -> advertiser index, or -1 if the slot was
+	// left empty.
+	AdvOf []int
+	// Value is the total weight of the matched edges.
+	Value float64
+}
+
+// newAssignmentFunc assembles an Assignment from a slot->advertiser
+// map, computing the total value through the weight function.
+func newAssignmentFunc(weight func(i, j int) float64, n int, advOf []int) Assignment {
+	slotOf := make([]int, n)
+	for i := range slotOf {
+		slotOf[i] = -1
+	}
+	var total float64
+	for j, i := range advOf {
+		if i >= 0 {
+			slotOf[i] = j
+			total += weight(i, j)
+		}
+	}
+	return Assignment{SlotOf: slotOf, AdvOf: advOf, Value: total}
+}
+
+// newAssignment is newAssignmentFunc over a dense matrix.
+func newAssignment(w [][]float64, n int, advOf []int) Assignment {
+	return newAssignmentFunc(func(i, j int) float64 { return w[i][j] }, n, advOf)
+}
+
+// MaxWeight computes a maximum-weight partial assignment of n
+// advertisers (rows of w) to k slots (columns of w) in which every
+// advertiser receives at most one slot and every slot at most one
+// advertiser. This is the paper's method H: the Hungarian algorithm
+// applied "in a straightforward way" to the full bipartite graph.
+func MaxWeight(w [][]float64) Assignment {
+	n := len(w)
+	k := 0
+	if n > 0 {
+		k = len(w[0])
+	}
+	return MaxWeightFunc(n, k, func(i, j int) float64 { return w[i][j] })
+}
+
+// MaxWeightFunc is MaxWeight with the weight matrix given as a
+// function, avoiding materialization.
+func MaxWeightFunc(n, k int, weight func(i, j int) float64) Assignment {
+	if n == 0 || k == 0 {
+		advOf := make([]int, k)
+		for j := range advOf {
+			advOf[j] = -1
+		}
+		return newAssignmentFunc(weight, n, advOf)
+	}
+	advOf := solveJV(n, k, weight)
+	dropNonPositiveFunc(weight, advOf)
+	return newAssignmentFunc(weight, n, advOf)
+}
+
+// dropNonPositiveFunc removes matched edges whose true weight is not
+// strictly positive: leaving the slot empty has equal or higher value
+// and avoids giving away free exposure.
+func dropNonPositiveFunc(weight func(i, j int) float64, advOf []int) {
+	for j, i := range advOf {
+		if i >= 0 && weight(i, j) <= 0 {
+			advOf[j] = -1
+		}
+	}
+}
+
+func dropNonPositive(w [][]float64, advOf []int) {
+	dropNonPositiveFunc(func(i, j int) float64 { return w[i][j] }, advOf)
+}

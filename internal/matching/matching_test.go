@@ -1,0 +1,262 @@
+package matching
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const valueTol = 1e-7
+
+func randMatrix(rng *rand.Rand, n, k int, negatives bool) [][]float64 {
+	w := make([][]float64, n)
+	for i := range w {
+		w[i] = make([]float64, k)
+		for j := range w[i] {
+			w[i][j] = rng.Float64() * 10
+			if negatives && rng.Intn(4) == 0 {
+				w[i][j] = -w[i][j]
+			}
+		}
+	}
+	return w
+}
+
+// checkValid verifies matching feasibility and value bookkeeping.
+func checkValid(t *testing.T, w [][]float64, a Assignment) {
+	t.Helper()
+	n := len(w)
+	seen := make(map[int]bool)
+	var total float64
+	for j, i := range a.AdvOf {
+		if i < 0 {
+			continue
+		}
+		if i >= n {
+			t.Fatalf("slot %d assigned to out-of-range advertiser %d", j, i)
+		}
+		if seen[i] {
+			t.Fatalf("advertiser %d assigned two slots", i)
+		}
+		seen[i] = true
+		if a.SlotOf[i] != j {
+			t.Fatalf("SlotOf[%d]=%d inconsistent with AdvOf[%d]=%d", i, a.SlotOf[i], j, i)
+		}
+		total += w[i][j]
+	}
+	for i, j := range a.SlotOf {
+		if j >= 0 && a.AdvOf[j] != i {
+			t.Fatalf("AdvOf[%d]=%d inconsistent with SlotOf[%d]=%d", j, a.AdvOf[j], i, j)
+		}
+	}
+	if math.Abs(total-a.Value) > valueTol {
+		t.Fatalf("Value %g != recomputed %g", a.Value, total)
+	}
+}
+
+func TestMaxWeightAgainstBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 300; trial++ {
+		n := rng.Intn(7)
+		k := 1 + rng.Intn(4)
+		w := randMatrix(rng, n, k, true)
+		got := MaxWeight(w)
+		want := BruteForce(w)
+		checkValid(t, w, got)
+		checkValid(t, w, want)
+		if math.Abs(got.Value-want.Value) > valueTol {
+			t.Fatalf("n=%d k=%d: MaxWeight %g != Brute %g for %v", n, k, got.Value, want.Value, w)
+		}
+	}
+}
+
+func TestReducedAgainstFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(60)
+		k := 1 + rng.Intn(6)
+		w := randMatrix(rng, n, k, true)
+		full := MaxWeight(w)
+		red := MaxWeightReduced(w)
+		checkValid(t, w, red)
+		if math.Abs(full.Value-red.Value) > valueTol {
+			t.Fatalf("n=%d k=%d: reduced %g != full %g", n, k, red.Value, full.Value)
+		}
+	}
+}
+
+func TestReducedParallelAgainstFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 60; trial++ {
+		n := rng.Intn(300)
+		k := 1 + rng.Intn(6)
+		p := 1 + rng.Intn(6)
+		w := randMatrix(rng, n, k, false)
+		full := MaxWeight(w)
+		red := MaxWeightReducedParallel(w, p)
+		checkValid(t, w, red)
+		if math.Abs(full.Value-red.Value) > valueTol {
+			t.Fatalf("n=%d k=%d p=%d: parallel reduced %g != full %g", n, k, p, red.Value, full.Value)
+		}
+	}
+}
+
+func TestQuickPropertyReducedEqualsBrute(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(6)
+		k := 1 + rng.Intn(3)
+		w := randMatrix(rng, n, k, true)
+		return math.Abs(MaxWeightReduced(w).Value-BruteForce(w).Value) <= valueTol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReducedGraphPaperExample reproduces Figures 9–11: revenue
+// matrix for Nike/Adidas/Reebok/Sketchers over two slots. The top two
+// for slot 1 are Nike and Adidas; for slot 2, Adidas and Reebok. The
+// optimum assigns Nike to slot 1 and Adidas to slot 2 for revenue 16.
+func TestReducedGraphPaperExample(t *testing.T) {
+	w := [][]float64{
+		{9, 5}, // Nike
+		{8, 7}, // Adidas
+		{7, 6}, // Reebok
+		{7, 4}, // Sketchers
+	}
+	a := MaxWeightReduced(w)
+	if a.Value != 16 {
+		t.Fatalf("optimal revenue %g, want 16", a.Value)
+	}
+	if a.AdvOf[0] != 0 || a.AdvOf[1] != 1 {
+		t.Fatalf("assignment %v, want Nike→slot1, Adidas→slot2", a.AdvOf)
+	}
+	// Sketchers (index 3) is pruned from the reduced graph: it is in
+	// no slot's top-2. The optimum must be found without it either way.
+	b := MaxWeight(w)
+	if b.Value != a.Value {
+		t.Fatalf("H and RH disagree on the paper example: %g vs %g", b.Value, a.Value)
+	}
+}
+
+func TestAllNegativeWeightsLeaveEverythingUnassigned(t *testing.T) {
+	w := [][]float64{{-1, -2}, {-3, -0.5}}
+	for name, a := range map[string]Assignment{
+		"H":     MaxWeight(w),
+		"RH":    MaxWeightReduced(w),
+		"Brute": BruteForce(w),
+	} {
+		if a.Value != 0 {
+			t.Errorf("%s: value %g, want 0", name, a.Value)
+		}
+		for j, i := range a.AdvOf {
+			if i != -1 {
+				t.Errorf("%s: slot %d assigned %d, want empty", name, j, i)
+			}
+		}
+	}
+}
+
+func TestMoreSlotsThanAdvertisers(t *testing.T) {
+	w := [][]float64{{5, 1, 3}} // one advertiser, three slots
+	a := MaxWeight(w)
+	checkValid(t, w, a)
+	if a.Value != 5 || a.SlotOf[0] != 0 {
+		t.Fatalf("got %+v, want advertiser in slot 0 for 5", a)
+	}
+	r := MaxWeightReduced(w)
+	if r.Value != 5 {
+		t.Fatalf("reduced got %g, want 5", r.Value)
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	for name, a := range map[string]Assignment{
+		"H":     MaxWeight(nil),
+		"RH":    MaxWeightReduced(nil),
+		"Brute": BruteForce(nil),
+	} {
+		if a.Value != 0 || len(a.AdvOf) != 0 {
+			t.Errorf("%s on empty: %+v", name, a)
+		}
+	}
+}
+
+func TestZeroWeightNotAssigned(t *testing.T) {
+	w := [][]float64{{0, 0}, {0, 4}}
+	a := MaxWeight(w)
+	if a.AdvOf[0] != -1 {
+		t.Fatalf("zero-weight slot should stay empty, got %v", a.AdvOf)
+	}
+	if a.Value != 4 {
+		t.Fatalf("value %g, want 4", a.Value)
+	}
+}
+
+func TestSeparableMatchesHungarian(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(40)
+		k := 1 + rng.Intn(6)
+		adv := make([]float64, n)
+		slot := make([]float64, k)
+		for i := range adv {
+			adv[i] = rng.Float64() * 20
+		}
+		for j := range slot {
+			slot[j] = rng.Float64()
+		}
+		w := make([][]float64, n)
+		for i := range w {
+			w[i] = make([]float64, k)
+			for j := range w[i] {
+				w[i][j] = adv[i] * slot[j]
+			}
+		}
+		fast := Separable(adv, slot)
+		checkValid(t, w, fast)
+		slow := MaxWeight(w)
+		if math.Abs(fast.Value-slow.Value) > 1e-6 {
+			t.Fatalf("separable %g != hungarian %g (n=%d k=%d)", fast.Value, slow.Value, n, k)
+		}
+	}
+}
+
+// TestIsSeparablePaperExamples uses the matrices of Figures 7 and 8.
+func TestIsSeparablePaperExamples(t *testing.T) {
+	nonSep := [][]float64{{0.7, 0.4}, {0.6, 0.3}} // Figure 7
+	if _, _, ok := IsSeparable(nonSep, 1e-9); ok {
+		t.Error("Figure 7 matrix reported separable")
+	}
+	sep := [][]float64{{0.8, 0.4}, {0.6, 0.3}} // Figure 8
+	adv, slot, ok := IsSeparable(sep, 1e-9)
+	if !ok {
+		t.Fatal("Figure 8 matrix reported non-separable")
+	}
+	for i := range sep {
+		for j := range sep[i] {
+			if math.Abs(adv[i]*slot[j]-sep[i][j]) > 1e-9 {
+				t.Fatalf("bad factorization at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestIsSeparableZeroMatrix(t *testing.T) {
+	w := [][]float64{{0, 0}, {0, 0}}
+	if _, _, ok := IsSeparable(w, 1e-9); !ok {
+		t.Error("zero matrix is trivially separable")
+	}
+}
+
+func TestEnumeratePartialCount(t *testing.T) {
+	// Number of partial assignments of k slots among n advertisers:
+	// sum over s of C(k,s)·P(n,s). For n=3, k=2: 1 + 2·3 + 1·6 = 13.
+	count := 0
+	EnumeratePartial(3, 2, func([]int) { count++ })
+	if count != 13 {
+		t.Fatalf("EnumeratePartial(3,2) visited %d assignments, want 13", count)
+	}
+}

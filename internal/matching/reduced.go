@@ -1,0 +1,109 @@
+package matching
+
+import (
+	"repro/internal/topk"
+)
+
+// MaxWeightReduced is the paper's scalable winner-determination
+// algorithm (Section III-E, method RH). For each slot it selects the
+// k advertisers with the highest weight for that slot using a bounded
+// heap (O(nk log k) total), takes the union of the selected
+// advertisers (at most k² of them), and solves the assignment problem
+// on the reduced bipartite graph (O(k⁵)-bounded).
+//
+// Correctness: if an optimal matching assigned some slot to an
+// advertiser outside that slot's top-k list, at least one top-k
+// advertiser for the slot is unmatched (only k−1 other slots exist),
+// so the slot can be reassigned to them without lowering the value.
+// Hence the reduced graph always contains an optimal matching.
+func MaxWeightReduced(w [][]float64) Assignment {
+	n := len(w)
+	k := 0
+	if n > 0 {
+		k = len(w[0])
+	}
+	if n == 0 || k == 0 {
+		return newAssignment(w, n, make([]int, 0, k))
+	}
+	lists := make([][]topk.Item, k)
+	for j := 0; j < k; j++ {
+		lists[j] = topk.Select(n, k, func(i int) float64 { return w[i][j] })
+	}
+	return solveOnLists(w, n, k, lists)
+}
+
+// MaxWeightReducedParallel is MaxWeightReduced with the per-slot
+// top-k scans executed by p workers arranged as the aggregation tree
+// of Section III-E.
+func MaxWeightReducedParallel(w [][]float64, p int) Assignment {
+	n := len(w)
+	k := 0
+	if n > 0 {
+		k = len(w[0])
+	}
+	if n == 0 || k == 0 {
+		return newAssignment(w, n, make([]int, 0, k))
+	}
+	lists := topk.ParallelSelect(n, k, p, func(i, j int) float64 { return w[i][j] })
+	return solveOnLists(w, n, k, lists)
+}
+
+// SolveOnCandidates runs the reduced Hungarian step given externally
+// computed per-slot candidate lists (each sorted descending by score).
+// This is the k⁵-bounded tail of RH; the threshold-algorithm pipeline
+// of Section IV feeds it lists obtained without scanning all n
+// advertisers. weight(i, j) must return the same scores the lists
+// were ranked by; n is the total advertiser count (for SlotOf sizing).
+func SolveOnCandidates(n int, weight func(i, j int) float64, lists [][]topk.Item) Assignment {
+	advOf, value := AssignCandidates(weight, lists)
+	slotOf := make([]int, n)
+	for i := range slotOf {
+		slotOf[i] = -1
+	}
+	for j, i := range advOf {
+		if i >= 0 {
+			slotOf[i] = j
+		}
+	}
+	return Assignment{SlotOf: slotOf, AdvOf: advOf, Value: value}
+}
+
+func solveOnLists(w [][]float64, n, k int, lists [][]topk.Item) Assignment {
+	return SolveOnCandidates(n, func(i, j int) float64 { return w[i][j] }, lists)
+}
+
+// AssignCandidates is SolveOnCandidates without the O(n) SlotOf
+// reverse index — the per-auction hot path needs only slot →
+// advertiser. It returns the slot assignment and its total weight.
+func AssignCandidates(weight func(i, j int) float64, lists [][]topk.Item) (advOf []int, value float64) {
+	k := len(lists)
+	// Union of candidates, preserving a dense re-indexing.
+	seen := make(map[int]int, k*k)
+	var cands []int
+	for _, list := range lists {
+		for _, it := range list {
+			if _, ok := seen[it.ID]; !ok {
+				seen[it.ID] = len(cands)
+				cands = append(cands, it.ID)
+			}
+		}
+	}
+	advOfReduced := solveJVBySlots(len(cands), k, func(ri, j int) float64 {
+		return weight(cands[ri], j)
+	})
+	advOf = make([]int, k)
+	for j := 0; j < k; j++ {
+		if ri := advOfReduced[j]; ri >= 0 {
+			advOf[j] = cands[ri]
+		} else {
+			advOf[j] = -1
+		}
+	}
+	dropNonPositiveFunc(weight, advOf)
+	for j, i := range advOf {
+		if i >= 0 {
+			value += weight(i, j)
+		}
+	}
+	return advOf, value
+}

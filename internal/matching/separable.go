@@ -1,0 +1,124 @@
+package matching
+
+import (
+	"sort"
+
+	"repro/internal/topk"
+)
+
+// Separable solves winner determination under the separability
+// assumption of Section III-C: the weight of advertiser i in slot j
+// factors as adv[i]·slot[j] with slot factors non-negative. The
+// optimal assignment pairs the j-th largest advertiser factor with
+// the j-th largest slot factor, which takes O(n log k) time using a
+// bounded heap over advertisers — the fast path used by existing
+// sponsored-search platforms (and the reason they cannot support the
+// paper's richer bids).
+//
+// Advertisers with non-positive factors are left unassigned, as are
+// slots whose factor is zero when paired with them (a zero-value
+// placement is dropped, matching MaxWeight's convention).
+func Separable(adv, slot []float64) Assignment {
+	n, k := len(adv), len(slot)
+	// Top-k advertisers by factor: O(n log k).
+	top := topk.Select(n, k, func(i int) float64 { return adv[i] })
+
+	// Slots ranked by descending factor: O(k log k).
+	order := make([]int, k)
+	for j := range order {
+		order[j] = j
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if slot[order[a]] != slot[order[b]] {
+			return slot[order[a]] > slot[order[b]]
+		}
+		return order[a] < order[b]
+	})
+
+	advOf := make([]int, k)
+	for j := range advOf {
+		advOf[j] = -1
+	}
+	for r := 0; r < len(top) && r < k; r++ {
+		if top[r].Score <= 0 || slot[order[r]] <= 0 {
+			break // all remaining pairings have non-positive value
+		}
+		advOf[order[r]] = top[r].ID
+	}
+
+	slotOf := make([]int, n)
+	for i := range slotOf {
+		slotOf[i] = -1
+	}
+	var total float64
+	for j, i := range advOf {
+		if i >= 0 {
+			slotOf[i] = j
+			total += adv[i] * slot[j]
+		}
+	}
+	return Assignment{SlotOf: slotOf, AdvOf: advOf, Value: total}
+}
+
+// IsSeparable reports whether the weight matrix w (n×k) factors as
+// w[i][j] = adv[i]·slot[j] within the given relative tolerance, and
+// returns factors when it does. The factorization is normalized so
+// that the first slot with any non-zero column has factor 1.
+//
+// Separability is exactly the condition under which the platforms'
+// existing sort-based allocation is optimal; the paper's Figures 7–8
+// give a non-separable and a separable example.
+func IsSeparable(w [][]float64, tol float64) (adv, slot []float64, ok bool) {
+	n := len(w)
+	if n == 0 {
+		return nil, nil, true
+	}
+	k := len(w[0])
+	adv = make([]float64, n)
+	slot = make([]float64, k)
+
+	// Find a reference column with a non-zero entry.
+	refJ, refI := -1, -1
+	for j := 0; j < k && refJ < 0; j++ {
+		for i := 0; i < n; i++ {
+			if w[i][j] != 0 {
+				refJ, refI = j, i
+				break
+			}
+		}
+	}
+	if refJ < 0 { // all-zero matrix
+		return adv, slot, true
+	}
+	slot[refJ] = 1
+	for i := 0; i < n; i++ {
+		adv[i] = w[i][refJ]
+	}
+	for j := 0; j < k; j++ {
+		if j == refJ {
+			continue
+		}
+		slot[j] = w[refI][j] / w[refI][refJ]
+	}
+	// Verify every entry.
+	for i := 0; i < n; i++ {
+		for j := 0; j < k; j++ {
+			want := adv[i] * slot[j]
+			diff := w[i][j] - want
+			if diff < 0 {
+				diff = -diff
+			}
+			scale := w[i][j]
+			if scale < 0 {
+				scale = -scale
+			}
+			if scale < 1 {
+				scale = 1
+			}
+			if diff > tol*scale {
+				return nil, nil, false
+			}
+		}
+	}
+	return adv, slot, true
+}

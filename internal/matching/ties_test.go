@@ -1,0 +1,106 @@
+package matching
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Integer-valued matrices produce heavy score ties, stressing the
+// solvers' degenerate paths (the random-float suites almost never
+// tie).
+func TestTieHeavyMatricesAgainstBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(201))
+	for trial := 0; trial < 300; trial++ {
+		n := rng.Intn(6)
+		k := 1 + rng.Intn(4)
+		w := make([][]float64, n)
+		for i := range w {
+			w[i] = make([]float64, k)
+			for j := range w[i] {
+				w[i][j] = float64(rng.Intn(3)) // {0,1,2}: ties everywhere
+			}
+		}
+		want := BruteForce(w).Value
+		if got := MaxWeight(w).Value; math.Abs(got-want) > 1e-9 {
+			t.Fatalf("H on ties: %g != %g for %v", got, want, w)
+		}
+		if got := MaxWeightReduced(w).Value; math.Abs(got-want) > 1e-9 {
+			t.Fatalf("RH on ties: %g != %g for %v", got, want, w)
+		}
+	}
+}
+
+// TestUniformMatrix: every advertiser identical — any k distinct
+// advertisers is optimal; value must be k·c.
+func TestUniformMatrix(t *testing.T) {
+	const n, k, c = 10, 4, 2.5
+	w := make([][]float64, n)
+	for i := range w {
+		w[i] = make([]float64, k)
+		for j := range w[i] {
+			w[i][j] = c
+		}
+	}
+	for name, a := range map[string]Assignment{
+		"H":  MaxWeight(w),
+		"RH": MaxWeightReduced(w),
+	} {
+		if math.Abs(a.Value-k*c) > 1e-9 {
+			t.Fatalf("%s: value %g, want %g", name, a.Value, float64(k)*c)
+		}
+		seen := map[int]bool{}
+		for _, i := range a.AdvOf {
+			if i < 0 || seen[i] {
+				t.Fatalf("%s: invalid assignment %v", name, a.AdvOf)
+			}
+			seen[i] = true
+		}
+	}
+}
+
+// TestSingleColumn reduces to "pick the max" and exercises the k=1
+// boundary of the reduction (top-1 list, 1×1 reduced graph).
+func TestSingleColumn(t *testing.T) {
+	w := [][]float64{{3}, {9}, {1}, {9}, {4}}
+	a := MaxWeightReduced(w)
+	if a.Value != 9 {
+		t.Fatalf("value %g", a.Value)
+	}
+	if a.AdvOf[0] != 1 {
+		t.Fatalf("tie at 9 should resolve to the lower index, got %d", a.AdvOf[0])
+	}
+}
+
+// TestHugeValueRange guards the JV potentials against magnitude
+// imbalance (the heavyweight solver adds large forcing constants).
+func TestHugeValueRange(t *testing.T) {
+	w := [][]float64{
+		{1e12, 1e-6},
+		{1e12 - 1, 2e-6},
+	}
+	a := MaxWeight(w)
+	want := 1e12 + 2e-6
+	if math.Abs(a.Value-want) > 1e-3 {
+		t.Fatalf("value %g, want %g", a.Value, want)
+	}
+}
+
+// TestAssignmentStableUnderRowPermutationValue: the optimal value is
+// invariant under advertiser reordering.
+func TestAssignmentStableUnderRowPermutationValue(t *testing.T) {
+	rng := rand.New(rand.NewSource(207))
+	for trial := 0; trial < 50; trial++ {
+		n, k := 8, 3
+		w := randMatrix(rng, n, k, true)
+		base := MaxWeight(w).Value
+		perm := rng.Perm(n)
+		pw := make([][]float64, n)
+		for i, p := range perm {
+			pw[i] = w[p]
+		}
+		if got := MaxWeight(pw).Value; math.Abs(got-base) > 1e-9 {
+			t.Fatalf("permutation changed optimum: %g vs %g", got, base)
+		}
+	}
+}

@@ -1,0 +1,229 @@
+// Package oslist implements an order-statistic treap keyed on
+// (score, id): a balanced ordered collection with O(log n) insert,
+// delete, rank, and select, plus descending iteration.
+//
+// It is the substrate for the sorted bid lists that Section IV's
+// threshold algorithm and logical-update lists require: per-slot
+// lists sorted by click probability, and per-keyword group lists
+// sorted by stored bid, under continual single-element repositioning
+// as winners' parameters change.
+package oslist
+
+// Entry is an element of the list. Entries are ordered by descending
+// Score, ties broken by ascending ID, so iteration order is the
+// "sorted access" order of the threshold algorithm.
+type Entry struct {
+	ID    int
+	Score float64
+}
+
+// less orders a before b when a should be visited first (higher
+// score; equal scores: lower ID).
+func less(a, b Entry) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.ID < b.ID
+}
+
+type node struct {
+	entry    Entry
+	priority uint64
+	size     int
+	left     *node
+	right    *node
+}
+
+func size(n *node) int {
+	if n == nil {
+		return 0
+	}
+	return n.size
+}
+
+func (n *node) recalc() { n.size = 1 + size(n.left) + size(n.right) }
+
+// List is an order-statistic treap. The zero value is NOT ready to
+// use; construct with New.
+type List struct {
+	root *node
+	rng  uint64
+}
+
+// New returns an empty list. seed perturbs treap priorities; any
+// value (including 0) is fine.
+func New(seed uint64) *List {
+	return &List{rng: seed*2862933555777941757 + 3037000493}
+}
+
+// nextPriority is xorshift64*, deterministic per list.
+func (l *List) nextPriority() uint64 {
+	x := l.rng
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	l.rng = x
+	return x * 2685821657736338717
+}
+
+// Len returns the number of entries.
+func (l *List) Len() int { return size(l.root) }
+
+// split partitions t into (before, after) where before holds entries
+// visited strictly before pivot in iteration order.
+func split(t *node, pivot Entry) (*node, *node) {
+	if t == nil {
+		return nil, nil
+	}
+	if less(t.entry, pivot) {
+		l, r := split(t.right, pivot)
+		t.right = l
+		t.recalc()
+		return t, r
+	}
+	l, r := split(t.left, pivot)
+	t.left = r
+	t.recalc()
+	return l, t
+}
+
+// merge joins a and b where every entry of a precedes every entry of b.
+func merge(a, b *node) *node {
+	switch {
+	case a == nil:
+		return b
+	case b == nil:
+		return a
+	case a.priority > b.priority:
+		a.right = merge(a.right, b)
+		a.recalc()
+		return a
+	default:
+		b.left = merge(a, b.left)
+		b.recalc()
+		return b
+	}
+}
+
+// Insert adds e to the list. Inserting an entry equal to an existing
+// one (same ID and score) creates a duplicate; callers maintaining a
+// set must Delete first.
+func (l *List) Insert(e Entry) {
+	nn := &node{entry: e, priority: l.nextPriority(), size: 1}
+	a, b := split(l.root, e)
+	l.root = merge(merge(a, nn), b)
+}
+
+// Delete removes one entry equal to e, reporting whether it was found.
+func (l *List) Delete(e Entry) bool {
+	var deleted bool
+	var rec func(t *node) *node
+	rec = func(t *node) *node {
+		if t == nil {
+			return nil
+		}
+		if t.entry == e {
+			deleted = true
+			return merge(t.left, t.right)
+		}
+		if less(e, t.entry) {
+			t.left = rec(t.left)
+		} else {
+			t.right = rec(t.right)
+		}
+		t.recalc()
+		return t
+	}
+	l.root = rec(l.root)
+	return deleted
+}
+
+// At returns the entry at position i in iteration order (0 = highest
+// score). It panics if i is out of range.
+func (l *List) At(i int) Entry {
+	if i < 0 || i >= l.Len() {
+		panic("oslist: index out of range")
+	}
+	t := l.root
+	for {
+		ls := size(t.left)
+		switch {
+		case i < ls:
+			t = t.left
+		case i == ls:
+			return t.entry
+		default:
+			i -= ls + 1
+			t = t.right
+		}
+	}
+}
+
+// Rank returns the number of entries visited strictly before e in
+// iteration order (i.e. e's position if present).
+func (l *List) Rank(e Entry) int {
+	rank := 0
+	t := l.root
+	for t != nil {
+		if less(t.entry, e) {
+			rank += size(t.left) + 1
+			t = t.right
+		} else {
+			t = t.left
+		}
+	}
+	return rank
+}
+
+// Ascend calls fn for each entry in iteration order (descending
+// score) until fn returns false.
+func (l *List) Ascend(fn func(Entry) bool) {
+	var rec func(t *node) bool
+	rec = func(t *node) bool {
+		if t == nil {
+			return true
+		}
+		if !rec(t.left) {
+			return false
+		}
+		if !fn(t.entry) {
+			return false
+		}
+		return rec(t.right)
+	}
+	rec(l.root)
+}
+
+// Cursor iterates the list in sorted order with O(1) amortized
+// advance using an explicit in-order traversal stack — the sorted
+// access primitive of the threshold algorithm. The list must not be
+// mutated while a cursor is live.
+type Cursor struct {
+	stack []*node
+}
+
+// NewCursor returns a cursor positioned before the first entry.
+func (l *List) NewCursor() *Cursor {
+	c := &Cursor{stack: make([]*node, 0, 16)}
+	c.pushLeft(l.root)
+	return c
+}
+
+func (c *Cursor) pushLeft(n *node) {
+	for n != nil {
+		c.stack = append(c.stack, n)
+		n = n.left
+	}
+}
+
+// Next returns the next entry in iteration order, or false when
+// exhausted.
+func (c *Cursor) Next() (Entry, bool) {
+	if len(c.stack) == 0 {
+		return Entry{}, false
+	}
+	n := c.stack[len(c.stack)-1]
+	c.stack = c.stack[:len(c.stack)-1]
+	c.pushLeft(n.right)
+	return n.entry, true
+}

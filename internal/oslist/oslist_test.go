@@ -1,0 +1,208 @@
+package oslist
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// reference is a plain sorted-slice model of the list.
+type reference []Entry
+
+func (r reference) sorted() reference {
+	out := make(reference, len(r))
+	copy(out, r)
+	sort.Slice(out, func(a, b int) bool { return less(out[a], out[b]) })
+	return out
+}
+
+func collect(l *List) []Entry {
+	var out []Entry
+	l.Ascend(func(e Entry) bool {
+		out = append(out, e)
+		return true
+	})
+	return out
+}
+
+func equalEntries(a, b []Entry) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestInsertDeleteAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	l := New(1)
+	var ref reference
+	for op := 0; op < 5000; op++ {
+		if len(ref) == 0 || rng.Intn(3) != 0 {
+			e := Entry{ID: rng.Intn(100), Score: float64(rng.Intn(20))}
+			// Keep the model a set: skip duplicates.
+			dup := false
+			for _, x := range ref {
+				if x == e {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			l.Insert(e)
+			ref = append(ref, e)
+		} else {
+			victim := ref[rng.Intn(len(ref))]
+			if !l.Delete(victim) {
+				t.Fatalf("Delete(%v) missed an existing entry", victim)
+			}
+			for i, x := range ref {
+				if x == victim {
+					ref = append(ref[:i], ref[i+1:]...)
+					break
+				}
+			}
+		}
+		if l.Len() != len(ref) {
+			t.Fatalf("Len %d != reference %d", l.Len(), len(ref))
+		}
+	}
+	if !equalEntries(collect(l), ref.sorted()) {
+		t.Fatalf("final order mismatch:\n%v\n%v", collect(l), ref.sorted())
+	}
+}
+
+func TestAtAndRank(t *testing.T) {
+	l := New(2)
+	entries := []Entry{{1, 10}, {2, 30}, {3, 20}, {4, 30}}
+	for _, e := range entries {
+		l.Insert(e)
+	}
+	// Order: (2,30), (4,30), (3,20), (1,10) — desc score, asc ID ties.
+	wantOrder := []Entry{{2, 30}, {4, 30}, {3, 20}, {1, 10}}
+	for i, want := range wantOrder {
+		if got := l.At(i); got != want {
+			t.Fatalf("At(%d) = %v, want %v", i, got, want)
+		}
+		if r := l.Rank(want); r != i {
+			t.Fatalf("Rank(%v) = %d, want %d", want, r, i)
+		}
+	}
+}
+
+func TestAtPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At out of range should panic")
+		}
+	}()
+	New(0).At(0)
+}
+
+func TestDeleteMissing(t *testing.T) {
+	l := New(3)
+	l.Insert(Entry{1, 5})
+	if l.Delete(Entry{1, 6}) {
+		t.Fatal("deleted an entry with wrong score")
+	}
+	if l.Delete(Entry{2, 5}) {
+		t.Fatal("deleted an entry with wrong ID")
+	}
+	if !l.Delete(Entry{1, 5}) {
+		t.Fatal("failed to delete existing entry")
+	}
+	if l.Len() != 0 {
+		t.Fatalf("Len = %d after emptying", l.Len())
+	}
+}
+
+func TestCursor(t *testing.T) {
+	l := New(4)
+	for i := 0; i < 10; i++ {
+		l.Insert(Entry{ID: i, Score: float64(i)})
+	}
+	c := l.NewCursor()
+	for want := 9; want >= 0; want-- {
+		e, ok := c.Next()
+		if !ok || e.ID != want {
+			t.Fatalf("cursor yielded (%v,%v), want ID %d", e, ok, want)
+		}
+	}
+	if _, ok := c.Next(); ok {
+		t.Fatal("cursor should be exhausted")
+	}
+}
+
+func TestAscendEarlyStop(t *testing.T) {
+	l := New(6)
+	for i := 0; i < 10; i++ {
+		l.Insert(Entry{ID: i, Score: float64(i)})
+	}
+	count := 0
+	l.Ascend(func(Entry) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Fatalf("Ascend visited %d, want 3", count)
+	}
+}
+
+func TestQuickPropertySortedOrder(t *testing.T) {
+	f := func(scores []float64, seed uint64) bool {
+		l := New(seed)
+		for i, s := range scores {
+			if s != s {
+				s = 0
+			}
+			l.Insert(Entry{ID: i, Score: s})
+		}
+		prev := Entry{}
+		first := true
+		okOrder := true
+		l.Ascend(func(e Entry) bool {
+			if !first && less(e, prev) {
+				okOrder = false
+				return false
+			}
+			prev, first = e, false
+			return true
+		})
+		return okOrder && l.Len() == len(scores)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBalanceIsLogarithmicish(t *testing.T) {
+	// Insert a worst-case (sorted) sequence and check depth stays
+	// far below linear — treap priorities should randomize shape.
+	l := New(99)
+	const n = 1 << 14
+	for i := 0; i < n; i++ {
+		l.Insert(Entry{ID: i, Score: float64(i)})
+	}
+	depth := maxDepth(l.root)
+	if depth > 80 { // ~4·log2(n) is a generous bound
+		t.Fatalf("treap depth %d too large for n=%d", depth, n)
+	}
+}
+
+func maxDepth(n *node) int {
+	if n == nil {
+		return 0
+	}
+	l, r := maxDepth(n.left), maxDepth(n.right)
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}

@@ -1,0 +1,82 @@
+package probmodel
+
+// HeavyModel is the Section III-F extension: advertisers are
+// classified as heavyweights (famous) or lightweights, and the
+// probability that an advertiser gets a click may depend on his slot
+// *and* on which slots hold heavyweight advertisers — a famous
+// competitor directly above a small advertiser siphons clicks away.
+//
+// The paper bounds the representation at O(k·2^(k−1)) by conditioning
+// only on the heavyweight pattern over slots, never on individual
+// competitor identities. This struct realizes exactly that: Factor is
+// indexed by slot and by the pattern bitmask restricted to the other
+// slots.
+type HeavyModel struct {
+	// Base is the pattern-independent model.
+	Base *Model
+	// IsHeavy classifies each advertiser.
+	IsHeavy []bool
+	// Factor scales the base click probability: Factor[j][p] applies
+	// to an ad in slot j when the heavyweight pattern over the other
+	// slots, compressed to k−1 bits by deleting bit j, is p. A nil
+	// Factor means no pattern dependence (factor 1 everywhere).
+	Factor [][]float64
+}
+
+// CompressPattern deletes bit j from the k-bit heavyweight pattern,
+// producing the (k−1)-bit index used by Factor.
+func CompressPattern(pattern uint64, j int) uint64 {
+	low := pattern & ((1 << uint(j)) - 1)
+	high := pattern >> uint(j+1)
+	return low | high<<uint(j)
+}
+
+// ClickProb returns the probability that advertiser i in slot j gets
+// a click when the heavyweight pattern over slots is pattern (bit j'
+// set ⇔ slot j' holds a heavyweight). The result is clamped to [0,1].
+func (h *HeavyModel) ClickProb(i, j int, pattern uint64) float64 {
+	p := h.Base.Click[i][j]
+	if h.Factor != nil {
+		p *= h.Factor[j][CompressPattern(pattern, j)]
+	}
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// PurchaseProb returns P(purchase | click) for advertiser i in slot j
+// under the given heavyweight pattern. The base purchase probability
+// carries no pattern dependence (the paper's formulation conditions
+// purchases on clicks and slots).
+func (h *HeavyModel) PurchaseProb(i, j int, pattern uint64) float64 {
+	return h.Base.Purchase[i][j]
+}
+
+// ShadowFactors builds a Factor table for the natural "shadowing"
+// model: every heavyweight placed strictly above slot j multiplies
+// the click probability of slot j's occupant by (1−shadow). This is
+// the scenario the paper uses to motivate Section III-F.
+func ShadowFactors(k int, shadow float64) [][]float64 {
+	factor := make([][]float64, k)
+	for j := 0; j < k; j++ {
+		rows := 1 << uint(k-1)
+		factor[j] = make([]float64, rows)
+		for p := 0; p < rows; p++ {
+			// Expand p back to a full pattern missing bit j, count
+			// heavyweights in slots above j (bits 0..j−1 of the
+			// compressed pattern are exactly slots 0..j−1).
+			f := 1.0
+			for b := 0; b < j; b++ {
+				if p&(1<<uint(b)) != 0 {
+					f *= 1 - shadow
+				}
+			}
+			factor[j][p] = f
+		}
+	}
+	return factor
+}

@@ -1,0 +1,115 @@
+// Package probmodel holds the outcome probability models of
+// Section III-A: for each advertiser and each slot, the probability
+// that the user clicks the advertiser's ad, and — conditional on a
+// click — the probability that the user makes a purchase. The paper's
+// first-order assumption is that both probabilities depend only on
+// the slot assigned to that advertiser (every click/purchase event is
+// 1-dependent), which is what makes winner determination a bipartite
+// matching.
+//
+// The package also provides the separable special case of
+// Section III-C (click probability = advertiser factor × slot factor)
+// and the heavyweight-conditional model of Section III-F, where click
+// probability additionally depends on which slots hold heavyweight
+// advertisers.
+package probmodel
+
+import "fmt"
+
+// Model gives per-advertiser, per-slot click and purchase
+// probabilities. Advertisers and slots are 0-indexed here; slot 0 is
+// the topmost slot (the paper's Slot_1).
+type Model struct {
+	// Click[i][j] is the probability that advertiser i's ad is clicked
+	// when shown in slot j.
+	Click [][]float64
+	// Purchase[i][j] is the probability of a purchase given a click on
+	// advertiser i's ad in slot j. Purchases require clicks, matching
+	// the paper's assumption that purchase probability depends on
+	// whether the advertiser got a click and on the slot.
+	Purchase [][]float64
+}
+
+// Validate checks matrix shapes and that all entries are
+// probabilities.
+func (m *Model) Validate() error {
+	n := len(m.Click)
+	if len(m.Purchase) != n {
+		return fmt.Errorf("probmodel: click rows %d != purchase rows %d", n, len(m.Purchase))
+	}
+	for i := 0; i < n; i++ {
+		if len(m.Click[i]) != len(m.Purchase[i]) {
+			return fmt.Errorf("probmodel: advertiser %d: click cols %d != purchase cols %d",
+				i, len(m.Click[i]), len(m.Purchase[i]))
+		}
+		if i > 0 && len(m.Click[i]) != len(m.Click[0]) {
+			return fmt.Errorf("probmodel: advertiser %d has %d slots, advertiser 0 has %d",
+				i, len(m.Click[i]), len(m.Click[0]))
+		}
+		for j := range m.Click[i] {
+			if !isProb(m.Click[i][j]) {
+				return fmt.Errorf("probmodel: click[%d][%d] = %v out of [0,1]", i, j, m.Click[i][j])
+			}
+			if !isProb(m.Purchase[i][j]) {
+				return fmt.Errorf("probmodel: purchase[%d][%d] = %v out of [0,1]", i, j, m.Purchase[i][j])
+			}
+		}
+	}
+	return nil
+}
+
+func isProb(p float64) bool { return p >= 0 && p <= 1 }
+
+// Slots returns the number of slots covered by the model.
+func (m *Model) Slots() int {
+	if len(m.Click) == 0 {
+		return 0
+	}
+	return len(m.Click[0])
+}
+
+// Advertisers returns the number of advertisers covered by the model.
+func (m *Model) Advertisers() int { return len(m.Click) }
+
+// New allocates a zeroed model for n advertisers and k slots.
+func New(n, k int) *Model {
+	m := &Model{
+		Click:    make([][]float64, n),
+		Purchase: make([][]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		m.Click[i] = make([]float64, k)
+		m.Purchase[i] = make([]float64, k)
+	}
+	return m
+}
+
+// Separable is the Section III-C special case: the click probability
+// of advertiser i in slot j is Adv[i]·Slot[j]. Existing platforms
+// assume this form; the paper's Figure 8 is an instance
+// (Nike 4, Adidas 3; slot factors 0.2 and 0.1).
+type Separable struct {
+	Adv  []float64
+	Slot []float64
+}
+
+// ClickProb returns Adv[i]·Slot[j].
+func (s *Separable) ClickProb(i, j int) float64 { return s.Adv[i] * s.Slot[j] }
+
+// Materialize expands the separable form into a full Model with the
+// given purchase-given-click probability applied uniformly.
+func (s *Separable) Materialize(purchaseGivenClick float64) (*Model, error) {
+	m := New(len(s.Adv), len(s.Slot))
+	for i := range s.Adv {
+		for j := range s.Slot {
+			p := s.ClickProb(i, j)
+			if !isProb(p) {
+				return nil, fmt.Errorf("probmodel: separable product %v·%v out of [0,1] at (%d,%d)",
+					s.Adv[i], s.Slot[j], i, j)
+			}
+			m.Click[i][j] = p
+			m.Purchase[i][j] = purchaseGivenClick
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,182 @@
+package probmodel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestValidate(t *testing.T) {
+	m := New(2, 3)
+	if err := m.Validate(); err != nil {
+		t.Fatalf("fresh model invalid: %v", err)
+	}
+	m.Click[1][2] = 1.5
+	if err := m.Validate(); err == nil {
+		t.Fatal("out-of-range click prob accepted")
+	}
+	m.Click[1][2] = 0.5
+	m.Purchase[0][0] = -0.1
+	if err := m.Validate(); err == nil {
+		t.Fatal("negative purchase prob accepted")
+	}
+	m.Purchase[0][0] = 0
+
+	ragged := &Model{Click: [][]float64{{0.1}, {0.1, 0.2}}, Purchase: [][]float64{{0.1}, {0.1, 0.2}}}
+	if err := ragged.Validate(); err == nil {
+		t.Fatal("ragged model accepted")
+	}
+	short := &Model{Click: [][]float64{{0.1}}, Purchase: [][]float64{}}
+	if err := short.Validate(); err == nil {
+		t.Fatal("row-count mismatch accepted")
+	}
+	uneven := &Model{Click: [][]float64{{0.1, 0.2}}, Purchase: [][]float64{{0.1}}}
+	if err := uneven.Validate(); err == nil {
+		t.Fatal("column mismatch accepted")
+	}
+}
+
+func TestDimensions(t *testing.T) {
+	m := New(4, 7)
+	if m.Advertisers() != 4 || m.Slots() != 7 {
+		t.Fatalf("dims %d×%d", m.Advertisers(), m.Slots())
+	}
+	empty := New(0, 0)
+	if empty.Slots() != 0 {
+		t.Fatal("empty model slots")
+	}
+}
+
+func TestSeparableMaterialize(t *testing.T) {
+	// Figure 8: Nike 4, Adidas 3; slots 0.2 and 0.1.
+	s := &Separable{Adv: []float64{4, 3}, Slot: []float64{0.2, 0.1}}
+	m, err := s.Materialize(0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{0.8, 0.4}, {0.6, 0.3}}
+	for i := range want {
+		for j := range want[i] {
+			if math.Abs(m.Click[i][j]-want[i][j]) > 1e-12 {
+				t.Fatalf("click[%d][%d] = %g, want %g", i, j, m.Click[i][j], want[i][j])
+			}
+			if m.Purchase[i][j] != 0.25 {
+				t.Fatalf("purchase[%d][%d] = %g", i, j, m.Purchase[i][j])
+			}
+		}
+	}
+	bad := &Separable{Adv: []float64{4}, Slot: []float64{0.5}}
+	if _, err := bad.Materialize(0); err == nil {
+		t.Fatal("product 2.0 accepted as probability")
+	}
+}
+
+func TestCompressPattern(t *testing.T) {
+	// pattern 0b1011 (slots 0,1,3 heavy), delete bit 1 → 0b101.
+	if got := CompressPattern(0b1011, 1); got != 0b101 {
+		t.Fatalf("CompressPattern = %b", got)
+	}
+	if got := CompressPattern(0b1011, 0); got != 0b101 {
+		t.Fatalf("CompressPattern bit0 = %b", got)
+	}
+	if got := CompressPattern(0b1011, 3); got != 0b011 {
+		t.Fatalf("CompressPattern bit3 = %b", got)
+	}
+}
+
+func TestCompressPatternProperty(t *testing.T) {
+	// Deleting bit j never lets bit j's value leak into the result.
+	f := func(p uint16, jj uint8) bool {
+		j := int(jj % 8)
+		with := uint64(p) | 1<<uint(j)
+		without := uint64(p) &^ (1 << uint(j))
+		return CompressPattern(with, j) == CompressPattern(without, j)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeavyModelShadow(t *testing.T) {
+	base := New(1, 3)
+	base.Click[0][0], base.Click[0][1], base.Click[0][2] = 0.6, 0.6, 0.6
+	h := &HeavyModel{Base: base, Factor: ShadowFactors(3, 0.5)}
+	// No heavyweights anywhere: base probability.
+	if p := h.ClickProb(0, 2, 0); math.Abs(p-0.6) > 1e-12 {
+		t.Fatalf("no-heavy prob %g", p)
+	}
+	// One heavyweight above slot 2 (slot 0): halved.
+	if p := h.ClickProb(0, 2, 0b001); math.Abs(p-0.3) > 1e-12 {
+		t.Fatalf("one-heavy-above prob %g", p)
+	}
+	// Two heavyweights above slot 2: quartered.
+	if p := h.ClickProb(0, 2, 0b011); math.Abs(p-0.15) > 1e-12 {
+		t.Fatalf("two-heavy-above prob %g", p)
+	}
+	// Heavyweight *below* slot 0 does not shadow it.
+	if p := h.ClickProb(0, 0, 0b110); math.Abs(p-0.6) > 1e-12 {
+		t.Fatalf("below-heavy prob %g", p)
+	}
+	// A heavyweight in the advertiser's own slot never counts.
+	if p := h.ClickProb(0, 1, 0b010); math.Abs(p-0.6) > 1e-12 {
+		t.Fatalf("own-slot prob %g", p)
+	}
+}
+
+func TestHeavyModelClamps(t *testing.T) {
+	base := New(1, 1)
+	base.Click[0][0] = 0.9
+	h := &HeavyModel{Base: base, Factor: [][]float64{{3.0}}}
+	if p := h.ClickProb(0, 0, 0); p != 1 {
+		t.Fatalf("clamp high: %g", p)
+	}
+	h.Factor[0][0] = -1
+	if p := h.ClickProb(0, 0, 0); p != 0 {
+		t.Fatalf("clamp low: %g", p)
+	}
+}
+
+func TestHeavyModelNilFactor(t *testing.T) {
+	base := New(1, 2)
+	base.Click[0][0] = 0.4
+	h := &HeavyModel{Base: base}
+	if p := h.ClickProb(0, 0, 0b11); p != 0.4 {
+		t.Fatalf("nil factor should be identity, got %g", p)
+	}
+}
+
+func TestShadowFactorsShape(t *testing.T) {
+	f := ShadowFactors(4, 0.25)
+	if len(f) != 4 {
+		t.Fatalf("len %d", len(f))
+	}
+	for j := range f {
+		if len(f[j]) != 1<<3 {
+			t.Fatalf("slot %d has %d patterns, want 8", j, len(f[j]))
+		}
+	}
+	// Slot 0 is never shadowed.
+	for _, v := range f[0] {
+		if v != 1 {
+			t.Fatalf("slot 0 factor %g", v)
+		}
+	}
+	// Slot 3 with all three above heavy: (0.75)^3.
+	want := 0.75 * 0.75 * 0.75
+	if math.Abs(f[3][0b111]-want) > 1e-12 {
+		t.Fatalf("slot 3 full shadow %g, want %g", f[3][0b111], want)
+	}
+}
+
+func TestPurchaseProbIgnoresPattern(t *testing.T) {
+	base := New(1, 2)
+	base.Purchase[0][1] = 0.3
+	h := &HeavyModel{Base: base, Factor: ShadowFactors(2, 0.9)}
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		if p := h.PurchaseProb(0, 1, uint64(rng.Intn(4))); p != 0.3 {
+			t.Fatalf("purchase prob %g", p)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package sqlmini
+
+import "repro/internal/table"
+
+// Stmt is a statement node.
+type Stmt interface{ stmt() }
+
+// CreateTrigger registers Body to run after every insert into Table.
+type CreateTrigger struct {
+	Name  string
+	Table string
+	Body  []Stmt
+}
+
+// If is an IF / ELSEIF… / ELSE / ENDIF chain.
+type If struct {
+	Branches []CondBranch
+	Else     []Stmt
+}
+
+// CondBranch is one guarded branch of an If.
+type CondBranch struct {
+	Cond Expr
+	Body []Stmt
+}
+
+// Update is UPDATE Table SET … [WHERE …].
+type Update struct {
+	Table string
+	Sets  []SetClause
+	Where Expr // nil means every row
+}
+
+// SetClause is one "col = expr" assignment.
+type SetClause struct {
+	Col string
+	Val Expr
+}
+
+// Insert is INSERT INTO Table VALUES (…).
+type Insert struct {
+	Table  string
+	Values []Expr
+}
+
+// Delete is DELETE FROM Table [WHERE …].
+type Delete struct {
+	Table string
+	Where Expr
+}
+
+// SetScalar is SET name = expr, assigning a scalar variable.
+type SetScalar struct {
+	Name string
+	Val  Expr
+}
+
+func (*CreateTrigger) stmt() {}
+func (*If) stmt()            {}
+func (*Update) stmt()        {}
+func (*Insert) stmt()        {}
+func (*Delete) stmt()        {}
+func (*SetScalar) stmt()     {}
+
+// Expr is an expression node.
+type Expr interface{ expr() }
+
+// Lit is a literal value.
+type Lit struct{ V table.Value }
+
+// ColRef references a column (optionally qualified by a table name or
+// alias) or, failing column resolution, a scalar variable.
+type ColRef struct {
+	Qualifier string // "" when unqualified
+	Name      string
+	tok       tok
+}
+
+// Binary is a binary operation: + - * / = <> < <= > >= AND OR.
+type Binary struct {
+	Op   string
+	L, R Expr
+	tok  tok
+}
+
+// Unary is NOT x or -x.
+type Unary struct {
+	Op  string
+	X   Expr
+	tok tok
+}
+
+// SubQuery is a scalar aggregate subquery:
+// ( SELECT AGG(arg) FROM Table [Alias] [WHERE cond] ).
+type SubQuery struct {
+	Agg   string // MAX, MIN, SUM, COUNT, AVG
+	Arg   Expr   // nil for COUNT(*)
+	Table string
+	Alias string
+	Where Expr // nil means every row
+	tok   tok
+}
+
+func (*Lit) expr()      {}
+func (*ColRef) expr()   {}
+func (*Binary) expr()   {}
+func (*Unary) expr()    {}
+func (*SubQuery) expr() {}

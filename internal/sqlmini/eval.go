@@ -1,0 +1,420 @@
+package sqlmini
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/table"
+)
+
+// Program is a compiled bidding program.
+type Program struct {
+	Source string
+	Stmts  []Stmt
+}
+
+// Compile parses src into a Program.
+func Compile(src string) (*Program, error) {
+	stmts, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{Source: src, Stmts: stmts}, nil
+}
+
+// Install executes the program's top-level statements against db.
+// CREATE TRIGGER statements register their bodies on the named table;
+// other statements execute immediately. A bidding program is
+// installed once per advertiser; thereafter inserting into its Query
+// table fires the trigger each auction (Section II-B's flow).
+func (p *Program) Install(db *table.DB) error {
+	return runStmts(db, nil, p.Stmts)
+}
+
+// scope is one level of name resolution: a row of a table visible
+// under the table's name or an alias. parent scopes hold outer rows
+// for correlated subqueries.
+type scope struct {
+	name   string // alias if given, else table name
+	tbl    *table.Table
+	row    table.Row
+	parent *scope
+}
+
+func runStmts(db *table.DB, sc *scope, stmts []Stmt) error {
+	for _, s := range stmts {
+		if err := runStmt(db, sc, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runStmt(db *table.DB, sc *scope, s Stmt) error {
+	switch s := s.(type) {
+	case *CreateTrigger:
+		tbl, ok := db.Table(s.Table)
+		if !ok {
+			return fmt.Errorf("sqlmini: CREATE TRIGGER %s: no table %q", s.Name, s.Table)
+		}
+		body := s.Body
+		tbl.OnInsert(func(inserted table.Row) error {
+			// The inserted row is visible as NEW and under the table name.
+			rowScope := &scope{name: "NEW", tbl: tbl, row: inserted, parent: sc}
+			return runStmts(db, rowScope, body)
+		})
+		return nil
+
+	case *If:
+		for _, br := range s.Branches {
+			v, err := evalExpr(db, sc, br.Cond)
+			if err != nil {
+				return err
+			}
+			if v.Truthy() {
+				return runStmts(db, sc, br.Body)
+			}
+		}
+		return runStmts(db, sc, s.Else)
+
+	case *Update:
+		return runUpdate(db, sc, s)
+
+	case *Insert:
+		tbl, ok := db.Table(s.Table)
+		if !ok {
+			return fmt.Errorf("sqlmini: INSERT: no table %q", s.Table)
+		}
+		row := make(table.Row, len(s.Values))
+		for i, e := range s.Values {
+			v, err := evalExpr(db, sc, e)
+			if err != nil {
+				return err
+			}
+			row[i] = v
+		}
+		return tbl.Insert(row)
+
+	case *Delete:
+		tbl, ok := db.Table(s.Table)
+		if !ok {
+			return fmt.Errorf("sqlmini: DELETE: no table %q", s.Table)
+		}
+		kept := tbl.Rows[:0]
+		for _, row := range tbl.Rows {
+			match := true
+			if s.Where != nil {
+				v, err := evalExpr(db, &scope{name: tbl.Name, tbl: tbl, row: row, parent: sc}, s.Where)
+				if err != nil {
+					return err
+				}
+				match = v.Truthy()
+			}
+			if !match {
+				kept = append(kept, row)
+			}
+		}
+		tbl.Rows = kept
+		return nil
+
+	case *SetScalar:
+		v, err := evalExpr(db, sc, s.Val)
+		if err != nil {
+			return err
+		}
+		db.SetScalar(s.Name, v)
+		return nil
+
+	default:
+		return fmt.Errorf("sqlmini: unknown statement %T", s)
+	}
+}
+
+// runUpdate evaluates the WHERE predicate for every row against the
+// pre-statement state, then applies the SET clauses row by row. Each
+// row's SET expressions see that row's pre-update values (standard
+// SQL); scalar subqueries in SET clauses see the table as already
+// updated for earlier rows, which is irrelevant for the paper's
+// programs (their subqueries never aggregate the column being set of
+// the table being updated within the same statement... they do read
+// Keywords while updating Bids, and read Keywords.roi while updating
+// Keywords.bid, both safe).
+func runUpdate(db *table.DB, sc *scope, s *Update) error {
+	tbl, ok := db.Table(s.Table)
+	if !ok {
+		return fmt.Errorf("sqlmini: UPDATE: no table %q", s.Table)
+	}
+	colIdx := make([]int, len(s.Sets))
+	for i, set := range s.Sets {
+		ci, ok := tbl.Col(set.Col)
+		if !ok {
+			return fmt.Errorf("sqlmini: UPDATE %s: no column %q", s.Table, set.Col)
+		}
+		colIdx[i] = ci
+	}
+	// Pass 1: decide matches on the pre-statement state.
+	matched := make([]bool, len(tbl.Rows))
+	for r, row := range tbl.Rows {
+		matched[r] = true
+		if s.Where != nil {
+			v, err := evalExpr(db, &scope{name: tbl.Name, tbl: tbl, row: row, parent: sc}, s.Where)
+			if err != nil {
+				return err
+			}
+			matched[r] = v.Truthy()
+		}
+	}
+	// Pass 2: apply SETs.
+	for r, row := range tbl.Rows {
+		if !matched[r] {
+			continue
+		}
+		rowScope := &scope{name: tbl.Name, tbl: tbl, row: row, parent: sc}
+		newVals := make([]table.Value, len(s.Sets))
+		for i, set := range s.Sets {
+			v, err := evalExpr(db, rowScope, set.Val)
+			if err != nil {
+				return err
+			}
+			newVals[i] = v
+		}
+		for i, ci := range colIdx {
+			row[ci] = newVals[i]
+		}
+	}
+	return nil
+}
+
+// evalExpr evaluates e in the given database and scope chain.
+func evalExpr(db *table.DB, sc *scope, e Expr) (table.Value, error) {
+	switch e := e.(type) {
+	case *Lit:
+		return e.V, nil
+
+	case *ColRef:
+		return resolve(db, sc, e)
+
+	case *Unary:
+		v, err := evalExpr(db, sc, e.X)
+		if err != nil {
+			return table.N(), err
+		}
+		switch e.Op {
+		case "NOT":
+			return table.B(!v.Truthy()), nil
+		case "-":
+			if v.Kind != table.Float {
+				return table.N(), errAt(e.tok, "unary '-' needs a number, got %v", v)
+			}
+			return table.F(-v.F), nil
+		}
+		return table.N(), errAt(e.tok, "unknown unary operator %q", e.Op)
+
+	case *Binary:
+		return evalBinary(db, sc, e)
+
+	case *SubQuery:
+		return evalSubQuery(db, sc, e)
+
+	default:
+		return table.N(), fmt.Errorf("sqlmini: unknown expression %T", e)
+	}
+}
+
+func evalBinary(db *table.DB, sc *scope, e *Binary) (table.Value, error) {
+	// Short-circuit logical operators.
+	switch e.Op {
+	case "AND":
+		l, err := evalExpr(db, sc, e.L)
+		if err != nil {
+			return table.N(), err
+		}
+		if !l.Truthy() {
+			return table.B(false), nil
+		}
+		r, err := evalExpr(db, sc, e.R)
+		if err != nil {
+			return table.N(), err
+		}
+		return table.B(r.Truthy()), nil
+	case "OR":
+		l, err := evalExpr(db, sc, e.L)
+		if err != nil {
+			return table.N(), err
+		}
+		if l.Truthy() {
+			return table.B(true), nil
+		}
+		r, err := evalExpr(db, sc, e.R)
+		if err != nil {
+			return table.N(), err
+		}
+		return table.B(r.Truthy()), nil
+	}
+	l, err := evalExpr(db, sc, e.L)
+	if err != nil {
+		return table.N(), err
+	}
+	r, err := evalExpr(db, sc, e.R)
+	if err != nil {
+		return table.N(), err
+	}
+	switch e.Op {
+	case "+", "-", "*", "/":
+		if l.Kind != table.Float || r.Kind != table.Float {
+			return table.N(), errAt(e.tok, "arithmetic %q needs numbers, got %v and %v", e.Op, l, r)
+		}
+		switch e.Op {
+		case "+":
+			return table.F(l.F + r.F), nil
+		case "-":
+			return table.F(l.F - r.F), nil
+		case "*":
+			return table.F(l.F * r.F), nil
+		default:
+			if r.F == 0 {
+				return table.N(), errAt(e.tok, "division by zero")
+			}
+			return table.F(l.F / r.F), nil
+		}
+	case "=":
+		return table.B(l.Equal(r)), nil
+	case "<>":
+		if l.Kind == table.Null || r.Kind == table.Null {
+			return table.B(false), nil
+		}
+		return table.B(!l.Equal(r)), nil
+	case "<", "<=", ">", ">=":
+		c, err := l.Compare(r)
+		if err != nil {
+			return table.N(), errAt(e.tok, "%v", err)
+		}
+		switch e.Op {
+		case "<":
+			return table.B(c < 0), nil
+		case "<=":
+			return table.B(c <= 0), nil
+		case ">":
+			return table.B(c > 0), nil
+		default:
+			return table.B(c >= 0), nil
+		}
+	}
+	return table.N(), errAt(e.tok, "unknown operator %q", e.Op)
+}
+
+// resolve looks a name up through the scope chain (columns first,
+// innermost scope first), then among scalar variables.
+func resolve(db *table.DB, sc *scope, ref *ColRef) (table.Value, error) {
+	for s := sc; s != nil; s = s.parent {
+		if ref.Qualifier != "" && !strings.EqualFold(ref.Qualifier, s.name) && !strings.EqualFold(ref.Qualifier, s.tbl.Name) {
+			continue
+		}
+		if ci, ok := s.tbl.Col(ref.Name); ok {
+			return s.row[ci], nil
+		}
+		if ref.Qualifier != "" {
+			return table.N(), errAt(ref.tok, "table %s has no column %q", s.name, ref.Name)
+		}
+	}
+	if ref.Qualifier == "" {
+		if v, ok := db.Scalar(ref.Name); ok {
+			return v, nil
+		}
+	}
+	return table.N(), errAt(ref.tok, "unknown name %q", refName(ref))
+}
+
+func refName(ref *ColRef) string {
+	if ref.Qualifier != "" {
+		return ref.Qualifier + "." + ref.Name
+	}
+	return ref.Name
+}
+
+// evalSubQuery computes a scalar aggregate over the subquery's table.
+// Following the paper's example semantics (Figure 6), SUM, COUNT, and
+// AVG over an empty selection yield 0, while MAX and MIN yield NULL.
+func evalSubQuery(db *table.DB, sc *scope, sq *SubQuery) (table.Value, error) {
+	tbl, ok := db.Table(sq.Table)
+	if !ok {
+		return table.N(), errAt(sq.tok, "subquery: no table %q", sq.Table)
+	}
+	name := sq.Alias
+	if name == "" {
+		name = tbl.Name
+	}
+	var (
+		count int
+		sum   float64
+		best  table.Value
+		have  bool
+	)
+	for _, row := range tbl.Rows {
+		rowScope := &scope{name: name, tbl: tbl, row: row, parent: sc}
+		if sq.Where != nil {
+			v, err := evalExpr(db, rowScope, sq.Where)
+			if err != nil {
+				return table.N(), err
+			}
+			if !v.Truthy() {
+				continue
+			}
+		}
+		if sq.Arg == nil { // COUNT(*)
+			count++
+			continue
+		}
+		v, err := evalExpr(db, rowScope, sq.Arg)
+		if err != nil {
+			return table.N(), err
+		}
+		if v.Kind == table.Null {
+			continue // aggregates skip NULLs
+		}
+		count++
+		switch sq.Agg {
+		case "SUM", "AVG":
+			if v.Kind != table.Float {
+				return table.N(), errAt(sq.tok, "%s needs numeric values, got %v", sq.Agg, v)
+			}
+			sum += v.F
+		case "MAX":
+			if !have {
+				best, have = v, true
+			} else if c, err := v.Compare(best); err != nil {
+				return table.N(), errAt(sq.tok, "%v", err)
+			} else if c > 0 {
+				best = v
+			}
+		case "MIN":
+			if !have {
+				best, have = v, true
+			} else if c, err := v.Compare(best); err != nil {
+				return table.N(), errAt(sq.tok, "%v", err)
+			} else if c < 0 {
+				best = v
+			}
+		}
+	}
+	switch sq.Agg {
+	case "COUNT":
+		return table.F(float64(count)), nil
+	case "SUM":
+		return table.F(sum), nil
+	case "AVG":
+		if count == 0 {
+			return table.F(0), nil
+		}
+		return table.F(sum / float64(count)), nil
+	default: // MAX, MIN
+		if !have {
+			return table.N(), nil
+		}
+		return best, nil
+	}
+}
+
+// Eval evaluates a standalone expression against db with no row
+// scope; only scalars and subqueries can be referenced.
+func Eval(db *table.DB, e Expr) (table.Value, error) { return evalExpr(db, nil, e) }

@@ -1,0 +1,164 @@
+// Package sqlmini implements the paper's bidding-program language
+// (Section II-B): a small SQL dialect with triggers, conditionals,
+// and updates — "simple SQL updates without recursion and
+// side-effects" — interpreted against the in-memory tables of
+// internal/table. The running example is the ROI-equalizing program
+// of Figure 5, which this package executes verbatim.
+//
+// Supported statements:
+//
+//	CREATE TRIGGER name AFTER INSERT ON Table { stmt… }
+//	IF expr THEN stmt… [ELSEIF expr THEN stmt…]… [ELSE stmt…] ENDIF ;
+//	UPDATE Table SET col = expr [, col = expr]… [WHERE expr] ;
+//	INSERT INTO Table VALUES ( expr, … ) ;
+//	DELETE FROM Table [WHERE expr] ;
+//	SET scalar = expr ;
+//
+// Expressions include literals, column references (optionally
+// qualified by a table name or alias), scalar variables, arithmetic,
+// comparisons, AND/OR/NOT, and scalar aggregate subqueries
+// ( SELECT MAX(K.roi) FROM Keywords K [WHERE …] ) with aggregates
+// MAX, MIN, SUM, COUNT, and AVG.
+package sqlmini
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol // ( ) { } , ; = <> <= >= < > + - * / .
+)
+
+type tok struct {
+	kind tokKind
+	text string
+	line int
+	col  int
+}
+
+// Error is a parse or runtime error with source position when known.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *Error) Error() string {
+	if e.Line > 0 {
+		return fmt.Sprintf("sqlmini: line %d:%d: %s", e.Line, e.Col, e.Msg)
+	}
+	return "sqlmini: " + e.Msg
+}
+
+func errAt(t tok, format string, args ...interface{}) error {
+	return &Error{Line: t.line, Col: t.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+// lex tokenizes src. Comments run from "--" to end of line.
+func lex(src string) ([]tok, error) {
+	var toks []tok
+	line, col := 1, 1
+	rs := []rune(src)
+	i := 0
+	advance := func(n int) {
+		for ; n > 0; n-- {
+			if rs[i] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+			i++
+		}
+	}
+	for i < len(rs) {
+		r := rs[i]
+		switch {
+		case unicode.IsSpace(r):
+			advance(1)
+		case r == '-' && i+1 < len(rs) && rs[i+1] == '-':
+			for i < len(rs) && rs[i] != '\n' {
+				advance(1)
+			}
+		case unicode.IsLetter(r) || r == '_':
+			start, sl, sc := i, line, col
+			for i < len(rs) && (unicode.IsLetter(rs[i]) || unicode.IsDigit(rs[i]) || rs[i] == '_') {
+				advance(1)
+			}
+			toks = append(toks, tok{tokIdent, string(rs[start:i]), sl, sc})
+		case unicode.IsDigit(r) || (r == '.' && i+1 < len(rs) && unicode.IsDigit(rs[i+1])):
+			start, sl, sc := i, line, col
+			seenDot := false
+			for i < len(rs) && (unicode.IsDigit(rs[i]) || (rs[i] == '.' && !seenDot)) {
+				if rs[i] == '.' {
+					// A dot followed by a non-digit is a qualifier dot,
+					// not a decimal point.
+					if i+1 >= len(rs) || !unicode.IsDigit(rs[i+1]) {
+						break
+					}
+					seenDot = true
+				}
+				advance(1)
+			}
+			toks = append(toks, tok{tokNumber, string(rs[start:i]), sl, sc})
+		case r == '\'':
+			sl, sc := line, col
+			advance(1)
+			start := i
+			for i < len(rs) && rs[i] != '\'' {
+				advance(1)
+			}
+			if i >= len(rs) {
+				return nil, &Error{Line: sl, Col: sc, Msg: "unterminated string literal"}
+			}
+			toks = append(toks, tok{tokString, string(rs[start:i]), sl, sc})
+			advance(1)
+		case strings.ContainsRune("(){},;=+-*/.", r):
+			toks = append(toks, tok{tokSymbol, string(r), line, col})
+			advance(1)
+		case r == '<':
+			sl, sc := line, col
+			advance(1)
+			text := "<"
+			if i < len(rs) && (rs[i] == '=' || rs[i] == '>') {
+				text += string(rs[i])
+				advance(1)
+			}
+			toks = append(toks, tok{tokSymbol, text, sl, sc})
+		case r == '>':
+			sl, sc := line, col
+			advance(1)
+			text := ">"
+			if i < len(rs) && rs[i] == '=' {
+				text += "="
+				advance(1)
+			}
+			toks = append(toks, tok{tokSymbol, text, sl, sc})
+		case r == '!':
+			sl, sc := line, col
+			advance(1)
+			if i < len(rs) && rs[i] == '=' {
+				advance(1)
+				toks = append(toks, tok{tokSymbol, "<>", sl, sc})
+			} else {
+				return nil, &Error{Line: sl, Col: sc, Msg: "unexpected '!'"}
+			}
+		default:
+			return nil, &Error{Line: line, Col: col, Msg: fmt.Sprintf("unexpected character %q", r)}
+		}
+	}
+	toks = append(toks, tok{tokEOF, "", line, col})
+	return toks, nil
+}
+
+// isKw reports whether t is the given keyword (case-insensitive).
+func isKw(t tok, kw string) bool {
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}

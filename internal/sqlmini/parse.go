@@ -1,0 +1,555 @@
+package sqlmini
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/table"
+)
+
+// Parse compiles a bidding-program source into a statement list.
+func Parse(src string) ([]Stmt, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var stmts []Stmt
+	for !p.atEOF() {
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+	return stmts, nil
+}
+
+// ParseExpr compiles a single expression (for tests and ad-hoc
+// evaluation).
+func ParseExpr(src string) (Expr, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, errAt(p.peek(), "trailing input %q", p.peek().text)
+	}
+	return e, nil
+}
+
+type parser struct {
+	toks []tok
+	i    int
+}
+
+func (p *parser) peek() tok   { return p.toks[p.i] }
+func (p *parser) atEOF() bool { return p.peek().kind == tokEOF }
+func (p *parser) next() tok {
+	t := p.toks[p.i]
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+// acceptKw consumes the next token if it is the given keyword.
+func (p *parser) acceptKw(kw string) bool {
+	if isKw(p.peek(), kw) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+// acceptSym consumes the next token if it is the given symbol.
+func (p *parser) acceptSym(sym string) bool {
+	t := p.peek()
+	if t.kind == tokSymbol && t.text == sym {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKw(kw string) error {
+	if !p.acceptKw(kw) {
+		return errAt(p.peek(), "expected %s, found %q", strings.ToUpper(kw), p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) expectSym(sym string) error {
+	if !p.acceptSym(sym) {
+		return errAt(p.peek(), "expected %q, found %q", sym, p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) expectIdent(what string) (tok, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return t, errAt(t, "expected %s, found %q", what, t.text)
+	}
+	p.i++
+	return t, nil
+}
+
+// endOfStmt consumes an optional ';'.
+func (p *parser) endOfStmt() { p.acceptSym(";") }
+
+func (p *parser) parseStmt() (Stmt, error) {
+	t := p.peek()
+	switch {
+	case isKw(t, "CREATE"):
+		return p.parseCreateTrigger()
+	case isKw(t, "IF"):
+		return p.parseIf()
+	case isKw(t, "UPDATE"):
+		return p.parseUpdate()
+	case isKw(t, "INSERT"):
+		return p.parseInsert()
+	case isKw(t, "DELETE"):
+		return p.parseDelete()
+	case isKw(t, "SET"):
+		return p.parseSetScalar()
+	default:
+		return nil, errAt(t, "expected a statement, found %q", t.text)
+	}
+}
+
+// parseCreateTrigger: CREATE TRIGGER name AFTER INSERT ON tbl { body }
+func (p *parser) parseCreateTrigger() (Stmt, error) {
+	p.next() // CREATE
+	if err := p.expectKw("TRIGGER"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent("trigger name")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("AFTER"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("INSERT"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("ON"); err != nil {
+		return nil, err
+	}
+	tbl, err := p.expectIdent("table name")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSym("{"); err != nil {
+		return nil, err
+	}
+	var body []Stmt
+	for !p.acceptSym("}") {
+		if p.atEOF() {
+			return nil, errAt(p.peek(), "unterminated trigger body (missing '}')")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		body = append(body, s)
+	}
+	p.endOfStmt()
+	return &CreateTrigger{Name: name.text, Table: tbl.text, Body: body}, nil
+}
+
+// parseIf: IF c THEN s… {ELSEIF c THEN s…} [ELSE s…] ENDIF ;
+func (p *parser) parseIf() (Stmt, error) {
+	p.next() // IF
+	node := &If{}
+	for {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("THEN"); err != nil {
+			return nil, err
+		}
+		var body []Stmt
+		for !isKw(p.peek(), "ELSEIF") && !isKw(p.peek(), "ELSE") && !isKw(p.peek(), "ENDIF") {
+			if p.atEOF() {
+				return nil, errAt(p.peek(), "unterminated IF (missing ENDIF)")
+			}
+			s, err := p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+			body = append(body, s)
+		}
+		node.Branches = append(node.Branches, CondBranch{Cond: cond, Body: body})
+		if p.acceptKw("ELSEIF") {
+			continue
+		}
+		break
+	}
+	if p.acceptKw("ELSE") {
+		for !isKw(p.peek(), "ENDIF") {
+			if p.atEOF() {
+				return nil, errAt(p.peek(), "unterminated ELSE (missing ENDIF)")
+			}
+			s, err := p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+			node.Else = append(node.Else, s)
+		}
+	}
+	if err := p.expectKw("ENDIF"); err != nil {
+		return nil, err
+	}
+	p.endOfStmt()
+	return node, nil
+}
+
+// parseUpdate: UPDATE tbl SET col = e {, col = e} [WHERE e] ;
+func (p *parser) parseUpdate() (Stmt, error) {
+	p.next() // UPDATE
+	tbl, err := p.expectIdent("table name")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("SET"); err != nil {
+		return nil, err
+	}
+	u := &Update{Table: tbl.text}
+	for {
+		col, err := p.expectIdent("column name")
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSym("="); err != nil {
+			return nil, err
+		}
+		val, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		u.Sets = append(u.Sets, SetClause{Col: col.text, Val: val})
+		if !p.acceptSym(",") {
+			break
+		}
+	}
+	if p.acceptKw("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		u.Where = w
+	}
+	p.endOfStmt()
+	return u, nil
+}
+
+// parseInsert: INSERT INTO tbl VALUES ( e, … ) ;
+func (p *parser) parseInsert() (Stmt, error) {
+	p.next() // INSERT
+	if err := p.expectKw("INTO"); err != nil {
+		return nil, err
+	}
+	tbl, err := p.expectIdent("table name")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("VALUES"); err != nil {
+		return nil, err
+	}
+	if err := p.expectSym("("); err != nil {
+		return nil, err
+	}
+	ins := &Insert{Table: tbl.text}
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		ins.Values = append(ins.Values, e)
+		if !p.acceptSym(",") {
+			break
+		}
+	}
+	if err := p.expectSym(")"); err != nil {
+		return nil, err
+	}
+	p.endOfStmt()
+	return ins, nil
+}
+
+// parseDelete: DELETE FROM tbl [WHERE e] ;
+func (p *parser) parseDelete() (Stmt, error) {
+	p.next() // DELETE
+	if err := p.expectKw("FROM"); err != nil {
+		return nil, err
+	}
+	tbl, err := p.expectIdent("table name")
+	if err != nil {
+		return nil, err
+	}
+	d := &Delete{Table: tbl.text}
+	if p.acceptKw("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		d.Where = w
+	}
+	p.endOfStmt()
+	return d, nil
+}
+
+// parseSetScalar: SET name = e ;
+func (p *parser) parseSetScalar() (Stmt, error) {
+	p.next() // SET
+	name, err := p.expectIdent("scalar name")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSym("="); err != nil {
+		return nil, err
+	}
+	val, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	p.endOfStmt()
+	return &SetScalar{Name: name.text, Val: val}, nil
+}
+
+// Expression grammar, loosest to tightest:
+// or → and → not → comparison → additive → multiplicative → unary → atom.
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	e, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for isKw(p.peek(), "OR") {
+		t := p.next()
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		e = &Binary{Op: "OR", L: e, R: r, tok: t}
+	}
+	return e, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	e, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for isKw(p.peek(), "AND") {
+		t := p.next()
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		e = &Binary{Op: "AND", L: e, R: r, tok: t}
+	}
+	return e, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if isKw(p.peek(), "NOT") {
+		t := p.next()
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "NOT", X: x, tok: t}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) parseComparison() (Expr, error) {
+	e, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	if t.kind == tokSymbol {
+		switch t.text {
+		case "=", "<>", "<", "<=", ">", ">=":
+			p.next()
+			r, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			return &Binary{Op: t.text, L: e, R: r, tok: t}, nil
+		}
+	}
+	return e, nil
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	e, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != tokSymbol || (t.text != "+" && t.text != "-") {
+			return e, nil
+		}
+		p.next()
+		r, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		e = &Binary{Op: t.text, L: e, R: r, tok: t}
+	}
+}
+
+func (p *parser) parseMultiplicative() (Expr, error) {
+	e, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != tokSymbol || (t.text != "*" && t.text != "/") {
+			return e, nil
+		}
+		p.next()
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		e = &Binary{Op: t.text, L: e, R: r, tok: t}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	t := p.peek()
+	if t.kind == tokSymbol && t.text == "-" {
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "-", X: x, tok: t}, nil
+	}
+	return p.parseAtom()
+}
+
+func (p *parser) parseAtom() (Expr, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokNumber:
+		p.next()
+		f, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, errAt(t, "bad number %q", t.text)
+		}
+		return &Lit{table.F(f)}, nil
+	case t.kind == tokString:
+		p.next()
+		return &Lit{table.S(t.text)}, nil
+	case isKw(t, "TRUE"):
+		p.next()
+		return &Lit{table.B(true)}, nil
+	case isKw(t, "FALSE"):
+		p.next()
+		return &Lit{table.B(false)}, nil
+	case isKw(t, "NULL"):
+		p.next()
+		return &Lit{table.N()}, nil
+	case t.kind == tokSymbol && t.text == "(":
+		p.next()
+		if isKw(p.peek(), "SELECT") {
+			return p.parseSubQuery(t)
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSym(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.kind == tokIdent:
+		p.next()
+		if p.acceptSym(".") {
+			col, err := p.expectIdent("column name after '.'")
+			if err != nil {
+				return nil, err
+			}
+			return &ColRef{Qualifier: t.text, Name: col.text, tok: t}, nil
+		}
+		return &ColRef{Name: t.text, tok: t}, nil
+	default:
+		return nil, errAt(t, "expected an expression, found %q", t.text)
+	}
+}
+
+// parseSubQuery parses, after the opening '(':
+// SELECT AGG ( expr | * ) FROM tbl [alias] [WHERE expr] )
+func (p *parser) parseSubQuery(open tok) (Expr, error) {
+	p.next() // SELECT
+	aggTok, err := p.expectIdent("aggregate function")
+	if err != nil {
+		return nil, err
+	}
+	agg := strings.ToUpper(aggTok.text)
+	switch agg {
+	case "MAX", "MIN", "SUM", "COUNT", "AVG":
+	default:
+		return nil, errAt(aggTok, "unsupported aggregate %q (want MAX, MIN, SUM, COUNT, or AVG)", aggTok.text)
+	}
+	if err := p.expectSym("("); err != nil {
+		return nil, err
+	}
+	sq := &SubQuery{Agg: agg, tok: open}
+	if p.acceptSym("*") {
+		if agg != "COUNT" {
+			return nil, errAt(aggTok, "%s(*) is only valid for COUNT", agg)
+		}
+	} else {
+		arg, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sq.Arg = arg
+	}
+	if err := p.expectSym(")"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("FROM"); err != nil {
+		return nil, err
+	}
+	tbl, err := p.expectIdent("table name")
+	if err != nil {
+		return nil, err
+	}
+	sq.Table = tbl.text
+	// Optional alias: an identifier that is not WHERE and not the
+	// closing parenthesis.
+	if t := p.peek(); t.kind == tokIdent && !isKw(t, "WHERE") {
+		p.next()
+		sq.Alias = t.text
+	}
+	if p.acceptKw("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sq.Where = w
+	}
+	if err := p.expectSym(")"); err != nil {
+		return nil, err
+	}
+	return sq, nil
+}

@@ -1,0 +1,221 @@
+package sqlmini
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/table"
+)
+
+// Format renders statements back to source. The output reparses to a
+// structurally identical program (round-trip property under test),
+// which makes programs storable, diffable, and displayable by the
+// provider's tooling.
+func Format(stmts []Stmt) string {
+	var sb strings.Builder
+	for i, s := range stmts {
+		if i > 0 {
+			sb.WriteByte('\n')
+		}
+		writeStmt(&sb, s, 0)
+	}
+	return sb.String()
+}
+
+// FormatProgram renders a compiled program.
+func (p *Program) Format() string { return Format(p.Stmts) }
+
+func indent(sb *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		sb.WriteString("  ")
+	}
+}
+
+func writeStmt(sb *strings.Builder, s Stmt, depth int) {
+	switch s := s.(type) {
+	case *CreateTrigger:
+		indent(sb, depth)
+		fmt.Fprintf(sb, "CREATE TRIGGER %s AFTER INSERT ON %s {\n", s.Name, s.Table)
+		for _, inner := range s.Body {
+			writeStmt(sb, inner, depth+1)
+		}
+		indent(sb, depth)
+		sb.WriteString("}\n")
+	case *If:
+		indent(sb, depth)
+		for i, br := range s.Branches {
+			if i == 0 {
+				sb.WriteString("IF ")
+			} else {
+				indent(sb, depth)
+				sb.WriteString("ELSEIF ")
+			}
+			sb.WriteString(ExprString(br.Cond))
+			sb.WriteString(" THEN\n")
+			for _, inner := range br.Body {
+				writeStmt(sb, inner, depth+1)
+			}
+		}
+		if len(s.Else) > 0 {
+			indent(sb, depth)
+			sb.WriteString("ELSE\n")
+			for _, inner := range s.Else {
+				writeStmt(sb, inner, depth+1)
+			}
+		}
+		indent(sb, depth)
+		sb.WriteString("ENDIF;\n")
+	case *Update:
+		indent(sb, depth)
+		fmt.Fprintf(sb, "UPDATE %s SET ", s.Table)
+		for i, set := range s.Sets {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(sb, "%s = %s", set.Col, ExprString(set.Val))
+		}
+		if s.Where != nil {
+			sb.WriteString(" WHERE ")
+			sb.WriteString(ExprString(s.Where))
+		}
+		sb.WriteString(";\n")
+	case *Insert:
+		indent(sb, depth)
+		fmt.Fprintf(sb, "INSERT INTO %s VALUES (", s.Table)
+		for i, e := range s.Values {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(ExprString(e))
+		}
+		sb.WriteString(");\n")
+	case *Delete:
+		indent(sb, depth)
+		fmt.Fprintf(sb, "DELETE FROM %s", s.Table)
+		if s.Where != nil {
+			sb.WriteString(" WHERE ")
+			sb.WriteString(ExprString(s.Where))
+		}
+		sb.WriteString(";\n")
+	case *SetScalar:
+		indent(sb, depth)
+		fmt.Fprintf(sb, "SET %s = %s;\n", s.Name, ExprString(s.Val))
+	default:
+		indent(sb, depth)
+		fmt.Fprintf(sb, "-- unknown statement %T\n", s)
+	}
+}
+
+// ExprString renders an expression in source syntax with minimal
+// parentheses (children of lower precedence get wrapped).
+func ExprString(e Expr) string {
+	var sb strings.Builder
+	writeExpr(&sb, e, 0)
+	return sb.String()
+}
+
+// Precedence levels, loosest first (mirrors the parser).
+const (
+	precOr = iota
+	precAnd
+	precNot
+	precCmp
+	precAdd
+	precMul
+	precUnary
+	precAtom
+)
+
+func exprPrec(e Expr) int {
+	switch e := e.(type) {
+	case *Binary:
+		switch e.Op {
+		case "OR":
+			return precOr
+		case "AND":
+			return precAnd
+		case "=", "<>", "<", "<=", ">", ">=":
+			return precCmp
+		case "+", "-":
+			return precAdd
+		default:
+			return precMul
+		}
+	case *Unary:
+		if e.Op == "NOT" {
+			return precNot
+		}
+		return precUnary
+	default:
+		return precAtom
+	}
+}
+
+func writeExpr(sb *strings.Builder, e Expr, parent int) {
+	prec := exprPrec(e)
+	wrap := prec < parent
+	if wrap {
+		sb.WriteByte('(')
+	}
+	switch e := e.(type) {
+	case *Lit:
+		if e.V.Kind == table.String {
+			sb.WriteByte('\'')
+			sb.WriteString(e.V.S)
+			sb.WriteByte('\'')
+		} else {
+			sb.WriteString(e.V.String())
+		}
+	case *ColRef:
+		sb.WriteString(refName(e))
+	case *Unary:
+		if e.Op == "NOT" {
+			sb.WriteString("NOT ")
+			writeExpr(sb, e.X, prec+1)
+		} else {
+			// Arithmetic negation: parenthesize any non-atom child —
+			// "--x" would lex as a comment, and "-a*b" would rebind.
+			sb.WriteString(e.Op)
+			writeExpr(sb, e.X, precAtom)
+		}
+	case *Binary:
+		lp, rp := prec, prec+1
+		if prec == precCmp {
+			// Comparisons are non-associative in the grammar: both
+			// children must bind tighter than the comparison itself.
+			lp = prec + 1
+		}
+		writeExpr(sb, e.L, lp)
+		sb.WriteByte(' ')
+		sb.WriteString(e.Op)
+		sb.WriteByte(' ')
+		// Right child one level tighter for left-associative operators
+		// so "a - (b - c)" keeps its parentheses.
+		writeExpr(sb, e.R, rp)
+	case *SubQuery:
+		sb.WriteString("( SELECT ")
+		sb.WriteString(e.Agg)
+		sb.WriteByte('(')
+		if e.Arg == nil {
+			sb.WriteByte('*')
+		} else {
+			writeExpr(sb, e.Arg, 0)
+		}
+		sb.WriteString(") FROM ")
+		sb.WriteString(e.Table)
+		if e.Alias != "" {
+			sb.WriteByte(' ')
+			sb.WriteString(e.Alias)
+		}
+		if e.Where != nil {
+			sb.WriteString(" WHERE ")
+			writeExpr(sb, e.Where, 0)
+		}
+		sb.WriteString(" )")
+	default:
+		fmt.Fprintf(sb, "/*unknown %T*/", e)
+	}
+	if wrap {
+		sb.WriteByte(')')
+	}
+}

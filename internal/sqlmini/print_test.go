@@ -1,0 +1,222 @@
+package sqlmini
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/table"
+)
+
+// randExpr generates a random expression AST (no position tokens, so
+// reflect.DeepEqual compares structure cleanly after zeroTok).
+func randExpr(rng *rand.Rand, depth int) Expr {
+	if depth == 0 || rng.Intn(3) == 0 {
+		switch rng.Intn(4) {
+		case 0:
+			return &Lit{table.F(float64(rng.Intn(100)))}
+		case 1:
+			return &Lit{table.S("str")}
+		case 2:
+			return &ColRef{Name: "col"}
+		default:
+			return &ColRef{Qualifier: "K", Name: "roi"}
+		}
+	}
+	switch rng.Intn(8) {
+	case 0:
+		return &Unary{Op: "NOT", X: randExpr(rng, depth-1)}
+	case 1:
+		return &Unary{Op: "-", X: randExpr(rng, depth-1)}
+	case 2:
+		aggs := []string{"MAX", "MIN", "SUM", "COUNT", "AVG"}
+		sq := &SubQuery{Agg: aggs[rng.Intn(len(aggs))], Table: "T", Alias: "K"}
+		if sq.Agg == "COUNT" && rng.Intn(2) == 0 {
+			// COUNT(*)
+		} else {
+			sq.Arg = randExpr(rng, depth-1)
+		}
+		if rng.Intn(2) == 0 {
+			sq.Where = randExpr(rng, depth-1)
+		}
+		return sq
+	default:
+		ops := []string{"OR", "AND", "=", "<>", "<", "<=", ">", ">=", "+", "-", "*", "/"}
+		return &Binary{
+			Op: ops[rng.Intn(len(ops))],
+			L:  randExpr(rng, depth-1),
+			R:  randExpr(rng, depth-1),
+		}
+	}
+}
+
+func randStmt(rng *rand.Rand, depth int) Stmt {
+	switch rng.Intn(6) {
+	case 0:
+		u := &Update{Table: "T", Sets: []SetClause{{Col: "col", Val: randExpr(rng, 2)}}}
+		if rng.Intn(2) == 0 {
+			u.Sets = append(u.Sets, SetClause{Col: "other", Val: randExpr(rng, 2)})
+		}
+		if rng.Intn(2) == 0 {
+			u.Where = randExpr(rng, 2)
+		}
+		return u
+	case 1:
+		return &Insert{Table: "T", Values: []Expr{randExpr(rng, 2), randExpr(rng, 1)}}
+	case 2:
+		d := &Delete{Table: "T"}
+		if rng.Intn(2) == 0 {
+			d.Where = randExpr(rng, 2)
+		}
+		return d
+	case 3:
+		return &SetScalar{Name: "x", Val: randExpr(rng, 2)}
+	case 4:
+		if depth > 0 {
+			node := &If{Branches: []CondBranch{{Cond: randExpr(rng, 2), Body: []Stmt{randStmt(rng, depth-1)}}}}
+			if rng.Intn(2) == 0 {
+				node.Branches = append(node.Branches,
+					CondBranch{Cond: randExpr(rng, 2), Body: []Stmt{randStmt(rng, depth-1)}})
+			}
+			if rng.Intn(2) == 0 {
+				node.Else = []Stmt{randStmt(rng, depth-1)}
+			}
+			return node
+		}
+		return &SetScalar{Name: "y", Val: randExpr(rng, 1)}
+	default:
+		if depth > 0 {
+			return &CreateTrigger{Name: "t", Table: "Q",
+				Body: []Stmt{randStmt(rng, depth-1), randStmt(rng, depth-1)}}
+		}
+		return &SetScalar{Name: "z", Val: randExpr(rng, 1)}
+	}
+}
+
+// zeroTok clears parser position tokens so the reparsed AST compares
+// equal to the generated one.
+func zeroTok(e Expr) {
+	switch e := e.(type) {
+	case *ColRef:
+		e.tok = tok{}
+	case *Unary:
+		e.tok = tok{}
+		zeroTok(e.X)
+	case *Binary:
+		e.tok = tok{}
+		zeroTok(e.L)
+		zeroTok(e.R)
+	case *SubQuery:
+		e.tok = tok{}
+		if e.Arg != nil {
+			zeroTok(e.Arg)
+		}
+		if e.Where != nil {
+			zeroTok(e.Where)
+		}
+	}
+}
+
+func zeroTokStmt(s Stmt) {
+	switch s := s.(type) {
+	case *CreateTrigger:
+		for _, inner := range s.Body {
+			zeroTokStmt(inner)
+		}
+	case *If:
+		for _, br := range s.Branches {
+			zeroTok(br.Cond)
+			for _, inner := range br.Body {
+				zeroTokStmt(inner)
+			}
+		}
+		for _, inner := range s.Else {
+			zeroTokStmt(inner)
+		}
+	case *Update:
+		for i := range s.Sets {
+			zeroTok(s.Sets[i].Val)
+		}
+		if s.Where != nil {
+			zeroTok(s.Where)
+		}
+	case *Insert:
+		for _, e := range s.Values {
+			zeroTok(e)
+		}
+	case *Delete:
+		if s.Where != nil {
+			zeroTok(s.Where)
+		}
+	case *SetScalar:
+		zeroTok(s.Val)
+	}
+}
+
+// TestFormatRoundTripRandomASTs: Format(ast) reparses to the same AST
+// (modulo source positions) — 500 random programs.
+func TestFormatRoundTripRandomASTs(t *testing.T) {
+	rng := rand.New(rand.NewSource(401))
+	for trial := 0; trial < 500; trial++ {
+		var prog []Stmt
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			prog = append(prog, randStmt(rng, 2))
+		}
+		src := Format(prog)
+		back, err := Parse(src)
+		if err != nil {
+			t.Fatalf("trial %d: reparse failed: %v\nsource:\n%s", trial, err, src)
+		}
+		for _, s := range back {
+			zeroTokStmt(s)
+		}
+		if !reflect.DeepEqual(prog, back) {
+			src2 := Format(back)
+			t.Fatalf("trial %d: round trip changed the AST.\nfirst:\n%s\nsecond:\n%s", trial, src, src2)
+		}
+	}
+}
+
+// TestFormatFig5Stable: formatting the Figure 5 program and
+// re-formatting its reparse is a fixed point.
+func TestFormatFig5Stable(t *testing.T) {
+	prog, err := Compile(fig5Program)
+	if err != nil {
+		t.Fatal(err)
+	}
+	once := Format(prog.Stmts)
+	back, err := Parse(once)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, once)
+	}
+	twice := Format(back)
+	if once != twice {
+		t.Fatalf("Format not stable:\n--- once ---\n%s\n--- twice ---\n%s", once, twice)
+	}
+	if !strings.Contains(once, "CREATE TRIGGER bid AFTER INSERT ON Query") {
+		t.Fatalf("formatted program lost its trigger header:\n%s", once)
+	}
+}
+
+// TestExprStringParens: minimal parenthesization keeps semantics.
+func TestExprStringParens(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"1 + 2 * 3", "1 + 2 * 3"},
+		{"(1 + 2) * 3", "(1 + 2) * 3"},
+		{"2 - 3 - 4", "2 - 3 - 4"},
+		{"2 - (3 - 4)", "2 - (3 - 4)"},
+		{"NOT (a AND b)", "NOT (a AND b)"},
+		{"a AND (b OR c)", "a AND (b OR c)"},
+		{"-(1 + 2)", "-(1 + 2)"},
+	}
+	for _, c := range cases {
+		e, err := ParseExpr(c.src)
+		if err != nil {
+			t.Fatalf("%s: %v", c.src, err)
+		}
+		if got := ExprString(e); got != c.want {
+			t.Errorf("ExprString(%s) = %s, want %s", c.src, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package sqlmini
+
+import (
+	"testing"
+
+	"repro/internal/table"
+)
+
+// TestTriggerSeesInsertedRowAsNEW: trigger bodies can read the
+// freshly inserted row under the NEW alias (and the table name).
+func TestTriggerSeesInsertedRowAsNEW(t *testing.T) {
+	db := table.NewDB()
+	db.Add(table.New("Query",
+		table.Column{Name: "kw", Kind: table.String},
+		table.Column{Name: "weight", Kind: table.Float}))
+	db.Add(table.New("Log",
+		table.Column{Name: "kw", Kind: table.String},
+		table.Column{Name: "double", Kind: table.Float}))
+	prog, err := Compile(`
+CREATE TRIGGER remember AFTER INSERT ON Query
+{
+  INSERT INTO Log VALUES ( NEW.kw, NEW.weight * 2 );
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.Install(db); err != nil {
+		t.Fatal(err)
+	}
+	q, _ := db.Table("Query")
+	if err := q.Insert(table.Row{table.S("boot"), table.F(3)}); err != nil {
+		t.Fatal(err)
+	}
+	lg, _ := db.Table("Log")
+	if len(lg.Rows) != 1 || lg.Rows[0][0].S != "boot" || lg.Rows[0][1].F != 6 {
+		t.Fatalf("log rows %v", lg.Rows)
+	}
+}
+
+// TestBudgetGuardedProgram: the "daily budget" constraint the paper's
+// introduction names as a pre-defined parameter becomes a one-line
+// guard in the language — the program zeroes its bids once spending
+// reaches the budget.
+func TestBudgetGuardedProgram(t *testing.T) {
+	db := table.NewDB()
+	kw := table.New("Keywords",
+		table.Column{Name: "text", Kind: table.String},
+		table.Column{Name: "bid", Kind: table.Float},
+		table.Column{Name: "relevance", Kind: table.Float})
+	kw.Insert(table.Row{table.S("boot"), table.F(7), table.F(1)})
+	kw.Insert(table.Row{table.S("shoe"), table.F(4), table.F(0)})
+	db.Add(kw)
+	db.Add(table.New("Query", table.Column{Name: "kw", Kind: table.String}))
+	db.SetScalar("amtSpent", table.F(0))
+	db.SetScalar("budget", table.F(100))
+
+	prog, err := Compile(`
+CREATE TRIGGER spendcap AFTER INSERT ON Query
+{
+  IF amtSpent >= budget THEN
+    UPDATE Keywords SET bid = 0;
+  ENDIF;
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.Install(db); err != nil {
+		t.Fatal(err)
+	}
+	q, _ := db.Table("Query")
+
+	// Under budget: bids untouched.
+	if err := q.Insert(table.Row{table.S("boot")}); err != nil {
+		t.Fatal(err)
+	}
+	if kw.Rows[0][1].F != 7 {
+		t.Fatalf("bid changed while under budget: %v", kw.Rows[0][1])
+	}
+	// Budget exhausted: every bid zeroed.
+	db.SetScalar("amtSpent", table.F(100))
+	if err := q.Insert(table.Row{table.S("boot")}); err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range kw.Rows {
+		if row[1].F != 0 {
+			t.Fatalf("bid not zeroed at budget: %v", row)
+		}
+	}
+}
+
+// TestCascadingTriggers: a trigger's INSERT fires the target table's
+// own triggers (depth-one cascade; the language forbids recursion
+// only in the sense of self-recursive queries, and the paper's
+// programs use triggers to be notified of wins, clicks, and
+// purchases).
+func TestCascadingTriggers(t *testing.T) {
+	db := table.NewDB()
+	db.Add(table.New("A", table.Column{Name: "x", Kind: table.Float}))
+	db.Add(table.New("B", table.Column{Name: "x", Kind: table.Float}))
+	db.Add(table.New("C", table.Column{Name: "x", Kind: table.Float}))
+	prog, err := Compile(`
+CREATE TRIGGER aToB AFTER INSERT ON A { INSERT INTO B VALUES ( NEW.x + 1 ); }
+CREATE TRIGGER bToC AFTER INSERT ON B { INSERT INTO C VALUES ( NEW.x * 10 ); }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.Install(db); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := db.Table("A")
+	if err := a.Insert(table.Row{table.F(4)}); err != nil {
+		t.Fatal(err)
+	}
+	c, _ := db.Table("C")
+	if len(c.Rows) != 1 || c.Rows[0][0].F != 50 {
+		t.Fatalf("cascade produced %v, want [[50]]", c.Rows)
+	}
+}
+
+// TestWinNotificationTriggers models the paper's "SQL triggers can be
+// used ... to notify programs if they received a slot, click, or
+// purchase": the provider inserts into a Wins table; the program
+// reacts by raising its bid on the winning keyword.
+func TestWinNotificationTriggers(t *testing.T) {
+	db := table.NewDB()
+	kw := table.New("Keywords",
+		table.Column{Name: "text", Kind: table.String},
+		table.Column{Name: "bid", Kind: table.Float})
+	kw.Insert(table.Row{table.S("boot"), table.F(5)})
+	kw.Insert(table.Row{table.S("shoe"), table.F(5)})
+	db.Add(kw)
+	db.Add(table.New("Wins",
+		table.Column{Name: "kw", Kind: table.String},
+		table.Column{Name: "slot", Kind: table.Float}))
+	prog, err := Compile(`
+CREATE TRIGGER celebrate AFTER INSERT ON Wins
+{
+  UPDATE Keywords SET bid = bid + 2 WHERE text = NEW.kw AND NEW.slot <= 3;
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.Install(db); err != nil {
+		t.Fatal(err)
+	}
+	wins, _ := db.Table("Wins")
+	if err := wins.Insert(table.Row{table.S("boot"), table.F(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := wins.Insert(table.Row{table.S("shoe"), table.F(9)}); err != nil {
+		t.Fatal(err)
+	}
+	if kw.Rows[0][1].F != 7 {
+		t.Fatalf("boot bid %v, want 7 (win in slot 1)", kw.Rows[0][1])
+	}
+	if kw.Rows[1][1].F != 5 {
+		t.Fatalf("shoe bid %v, want 5 (win in slot 9 ignored)", kw.Rows[1][1])
+	}
+}
+
+// TestMultipleTriggersFireInOrder: two triggers on one table run in
+// registration order.
+func TestMultipleTriggersFireInOrder(t *testing.T) {
+	db := table.NewDB()
+	db.Add(table.New("T", table.Column{Name: "x", Kind: table.Float}))
+	db.SetScalar("acc", table.F(1))
+	prog, err := Compile(`
+CREATE TRIGGER first AFTER INSERT ON T { SET acc = acc * 10; }
+CREATE TRIGGER second AFTER INSERT ON T { SET acc = acc + 1; }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.Install(db); err != nil {
+		t.Fatal(err)
+	}
+	tbl, _ := db.Table("T")
+	if err := tbl.Insert(table.Row{table.F(0)}); err != nil {
+		t.Fatal(err)
+	}
+	// (1·10)+1 = 11, not (1+1)·10 = 20.
+	if v, _ := db.Scalar("acc"); v.F != 11 {
+		t.Fatalf("acc = %v, want 11", v)
+	}
+}

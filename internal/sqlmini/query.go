@@ -1,0 +1,201 @@
+package sqlmini
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/table"
+)
+
+// Select is a read-only query over one table:
+//
+//	SELECT expr [, expr]… FROM tbl [alias]
+//	       [WHERE expr] [ORDER BY expr [DESC]] [LIMIT n]
+//
+// It is not a statement in bidding programs (programs are update-only,
+// per the paper's "simple SQL updates" language); it exists for the
+// provider's tooling — inspecting Keywords and Bids tables, driving
+// cmd/bidlang, and tests.
+type Select struct {
+	Exprs   []Expr
+	Table   string
+	Alias   string
+	Where   Expr // nil: every row
+	OrderBy Expr // nil: table order
+	Desc    bool
+	Limit   int // ≤0: no limit
+}
+
+// ParseSelect parses a standalone SELECT query.
+func ParseSelect(src string) (*Select, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	if err := p.expectKw("SELECT"); err != nil {
+		return nil, err
+	}
+	q := &Select{}
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		q.Exprs = append(q.Exprs, e)
+		if !p.acceptSym(",") {
+			break
+		}
+	}
+	if err := p.expectKw("FROM"); err != nil {
+		return nil, err
+	}
+	tbl, err := p.expectIdent("table name")
+	if err != nil {
+		return nil, err
+	}
+	q.Table = tbl.text
+	if t := p.peek(); t.kind == tokIdent &&
+		!isKw(t, "WHERE") && !isKw(t, "ORDER") && !isKw(t, "LIMIT") {
+		p.next()
+		q.Alias = t.text
+	}
+	if p.acceptKw("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		q.Where = w
+	}
+	if p.acceptKw("ORDER") {
+		if err := p.expectKw("BY"); err != nil {
+			return nil, err
+		}
+		ob, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		q.OrderBy = ob
+		if p.acceptKw("DESC") {
+			q.Desc = true
+		} else {
+			p.acceptKw("ASC")
+		}
+	}
+	if p.acceptKw("LIMIT") {
+		t := p.next()
+		if t.kind != tokNumber {
+			return nil, errAt(t, "LIMIT needs a number, found %q", t.text)
+		}
+		var n int
+		if _, err := fmt.Sscanf(t.text, "%d", &n); err != nil || n < 0 {
+			return nil, errAt(t, "bad LIMIT %q", t.text)
+		}
+		q.Limit = n
+	}
+	p.endOfStmt()
+	if !p.atEOF() {
+		return nil, errAt(p.peek(), "trailing input %q", p.peek().text)
+	}
+	return q, nil
+}
+
+// Run evaluates the query against db.
+func (q *Select) Run(db *table.DB) ([][]table.Value, error) {
+	tbl, ok := db.Table(q.Table)
+	if !ok {
+		return nil, fmt.Errorf("sqlmini: SELECT: no table %q", q.Table)
+	}
+	name := q.Alias
+	if name == "" {
+		name = tbl.Name
+	}
+	type scored struct {
+		row table.Row
+		key table.Value
+	}
+	var picked []scored
+	for _, row := range tbl.Rows {
+		sc := &scope{name: name, tbl: tbl, row: row}
+		if q.Where != nil {
+			v, err := evalExpr(db, sc, q.Where)
+			if err != nil {
+				return nil, err
+			}
+			if !v.Truthy() {
+				continue
+			}
+		}
+		s := scored{row: row}
+		if q.OrderBy != nil {
+			k, err := evalExpr(db, sc, q.OrderBy)
+			if err != nil {
+				return nil, err
+			}
+			s.key = k
+		}
+		picked = append(picked, s)
+	}
+	if q.OrderBy != nil {
+		// Stable insertion sort keeps table order among equal keys and
+		// surfaces comparison errors deterministically.
+		for i := 1; i < len(picked); i++ {
+			for j := i; j > 0; j-- {
+				c, err := picked[j].key.Compare(picked[j-1].key)
+				if err != nil {
+					return nil, fmt.Errorf("sqlmini: ORDER BY: %v", err)
+				}
+				if q.Desc {
+					c = -c
+				}
+				if c >= 0 {
+					break
+				}
+				picked[j], picked[j-1] = picked[j-1], picked[j]
+			}
+		}
+	}
+	if q.Limit > 0 && len(picked) > q.Limit {
+		picked = picked[:q.Limit]
+	}
+	out := make([][]table.Value, 0, len(picked))
+	for _, s := range picked {
+		sc := &scope{name: name, tbl: tbl, row: s.row}
+		vals := make([]table.Value, len(q.Exprs))
+		for c, e := range q.Exprs {
+			v, err := evalExpr(db, sc, e)
+			if err != nil {
+				return nil, err
+			}
+			vals[c] = v
+		}
+		out = append(out, vals)
+	}
+	return out, nil
+}
+
+// Query parses and runs a SELECT in one call.
+func Query(db *table.DB, src string) ([][]table.Value, error) {
+	q, err := ParseSelect(src)
+	if err != nil {
+		return nil, err
+	}
+	return q.Run(db)
+}
+
+// FormatRows renders query results as tab-separated lines.
+func FormatRows(rows [][]table.Value) string {
+	var sb strings.Builder
+	for i, row := range rows {
+		if i > 0 {
+			sb.WriteByte('\n')
+		}
+		for c, v := range row {
+			if c > 0 {
+				sb.WriteByte('\t')
+			}
+			sb.WriteString(v.String())
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,119 @@
+package sqlmini
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/table"
+)
+
+func queryDB(t *testing.T) *table.DB {
+	t.Helper()
+	db := table.NewDB()
+	kw := table.New("Keywords",
+		table.Column{Name: "text", Kind: table.String},
+		table.Column{Name: "bid", Kind: table.Float},
+		table.Column{Name: "roi", Kind: table.Float})
+	rows := []struct {
+		text string
+		bid  float64
+		roi  float64
+	}{
+		{"boot", 4, 2},
+		{"shoe", 8, 1},
+		{"sock", 1, 3},
+		{"lace", 8, 0.5},
+	}
+	for _, r := range rows {
+		if err := kw.Insert(table.Row{table.S(r.text), table.F(r.bid), table.F(r.roi)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.Add(kw)
+	db.SetScalar("minBid", table.F(2))
+	return db
+}
+
+func TestQueryBasics(t *testing.T) {
+	db := queryDB(t)
+	rows, err := Query(db, "SELECT text, bid FROM Keywords WHERE bid >= minBid ORDER BY bid DESC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := FormatRows(rows)
+	// shoe and lace tie at 8: stable sort keeps table order.
+	want := "shoe\t8\nlace\t8\nboot\t4"
+	if got != want {
+		t.Fatalf("got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestQueryLimitAndAsc(t *testing.T) {
+	db := queryDB(t)
+	rows, err := Query(db, "SELECT text FROM Keywords ORDER BY roi ASC LIMIT 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if FormatRows(rows) != "lace\nshoe" {
+		t.Fatalf("got %q", FormatRows(rows))
+	}
+}
+
+func TestQueryExpressionsAndAlias(t *testing.T) {
+	db := queryDB(t)
+	rows, err := Query(db, "SELECT K.text, K.bid * K.roi FROM Keywords K WHERE K.bid * K.roi > 3 ORDER BY K.bid * K.roi DESC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if FormatRows(rows) != "boot\t8\nshoe\t8\nlace\t4" {
+		t.Fatalf("got %q", FormatRows(rows))
+	}
+}
+
+func TestQuerySubqueryProjection(t *testing.T) {
+	db := queryDB(t)
+	rows, err := Query(db,
+		"SELECT text FROM Keywords WHERE roi = ( SELECT MAX(K.roi) FROM Keywords K )")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if FormatRows(rows) != "sock" {
+		t.Fatalf("got %q", FormatRows(rows))
+	}
+}
+
+func TestQueryNoOrder(t *testing.T) {
+	db := queryDB(t)
+	rows, err := Query(db, "SELECT text FROM Keywords")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 || rows[0][0].S != "boot" {
+		t.Fatalf("table order broken: %v", rows)
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	db := queryDB(t)
+	bad := []string{
+		"SELECT FROM Keywords",
+		"SELECT text",                          // no FROM
+		"SELECT text FROM Missing",             // unknown table
+		"SELECT zzz FROM Keywords",             // unknown column
+		"SELECT text FROM Keywords LIMIT boot", // bad limit
+		"SELECT text FROM Keywords ORDER BY text extra",
+		"SELECT text FROM Keywords ORDER BY bid = 1", // bool order key
+	}
+	for _, src := range bad {
+		if _, err := Query(db, src); err == nil {
+			t.Errorf("Query(%q) unexpectedly succeeded", src)
+		}
+	}
+}
+
+func TestQueryErrorPositions(t *testing.T) {
+	_, err := ParseSelect("SELECT text FROM Keywords LIMIT x")
+	if err == nil || !strings.Contains(err.Error(), "LIMIT") {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,444 @@
+package sqlmini
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/table"
+)
+
+// fig5Program is the ROI-equalizing strategy of Figure 5 in our
+// dialect. The paper's line 11 contains a typo (`<` where the
+// overspending branch clearly needs `>`); we use the corrected
+// comparison, as the surrounding prose ("lines 13–19 decreases his
+// bids ... if he is overspending") dictates.
+const fig5Program = `
+CREATE TRIGGER bid AFTER INSERT ON Query
+{
+  IF amtSpent / time < targetSpendRate THEN
+    UPDATE Keywords
+    SET bid = bid + 1
+    WHERE roi = ( SELECT MAX( K.roi ) FROM Keywords K )
+      AND relevance > 0
+      AND bid < maxbid;
+  ELSEIF amtSpent / time > targetSpendRate THEN
+    UPDATE Keywords
+    SET bid = bid - 1
+    WHERE roi = ( SELECT MIN( K.roi ) FROM Keywords K )
+      AND relevance > 0
+      AND bid > 0;
+  ENDIF;
+
+  UPDATE Bids
+  SET value = ( SELECT SUM( K.bid )
+                FROM Keywords K
+                WHERE K.relevance > 0.7
+                  AND K.formula = Bids.formula );
+}
+`
+
+// fig4DB builds the advertiser database in the state of Figure 4:
+// Keywords(text, formula, maxbid, roi, bid, relevance) with rows
+// boot/shoe, plus a Bids table over the two formulas and a Query
+// table whose inserts fire the trigger.
+func fig4DB() *table.DB {
+	db := table.NewDB()
+	kw := table.New("Keywords",
+		table.Column{Name: "text", Kind: table.String},
+		table.Column{Name: "formula", Kind: table.String},
+		table.Column{Name: "maxbid", Kind: table.Float},
+		table.Column{Name: "roi", Kind: table.Float},
+		table.Column{Name: "bid", Kind: table.Float},
+		table.Column{Name: "relevance", Kind: table.Float},
+	)
+	kw.Insert(table.Row{table.S("boot"), table.S("Click AND Slot1"), table.F(5), table.F(2), table.F(4), table.F(0.8)})
+	kw.Insert(table.Row{table.S("shoe"), table.S("Click"), table.F(6), table.F(1), table.F(8), table.F(0.2)})
+	db.Add(kw)
+
+	bids := table.New("Bids",
+		table.Column{Name: "formula", Kind: table.String},
+		table.Column{Name: "value", Kind: table.Float},
+	)
+	bids.Insert(table.Row{table.S("Click AND Slot1"), table.F(0)})
+	bids.Insert(table.Row{table.S("Click"), table.F(0)})
+	db.Add(bids)
+
+	db.Add(table.New("Query",
+		table.Column{Name: "kw", Kind: table.String},
+	))
+	return db
+}
+
+func install(t *testing.T, db *table.DB, src string) {
+	t.Helper()
+	prog, err := Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if err := prog.Install(db); err != nil {
+		t.Fatalf("install: %v", err)
+	}
+}
+
+func fireQuery(t *testing.T, db *table.DB) {
+	t.Helper()
+	q, _ := db.Table("Query")
+	if err := q.Insert(table.Row{table.S("boot")}); err != nil {
+		t.Fatalf("trigger run: %v", err)
+	}
+}
+
+func bidsValues(t *testing.T, db *table.DB) map[string]float64 {
+	t.Helper()
+	bids, _ := db.Table("Bids")
+	out := map[string]float64{}
+	for _, r := range bids.Rows {
+		out[r[0].S] = r[1].F
+	}
+	return out
+}
+
+// TestFig5ProgramProducesFig6Bids reproduces the paper's worked
+// example: with the Keywords table in the Figure 4 state after lines
+// 1–20 (we pin spending exactly on target so the IF changes nothing),
+// the Bids table must come out as Figure 6: Click∧Slot1 → 4, Click → 0.
+func TestFig5ProgramProducesFig6Bids(t *testing.T) {
+	db := fig4DB()
+	db.SetScalar("amtSpent", table.F(10))
+	db.SetScalar("time", table.F(5))
+	db.SetScalar("targetSpendRate", table.F(2)) // exactly on target
+	install(t, db, fig5Program)
+	fireQuery(t, db)
+	got := bidsValues(t, db)
+	if got["Click AND Slot1"] != 4 || got["Click"] != 0 {
+		t.Fatalf("Bids = %v, want Click AND Slot1→4, Click→0 (Figure 6)", got)
+	}
+}
+
+// TestFig5Underspending exercises lines 3–10: underspending bumps the
+// max-ROI relevant keyword (boot, roi 2, bid 4 < maxbid 5) to 5.
+func TestFig5Underspending(t *testing.T) {
+	db := fig4DB()
+	db.SetScalar("amtSpent", table.F(1))
+	db.SetScalar("time", table.F(5))
+	db.SetScalar("targetSpendRate", table.F(2)) // 0.2 < 2: underspending
+	install(t, db, fig5Program)
+	fireQuery(t, db)
+	kw, _ := db.Table("Keywords")
+	if kw.Rows[0][4].F != 5 {
+		t.Fatalf("boot bid = %v, want 5", kw.Rows[0][4])
+	}
+	if kw.Rows[1][4].F != 8 {
+		t.Fatalf("shoe bid = %v, want unchanged 8 (roi not max)", kw.Rows[1][4])
+	}
+	got := bidsValues(t, db)
+	if got["Click AND Slot1"] != 5 || got["Click"] != 0 {
+		t.Fatalf("Bids = %v, want 5 and 0", got)
+	}
+}
+
+// TestFig5Overspending exercises lines 11–19: overspending decrements
+// the min-ROI relevant keyword. shoe has min roi but relevance 0.2 > 0
+// qualifies; its bid drops from 8 to 7.
+func TestFig5Overspending(t *testing.T) {
+	db := fig4DB()
+	db.SetScalar("amtSpent", table.F(100))
+	db.SetScalar("time", table.F(5))
+	db.SetScalar("targetSpendRate", table.F(2)) // 20 > 2: overspending
+	install(t, db, fig5Program)
+	fireQuery(t, db)
+	kw, _ := db.Table("Keywords")
+	if kw.Rows[1][4].F != 7 {
+		t.Fatalf("shoe bid = %v, want 7", kw.Rows[1][4])
+	}
+	if kw.Rows[0][4].F != 4 {
+		t.Fatalf("boot bid = %v, want unchanged 4", kw.Rows[0][4])
+	}
+}
+
+// TestFig5GuardsRespectBounds: an underspending advertiser must not
+// raise a bid past maxbid, and an overspending one must not go
+// negative.
+func TestFig5GuardsRespectBounds(t *testing.T) {
+	db := fig4DB()
+	kw, _ := db.Table("Keywords")
+	kw.Rows[0][4] = table.F(5) // boot at maxbid already
+	db.SetScalar("amtSpent", table.F(0))
+	db.SetScalar("time", table.F(5))
+	db.SetScalar("targetSpendRate", table.F(2))
+	install(t, db, fig5Program)
+	fireQuery(t, db)
+	if kw.Rows[0][4].F != 5 {
+		t.Fatalf("boot bid %v exceeded maxbid", kw.Rows[0][4])
+	}
+
+	db2 := fig4DB()
+	kw2, _ := db2.Table("Keywords")
+	kw2.Rows[1][4] = table.F(0) // shoe at zero
+	db2.SetScalar("amtSpent", table.F(100))
+	db2.SetScalar("time", table.F(5))
+	db2.SetScalar("targetSpendRate", table.F(2))
+	install(t, db2, fig5Program)
+	fireQuery(t, db2)
+	if kw2.Rows[1][4].F != 0 {
+		t.Fatalf("shoe bid %v went negative", kw2.Rows[1][4])
+	}
+}
+
+func TestExpressionEvaluation(t *testing.T) {
+	db := table.NewDB()
+	db.SetScalar("x", table.F(7))
+	cases := []struct {
+		src  string
+		want float64
+	}{
+		{"1 + 2 * 3", 7},
+		{"(1 + 2) * 3", 9},
+		{"10 / 4", 2.5},
+		{"-x + 10", 3},
+		{"2 - 3 - 4", -5}, // left associative
+	}
+	for _, c := range cases {
+		e, err := ParseExpr(c.src)
+		if err != nil {
+			t.Fatalf("%s: %v", c.src, err)
+		}
+		v, err := Eval(db, e)
+		if err != nil {
+			t.Fatalf("%s: %v", c.src, err)
+		}
+		if math.Abs(v.F-c.want) > 1e-12 {
+			t.Errorf("%s = %v, want %g", c.src, v, c.want)
+		}
+	}
+}
+
+func TestComparisonAndLogic(t *testing.T) {
+	db := table.NewDB()
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"1 < 2", true},
+		{"2 <= 2", true},
+		{"3 > 4", false},
+		{"'a' < 'b'", true},
+		{"1 = 1 AND 2 = 2", true},
+		{"1 = 2 OR 2 = 2", true},
+		{"NOT 1 = 2", true},
+		{"1 <> 2", true},
+		{"NULL = NULL", false},
+	}
+	for _, c := range cases {
+		e, err := ParseExpr(c.src)
+		if err != nil {
+			t.Fatalf("%s: %v", c.src, err)
+		}
+		v, err := Eval(db, e)
+		if err != nil {
+			t.Fatalf("%s: %v", c.src, err)
+		}
+		if v.Truthy() != c.want {
+			t.Errorf("%s = %v, want %v", c.src, v, c.want)
+		}
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	db := table.NewDB()
+	tbl := table.New("T", table.Column{Name: "a", Kind: table.Float})
+	for _, f := range []float64{3, 1, 4, 1, 5} {
+		tbl.Insert(table.Row{table.F(f)})
+	}
+	db.Add(tbl)
+	cases := []struct {
+		src  string
+		want float64
+	}{
+		{"( SELECT MAX(a) FROM T )", 5},
+		{"( SELECT MIN(a) FROM T )", 1},
+		{"( SELECT SUM(a) FROM T )", 14},
+		{"( SELECT AVG(a) FROM T )", 2.8},
+		{"( SELECT COUNT(*) FROM T )", 5},
+		{"( SELECT COUNT(a) FROM T WHERE a > 2 )", 3},
+		{"( SELECT SUM(a) FROM T WHERE a > 100 )", 0}, // empty SUM is 0
+		{"( SELECT AVG(a) FROM T WHERE a > 100 )", 0},
+	}
+	for _, c := range cases {
+		e, err := ParseExpr(c.src)
+		if err != nil {
+			t.Fatalf("%s: %v", c.src, err)
+		}
+		v, err := Eval(db, e)
+		if err != nil {
+			t.Fatalf("%s: %v", c.src, err)
+		}
+		if math.Abs(v.F-c.want) > 1e-12 {
+			t.Errorf("%s = %v, want %g", c.src, v, c.want)
+		}
+	}
+	// Empty MAX is NULL.
+	e, _ := ParseExpr("( SELECT MAX(a) FROM T WHERE a > 100 )")
+	v, err := Eval(db, e)
+	if err != nil || v.Kind != table.Null {
+		t.Errorf("empty MAX = %v (%v), want NULL", v, err)
+	}
+}
+
+func TestInsertDeleteStatements(t *testing.T) {
+	db := table.NewDB()
+	db.Add(table.New("T",
+		table.Column{Name: "a", Kind: table.Float},
+		table.Column{Name: "b", Kind: table.String}))
+	prog, err := Compile(`
+INSERT INTO T VALUES (1, 'x');
+INSERT INTO T VALUES (2, 'y');
+INSERT INTO T VALUES (3, 'x');
+DELETE FROM T WHERE b = 'x' AND a > 1;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.Install(db); err != nil {
+		t.Fatal(err)
+	}
+	tbl, _ := db.Table("T")
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows after delete: %d, want 2", len(tbl.Rows))
+	}
+}
+
+func TestSetScalarStatement(t *testing.T) {
+	db := table.NewDB()
+	db.SetScalar("x", table.F(1))
+	prog, err := Compile(`SET x = x + 41;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.Install(db); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := db.Scalar("x")
+	if v.F != 42 {
+		t.Fatalf("x = %v, want 42", v)
+	}
+}
+
+func TestUpdateSeesPreUpdateRow(t *testing.T) {
+	db := table.NewDB()
+	tbl := table.New("T",
+		table.Column{Name: "a", Kind: table.Float},
+		table.Column{Name: "b", Kind: table.Float})
+	tbl.Insert(table.Row{table.F(1), table.F(10)})
+	db.Add(tbl)
+	prog, err := Compile(`UPDATE T SET a = b, b = a;`) // swap
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.Install(db); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Rows[0][0].F != 10 || tbl.Rows[0][1].F != 1 {
+		t.Fatalf("swap failed: %v", tbl.Rows[0])
+	}
+}
+
+func TestIfElseChain(t *testing.T) {
+	db := table.NewDB()
+	db.SetScalar("x", table.F(5))
+	db.SetScalar("out", table.F(0))
+	prog, err := Compile(`
+IF x < 3 THEN SET out = 1;
+ELSEIF x < 10 THEN SET out = 2;
+ELSE SET out = 3;
+ENDIF;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.Install(db); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := db.Scalar("out")
+	if v.F != 2 {
+		t.Fatalf("out = %v, want 2", v)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"UPDATE",
+		"UPDATE T SET",
+		"IF 1 THEN SET x = 1;", // missing ENDIF
+		"CREATE TRIGGER t AFTER INSERT ON T { SET x = 1;",
+		"INSERT INTO T VALUES (1",
+		"SET x =",
+		"( SELECT MEDIAN(a) FROM T )",
+		"1 +* 2",
+		"'unterminated",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			if _, err2 := ParseExpr(src); err2 == nil {
+				t.Errorf("Parse(%q) unexpectedly succeeded", src)
+			}
+		}
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	db := table.NewDB()
+	db.Add(table.New("T", table.Column{Name: "a", Kind: table.Float}))
+	cases := []string{
+		"UPDATE Missing SET a = 1;",
+		"UPDATE T SET zzz = 1;",
+		"INSERT INTO Missing VALUES (1);",
+		"DELETE FROM Missing;",
+	}
+	for _, src := range cases {
+		prog, err := Compile(src)
+		if err != nil {
+			t.Fatalf("compile %q: %v", src, err)
+		}
+		if err := prog.Install(db); err == nil {
+			t.Errorf("%q: want runtime error", src)
+		}
+	}
+	// Division by zero and unknown names are expression errors.
+	for _, src := range []string{"1 / 0", "nosuchvar + 1"} {
+		e, err := ParseExpr(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		if _, err := Eval(db, e); err == nil {
+			t.Errorf("%q: want eval error", src)
+		}
+	}
+}
+
+func TestCommentsAndCase(t *testing.T) {
+	db := table.NewDB()
+	db.SetScalar("x", table.F(0))
+	prog, err := Compile(`
+-- a comment line
+set X = 1; -- trailing comment (scalar names are case-sensitive,
+           -- keywords are not)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.Install(db); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := db.Scalar("X"); !ok || v.F != 1 {
+		t.Fatalf("X = %v %v", v, ok)
+	}
+}
+
+func TestErrorMessagesCarryPosition(t *testing.T) {
+	_, err := Parse("UPDATE T SET a = ;")
+	if err == nil || !strings.Contains(err.Error(), "line 1") {
+		t.Fatalf("error %v should carry a source position", err)
+	}
+}

@@ -1,0 +1,173 @@
+package strategy
+
+import (
+	"runtime"
+
+	"repro/internal/lp"
+	"repro/internal/matching"
+	"repro/internal/topk"
+	"repro/internal/workload"
+)
+
+// explicitEngine evaluates every bidding program on every auction:
+// the straightforward implementation of the Section II flow, used by
+// methods LP, H, and RH. Its per-auction cost is Θ(n·keywords) before
+// winner determination even starts — the cost Section IV eliminates.
+type explicitEngine struct {
+	inst *workload.Instance
+	bid  [][]int // bid[i][q], integral by construction
+}
+
+func newExplicitEngine(inst *workload.Instance) *explicitEngine {
+	e := &explicitEngine{inst: inst, bid: make([][]int, inst.N)}
+	for i := range e.bid {
+		e.bid[i] = make([]int, inst.Keywords)
+		copy(e.bid[i], inst.InitialBid[i])
+	}
+	return e
+}
+
+// step runs every advertiser's ROI program for the auction on keyword
+// q at time t: the native equivalent of firing the Figure 5 trigger
+// once per advertiser. Only the query keyword has positive relevance,
+// so only its bid can change.
+func (e *explicitEngine) step(q int, t float64, acct *Accounting) {
+	for i := 0; i < e.inst.N; i++ {
+		status := spendStatus(acct.SpentTotal[i], t, e.inst.Target[i])
+		switch bidMode(e.inst, acct, i, q, e.bid[i][q], status) {
+		case modeInc:
+			e.bid[i][q]++
+		case modeDec:
+			e.bid[i][q]--
+		}
+	}
+}
+
+// RunAuction advances the world by one auction on keyword q:
+// program evaluation, winner determination, GSP pricing, user
+// simulation, and accounting.
+func (w *World) RunAuction(q int) *Outcome {
+	w.t++
+	t := float64(w.t)
+	k := w.Inst.Slots
+
+	var lists [][]topk.Item
+	var advOf []int
+
+	if w.talu != nil {
+		lists, advOf = w.talu.prepare(q, t)
+	} else {
+		w.ex.step(q, t, w.acct)
+		score := func(i, j int) float64 {
+			return w.Inst.ClickProb[i][j] * float64(w.ex.bid[i][q])
+		}
+
+		// Candidate lists (k+1 deep) serve both the reduced matching
+		// and GSP pricing; see pricePerSlot for why k+1 suffices.
+		switch w.Method {
+		case MethodRH:
+			lists = make([][]topk.Item, k)
+			for j := 0; j < k; j++ {
+				j := j
+				lists[j] = topk.Select(w.Inst.N, k+1, func(i int) float64 { return score(i, j) })
+			}
+			advOf, _ = matching.AssignCandidates(score, lists)
+		case MethodRHParallel:
+			lists = topk.ParallelSelectDepth(w.Inst.N, k, k+1, runtime.GOMAXPROCS(0), score)
+			advOf, _ = matching.AssignCandidates(score, lists)
+		case MethodH:
+			advOf = matching.MaxWeightFunc(w.Inst.N, k, score).AdvOf
+			lists = scanLists(w.Inst.N, k, score)
+		case MethodLP:
+			m := make([][]float64, w.Inst.N)
+			for i := range m {
+				m[i] = make([]float64, k)
+				for j := 0; j < k; j++ {
+					m[i][j] = score(i, j)
+				}
+			}
+			res, err := lp.SolveAssignment(m)
+			if err != nil {
+				// The assignment LP is always feasible and bounded; an
+				// error here is a solver bug worth crashing on.
+				panic("strategy: assignment LP failed: " + err.Error())
+			}
+			w.LPStats += res.Iterations
+			advOf = res.AdvOf
+			lists = scanLists(w.Inst.N, k, score)
+		default:
+			panic("strategy: unknown method")
+		}
+	}
+
+	out := &Outcome{
+		Query:         q,
+		AdvOf:         advOf,
+		PricePerClick: make([]float64, k),
+		Clicked:       make([]bool, k),
+	}
+
+	// Generalized second pricing: the winner of slot j pays, per
+	// click, the highest competing score for that slot divided by his
+	// own click probability — the amount that prices the slot at its
+	// best alternative use — capped at his own bid (Section V's
+	// "slight generalization of generalized second-pricing").
+	assigned := make(map[int]bool, k)
+	for _, i := range advOf {
+		if i >= 0 {
+			assigned[i] = true
+		}
+	}
+	for j, i := range advOf {
+		if i < 0 {
+			continue
+		}
+		runner := 0.0
+		for _, it := range lists[j] {
+			if !assigned[it.ID] {
+				runner = it.Score
+				break
+			}
+		}
+		price := runner / w.Inst.ClickProb[i][j]
+		if bid := float64(w.Bid(i, q)); price > bid {
+			price = bid
+		}
+		out.PricePerClick[j] = price
+	}
+
+	// User action: one uniform draw per slot (always k draws, so
+	// worlds with equal click seeds stay aligned), a click when the
+	// draw falls under the winner's click probability.
+	var clickedWinners []int
+	for j := 0; j < k; j++ {
+		u := w.rng.Float64()
+		i := advOf[j]
+		if i < 0 || u >= w.Inst.ClickProb[i][j] {
+			continue
+		}
+		out.Clicked[j] = true
+		price := out.PricePerClick[j]
+		out.Revenue += price
+		w.acct.SpentTotal[i] += price
+		w.acct.SpentKw[i][q] += price
+		w.acct.GainedKw[i][q] += float64(w.Inst.Value[i][q])
+		clickedWinners = append(clickedWinners, i)
+	}
+
+	if w.talu != nil {
+		w.talu.afterAuction(t, clickedWinners)
+	}
+	return out
+}
+
+// scanLists materializes per-slot top-(k+1) candidate lists by a full
+// scan — the pricing helper for the full-graph methods.
+func scanLists(n, k int, score func(i, j int) float64) [][]topk.Item {
+	lists := make([][]topk.Item, k)
+	for j := 0; j < k; j++ {
+		j := j
+		lists[j] = topk.Select(n, k+1, func(i int) float64 { return score(i, j) })
+	}
+	return lists
+}

@@ -1,0 +1,264 @@
+package strategy
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/logical"
+	"repro/internal/matching"
+	"repro/internal/ta"
+	"repro/internal/topk"
+	"repro/internal/workload"
+)
+
+// taluEngine implements Section IV: instead of running every bidding
+// program on every auction, it exploits the structure of the ROI
+// heuristic.
+//
+// Logical updates (Section IV-B). For each keyword, bidders are
+// partitioned into an increment list, a decrement list, and a
+// constant list according to what the Figure 5 program would do to
+// their bid on a query for that keyword. Each list is sorted by
+// stored bid and carries a shared adjustment variable, so "every
+// underspending max-ROI bidder raises his bid by one" is a single
+// O(1) adjustment. A bidder changes lists only when
+//
+//   - he wins a click (his spending and ROI statistics move), or
+//   - a shared monotone variable crosses a precomputed critical value:
+//     the time at which a loser's falling spend rate meets his target,
+//     or the per-keyword auction count at which his drifting bid would
+//     hit zero or his maximum —
+//
+// and those crossings are managed by trigger queues with generation
+// tags, so the per-auction maintenance cost is proportional to the
+// number of winners and due triggers, not to n.
+//
+// Threshold algorithm (Section IV-A). The per-slot top-(k+1) bidders
+// by clickProb·bid are found by Fagin's threshold algorithm over two
+// sorted sources — the static click-probability list for the slot and
+// the merged (increment ∪ decrement ∪ constant) bid lists — again
+// without touching most bidders.
+type taluEngine struct {
+	inst *workload.Instance
+	acct *Accounting
+
+	// groups[q][mode] holds the bidders whose behavior for keyword q
+	// is mode (modeConst/modeInc/modeDec); member[i][q] records which.
+	groups [][]*logical.Group
+	member [][]int8
+	// genTime[i] is bumped on every recompute of bidder i,
+	// invalidating his pending time trigger; genKw[i][q] is bumped
+	// only when (i, q)'s group membership actually changes,
+	// invalidating just that keyword's count trigger. Keeping the two
+	// apart lets a recompute skip keywords whose behavior is
+	// unchanged: their pending count triggers remain exactly correct,
+	// because the critical count registered at join time assumed
+	// uninterrupted membership — which is precisely what "unchanged"
+	// means.
+	genTime []int
+	genKw   [][]int
+
+	timeTr logical.Triggers   // keyed on auction time
+	kwTr   []logical.Triggers // keyed on per-keyword auction counts
+	count  []int              // per-keyword auction counters
+
+	// wSorted[j] lists advertisers by descending click probability in
+	// slot j — the static sorted lists the threshold algorithm reads.
+	wSorted [][]topk.Item
+	// runner is the reusable threshold-algorithm executor.
+	runner *ta.Runner
+
+	t    float64 // current auction time
+	curQ int     // keyword of the auction being processed
+
+	// recomputes counts strategy re-evaluations: the TALU analogue of
+	// "programs run". The explicit engine runs all n programs every
+	// auction; this engine touches a program only on wins and trigger
+	// firings, and the counter makes that claim measurable.
+	recomputes int64
+}
+
+func newTALUEngine(inst *workload.Instance, acct *Accounting) *taluEngine {
+	e := &taluEngine{
+		inst:    inst,
+		acct:    acct,
+		groups:  make([][]*logical.Group, inst.Keywords),
+		member:  make([][]int8, inst.N),
+		genTime: make([]int, inst.N),
+		genKw:   make([][]int, inst.N),
+		kwTr:    make([]logical.Triggers, inst.Keywords),
+		count:   make([]int, inst.Keywords),
+		runner:  ta.NewRunner(inst.N),
+		curQ:    -1,
+	}
+	var seed uint64 = 1
+	for q := 0; q < inst.Keywords; q++ {
+		e.groups[q] = []*logical.Group{
+			logical.NewGroup(seed, inst.N), logical.NewGroup(seed+1, inst.N), logical.NewGroup(seed+2, inst.N),
+		}
+		seed += 3
+	}
+	for i := 0; i < inst.N; i++ {
+		e.member[i] = make([]int8, inst.Keywords)
+		e.genKw[i] = make([]int, inst.Keywords)
+	}
+
+	// Static per-slot click-probability lists.
+	e.wSorted = make([][]topk.Item, inst.Slots)
+	for j := 0; j < inst.Slots; j++ {
+		items := make([]topk.Item, inst.N)
+		for i := 0; i < inst.N; i++ {
+			items[i] = topk.Item{ID: i, Score: inst.ClickProb[i][j]}
+		}
+		sort.Slice(items, func(a, b int) bool {
+			if items[a].Score != items[b].Score {
+				return items[a].Score > items[b].Score
+			}
+			return items[a].ID < items[b].ID
+		})
+		e.wSorted[j] = items
+	}
+
+	// Initial placement: zero spend against a positive target means
+	// every bidder starts underspending.
+	for i := 0; i < inst.N; i++ {
+		const statusUnder = -1
+		for q := 0; q < inst.Keywords; q++ {
+			bid := inst.InitialBid[i][q]
+			mode := bidMode(inst, acct, i, q, bid, statusUnder)
+			e.member[i][q] = int8(mode)
+			e.groups[q][mode].Insert(i, float64(bid))
+			e.registerCountTrigger(i, q, mode, bid, false)
+		}
+		// No time trigger: underspending is absorbing for losers.
+	}
+	return e
+}
+
+// bid returns advertiser i's current effective bid for keyword q.
+func (e *taluEngine) bid(i, q int) int {
+	eff, ok := e.groups[q][e.member[i][q]].Effective(i)
+	if !ok {
+		panic("strategy: bidder missing from its group")
+	}
+	return int(math.Round(eff))
+}
+
+// registerCountTrigger schedules the recompute for the auction count
+// at which (i, q)'s drifting bid hits its bound. preAdjust reports
+// whether the current auction's adjustment for keyword q has not yet
+// been applied (trigger-phase recomputes of the current keyword), in
+// which case the pending adjustment counts toward the drift.
+func (e *taluEngine) registerCountTrigger(i, q, mode, bid int, preAdjust bool) {
+	var remaining int
+	switch mode {
+	case modeInc:
+		remaining = e.inst.Value[i][q] - bid
+	case modeDec:
+		remaining = bid
+	default:
+		return
+	}
+	offset := 1
+	if preAdjust {
+		offset = 0
+	}
+	critical := float64(e.count[q] + remaining + offset)
+	e.kwTr[q].Add(critical, &e.genKw[i][q], func() {
+		e.recompute(i, e.curQ)
+	})
+}
+
+// recompute re-derives bidder i's group memberships and triggers from
+// current state. preAdjustKw names the keyword (if any) whose
+// adjustment for the in-flight auction is still pending; −1 when the
+// recompute happens after the auction's adjustments (winner updates).
+func (e *taluEngine) recompute(i int, preAdjustKw int) {
+	e.recomputes++
+	status := spendStatus(e.acct.SpentTotal[i], e.t, e.inst.Target[i])
+	for q := 0; q < e.inst.Keywords; q++ {
+		old := int(e.member[i][q])
+		eff, ok := e.groups[q][old].Effective(i)
+		if !ok {
+			panic("strategy: bidder missing from its group during recompute")
+		}
+		bid := int(math.Round(eff))
+		mode := bidMode(e.inst, e.acct, i, q, bid, status)
+		if mode == old {
+			// Behavior unchanged: the group keeps drifting this bid
+			// exactly as before, and any pending count trigger's
+			// critical value remains correct. Nothing to do.
+			continue
+		}
+		e.genKw[i][q]++
+		e.groups[q][old].Remove(i)
+		e.member[i][q] = int8(mode)
+		e.groups[q][mode].Insert(i, float64(bid))
+		e.registerCountTrigger(i, q, mode, bid, q == preAdjustKw)
+	}
+	e.genTime[i]++
+	switch status {
+	case 1:
+		// Overspending: a loser's rate S/t falls to the target exactly
+		// at t* = S/target; recompute then.
+		tstar := e.acct.SpentTotal[i] / float64(e.inst.Target[i])
+		e.timeTr.Add(tstar, &e.genTime[i], func() {
+			e.recompute(i, e.curQ)
+		})
+	case 0:
+		// Exactly on target now; strictly under at the next tick.
+		e.timeTr.Add(e.t+1, &e.genTime[i], func() {
+			e.recompute(i, e.curQ)
+		})
+	}
+}
+
+// prepare advances the engine for one auction on keyword q at time t
+// and returns the per-slot top-(k+1) candidate lists plus the optimal
+// slot assignment.
+func (e *taluEngine) prepare(q int, t float64) ([][]topk.Item, []int) {
+	e.t = t
+	e.curQ = q
+	e.count[q]++
+
+	// Fire due triggers: these recomputes see the pre-update state of
+	// this auction, exactly as the explicit engine would.
+	e.timeTr.Advance(t)
+	e.kwTr[q].Advance(float64(e.count[q]))
+
+	// Logical updates: every incrementing bidder +1, every
+	// decrementing bidder −1, in O(1) each.
+	e.groups[q][modeInc].Adjust(1)
+	e.groups[q][modeDec].Adjust(-1)
+
+	// Threshold algorithm per slot.
+	k := e.inst.Slots
+	lists := make([][]topk.Item, k)
+	product := func(v []float64) float64 { return v[0] * v[1] }
+	for j := 0; j < k; j++ {
+		j := j
+		wSource := &ta.SliceSource{
+			Items: e.wSorted[j],
+			Get:   func(id int) float64 { return e.inst.ClickProb[id][j] },
+		}
+		bidSource := logical.NewMergedSource(e.groups[q][0], e.groups[q][1], e.groups[q][2])
+		lists[j], _ = e.runner.TopK(k+1, []ta.Source{wSource, bidSource}, product)
+	}
+
+	score := func(i, j int) float64 {
+		return e.inst.ClickProb[i][j] * float64(e.bid(i, q))
+	}
+	advOf, _ := matching.AssignCandidates(score, lists)
+	return lists, advOf
+}
+
+// afterAuction applies the winners' state changes: every advertiser
+// charged for a click gets a full recompute (his spending status and
+// ROI statistics moved).
+func (e *taluEngine) afterAuction(t float64, clickedWinners []int) {
+	e.t = t
+	for _, i := range clickedWinners {
+		e.recompute(i, -1)
+	}
+	e.curQ = -1
+}

@@ -1,0 +1,99 @@
+package ta
+
+import "repro/internal/topk"
+
+// Runner is a reusable threshold-algorithm executor over a fixed
+// object universe [0, n). It replaces TopK's per-call map with a
+// generation-stamped array and reuses its scratch buffers, cutting
+// the per-auction allocation cost when TA runs k times per auction
+// (once per slot, Section IV-A).
+type Runner struct {
+	stamp []uint32
+	gen   uint32
+
+	frontier     []float64
+	haveFrontier []bool
+	exhausted    []bool
+	vals         []float64
+}
+
+// NewRunner returns a Runner for object IDs in [0, n).
+func NewRunner(n int) *Runner {
+	return &Runner{stamp: make([]uint32, n)}
+}
+
+// TopK is TopK with reusable state. Semantics match the package-level
+// function exactly; results for IDs outside [0, n) are undefined.
+func (r *Runner) TopK(k int, sources []Source, f func(values []float64) float64) ([]topk.Item, Stats) {
+	var stats Stats
+	m := len(sources)
+	if cap(r.vals) < m {
+		r.frontier = make([]float64, m)
+		r.haveFrontier = make([]bool, m)
+		r.exhausted = make([]bool, m)
+		r.vals = make([]float64, m)
+	}
+	frontier := r.frontier[:m]
+	haveFrontier := r.haveFrontier[:m]
+	exhausted := r.exhausted[:m]
+	vals := r.vals[:m]
+	for t := 0; t < m; t++ {
+		haveFrontier[t] = false
+		exhausted[t] = false
+	}
+	r.gen++
+	gen := r.gen
+	heap := topk.NewHeap(k)
+
+	score := func(id int) float64 {
+		for t := 0; t < m; t++ {
+			vals[t] = sources[t].Lookup(id)
+		}
+		stats.RandomAccesses += m
+		return f(vals)
+	}
+
+	for {
+		progressed := false
+		for t := 0; t < m; t++ {
+			if exhausted[t] {
+				continue
+			}
+			id, v, ok := sources[t].Next()
+			if !ok {
+				exhausted[t] = true
+				continue
+			}
+			stats.SortedAccesses++
+			progressed = true
+			frontier[t] = v
+			haveFrontier[t] = true
+			if r.stamp[id] != gen {
+				r.stamp[id] = gen
+				stats.Seen++
+				heap.Offer(topk.Item{ID: id, Score: score(id)})
+			}
+		}
+		if !progressed {
+			break
+		}
+		ready := true
+		for t := 0; t < m; t++ {
+			if !haveFrontier[t] && !exhausted[t] {
+				ready = false
+				break
+			}
+			vals[t] = frontier[t]
+			if !haveFrontier[t] {
+				vals[t] = 0
+			}
+		}
+		if !ready {
+			continue
+		}
+		if heap.Len() >= k && heap.Min().Score >= f(vals) {
+			break
+		}
+	}
+	return heap.Items(), stats
+}

@@ -1,0 +1,142 @@
+// Package ta implements the threshold algorithm of Fagin, Lotem, and
+// Naor ("Optimal aggregation algorithms for middleware", PODS 2001),
+// which Section IV-A uses to find the top-k advertisers for a slot
+// without evaluating every advertiser: sorted lists are maintained on
+// each advertiser-specific parameter, the aggregation function is
+// monotone, and the algorithm stops as soon as k objects are known to
+// score at least the threshold computed from the list frontiers.
+//
+// The algorithm is instance optimal among algorithms that make no
+// "wild guesses" (random accesses to objects never seen under sorted
+// access).
+package ta
+
+import "repro/internal/topk"
+
+// Source is one sorted attribute list over a common universe of
+// object IDs. Sorted access must yield objects in non-increasing
+// attribute order; Lookup provides random access for objects
+// discovered through other sources.
+type Source interface {
+	// Next returns the next (id, value) pair under sorted access, or
+	// ok=false when the list is exhausted.
+	Next() (id int, value float64, ok bool)
+	// Lookup returns the attribute value of an arbitrary object.
+	Lookup(id int) float64
+}
+
+// Stats reports how much work a TopK call performed, for the
+// benchmark harness and the instance-optimality tests.
+type Stats struct {
+	SortedAccesses int
+	RandomAccesses int
+	Seen           int
+}
+
+// TopK runs the threshold algorithm over the sources and returns the
+// k objects with the highest aggregate score f(v₁,…,v_m), sorted by
+// descending score (ties by ascending ID). f must be monotone
+// non-decreasing in every argument; the values slice passed to f is
+// reused across calls and must not be retained.
+//
+// Fewer than k results are returned only if the sources expose fewer
+// than k distinct objects.
+func TopK(k int, sources []Source, f func(values []float64) float64) ([]topk.Item, Stats) {
+	var stats Stats
+	m := len(sources)
+	heap := topk.NewHeap(k)
+	seen := make(map[int]bool)
+	frontier := make([]float64, m)
+	haveFrontier := make([]bool, m)
+	exhausted := make([]bool, m)
+	vals := make([]float64, m)
+
+	score := func(id int) float64 {
+		for t := 0; t < m; t++ {
+			vals[t] = sources[t].Lookup(id)
+		}
+		// Lookups on the source that produced the object under sorted
+		// access are counted as random accesses too; correcting for
+		// the one free value would complicate Source for no benefit.
+		stats.RandomAccesses += m
+		return f(vals)
+	}
+
+	for {
+		progressed := false
+		for t := 0; t < m; t++ {
+			if exhausted[t] {
+				continue
+			}
+			id, v, ok := sources[t].Next()
+			if !ok {
+				exhausted[t] = true
+				continue
+			}
+			stats.SortedAccesses++
+			progressed = true
+			frontier[t] = v
+			haveFrontier[t] = true
+			if !seen[id] {
+				seen[id] = true
+				stats.Seen++
+				heap.Offer(topk.Item{ID: id, Score: score(id)})
+			}
+		}
+		if !progressed {
+			break // every list exhausted
+		}
+		// Threshold: best possible score of any unseen object. Sources
+		// not yet read (no frontier) contribute their first value on
+		// the next round, so no stop decision can be made before every
+		// live source has a frontier.
+		ready := true
+		for t := 0; t < m; t++ {
+			if !haveFrontier[t] && !exhausted[t] {
+				ready = false
+				break
+			}
+			vals[t] = frontier[t]
+			if !haveFrontier[t] {
+				// Source exhausted before producing anything: it holds
+				// no objects, so no unseen object has any value here;
+				// use 0 as the floor (scores are non-negative in our
+				// setting). Callers with negative attribute ranges
+				// should wrap sources so empty lists cannot occur.
+				vals[t] = 0
+			}
+		}
+		if !ready {
+			continue
+		}
+		tau := f(vals)
+		if heap.Len() >= k && heap.Min().Score >= tau {
+			break
+		}
+	}
+	return heap.Items(), stats
+}
+
+// SliceSource adapts a pre-sorted []topk.Item (descending score) plus
+// a random-access function into a Source.
+type SliceSource struct {
+	Items  []topk.Item
+	Get    func(id int) float64
+	cursor int
+}
+
+// Next implements Source.
+func (s *SliceSource) Next() (int, float64, bool) {
+	if s.cursor >= len(s.Items) {
+		return 0, 0, false
+	}
+	it := s.Items[s.cursor]
+	s.cursor++
+	return it.ID, it.Score, true
+}
+
+// Lookup implements Source.
+func (s *SliceSource) Lookup(id int) float64 { return s.Get(id) }
+
+// Reset rewinds the cursor so the source can be reused.
+func (s *SliceSource) Reset() { s.cursor = 0 }

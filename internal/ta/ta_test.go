@@ -1,0 +1,185 @@
+package ta
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/topk"
+)
+
+// buildSources creates m sorted SliceSources over n objects with the
+// given attribute matrix vals[obj][attr].
+func buildSources(vals [][]float64) []Source {
+	if len(vals) == 0 {
+		return nil
+	}
+	m := len(vals[0])
+	sources := make([]Source, m)
+	for t := 0; t < m; t++ {
+		items := make([]topk.Item, len(vals))
+		for i := range vals {
+			items[i] = topk.Item{ID: i, Score: vals[i][t]}
+		}
+		sort.Slice(items, func(a, b int) bool {
+			if items[a].Score != items[b].Score {
+				return items[a].Score > items[b].Score
+			}
+			return items[a].ID < items[b].ID
+		})
+		attr := t
+		sources[t] = &SliceSource{Items: items, Get: func(id int) float64 { return vals[id][attr] }}
+	}
+	return sources
+}
+
+func naive(vals [][]float64, k int, f func([]float64) float64) []topk.Item {
+	h := topk.NewHeap(k)
+	buf := make([]float64, 0, 8)
+	for i := range vals {
+		buf = buf[:0]
+		buf = append(buf, vals[i]...)
+		h.Offer(topk.Item{ID: i, Score: f(buf)})
+	}
+	return h.Items()
+}
+
+func product(v []float64) float64 {
+	p := 1.0
+	for _, x := range v {
+		p *= x
+	}
+	return p
+}
+
+func sum(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+func TestTopKMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(60)
+		m := 1 + rng.Intn(4)
+		k := 1 + rng.Intn(8)
+		vals := make([][]float64, n)
+		for i := range vals {
+			vals[i] = make([]float64, m)
+			for t := range vals[i] {
+				vals[i][t] = rng.Float64() * 10
+			}
+		}
+		f := product
+		if trial%2 == 0 {
+			f = sum
+		}
+		got, _ := TopK(k, buildSources(vals), f)
+		want := naive(vals, k, f)
+		if !sameScores(got, want) {
+			t.Fatalf("n=%d m=%d k=%d:\n got %v\nwant %v", n, m, k, got, want)
+		}
+	}
+}
+
+// sameScores compares result sets by score sequence; ties may order
+// IDs differently between TA's early stop and the naive scan only at
+// equal scores, which both break by ascending ID among *seen* items —
+// compare exactly first, fall back to score comparison.
+func sameScores(a, b []topk.Item) bool {
+	if reflect.DeepEqual(a, b) {
+		return true
+	}
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Score != b[i].Score {
+			return false
+		}
+	}
+	return true
+}
+
+func TestTopKEarlyTermination(t *testing.T) {
+	// One dominant object per list frontier: TA should stop long
+	// before scanning all n objects.
+	const n = 10000
+	vals := make([][]float64, n)
+	for i := range vals {
+		vals[i] = []float64{float64(i), float64(i)}
+	}
+	_, stats := TopK(3, buildSources(vals), sum)
+	if stats.SortedAccesses > 40 {
+		t.Fatalf("TA did %d sorted accesses; expected early stop", stats.SortedAccesses)
+	}
+}
+
+func TestTopKStopsOnExhaustion(t *testing.T) {
+	vals := [][]float64{{1, 1}, {2, 2}}
+	got, _ := TopK(5, buildSources(vals), sum)
+	if len(got) != 2 {
+		t.Fatalf("want 2 results when universe smaller than k, got %v", got)
+	}
+}
+
+func TestTopKZeroScores(t *testing.T) {
+	vals := [][]float64{{0, 5}, {0, 3}, {0, 1}}
+	got, _ := TopK(2, buildSources(vals), product)
+	for _, it := range got {
+		if it.Score != 0 {
+			t.Fatalf("all products are zero, got %v", got)
+		}
+	}
+	if len(got) != 2 {
+		t.Fatalf("want 2 results, got %d", len(got))
+	}
+}
+
+func TestTopKSingleSource(t *testing.T) {
+	vals := [][]float64{{3}, {9}, {1}, {7}}
+	got, stats := TopK(2, buildSources(vals), sum)
+	want := []topk.Item{{ID: 1, Score: 9}, {ID: 3, Score: 7}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	if stats.SortedAccesses > 3 {
+		t.Fatalf("single sorted list should stop after k+1 accesses, did %d", stats.SortedAccesses)
+	}
+}
+
+func TestQuickPropertyTopK(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(30)
+		k := 1 + rng.Intn(5)
+		vals := make([][]float64, n)
+		for i := range vals {
+			vals[i] = []float64{rng.Float64(), rng.Float64()}
+		}
+		got, _ := TopK(k, buildSources(vals), product)
+		return sameScores(got, naive(vals, k, product))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSliceSourceReset(t *testing.T) {
+	s := &SliceSource{Items: []topk.Item{{ID: 0, Score: 1}}, Get: func(int) float64 { return 1 }}
+	if _, _, ok := s.Next(); !ok {
+		t.Fatal("first Next failed")
+	}
+	if _, _, ok := s.Next(); ok {
+		t.Fatal("expected exhaustion")
+	}
+	s.Reset()
+	if _, _, ok := s.Next(); !ok {
+		t.Fatal("Reset did not rewind")
+	}
+}

@@ -1,0 +1,207 @@
+package ta
+
+import "repro/internal/topk"
+
+// This file implements the two companion algorithms from Fagin,
+// Lotem, and Naor's middleware-aggregation paper (the paper's
+// citation [16]): FA, Fagin's original algorithm, and NRA, the
+// no-random-access algorithm. The auction engine uses TA (ta.go);
+// these exist because a deployment may face different access costs —
+// NRA matters when random access into another machine's sorted bid
+// list is expensive, exactly the distributed setting Section II-B
+// sets up for bidding programs.
+
+// FA is Fagin's algorithm: round-robin sorted access until at least k
+// objects have been seen in *every* list, then random access to
+// complete all seen objects, then take the top k. Correct for
+// monotone f; typically performs more accesses than TA (which
+// subsumes it), shown by the Stats.
+func FA(k int, sources []Source, f func(values []float64) float64) ([]topk.Item, Stats) {
+	var stats Stats
+	m := len(sources)
+	seenIn := make(map[int]int)  // object -> count of lists it appeared in
+	seenAll := 0                 // objects seen in every list
+	order := make([]int, 0, 4*k) // discovery order of distinct objects
+	exhausted := make([]bool, m)
+
+	for seenAll < k {
+		progressed := false
+		for t := 0; t < m; t++ {
+			if exhausted[t] {
+				continue
+			}
+			id, _, ok := sources[t].Next()
+			if !ok {
+				exhausted[t] = true
+				continue
+			}
+			stats.SortedAccesses++
+			progressed = true
+			if seenIn[id] == 0 {
+				order = append(order, id)
+				stats.Seen++
+			}
+			seenIn[id]++
+			if seenIn[id] == m {
+				seenAll++
+			}
+		}
+		if !progressed {
+			break // all lists exhausted; everything has been seen
+		}
+	}
+
+	vals := make([]float64, m)
+	h := topk.NewHeap(k)
+	for _, id := range order {
+		for t := 0; t < m; t++ {
+			vals[t] = sources[t].Lookup(id)
+		}
+		stats.RandomAccesses += m
+		h.Offer(topk.Item{ID: id, Score: f(vals)})
+	}
+	return h.Items(), stats
+}
+
+// NRA is the no-random-access algorithm: it reads the lists under
+// sorted access only and maintains, for every seen object, a lower
+// and an upper bound on its aggregate score (unknown attributes are
+// bounded below by zero — attribute domains must be non-negative —
+// and above by the list frontier). It stops when k objects' lower
+// bounds dominate every other object's upper bound, and returns those
+// objects with their lower-bound scores (exact once all attributes
+// were observed).
+//
+// With distinct aggregate scores the returned ID set equals the true
+// top-k; equal scores at the boundary may resolve either way, as in
+// the original algorithm.
+func NRA(k int, sources []Source, f func(values []float64) float64) ([]topk.Item, Stats) {
+	var stats Stats
+	m := len(sources)
+	type state struct {
+		vals  []float64
+		known []bool
+		nkn   int
+	}
+	objs := make(map[int]*state)
+	frontier := make([]float64, m)
+	haveFrontier := make([]bool, m)
+	exhausted := make([]bool, m)
+	buf := make([]float64, m)
+
+	lower := func(s *state) float64 {
+		for t := 0; t < m; t++ {
+			if s.known[t] {
+				buf[t] = s.vals[t]
+			} else {
+				buf[t] = 0
+			}
+		}
+		return f(buf)
+	}
+	upper := func(s *state) float64 {
+		for t := 0; t < m; t++ {
+			if s.known[t] {
+				buf[t] = s.vals[t]
+			} else if exhausted[t] {
+				// An exhausted list has shown every object it contains;
+				// a missing attribute there can only be bounded by the
+				// last frontier (objects may legitimately be absent
+				// from no list in our model, but stay safe).
+				buf[t] = frontier[t]
+			} else {
+				buf[t] = frontier[t]
+			}
+		}
+		return f(buf)
+	}
+
+	for round := 0; ; round++ {
+		progressed := false
+		for t := 0; t < m; t++ {
+			if exhausted[t] {
+				continue
+			}
+			id, v, ok := sources[t].Next()
+			if !ok {
+				exhausted[t] = true
+				continue
+			}
+			stats.SortedAccesses++
+			progressed = true
+			frontier[t] = v
+			haveFrontier[t] = true
+			s := objs[id]
+			if s == nil {
+				s = &state{vals: make([]float64, m), known: make([]bool, m)}
+				objs[id] = s
+				stats.Seen++
+			}
+			if !s.known[t] {
+				s.known[t] = true
+				s.nkn++
+			}
+			s.vals[t] = v
+		}
+		if !progressed {
+			break
+		}
+		ready := true
+		for t := 0; t < m; t++ {
+			if !haveFrontier[t] && !exhausted[t] {
+				ready = false
+			}
+			if !haveFrontier[t] {
+				frontier[t] = 0
+			}
+		}
+		if !ready || len(objs) < k {
+			continue
+		}
+		// Candidate set: top k by lower bound (ties by ID).
+		cand := topk.NewHeap(k)
+		for id, s := range objs {
+			cand.Offer(topk.Item{ID: id, Score: lower(s)})
+		}
+		items := cand.Items()
+		if len(items) < k {
+			continue
+		}
+		kth := items[len(items)-1].Score
+		inCand := make(map[int]bool, k)
+		for _, it := range items {
+			inCand[it.ID] = true
+		}
+		// Stop if no other object (seen or unseen) can beat the k-th
+		// lower bound.
+		ok := true
+		for id, s := range objs {
+			if inCand[id] {
+				continue
+			}
+			if upper(s) > kth {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			// Unseen objects are bounded by f(frontier).
+			for t := 0; t < m; t++ {
+				buf[t] = frontier[t]
+			}
+			if f(buf) > kth {
+				ok = false
+			}
+		}
+		if ok {
+			return items, stats
+		}
+	}
+
+	// Lists exhausted: all attribute values known; rank directly.
+	h := topk.NewHeap(k)
+	for id, s := range objs {
+		h.Offer(topk.Item{ID: id, Score: lower(s)})
+	}
+	return h.Items(), stats
+}

@@ -1,0 +1,121 @@
+package ta
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// distinctVals builds an attribute matrix whose aggregate products
+// are pairwise distinct (random continuous draws).
+func distinctVals(rng *rand.Rand, n, m int) [][]float64 {
+	vals := make([][]float64, n)
+	for i := range vals {
+		vals[i] = make([]float64, m)
+		for t := range vals[i] {
+			vals[i][t] = 0.1 + rng.Float64()
+		}
+	}
+	return vals
+}
+
+func TestFAMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(421))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(50)
+		m := 1 + rng.Intn(3)
+		k := 1 + rng.Intn(6)
+		vals := distinctVals(rng, n, m)
+		got, stats := FA(k, buildSources(vals), product)
+		want := naive(vals, k, product)
+		if !sameScores(got, want) {
+			t.Fatalf("n=%d m=%d k=%d: FA %v != naive %v", n, m, k, got, want)
+		}
+		if stats.SortedAccesses == 0 && n > 0 {
+			t.Fatal("FA reported no sorted accesses")
+		}
+	}
+}
+
+func TestNRAMatchesNaiveSet(t *testing.T) {
+	rng := rand.New(rand.NewSource(431))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(50)
+		m := 1 + rng.Intn(3)
+		k := 1 + rng.Intn(6)
+		vals := distinctVals(rng, n, m)
+		got, _ := NRA(k, buildSources(vals), product)
+		want := naive(vals, k, product)
+		if len(got) != len(want) {
+			t.Fatalf("n=%d m=%d k=%d: NRA size %d, want %d", n, m, k, len(got), len(want))
+		}
+		wantIDs := map[int]bool{}
+		for _, it := range want {
+			wantIDs[it.ID] = true
+		}
+		for _, it := range got {
+			if !wantIDs[it.ID] {
+				t.Fatalf("n=%d m=%d k=%d: NRA returned %d, not in true top-k %v (got %v)",
+					n, m, k, it.ID, want, got)
+			}
+		}
+	}
+}
+
+// TestTABeatsFAOnAccesses: on a workload designed to favor early
+// termination, TA must use no more sorted accesses than FA — the
+// monotone-threshold cutoff dominates FA's "seen in all lists" rule.
+func TestTABeatsFAOnAccesses(t *testing.T) {
+	rng := rand.New(rand.NewSource(433))
+	worse := 0
+	const trials = 100
+	for trial := 0; trial < trials; trial++ {
+		n := 200
+		m := 2
+		k := 3
+		vals := distinctVals(rng, n, m)
+		_, taStats := TopK(k, buildSources(vals), product)
+		_, faStats := FA(k, buildSources(vals), product)
+		if taStats.SortedAccesses > faStats.SortedAccesses {
+			worse++
+		}
+	}
+	// TA is instance optimal up to a constant; allow a small number of
+	// adversarial draws but not systematic loss.
+	if worse > trials/10 {
+		t.Fatalf("TA used more sorted accesses than FA in %d/%d trials", worse, trials)
+	}
+}
+
+// TestNRAUsesNoRandomAccess is definitional.
+func TestNRAUsesNoRandomAccess(t *testing.T) {
+	rng := rand.New(rand.NewSource(439))
+	vals := distinctVals(rng, 100, 3)
+	_, stats := NRA(5, buildSources(vals), product)
+	if stats.RandomAccesses != 0 {
+		t.Fatalf("NRA performed %d random accesses", stats.RandomAccesses)
+	}
+}
+
+func TestVariantsUniverseSmallerThanK(t *testing.T) {
+	rng := rand.New(rand.NewSource(443))
+	vals := distinctVals(rng, 3, 2)
+	if got, _ := FA(10, buildSources(vals), product); len(got) != 3 {
+		t.Fatalf("FA small universe: %v", got)
+	}
+	if got, _ := NRA(10, buildSources(vals), product); len(got) != 3 {
+		t.Fatalf("NRA small universe: %v", got)
+	}
+}
+
+func TestVariantsSingleList(t *testing.T) {
+	vals := [][]float64{{5}, {9}, {2}, {7}}
+	got, _ := FA(2, buildSources(vals), sum)
+	if got[0].ID != 1 || got[1].ID != 3 {
+		t.Fatalf("FA single list: %v", got)
+	}
+	got, _ = NRA(2, buildSources(vals), sum)
+	ids := map[int]bool{got[0].ID: true, got[1].ID: true}
+	if !ids[1] || !ids[3] {
+		t.Fatalf("NRA single list: %v", got)
+	}
+}

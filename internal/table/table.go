@@ -1,0 +1,203 @@
+// Package table is the in-memory relational substrate for bidding
+// programs (Section II-B): typed schemas, rows, scalar variables, and
+// per-table insert triggers. Each advertiser's bidding program runs
+// against a private database holding its Keywords and Bids tables and
+// advertiser-specific scalars (amount spent, target spending rate),
+// plus tables the search provider shares read-only, such as the
+// current Query. Because programs touch only private and read-only
+// shared state, they never interact and can run in parallel — the
+// property the paper relies on for distributing program evaluation.
+package table
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Kind is the type of a Value.
+type Kind int
+
+// Value kinds.
+const (
+	Null Kind = iota
+	Float
+	String
+	Bool
+)
+
+// Value is a typed SQL value.
+type Value struct {
+	Kind Kind
+	F    float64
+	S    string
+	B    bool
+}
+
+// Convenience constructors.
+func F(f float64) Value { return Value{Kind: Float, F: f} }
+func S(s string) Value  { return Value{Kind: String, S: s} }
+func B(b bool) Value    { return Value{Kind: Bool, B: b} }
+func N() Value          { return Value{Kind: Null} }
+
+// String renders the value for display and error messages.
+func (v Value) String() string {
+	switch v.Kind {
+	case Float:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case String:
+		return v.S
+	case Bool:
+		if v.B {
+			return "TRUE"
+		}
+		return "FALSE"
+	default:
+		return "NULL"
+	}
+}
+
+// Truthy reports whether the value counts as true in a condition:
+// TRUE, a non-zero number, or a non-empty string. NULL is false.
+func (v Value) Truthy() bool {
+	switch v.Kind {
+	case Bool:
+		return v.B
+	case Float:
+		return v.F != 0
+	case String:
+		return v.S != ""
+	default:
+		return false
+	}
+}
+
+// Equal implements SQL-style equality: values of different kinds are
+// unequal, and NULL equals nothing (not even NULL).
+func (v Value) Equal(o Value) bool {
+	if v.Kind == Null || o.Kind == Null || v.Kind != o.Kind {
+		return false
+	}
+	switch v.Kind {
+	case Float:
+		return v.F == o.F
+	case String:
+		return v.S == o.S
+	default:
+		return v.B == o.B
+	}
+}
+
+// Compare orders two values of the same kind: −1, 0, or +1. It
+// returns an error for NULLs or mismatched kinds.
+func (v Value) Compare(o Value) (int, error) {
+	if v.Kind == Null || o.Kind == Null {
+		return 0, fmt.Errorf("table: cannot order NULL")
+	}
+	if v.Kind != o.Kind {
+		return 0, fmt.Errorf("table: cannot compare %v with %v", v, o)
+	}
+	switch v.Kind {
+	case Float:
+		switch {
+		case v.F < o.F:
+			return -1, nil
+		case v.F > o.F:
+			return 1, nil
+		}
+		return 0, nil
+	case String:
+		switch {
+		case v.S < o.S:
+			return -1, nil
+		case v.S > o.S:
+			return 1, nil
+		}
+		return 0, nil
+	default:
+		return 0, fmt.Errorf("table: cannot order booleans")
+	}
+}
+
+// Column is a named, typed column.
+type Column struct {
+	Name string
+	Kind Kind
+}
+
+// Row is one tuple; its length always matches the table's schema.
+type Row []Value
+
+// Table is a named relation with an insert-trigger list.
+type Table struct {
+	Name    string
+	Columns []Column
+	Rows    []Row
+
+	colIndex map[string]int
+	triggers []func(inserted Row) error
+}
+
+// New creates an empty table.
+func New(name string, cols ...Column) *Table {
+	t := &Table{Name: name, Columns: cols, colIndex: make(map[string]int, len(cols))}
+	for i, c := range cols {
+		t.colIndex[c.Name] = i
+	}
+	return t
+}
+
+// Col returns the index of the named column.
+func (t *Table) Col(name string) (int, bool) {
+	i, ok := t.colIndex[name]
+	return i, ok
+}
+
+// Insert appends a row and fires insert triggers in registration
+// order. The row length must match the schema.
+func (t *Table) Insert(row Row) error {
+	if len(row) != len(t.Columns) {
+		return fmt.Errorf("table %s: insert arity %d, want %d", t.Name, len(row), len(t.Columns))
+	}
+	t.Rows = append(t.Rows, row)
+	for _, fn := range t.triggers {
+		if err := fn(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// OnInsert registers a trigger fired after each insert — the
+// substrate for the paper's "CREATE TRIGGER … AFTER INSERT ON Query".
+func (t *Table) OnInsert(fn func(inserted Row) error) { t.triggers = append(t.triggers, fn) }
+
+// DB is a collection of tables and scalar variables forming one
+// bidding program's world: its private tables plus read-only shared
+// ones, and scalars like amtSpent, time, and targetSpendRate.
+type DB struct {
+	tables  map[string]*Table
+	scalars map[string]Value
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB {
+	return &DB{tables: make(map[string]*Table), scalars: make(map[string]Value)}
+}
+
+// Add registers a table; it replaces any previous table of that name.
+func (db *DB) Add(t *Table) { db.tables[t.Name] = t }
+
+// Table looks up a table by name.
+func (db *DB) Table(name string) (*Table, bool) {
+	t, ok := db.tables[name]
+	return t, ok
+}
+
+// SetScalar sets a scalar variable.
+func (db *DB) SetScalar(name string, v Value) { db.scalars[name] = v }
+
+// Scalar reads a scalar variable.
+func (db *DB) Scalar(name string) (Value, bool) {
+	v, ok := db.scalars[name]
+	return v, ok
+}

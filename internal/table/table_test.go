@@ -1,0 +1,88 @@
+package table
+
+import "testing"
+
+func TestValueBasics(t *testing.T) {
+	if F(3).String() != "3" || S("x").String() != "x" || B(true).String() != "TRUE" || N().String() != "NULL" {
+		t.Fatal("value rendering broken")
+	}
+	if !F(1).Truthy() || F(0).Truthy() || !S("a").Truthy() || S("").Truthy() || N().Truthy() {
+		t.Fatal("truthiness broken")
+	}
+	if !F(2).Equal(F(2)) || F(2).Equal(F(3)) || F(2).Equal(S("2")) || N().Equal(N()) {
+		t.Fatal("equality broken")
+	}
+}
+
+func TestValueCompare(t *testing.T) {
+	if c, err := F(1).Compare(F(2)); err != nil || c != -1 {
+		t.Fatalf("compare floats: %d %v", c, err)
+	}
+	if c, err := S("b").Compare(S("a")); err != nil || c != 1 {
+		t.Fatalf("compare strings: %d %v", c, err)
+	}
+	if _, err := F(1).Compare(S("a")); err == nil {
+		t.Fatal("cross-kind compare should error")
+	}
+	if _, err := N().Compare(F(1)); err == nil {
+		t.Fatal("NULL compare should error")
+	}
+	if _, err := B(true).Compare(B(false)); err == nil {
+		t.Fatal("bool ordering should error")
+	}
+}
+
+func TestTableInsertAndTrigger(t *testing.T) {
+	tbl := New("Query", Column{"kw", String}, Column{"t", Float})
+	var fired []string
+	tbl.OnInsert(func(r Row) error {
+		fired = append(fired, r[0].S)
+		return nil
+	})
+	if err := tbl.Insert(Row{S("boot"), F(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Insert(Row{S("shoe"), F(2)}); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 2 || fired[0] != "boot" || fired[1] != "shoe" {
+		t.Fatalf("triggers fired %v", fired)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows %d", len(tbl.Rows))
+	}
+}
+
+func TestInsertArity(t *testing.T) {
+	tbl := New("T", Column{"a", Float})
+	if err := tbl.Insert(Row{F(1), F(2)}); err == nil {
+		t.Fatal("arity mismatch should error")
+	}
+}
+
+func TestColLookup(t *testing.T) {
+	tbl := New("T", Column{"a", Float}, Column{"b", String})
+	if i, ok := tbl.Col("b"); !ok || i != 1 {
+		t.Fatalf("Col(b) = %d %v", i, ok)
+	}
+	if _, ok := tbl.Col("zzz"); ok {
+		t.Fatal("missing column found")
+	}
+}
+
+func TestDBScalars(t *testing.T) {
+	db := NewDB()
+	db.SetScalar("time", F(7))
+	v, ok := db.Scalar("time")
+	if !ok || v.F != 7 {
+		t.Fatalf("scalar = %v %v", v, ok)
+	}
+	if _, ok := db.Scalar("missing"); ok {
+		t.Fatal("missing scalar found")
+	}
+	tbl := New("T", Column{"a", Float})
+	db.Add(tbl)
+	if got, ok := db.Table("T"); !ok || got != tbl {
+		t.Fatal("table lookup broken")
+	}
+}

@@ -1,0 +1,147 @@
+// Package topk provides bounded top-k selection and the parallel
+// tree-aggregation scheme of Section III-E ("Parallelization"): each
+// leaf holds one advertiser's expected revenue for a slot, internal
+// nodes merge their children's top-k lists, and the root ends up with
+// the k highest bidders for that slot.
+package topk
+
+import "sort"
+
+// Item is a scored element; ID is the caller's index for the element
+// (an advertiser index in the paper's setting).
+type Item struct {
+	ID    int
+	Score float64
+}
+
+// Heap is a bounded min-heap holding the k largest items offered so
+// far. The zero value is not usable; construct with NewHeap.
+type Heap struct {
+	k     int
+	items []Item // min-heap on Score; ties broken by larger ID at root
+}
+
+// NewHeap returns a bounded heap retaining the k highest-scored items.
+// k must be positive.
+func NewHeap(k int) *Heap {
+	if k <= 0 {
+		panic("topk: NewHeap requires k > 0")
+	}
+	return &Heap{k: k, items: make([]Item, 0, k)}
+}
+
+// less orders the heap so the *smallest* (and, among equals, the
+// highest-ID, to make eviction deterministic) item sits at the root.
+func less(a, b Item) bool {
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	return a.ID > b.ID
+}
+
+// Offer considers an item for inclusion, evicting the current minimum
+// if the heap is full and the new item scores higher.
+func (h *Heap) Offer(it Item) {
+	if len(h.items) < h.k {
+		h.items = append(h.items, it)
+		h.up(len(h.items) - 1)
+		return
+	}
+	if !less(h.items[0], it) {
+		return
+	}
+	h.items[0] = it
+	h.down(0)
+}
+
+// Len returns the number of retained items.
+func (h *Heap) Len() int { return len(h.items) }
+
+// Min returns the lowest retained item. It panics on an empty heap.
+func (h *Heap) Min() Item { return h.items[0] }
+
+// Items returns the retained items sorted by descending score (ties
+// by ascending ID). The heap remains valid.
+func (h *Heap) Items() []Item {
+	out := make([]Item, len(h.items))
+	copy(out, h.items)
+	sortDesc(out)
+	return out
+}
+
+func (h *Heap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !less(h.items[i], h.items[parent]) {
+			break
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+func (h *Heap) down(i int) {
+	n := len(h.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && less(h.items[l], h.items[smallest]) {
+			smallest = l
+		}
+		if r < n && less(h.items[r], h.items[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
+		i = smallest
+	}
+}
+
+// sortDesc sorts items by descending score, ascending ID on ties.
+func sortDesc(items []Item) {
+	sort.Slice(items, func(a, b int) bool {
+		if items[a].Score != items[b].Score {
+			return items[a].Score > items[b].Score
+		}
+		return items[a].ID < items[b].ID
+	})
+}
+
+// Select returns the k highest-scoring indices i in [0, n) under the
+// score function, sorted by descending score. It runs in O(n log k)
+// using a bounded heap, the cost the paper assigns to finding the top
+// k bidders for one slot.
+func Select(n, k int, score func(i int) float64) []Item {
+	h := NewHeap(k)
+	for i := 0; i < n; i++ {
+		h.Offer(Item{ID: i, Score: score(i)})
+	}
+	return h.Items()
+}
+
+// Merge combines two descending top-k lists into one descending list
+// of at most k items, the internal-node operation of the aggregation
+// tree. Both inputs must already be sorted descending.
+func Merge(k int, a, b []Item) []Item {
+	out := make([]Item, 0, k)
+	i, j := 0, 0
+	for len(out) < k && (i < len(a) || j < len(b)) {
+		switch {
+		case i >= len(a):
+			out = append(out, b[j])
+			j++
+		case j >= len(b):
+			out = append(out, a[i])
+			i++
+		case a[i].Score > b[j].Score || (a[i].Score == b[j].Score && a[i].ID <= b[j].ID):
+			out = append(out, a[i])
+			i++
+		default:
+			out = append(out, b[j])
+			j++
+		}
+	}
+	return out
+}

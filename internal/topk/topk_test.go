@@ -1,0 +1,144 @@
+package topk
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// naiveTopK is the reference: full sort, take k.
+func naiveTopK(scores []float64, k int) []Item {
+	items := make([]Item, len(scores))
+	for i, s := range scores {
+		items[i] = Item{ID: i, Score: s}
+	}
+	sortDesc(items)
+	if len(items) > k {
+		items = items[:k]
+	}
+	return items
+}
+
+func TestSelectAgainstSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(50)
+		k := 1 + rng.Intn(8)
+		scores := make([]float64, n)
+		for i := range scores {
+			scores[i] = float64(rng.Intn(10)) // many ties on purpose
+		}
+		got := Select(n, k, func(i int) float64 { return scores[i] })
+		want := naiveTopK(scores, k)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("n=%d k=%d scores=%v:\n got %v\nwant %v", n, k, scores, got, want)
+		}
+	}
+}
+
+func TestSelectProperty(t *testing.T) {
+	f := func(scores []float64, kk uint8) bool {
+		k := int(kk%10) + 1
+		for i, s := range scores {
+			if s != s { // NaN breaks any ordering; exclude
+				scores[i] = 0
+			}
+		}
+		got := Select(len(scores), k, func(i int) float64 { return scores[i] })
+		want := naiveTopK(scores, k)
+		return reflect.DeepEqual(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeapOfferEviction(t *testing.T) {
+	h := NewHeap(2)
+	h.Offer(Item{0, 5})
+	h.Offer(Item{1, 7})
+	h.Offer(Item{2, 6})
+	items := h.Items()
+	if len(items) != 2 || items[0].ID != 1 || items[1].ID != 2 {
+		t.Fatalf("got %v, want [{1 7} {2 6}]", items)
+	}
+	if h.Min().ID != 2 {
+		t.Fatalf("Min = %v, want ID 2", h.Min())
+	}
+}
+
+func TestHeapTieBreaksPreferLowerID(t *testing.T) {
+	h := NewHeap(2)
+	for id := 4; id >= 0; id-- {
+		h.Offer(Item{id, 1})
+	}
+	items := h.Items()
+	if items[0].ID != 0 || items[1].ID != 1 {
+		t.Fatalf("ties should keep lowest IDs, got %v", items)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := []Item{{0, 9}, {1, 5}, {2, 1}}
+	b := []Item{{3, 7}, {4, 5}, {5, 2}}
+	got := Merge(4, a, b)
+	want := []Item{{0, 9}, {3, 7}, {1, 5}, {4, 5}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Merge = %v, want %v", got, want)
+	}
+	if got := Merge(3, nil, b); !reflect.DeepEqual(got, b) {
+		t.Fatalf("Merge with empty a = %v", got)
+	}
+}
+
+func TestParallelSelectMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(400)
+		k := 1 + rng.Intn(6)
+		p := 1 + rng.Intn(8)
+		scores := make([][]float64, n)
+		for i := range scores {
+			scores[i] = make([]float64, k)
+			for j := range scores[i] {
+				scores[i][j] = rng.Float64() * 100
+			}
+		}
+		par := ParallelSelect(n, k, p, func(i, j int) float64 { return scores[i][j] })
+		for j := 0; j < k; j++ {
+			seq := Select(n, k, func(i int) float64 { return scores[i][j] })
+			if !reflect.DeepEqual(par[j], seq) {
+				t.Fatalf("slot %d: parallel %v != sequential %v (n=%d k=%d p=%d)",
+					j, par[j], seq, n, k, p)
+			}
+		}
+	}
+}
+
+func TestParallelSelectEmpty(t *testing.T) {
+	out := ParallelSelect(0, 3, 4, func(i, j int) float64 { return 0 })
+	if len(out) != 3 {
+		t.Fatalf("want 3 empty slot lists, got %d", len(out))
+	}
+	for _, l := range out {
+		if len(l) != 0 {
+			t.Fatalf("want empty list, got %v", l)
+		}
+	}
+}
+
+// TestSelectIsSorted double-checks the output contract used by the
+// threshold algorithm and merge steps.
+func TestSelectIsSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	scores := make([]float64, 1000)
+	for i := range scores {
+		scores[i] = rng.NormFloat64()
+	}
+	out := Select(len(scores), 20, func(i int) float64 { return scores[i] })
+	if !sort.SliceIsSorted(out, func(a, b int) bool { return out[a].Score > out[b].Score }) {
+		t.Fatalf("Select output not sorted: %v", out)
+	}
+}

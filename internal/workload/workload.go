@@ -1,0 +1,126 @@
+// Package workload generates the synthetic auction workload of the
+// paper's evaluation (Section V):
+//
+//   - 15 slots;
+//   - search queries arrive at a constant rate, each containing one
+//     keyword chosen uniformly at random out of 10; the chosen keyword
+//     has relevance 1 for that query, all others 0;
+//   - every bidder runs the ROI-equalizing heuristic of Section II-C;
+//   - per keyword, a bidder's click value is uniform on {0,…,50},
+//     subject to at least one non-zero value per bidder;
+//   - target spending rates are uniform between 1 and the bidder's
+//     maximum value over keywords;
+//   - the interval [0.1, 0.9] is partitioned into 15 equal disjoint
+//     intervals, the (j+1)-highest interval belonging to slot j, and
+//     each advertiser's click probability for a slot is uniform within
+//     that slot's interval (hence non-separable, but 1-dependent).
+//
+// Values are integers so the heuristic's ±1 bid steps keep bids
+// integral, making the explicit and logical-update engines exactly
+// comparable.
+package workload
+
+import "math/rand"
+
+// Defaults from Section V.
+const (
+	DefaultSlots    = 15
+	DefaultKeywords = 10
+	MaxClickValue   = 50
+	// ProbLow and ProbHigh bound the click-probability interval that
+	// is partitioned among slots.
+	ProbLow  = 0.1
+	ProbHigh = 0.9
+)
+
+// Instance is one generated auction population.
+type Instance struct {
+	N        int // number of advertisers
+	Slots    int // k
+	Keywords int // number of keywords
+
+	// Value[i][q] is advertiser i's click value for keyword q, an
+	// integer in {0,…,50}; it doubles as the maximum bid.
+	Value [][]int
+	// Target[i] is advertiser i's target spending rate, an integer in
+	// [1, max_q Value[i][q]].
+	Target []int
+	// InitialBid[i][q] is the bid each advertiser starts with,
+	// ⌊Value/2⌋ (the paper does not specify a starting bid; half the
+	// value exercises both the increment and decrement branches).
+	InitialBid [][]int
+	// ClickProb[i][j] is the probability advertiser i's ad is clicked
+	// in slot j, drawn uniformly within slot j's interval.
+	ClickProb [][]float64
+}
+
+// Generate builds an instance with n advertisers, k slots, and nk
+// keywords using rng. Use the Default* constants for the paper's
+// exact setup.
+func Generate(rng *rand.Rand, n, k, keywords int) *Instance {
+	inst := &Instance{
+		N:          n,
+		Slots:      k,
+		Keywords:   keywords,
+		Value:      make([][]int, n),
+		Target:     make([]int, n),
+		InitialBid: make([][]int, n),
+		ClickProb:  make([][]float64, n),
+	}
+	width := (ProbHigh - ProbLow) / float64(k)
+	for i := 0; i < n; i++ {
+		inst.Value[i] = make([]int, keywords)
+		inst.InitialBid[i] = make([]int, keywords)
+		maxVal := 0
+		for q := 0; q < keywords; q++ {
+			v := rng.Intn(MaxClickValue + 1)
+			inst.Value[i][q] = v
+			if v > maxVal {
+				maxVal = v
+			}
+		}
+		if maxVal == 0 { // at least one non-zero click value
+			q := rng.Intn(keywords)
+			inst.Value[i][q] = 1 + rng.Intn(MaxClickValue)
+			maxVal = inst.Value[i][q]
+		}
+		for q := 0; q < keywords; q++ {
+			inst.InitialBid[i][q] = inst.Value[i][q] / 2
+		}
+		inst.Target[i] = 1 + rng.Intn(maxVal)
+
+		inst.ClickProb[i] = make([]float64, k)
+		for j := 0; j < k; j++ {
+			// Slot j (0-based, topmost first) gets the (j+1)-highest
+			// interval: [high − (j+1)·width, high − j·width).
+			lo := ProbHigh - float64(j+1)*width
+			inst.ClickProb[i][j] = lo + rng.Float64()*width
+		}
+	}
+	return inst
+}
+
+// Queries draws a query stream of length t: one keyword uniformly at
+// random per auction, as in Section V.
+func (inst *Instance) Queries(rng *rand.Rand, t int) []int {
+	qs := make([]int, t)
+	for i := range qs {
+		qs[i] = rng.Intn(inst.Keywords)
+	}
+	return qs
+}
+
+// QueriesZipf draws a skewed query stream: keyword popularity follows
+// a Zipf law with exponent s > 1 (keyword 0 most popular). The paper
+// notes that popular keywords like "music" or "book" keep the
+// interested-advertiser set large even after keyword matching — this
+// stream exists to stress that regime (the Section IV machinery's
+// per-keyword trigger queues and lists see very uneven load).
+func (inst *Instance) QueriesZipf(rng *rand.Rand, t int, s float64) []int {
+	z := rand.NewZipf(rng, s, 1, uint64(inst.Keywords-1))
+	qs := make([]int, t)
+	for i := range qs {
+		qs[i] = int(z.Uint64())
+	}
+	return qs
+}

@@ -1,0 +1,134 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerateShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	inst := Generate(rng, 100, DefaultSlots, DefaultKeywords)
+	if inst.N != 100 || inst.Slots != 15 || inst.Keywords != 10 {
+		t.Fatalf("bad shape: %+v", inst)
+	}
+	if len(inst.Value) != 100 || len(inst.ClickProb) != 100 || len(inst.Target) != 100 {
+		t.Fatal("bad slice lengths")
+	}
+}
+
+func TestGenerateRespectsSectionVRanges(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	inst := Generate(rng, 500, DefaultSlots, DefaultKeywords)
+	width := (ProbHigh - ProbLow) / float64(inst.Slots)
+	for i := 0; i < inst.N; i++ {
+		maxVal, anyNonZero := 0, false
+		for q := 0; q < inst.Keywords; q++ {
+			v := inst.Value[i][q]
+			if v < 0 || v > MaxClickValue {
+				t.Fatalf("value %d outside [0,%d]", v, MaxClickValue)
+			}
+			if v > 0 {
+				anyNonZero = true
+			}
+			if v > maxVal {
+				maxVal = v
+			}
+			if b := inst.InitialBid[i][q]; b != v/2 {
+				t.Fatalf("initial bid %d != value/2 (%d)", b, v/2)
+			}
+		}
+		if !anyNonZero {
+			t.Fatalf("advertiser %d has all-zero click values", i)
+		}
+		if inst.Target[i] < 1 || inst.Target[i] > maxVal {
+			t.Fatalf("target %d outside [1,%d]", inst.Target[i], maxVal)
+		}
+		for j := 0; j < inst.Slots; j++ {
+			lo := ProbHigh - float64(j+1)*width
+			hi := ProbHigh - float64(j)*width
+			p := inst.ClickProb[i][j]
+			if p < lo || p >= hi {
+				t.Fatalf("click prob %g for slot %d outside its interval [%g,%g)", p, j, lo, hi)
+			}
+		}
+	}
+}
+
+// TestSlotIntervalsOrdered: topmost slot gets the highest interval —
+// ads at the top are more likely to be clicked, as the paper assumes.
+func TestSlotIntervalsOrdered(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	inst := Generate(rng, 50, DefaultSlots, DefaultKeywords)
+	for i := 0; i < inst.N; i++ {
+		for j := 0; j+1 < inst.Slots; j++ {
+			if inst.ClickProb[i][j] <= inst.ClickProb[i][j+1] {
+				t.Fatalf("click prob not decreasing with slot: adv %d slots %d,%d: %g vs %g",
+					i, j, j+1, inst.ClickProb[i][j], inst.ClickProb[i][j+1])
+			}
+		}
+	}
+}
+
+func TestQueriesUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	inst := Generate(rng, 10, 3, DefaultKeywords)
+	qs := inst.Queries(rand.New(rand.NewSource(5)), 10000)
+	counts := make([]int, inst.Keywords)
+	for _, q := range qs {
+		if q < 0 || q >= inst.Keywords {
+			t.Fatalf("query keyword %d out of range", q)
+		}
+		counts[q]++
+	}
+	for q, c := range counts {
+		if c < 700 || c > 1300 { // ±30% of the uniform 1000
+			t.Fatalf("keyword %d drawn %d times out of 10000; not uniform", q, c)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	f := func(seed int64) bool {
+		a := Generate(rand.New(rand.NewSource(seed)), 20, 4, 5)
+		b := Generate(rand.New(rand.NewSource(seed)), 20, 4, 5)
+		for i := 0; i < 20; i++ {
+			for q := 0; q < 5; q++ {
+				if a.Value[i][q] != b.Value[i][q] {
+					return false
+				}
+			}
+			for j := 0; j < 4; j++ {
+				if a.ClickProb[i][j] != b.ClickProb[i][j] {
+					return false
+				}
+			}
+			if a.Target[i] != b.Target[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueriesZipfSkewed(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	inst := Generate(rng, 10, 3, DefaultKeywords)
+	qs := inst.QueriesZipf(rand.New(rand.NewSource(7)), 10000, 1.5)
+	counts := make([]int, inst.Keywords)
+	for _, q := range qs {
+		if q < 0 || q >= inst.Keywords {
+			t.Fatalf("zipf keyword %d out of range", q)
+		}
+		counts[q]++
+	}
+	if counts[0] < 3*counts[inst.Keywords-1] {
+		t.Fatalf("zipf stream not skewed: head %d, tail %d", counts[0], counts[inst.Keywords-1])
+	}
+	if counts[0] == 10000 {
+		t.Fatal("zipf stream degenerate (single keyword)")
+	}
+}

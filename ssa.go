@@ -1,0 +1,250 @@
+// Package ssa (sponsored search auctions) is the public API of this
+// library, a from-scratch reproduction of Martin, Gehrke, and
+// Halpern, "Toward Expressive and Scalable Sponsored Search
+// Auctions" (ICDE 2008, arXiv:0809.0116).
+//
+// # What the library does
+//
+// Advertisers express multi-feature preferences as Bids tables:
+// OR-bids over Boolean formulas of outcome predicates — Click,
+// Purchase, Slot1…Slotk, and (in the Section III-F extension) Heavy_j
+// ("slot j holds a famous advertiser"). Winner determination — the
+// expected-revenue-maximizing assignment of slots to advertisers
+// under pay-what-you-bid — runs in O(nk log k + k⁵) via the paper's
+// reduced-graph Hungarian algorithm whenever every bid is a
+// 1-dependent event, which the library verifies; bids on events
+// involving two or more advertisers' placements are rejected, since
+// winner determination for them is APX-hard (Theorem 3).
+//
+// Dynamic strategies are bidding programs: a small SQL dialect with
+// triggers (package-internal interpreter), or native Go strategies.
+// The ROI-equalizing heuristic of the paper's Figure 5 ships in both
+// forms, verified equivalent, together with the Section IV machinery
+// (threshold algorithm over sorted bid lists + logical updates with
+// trigger queues) that avoids evaluating most programs on most
+// auctions.
+//
+// # Quick start
+//
+//	model := ssa.NewModel(2, 2) // 2 advertisers, 2 slots
+//	model.Click[0][0], model.Click[0][1] = 0.7, 0.4
+//	model.Click[1][0], model.Click[1][1] = 0.6, 0.3
+//	auction := &ssa.Auction{
+//		Slots: 2,
+//		Probs: model,
+//		Advertisers: []ssa.Advertiser{
+//			{ID: "nike", Bids: ssa.MustParseBids("Click : 5\nPurchase : 20")},
+//			{ID: "adidas", Bids: ssa.MustParseBids("Click AND Slot1 : 9")},
+//		},
+//	}
+//	res, err := auction.Determine(ssa.RH)
+//
+// See the examples directory for complete programs and DESIGN.md for
+// the module inventory.
+package ssa
+
+import (
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/formula"
+	"repro/internal/kwmatch"
+	"repro/internal/probmodel"
+	"repro/internal/sqlmini"
+	"repro/internal/strategy"
+	"repro/internal/table"
+	"repro/internal/workload"
+)
+
+// Core auction types.
+type (
+	// Auction is one winner-determination instance: advertisers with
+	// Bids tables plus a click/purchase probability model.
+	Auction = core.Auction
+	// Advertiser is one bidder.
+	Advertiser = core.Advertiser
+	// Result is a winner-determination outcome.
+	Result = core.Result
+	// Method selects a winner-determination algorithm.
+	Method = core.Method
+	// HeavyAuction is the Section III-F heavyweight/lightweight model.
+	HeavyAuction = core.HeavyAuction
+)
+
+// Winner-determination methods.
+const (
+	// LP solves the assignment linear program with the simplex method.
+	LP = core.MethodLP
+	// H is the Hungarian algorithm on the full bipartite graph.
+	H = core.MethodHungarian
+	// RH is the paper's reduced-graph algorithm (Section III-E) — the
+	// method to use.
+	RH = core.MethodReduced
+	// RHParallel is RH with a tree-parallel top-k phase.
+	RHParallel = core.MethodReducedParallel
+	// Separable is the pre-paper platforms' sort-based allocation;
+	// valid only for separable click probabilities and Click-only bids.
+	Separable = core.MethodSeparable
+	// Brute enumerates all allocations (tiny inputs; testing).
+	Brute = core.MethodBrute
+)
+
+// ErrNotOneDependent is returned when bids fall outside the tractable
+// 1-dependent fragment of Theorem 2.
+var ErrNotOneDependent = core.ErrNotOneDependent
+
+// Bidding-language types.
+type (
+	// Formula is a Boolean combination of outcome predicates.
+	Formula = formula.Expr
+	// Bid is one Bids-table row: pay Value if F holds.
+	Bid = formula.Bid
+	// Bids is an advertiser's whole table (an OR-bid).
+	Bids = formula.Bids
+	// Outcome is a concrete auction outcome for formula evaluation.
+	Outcome = formula.Outcome
+)
+
+// ParseFormula parses a bid formula, e.g. "Click AND (Slot1 OR Slot2)".
+func ParseFormula(src string) (Formula, error) { return formula.Parse(src) }
+
+// MustParseFormula is ParseFormula for literals; it panics on error.
+func MustParseFormula(src string) Formula { return formula.MustParse(src) }
+
+// ParseBids parses a textual Bids table, one "formula : value" row
+// per line.
+func ParseBids(src string) (Bids, error) { return formula.ParseBids(src) }
+
+// MustParseBids is ParseBids for literals; it panics on error.
+func MustParseBids(src string) Bids {
+	b, err := formula.ParseBids(src)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// OneDependent reports whether f is a 1-dependent, heavyweight-free
+// event — the fragment with polynomial winner determination.
+func OneDependent(f Formula) bool { return formula.OneDependent(f) }
+
+// Probability models.
+type (
+	// Model is a per-advertiser, per-slot click/purchase model.
+	Model = probmodel.Model
+	// HeavyModel conditions click probabilities on the heavyweight
+	// pattern (Section III-F).
+	HeavyModel = probmodel.HeavyModel
+	// SeparableModel is the advertiser-factor × slot-factor special
+	// case (Section III-C).
+	SeparableModel = probmodel.Separable
+)
+
+// NewModel allocates a zeroed model for n advertisers and k slots.
+func NewModel(n, k int) *Model { return probmodel.New(n, k) }
+
+// ShadowFactors builds the natural heavyweight shadowing model: each
+// heavyweight above a slot scales its click probability by 1−shadow.
+func ShadowFactors(k int, shadow float64) [][]float64 {
+	return probmodel.ShadowFactors(k, shadow)
+}
+
+// Bidding programs (the Section II language) and the relational
+// substrate they run against: each advertiser's program owns a
+// private database (its Keywords and Bids tables plus scalars the
+// provider maintains) and is triggered by inserts into its Query
+// table.
+type (
+	// Program is a compiled bidding program in the SQL-like dialect.
+	Program = sqlmini.Program
+	// DB is one bidding program's database.
+	DB = table.DB
+	// Table is a named relation with insert triggers.
+	Table = table.Table
+	// Column declares a table column.
+	Column = table.Column
+	// Row is one tuple.
+	Row = table.Row
+	// Value is a typed SQL value.
+	Value = table.Value
+)
+
+// NewDB returns an empty program database.
+func NewDB() *DB { return table.NewDB() }
+
+// NewTable creates an empty table.
+func NewTable(name string, cols ...Column) *Table { return table.New(name, cols...) }
+
+// SQL value constructors and kinds.
+var (
+	Float  = table.Float
+	String = table.String
+)
+
+// F makes a numeric SQL value; S a string value.
+func F(f float64) Value { return table.F(f) }
+func S(s string) Value  { return table.S(s) }
+
+// CompileProgram compiles bidding-program source (see the Figure 5
+// example under examples/roiprogram).
+func CompileProgram(src string) (*Program, error) { return sqlmini.Compile(src) }
+
+// Keyword matching: the provider-side pruning step of Section IV —
+// only advertisers whose registered keywords overlap the query need
+// their bidding programs evaluated.
+type (
+	// KeywordIndex is an inverted index from query tokens to
+	// interested advertisers.
+	KeywordIndex = kwmatch.Index
+	// KeywordMatch is one scored (advertiser, keyword) hit.
+	KeywordMatch = kwmatch.Match
+)
+
+// NewKeywordIndex returns an empty keyword index.
+func NewKeywordIndex() *KeywordIndex { return kwmatch.New() }
+
+// Simulation (the Section V evaluation world).
+type (
+	// SimInstance is a generated §V auction population.
+	SimInstance = workload.Instance
+	// SimWorld runs auctions under one winner-determination method.
+	SimWorld = strategy.World
+	// SimMethod selects the simulation pipeline (SimLP, SimH, SimRH,
+	// SimRHTALU).
+	SimMethod = strategy.Method
+	// SimOutcome reports one simulated auction.
+	SimOutcome = strategy.Outcome
+)
+
+// Simulation methods (Figure 12's four curves plus the parallel-RH
+// ablation).
+const (
+	SimLP         = strategy.MethodLP
+	SimH          = strategy.MethodH
+	SimRH         = strategy.MethodRH
+	SimRHTALU     = strategy.MethodRHTALU
+	SimRHParallel = strategy.MethodRHParallel
+)
+
+// NewSimWorld builds a simulation world over inst.
+func NewSimWorld(inst *SimInstance, m SimMethod, clickSeed int64) *SimWorld {
+	return strategy.NewWorld(inst, m, clickSeed)
+}
+
+// GenerateInstance draws a Section V workload: n advertisers, k
+// slots, the given keyword count, click values uniform on {0,…,50},
+// slot-interval click probabilities.
+func GenerateInstance(seed int64, n, k, keywords int) *SimInstance {
+	return workload.Generate(rand.New(rand.NewSource(seed)), n, k, keywords)
+}
+
+// QueryStream draws t queries, one uniform keyword each.
+func QueryStream(inst *SimInstance, seed int64, t int) []int {
+	return inst.Queries(rand.New(rand.NewSource(seed)), t)
+}
+
+// Section V workload defaults.
+const (
+	DefaultSlots    = workload.DefaultSlots
+	DefaultKeywords = workload.DefaultKeywords
+)

@@ -1,0 +1,184 @@
+package ssa
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestQuickstartDocExample keeps the package-comment example honest.
+func TestQuickstartDocExample(t *testing.T) {
+	model := NewModel(2, 2)
+	model.Click[0][0], model.Click[0][1] = 0.7, 0.4
+	model.Click[1][0], model.Click[1][1] = 0.6, 0.3
+	auction := &Auction{
+		Slots: 2,
+		Probs: model,
+		Advertisers: []Advertiser{
+			{ID: "nike", Bids: MustParseBids("Click : 5\nPurchase : 20")},
+			{ID: "adidas", Bids: MustParseBids("Click AND Slot1 : 9")},
+		},
+	}
+	res, err := auction.Determine(RH)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Assigned() != 2 {
+		t.Fatalf("both advertisers should win a slot: %+v", res)
+	}
+	brute, err := auction.Determine(Brute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.ExpectedRevenue-brute.ExpectedRevenue) > 1e-9 {
+		t.Fatalf("RH %g != brute %g", res.ExpectedRevenue, brute.ExpectedRevenue)
+	}
+}
+
+func TestFacadeParsers(t *testing.T) {
+	f, err := ParseFormula("Click AND (Slot1 OR Slot2)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !OneDependent(f) {
+		t.Fatal("click/slot formula should be 1-dependent")
+	}
+	if OneDependent(MustParseFormula("Adv(x)@1")) {
+		t.Fatal("rival-position formula must not be 1-dependent")
+	}
+	if _, err := ParseBids("Click 5"); err == nil {
+		t.Fatal("bad bids text should error")
+	}
+	bids := MustParseBids("Purchase : 5\nSlot1 OR Slot2 : 2")
+	if got := bids.Payment(Outcome{Slot: 1, Clicked: true, Purchased: true}); got != 7 {
+		t.Fatalf("Figure 3 payment = %g, want 7", got)
+	}
+}
+
+func TestFacadeMethodsAgreeOnSimulation(t *testing.T) {
+	inst := GenerateInstance(3, 60, 4, 5)
+	queries := QueryStream(inst, 4, 150)
+	a := NewSimWorld(inst, SimRH, 99)
+	b := NewSimWorld(inst, SimRHTALU, 99)
+	for _, q := range queries {
+		oa, ob := a.RunAuction(q), b.RunAuction(q)
+		if math.Abs(oa.Revenue-ob.Revenue) > 1e-9 {
+			t.Fatalf("facade sim divergence: %g vs %g", oa.Revenue, ob.Revenue)
+		}
+	}
+}
+
+func TestFacadeProgramCompile(t *testing.T) {
+	prog, err := CompileProgram(`SET x = 1 + 2;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := NewDB()
+	if err := prog.Install(db); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := db.Scalar("x")
+	if !ok || v.F != 3 {
+		t.Fatalf("x = %v %v", v, ok)
+	}
+	if _, err := CompileProgram("UPDATE"); err == nil {
+		t.Fatal("bad program should not compile")
+	}
+}
+
+func TestFacadeErrNotOneDependent(t *testing.T) {
+	model := NewModel(2, 2)
+	auction := &Auction{
+		Slots: 2,
+		Probs: model,
+		Advertisers: []Advertiser{
+			// "I am in slot 1 AND b is in slot 2" depends on two
+			// advertisers' placements: 2-dependent, rejected.
+			{ID: "a", Bids: Bids{{F: MustParseFormula("Slot1 AND Adv(b)@2"), Value: 3}}},
+			{ID: "b", Bids: MustParseBids("Click : 1")},
+		},
+	}
+	_, err := auction.Determine(RH)
+	if !errors.Is(err, ErrNotOneDependent) {
+		t.Fatalf("err = %v", err)
+	}
+	if err == nil || !strings.Contains(err.Error(), "APX-hard") {
+		t.Fatalf("error should cite hardness: %v", err)
+	}
+}
+
+// TestFacadeSingleOtherBidAccepted: an event depending on exactly one
+// OTHER advertiser's slot is still 1-dependent (Definition 1), and
+// Theorem 2's construction attributes it to that advertiser's row —
+// e.g. a sponsorship: "I pay 6 if brand b appears in slot 1."
+func TestFacadeSingleOtherBidAccepted(t *testing.T) {
+	model := NewModel(2, 2)
+	model.Click[0][0], model.Click[0][1] = 0.5, 0.25
+	model.Click[1][0], model.Click[1][1] = 0.5, 0.25
+	auction := &Auction{
+		Slots: 2,
+		Probs: model,
+		Advertisers: []Advertiser{
+			{ID: "fan", Bids: Bids{
+				{F: MustParseFormula("Adv(b)@1"), Value: 6},
+				{F: MustParseFormula("Click"), Value: 2},
+			}},
+			{ID: "b", Bids: MustParseBids("Click : 4")},
+		},
+	}
+	res, err := auction.Determine(RH)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Best allocation: b in slot 1 (0.5·4 own + 6 sponsorship), fan in
+	// slot 2 (0.25·2) = 2 + 6 + 0.5 = 8.5. The outcome-level oracle
+	// must agree.
+	general, err := auction.DetermineGeneral()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.ExpectedRevenue-general.ExpectedRevenue) > 1e-9 {
+		t.Fatalf("RH %g != general %g", res.ExpectedRevenue, general.ExpectedRevenue)
+	}
+	if math.Abs(res.ExpectedRevenue-8.5) > 1e-9 {
+		t.Fatalf("revenue %g, want 8.5", res.ExpectedRevenue)
+	}
+	if res.AdvOf[0] != 1 {
+		t.Fatalf("slot 1 should hold b, got %d", res.AdvOf[0])
+	}
+}
+
+func TestFacadeHeavyAuction(t *testing.T) {
+	base := NewModel(3, 2)
+	for i := 0; i < 3; i++ {
+		base.Click[i][0], base.Click[i][1] = 0.6, 0.3
+	}
+	h := &HeavyAuction{
+		Slots: 2,
+		Advertisers: []Advertiser{
+			{ID: "big", Bids: MustParseBids("Click : 10"), Heavy: true},
+			{ID: "small1", Bids: MustParseBids("Click : 8\nSlot2 AND NOT Heavy1 : 5")},
+			{ID: "small2", Bids: MustParseBids("Click : 6")},
+		},
+		Model: &HeavyModel{Base: base, Factor: ShadowFactors(2, 0.5)},
+	}
+	serial, err := h.Determine(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := h.Determine(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(serial.ExpectedRevenue-parallel.ExpectedRevenue) > 1e-9 {
+		t.Fatalf("serial %g != parallel %g", serial.ExpectedRevenue, parallel.ExpectedRevenue)
+	}
+}
+
+func TestGenerateInstanceDefaults(t *testing.T) {
+	inst := GenerateInstance(1, 50, DefaultSlots, DefaultKeywords)
+	if inst.Slots != 15 || inst.Keywords != 10 || inst.N != 50 {
+		t.Fatalf("unexpected shape: %+v", inst)
+	}
+}
