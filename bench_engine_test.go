@@ -1,0 +1,77 @@
+package ssa
+
+// Serving-engine benchmarks: the throughput/latency view of the
+// system the ROADMAP's north star asks for, complementing the
+// per-auction Figure 12/13 reproductions in bench_test.go.
+//
+//	go test -bench=Engine -benchmem
+//
+// BenchmarkEngineThroughput sweeps shard counts on the Section V
+// workload (n = 1000 advertisers, 15 slots, 10 keywords, method RH);
+// the reported qps metric is end-to-end engine throughput including
+// routing and channel hand-off. On a multicore host the GOMAXPROCS
+// row must beat workers=1 by ≥2×; on a single-core host the sweep
+// degenerates (GOMAXPROCS = 1) and only measures queuing overhead.
+//
+// BenchmarkMarketSteadyStateRH isolates one shard's hot path — the
+// full auction pipeline under the reduced Hungarian method — and
+// proves it allocation-free in steady state (0 allocs/op with
+// -benchmem). Baselines live in BENCH_ENGINE.json.
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// benchShardCounts returns the shard sweep: 1, 2, 4, … capped at
+// GOMAXPROCS, always including GOMAXPROCS itself.
+func benchShardCounts() []int {
+	maxp := runtime.GOMAXPROCS(0)
+	var out []int
+	for p := 1; p < maxp; p *= 2 {
+		out = append(out, p)
+	}
+	return append(out, maxp)
+}
+
+func BenchmarkEngineThroughput(b *testing.B) {
+	const n, warmup = 1000, 2000
+	inst := GenerateInstance(42, n, DefaultSlots, DefaultKeywords)
+	for _, shards := range benchShardCounts() {
+		b.Run(fmt.Sprintf("n=%d/workers=%d", n, shards), func(b *testing.B) {
+			e := NewEngine(inst, EngineConfig{Shards: shards, Method: SimRH, ClickSeed: 7})
+			e.Serve(QueryStream(inst, 9, warmup))
+			queries := QueryStream(inst, 11, b.N)
+			b.ReportAllocs()
+			b.ResetTimer()
+			st := e.Serve(queries)
+			b.StopTimer()
+			b.ReportMetric(st.Throughput, "qps")
+			b.ReportMetric(float64(st.P99.Nanoseconds()), "p99-ns")
+		})
+	}
+}
+
+// BenchmarkMarketSteadyStateRH measures one sequential market's
+// steady-state auction under MethodRH — the allocation-free serving
+// hot path (winner determination + GSP pricing + accounting). The
+// allocs/op column is the guarantee TestMarketSteadyStateAllocs pins.
+func BenchmarkMarketSteadyStateRH(b *testing.B) {
+	for _, n := range []int{500, 1000, 5000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			inst := GenerateInstance(42, n, DefaultSlots, DefaultKeywords)
+			w := NewSimWorld(inst, SimRH, 7)
+			const warmup = 2000
+			queries := QueryStream(inst, 9, warmup+b.N)
+			for _, q := range queries[:warmup] {
+				w.Run(q)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w.Run(queries[warmup+i])
+			}
+		})
+	}
+}

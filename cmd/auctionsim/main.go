@@ -5,9 +5,16 @@
 // sanity-checking workloads and for exploring how the ROI-equalizing
 // population behaves over time.
 //
+// With -engine it becomes a load generator for the concurrent
+// keyword-sharded serving engine: queries are fanned out across
+// -shards worker goroutines over bounded queues, and every report
+// window prints end-to-end throughput plus p50/p99 per-auction
+// service latency.
+//
 // Usage:
 //
 //	auctionsim -n 2000 -auctions 5000 -method RHTALU -report 1000
+//	auctionsim -engine -shards 8 -queue 256 -n 2000 -auctions 200000
 package main
 
 import (
@@ -20,6 +27,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/engine"
 	"repro/internal/strategy"
 	"repro/internal/workload"
 )
@@ -33,6 +41,9 @@ func main() {
 		method   = flag.String("method", "RHTALU", "winner determination: LP, H, RH, RHTALU, RH-parallel")
 		report   = flag.Int("report", 1000, "print a summary every this many auctions")
 		seed     = flag.Int64("seed", 1, "random seed")
+		useEng   = flag.Bool("engine", false, "serve through the concurrent sharded engine (load-generator mode)")
+		shards   = flag.Int("shards", 0, "engine worker shards (0 = GOMAXPROCS, capped at keywords)")
+		queue    = flag.Int("queue", 0, "engine per-shard queue depth (0 = default)")
 	)
 	flag.Parse()
 
@@ -44,6 +55,12 @@ func main() {
 
 	inst := workload.Generate(rand.New(rand.NewSource(*seed)), *n, *slots, *keywords)
 	queries := inst.Queries(rand.New(rand.NewSource(*seed+1)), *auctions)
+
+	if *useEng {
+		runEngine(inst, queries, m, *shards, *queue, *seed+2, *report)
+		return
+	}
+
 	w := strategy.NewWorld(inst, m, *seed+2)
 
 	fmt.Printf("auctionsim: n=%d k=%d keywords=%d method=%v auctions=%d\n",
@@ -79,7 +96,56 @@ func main() {
 		}
 	}
 
-	printSpendSummary(inst, w)
+	printSpendSummary(inst, spendTotals(inst, w), float64(w.Auctions()))
+}
+
+// runEngine is load-generator mode: the stream is served in
+// report-sized batches through the sharded engine, each batch printing
+// throughput and per-auction latency percentiles.
+func runEngine(inst *workload.Instance, queries []int, m engine.Method, shards, queue int, clickSeed int64, report int) {
+	e := engine.New(inst, engine.Config{
+		Shards:     shards,
+		QueueDepth: queue,
+		Method:     m,
+		ClickSeed:  clickSeed,
+	})
+	fmt.Printf("auctionsim: engine mode, n=%d k=%d keywords=%d method=%v auctions=%d shards=%d\n",
+		inst.N, inst.Slots, inst.Keywords, m, len(queries), e.Shards())
+	fmt.Println("auction\trevenue\tclicks\tfill%\tqps\tp50µs\tp99µs")
+
+	var total engine.Stats
+	for off := 0; off < len(queries); off += report {
+		end := off + report
+		if end > len(queries) {
+			end = len(queries)
+		}
+		st := e.Serve(queries[off:end])
+		total.Auctions += st.Auctions
+		total.Revenue += st.Revenue
+		total.Clicks += st.Clicks
+		total.Filled += st.Filled
+		total.TotalSlots += st.TotalSlots
+		total.Elapsed += st.Elapsed
+		fmt.Printf("%d\t%.0f\t%d\t%.1f\t%.0f\t%.1f\t%.1f\n",
+			total.Auctions, total.Revenue, total.Clicks,
+			100*float64(total.Filled)/float64(total.TotalSlots),
+			st.Throughput,
+			float64(st.P50.Nanoseconds())/1000,
+			float64(st.P99.Nanoseconds())/1000)
+	}
+	fmt.Printf("total: %d auctions in %v (%.0f qps overall)\n",
+		total.Auctions, total.Elapsed.Round(time.Millisecond),
+		float64(total.Auctions)/total.Elapsed.Seconds())
+
+	// Aggregate per-keyword market accounting into the advertiser view.
+	spent := make([]float64, inst.N)
+	for q := 0; q < inst.Keywords; q++ {
+		acct := e.KeywordMarket(q).Accounting()
+		for i := 0; i < inst.N; i++ {
+			spent[i] += acct.SpentTotal[i]
+		}
+	}
+	printSpendSummary(inst, spent, float64(total.Auctions))
 }
 
 func parseMethod(s string) (strategy.Method, error) {
@@ -98,15 +164,21 @@ func parseMethod(s string) (strategy.Method, error) {
 	return 0, fmt.Errorf("unknown method %q (want LP, H, RH, RHTALU, RH-parallel)", s)
 }
 
+// spendTotals extracts per-advertiser total spend from a sequential
+// world.
+func spendTotals(inst *workload.Instance, w *strategy.World) []float64 {
+	spent := make([]float64, inst.N)
+	copy(spent, w.Accounting().SpentTotal)
+	return spent
+}
+
 // printSpendSummary shows how well the ROI-equalizing population
 // tracked its target spending rates — the quantity the Figure 5
 // heuristic steers.
-func printSpendSummary(inst *workload.Instance, w *strategy.World) {
-	acct := w.Accounting()
-	t := float64(w.Auctions())
+func printSpendSummary(inst *workload.Instance, spent []float64, t float64) {
 	ratios := make([]float64, 0, inst.N)
 	for i := 0; i < inst.N; i++ {
-		ratios = append(ratios, acct.SpentTotal[i]/t/float64(inst.Target[i]))
+		ratios = append(ratios, spent[i]/t/float64(inst.Target[i]))
 	}
 	sort.Float64s(ratios)
 	pct := func(p float64) float64 {

@@ -2,10 +2,8 @@ package core
 
 import (
 	"fmt"
-	"runtime"
 
 	"repro/internal/formula"
-	"repro/internal/lp"
 	"repro/internal/matching"
 )
 
@@ -63,46 +61,11 @@ func (m Method) String() string {
 // Determine solves winner determination with the given method. All
 // bids must be 1-dependent and heavyweight-free (Theorem 2); bids on
 // other advertisers' placements yield ErrNotOneDependent, and bids on
-// the heavyweight pattern must go through HeavyAuction.
+// the heavyweight pattern must go through HeavyAuction. Callers who
+// determine many auctions in a row should hold a Determiner instead;
+// this convenience builds a throwaway one per call.
 func (a *Auction) Determine(method Method) (*Result, error) {
-	if err := a.Validate(); err != nil {
-		return nil, err
-	}
-	w, baseline, err := a.adjustedMatrix()
-	if err != nil {
-		return nil, err
-	}
-	var assign matching.Assignment
-	switch method {
-	case MethodLP:
-		res, err := lp.SolveAssignment(w)
-		if err != nil {
-			return nil, err
-		}
-		assign = matching.Assignment{SlotOf: res.SlotOf, AdvOf: res.AdvOf, Value: res.Value}
-	case MethodHungarian:
-		assign = matching.MaxWeight(w)
-	case MethodReduced:
-		assign = matching.MaxWeightReduced(w)
-	case MethodReducedParallel:
-		assign = matching.MaxWeightReducedParallel(w, runtime.GOMAXPROCS(0))
-	case MethodSeparable:
-		var err error
-		assign, err = a.separableAssign()
-		if err != nil {
-			return nil, err
-		}
-	case MethodBrute:
-		assign = matching.BruteForce(w)
-	default:
-		return nil, fmt.Errorf("core: unknown method %v", method)
-	}
-	return &Result{
-		AdvOf:           assign.AdvOf,
-		SlotOf:          assign.SlotOf,
-		ExpectedRevenue: assign.Value + baseline,
-		Method:          method,
-	}, nil
+	return NewDeterminer().Determine(a, method)
 }
 
 // separableAssign implements the existing platforms' allocation: it

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/lp"
+	"repro/internal/matching"
+)
+
+// Determiner solves winner determination repeatedly without rebuilding
+// per-call state: the Theorem 2 adjusted matrix lives in one reused
+// flat buffer, and the reduced Hungarian solve runs in a
+// matching.Workspace. A serving worker holds one Determiner and feeds
+// it auction after auction; after the first call on a given shape the
+// matrix construction performs no per-row allocations. A Determiner is
+// not safe for concurrent use.
+type Determiner struct {
+	ws   *matching.Workspace
+	rows [][]float64 // row headers into flat
+	flat []float64   // n×k backing, reused across calls
+}
+
+// NewDeterminer returns a Determiner with empty buffers; they grow to
+// the largest auction seen.
+func NewDeterminer() *Determiner {
+	return &Determiner{ws: matching.NewWorkspace()}
+}
+
+// matrix returns a zeroed n×k view over the reused backing buffer.
+func (d *Determiner) matrix(n, k int) [][]float64 {
+	if cap(d.flat) < n*k {
+		d.flat = make([]float64, n*k)
+	}
+	d.flat = d.flat[:n*k]
+	for i := range d.flat {
+		d.flat[i] = 0
+	}
+	if cap(d.rows) < n {
+		d.rows = make([][]float64, n)
+	}
+	d.rows = d.rows[:n]
+	for i := 0; i < n; i++ {
+		d.rows[i] = d.flat[i*k : (i+1)*k]
+	}
+	return d.rows
+}
+
+// Determine solves winner determination for a with the given method,
+// reusing the Determiner's buffers. Results are freshly allocated and
+// safe to retain; the intermediate matrix is valid only until the next
+// call.
+func (d *Determiner) Determine(a *Auction, method Method) (*Result, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	w := d.matrix(len(a.Advertisers), a.Slots)
+	baseline, err := a.adjustedMatrixInto(w)
+	if err != nil {
+		return nil, err
+	}
+	var assign matching.Assignment
+	switch method {
+	case MethodLP:
+		res, err := lp.SolveAssignment(w)
+		if err != nil {
+			return nil, err
+		}
+		assign = matching.Assignment{SlotOf: res.SlotOf, AdvOf: res.AdvOf, Value: res.Value}
+	case MethodHungarian:
+		assign = matching.MaxWeight(w)
+	case MethodReduced:
+		assign = d.ws.MaxWeightReduced(w)
+	case MethodReducedParallel:
+		assign = matching.MaxWeightReducedParallel(w, runtime.GOMAXPROCS(0))
+	case MethodSeparable:
+		var err error
+		assign, err = a.separableAssign()
+		if err != nil {
+			return nil, err
+		}
+	case MethodBrute:
+		assign = matching.BruteForce(w)
+	default:
+		return nil, fmt.Errorf("core: unknown method %v", method)
+	}
+	return &Result{
+		AdvOf:           assign.AdvOf,
+		SlotOf:          assign.SlotOf,
+		ExpectedRevenue: assign.Value + baseline,
+		Method:          method,
+	}, nil
+}

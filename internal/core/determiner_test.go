@@ -1,0 +1,52 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/formula"
+	"repro/internal/probmodel"
+)
+
+// TestDeterminerMatchesDetermine drives one Determiner across a stream
+// of auctions of varying shape and checks each result against the
+// one-shot Auction.Determine for every method that applies, proving
+// buffer reuse never leaks state between calls.
+func TestDeterminerMatchesDetermine(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	d := NewDeterminer()
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(8)
+		k := 1 + rng.Intn(4)
+		m := probmodel.New(n, k)
+		a := &Auction{Slots: k, Probs: m}
+		for i := 0; i < n; i++ {
+			for j := 0; j < k; j++ {
+				m.Click[i][j] = rng.Float64()
+				m.Purchase[i][j] = rng.Float64()
+			}
+			bids, err := formula.ParseBids("Click : 5\nPurchase : 20")
+			if err != nil {
+				t.Fatal(err)
+			}
+			a.Advertisers = append(a.Advertisers, Advertiser{
+				ID:   string(rune('a' + i)),
+				Bids: bids,
+			})
+		}
+		for _, method := range []Method{MethodReduced, MethodHungarian, MethodBrute} {
+			got, err := d.Determine(a, method)
+			if err != nil {
+				t.Fatalf("trial %d %v: %v", trial, method, err)
+			}
+			want, err := a.Determine(method)
+			if err != nil {
+				t.Fatalf("trial %d %v: %v", trial, method, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d %v: determiner %+v != one-shot %+v", trial, method, got, want)
+			}
+		}
+	}
+}

@@ -83,14 +83,24 @@ func (a *Auction) RevenueMatrix() [][]float64 {
 //   - anything else is not 1-dependent and yields ErrNotOneDependent
 //     (heavyweight references are directed to HeavyAuction).
 func (a *Auction) adjustedMatrix() (w [][]float64, baseline float64, err error) {
+	w = make([][]float64, len(a.Advertisers))
+	for i := range w {
+		w[i] = make([]float64, a.Slots)
+	}
+	baseline, err = a.adjustedMatrixInto(w)
+	if err != nil {
+		return nil, 0, err
+	}
+	return w, baseline, nil
+}
+
+// adjustedMatrixInto is adjustedMatrix writing into a caller-owned,
+// zeroed n×k buffer — the Determiner's reuse point.
+func (a *Auction) adjustedMatrixInto(w [][]float64) (baseline float64, err error) {
 	n := len(a.Advertisers)
 	index := make(map[string]int, n)
 	for i := range a.Advertisers {
 		index[a.Advertisers[i].ID] = i
-	}
-	w = make([][]float64, n)
-	for i := 0; i < n; i++ {
-		w[i] = make([]float64, a.Slots)
 	}
 	for x := 0; x < n; x++ {
 		var own formula.Bids
@@ -98,7 +108,7 @@ func (a *Auction) adjustedMatrix() (w [][]float64, baseline float64, err error) 
 			d := formula.Analyze(bid.F)
 			switch {
 			case d.Heavy:
-				return nil, 0, fmt.Errorf(
+				return 0, fmt.Errorf(
 					"core: advertiser %s bids on the heavyweight pattern; use HeavyAuction.Determine",
 					a.Advertisers[x].ID)
 			case len(d.Others) == 0:
@@ -132,7 +142,7 @@ func (a *Auction) adjustedMatrix() (w [][]float64, baseline float64, err error) 
 					}
 				}
 			default:
-				return nil, 0, fmt.Errorf("advertiser %s: %w", a.Advertisers[x].ID, ErrNotOneDependent)
+				return 0, fmt.Errorf("advertiser %s: %w", a.Advertisers[x].ID, ErrNotOneDependent)
 			}
 		}
 		// Own bids: expected payment per slot minus the unassigned
@@ -143,5 +153,5 @@ func (a *Auction) adjustedMatrix() (w [][]float64, baseline float64, err error) 
 			w[x][j] += a.expectedPaymentBids(own, x, j) - b
 		}
 	}
-	return w, baseline, nil
+	return baseline, nil
 }

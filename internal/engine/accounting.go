@@ -1,0 +1,97 @@
+package engine
+
+import "repro/internal/workload"
+
+// roi is the provider-maintained return-on-investment statistic for
+// one (advertiser, keyword) pair: total value gained over total spend,
+// add-one smoothed so it is defined before any spending occurs (the
+// paper leaves the zero-spend case unspecified; smoothing gives every
+// keyword the identical neutral ROI of 1 at the start, which the
+// MAX/MIN selections of the Figure 5 program then treat as ties, as
+// its SQL semantics dictate).
+func roi(gained, spent float64) float64 { return (gained + 1) / (spent + 1) }
+
+// spendStatus compares the advertiser's realized spending rate with
+// the target: −1 under, 0 on target, +1 over.
+func spendStatus(spentTotal float64, t float64, target int) int {
+	rate := spentTotal / t
+	switch {
+	case rate < float64(target):
+		return -1
+	case rate > float64(target):
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Accounting is the provider-maintained advertiser state (Section
+// II-B notes amounts spent, budgets, and per-keyword ROI are
+// maintained by the search provider for every program).
+type Accounting struct {
+	SpentTotal []float64   // per advertiser
+	SpentKw    [][]float64 // per advertiser, keyword
+	GainedKw   [][]float64 // per advertiser, keyword
+}
+
+func newAccounting(n, keywords int) *Accounting {
+	a := &Accounting{
+		SpentTotal: make([]float64, n),
+		SpentKw:    make([][]float64, n),
+		GainedKw:   make([][]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		a.SpentKw[i] = make([]float64, keywords)
+		a.GainedKw[i] = make([]float64, keywords)
+	}
+	return a
+}
+
+// ROIOf returns the smoothed ROI of advertiser i on keyword q — the
+// value the provider would surface in the program's Keywords table.
+func (a *Accounting) ROIOf(i, q int) float64 {
+	return roi(a.GainedKw[i][q], a.SpentKw[i][q])
+}
+
+// roiRange returns the max and min smoothed ROI over advertiser i's
+// keywords.
+func (a *Accounting) roiRange(i int) (maxR, minR float64) {
+	maxR, minR = a.ROIOf(i, 0), a.ROIOf(i, 0)
+	for q := 1; q < len(a.SpentKw[i]); q++ {
+		r := a.ROIOf(i, q)
+		if r > maxR {
+			maxR = r
+		}
+		if r < minR {
+			minR = r
+		}
+	}
+	return maxR, minR
+}
+
+// modeConst, modeInc, modeDec name a bidder's current behavior for
+// one keyword: what the Figure 5 program would do to that keyword's
+// bid on a matching query.
+const (
+	modeConst = 0
+	modeInc   = 1
+	modeDec   = 2
+)
+
+// bidMode computes the behavior of bidder i for keyword q given the
+// current bid: the direct transliteration of the Figure 5 guards.
+func bidMode(inst *workload.Instance, acct *Accounting, i, q int, bid int, status int) int {
+	switch status {
+	case -1: // underspending: increment the max-ROI keyword if below max bid
+		maxR, _ := acct.roiRange(i)
+		if acct.ROIOf(i, q) == maxR && bid < inst.Value[i][q] {
+			return modeInc
+		}
+	case 1: // overspending: decrement the min-ROI keyword if above zero
+		_, minR := acct.roiRange(i)
+		if acct.ROIOf(i, q) == minR && bid > 0 {
+			return modeDec
+		}
+	}
+	return modeConst
+}

@@ -1,0 +1,315 @@
+// Package engine is the concurrent auction-serving engine: the
+// production-shaped layer the ROADMAP's "heavy traffic" north star
+// asks for, built from the paper's own ingredients. It owns the full
+// per-query pipeline — keyword routing (internal/kwmatch), bid
+// evaluation (the explicit engine or the Section IV threshold
+// algorithm + logical updates), winner determination (the reduced
+// Hungarian algorithm of Section III-E running in a reusable
+// matching.Workspace), generalized second pricing, user simulation,
+// and accounting — behind Engine.Serve.
+//
+// # Sharding model
+//
+// Auctions for different keywords share no state in the paper's
+// Section V workload beyond the advertisers' global spend totals, and
+// a serving system that partitions traffic by keyword can therefore
+// run keywords in parallel. The engine embraces that partition as its
+// concurrency contract: every keyword owns an independent Market
+// (bids, accounting, ROI statistics, and click randomness seeded by
+// KeywordSeed), keywords are assigned round-robin to shards, and each
+// shard is one worker goroutine consuming a bounded channel. Because
+// a keyword lives on exactly one shard and each shard drains its
+// queue in FIFO order, the auctions of any one keyword execute
+// sequentially in arrival order no matter how many shards exist —
+// which yields the engine's central guarantee:
+//
+// # Sequential equivalence
+//
+// For every keyword q, the outcome sequence the engine produces is
+// identical — allocations, prices, clicks, revenue, and bid
+// trajectories, bit for bit — to a sequential strategy.World over the
+// same instance and method, seeded with KeywordSeed(cfg.ClickSeed, q),
+// fed only q's queries. Shard count and queue depth are pure
+// performance knobs; they cannot change any outcome. The -race
+// equivalence test in this package pins exactly this contract.
+//
+// The price of the partition is that an advertiser's spend total is
+// tracked per keyword market rather than summed across keywords (the
+// cross-keyword coupling a single sequential World has). Section V's
+// evaluation never exercises that coupling — each query involves one
+// keyword — and the per-keyword ROI statistics the Figure 5 strategy
+// steers by are per-keyword already.
+//
+// Memory: each market carries full-width per-advertiser state (the
+// Figure 5 strategy's roiRange scans every keyword's ROI, so a market
+// equivalent to a sequential World cannot drop the other columns),
+// making the engine O(n·keywords²) overall. That is comfortable at
+// the Section V catalog size (10 keywords) the engine currently
+// targets; keyword-scoped markets for large catalogs are a ROADMAP
+// item and imply a (documented) departure from World equivalence.
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/kwmatch"
+	"repro/internal/workload"
+)
+
+// Config tunes an Engine. The zero value serves with MethodRH on
+// GOMAXPROCS shards.
+type Config struct {
+	// Shards is the number of worker goroutines (and keyword
+	// partitions). 0 means min(GOMAXPROCS, keywords). More shards than
+	// keywords is never useful; the constructor clamps.
+	Shards int
+	// QueueDepth is the per-shard bounded-channel capacity; the feeder
+	// blocks when a shard falls this far behind (backpressure rather
+	// than unbounded buffering). 0 means 256.
+	QueueDepth int
+	// Method selects the winner-determination pipeline (default
+	// MethodRH, the paper's scalable choice).
+	Method Method
+	// ClickSeed is the base seed for simulated user clicks; keyword q's
+	// market draws from KeywordSeed(ClickSeed, q).
+	ClickSeed int64
+	// KeywordNames optionally names the instance's keywords for
+	// text-query routing (ServeText); defaults to "kw0", "kw1", …
+	KeywordNames []string
+}
+
+// KeywordSeed derives the click-RNG seed of keyword q's market from
+// the engine-wide base seed. The mixing constant keeps neighboring
+// keywords' streams far apart; the exact function is part of the
+// sequential-equivalence contract (reference Worlds must use it too).
+func KeywordSeed(base int64, q int) int64 {
+	return base ^ int64(q+1)*-0x61c8864680b583eb // 2^64 / golden ratio
+}
+
+// Stats aggregates one Serve call.
+type Stats struct {
+	// Auctions is the number of auctions run.
+	Auctions int
+	// Revenue is the total amount charged across all auctions.
+	Revenue float64
+	// Clicks counts clicked impressions; Filled and TotalSlots give the
+	// fill rate.
+	Clicks     int
+	Filled     int
+	TotalSlots int
+	// Unrouted counts ServeText queries that matched no keyword (always
+	// 0 for Serve).
+	Unrouted int
+	// Elapsed is the wall-clock span of the Serve call; Throughput is
+	// Auctions/Elapsed in queries per second.
+	Elapsed    time.Duration
+	Throughput float64
+	// P50, P95, P99, Max summarize per-auction service latency
+	// (dequeue to outcome).
+	P50, P95, P99, Max time.Duration
+}
+
+// Engine is the concurrent sharded serving engine. Construct with New;
+// Serve may be called repeatedly (markets persist and keep evolving,
+// exactly like a long-running World), but not concurrently — the
+// engine serializes whole batches, parallelism lives inside a batch.
+type Engine struct {
+	inst    *workload.Instance
+	cfg     Config
+	markets []*Market // one per keyword
+	shardOf []int     // keyword -> shard
+	kwIndex *kwmatch.Index
+
+	mu sync.Mutex // serializes Serve calls
+}
+
+// New builds an engine over inst. Every keyword gets an independent
+// market seeded with KeywordSeed(cfg.ClickSeed, q).
+func New(inst *workload.Instance, cfg Config) *Engine {
+	if cfg.Shards <= 0 {
+		cfg.Shards = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Shards > inst.Keywords {
+		cfg.Shards = inst.Keywords
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 256
+	}
+	e := &Engine{
+		inst:    inst,
+		cfg:     cfg,
+		markets: make([]*Market, inst.Keywords),
+		shardOf: make([]int, inst.Keywords),
+		kwIndex: kwmatch.New(),
+	}
+	for q := 0; q < inst.Keywords; q++ {
+		e.markets[q] = NewMarket(inst, cfg.Method, KeywordSeed(cfg.ClickSeed, q))
+		e.shardOf[q] = q % cfg.Shards
+		name := fmt.Sprintf("kw%d", q)
+		if q < len(cfg.KeywordNames) && cfg.KeywordNames[q] != "" {
+			name = cfg.KeywordNames[q]
+		}
+		// The kwmatch inverted index is advertiser-oriented; the engine
+		// indexes its keyword catalog by using the keyword id as the
+		// "advertiser": Query then prunes the catalog to the keywords
+		// sharing tokens with the search text, Section IV's
+		// keyword-matching step.
+		e.kwIndex.Register(q, name)
+	}
+	return e
+}
+
+// Shards returns the number of worker shards the engine runs.
+func (e *Engine) Shards() int { return e.cfg.Shards }
+
+// KeywordMarket exposes keyword q's market for inspection (bids,
+// accounting) — test and diagnostic use; do not call while Serve runs.
+func (e *Engine) KeywordMarket(q int) *Market { return e.markets[q] }
+
+// ProgramEvaluations sums the per-market strategy-evaluation counters.
+func (e *Engine) ProgramEvaluations() int64 {
+	var total int64
+	for _, m := range e.markets {
+		total += m.ProgramEvaluations()
+	}
+	return total
+}
+
+// RouteText resolves a free-text search to the best-matching keyword
+// (highest token-overlap relevance; ties to the lowest keyword id),
+// reporting false when no catalog keyword shares a token with it.
+func (e *Engine) RouteText(query string) (int, bool) {
+	ms := e.kwIndex.Query(query)
+	if len(ms) == 0 {
+		return 0, false
+	}
+	return ms[0].Advertiser, true
+}
+
+// Serve runs one auction per query (queries are keyword indices, as
+// produced by workload.Instance.Queries), fanning them out to the
+// keyword shards, and blocks until all have completed. Outcomes are
+// discarded after aggregation; use ServeOutcomes to retain them.
+func (e *Engine) Serve(queries []int) *Stats {
+	return e.serve(queries, nil)
+}
+
+// ServeOutcomes is Serve, additionally returning every auction's
+// outcome in query order (index i of the result is queries[i]'s
+// outcome).
+func (e *Engine) ServeOutcomes(queries []int) ([]*Outcome, *Stats) {
+	results := make([]*Outcome, len(queries))
+	st := e.serve(queries, results)
+	return results, st
+}
+
+// ServeText routes free-text searches through the keyword index and
+// serves the matched ones; unmatched queries are counted in
+// Stats.Unrouted (no auction runs — no keyword means no interested
+// advertisers).
+func (e *Engine) ServeText(queries []string) *Stats {
+	routed := make([]int, 0, len(queries))
+	unrouted := 0
+	for _, s := range queries {
+		if q, ok := e.RouteText(s); ok {
+			routed = append(routed, q)
+		} else {
+			unrouted++
+		}
+	}
+	st := e.serve(routed, nil)
+	st.Unrouted = unrouted
+	return st
+}
+
+// shardTotals is one worker's private aggregate, merged after the
+// batch completes so workers never share cache lines mid-flight.
+type shardTotals struct {
+	auctions, clicks, filled, slots int
+	revenue                         float64
+}
+
+func (e *Engine) serve(queries []int, results []*Outcome) *Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	for _, q := range queries {
+		if q < 0 || q >= e.inst.Keywords {
+			panic(fmt.Sprintf("engine: query keyword %d out of range [0,%d)", q, e.inst.Keywords))
+		}
+	}
+
+	shards := e.cfg.Shards
+	chans := make([]chan int, shards)
+	totals := make([]shardTotals, shards)
+	latencies := make([]int64, len(queries))
+	var wg sync.WaitGroup
+	start := time.Now()
+	for s := 0; s < shards; s++ {
+		ch := make(chan int, e.cfg.QueueDepth)
+		chans[s] = ch
+		wg.Add(1)
+		go func(s int, ch <-chan int) {
+			defer wg.Done()
+			var tot shardTotals
+			for idx := range ch {
+				q := queries[idx]
+				t0 := time.Now()
+				out := e.markets[q].Run(q)
+				latencies[idx] = int64(time.Since(t0))
+				tot.auctions++
+				tot.revenue += out.Revenue
+				for j := range out.AdvOf {
+					tot.slots++
+					if out.AdvOf[j] >= 0 {
+						tot.filled++
+					}
+					if out.Clicked[j] {
+						tot.clicks++
+					}
+				}
+				if results != nil {
+					results[idx] = out.Clone()
+				}
+			}
+			totals[s] = tot
+		}(s, ch)
+	}
+	// Feed in arrival order. A keyword lives on exactly one shard, so
+	// the per-keyword auction order is the arrival order regardless of
+	// how shards interleave; the bounded channels provide backpressure.
+	for idx, q := range queries {
+		chans[e.shardOf[q]] <- idx
+	}
+	for _, ch := range chans {
+		close(ch)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	st := &Stats{Elapsed: elapsed}
+	for _, tot := range totals {
+		st.Auctions += tot.auctions
+		st.Revenue += tot.revenue
+		st.Clicks += tot.clicks
+		st.Filled += tot.filled
+		st.TotalSlots += tot.slots
+	}
+	if elapsed > 0 {
+		st.Throughput = float64(st.Auctions) / elapsed.Seconds()
+	}
+	if len(latencies) > 0 {
+		sort.Slice(latencies, func(a, b int) bool { return latencies[a] < latencies[b] })
+		pct := func(p float64) time.Duration {
+			idx := int(p * float64(len(latencies)-1))
+			return time.Duration(latencies[idx])
+		}
+		st.P50, st.P95, st.P99 = pct(0.50), pct(0.95), pct(0.99)
+		st.Max = time.Duration(latencies[len(latencies)-1])
+	}
+	return st
+}

@@ -1,0 +1,192 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// referenceOutcomes runs, for each keyword, a fresh sequential Market
+// (the strategy.World implementation) over just that keyword's
+// subsequence of the query stream — the engine's documented
+// equivalence reference.
+func referenceOutcomes(inst *workload.Instance, method Method, clickSeed int64, queries []int) [][]*Outcome {
+	ref := make([][]*Outcome, inst.Keywords)
+	markets := make([]*Market, inst.Keywords)
+	for q := 0; q < inst.Keywords; q++ {
+		markets[q] = NewMarket(inst, method, KeywordSeed(clickSeed, q))
+	}
+	for _, q := range queries {
+		ref[q] = append(ref[q], markets[q].RunAuction(q))
+	}
+	return ref
+}
+
+// TestEngineMatchesSequentialMarkets: the core serving contract. For
+// several shard counts and a shuffled stream, every keyword's outcome
+// sequence (and final bid state) must match the sequential reference
+// exactly. Run under -race this also proves the shard workers share no
+// state.
+func TestEngineMatchesSequentialMarkets(t *testing.T) {
+	for _, method := range []Method{MethodRH, MethodRHTALU} {
+		inst := workload.Generate(rand.New(rand.NewSource(61)), 80, 6, 7)
+		queries := inst.Queries(rand.New(rand.NewSource(62)), 900)
+		const clickSeed = 17
+		ref := referenceOutcomes(inst, method, clickSeed, queries)
+
+		for _, shards := range []int{1, 2, 3, 7} {
+			// A different interleaving per shard count: per-keyword
+			// subsequences are what the contract pins, not the global
+			// order.
+			shuffled := append([]int(nil), queries...)
+			rand.New(rand.NewSource(int64(100 + shards))).Shuffle(len(shuffled), func(a, b int) {
+				shuffled[a], shuffled[b] = shuffled[b], shuffled[a]
+			})
+			e := New(inst, Config{Shards: shards, QueueDepth: 8, Method: method, ClickSeed: clickSeed})
+			outs, st := e.ServeOutcomes(shuffled)
+			if st.Auctions != len(shuffled) {
+				t.Fatalf("method=%v shards=%d: served %d of %d", method, shards, st.Auctions, len(shuffled))
+			}
+
+			// Regroup engine outcomes by keyword in arrival order and
+			// compare against the per-keyword reference streams. The
+			// shuffle permutes arrivals, so compare against a reference
+			// for the shuffled stream.
+			want := referenceOutcomes(inst, method, clickSeed, shuffled)
+			got := make([][]*Outcome, inst.Keywords)
+			for idx, o := range outs {
+				if o == nil {
+					t.Fatalf("method=%v shards=%d: missing outcome %d", method, shards, idx)
+				}
+				got[o.Query] = append(got[o.Query], o)
+			}
+			for q := 0; q < inst.Keywords; q++ {
+				if len(got[q]) != len(want[q]) {
+					t.Fatalf("method=%v shards=%d kw=%d: %d outcomes, want %d",
+						method, shards, q, len(got[q]), len(want[q]))
+				}
+				for a := range want[q] {
+					if !got[q][a].Equal(want[q][a]) {
+						t.Fatalf("method=%v shards=%d kw=%d auction=%d: engine %+v != sequential %+v",
+							method, shards, q, a, got[q][a], want[q][a])
+					}
+				}
+			}
+			_ = ref // the unshuffled reference pins determinism below
+		}
+	}
+}
+
+// TestEngineShardCountInvariance: shard count and queue depth are pure
+// performance knobs — two engines over the same stream must agree
+// outcome for outcome, whatever their configuration.
+func TestEngineShardCountInvariance(t *testing.T) {
+	inst := workload.Generate(rand.New(rand.NewSource(63)), 60, 5, 9)
+	queries := inst.Queries(rand.New(rand.NewSource(64)), 700)
+	base, _ := New(inst, Config{Shards: 1, QueueDepth: 1, Method: MethodRH, ClickSeed: 5}).ServeOutcomes(queries)
+	for _, cfg := range []Config{
+		{Shards: 4, QueueDepth: 2, Method: MethodRH, ClickSeed: 5},
+		{Shards: 9, QueueDepth: 512, Method: MethodRH, ClickSeed: 5},
+	} {
+		outs, _ := New(inst, cfg).ServeOutcomes(queries)
+		for i := range base {
+			if !outs[i].Equal(base[i]) {
+				t.Fatalf("cfg %+v: outcome %d differs: %+v vs %+v", cfg, i, outs[i], base[i])
+			}
+		}
+	}
+}
+
+// TestEngineServeAccumulates: repeated Serve calls continue the same
+// markets (a long-running server, not a per-batch reset).
+func TestEngineServeAccumulates(t *testing.T) {
+	inst := workload.Generate(rand.New(rand.NewSource(65)), 40, 4, 5)
+	queries := inst.Queries(rand.New(rand.NewSource(66)), 400)
+	e := New(inst, Config{Shards: 3, Method: MethodRH, ClickSeed: 9})
+	e.Serve(queries[:250])
+	e.Serve(queries[250:])
+	whole := referenceOutcomes(inst, MethodRH, 9, queries)
+	for q := 0; q < inst.Keywords; q++ {
+		if got, want := e.KeywordMarket(q).Auctions(), len(whole[q]); got != want {
+			t.Fatalf("kw %d: %d auctions, want %d", q, got, want)
+		}
+	}
+	// Bid state must equal the reference's final state.
+	for q := 0; q < inst.Keywords; q++ {
+		m := NewMarket(inst, MethodRH, KeywordSeed(9, q))
+		for range whole[q] {
+			m.RunAuction(q)
+		}
+		for i := 0; i < inst.N; i++ {
+			if got, want := e.KeywordMarket(q).Bid(i, q), m.Bid(i, q); got != want {
+				t.Fatalf("kw %d advertiser %d: bid %d, want %d", q, i, got, want)
+			}
+		}
+	}
+}
+
+// TestEngineTextRouting: free-text queries route through the kwmatch
+// inverted index to the catalog keyword with the highest token
+// overlap; unmatched text runs no auction.
+func TestEngineTextRouting(t *testing.T) {
+	inst := workload.Generate(rand.New(rand.NewSource(67)), 30, 3, 3)
+	e := New(inst, Config{
+		Shards:       2,
+		Method:       MethodRH,
+		KeywordNames: []string{"leather boot", "running shoe", "boot polish kit"},
+	})
+	if q, ok := e.RouteText("red leather boot"); !ok || q != 0 {
+		t.Fatalf("RouteText(leather boot query) = %d, %v", q, ok)
+	}
+	if q, ok := e.RouteText("shoe"); !ok || q != 1 {
+		t.Fatalf("RouteText(shoe) = %d, %v", q, ok)
+	}
+	if _, ok := e.RouteText("quantum gravity"); ok {
+		t.Fatal("unrelated text should not route")
+	}
+	st := e.ServeText([]string{"red leather boot", "buy running shoe online", "quantum gravity", ""})
+	if st.Auctions != 2 || st.Unrouted != 2 {
+		t.Fatalf("ServeText: %d auctions, %d unrouted; want 2 and 2", st.Auctions, st.Unrouted)
+	}
+}
+
+// TestMarketRunMatchesRunAuction: the reused-outcome hot path and the
+// retainable-outcome facade must report the same auctions.
+func TestMarketRunMatchesRunAuction(t *testing.T) {
+	inst := workload.Generate(rand.New(rand.NewSource(68)), 50, 5, 6)
+	queries := inst.Queries(rand.New(rand.NewSource(69)), 500)
+	a := NewMarket(inst, MethodRH, 3)
+	b := NewMarket(inst, MethodRH, 3)
+	for _, q := range queries {
+		oa := a.Run(q)
+		ob := b.RunAuction(q)
+		if !oa.Equal(ob) {
+			t.Fatalf("Run %+v != RunAuction %+v", oa, ob)
+		}
+	}
+}
+
+// TestMarketSteadyStateAllocs is the allocation-free guarantee of the
+// serving hot path: after warmup, MethodRH auctions must not allocate
+// at all — selection, reduced matching, pricing, click simulation, and
+// accounting all run in reused buffers.
+func TestMarketSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is perturbed under -race")
+	}
+	inst := workload.Generate(rand.New(rand.NewSource(70)), 500, 15, 10)
+	queries := inst.Queries(rand.New(rand.NewSource(71)), 4096)
+	m := NewMarket(inst, MethodRH, 7)
+	for _, q := range queries[:2048] {
+		m.Run(q)
+	}
+	next := 2048
+	allocs := testing.AllocsPerRun(1000, func() {
+		m.Run(queries[next%len(queries)])
+		next++
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state RH auction allocates %.2f objects/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,248 @@
+package engine
+
+import (
+	"math/rand"
+	"runtime"
+
+	"repro/internal/lp"
+	"repro/internal/matching"
+	"repro/internal/topk"
+	"repro/internal/workload"
+)
+
+// Market is one running auction market: an instance, the accounting
+// state, and the bid engine for the chosen method. It is the
+// sequential unit of the serving engine — each keyword shard drives
+// one or more Markets — and also the implementation behind the
+// sequential strategy.World facade. Distinct Markets over the same
+// instance, query stream, and click seed evolve identically (up to
+// winner-determination ties), which is how the four methods are
+// compared on equal footing. A Market is not safe for concurrent use;
+// concurrency lives one level up, in Engine.
+type Market struct {
+	Inst   *workload.Instance
+	Method Method
+
+	t    int // auctions processed
+	acct *Accounting
+	rng  *rand.Rand // user click simulation
+
+	ex   *explicitEngine
+	talu *taluEngine
+
+	// LPStats accumulates simplex iterations (method LP only).
+	LPStats int
+
+	// Steady-state scratch for the allocation-free RH hot path: the
+	// reduced-matching workspace, the per-keyword float bid vector, and
+	// the reusable outcome. weightFn is built once (capturing bidf) so
+	// per-auction winner determination creates no closures.
+	ws       *matching.Workspace
+	bidf     []float64
+	weightFn func(i, j int) float64
+	out      Outcome
+
+	// GSP pricing scratch: assignedMark[i] == assignedStamp iff
+	// advertiser i holds a slot in the current auction (the stamp
+	// avoids clearing an O(n) array per auction), and clickedWinners
+	// collects this auction's charged advertisers for the TALU
+	// after-auction recomputes.
+	assignedMark   []int
+	assignedStamp  int
+	clickedWinners []int
+}
+
+// NewMarket builds a fresh market. clickSeed drives the simulated user
+// clicks; two markets with equal instances and seeds see identical
+// users.
+func NewMarket(inst *workload.Instance, method Method, clickSeed int64) *Market {
+	m := &Market{
+		Inst:   inst,
+		Method: method,
+		acct:   newAccounting(inst.N, inst.Keywords),
+		rng:    rand.New(rand.NewSource(clickSeed)),
+	}
+	if method == MethodRHTALU {
+		m.talu = newTALUEngine(inst, m.acct)
+	} else {
+		m.ex = newExplicitEngine(inst)
+	}
+	m.ws = matching.NewWorkspace()
+	m.bidf = make([]float64, inst.N)
+	m.weightFn = func(i, j int) float64 {
+		return m.Inst.ClickProb[i][j] * m.bidf[i]
+	}
+	k := inst.Slots
+	m.out = Outcome{
+		AdvOf:         make([]int, k),
+		PricePerClick: make([]float64, k),
+		Clicked:       make([]bool, k),
+	}
+	m.assignedMark = make([]int, inst.N)
+	return m
+}
+
+// Bid returns advertiser i's current bid for keyword q — used by the
+// engine-equivalence tests.
+func (m *Market) Bid(i, q int) int {
+	if m.talu != nil {
+		return m.talu.bid(i, q)
+	}
+	return m.ex.bid[i][q]
+}
+
+// Accounting exposes the provider-maintained state (read-only use).
+func (m *Market) Accounting() *Accounting { return m.acct }
+
+// Auctions returns the number of auctions processed.
+func (m *Market) Auctions() int { return m.t }
+
+// ProgramEvaluations returns the cumulative number of per-advertiser
+// strategy evaluations the market has performed. The explicit engine
+// (LP, H, RH) runs every program on every auction — n·t evaluations —
+// while the TALU engine re-evaluates a program only when it wins a
+// click or one of its triggers fires (Section IV's point, made
+// quantitative).
+func (m *Market) ProgramEvaluations() int64 {
+	if m.talu != nil {
+		return m.talu.recomputes
+	}
+	return int64(m.Inst.N) * int64(m.t)
+}
+
+// RunAuction advances the market by one auction on keyword q and
+// returns a freshly allocated Outcome the caller may retain — the
+// historical World API. Hot paths use Run instead.
+func (m *Market) RunAuction(q int) *Outcome {
+	return m.Run(q).Clone()
+}
+
+// Run advances the market by one auction on keyword q: program
+// evaluation, winner determination, GSP pricing, user simulation, and
+// accounting. The returned Outcome is owned by the market and valid
+// only until the next Run; under MethodRH the whole call is
+// allocation-free in steady state.
+func (m *Market) Run(q int) *Outcome {
+	m.t++
+	t := float64(m.t)
+	k := m.Inst.Slots
+
+	out := &m.out
+	out.Query = q
+	out.Revenue = 0
+	for j := 0; j < k; j++ {
+		out.PricePerClick[j] = 0
+		out.Clicked[j] = false
+	}
+
+	var lists [][]topk.Item
+	var advOf []int
+
+	if m.talu != nil {
+		lists, advOf = m.talu.prepare(q, t)
+		copy(out.AdvOf, advOf)
+		advOf = out.AdvOf
+	} else {
+		m.ex.step(q, t, m.acct)
+		for i := 0; i < m.Inst.N; i++ {
+			m.bidf[i] = float64(m.ex.bid[i][q])
+		}
+		score := m.weightFn
+
+		// Candidate lists (k+1 deep) serve both the reduced matching
+		// and GSP pricing; see the pricing loop for why k+1 suffices.
+		switch m.Method {
+		case MethodRH:
+			// The scalable serving path: workspace-backed top-(k+1)
+			// selection and reduced assignment, zero allocations in
+			// steady state.
+			lists = m.ws.SelectCandidates(m.Inst.N, k, k+1, score)
+			m.ws.AssignCandidatesInto(score, lists, out.AdvOf)
+			advOf = out.AdvOf
+		case MethodRHParallel:
+			lists = topk.ParallelSelectDepth(m.Inst.N, k, k+1, runtime.GOMAXPROCS(0), score)
+			advOf, _ = matching.AssignCandidates(score, lists)
+			copy(out.AdvOf, advOf)
+			advOf = out.AdvOf
+		case MethodH:
+			advOf = matching.MaxWeightFunc(m.Inst.N, k, score).AdvOf
+			lists = scanLists(m.Inst.N, k, score)
+			copy(out.AdvOf, advOf)
+			advOf = out.AdvOf
+		case MethodLP:
+			w := make([][]float64, m.Inst.N)
+			for i := range w {
+				w[i] = make([]float64, k)
+				for j := 0; j < k; j++ {
+					w[i][j] = score(i, j)
+				}
+			}
+			res, err := lp.SolveAssignment(w)
+			if err != nil {
+				// The assignment LP is always feasible and bounded; an
+				// error here is a solver bug worth crashing on.
+				panic("engine: assignment LP failed: " + err.Error())
+			}
+			m.LPStats += res.Iterations
+			advOf = res.AdvOf
+			lists = scanLists(m.Inst.N, k, score)
+			copy(out.AdvOf, advOf)
+			advOf = out.AdvOf
+		default:
+			panic("engine: unknown method")
+		}
+	}
+
+	// Generalized second pricing: the winner of slot j pays, per
+	// click, the highest competing score for that slot divided by his
+	// own click probability — the amount that prices the slot at its
+	// best alternative use — capped at his own bid (Section V's
+	// "slight generalization of generalized second-pricing").
+	m.assignedStamp++
+	for _, i := range advOf {
+		if i >= 0 {
+			m.assignedMark[i] = m.assignedStamp
+		}
+	}
+	for j, i := range advOf {
+		if i < 0 {
+			continue
+		}
+		runner := 0.0
+		for _, it := range lists[j] {
+			if m.assignedMark[it.ID] != m.assignedStamp {
+				runner = it.Score
+				break
+			}
+		}
+		price := runner / m.Inst.ClickProb[i][j]
+		if bid := float64(m.Bid(i, q)); price > bid {
+			price = bid
+		}
+		out.PricePerClick[j] = price
+	}
+
+	// User action: one uniform draw per slot (always k draws, so
+	// markets with equal click seeds stay aligned), a click when the
+	// draw falls under the winner's click probability.
+	m.clickedWinners = m.clickedWinners[:0]
+	for j := 0; j < k; j++ {
+		u := m.rng.Float64()
+		i := advOf[j]
+		if i < 0 || u >= m.Inst.ClickProb[i][j] {
+			continue
+		}
+		out.Clicked[j] = true
+		price := out.PricePerClick[j]
+		out.Revenue += price
+		m.acct.SpentTotal[i] += price
+		m.acct.SpentKw[i][q] += price
+		m.acct.GainedKw[i][q] += float64(m.Inst.Value[i][q])
+		m.clickedWinners = append(m.clickedWinners, i)
+	}
+
+	if m.talu != nil {
+		m.talu.afterAuction(t, m.clickedWinners)
+	}
+	return out
+}

@@ -1,0 +1,38 @@
+package engine
+
+// Method selects the winner-determination pipeline of Section V.
+type Method int
+
+// The four methods of Figure 12, plus the parallel-RH ablation.
+const (
+	// MethodLP solves the per-auction assignment LP with the simplex
+	// method.
+	MethodLP Method = iota
+	// MethodH runs the Hungarian algorithm on the full bipartite graph.
+	MethodH
+	// MethodRH runs the reduced-graph algorithm of Section III-E.
+	MethodRH
+	// MethodRHTALU is RH plus the program-evaluation reductions of
+	// Section IV (threshold algorithm + logical updates).
+	MethodRHTALU
+	// MethodRHParallel is RH with the tree-parallel top-k scan.
+	MethodRHParallel
+)
+
+// String implements fmt.Stringer.
+func (m Method) String() string {
+	switch m {
+	case MethodLP:
+		return "LP"
+	case MethodH:
+		return "H"
+	case MethodRH:
+		return "RH"
+	case MethodRHTALU:
+		return "RHTALU"
+	case MethodRHParallel:
+		return "RH-parallel"
+	default:
+		return "Method(?)"
+	}
+}

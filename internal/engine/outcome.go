@@ -1,0 +1,49 @@
+package engine
+
+// Outcome reports one auction's results.
+type Outcome struct {
+	// Query is the keyword of this auction.
+	Query int
+	// AdvOf maps slot index to advertiser index or −1.
+	AdvOf []int
+	// PricePerClick is the GSP charge for each slot's winner.
+	PricePerClick []float64
+	// Clicked marks the slots whose ads were clicked.
+	Clicked []bool
+	// Revenue is the total amount charged this auction.
+	Revenue float64
+}
+
+// Clone returns a deep copy safe to retain after the producing
+// Market's next Run.
+func (o *Outcome) Clone() *Outcome {
+	c := &Outcome{
+		Query:         o.Query,
+		AdvOf:         make([]int, len(o.AdvOf)),
+		PricePerClick: make([]float64, len(o.PricePerClick)),
+		Clicked:       make([]bool, len(o.Clicked)),
+		Revenue:       o.Revenue,
+	}
+	copy(c.AdvOf, o.AdvOf)
+	copy(c.PricePerClick, o.PricePerClick)
+	copy(c.Clicked, o.Clicked)
+	return c
+}
+
+// Equal reports whether two outcomes are identical (prices compared
+// exactly — the equivalence guarantees of this package are bit-level,
+// not approximate).
+func (o *Outcome) Equal(p *Outcome) bool {
+	if o.Query != p.Query || o.Revenue != p.Revenue ||
+		len(o.AdvOf) != len(p.AdvOf) {
+		return false
+	}
+	for j := range o.AdvOf {
+		if o.AdvOf[j] != p.AdvOf[j] ||
+			o.PricePerClick[j] != p.PricePerClick[j] ||
+			o.Clicked[j] != p.Clicked[j] {
+			return false
+		}
+	}
+	return true
+}

@@ -20,91 +20,11 @@ package matching
 //     quadratic-in-n behavior that motivates the reduced algorithm;
 //   - the reduced solve (method RH) runs rows = slots over the ≤ k²
 //     candidates, giving the O(k⁵)-bounded tail of Section III-E.
+// The solver body lives on Workspace.assignRows (workspace.go) so the
+// serving engine can run it allocation-free; this wrapper serves the
+// one-shot callers.
 func assignRows(nr, nc int, weight func(r, c int) float64) []int {
-	m := nc + nr // columns: real ones, then one dummy per row
-	cost := func(r, c int) float64 {
-		if c >= nc {
-			return 0
-		}
-		w := weight(r, c)
-		if w <= 0 {
-			return 0
-		}
-		return -w
-	}
-
-	const inf = 1e308
-	u := make([]float64, nr)  // row potentials
-	v := make([]float64, m+1) // column potentials; col m is the sentinel
-	p := make([]int, m+1)     // p[c] = row matched to column c, −1 free
-	way := make([]int, m+1)   // predecessor column on the alternating path
-	minv := make([]float64, m+1)
-	used := make([]bool, m+1)
-	for c := range p {
-		p[c] = -1
-	}
-
-	for r := 0; r < nr; r++ {
-		p[m] = r
-		c0 := m
-		for c := 0; c <= m; c++ {
-			minv[c] = inf
-			used[c] = false
-		}
-		for {
-			used[c0] = true
-			r0 := p[c0]
-			delta := inf
-			c1 := -1
-			for c := 0; c < m; c++ {
-				if used[c] {
-					continue
-				}
-				cur := cost(r0, c) - u[r0] - v[c]
-				if cur < minv[c] {
-					minv[c] = cur
-					way[c] = c0
-				}
-				// Prefer free columns on ties: the dummy block gives
-				// every row a zero-cost exit, and without this
-				// preference Dijkstra chains through arbitrarily many
-				// equal-cost matched dummies, degrading the phase from
-				// O(path·m) to O(n·m).
-				if minv[c] < delta || (minv[c] == delta && c1 >= 0 && p[c] < 0 && p[c1] >= 0) {
-					delta = minv[c]
-					c1 = c
-				}
-			}
-			for c := 0; c <= m; c++ {
-				if used[c] {
-					u[p[c]] += delta
-					v[c] -= delta
-				} else {
-					minv[c] -= delta
-				}
-			}
-			c0 = c1
-			if p[c0] < 0 {
-				break
-			}
-		}
-		for c0 != m {
-			c1 := way[c0]
-			p[c0] = p[c1]
-			c0 = c1
-		}
-	}
-
-	colOf := make([]int, nr)
-	for r := range colOf {
-		colOf[r] = -1
-	}
-	for c := 0; c < nc; c++ {
-		if p[c] >= 0 {
-			colOf[p[c]] = c
-		}
-	}
-	return colOf
+	return NewWorkspace().assignRows(nr, nc, weight)
 }
 
 // solveJV solves the advertiser×slot assignment with rows =
@@ -123,9 +43,6 @@ func solveJV(n, k int, weight func(i, j int) float64) []int {
 	return advOf
 }
 
-// solveJVBySlots solves the same problem with rows = slots — the
-// right orientation when advertisers vastly outnumber slots, as in
-// the reduced graph. It returns slot → advertiser.
-func solveJVBySlots(n, k int, weight func(i, j int) float64) []int {
-	return assignRows(k, n, func(j, i int) float64 { return weight(i, j) })
-}
+// The reduced solve (rows = slots — the right orientation when
+// advertisers vastly outnumber slots) runs through
+// Workspace.AssignCandidatesInto.

@@ -1,0 +1,7 @@
+//go:build !race
+
+package matching
+
+// raceEnabled reports whether the race detector is active; allocation
+// assertions are skipped under instrumentation.
+const raceEnabled = false

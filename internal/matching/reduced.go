@@ -76,34 +76,7 @@ func solveOnLists(w [][]float64, n, k int, lists [][]topk.Item) Assignment {
 // reverse index — the per-auction hot path needs only slot →
 // advertiser. It returns the slot assignment and its total weight.
 func AssignCandidates(weight func(i, j int) float64, lists [][]topk.Item) (advOf []int, value float64) {
-	k := len(lists)
-	// Union of candidates, preserving a dense re-indexing.
-	seen := make(map[int]int, k*k)
-	var cands []int
-	for _, list := range lists {
-		for _, it := range list {
-			if _, ok := seen[it.ID]; !ok {
-				seen[it.ID] = len(cands)
-				cands = append(cands, it.ID)
-			}
-		}
-	}
-	advOfReduced := solveJVBySlots(len(cands), k, func(ri, j int) float64 {
-		return weight(cands[ri], j)
-	})
-	advOf = make([]int, k)
-	for j := 0; j < k; j++ {
-		if ri := advOfReduced[j]; ri >= 0 {
-			advOf[j] = cands[ri]
-		} else {
-			advOf[j] = -1
-		}
-	}
-	dropNonPositiveFunc(weight, advOf)
-	for j, i := range advOf {
-		if i >= 0 {
-			value += weight(i, j)
-		}
-	}
+	advOf = make([]int, len(lists))
+	value = NewWorkspace().AssignCandidatesInto(weight, lists, advOf)
 	return advOf, value
 }

@@ -1,0 +1,255 @@
+package matching
+
+import (
+	"repro/internal/topk"
+)
+
+// Workspace holds every scratch buffer the reduced Hungarian solve
+// needs — the Jonker–Volgenant potential/slack arrays, the
+// candidate-union marks, and per-slot top-k lists — so that a serving
+// worker can run winner determination auction after auction without
+// touching the allocator. A Workspace grows to the largest problem it
+// has seen and then stays allocation-free; it is not safe for
+// concurrent use (each worker owns one).
+type Workspace struct {
+	// Jonker–Volgenant scratch, sized to rows nr and columns
+	// m = nc + nr (one dummy column per row) plus the sentinel.
+	u, v, minv []float64
+	p, way     []int
+	used       []bool
+	colOf      []int
+
+	// Candidate-union scratch: mark[i] == stamp iff advertiser i is
+	// already in cands for the current solve. The stamp avoids an O(n)
+	// clear per auction.
+	mark  []int
+	stamp int
+	cands []int
+
+	// MaxWeightReduced conveniences: a bounded heap and per-slot lists
+	// reused across calls.
+	heap  *topk.Heap
+	heapK int
+	lists [][]topk.Item
+	advOf []int
+}
+
+// NewWorkspace returns an empty workspace; buffers are grown on first
+// use.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// growFloats, growInts, growBools resize scratch slices, reusing the
+// backing array whenever it is large enough.
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+func growBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
+}
+
+// assignRows is the workspace-backed body of the package-level
+// assignRows (see jv.go for the algorithm commentary). The returned
+// slice is owned by the workspace and valid until the next call.
+func (ws *Workspace) assignRows(nr, nc int, weight func(r, c int) float64) []int {
+	m := nc + nr // columns: real ones, then one dummy per row
+	cost := func(r, c int) float64 {
+		if c >= nc {
+			return 0
+		}
+		w := weight(r, c)
+		if w <= 0 {
+			return 0
+		}
+		return -w
+	}
+
+	const inf = 1e308
+	ws.u = growFloats(ws.u, nr)
+	ws.v = growFloats(ws.v, m+1)
+	ws.minv = growFloats(ws.minv, m+1)
+	ws.p = growInts(ws.p, m+1)
+	ws.way = growInts(ws.way, m+1)
+	ws.used = growBools(ws.used, m+1)
+	u, v, p, way, minv, used := ws.u, ws.v, ws.p, ws.way, ws.minv, ws.used
+	for r := 0; r < nr; r++ {
+		u[r] = 0
+	}
+	for c := 0; c <= m; c++ {
+		v[c] = 0
+		p[c] = -1
+	}
+
+	for r := 0; r < nr; r++ {
+		p[m] = r
+		c0 := m
+		for c := 0; c <= m; c++ {
+			minv[c] = inf
+			used[c] = false
+		}
+		for {
+			used[c0] = true
+			r0 := p[c0]
+			delta := inf
+			c1 := -1
+			for c := 0; c < m; c++ {
+				if used[c] {
+					continue
+				}
+				cur := cost(r0, c) - u[r0] - v[c]
+				if cur < minv[c] {
+					minv[c] = cur
+					way[c] = c0
+				}
+				// Prefer free columns on ties; see jv.go.
+				if minv[c] < delta || (minv[c] == delta && c1 >= 0 && p[c] < 0 && p[c1] >= 0) {
+					delta = minv[c]
+					c1 = c
+				}
+			}
+			for c := 0; c <= m; c++ {
+				if used[c] {
+					u[p[c]] += delta
+					v[c] -= delta
+				} else {
+					minv[c] -= delta
+				}
+			}
+			c0 = c1
+			if p[c0] < 0 {
+				break
+			}
+		}
+		for c0 != m {
+			c1 := way[c0]
+			p[c0] = p[c1]
+			c0 = c1
+		}
+	}
+
+	ws.colOf = growInts(ws.colOf, nr)
+	colOf := ws.colOf
+	for r := range colOf {
+		colOf[r] = -1
+	}
+	for c := 0; c < nc; c++ {
+		if p[c] >= 0 {
+			colOf[p[c]] = c
+		}
+	}
+	return colOf
+}
+
+// AssignCandidatesInto is AssignCandidates running entirely in the
+// workspace: the union of the candidate lists, the reduced
+// Jonker–Volgenant solve, and the non-positive-edge drop reuse ws
+// buffers, and the resulting slot → advertiser map is written into
+// advOf (which must have len(lists) entries). In steady state the call
+// performs zero heap allocations — the property BenchmarkMarketSteady
+// state asserts. Returns the total weight of the matching.
+func (ws *Workspace) AssignCandidatesInto(weight func(i, j int) float64, lists [][]topk.Item, advOf []int) (value float64) {
+	k := len(lists)
+	if len(advOf) != k {
+		panic("matching: advOf length must equal the slot count")
+	}
+	ws.stamp++
+	ws.cands = ws.cands[:0]
+	for _, list := range lists {
+		for _, it := range list {
+			if it.ID >= len(ws.mark) {
+				grown := growInts(nil, it.ID+1)
+				copy(grown, ws.mark)
+				ws.mark = grown
+			}
+			if ws.mark[it.ID] != ws.stamp {
+				ws.mark[it.ID] = ws.stamp
+				ws.cands = append(ws.cands, it.ID)
+			}
+		}
+	}
+	cands := ws.cands
+	// Rows = slots, columns = candidates: the reduced orientation.
+	advOfReduced := ws.assignRows(k, len(cands), func(j, ri int) float64 {
+		return weight(cands[ri], j)
+	})
+	for j := 0; j < k; j++ {
+		if ri := advOfReduced[j]; ri >= 0 {
+			advOf[j] = cands[ri]
+		} else {
+			advOf[j] = -1
+		}
+	}
+	dropNonPositiveFunc(weight, advOf)
+	for j, i := range advOf {
+		if i >= 0 {
+			value += weight(i, j)
+		}
+	}
+	return value
+}
+
+// SelectCandidates fills per-slot top-depth candidate lists for n
+// advertisers into workspace-owned storage, reusing the bounded heap
+// and the per-slot backing arrays. The returned slice (and the lists
+// inside it) are valid until the next SelectCandidates or
+// MaxWeightReduced call on ws.
+func (ws *Workspace) SelectCandidates(n, k, depth int, weight func(i, j int) float64) [][]topk.Item {
+	if ws.heap == nil || ws.heapK != depth {
+		ws.heap = topk.NewHeap(depth)
+		ws.heapK = depth
+	}
+	if cap(ws.lists) < k {
+		ws.lists = make([][]topk.Item, k)
+	}
+	ws.lists = ws.lists[:k]
+	for j := 0; j < k; j++ {
+		jj := j
+		ws.lists[j] = topk.SelectInto(ws.heap, ws.lists[j][:0], n,
+			func(i int) float64 { return weight(i, jj) })
+	}
+	return ws.lists
+}
+
+// MaxWeightReduced is the package-level MaxWeightReduced running on
+// the workspace's scratch buffers. Only the returned Assignment's own
+// slices are freshly allocated (callers may retain them); all
+// intermediate state is reused.
+func (ws *Workspace) MaxWeightReduced(w [][]float64) Assignment {
+	n := len(w)
+	k := 0
+	if n > 0 {
+		k = len(w[0])
+	}
+	if n == 0 || k == 0 {
+		return newAssignment(w, n, make([]int, 0, k))
+	}
+	weight := func(i, j int) float64 { return w[i][j] }
+	lists := ws.SelectCandidates(n, k, k, weight)
+	ws.advOf = growInts(ws.advOf, k)
+	value := ws.AssignCandidatesInto(weight, lists, ws.advOf)
+	advOf := make([]int, k)
+	copy(advOf, ws.advOf)
+	slotOf := make([]int, n)
+	for i := range slotOf {
+		slotOf[i] = -1
+	}
+	for j, i := range advOf {
+		if i >= 0 {
+			slotOf[i] = j
+		}
+	}
+	return Assignment{SlotOf: slotOf, AdvOf: advOf, Value: value}
+}

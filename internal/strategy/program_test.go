@@ -99,7 +99,7 @@ func (a *advertiserDB) syncProviderState(inst *workload.Instance, acct *Accounti
 			rel = 1.0
 		}
 		row[5] = table.F(rel)
-		row[3] = table.F(acct.roiOf(i, kwIdx))
+		row[3] = table.F(acct.ROIOf(i, kwIdx))
 	}
 	a.db.SetScalar("amtSpent", table.F(acct.SpentTotal[i]))
 	a.db.SetScalar("time", table.F(t))

@@ -20,220 +20,59 @@
 // The two engines are exactly equivalent — a property test drives
 // both over the same trace and demands identical bids, allocations,
 // and charges.
+//
+// The package is a thin sequential facade: the pipeline itself lives
+// in internal/engine, whose Market type is the sequential unit of the
+// concurrent sharded serving engine. A World is exactly one Market
+// driven from a single goroutine; the facade exists so that the
+// simulation-facing name and the long-standing World API survive the
+// engine refactor unchanged, and so that the engine's
+// sequential-equivalence tests have a canonical reference to compare
+// against.
 package strategy
 
 import (
-	"math/rand"
-
+	"repro/internal/engine"
 	"repro/internal/workload"
 )
 
 // Method selects the winner-determination pipeline of Section V.
-type Method int
+type Method = engine.Method
 
 // The four methods of Figure 12, plus the parallel-RH ablation.
 const (
 	// MethodLP solves the per-auction assignment LP with the simplex
 	// method.
-	MethodLP Method = iota
+	MethodLP = engine.MethodLP
 	// MethodH runs the Hungarian algorithm on the full bipartite graph.
-	MethodH
+	MethodH = engine.MethodH
 	// MethodRH runs the reduced-graph algorithm of Section III-E.
-	MethodRH
+	MethodRH = engine.MethodRH
 	// MethodRHTALU is RH plus the program-evaluation reductions of
 	// Section IV (threshold algorithm + logical updates).
-	MethodRHTALU
+	MethodRHTALU = engine.MethodRHTALU
 	// MethodRHParallel is RH with the tree-parallel top-k scan.
-	MethodRHParallel
+	MethodRHParallel = engine.MethodRHParallel
 )
-
-// String implements fmt.Stringer.
-func (m Method) String() string {
-	switch m {
-	case MethodLP:
-		return "LP"
-	case MethodH:
-		return "H"
-	case MethodRH:
-		return "RH"
-	case MethodRHTALU:
-		return "RHTALU"
-	case MethodRHParallel:
-		return "RH-parallel"
-	default:
-		return "Method(?)"
-	}
-}
-
-// roi is the provider-maintained return-on-investment statistic for
-// one (advertiser, keyword) pair: total value gained over total spend,
-// add-one smoothed so it is defined before any spending occurs (the
-// paper leaves the zero-spend case unspecified; smoothing gives every
-// keyword the identical neutral ROI of 1 at the start, which the
-// MAX/MIN selections of the Figure 5 program then treat as ties, as
-// its SQL semantics dictate).
-func roi(gained, spent float64) float64 { return (gained + 1) / (spent + 1) }
-
-// spendStatus compares the advertiser's realized spending rate with
-// the target: −1 under, 0 on target, +1 over.
-func spendStatus(spentTotal float64, t float64, target int) int {
-	rate := spentTotal / t
-	switch {
-	case rate < float64(target):
-		return -1
-	case rate > float64(target):
-		return 1
-	default:
-		return 0
-	}
-}
-
-// Accounting is the provider-maintained advertiser state (Section
-// II-B notes amounts spent, budgets, and per-keyword ROI are
-// maintained by the search provider for every program).
-type Accounting struct {
-	SpentTotal []float64   // per advertiser
-	SpentKw    [][]float64 // per advertiser, keyword
-	GainedKw   [][]float64 // per advertiser, keyword
-}
-
-func newAccounting(n, keywords int) *Accounting {
-	a := &Accounting{
-		SpentTotal: make([]float64, n),
-		SpentKw:    make([][]float64, n),
-		GainedKw:   make([][]float64, n),
-	}
-	for i := 0; i < n; i++ {
-		a.SpentKw[i] = make([]float64, keywords)
-		a.GainedKw[i] = make([]float64, keywords)
-	}
-	return a
-}
-
-// roiOf returns the smoothed ROI of advertiser i on keyword q.
-func (a *Accounting) roiOf(i, q int) float64 {
-	return roi(a.GainedKw[i][q], a.SpentKw[i][q])
-}
-
-// roiRange returns the max and min smoothed ROI over advertiser i's
-// keywords.
-func (a *Accounting) roiRange(i int) (maxR, minR float64) {
-	maxR, minR = a.roiOf(i, 0), a.roiOf(i, 0)
-	for q := 1; q < len(a.SpentKw[i]); q++ {
-		r := a.roiOf(i, q)
-		if r > maxR {
-			maxR = r
-		}
-		if r < minR {
-			minR = r
-		}
-	}
-	return maxR, minR
-}
-
-// modeConst, modeInc, modeDec name a bidder's current behavior for
-// one keyword: what the Figure 5 program would do to that keyword's
-// bid on a matching query.
-const (
-	modeConst = 0
-	modeInc   = 1
-	modeDec   = 2
-)
-
-// bidMode computes the behavior of bidder i for keyword q given the
-// current bid: the direct transliteration of the Figure 5 guards.
-func bidMode(inst *workload.Instance, acct *Accounting, i, q int, bid int, status int) int {
-	switch status {
-	case -1: // underspending: increment the max-ROI keyword if below max bid
-		maxR, _ := acct.roiRange(i)
-		if acct.roiOf(i, q) == maxR && bid < inst.Value[i][q] {
-			return modeInc
-		}
-	case 1: // overspending: decrement the min-ROI keyword if above zero
-		_, minR := acct.roiRange(i)
-		if acct.roiOf(i, q) == minR && bid > 0 {
-			return modeDec
-		}
-	}
-	return modeConst
-}
 
 // Outcome reports one auction's results.
-type Outcome struct {
-	// Query is the keyword of this auction.
-	Query int
-	// AdvOf maps slot index to advertiser index or −1.
-	AdvOf []int
-	// PricePerClick is the GSP charge for each slot's winner.
-	PricePerClick []float64
-	// Clicked marks the slots whose ads were clicked.
-	Clicked []bool
-	// Revenue is the total amount charged this auction.
-	Revenue float64
-}
+type Outcome = engine.Outcome
 
-// World is one running auction market: an instance, the accounting
-// state, and the bid engine for the chosen method. Distinct Worlds
-// over the same instance, query stream, and click seed evolve
-// identically (up to winner-determination ties), which is how the
-// four methods are compared on equal footing.
-type World struct {
-	Inst   *workload.Instance
-	Method Method
+// Accounting is the provider-maintained advertiser state (Section
+// II-B): amounts spent and per-keyword spend/gain from which the
+// smoothed ROI statistics derive.
+type Accounting = engine.Accounting
 
-	t    int // auctions processed
-	acct *Accounting
-	rng  *rand.Rand // user click simulation
-
-	ex   *explicitEngine
-	talu *taluEngine
-
-	// LPStats accumulates simplex iterations (method LP only).
-	LPStats int
-}
+// World is one running auction market — an engine.Market driven
+// sequentially. RunAuction advances it one auction at a time;
+// distinct Worlds over the same instance, query stream, and click
+// seed evolve identically, which is how the four methods are compared
+// on equal footing.
+type World = engine.Market
 
 // NewWorld builds a fresh world. clickSeed drives the simulated user
 // clicks; two worlds with equal instances and seeds see identical
 // users.
 func NewWorld(inst *workload.Instance, method Method, clickSeed int64) *World {
-	w := &World{
-		Inst:   inst,
-		Method: method,
-		acct:   newAccounting(inst.N, inst.Keywords),
-		rng:    rand.New(rand.NewSource(clickSeed)),
-	}
-	if method == MethodRHTALU {
-		w.talu = newTALUEngine(inst, w.acct)
-	} else {
-		w.ex = newExplicitEngine(inst)
-	}
-	return w
-}
-
-// Bid returns advertiser i's current bid for keyword q — used by the
-// engine-equivalence tests.
-func (w *World) Bid(i, q int) int {
-	if w.talu != nil {
-		return w.talu.bid(i, q)
-	}
-	return w.ex.bid[i][q]
-}
-
-// Accounting exposes the provider-maintained state (read-only use).
-func (w *World) Accounting() *Accounting { return w.acct }
-
-// Auctions returns the number of auctions processed.
-func (w *World) Auctions() int { return w.t }
-
-// ProgramEvaluations returns the cumulative number of per-advertiser
-// strategy evaluations the world has performed. The explicit engine
-// (LP, H, RH) runs every program on every auction — n·t evaluations —
-// while the TALU engine re-evaluates a program only when it wins a
-// click or one of its triggers fires (Section IV's point, made
-// quantitative).
-func (w *World) ProgramEvaluations() int64 {
-	if w.talu != nil {
-		return w.talu.recomputes
-	}
-	return int64(w.Inst.N) * int64(w.t)
+	return engine.NewMarket(inst, method, clickSeed)
 }

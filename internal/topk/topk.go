@@ -57,6 +57,38 @@ func (h *Heap) Offer(it Item) {
 // Len returns the number of retained items.
 func (h *Heap) Len() int { return len(h.items) }
 
+// Reset empties the heap for reuse, keeping its capacity and bound k.
+func (h *Heap) Reset() { h.items = h.items[:0] }
+
+// DrainDesc empties the heap, appending its items to dst in the same
+// order Items returns them — descending score, ascending ID on ties —
+// without allocating when dst has capacity. The heap is left empty.
+//
+// Popping the min-heap yields items sorted ascending by score with
+// ties broken by descending ID (the less ordering), so filling the
+// appended region back-to-front reproduces Items' order exactly.
+func (h *Heap) DrainDesc(dst []Item) []Item {
+	n := len(h.items)
+	start := len(dst)
+	dst = append(dst, h.items...) // grow (or reuse) the destination
+	for i := n - 1; i >= 0; i-- {
+		dst[start+i] = h.popMin()
+	}
+	return dst
+}
+
+// popMin removes and returns the least item under less.
+func (h *Heap) popMin() Item {
+	min := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	if last > 0 {
+		h.down(0)
+	}
+	return min
+}
+
 // Min returns the lowest retained item. It panics on an empty heap.
 func (h *Heap) Min() Item { return h.items[0] }
 
@@ -119,6 +151,19 @@ func Select(n, k int, score func(i int) float64) []Item {
 		h.Offer(Item{ID: i, Score: score(i)})
 	}
 	return h.Items()
+}
+
+// SelectInto is Select reusing heap h (which fixes k) and dst's
+// capacity: the serving engine's allocation-free variant. It resets h,
+// offers all n candidates, and returns the top-k appended to dst[:0]'s
+// region — the caller passes dst = previousList[:0] to recycle the
+// backing array. Ordering is identical to Select.
+func SelectInto(h *Heap, dst []Item, n int, score func(i int) float64) []Item {
+	h.Reset()
+	for i := 0; i < n; i++ {
+		h.Offer(Item{ID: i, Score: score(i)})
+	}
+	return h.DrainDesc(dst)
 }
 
 // Merge combines two descending top-k lists into one descending list

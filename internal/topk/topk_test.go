@@ -129,6 +129,33 @@ func TestParallelSelectEmpty(t *testing.T) {
 	}
 }
 
+// TestSelectIntoMatchesSelect: the reusable-heap variant must return
+// byte-identical lists to Select across many shapes (including heavy
+// ties), while recycling both the heap and the destination slice.
+func TestSelectIntoMatchesSelect(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, k := range []int{1, 2, 7, 16} {
+		h := NewHeap(k)
+		var dst []Item
+		for trial := 0; trial < 100; trial++ {
+			n := rng.Intn(60)
+			scores := make([]float64, n)
+			for i := range scores {
+				scores[i] = float64(rng.Intn(6)) // force ties
+			}
+			score := func(i int) float64 { return scores[i] }
+			dst = SelectInto(h, dst[:0], n, score)
+			want := Select(n, k, score)
+			if !reflect.DeepEqual(append([]Item{}, dst...), append([]Item{}, want...)) {
+				t.Fatalf("k=%d n=%d scores=%v:\n got %v\nwant %v", k, n, scores, dst, want)
+			}
+			if h.Len() != 0 {
+				t.Fatalf("heap not drained: %d items left", h.Len())
+			}
+		}
+	}
+}
+
 // TestSelectIsSorted double-checks the output contract used by the
 // threshold algorithm and merge steps.
 func TestSelectIsSorted(t *testing.T) {

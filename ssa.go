@@ -24,6 +24,24 @@
 // trigger queues) that avoids evaluating most programs on most
 // auctions.
 //
+// # Serving engine
+//
+// Beyond the one-query-at-a-time simulation, the library serves
+// query streams concurrently: Engine partitions the keyword space
+// across worker shards, each keyword owning an independent market
+// (bids, ROI accounting, click randomness), and Serve fans a stream
+// out over bounded channels while reporting throughput and latency
+// percentiles. Winner determination on the serving path is the
+// paper's reduced Hungarian algorithm running allocation-free in
+// per-worker workspaces. The engine's contract is sequential
+// equivalence: for every keyword, outcomes are bit-identical to a
+// sequential SimWorld over that keyword's subsequence of the stream
+// (seeded with KeywordClickSeed), so shard count and queue depth are
+// pure performance knobs — a property the engine's race-detector
+// equivalence tests pin. Batch callers of the expressive-bid
+// winner-determination API use a Determiner to reuse matrices and
+// matching workspaces across auctions.
+//
 // # Quick start
 //
 //	model := ssa.NewModel(2, 2) // 2 advertisers, 2 slots
@@ -47,6 +65,7 @@ import (
 	"math/rand"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/formula"
 	"repro/internal/kwmatch"
 	"repro/internal/probmodel"
@@ -92,6 +111,16 @@ const (
 // ErrNotOneDependent is returned when bids fall outside the tractable
 // 1-dependent fragment of Theorem 2.
 var ErrNotOneDependent = core.ErrNotOneDependent
+
+// Determiner solves winner determination repeatedly without
+// rebuilding per-call state: the Theorem 2 adjusted matrix and the
+// reduced-Hungarian workspace are reused across Determine calls. One
+// Determiner per serving goroutine.
+type Determiner = core.Determiner
+
+// NewDeterminer returns an empty Determiner; buffers grow to the
+// largest auction seen.
+func NewDeterminer() *Determiner { return core.NewDeterminer() }
 
 // Bidding-language types.
 type (
@@ -230,6 +259,31 @@ const (
 func NewSimWorld(inst *SimInstance, m SimMethod, clickSeed int64) *SimWorld {
 	return strategy.NewWorld(inst, m, clickSeed)
 }
+
+// Concurrent serving (the keyword-sharded engine).
+type (
+	// Engine is the concurrent keyword-sharded serving engine: one
+	// independent market per keyword, one worker goroutine per shard,
+	// bounded queues with backpressure, and per-keyword sequential
+	// equivalence to SimWorld as its correctness contract.
+	Engine = engine.Engine
+	// EngineConfig tunes shard count, queue depth, winner-determination
+	// method, click seed, and the keyword catalog for text routing.
+	EngineConfig = engine.Config
+	// EngineStats aggregates one Engine.Serve call: revenue, clicks,
+	// fill rate, throughput, and latency percentiles.
+	EngineStats = engine.Stats
+)
+
+// NewEngine builds a serving engine over a Section V instance.
+func NewEngine(inst *SimInstance, cfg EngineConfig) *Engine {
+	return engine.New(inst, cfg)
+}
+
+// KeywordClickSeed derives the click seed of one keyword's market
+// from an engine's base seed — the seed to give a sequential SimWorld
+// that replays a single keyword's auctions.
+func KeywordClickSeed(base int64, q int) int64 { return engine.KeywordSeed(base, q) }
 
 // GenerateInstance draws a Section V workload: n advertisers, k
 // slots, the given keyword count, click values uniform on {0,…,50},
