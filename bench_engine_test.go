@@ -16,7 +16,11 @@ package ssa
 // BenchmarkMarketSteadyStateRH isolates one shard's hot path — the
 // full auction pipeline under the reduced Hungarian method — and
 // proves it allocation-free in steady state (0 allocs/op with
-// -benchmem). Baselines live in BENCH_ENGINE.json.
+// -benchmem). BenchmarkMarketSteadyStateTALU is the same measurement
+// under the Section IV threshold-algorithm + logical-updates path,
+// also allocation-free; its per-auction work scales with winners and
+// due triggers rather than n, so it must beat RH at large n (the
+// acceptance bar recorded in BENCH_ENGINE.json).
 
 import (
 	"fmt"
@@ -36,11 +40,23 @@ func benchShardCounts() []int {
 }
 
 func BenchmarkEngineThroughput(b *testing.B) {
+	benchEngineThroughput(b, SimRH)
+}
+
+// BenchmarkEngineThroughputTALU is the shard sweep with the Section IV
+// method on the serving path: every keyword market maintains its
+// logical-update lists and trigger queues, and per-slot winners come
+// from the threshold algorithm.
+func BenchmarkEngineThroughputTALU(b *testing.B) {
+	benchEngineThroughput(b, SimRHTALU)
+}
+
+func benchEngineThroughput(b *testing.B, method SimMethod) {
 	const n, warmup = 1000, 2000
 	inst := GenerateInstance(42, n, DefaultSlots, DefaultKeywords)
 	for _, shards := range benchShardCounts() {
 		b.Run(fmt.Sprintf("n=%d/workers=%d", n, shards), func(b *testing.B) {
-			e := NewEngine(inst, EngineConfig{Shards: shards, Method: SimRH, ClickSeed: 7})
+			e := NewEngine(inst, EngineConfig{Shards: shards, Method: method, ClickSeed: 7})
 			e.Serve(QueryStream(inst, 9, warmup))
 			queries := QueryStream(inst, 11, b.N)
 			b.ReportAllocs()
@@ -58,10 +74,25 @@ func BenchmarkEngineThroughput(b *testing.B) {
 // hot path (winner determination + GSP pricing + accounting). The
 // allocs/op column is the guarantee TestMarketSteadyStateAllocs pins.
 func BenchmarkMarketSteadyStateRH(b *testing.B) {
+	benchMarketSteadyState(b, SimRH)
+}
+
+// BenchmarkMarketSteadyStateTALU measures one sequential market's
+// steady-state auction under MethodRHTALU: trigger firings, O(1)
+// logical updates, per-slot threshold algorithm, workspace winner
+// determination, GSP pricing, and the winners' recomputes — zero
+// allocations (TestTALUSteadyStateAllocs), and per-auction time that
+// grows with winners and due triggers rather than n, which is why its
+// large-n rows must undercut BenchmarkMarketSteadyStateRH.
+func BenchmarkMarketSteadyStateTALU(b *testing.B) {
+	benchMarketSteadyState(b, SimRHTALU)
+}
+
+func benchMarketSteadyState(b *testing.B, method SimMethod) {
 	for _, n := range []int{500, 1000, 5000} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			inst := GenerateInstance(42, n, DefaultSlots, DefaultKeywords)
-			w := NewSimWorld(inst, SimRH, 7)
+			w := NewSimWorld(inst, method, 7)
 			const warmup = 2000
 			queries := QueryStream(inst, 9, warmup+b.N)
 			for _, q := range queries[:warmup] {

@@ -9,12 +9,18 @@
 // keyword-sharded serving engine: queries are fanned out across
 // -shards worker goroutines over bounded queues, and every report
 // window prints end-to-end throughput plus p50/p99 per-auction
-// service latency.
+// service latency. The -method flag selects the winner-determination
+// pipeline in both modes — rh (reduced Hungarian, explicit program
+// evaluation), rh-talu (the Section IV threshold algorithm + logical
+// updates, the allocation-free fast path), h (full Hungarian), or lp
+// (assignment LP) — so the load generator can drive and compare every
+// engine method. Method names are case-insensitive; RHTALU and
+// rh-talu are synonyms.
 //
 // Usage:
 //
-//	auctionsim -n 2000 -auctions 5000 -method RHTALU -report 1000
-//	auctionsim -engine -shards 8 -queue 256 -n 2000 -auctions 200000
+//	auctionsim -n 2000 -auctions 5000 -method rh-talu -report 1000
+//	auctionsim -engine -method rh-talu -shards 8 -queue 256 -n 2000 -auctions 200000
 package main
 
 import (
@@ -38,7 +44,7 @@ func main() {
 		slots    = flag.Int("slots", workload.DefaultSlots, "number of slots (k)")
 		keywords = flag.Int("keywords", workload.DefaultKeywords, "number of keywords")
 		auctions = flag.Int("auctions", 5000, "number of auctions to run")
-		method   = flag.String("method", "RHTALU", "winner determination: LP, H, RH, RHTALU, RH-parallel")
+		method   = flag.String("method", "rh-talu", "winner determination: lp, h, rh, rh-talu (alias RHTALU), rh-parallel")
 		report   = flag.Int("report", 1000, "print a summary every this many auctions")
 		seed     = flag.Int64("seed", 1, "random seed")
 		useEng   = flag.Bool("engine", false, "serve through the concurrent sharded engine (load-generator mode)")
@@ -156,12 +162,12 @@ func parseMethod(s string) (strategy.Method, error) {
 		return strategy.MethodH, nil
 	case "RH":
 		return strategy.MethodRH, nil
-	case "RHTALU":
+	case "RHTALU", "RH-TALU", "TALU":
 		return strategy.MethodRHTALU, nil
 	case "RH-PARALLEL", "RHPARALLEL":
 		return strategy.MethodRHParallel, nil
 	}
-	return 0, fmt.Errorf("unknown method %q (want LP, H, RH, RHTALU, RH-parallel)", s)
+	return 0, fmt.Errorf("unknown method %q (want lp, h, rh, rh-talu, rh-parallel)", s)
 }
 
 // spendTotals extracts per-advertiser total spend from a sequential

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/racetest"
 	"repro/internal/workload"
 )
 
@@ -40,7 +41,7 @@ func TestEngineMatchesSequentialMarkets(t *testing.T) {
 			// subsequences are what the contract pins, not the global
 			// order.
 			shuffled := append([]int(nil), queries...)
-			rand.New(rand.NewSource(int64(100 + shards))).Shuffle(len(shuffled), func(a, b int) {
+			rand.New(rand.NewSource(int64(100+shards))).Shuffle(len(shuffled), func(a, b int) {
 				shuffled[a], shuffled[b] = shuffled[b], shuffled[a]
 			})
 			e := New(inst, Config{Shards: shards, QueueDepth: 8, Method: method, ClickSeed: clickSeed})
@@ -172,7 +173,7 @@ func TestMarketRunMatchesRunAuction(t *testing.T) {
 // at all — selection, reduced matching, pricing, click simulation, and
 // accounting all run in reused buffers.
 func TestMarketSteadyStateAllocs(t *testing.T) {
-	if raceEnabled {
+	if racetest.Enabled {
 		t.Skip("allocation accounting is perturbed under -race")
 	}
 	inst := workload.Generate(rand.New(rand.NewSource(70)), 500, 15, 10)
@@ -188,5 +189,120 @@ func TestMarketSteadyStateAllocs(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("steady-state RH auction allocates %.2f objects/op, want 0", allocs)
+	}
+}
+
+// TestTALUSteadyStateAllocs extends the zero-allocation guarantee to
+// the paper's own fast path: after warmup, a MethodRHTALU auction —
+// trigger firings, logical updates, per-slot threshold algorithm over
+// the persistent merged source, workspace winner determination,
+// pricing, clicks, accounting, and the winners' recomputes (including
+// treap membership churn, recycled through the per-keyword node
+// pools) — must not allocate at all.
+func TestTALUSteadyStateAllocs(t *testing.T) {
+	if racetest.Enabled {
+		t.Skip("allocation accounting is perturbed under -race")
+	}
+	inst := workload.Generate(rand.New(rand.NewSource(70)), 500, 15, 10)
+	queries := inst.Queries(rand.New(rand.NewSource(71)), 4096)
+	m := NewMarket(inst, MethodRHTALU, 7)
+	for _, q := range queries[:2048] {
+		m.Run(q)
+	}
+	next := 2048
+	allocs := testing.AllocsPerRun(1000, func() {
+		m.Run(queries[next%len(queries)])
+		next++
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state TALU auction allocates %.2f objects/op, want 0", allocs)
+	}
+}
+
+// stormInstance hand-builds a workload where every bidder shares the
+// same click value, target, and starting bid: all start underspending
+// with identical (smoothed) ROI, so every bidder lands in the
+// increment list of every keyword and their count triggers all carry
+// the same critical count — the maximal simultaneous trigger storm.
+func stormInstance(n, slots, keywords int) *workload.Instance {
+	inst := &workload.Instance{
+		N: n, Slots: slots, Keywords: keywords,
+		Value:      make([][]int, n),
+		Target:     make([]int, n),
+		InitialBid: make([][]int, n),
+		ClickProb:  make([][]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		inst.Value[i] = make([]int, keywords)
+		inst.InitialBid[i] = make([]int, keywords)
+		inst.ClickProb[i] = make([]float64, slots)
+		for q := 0; q < keywords; q++ {
+			inst.Value[i][q] = 10
+			inst.InitialBid[i][q] = 5
+		}
+		inst.Target[i] = 3
+		for j := 0; j < slots; j++ {
+			// Distinct per-bidder probabilities (descending in slot)
+			// keep winner determination free of mass ties.
+			inst.ClickProb[i][j] = 0.8 - 0.1*float64(j) - 0.002*float64(i)
+		}
+	}
+	return inst
+}
+
+// TestTALUTriggerStorm drives the regime where many bidders cross the
+// same critical count on the same auction — all n count triggers of a
+// keyword fire together as the drifting bids hit their caps. Outcomes
+// and final bids must stay byte-identical to the explicit engine
+// through the storm, the storm auction must charge ~n recomputes at
+// once, and total recomputes must stay far below the explicit
+// engine's n-per-auction.
+func TestTALUTriggerStorm(t *testing.T) {
+	const (
+		n        = 64
+		slots    = 3
+		keywords = 2
+		auctions = 400
+	)
+	inst := stormInstance(n, slots, keywords)
+	queries := inst.Queries(rand.New(rand.NewSource(73)), auctions)
+	ex := NewMarket(inst, MethodRH, 11)
+	ta := NewMarket(inst, MethodRHTALU, 11)
+
+	var stormBatch int64
+	prevEvals := ta.ProgramEvaluations()
+	for a, q := range queries {
+		exO := ex.Run(q)
+		taO := ta.Run(q)
+		if !taO.Equal(exO) {
+			t.Fatalf("auction %d (kw %d): TALU %+v != explicit %+v", a, q, taO, exO)
+		}
+		evals := ta.ProgramEvaluations()
+		if d := evals - prevEvals; d > stormBatch {
+			stormBatch = d
+		}
+		prevEvals = evals
+	}
+	for q := 0; q < keywords; q++ {
+		for i := 0; i < n; i++ {
+			if got, want := ta.Bid(i, q), ex.Bid(i, q); got != want {
+				t.Fatalf("bid[%d][%d]: TALU %d, explicit %d", i, q, got, want)
+			}
+		}
+	}
+
+	// The storm: with identical values and bids, (nearly) all n count
+	// triggers of a keyword share one critical count. Clicks before
+	// the storm recompute a few bidders early, so demand most of n
+	// rather than all of it.
+	if stormBatch < n/2 {
+		t.Fatalf("largest single-auction recompute batch = %d, want a storm of >= %d", stormBatch, n/2)
+	}
+	// And the point of §IV: even including the storm, total recomputes
+	// stay far below the explicit engine's n per auction.
+	total := ta.ProgramEvaluations()
+	explicit := int64(n) * int64(auctions)
+	if total*4 > explicit {
+		t.Fatalf("TALU recomputes %d vs explicit %d: §IV reduction lost", total, explicit)
 	}
 }

@@ -120,8 +120,8 @@ func (m *Market) RunAuction(q int) *Outcome {
 // Run advances the market by one auction on keyword q: program
 // evaluation, winner determination, GSP pricing, user simulation, and
 // accounting. The returned Outcome is owned by the market and valid
-// only until the next Run; under MethodRH the whole call is
-// allocation-free in steady state.
+// only until the next Run; under MethodRH and MethodRHTALU the whole
+// call is allocation-free in steady state.
 func (m *Market) Run(q int) *Outcome {
 	m.t++
 	t := float64(m.t)
@@ -139,8 +139,11 @@ func (m *Market) Run(q int) *Outcome {
 	var advOf []int
 
 	if m.talu != nil {
-		lists, advOf = m.talu.prepare(q, t)
-		copy(out.AdvOf, advOf)
+		// The §IV pipeline: trigger firings, logical updates, per-slot
+		// threshold algorithm, then winner determination in the
+		// market's workspace — writing straight into the reused
+		// outcome, zero allocations in steady state.
+		lists = m.talu.prepare(q, t, m.ws, out.AdvOf)
 		advOf = out.AdvOf
 	} else {
 		m.ex.step(q, t, m.acct)

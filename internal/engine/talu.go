@@ -38,6 +38,19 @@ import (
 // sorted sources — the static click-probability list for the slot and
 // the merged (increment ∪ decrement ∪ constant) bid lists — again
 // without touching most bidders.
+//
+// Steady-state allocation discipline. Everything the per-auction path
+// touches is persistent: the per-slot SliceSources and their Get
+// closures, the one reusable MergedSource (Reset per slot instead of
+// rebuilt), the runner's heap and scratch, the per-slot candidate
+// list backing arrays, the aggregation and score closures, and the
+// trigger queues (index-based registrations, pre-grown). Group
+// membership churn recycles treap nodes through a per-keyword shared
+// pool (a bidder occupies exactly one of a keyword's three groups, so
+// the pool never grows after construction), and winner determination
+// runs in the caller's matching.Workspace. A steady-state auction
+// therefore performs zero heap allocations — the guarantee
+// TestTALUSteadyStateAllocs enforces.
 type taluEngine struct {
 	inst *workload.Instance
 	acct *Accounting
@@ -64,7 +77,25 @@ type taluEngine struct {
 
 	// wSorted[j] lists advertisers by descending click probability in
 	// slot j — the static sorted lists the threshold algorithm reads.
-	wSorted [][]topk.Item
+	// wSources[j] adapts the list (plus its invariant random-access
+	// closure) as a ta.Source, reset per auction rather than rebuilt.
+	wSorted  [][]topk.Item
+	wSources []*ta.SliceSource
+	// bidSource is the one merged increment ∪ decrement ∪ constant
+	// view, re-seeded onto the auction keyword's groups before each
+	// slot's threshold-algorithm run.
+	bidSource *logical.MergedSource
+	// srcs[j] is the invariant source pair {wSources[j], bidSource}
+	// handed to the runner for slot j.
+	srcs [][]ta.Source
+	// lists[j] is slot j's top-(k+1) candidate list, workspace-style
+	// reused backing arrays filled by TopKInto.
+	lists [][]topk.Item
+	// product aggregates (clickProb, bid) — invariant, built once.
+	product func(v []float64) float64
+	// score is the winner-determination weight clickProb·bid for the
+	// in-flight auction's keyword (read through curQ) — built once.
+	score func(i, j int) float64
 	// runner is the reusable threshold-algorithm executor.
 	runner *ta.Runner
 
@@ -93,9 +124,10 @@ func newTALUEngine(inst *workload.Instance, acct *Accounting) *taluEngine {
 	}
 	var seed uint64 = 1
 	for q := 0; q < inst.Keywords; q++ {
-		e.groups[q] = []*logical.Group{
-			logical.NewGroup(seed, inst.N), logical.NewGroup(seed+1, inst.N), logical.NewGroup(seed+2, inst.N),
-		}
+		// The three groups of a keyword share one treap-node pool:
+		// every bidder is in exactly one of them, so membership churn
+		// recycles nodes instead of allocating.
+		e.groups[q] = logical.NewGroupSet(seed, inst.N, 3)
 		seed += 3
 	}
 	for i := 0; i < inst.N; i++ {
@@ -103,8 +135,21 @@ func newTALUEngine(inst *workload.Instance, acct *Accounting) *taluEngine {
 		e.genKw[i] = make([]int, inst.Keywords)
 	}
 
-	// Static per-slot click-probability lists.
+	// Pre-grow the trigger queues: a keyword queue holds at most one
+	// fresh registration per bidder plus stale leftovers; the time
+	// queue likewise. 2n bounds the pending depth in practice, keeping
+	// Add off the allocator during serving.
+	e.timeTr.Grow(2*inst.N + 64)
+	for q := range e.kwTr {
+		e.kwTr[q].Grow(2*inst.N + 64)
+	}
+
+	// Static per-slot click-probability lists and their sources.
 	e.wSorted = make([][]topk.Item, inst.Slots)
+	e.wSources = make([]*ta.SliceSource, inst.Slots)
+	e.bidSource = &logical.MergedSource{}
+	e.srcs = make([][]ta.Source, inst.Slots)
+	e.lists = make([][]topk.Item, inst.Slots)
 	for j := 0; j < inst.Slots; j++ {
 		items := make([]topk.Item, inst.N)
 		for i := 0; i < inst.N; i++ {
@@ -117,6 +162,17 @@ func newTALUEngine(inst *workload.Instance, acct *Accounting) *taluEngine {
 			return items[a].ID < items[b].ID
 		})
 		e.wSorted[j] = items
+		j := j
+		e.wSources[j] = &ta.SliceSource{
+			Items: items,
+			Get:   func(id int) float64 { return inst.ClickProb[id][j] },
+		}
+		e.srcs[j] = []ta.Source{e.wSources[j], e.bidSource}
+		e.lists[j] = make([]topk.Item, 0, inst.Slots+1)
+	}
+	e.product = func(v []float64) float64 { return v[0] * v[1] }
+	e.score = func(i, j int) float64 {
+		return e.inst.ClickProb[i][j] * float64(e.bid(i, e.curQ))
 	}
 
 	// Initial placement: zero spend against a positive target means
@@ -144,6 +200,15 @@ func (e *taluEngine) bid(i, q int) int {
 	return int(math.Round(eff))
 }
 
+// FireTrigger implements logical.Handler: a due registration —
+// whether from the time queue or a keyword count queue — re-derives
+// the bidder's state against the in-flight auction's keyword. The
+// handler indirection replaces the closure the queues used to
+// capture per registration.
+func (e *taluEngine) FireTrigger(bidder, _ int) {
+	e.recompute(bidder, e.curQ)
+}
+
 // registerCountTrigger schedules the recompute for the auction count
 // at which (i, q)'s drifting bid hits its bound. preAdjust reports
 // whether the current auction's adjustment for keyword q has not yet
@@ -164,9 +229,7 @@ func (e *taluEngine) registerCountTrigger(i, q, mode, bid int, preAdjust bool) {
 		offset = 0
 	}
 	critical := float64(e.count[q] + remaining + offset)
-	e.kwTr[q].Add(critical, &e.genKw[i][q], func() {
-		e.recompute(i, e.curQ)
-	})
+	e.kwTr[q].Add(critical, &e.genKw[i][q], i, q)
 }
 
 // recompute re-derives bidder i's group memberships and triggers from
@@ -202,54 +265,44 @@ func (e *taluEngine) recompute(i int, preAdjustKw int) {
 		// Overspending: a loser's rate S/t falls to the target exactly
 		// at t* = S/target; recompute then.
 		tstar := e.acct.SpentTotal[i] / float64(e.inst.Target[i])
-		e.timeTr.Add(tstar, &e.genTime[i], func() {
-			e.recompute(i, e.curQ)
-		})
+		e.timeTr.Add(tstar, &e.genTime[i], i, -1)
 	case 0:
 		// Exactly on target now; strictly under at the next tick.
-		e.timeTr.Add(e.t+1, &e.genTime[i], func() {
-			e.recompute(i, e.curQ)
-		})
+		e.timeTr.Add(e.t+1, &e.genTime[i], i, -1)
 	}
 }
 
-// prepare advances the engine for one auction on keyword q at time t
-// and returns the per-slot top-(k+1) candidate lists plus the optimal
-// slot assignment.
-func (e *taluEngine) prepare(q int, t float64) ([][]topk.Item, []int) {
+// prepare advances the engine for one auction on keyword q at time t,
+// fills advOf (len = slots) with the optimal slot assignment computed
+// in ws, and returns the per-slot top-(k+1) candidate lists. The
+// lists are owned by the engine and valid until the next prepare.
+func (e *taluEngine) prepare(q int, t float64, ws *matching.Workspace, advOf []int) [][]topk.Item {
 	e.t = t
 	e.curQ = q
 	e.count[q]++
 
 	// Fire due triggers: these recomputes see the pre-update state of
 	// this auction, exactly as the explicit engine would.
-	e.timeTr.Advance(t)
-	e.kwTr[q].Advance(float64(e.count[q]))
+	e.timeTr.Advance(t, e)
+	e.kwTr[q].Advance(float64(e.count[q]), e)
 
 	// Logical updates: every incrementing bidder +1, every
 	// decrementing bidder −1, in O(1) each.
 	e.groups[q][modeInc].Adjust(1)
 	e.groups[q][modeDec].Adjust(-1)
 
-	// Threshold algorithm per slot.
+	// Threshold algorithm per slot: the static click-probability
+	// source rewinds, the merged bid source re-seeds onto this
+	// keyword's groups, and the runner fills the slot's reused list.
 	k := e.inst.Slots
-	lists := make([][]topk.Item, k)
-	product := func(v []float64) float64 { return v[0] * v[1] }
 	for j := 0; j < k; j++ {
-		j := j
-		wSource := &ta.SliceSource{
-			Items: e.wSorted[j],
-			Get:   func(id int) float64 { return e.inst.ClickProb[id][j] },
-		}
-		bidSource := logical.NewMergedSource(e.groups[q][0], e.groups[q][1], e.groups[q][2])
-		lists[j], _ = e.runner.TopK(k+1, []ta.Source{wSource, bidSource}, product)
+		e.wSources[j].Reset()
+		e.bidSource.Reset(e.groups[q])
+		e.lists[j], _ = e.runner.TopKInto(k+1, e.srcs[j], e.product, e.lists[j][:0])
 	}
 
-	score := func(i, j int) float64 {
-		return e.inst.ClickProb[i][j] * float64(e.bid(i, q))
-	}
-	advOf, _ := matching.AssignCandidates(score, lists)
-	return lists, advOf
+	ws.AssignCandidatesInto(e.score, e.lists, advOf)
+	return e.lists
 }
 
 // afterAuction applies the winners' state changes: every advertiser

@@ -10,8 +10,6 @@
 package logical
 
 import (
-	"container/heap"
-
 	"repro/internal/oslist"
 	"repro/internal/topk"
 )
@@ -41,6 +39,27 @@ func NewGroup(seed uint64, universe int) *Group {
 		stored:  make([]float64, universe),
 		present: make([]bool, universe),
 	}
+}
+
+// NewGroupSet returns count groups over a common universe whose
+// sorted lists share one treap-node pool: a member migrating from one
+// group of the set to another reuses the node its removal freed.
+// Because the Section IV partition keeps every bidder in exactly one
+// of a keyword's groups, the set's total membership is constant and
+// membership churn allocates nothing once the lists are built. Group
+// g of the set uses treap seed seed+g, matching count separate
+// NewGroup calls with consecutive seeds.
+func NewGroupSet(seed uint64, universe, count int) []*Group {
+	pool := &oslist.Pool{}
+	gs := make([]*Group, count)
+	for g := range gs {
+		gs[g] = &Group{
+			list:    oslist.NewWithPool(seed+uint64(g), pool),
+			stored:  make([]float64, universe),
+			present: make([]bool, universe),
+		}
+	}
+	return gs
 }
 
 // Adjust applies a logical update: every member's effective value
@@ -91,13 +110,23 @@ func (g *Group) Len() int { return g.size }
 
 // Cursor iterates the group's members in descending effective order.
 func (g *Group) Cursor() *GroupCursor {
-	return &GroupCursor{group: g, cur: g.list.NewCursor()}
+	c := &GroupCursor{}
+	c.Reset(g)
+	return c
 }
 
-// GroupCursor yields (id, effective value) in descending order.
+// GroupCursor yields (id, effective value) in descending order. The
+// zero value is valid to Reset.
 type GroupCursor struct {
 	group *Group
-	cur   *oslist.Cursor
+	cur   oslist.Cursor
+}
+
+// Reset repositions the cursor before the first member of g, reusing
+// the traversal stack's storage.
+func (c *GroupCursor) Reset(g *Group) {
+	c.group = g
+	c.cur.Reset(g.list)
 }
 
 // Next returns the next member, or ok=false when exhausted.
@@ -113,26 +142,50 @@ func (c *GroupCursor) Next() (id int, effective float64, ok bool) {
 // across several groups (a member belongs to exactly one group), as a
 // ta.Source: the threshold algorithm's bid list is the merge of the
 // increment, decrement, and constant lists for a keyword.
+//
+// A MergedSource is reusable: Reset re-seeds it over a (possibly
+// different) group family, recycling the per-group cursors, their
+// traversal stacks, and the merge heap, so the serving hot path runs
+// one persistent source per engine instead of building one per slot
+// per auction. The merge heap is hand-rolled rather than
+// container/heap because the interface{} boxing of heap.Push/Pop
+// allocates on every sorted access.
 type MergedSource struct {
 	groups  []*Group
-	cursors []*GroupCursor
-	merge   mergeHeap
+	cursors []GroupCursor
+	merge   []mergeItem
 }
 
 // NewMergedSource builds a merged sorted view over the groups as they
 // stand now; mutations invalidate the source. Lookup resolves through
 // whichever group currently holds the member.
 func NewMergedSource(groups ...*Group) *MergedSource {
-	s := &MergedSource{groups: groups}
-	for _, g := range groups {
-		c := g.Cursor()
+	s := &MergedSource{}
+	s.Reset(groups)
+	return s
+}
+
+// Reset re-seeds the source over groups as they stand now, reusing
+// all internal storage; mutating any group invalidates the source
+// until the next Reset. In steady state (same group count as the
+// previous use) Reset performs no heap allocations.
+func (s *MergedSource) Reset(groups []*Group) {
+	s.groups = append(s.groups[:0], groups...)
+	if cap(s.cursors) < len(groups) {
+		s.cursors = make([]GroupCursor, len(groups))
+	}
+	s.cursors = s.cursors[:len(groups)]
+	s.merge = s.merge[:0]
+	for gi, g := range groups {
+		c := &s.cursors[gi]
+		c.Reset(g)
 		if id, eff, ok := c.Next(); ok {
 			s.merge = append(s.merge, mergeItem{id: id, eff: eff, cur: c})
 		}
-		s.cursors = append(s.cursors, c)
 	}
-	heap.Init(&s.merge)
-	return s
+	for i := len(s.merge)/2 - 1; i >= 0; i-- {
+		s.down(i)
+	}
 }
 
 // Next implements ta.Source sorted access.
@@ -143,9 +196,14 @@ func (s *MergedSource) Next() (int, float64, bool) {
 	top := s.merge[0]
 	if id, eff, ok := top.cur.Next(); ok {
 		s.merge[0] = mergeItem{id: id, eff: eff, cur: top.cur}
-		heap.Fix(&s.merge, 0)
+		s.down(0)
 	} else {
-		heap.Pop(&s.merge)
+		last := len(s.merge) - 1
+		s.merge[0] = s.merge[last]
+		s.merge = s.merge[:last]
+		if last > 0 {
+			s.down(0)
+		}
 	}
 	return top.id, top.eff, true
 }
@@ -166,23 +224,33 @@ type mergeItem struct {
 	cur *GroupCursor
 }
 
-type mergeHeap []mergeItem
-
-func (h mergeHeap) Len() int { return len(h) }
-func (h mergeHeap) Less(a, b int) bool {
-	if h[a].eff != h[b].eff {
-		return h[a].eff > h[b].eff
+// mergeBefore orders the heap: higher effective value first, ties by
+// ascending ID — the threshold algorithm's sorted-access order.
+func mergeBefore(a, b mergeItem) bool {
+	if a.eff != b.eff {
+		return a.eff > b.eff
 	}
-	return h[a].id < h[b].id
+	return a.id < b.id
 }
-func (h mergeHeap) Swap(a, b int)       { h[a], h[b] = h[b], h[a] }
-func (h *mergeHeap) Push(x interface{}) { *h = append(*h, x.(mergeItem)) }
-func (h *mergeHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+
+func (s *MergedSource) down(i int) {
+	h := s.merge
+	n := len(h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < n && mergeBefore(h[l], h[best]) {
+			best = l
+		}
+		if r < n && mergeBefore(h[r], h[best]) {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		h[i], h[best] = h[best], h[i]
+		i = best
+	}
 }
 
 // TopEffective returns the k members with the highest effective

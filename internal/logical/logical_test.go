@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/racetest"
 	"repro/internal/ta"
 	"repro/internal/topk"
 )
@@ -187,13 +188,14 @@ func TestTopEffective(t *testing.T) {
 func TestTriggersFireInOrder(t *testing.T) {
 	var tr Triggers
 	var fired []int
-	tr.Add(5, nil, func() { fired = append(fired, 5) })
-	tr.Add(2, nil, func() { fired = append(fired, 2) })
-	tr.Add(8, nil, func() { fired = append(fired, 8) })
-	if n := tr.Advance(4); n != 1 || len(fired) != 1 || fired[0] != 2 {
+	h := HandlerFunc(func(a, _ int) { fired = append(fired, a) })
+	tr.Add(5, nil, 5, 0)
+	tr.Add(2, nil, 2, 0)
+	tr.Add(8, nil, 8, 0)
+	if n := tr.Advance(4, h); n != 1 || len(fired) != 1 || fired[0] != 2 {
 		t.Fatalf("Advance(4): n=%d fired=%v", n, fired)
 	}
-	if n := tr.Advance(10); n != 2 {
+	if n := tr.Advance(10, h); n != 2 {
 		t.Fatalf("Advance(10): n=%d", n)
 	}
 	if fired[1] != 5 || fired[2] != 8 {
@@ -201,18 +203,32 @@ func TestTriggersFireInOrder(t *testing.T) {
 	}
 }
 
+func TestTriggersPayload(t *testing.T) {
+	var tr Triggers
+	type pair struct{ a, b int }
+	var fired []pair
+	tr.Add(1, nil, 7, 3)
+	tr.Add(2, nil, 9, -1)
+	tr.Advance(5, HandlerFunc(func(a, b int) { fired = append(fired, pair{a, b}) }))
+	want := []pair{{7, 3}, {9, -1}}
+	if len(fired) != 2 || fired[0] != want[0] || fired[1] != want[1] {
+		t.Fatalf("payloads %v, want %v", fired, want)
+	}
+}
+
 func TestTriggersStaleGeneration(t *testing.T) {
 	var tr Triggers
 	gen := 0
 	fired := 0
-	tr.Add(1, &gen, func() { fired++ })
-	tr.Add(2, &gen, func() { fired++ })
+	h := HandlerFunc(func(_, _ int) { fired++ })
+	tr.Add(1, &gen, 0, 0)
+	tr.Add(2, &gen, 0, 0)
 	gen++ // both triggers now stale
-	if n := tr.Advance(10); n != 0 || fired != 0 {
+	if n := tr.Advance(10, h); n != 0 || fired != 0 {
 		t.Fatalf("stale triggers fired: n=%d fired=%d", n, fired)
 	}
-	tr.Add(3, &gen, func() { fired++ })
-	if n := tr.Advance(10); n != 1 || fired != 1 {
+	tr.Add(3, &gen, 0, 0)
+	if n := tr.Advance(10, h); n != 1 || fired != 1 {
 		t.Fatalf("fresh trigger should fire: n=%d fired=%d", n, fired)
 	}
 }
@@ -221,15 +237,19 @@ func TestTriggersCascade(t *testing.T) {
 	// A firing trigger registers another due trigger; it must fire in
 	// the same Advance.
 	var tr Triggers
-	var fired []string
-	tr.Add(1, nil, func() {
-		fired = append(fired, "first")
-		tr.Add(2, nil, func() { fired = append(fired, "second") })
-	})
-	if n := tr.Advance(5); n != 2 {
+	var fired []int
+	var h HandlerFunc
+	h = func(a, _ int) {
+		fired = append(fired, a)
+		if a == 1 {
+			tr.Add(2, nil, 2, 0)
+		}
+	}
+	tr.Add(1, nil, 1, 0)
+	if n := tr.Advance(5, h); n != 2 {
 		t.Fatalf("cascade: n=%d fired=%v", n, fired)
 	}
-	if len(fired) != 2 || fired[1] != "second" {
+	if len(fired) != 2 || fired[1] != 2 {
 		t.Fatalf("cascade order %v", fired)
 	}
 }
@@ -238,13 +258,148 @@ func TestTriggersSameCriticalKeepInsertionOrder(t *testing.T) {
 	var tr Triggers
 	var fired []int
 	for i := 0; i < 5; i++ {
-		i := i
-		tr.Add(1, nil, func() { fired = append(fired, i) })
+		tr.Add(1, nil, i, 0)
 	}
-	tr.Advance(1)
+	tr.Advance(1, HandlerFunc(func(a, _ int) { fired = append(fired, a) }))
 	for i := range fired {
 		if fired[i] != i {
 			t.Fatalf("same-critical firing order %v", fired)
 		}
+	}
+}
+
+// TestTriggersCompaction: stale registrations are swept when the
+// queue would otherwise grow, so abandoned far-future triggers cannot
+// inflate it for the life of the run — and live registrations survive
+// the sweep.
+func TestTriggersCompaction(t *testing.T) {
+	var tr Triggers
+	gen := 0
+	for i := 0; i < 10000; i++ {
+		tr.Add(float64(1000000+i), &gen, i, 0)
+		gen++ // the registration just made is now stale
+	}
+	if tr.Len() > 64 {
+		t.Fatalf("stale registrations not swept: Len = %d", tr.Len())
+	}
+	liveGen := 0
+	tr.Add(5, &liveGen, 42, 7)
+	for i := 0; i < 100; i++ {
+		tr.Add(float64(2000000+i), &gen, i, 0)
+		gen++
+	}
+	var fired [][2]int
+	tr.Advance(10, HandlerFunc(func(a, b int) { fired = append(fired, [2]int{a, b}) }))
+	if len(fired) != 1 || fired[0] != [2]int{42, 7} {
+		t.Fatalf("live registration lost across compaction: fired %v", fired)
+	}
+}
+
+// TestTriggersSteadyStateAllocs: with pre-grown capacity, a
+// register/advance cycle allocates nothing — the property the §IV
+// serving path relies on (registrations are index-based, the heap is
+// hand-rolled, and firing goes through a Handler, so no closures and
+// no interface boxing).
+func TestTriggersSteadyStateAllocs(t *testing.T) {
+	if racetest.Enabled {
+		t.Skip("allocation accounting is perturbed under -race")
+	}
+	var tr Triggers
+	tr.Grow(64)
+	gen := 0
+	fired := 0
+	var h Handler = HandlerFunc(func(_, _ int) { fired++ })
+	clock := 0.0
+	allocs := testing.AllocsPerRun(500, func() {
+		for i := 0; i < 8; i++ {
+			tr.Add(clock+float64(i%3), &gen, i, 0)
+		}
+		clock += 3
+		tr.Advance(clock, h)
+	})
+	if allocs != 0 {
+		t.Fatalf("trigger cycle allocates %.2f objects/op, want 0", allocs)
+	}
+	if fired == 0 {
+		t.Fatal("no triggers fired")
+	}
+}
+
+// TestMergedSourceReset: one MergedSource re-seeded across mutations
+// and across different group families must behave exactly like a
+// freshly built source each time.
+func TestMergedSourceReset(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	const n = 120
+	gsA := NewGroupSet(1, n, 3)
+	gsB := NewGroupSet(4, n, 3)
+	for i := 0; i < n; i++ {
+		gsA[rng.Intn(3)].Insert(i, float64(rng.Intn(40)))
+		gsB[rng.Intn(3)].Insert(i, float64(rng.Intn(40)))
+	}
+	var reused MergedSource
+	drain := func(s *MergedSource) []topk.Item {
+		var out []topk.Item
+		for {
+			id, eff, ok := s.Next()
+			if !ok {
+				return out
+			}
+			out = append(out, topk.Item{ID: id, Score: eff})
+		}
+	}
+	for round := 0; round < 6; round++ {
+		gs := gsA
+		if round%2 == 1 {
+			gs = gsB
+		}
+		// Mutate between rounds: adjustments and a membership move.
+		gs[0].Adjust(1)
+		id := rng.Intn(n)
+		for _, g := range gs {
+			if eff, ok := g.Remove(id); ok {
+				gs[rng.Intn(3)].Insert(id, eff)
+				break
+			}
+		}
+		reused.Reset(gs)
+		got := drain(&reused)
+		want := drain(NewMergedSource(gs[0], gs[1], gs[2]))
+		if len(got) != len(want) {
+			t.Fatalf("round %d: %d entries, want %d", round, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("round %d entry %d: reused %+v, fresh %+v", round, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestGroupSetRecyclesNodes: membership churn within a group set must
+// not allocate once every list has been built — the pool guarantee
+// the TALU engine's zero-allocation contract rests on.
+func TestGroupSetRecyclesNodes(t *testing.T) {
+	if racetest.Enabled {
+		t.Skip("allocation accounting is perturbed under -race")
+	}
+	const n = 64
+	gs := NewGroupSet(9, n, 3)
+	for i := 0; i < n; i++ {
+		gs[i%3].Insert(i, float64(i))
+	}
+	next := 0
+	allocs := testing.AllocsPerRun(500, func() {
+		id := next % n
+		next++
+		for gi, g := range gs {
+			if eff, ok := g.Remove(id); ok {
+				gs[(gi+1)%3].Insert(id, eff)
+				break
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("group-set churn allocates %.2f objects/op, want 0", allocs)
 	}
 }

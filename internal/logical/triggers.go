@@ -1,56 +1,104 @@
 package logical
 
-import "container/heap"
-
-// Triggers is a priority queue of callbacks keyed on critical values
-// of one shared monotonic variable (time, or the number of auctions a
-// keyword has appeared in — Section IV-B). Advancing the variable
-// fires, in order, every trigger whose critical value has been
-// reached.
+// Triggers is a priority queue of registrations keyed on critical
+// values of one shared monotonic variable (time, or the number of
+// auctions a keyword has appeared in — Section IV-B). Advancing the
+// variable fires, in order, every registration whose critical value
+// has been reached.
+//
+// A registration is index-based: it carries two caller-defined ints
+// (for the serving engine, a bidder and the keyword that scheduled
+// the trigger) which Advance hands to a Handler. The engine resolves
+// the indices back to the recompute it wants; nothing is captured, so
+// registering a trigger allocates nothing beyond amortized growth of
+// the queue itself — the closure-per-registration cost the §IV hot
+// path cannot afford. The heap is hand-rolled rather than
+// container/heap for the same reason: interface{} boxing in
+// heap.Push/Pop allocates per operation.
 //
 // Triggers carry a generation tag so that stale registrations — for a
 // program whose state was since recomputed, e.g. because it won an
 // auction — can be skipped cheaply instead of searched for and
 // removed.
 type Triggers struct {
-	pq triggerHeap
+	items   []trigger
+	nextSeq int
 }
 
-// Trigger is one registered callback.
+// Handler receives fired triggers: Advance calls FireTrigger with the
+// two payload ints given at registration, for each due, non-stale
+// registration.
+type Handler interface {
+	FireTrigger(a, b int)
+}
+
+// HandlerFunc adapts a plain function to the Handler interface.
+type HandlerFunc func(a, b int)
+
+// FireTrigger implements Handler.
+func (f HandlerFunc) FireTrigger(a, b int) { f(a, b) }
+
+// trigger is one registration.
 type trigger struct {
 	critical float64
-	seq      int // insertion order; makes firing order deterministic
-	fn       func()
+	seq      int  // insertion order; makes firing order deterministic
+	a, b     int  // caller payload (bidder, keyword in the engine)
 	gen      *int // pointer to the owner's generation counter
 	genAt    int  // generation at registration; stale if it moved
 }
 
-// Add registers fn to fire once the variable reaches critical. gen,
-// if non-nil, points to a generation counter: if *gen differs from
-// its value at registration time when the trigger comes due, the
-// trigger is stale and is discarded silently.
-func (t *Triggers) Add(critical float64, gen *int, fn func()) {
-	item := trigger{critical: critical, seq: t.pq.nextSeq, fn: fn, gen: gen}
-	t.pq.nextSeq++
+// Add registers payload (a, b) to fire once the variable reaches
+// critical. gen, if non-nil, points to a generation counter: if *gen
+// differs from its value at registration time when the trigger comes
+// due, the trigger is stale and is discarded silently.
+func (t *Triggers) Add(critical float64, gen *int, a, b int) {
+	if len(t.items) == cap(t.items) && cap(t.items) > 0 {
+		// About to grow: sweep stale registrations first. Stale
+		// triggers never fire, so dropping them changes nothing except
+		// bounding the queue to ~2× its live registrations — without
+		// the sweep, far-future stale entries (a recomputed bidder's
+		// abandoned t* crossings) accumulate for the whole run.
+		t.compact()
+	}
+	item := trigger{critical: critical, seq: t.nextSeq, a: a, b: b, gen: gen}
+	t.nextSeq++
 	if gen != nil {
 		item.genAt = *gen
 	}
-	heap.Push(&t.pq, item)
+	t.items = append(t.items, item)
+	t.up(len(t.items) - 1)
+}
+
+// compact drops stale registrations in place and restores the heap
+// property. Firing order of the survivors is untouched (it depends
+// only on critical and seq).
+func (t *Triggers) compact() {
+	live := t.items[:0]
+	for _, item := range t.items {
+		if item.gen != nil && *item.gen != item.genAt {
+			continue
+		}
+		live = append(live, item)
+	}
+	t.items = live
+	for i := len(live)/2 - 1; i >= 0; i-- {
+		t.down(i)
+	}
 }
 
 // Advance moves the shared variable to value, firing all due
-// triggers in (critical, insertion) order. It returns the number of
-// callbacks actually invoked (stale triggers are dropped without
-// counting). Callbacks may register new triggers; new registrations
-// at or below value fire within the same Advance call.
-func (t *Triggers) Advance(value float64) int {
+// triggers in (critical, insertion) order through h. It returns the
+// number of registrations actually fired (stale triggers are dropped
+// without counting). Fired handlers may register new triggers; new
+// registrations at or below value fire within the same Advance call.
+func (t *Triggers) Advance(value float64, h Handler) int {
 	fired := 0
-	for len(t.pq.items) > 0 && t.pq.items[0].critical <= value {
-		item := heap.Pop(&t.pq).(trigger)
+	for len(t.items) > 0 && t.items[0].critical <= value {
+		item := t.popMin()
 		if item.gen != nil && *item.gen != item.genAt {
 			continue // stale
 		}
-		item.fn()
+		h.FireTrigger(item.a, item.b)
 		fired++
 	}
 	return fired
@@ -58,28 +106,68 @@ func (t *Triggers) Advance(value float64) int {
 
 // Len returns the number of pending registrations, including stale
 // ones not yet discarded.
-func (t *Triggers) Len() int { return len(t.pq.items) }
+func (t *Triggers) Len() int { return len(t.items) }
 
-type triggerHeap struct {
-	items   []trigger
-	nextSeq int
-}
-
-func (h triggerHeap) Len() int { return len(h.items) }
-func (h triggerHeap) Less(a, b int) bool {
-	if h.items[a].critical != h.items[b].critical {
-		return h.items[a].critical < h.items[b].critical
+// Grow pre-reserves capacity for at least n pending registrations, so
+// a caller that can bound its queue depth keeps Add allocation-free
+// from the start instead of paying amortized growth during serving.
+func (t *Triggers) Grow(n int) {
+	if cap(t.items) < n {
+		items := make([]trigger, len(t.items), n)
+		copy(items, t.items)
+		t.items = items
 	}
-	return h.items[a].seq < h.items[b].seq
 }
-func (h triggerHeap) Swap(a, b int) { h.items[a], h.items[b] = h.items[b], h.items[a] }
-func (h *triggerHeap) Push(x interface{}) {
-	h.items = append(h.items, x.(trigger))
+
+// before orders registrations: lower critical first, ties by
+// insertion order.
+func before(a, b trigger) bool {
+	if a.critical != b.critical {
+		return a.critical < b.critical
+	}
+	return a.seq < b.seq
 }
-func (h *triggerHeap) Pop() interface{} {
-	old := h.items
-	n := len(old)
-	it := old[n-1]
-	h.items = old[:n-1]
-	return it
+
+func (t *Triggers) up(i int) {
+	h := t.items
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !before(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (t *Triggers) down(i int) {
+	h := t.items
+	n := len(h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		least := i
+		if l < n && before(h[l], h[least]) {
+			least = l
+		}
+		if r < n && before(h[r], h[least]) {
+			least = r
+		}
+		if least == i {
+			return
+		}
+		h[i], h[least] = h[least], h[i]
+		i = least
+	}
+}
+
+// popMin removes and returns the least registration under before.
+func (t *Triggers) popMin() trigger {
+	min := t.items[0]
+	last := len(t.items) - 1
+	t.items[0] = t.items[last]
+	t.items = t.items[:last]
+	if last > 0 {
+		t.down(0)
+	}
+	return min
 }

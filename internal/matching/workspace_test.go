@@ -5,6 +5,7 @@ import (
 	"reflect"
 	"testing"
 
+	"repro/internal/racetest"
 	"repro/internal/topk"
 )
 
@@ -69,7 +70,7 @@ func TestWorkspaceAssignCandidatesInto(t *testing.T) {
 // solves of same-shaped problems must not allocate. This is the
 // micro-level guarantee behind the engine's allocation-free RH path.
 func TestWorkspaceSteadyStateAllocs(t *testing.T) {
-	if raceEnabled {
+	if racetest.Enabled {
 		t.Skip("allocation accounting is perturbed under -race")
 	}
 	const n, k = 500, 15

@@ -48,12 +48,32 @@ func (n *node) recalc() { n.size = 1 + size(n.left) + size(n.right) }
 type List struct {
 	root *node
 	rng  uint64
+	pool *Pool
+}
+
+// Pool recycles treap nodes across the lists that share it: Delete
+// returns the removed node to the pool and Insert draws from it
+// before touching the allocator. A family of lists whose total
+// membership is fixed — such as the increment/decrement/constant
+// groups of one keyword, among which every bidder occupies exactly
+// one slot — therefore stops allocating entirely once each list has
+// been populated. A Pool is not safe for concurrent use; share it
+// only among lists owned by the same goroutine.
+type Pool struct {
+	free *node // freed nodes chained through their left pointers
 }
 
 // New returns an empty list. seed perturbs treap priorities; any
 // value (including 0) is fine.
 func New(seed uint64) *List {
 	return &List{rng: seed*2862933555777941757 + 3037000493}
+}
+
+// NewWithPool is New with a shared node pool. pool must not be nil.
+func NewWithPool(seed uint64, pool *Pool) *List {
+	l := New(seed)
+	l.pool = pool
+	return l
 }
 
 // nextPriority is xorshift64*, deterministic per list.
@@ -109,33 +129,50 @@ func merge(a, b *node) *node {
 // one (same ID and score) creates a duplicate; callers maintaining a
 // set must Delete first.
 func (l *List) Insert(e Entry) {
-	nn := &node{entry: e, priority: l.nextPriority(), size: 1}
+	var nn *node
+	if l.pool != nil && l.pool.free != nil {
+		nn = l.pool.free
+		l.pool.free = nn.left
+		*nn = node{entry: e, priority: l.nextPriority(), size: 1}
+	} else {
+		nn = &node{entry: e, priority: l.nextPriority(), size: 1}
+	}
 	a, b := split(l.root, e)
 	l.root = merge(merge(a, nn), b)
 }
 
+// deleteNode removes one node whose entry equals e from t, returning
+// the new subtree root and the removed node (nil if absent). It is a
+// plain function — not a self-referential closure — so Delete stays
+// off the heap.
+func deleteNode(t *node, e Entry) (root, removed *node) {
+	if t == nil {
+		return nil, nil
+	}
+	if t.entry == e {
+		return merge(t.left, t.right), t
+	}
+	if less(e, t.entry) {
+		t.left, removed = deleteNode(t.left, e)
+	} else {
+		t.right, removed = deleteNode(t.right, e)
+	}
+	t.recalc()
+	return t, removed
+}
+
 // Delete removes one entry equal to e, reporting whether it was found.
 func (l *List) Delete(e Entry) bool {
-	var deleted bool
-	var rec func(t *node) *node
-	rec = func(t *node) *node {
-		if t == nil {
-			return nil
-		}
-		if t.entry == e {
-			deleted = true
-			return merge(t.left, t.right)
-		}
-		if less(e, t.entry) {
-			t.left = rec(t.left)
-		} else {
-			t.right = rec(t.right)
-		}
-		t.recalc()
-		return t
+	root, removed := deleteNode(l.root, e)
+	l.root = root
+	if removed == nil {
+		return false
 	}
-	l.root = rec(l.root)
-	return deleted
+	if l.pool != nil {
+		*removed = node{left: l.pool.free}
+		l.pool.free = removed
+	}
+	return true
 }
 
 // At returns the entry at position i in iteration order (0 = highest
@@ -207,6 +244,13 @@ func (l *List) NewCursor() *Cursor {
 	c := &Cursor{stack: make([]*node, 0, 16)}
 	c.pushLeft(l.root)
 	return c
+}
+
+// Reset repositions the cursor before the first entry of l, reusing
+// the traversal stack's storage. The zero Cursor is valid to Reset.
+func (c *Cursor) Reset(l *List) {
+	c.stack = c.stack[:0]
+	c.pushLeft(l.root)
 }
 
 func (c *Cursor) pushLeft(n *node) {

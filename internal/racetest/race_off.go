@@ -1,0 +1,10 @@
+//go:build !race
+
+// Package racetest reports whether the race detector is active, so
+// allocation-accounting tests can skip themselves under
+// instrumentation instead of every package carrying its own build-tag
+// constant pair.
+package racetest
+
+// Enabled is true when the binary was built with -race.
+const Enabled = false

@@ -15,6 +15,9 @@ type Runner struct {
 	haveFrontier []bool
 	exhausted    []bool
 	vals         []float64
+
+	heap  *topk.Heap
+	heapK int
 }
 
 // NewRunner returns a Runner for object IDs in [0, n).
@@ -23,8 +26,20 @@ func NewRunner(n int) *Runner {
 }
 
 // TopK is TopK with reusable state. Semantics match the package-level
-// function exactly; results for IDs outside [0, n) are undefined.
+// function exactly; results for IDs outside [0, n) are undefined. The
+// returned slice is freshly allocated; hot paths use TopKInto.
 func (r *Runner) TopK(k int, sources []Source, f func(values []float64) float64) ([]topk.Item, Stats) {
+	return r.TopKInto(k, sources, f, nil)
+}
+
+// TopKInto is TopK appending the result to dst — callers pass
+// dst = previousResult[:0] to recycle the backing array, exactly the
+// topk.SelectInto convention. The bounded heap is owned by the runner
+// (re-created only when k changes between calls), so a steady-state
+// call with stable k and sources performs zero heap allocations.
+// Result ordering is identical to TopK: descending score, ties by
+// ascending ID.
+func (r *Runner) TopKInto(k int, sources []Source, f func(values []float64) float64, dst []topk.Item) ([]topk.Item, Stats) {
 	var stats Stats
 	m := len(sources)
 	if cap(r.vals) < m {
@@ -43,15 +58,12 @@ func (r *Runner) TopK(k int, sources []Source, f func(values []float64) float64)
 	}
 	r.gen++
 	gen := r.gen
-	heap := topk.NewHeap(k)
-
-	score := func(id int) float64 {
-		for t := 0; t < m; t++ {
-			vals[t] = sources[t].Lookup(id)
-		}
-		stats.RandomAccesses += m
-		return f(vals)
+	if r.heap == nil || r.heapK != k {
+		r.heap = topk.NewHeap(k)
+		r.heapK = k
 	}
+	heap := r.heap
+	heap.Reset()
 
 	for {
 		progressed := false
@@ -71,7 +83,13 @@ func (r *Runner) TopK(k int, sources []Source, f func(values []float64) float64)
 			if r.stamp[id] != gen {
 				r.stamp[id] = gen
 				stats.Seen++
-				heap.Offer(topk.Item{ID: id, Score: score(id)})
+				// Random access on every source (inlined — a score
+				// closure here would be a per-call allocation).
+				for u := 0; u < m; u++ {
+					vals[u] = sources[u].Lookup(id)
+				}
+				stats.RandomAccesses += m
+				heap.Offer(topk.Item{ID: id, Score: f(vals)})
 			}
 		}
 		if !progressed {
@@ -95,5 +113,5 @@ func (r *Runner) TopK(k int, sources []Source, f func(values []float64) float64)
 			break
 		}
 	}
-	return heap.Items(), stats
+	return heap.DrainDesc(dst), stats
 }
