@@ -21,6 +21,12 @@ package ssa
 // also allocation-free; its per-auction work scales with winners and
 // due triggers rather than n, so it must beat RH at large n (the
 // acceptance bar recorded in BENCH_ENGINE.json).
+//
+// BenchmarkMarketSteadyStateHeavy, …VCG, and …HeavyVCG extend the
+// same allocation-free steady-state measurement to the Section III-F
+// heavyweight path and to Vickrey pricing; all five families feed the
+// CI allocation-regression gate, which fails if any steady-state row
+// reports a nonzero allocs/op.
 
 import (
 	"fmt"
@@ -90,19 +96,65 @@ func BenchmarkMarketSteadyStateTALU(b *testing.B) {
 
 func benchMarketSteadyState(b *testing.B, method SimMethod) {
 	for _, n := range []int{500, 1000, 5000} {
-		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
-			inst := GenerateInstance(42, n, DefaultSlots, DefaultKeywords)
-			w := NewSimWorld(inst, method, 7)
-			const warmup = 2000
-			queries := QueryStream(inst, 9, warmup+b.N)
-			for _, q := range queries[:warmup] {
-				w.Run(q)
-			}
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				w.Run(queries[warmup+i])
-			}
-		})
+		benchMarketSteadyStateCfg(b, fmt.Sprintf("n=%d", n), func() *SimInstance {
+			return GenerateInstance(42, n, DefaultSlots, DefaultKeywords)
+		}, method, PricingGSP, 2000)
 	}
+}
+
+func benchMarketSteadyStateCfg(b *testing.B, name string, gen func() *SimInstance, method SimMethod, pricing SimPricing, warmup int) {
+	b.Run(name, func(b *testing.B) {
+		inst := gen()
+		w := NewSimWorldPriced(inst, method, pricing, 7)
+		queries := QueryStream(inst, 9, warmup+b.N)
+		for _, q := range queries[:warmup] {
+			w.Run(q)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			w.Run(queries[warmup+i])
+		}
+	})
+}
+
+// BenchmarkMarketSteadyStateHeavy measures the Section III-F serving
+// path: explicit bid updates, the full 2^k heavyweight pattern
+// enumeration in the market's reused HeavyDeterminer, and
+// pattern-conditional GSP pricing — zero allocations in steady state
+// (TestHeavySteadyStateAllocs). The shapes are deliberately small:
+// the enumeration is exponential in k (the paper's O(n log k + k⁵)
+// bound assumes 2^k processing units), and each pattern's lightweight
+// matching runs the full-graph solve the sequential reference path
+// uses, so per-auction cost grows superlinearly in n as well.
+func BenchmarkMarketSteadyStateHeavy(b *testing.B) {
+	for _, n := range []int{150, 400} {
+		benchMarketSteadyStateCfg(b, fmt.Sprintf("n=%d", n), func() *SimInstance {
+			return GenerateHeavyInstance(42, n, 5, DefaultKeywords, 0.2, 0.3)
+		}, SimHeavy, PricingGSP, 300)
+	}
+}
+
+// BenchmarkMarketSteadyStateVCG measures MethodRH with Vickrey
+// pricing: the main reduced solve plus one counterfactual reduced
+// solve per winner, all in reused workspaces — still zero allocations
+// in steady state (TestVCGSteadyStateAllocs). Per-auction cost is
+// roughly (winners+1)× the GSP row, the price of exact
+// opportunity-cost pricing on the serving path.
+func BenchmarkMarketSteadyStateVCG(b *testing.B) {
+	for _, n := range []int{500, 1000} {
+		benchMarketSteadyStateCfg(b, fmt.Sprintf("n=%d", n), func() *SimInstance {
+			return GenerateInstance(42, n, DefaultSlots, DefaultKeywords)
+		}, SimRH, PricingVCG, 500)
+	}
+}
+
+// BenchmarkMarketSteadyStateHeavyVCG is the engine's most expressive
+// configuration — heavyweight winner determination and Vickrey
+// pricing, one counterfactual 2^k enumeration per winner — also
+// allocation-free once warm (TestHeavyVCGSteadyStateAllocs).
+func BenchmarkMarketSteadyStateHeavyVCG(b *testing.B) {
+	benchMarketSteadyStateCfg(b, "n=150", func() *SimInstance {
+		return GenerateHeavyInstance(42, 150, 4, DefaultKeywords, 0.2, 0.3)
+	}, SimHeavy, PricingVCG, 200)
 }

@@ -12,15 +12,22 @@
 // service latency. The -method flag selects the winner-determination
 // pipeline in both modes — rh (reduced Hungarian, explicit program
 // evaluation), rh-talu (the Section IV threshold algorithm + logical
-// updates, the allocation-free fast path), h (full Hungarian), or lp
-// (assignment LP) — so the load generator can drive and compare every
-// engine method. Method names are case-insensitive; RHTALU and
-// rh-talu are synonyms.
+// updates, the allocation-free fast path), h (full Hungarian), lp
+// (assignment LP), or heavy (the Section III-F heavyweight 2^k
+// pattern enumeration; per-auction cost grows as 2^slots, so pair it
+// with a small -slots) — so the load generator can drive and compare
+// every engine method. Method names are case-insensitive; RHTALU and
+// rh-talu are synonyms. The -pricing flag selects the payment rule:
+// gsp (generalized second pricing, the default) or vcg (Vickrey
+// opportunity costs via per-winner counterfactual solves). Unknown
+// -method or -pricing values are rejected with the list of valid
+// names.
 //
 // Usage:
 //
 //	auctionsim -n 2000 -auctions 5000 -method rh-talu -report 1000
 //	auctionsim -engine -method rh-talu -shards 8 -queue 256 -n 2000 -auctions 200000
+//	auctionsim -method heavy -pricing vcg -slots 6 -n 500 -heavy-frac 0.2 -shadow 0.3
 package main
 
 import (
@@ -40,37 +47,57 @@ import (
 
 func main() {
 	var (
-		n        = flag.Int("n", 2000, "number of advertisers")
-		slots    = flag.Int("slots", workload.DefaultSlots, "number of slots (k)")
-		keywords = flag.Int("keywords", workload.DefaultKeywords, "number of keywords")
-		auctions = flag.Int("auctions", 5000, "number of auctions to run")
-		method   = flag.String("method", "rh-talu", "winner determination: lp, h, rh, rh-talu (alias RHTALU), rh-parallel")
-		report   = flag.Int("report", 1000, "print a summary every this many auctions")
-		seed     = flag.Int64("seed", 1, "random seed")
-		useEng   = flag.Bool("engine", false, "serve through the concurrent sharded engine (load-generator mode)")
-		shards   = flag.Int("shards", 0, "engine worker shards (0 = GOMAXPROCS, capped at keywords)")
-		queue    = flag.Int("queue", 0, "engine per-shard queue depth (0 = default)")
+		n         = flag.Int("n", 2000, "number of advertisers")
+		slots     = flag.Int("slots", workload.DefaultSlots, "number of slots (k)")
+		keywords  = flag.Int("keywords", workload.DefaultKeywords, "number of keywords")
+		auctions  = flag.Int("auctions", 5000, "number of auctions to run")
+		method    = flag.String("method", "rh-talu", "winner determination: lp, h, rh, rh-talu (alias RHTALU), rh-parallel, heavy")
+		pricing   = flag.String("pricing", "gsp", "payment rule: gsp, vcg")
+		heavyFrac = flag.Float64("heavy-frac", 0.2, "heavyweight advertiser fraction (method heavy)")
+		shadow    = flag.Float64("shadow", 0.3, "heavyweight click-shadowing strength (method heavy)")
+		report    = flag.Int("report", 1000, "print a summary every this many auctions")
+		seed      = flag.Int64("seed", 1, "random seed")
+		useEng    = flag.Bool("engine", false, "serve through the concurrent sharded engine (load-generator mode)")
+		shards    = flag.Int("shards", 0, "engine worker shards (0 = GOMAXPROCS, capped at keywords)")
+		queue     = flag.Int("queue", 0, "engine per-shard queue depth (0 = default)")
 	)
 	flag.Parse()
 
 	m, err := parseMethod(*method)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "auctionsim:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	pr, err := parsePricing(*pricing)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "auctionsim:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if m == strategy.MethodHeavy && *slots > 20 {
+		fmt.Fprintf(os.Stderr, "auctionsim: -method heavy enumerates 2^slots patterns and needs -slots <= 20, got %d\n", *slots)
 		os.Exit(2)
 	}
 
-	inst := workload.Generate(rand.New(rand.NewSource(*seed)), *n, *slots, *keywords)
+	rng := rand.New(rand.NewSource(*seed))
+	var inst *workload.Instance
+	if m == strategy.MethodHeavy {
+		inst = workload.GenerateHeavy(rng, *n, *slots, *keywords, *heavyFrac, *shadow)
+	} else {
+		inst = workload.Generate(rng, *n, *slots, *keywords)
+	}
 	queries := inst.Queries(rand.New(rand.NewSource(*seed+1)), *auctions)
 
 	if *useEng {
-		runEngine(inst, queries, m, *shards, *queue, *seed+2, *report)
+		runEngine(inst, queries, m, pr, *shards, *queue, *seed+2, *report)
 		return
 	}
 
-	w := strategy.NewWorld(inst, m, *seed+2)
+	w := strategy.NewWorldPriced(inst, m, pr, *seed+2)
 
-	fmt.Printf("auctionsim: n=%d k=%d keywords=%d method=%v auctions=%d\n",
-		*n, *slots, *keywords, m, *auctions)
+	fmt.Printf("auctionsim: n=%d k=%d keywords=%d method=%v pricing=%v auctions=%d\n",
+		*n, *slots, *keywords, m, pr, *auctions)
 	fmt.Println("auction\trevenue\tclicks\tfill%\tms/auction")
 
 	var (
@@ -108,15 +135,16 @@ func main() {
 // runEngine is load-generator mode: the stream is served in
 // report-sized batches through the sharded engine, each batch printing
 // throughput and per-auction latency percentiles.
-func runEngine(inst *workload.Instance, queries []int, m engine.Method, shards, queue int, clickSeed int64, report int) {
+func runEngine(inst *workload.Instance, queries []int, m engine.Method, pr engine.Pricing, shards, queue int, clickSeed int64, report int) {
 	e := engine.New(inst, engine.Config{
 		Shards:     shards,
 		QueueDepth: queue,
 		Method:     m,
+		Pricing:    pr,
 		ClickSeed:  clickSeed,
 	})
-	fmt.Printf("auctionsim: engine mode, n=%d k=%d keywords=%d method=%v auctions=%d shards=%d\n",
-		inst.N, inst.Slots, inst.Keywords, m, len(queries), e.Shards())
+	fmt.Printf("auctionsim: engine mode, n=%d k=%d keywords=%d method=%v pricing=%v auctions=%d shards=%d\n",
+		inst.N, inst.Slots, inst.Keywords, m, pr, len(queries), e.Shards())
 	fmt.Println("auction\trevenue\tclicks\tfill%\tqps\tp50µs\tp99µs")
 
 	var total engine.Stats
@@ -166,8 +194,20 @@ func parseMethod(s string) (strategy.Method, error) {
 		return strategy.MethodRHTALU, nil
 	case "RH-PARALLEL", "RHPARALLEL":
 		return strategy.MethodRHParallel, nil
+	case "HEAVY":
+		return strategy.MethodHeavy, nil
 	}
-	return 0, fmt.Errorf("unknown method %q (want lp, h, rh, rh-talu, rh-parallel)", s)
+	return 0, fmt.Errorf("unknown method %q (want lp, h, rh, rh-talu, rh-parallel, heavy)", s)
+}
+
+func parsePricing(s string) (strategy.Pricing, error) {
+	switch strings.ToUpper(s) {
+	case "GSP":
+		return strategy.PricingGSP, nil
+	case "VCG":
+		return strategy.PricingVCG, nil
+	}
+	return 0, fmt.Errorf("unknown pricing %q (want gsp, vcg)", s)
 }
 
 // spendTotals extracts per-advertiser total spend from a sequential

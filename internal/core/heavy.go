@@ -22,6 +22,32 @@ type HeavyAuction struct {
 	Model       *probmodel.HeavyModel
 }
 
+// validate checks the structural preconditions of heavyweight winner
+// determination: a bounded slot count (the enumeration is 2^k), a
+// well-formed base model covering every advertiser, and bids inside
+// the 1-dependent fragment (heavyweight predicates are allowed — they
+// condition on the class pattern, not on individuals).
+func (h *HeavyAuction) validate() error {
+	if h.Slots < 0 || h.Slots > 20 {
+		return fmt.Errorf("core: heavyweight enumeration needs 0 ≤ k ≤ 20, got %d", h.Slots)
+	}
+	if h.Model == nil || h.Model.Base == nil {
+		return fmt.Errorf("core: heavyweight auction needs a model")
+	}
+	if err := h.Model.Base.Validate(); err != nil {
+		return err
+	}
+	if got := h.Model.Base.Advertisers(); got != len(h.Advertisers) {
+		return fmt.Errorf("core: model covers %d advertisers, auction has %d", got, len(h.Advertisers))
+	}
+	for i := range h.Advertisers {
+		if m, _ := h.Advertisers[i].Bids.MaxDependence(); m > 1 {
+			return fmt.Errorf("advertiser %s: %w", h.Advertisers[i].ID, ErrNotOneDependent)
+		}
+	}
+	return nil
+}
+
 // Determine solves heavyweight winner determination by the paper's
 // 2^k enumeration: for each choice of heavyweight slots S, match
 // heavyweight advertisers to S and lightweights to the complement
@@ -35,22 +61,8 @@ type HeavyAuction struct {
 // skipped (the allocation they would produce is scored under the
 // pattern that matches its true heavyweight placement).
 func (h *HeavyAuction) Determine(parallel bool) (*Result, error) {
-	if h.Slots < 0 || h.Slots > 20 {
-		return nil, fmt.Errorf("core: heavyweight enumeration needs 0 ≤ k ≤ 20, got %d", h.Slots)
-	}
-	if h.Model == nil || h.Model.Base == nil {
-		return nil, fmt.Errorf("core: heavyweight auction needs a model")
-	}
-	if err := h.Model.Base.Validate(); err != nil {
+	if err := h.validate(); err != nil {
 		return nil, err
-	}
-	if got := h.Model.Base.Advertisers(); got != len(h.Advertisers) {
-		return nil, fmt.Errorf("core: model covers %d advertisers, auction has %d", got, len(h.Advertisers))
-	}
-	for i := range h.Advertisers {
-		if m, _ := h.Advertisers[i].Bids.MaxDependence(); m > 1 {
-			return nil, fmt.Errorf("advertiser %s: %w", h.Advertisers[i].ID, ErrNotOneDependent)
-		}
 	}
 
 	var heavyIdx, lightIdx []int

@@ -1,0 +1,269 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/formula"
+	"repro/internal/matching"
+	"repro/internal/probmodel"
+)
+
+// HeavyDeterminer solves Section III-F heavyweight winner
+// determination repeatedly without rebuilding per-call state: the
+// 2^k pattern enumeration runs over cached scratch — the
+// heavyweight/lightweight index partitions, the per-pattern baseline
+// vector, the two sub-matching weight matrices (flat backing buffers
+// with reused row headers), and a matching.Workspace for the
+// Jonker–Volgenant solves — so a serving worker can feed it auction
+// after auction with zero heap allocations in steady state. Results
+// are byte-identical to the sequential HeavyAuction.Determine path
+// (same enumeration order, same matrix construction, same tie
+// handling), which the equivalence tests pin exactly.
+//
+// Like Determiner, a HeavyDeterminer is not safe for concurrent use.
+// Structural validation is cached per (auction pointer, advertiser
+// count, slot count): callers that mutate bid *values* in place
+// between calls (the serving engine's pattern) skip revalidation, but
+// swapping in different formulas, models, or Heavy flags under the
+// same auction pointer is the caller's contract to revalidate — pass
+// a fresh auction value (or call Invalidate) when the shape changes.
+type HeavyDeterminer struct {
+	ws *matching.Workspace
+
+	heavyIdx, lightIdx     []int
+	heavySlots, lightSlots []int
+	base                   []float64
+
+	heavyFlat, lightFlat []float64
+	heavyRows, lightRows [][]float64
+
+	heavyAdvOf, lightAdvOf []int
+	curAdvOf, bestAdvOf    []int
+
+	// Validation cache: DetermineInto skips structural validation when
+	// the auction pointer and shape match the last validated call.
+	lastH *HeavyAuction
+	lastN int
+	lastK int
+
+	// VCG counterfactual state: a persistent sub-auction (advertiser,
+	// probability-row, and class slices reused across solves) and a
+	// nested determiner that owns its enumeration scratch.
+	vals        []float64
+	subAdvs     []Advertiser
+	subClick    [][]float64
+	subPurchase [][]float64
+	subIsHeavy  []bool
+	subModel    probmodel.HeavyModel
+	subBase     probmodel.Model
+	subAuction  HeavyAuction
+	subRes      Result
+	sub         *HeavyDeterminer
+}
+
+// NewHeavyDeterminer returns a determiner with empty buffers; they
+// grow to the largest auction seen and then stay allocation-free.
+func NewHeavyDeterminer() *HeavyDeterminer {
+	return &HeavyDeterminer{ws: matching.NewWorkspace()}
+}
+
+// Invalidate drops the cached structural validation, forcing the next
+// DetermineInto to revalidate. Call it after changing an auction's
+// formulas, model, or Heavy flags in place.
+func (d *HeavyDeterminer) Invalidate() { d.lastH = nil }
+
+// growF, growI, growRows resize scratch slices, reusing backing
+// arrays whenever they are large enough.
+func growF(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func growI(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+// subMatrix returns an r×c view over the flat backing buffer,
+// growing both to the largest shape seen.
+func subMatrix(flat *[]float64, rows *[][]float64, r, c int) [][]float64 {
+	if cap(*flat) < r*c {
+		*flat = make([]float64, r*c)
+	}
+	*flat = (*flat)[:r*c]
+	if cap(*rows) < r {
+		*rows = make([][]float64, r)
+	}
+	*rows = (*rows)[:r]
+	for i := 0; i < r; i++ {
+		(*rows)[i] = (*flat)[i*c : (i+1)*c]
+	}
+	return *rows
+}
+
+// Determine solves heavyweight winner determination for h, reusing
+// the determiner's scratch. The Result is freshly allocated and safe
+// to retain.
+func (d *HeavyDeterminer) Determine(h *HeavyAuction) (*Result, error) {
+	res := &Result{}
+	if err := d.DetermineInto(h, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// DetermineInto is Determine writing into a caller-owned Result whose
+// AdvOf/SlotOf slices are reused when large enough — the serving
+// engine's allocation-free entry point.
+func (d *HeavyDeterminer) DetermineInto(h *HeavyAuction, res *Result) error {
+	if h != d.lastH || len(h.Advertisers) != d.lastN || h.Slots != d.lastK {
+		if err := h.validate(); err != nil {
+			return err
+		}
+		d.lastH, d.lastN, d.lastK = h, len(h.Advertisers), h.Slots
+	}
+	n, k := len(h.Advertisers), h.Slots
+
+	d.heavyIdx, d.lightIdx = d.heavyIdx[:0], d.lightIdx[:0]
+	for i := range h.Advertisers {
+		if h.Advertisers[i].Heavy {
+			d.heavyIdx = append(d.heavyIdx, i)
+		} else {
+			d.lightIdx = append(d.lightIdx, i)
+		}
+	}
+	d.base = growF(d.base, n)
+	d.curAdvOf = growI(d.curAdvOf, k)
+	d.bestAdvOf = growI(d.bestAdvOf, k)
+
+	// Enumerate patterns in ascending order with a strict > running
+	// best — the same argmax (first pattern attaining the maximum) the
+	// sequential HeavyAuction.Determine scan selects.
+	patterns := 1 << uint(k)
+	bestRev := math.Inf(-1)
+	found := false
+	for p := 0; p < patterns; p++ {
+		ok, rev := d.solvePattern(h, uint64(p))
+		if ok && rev > bestRev {
+			bestRev = rev
+			found = true
+			copy(d.bestAdvOf, d.curAdvOf)
+		}
+	}
+	if !found {
+		return fmt.Errorf("core: no consistent heavyweight pattern (internal error)")
+	}
+
+	res.AdvOf = growI(res.AdvOf, k)
+	res.SlotOf = growI(res.SlotOf, n)
+	copy(res.AdvOf, d.bestAdvOf)
+	for i := range res.SlotOf {
+		res.SlotOf[i] = -1
+	}
+	for j, i := range res.AdvOf {
+		if i >= 0 {
+			res.SlotOf[i] = j
+		}
+	}
+	res.ExpectedRevenue = bestRev
+	res.Method = MethodHeavy2K
+	return nil
+}
+
+// solvePattern mirrors HeavyAuction.solvePattern operation for
+// operation — baseline sums, weight-matrix fill order, the shared
+// forcing constant, the two Jonker–Volgenant sub-matchings, and the
+// revenue summation order are all identical — but runs entirely in
+// the determiner's scratch. The winning allocation is left in
+// d.curAdvOf.
+func (d *HeavyDeterminer) solvePattern(h *HeavyAuction, pattern uint64) (ok bool, rev float64) {
+	k := h.Slots
+	d.heavySlots, d.lightSlots = d.heavySlots[:0], d.lightSlots[:0]
+	for j := 0; j < k; j++ {
+		if pattern&(1<<uint(j)) != 0 {
+			d.heavySlots = append(d.heavySlots, j)
+		} else {
+			d.lightSlots = append(d.lightSlots, j)
+		}
+	}
+	if len(d.heavySlots) > len(d.heavyIdx) {
+		return false, 0 // cannot fill every heavyweight slot
+	}
+
+	baseOutcome := formula.Outcome{HeavySlots: pattern}
+	var baseline float64
+	base := d.base
+	for i := range h.Advertisers {
+		base[i] = h.Advertisers[i].Bids.Payment(baseOutcome)
+		baseline += base[i]
+	}
+
+	// The sub-matrices are filled in the exact order buildSub visits
+	// them (heavy rows first, then light), with the forcing constant's
+	// maxAbs accumulated over both — only then is forcing added to the
+	// heavy side, as in the sequential path.
+	var maxAbs float64
+	hw := subMatrix(&d.heavyFlat, &d.heavyRows, len(d.heavyIdx), len(d.heavySlots))
+	for a, i := range d.heavyIdx {
+		for s, j := range d.heavySlots {
+			w := h.expectedPaymentPattern(i, j, pattern) - base[i]
+			if abs := math.Abs(w); abs > maxAbs {
+				maxAbs = abs
+			}
+			hw[a][s] = w
+		}
+	}
+	lw := subMatrix(&d.lightFlat, &d.lightRows, len(d.lightIdx), len(d.lightSlots))
+	for a, i := range d.lightIdx {
+		for s, j := range d.lightSlots {
+			w := h.expectedPaymentPattern(i, j, pattern) - base[i]
+			if abs := math.Abs(w); abs > maxAbs {
+				maxAbs = abs
+			}
+			lw[a][s] = w
+		}
+	}
+	forcing := (maxAbs + 1) * float64(len(h.Advertisers)+k+1)
+	for _, row := range hw {
+		for s := range row {
+			row[s] += forcing
+		}
+	}
+
+	d.heavyAdvOf = growI(d.heavyAdvOf, len(d.heavySlots))
+	d.ws.MaxWeightInto(len(d.heavyIdx), len(d.heavySlots),
+		func(a, s int) float64 { return hw[a][s] }, d.heavyAdvOf)
+	for _, a := range d.heavyAdvOf {
+		if a < 0 {
+			return false, 0 // a heavyweight slot stayed empty: inconsistent pattern
+		}
+	}
+	d.lightAdvOf = growI(d.lightAdvOf, len(d.lightSlots))
+	d.ws.MaxWeightInto(len(d.lightIdx), len(d.lightSlots),
+		func(a, s int) float64 { return lw[a][s] }, d.lightAdvOf)
+
+	advOf := d.curAdvOf
+	for j := range advOf {
+		advOf[j] = -1
+	}
+	rev = baseline
+	for sj, ri := range d.heavyAdvOf {
+		i, j := d.heavyIdx[ri], d.heavySlots[sj]
+		advOf[j] = i
+		rev += h.expectedPaymentPattern(i, j, pattern) - base[i]
+	}
+	for sj, ri := range d.lightAdvOf {
+		if ri < 0 {
+			continue
+		}
+		i, j := d.lightIdx[ri], d.lightSlots[sj]
+		advOf[j] = i
+		rev += h.expectedPaymentPattern(i, j, pattern) - base[i]
+	}
+	return true, rev
+}

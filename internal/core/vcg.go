@@ -109,3 +109,133 @@ func (a *Auction) VCGPayments(res *Result, method Method) ([]float64, error) {
 	}
 	return payments, nil
 }
+
+// VCGPayments computes Vickrey payments for a heavyweight allocation
+// res (an optimal allocation produced by Determine). Winner i pays
+// the drop his presence causes in everyone else's realized value,
+//
+//	p_i = OPT(without i) − (V(S*) − v_i(S*))
+//
+// where V(S*) is the total expected payment of allocation res over
+// all advertisers — placed or not, conditional on res's heavyweight
+// pattern — v_i(S*) its i-th term, and OPT(without i) re-solves the
+// full 2^k enumeration on the auction with advertiser i removed
+// (slots and the pattern-factor table are unchanged; only the row is
+// deleted, so a heavyweight's removal frees its pattern constraints
+// exactly as the formula requires). Losers pay zero. Unlike the flat
+// Auction.VCGPayments, bids may reference the heavyweight pattern:
+// Heavy_j is a class-level predicate, so attributing each bid to its
+// own bidder remains sound.
+//
+// One counterfactual determination runs per winner; batch callers
+// should hold a HeavyDeterminer and use its VCGPaymentsInto, which
+// reuses the enumeration scratch across the n+1 solves instead of
+// re-running cold auctions.
+func (h *HeavyAuction) VCGPayments(res *Result) ([]float64, error) {
+	payments := make([]float64, len(h.Advertisers))
+	if err := NewHeavyDeterminer().VCGPaymentsInto(h, res, payments); err != nil {
+		return nil, err
+	}
+	return payments, nil
+}
+
+// heavyPattern reads the heavyweight pattern off an allocation.
+func heavyPattern(advs []Advertiser, advOf []int) uint64 {
+	var pattern uint64
+	for j, i := range advOf {
+		if i >= 0 && advs[i].Heavy {
+			pattern |= 1 << uint(j)
+		}
+	}
+	return pattern
+}
+
+// VCGPaymentsInto computes heavyweight Vickrey payments into the
+// caller-owned payments slice (length = number of advertisers),
+// running every counterfactual winner determination in the
+// determiner's cached scratch: the sub-auction's advertiser,
+// probability-row, and class slices are reused across winners and
+// across calls, and a nested determiner keeps the 2^k enumeration
+// buffers warm. Results are bit-identical to HeavyAuction.VCGPayments.
+func (d *HeavyDeterminer) VCGPaymentsInto(h *HeavyAuction, res *Result, payments []float64) error {
+	n := len(h.Advertisers)
+	if len(payments) != n {
+		return fmt.Errorf("core: payments slice covers %d advertisers, auction has %d", len(payments), n)
+	}
+	for i := range payments {
+		payments[i] = 0
+	}
+	if n == 0 {
+		return nil
+	}
+
+	// Every advertiser's realized value under res, conditional on the
+	// allocation's own heavyweight pattern.
+	pattern := heavyPattern(h.Advertisers, res.AdvOf)
+	baseOutcome := formula.Outcome{HeavySlots: pattern}
+	d.vals = growF(d.vals, n)
+	var total float64
+	for i := range h.Advertisers {
+		if j := res.SlotOf[i]; j >= 0 {
+			d.vals[i] = h.expectedPaymentPattern(i, j, pattern)
+		} else {
+			d.vals[i] = h.Advertisers[i].Bids.Payment(baseOutcome)
+		}
+		total += d.vals[i]
+	}
+
+	for i := 0; i < n; i++ {
+		if res.SlotOf[i] < 0 {
+			continue // losers pay nothing under VCG
+		}
+		withoutI, err := d.solveWithout(h, i)
+		if err != nil {
+			return err
+		}
+		p := withoutI - (total - d.vals[i])
+		if p < 0 {
+			p = 0 // numerical guard; VCG payments are non-negative at optimum
+		}
+		payments[i] = p
+	}
+	return nil
+}
+
+// solveWithout determines the optimal expected revenue of h with
+// advertiser skip removed, rebuilding the sub-auction in reused
+// buffers and solving it with a nested determiner.
+func (d *HeavyDeterminer) solveWithout(h *HeavyAuction, skip int) (float64, error) {
+	n := len(h.Advertisers)
+	d.subAdvs = d.subAdvs[:0]
+	d.subClick = d.subClick[:0]
+	d.subPurchase = d.subPurchase[:0]
+	d.subIsHeavy = d.subIsHeavy[:0]
+	for i := 0; i < n; i++ {
+		if i == skip {
+			continue
+		}
+		d.subAdvs = append(d.subAdvs, h.Advertisers[i])
+		d.subClick = append(d.subClick, h.Model.Base.Click[i])
+		d.subPurchase = append(d.subPurchase, h.Model.Base.Purchase[i])
+		if h.Model.IsHeavy != nil {
+			d.subIsHeavy = append(d.subIsHeavy, h.Model.IsHeavy[i])
+		}
+	}
+	isHeavy := d.subIsHeavy
+	if h.Model.IsHeavy == nil {
+		isHeavy = nil
+	}
+	d.subBase = probmodel.Model{Click: d.subClick, Purchase: d.subPurchase}
+	d.subModel = probmodel.HeavyModel{Base: &d.subBase, IsHeavy: isHeavy, Factor: h.Model.Factor}
+	d.subAuction = HeavyAuction{Slots: h.Slots, Advertisers: d.subAdvs, Model: &d.subModel}
+	if d.sub == nil {
+		d.sub = NewHeavyDeterminer()
+	}
+	// The sub-auction struct is reused, so its pointer-keyed validation
+	// cache stays warm across winners and across calls: structural
+	// validation runs once per shape, not once per counterfactual.
+	if err := d.sub.DetermineInto(&d.subAuction, &d.subRes); err != nil {
+		return 0, err
+	}
+	return d.subRes.ExpectedRevenue, nil
+}

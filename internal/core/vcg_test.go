@@ -1,0 +1,107 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestVCGPaymentsAcrossMethods exercises Auction.VCGPayments with
+// every winner-determination method usable for the counterfactual
+// solves — LP, H, RH — on randomized instances, and pins the VCG
+// axioms per method: payments are non-negative, losers pay exactly
+// zero, and no winner is charged above his adjusted value
+// (individual rationality). All methods price the same optimal
+// allocation, so their payment vectors must also agree with each
+// other up to solver arithmetic.
+func TestVCGPaymentsAcrossMethods(t *testing.T) {
+	methods := []Method{MethodLP, MethodHungarian, MethodReduced}
+	rng := rand.New(rand.NewSource(211))
+	for trial := 0; trial < 25; trial++ {
+		n := 1 + rng.Intn(6)
+		k := 1 + rng.Intn(3)
+		a := randAuction(rng, n, k)
+		res, err := a.Determine(MethodHungarian)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, _, err := a.adjustedMatrix()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pays := make([][]float64, len(methods))
+		for mi, method := range methods {
+			pay, err := a.VCGPayments(res, method)
+			if err != nil {
+				t.Fatalf("trial %d %v: %v", trial, method, err)
+			}
+			pays[mi] = pay
+			for i, p := range pay {
+				if p < 0 {
+					t.Fatalf("trial %d %v: negative VCG payment %g", trial, method, p)
+				}
+				j := res.SlotOf[i]
+				if j < 0 {
+					if p != 0 {
+						t.Fatalf("trial %d %v: loser %d pays %g, want exactly 0", trial, method, i, p)
+					}
+					continue
+				}
+				if p > w[i][j]+tol {
+					t.Fatalf("trial %d %v: payment %g exceeds value %g (not IR)", trial, method, p, w[i][j])
+				}
+			}
+		}
+		// Counterfactual optima are method-independent, so the payment
+		// vectors agree up to LP/matching floating-point differences.
+		for mi := 1; mi < len(methods); mi++ {
+			for i := range pays[0] {
+				if math.Abs(pays[mi][i]-pays[0][i]) > 1e-6 {
+					t.Fatalf("trial %d: %v pays advertiser %d %g, %v pays %g",
+						trial, methods[mi], i, pays[mi][i], methods[0], pays[0][i])
+				}
+			}
+		}
+	}
+}
+
+// TestHeavyVCGPaymentsProperties is the heavyweight (§III-F) leg of
+// the VCG axioms on randomized instances: losers pay exactly zero,
+// payments are non-negative, and every winner's charge stays at or
+// below his realized value under the allocation's heavyweight pattern
+// (individual rationality — the counterfactual optimum without the
+// winner can never exceed the with-winner optimum by more than his
+// own contribution).
+func TestHeavyVCGPaymentsProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(223))
+	for trial := 0; trial < 25; trial++ {
+		n := 1 + rng.Intn(6)
+		k := 1 + rng.Intn(3)
+		h := randHeavyAuction(rng, n, k)
+		res, err := h.Determine(false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pay, err := h.VCGPayments(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pattern := heavyPattern(h.Advertisers, res.AdvOf)
+		for i, p := range pay {
+			if p < 0 {
+				t.Fatalf("trial %d: negative heavyweight VCG payment %g", trial, p)
+			}
+			j := res.SlotOf[i]
+			if j < 0 {
+				if p != 0 {
+					t.Fatalf("trial %d: loser %d pays %g, want exactly 0", trial, i, p)
+				}
+				continue
+			}
+			v := h.expectedPaymentPattern(i, j, pattern)
+			if p > v+tol {
+				t.Fatalf("trial %d: payment %g exceeds realized value %g (not IR)", trial, p, v)
+			}
+		}
+	}
+}

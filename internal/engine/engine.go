@@ -74,6 +74,10 @@ type Config struct {
 	// Method selects the winner-determination pipeline (default
 	// MethodRH, the paper's scalable choice).
 	Method Method
+	// Pricing selects the payment rule (default PricingGSP; PricingVCG
+	// charges Vickrey opportunity costs via per-winner counterfactual
+	// solves in each market's reused workspace).
+	Pricing Pricing
 	// ClickSeed is the base seed for simulated user clicks; keyword q's
 	// market draws from KeywordSeed(ClickSeed, q).
 	ClickSeed int64
@@ -147,7 +151,7 @@ func New(inst *workload.Instance, cfg Config) *Engine {
 		kwIndex: kwmatch.New(),
 	}
 	for q := 0; q < inst.Keywords; q++ {
-		e.markets[q] = NewMarket(inst, cfg.Method, KeywordSeed(cfg.ClickSeed, q))
+		e.markets[q] = NewMarketPriced(inst, cfg.Method, cfg.Pricing, KeywordSeed(cfg.ClickSeed, q))
 		e.shardOf[q] = q % cfg.Shards
 		name := fmt.Sprintf("kw%d", q)
 		if q < len(cfg.KeywordNames) && cfg.KeywordNames[q] != "" {

@@ -1,0 +1,120 @@
+package engine
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/formula"
+	"repro/internal/probmodel"
+	"repro/internal/workload"
+)
+
+// heavyEngine is the Section III-F serving path of a market: a
+// persistent core.HeavyAuction over the instance's advertisers
+// (single Click-bid rows whose values are mutated in place each
+// auction — never reallocated, so the HeavyDeterminer's cached
+// validation stays warm) and a reusable HeavyDeterminer whose 2^k
+// pattern enumeration runs allocation-free in steady state. The
+// heavyweight model conditions click probabilities on the realized
+// pattern via the shadowing factors of probmodel.ShadowFactors, built
+// from the instance's Heavy classification and Shadow strength.
+type heavyEngine struct {
+	model   *probmodel.HeavyModel
+	auction *core.HeavyAuction
+	det     *core.HeavyDeterminer
+	res     core.Result
+
+	// pattern is the realized heavyweight pattern of the current
+	// auction's allocation; pricing and the user simulation condition
+	// on it.
+	pattern uint64
+
+	// payments is the VCG scratch (per-advertiser expected charges).
+	payments []float64
+
+	// scoreFn scores (advertiser, slot) under the current pattern and
+	// the market's bid vector — the GSP candidate ranking. Built once
+	// so per-auction selection creates no closures.
+	scoreFn func(i, j int) float64
+}
+
+func newHeavyEngine(inst *workload.Instance, m *Market) *heavyEngine {
+	n, k := inst.N, inst.Slots
+	if k > 20 {
+		panic(fmt.Sprintf("engine: MethodHeavy enumerates 2^k patterns and needs k ≤ 20, got %d slots", k))
+	}
+	isHeavy := make([]bool, n)
+	copy(isHeavy, inst.Heavy) // nil Heavy ⇒ all lightweight
+	purchase := make([][]float64, n)
+	for i := range purchase {
+		purchase[i] = make([]float64, k)
+	}
+	var factor [][]float64
+	if inst.Shadow != 0 {
+		factor = probmodel.ShadowFactors(k, inst.Shadow)
+	}
+	model := &probmodel.HeavyModel{
+		Base:    &probmodel.Model{Click: inst.ClickProb, Purchase: purchase},
+		IsHeavy: isHeavy,
+		Factor:  factor,
+	}
+	advs := make([]core.Advertiser, n)
+	for i := range advs {
+		advs[i] = core.Advertiser{
+			ID:    "adv" + strconv.Itoa(i),
+			Bids:  formula.Bids{{F: formula.Click{}, Value: 0}},
+			Heavy: isHeavy[i],
+		}
+	}
+	hv := &heavyEngine{
+		model:    model,
+		auction:  &core.HeavyAuction{Slots: k, Advertisers: advs, Model: model},
+		det:      core.NewHeavyDeterminer(),
+		payments: make([]float64, n),
+	}
+	hv.scoreFn = func(i, j int) float64 {
+		return hv.model.ClickProb(i, j, hv.pattern) * m.bidf[i]
+	}
+	return hv
+}
+
+// determine pushes the market's current bid vector into the
+// persistent auction, solves the 2^k enumeration, copies the winning
+// allocation into advOf, and records the realized heavyweight
+// pattern. bidf must already hold this keyword's bids.
+func (hv *heavyEngine) determine(bidf []float64, advOf []int) {
+	for i := range hv.auction.Advertisers {
+		hv.auction.Advertisers[i].Bids[0].Value = bidf[i]
+	}
+	if err := hv.det.DetermineInto(hv.auction, &hv.res); err != nil {
+		// The auction shape is fixed at construction and validated on
+		// the first call; a failure here is a programming error.
+		panic("engine: heavyweight winner determination failed: " + err.Error())
+	}
+	copy(advOf, hv.res.AdvOf)
+	hv.pattern = 0
+	for j, i := range advOf {
+		if i >= 0 && hv.model.IsHeavy[i] {
+			hv.pattern |= 1 << uint(j)
+		}
+	}
+}
+
+// priceVCG fills the outcome's per-click prices from the heavyweight
+// Vickrey payments: winner i's expected charge divided by his click
+// probability under the realized pattern. hv.res still holds the
+// current auction's allocation.
+func (hv *heavyEngine) priceVCG(advOf []int, out *Outcome) {
+	if err := hv.det.VCGPaymentsInto(hv.auction, &hv.res, hv.payments); err != nil {
+		panic("engine: heavyweight VCG pricing failed: " + err.Error())
+	}
+	for j, i := range advOf {
+		if i < 0 {
+			continue
+		}
+		if p := hv.payments[i]; p > 0 {
+			out.PricePerClick[j] = p / hv.model.ClickProb(i, j, hv.pattern)
+		}
+	}
+}

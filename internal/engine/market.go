@@ -23,12 +23,14 @@ type Market struct {
 	Inst   *workload.Instance
 	Method Method
 
-	t    int // auctions processed
-	acct *Accounting
-	rng  *rand.Rand // user click simulation
+	t       int // auctions processed
+	acct    *Accounting
+	rng     *rand.Rand // user click simulation
+	pricing Pricing
 
-	ex   *explicitEngine
-	talu *taluEngine
+	ex    *explicitEngine
+	talu  *taluEngine
+	heavy *heavyEngine
 
 	// LPStats accumulates simplex iterations (method LP only).
 	LPStats int
@@ -50,17 +52,35 @@ type Market struct {
 	assignedMark   []int
 	assignedStamp  int
 	clickedWinners []int
+
+	// VCG counterfactual scratch (PricingVCG only): a dedicated
+	// workspace so the per-winner reduced solves never disturb the main
+	// solve's candidate lists, an advOf sink, the skipped-advertiser
+	// cursor read by vcgWeightFn (built once — no per-solve closures),
+	// and the reused LP sub-matrix.
+	vcgWS       *matching.Workspace
+	vcgAdvOf    []int
+	vcgSkip     int
+	vcgWeightFn func(r, j int) float64
+	vcgFlat     []float64
+	vcgRows     [][]float64
 }
 
-// NewMarket builds a fresh market. clickSeed drives the simulated user
-// clicks; two markets with equal instances and seeds see identical
-// users.
+// NewMarket builds a fresh market with generalized second pricing.
+// clickSeed drives the simulated user clicks; two markets with equal
+// instances and seeds see identical users.
 func NewMarket(inst *workload.Instance, method Method, clickSeed int64) *Market {
+	return NewMarketPriced(inst, method, PricingGSP, clickSeed)
+}
+
+// NewMarketPriced is NewMarket with an explicit payment rule.
+func NewMarketPriced(inst *workload.Instance, method Method, pricing Pricing, clickSeed int64) *Market {
 	m := &Market{
-		Inst:   inst,
-		Method: method,
-		acct:   newAccounting(inst.N, inst.Keywords),
-		rng:    rand.New(rand.NewSource(clickSeed)),
+		Inst:    inst,
+		Method:  method,
+		pricing: pricing,
+		acct:    newAccounting(inst.N, inst.Keywords),
+		rng:     rand.New(rand.NewSource(clickSeed)),
 	}
 	if method == MethodRHTALU {
 		m.talu = newTALUEngine(inst, m.acct)
@@ -72,6 +92,20 @@ func NewMarket(inst *workload.Instance, method Method, clickSeed int64) *Market 
 	m.weightFn = func(i, j int) float64 {
 		return m.Inst.ClickProb[i][j] * m.bidf[i]
 	}
+	if method == MethodHeavy {
+		m.heavy = newHeavyEngine(inst, m)
+	}
+	if pricing == PricingVCG {
+		m.vcgWS = matching.NewWorkspace()
+		m.vcgAdvOf = make([]int, inst.Slots)
+		m.vcgWeightFn = func(r, j int) float64 {
+			i := r
+			if i >= m.vcgSkip {
+				i++
+			}
+			return m.Inst.ClickProb[i][j] * m.bidf[i]
+		}
+	}
 	k := inst.Slots
 	m.out = Outcome{
 		AdvOf:         make([]int, k),
@@ -80,6 +114,19 @@ func NewMarket(inst *workload.Instance, method Method, clickSeed int64) *Market 
 	}
 	m.assignedMark = make([]int, inst.N)
 	return m
+}
+
+// Pricing reports the market's payment rule.
+func (m *Market) Pricing() Pricing { return m.pricing }
+
+// clickProbOf is the click probability the pricing and user-simulation
+// stages see: the instance matrix, conditioned on the realized
+// heavyweight pattern under MethodHeavy.
+func (m *Market) clickProbOf(i, j int) float64 {
+	if m.heavy != nil {
+		return m.heavy.model.ClickProb(i, j, m.heavy.pattern)
+	}
+	return m.Inst.ClickProb[i][j]
 }
 
 // Bid returns advertiser i's current bid for keyword q — used by the
@@ -154,7 +201,19 @@ func (m *Market) Run(q int) *Outcome {
 
 		// Candidate lists (k+1 deep) serve both the reduced matching
 		// and GSP pricing; see the pricing loop for why k+1 suffices.
+		// Under VCG pricing the methods that need lists only for GSP
+		// (H, LP, Heavy) skip building them.
 		switch m.Method {
+		case MethodHeavy:
+			// Section III-F: the 2^k pattern enumeration in the market's
+			// HeavyDeterminer; the realized heavyweight pattern then
+			// conditions GSP candidate scores, per-click prices, and the
+			// user simulation.
+			m.heavy.determine(m.bidf, out.AdvOf)
+			advOf = out.AdvOf
+			if m.pricing == PricingGSP {
+				lists = m.ws.SelectCandidates(m.Inst.N, k, k+1, m.heavy.scoreFn)
+			}
 		case MethodRH:
 			// The scalable serving path: workspace-backed top-(k+1)
 			// selection and reduced assignment, zero allocations in
@@ -169,7 +228,9 @@ func (m *Market) Run(q int) *Outcome {
 			advOf = out.AdvOf
 		case MethodH:
 			advOf = matching.MaxWeightFunc(m.Inst.N, k, score).AdvOf
-			lists = scanLists(m.Inst.N, k, score)
+			if m.pricing == PricingGSP {
+				lists = scanLists(m.Inst.N, k, score)
+			}
 			copy(out.AdvOf, advOf)
 			advOf = out.AdvOf
 		case MethodLP:
@@ -188,7 +249,9 @@ func (m *Market) Run(q int) *Outcome {
 			}
 			m.LPStats += res.Iterations
 			advOf = res.AdvOf
-			lists = scanLists(m.Inst.N, k, score)
+			if m.pricing == PricingGSP {
+				lists = scanLists(m.Inst.N, k, score)
+			}
 			copy(out.AdvOf, advOf)
 			advOf = out.AdvOf
 		default:
@@ -196,43 +259,64 @@ func (m *Market) Run(q int) *Outcome {
 		}
 	}
 
-	// Generalized second pricing: the winner of slot j pays, per
-	// click, the highest competing score for that slot divided by his
-	// own click probability — the amount that prices the slot at its
-	// best alternative use — capped at his own bid (Section V's
-	// "slight generalization of generalized second-pricing").
-	m.assignedStamp++
-	for _, i := range advOf {
-		if i >= 0 {
-			m.assignedMark[i] = m.assignedStamp
-		}
-	}
-	for j, i := range advOf {
-		if i < 0 {
-			continue
-		}
-		runner := 0.0
-		for _, it := range lists[j] {
-			if m.assignedMark[it.ID] != m.assignedStamp {
-				runner = it.Score
-				break
+	if m.pricing == PricingVCG {
+		// Vickrey pricing: one counterfactual winner-determination
+		// solve per winner in the dedicated VCG workspace (engine/vcg.go).
+		// The TALU engine fills bidf lazily — its explicit bid vector
+		// otherwise never materializes.
+		if m.talu != nil {
+			for i := 0; i < m.Inst.N; i++ {
+				m.bidf[i] = float64(m.talu.bid(i, q))
 			}
 		}
-		price := runner / m.Inst.ClickProb[i][j]
-		if bid := float64(m.Bid(i, q)); price > bid {
-			price = bid
+		m.priceVCG(advOf, out)
+	} else {
+		// Generalized second pricing: the winner of slot j pays, per
+		// click, the highest competing score for that slot divided by his
+		// own click probability — the amount that prices the slot at its
+		// best alternative use — capped at his own bid (Section V's
+		// "slight generalization of generalized second-pricing"). Under
+		// MethodHeavy both the candidate scores and the divisor are
+		// conditioned on the realized heavyweight pattern.
+		m.assignedStamp++
+		for _, i := range advOf {
+			if i >= 0 {
+				m.assignedMark[i] = m.assignedStamp
+			}
 		}
-		out.PricePerClick[j] = price
+		for j, i := range advOf {
+			if i < 0 {
+				continue
+			}
+			runner := 0.0
+			for _, it := range lists[j] {
+				if m.assignedMark[it.ID] != m.assignedStamp {
+					runner = it.Score
+					break
+				}
+			}
+			// A zero click probability is possible only for a pattern-forced
+			// heavyweight (fully shadowed); such a winner is never charged.
+			price := 0.0
+			if cp := m.clickProbOf(i, j); cp > 0 {
+				price = runner / cp
+			}
+			if bid := float64(m.Bid(i, q)); price > bid {
+				price = bid
+			}
+			out.PricePerClick[j] = price
+		}
 	}
 
 	// User action: one uniform draw per slot (always k draws, so
 	// markets with equal click seeds stay aligned), a click when the
-	// draw falls under the winner's click probability.
+	// draw falls under the winner's click probability (conditioned on
+	// the heavyweight pattern under MethodHeavy).
 	m.clickedWinners = m.clickedWinners[:0]
 	for j := 0; j < k; j++ {
 		u := m.rng.Float64()
 		i := advOf[j]
-		if i < 0 || u >= m.Inst.ClickProb[i][j] {
+		if i < 0 || u >= m.clickProbOf(i, j) {
 			continue
 		}
 		out.Clicked[j] = true

@@ -3,7 +3,8 @@ package engine
 // Method selects the winner-determination pipeline of Section V.
 type Method int
 
-// The four methods of Figure 12, plus the parallel-RH ablation.
+// The four methods of Figure 12, plus the parallel-RH ablation and
+// the Section III-F heavyweight path.
 const (
 	// MethodLP solves the per-auction assignment LP with the simplex
 	// method.
@@ -17,6 +18,13 @@ const (
 	MethodRHTALU
 	// MethodRHParallel is RH with the tree-parallel top-k scan.
 	MethodRHParallel
+	// MethodHeavy is the Section III-F heavyweight/lightweight model on
+	// the serving path: winner determination enumerates the 2^k
+	// heavyweight patterns through a reusable core.HeavyDeterminer, and
+	// click probabilities (pricing, user simulation) are conditioned on
+	// the realized pattern. Requires Slots ≤ 20; per-auction cost grows
+	// as 2^Slots, so it is meant for small slot counts.
+	MethodHeavy
 )
 
 // String implements fmt.Stringer.
@@ -32,7 +40,39 @@ func (m Method) String() string {
 		return "RHTALU"
 	case MethodRHParallel:
 		return "RH-parallel"
+	case MethodHeavy:
+		return "Heavy"
 	default:
 		return "Method(?)"
+	}
+}
+
+// Pricing selects the payment rule applied to each auction's winners.
+type Pricing int
+
+const (
+	// PricingGSP is the generalized second-price rule of Section V: the
+	// winner of a slot pays, per click, the best competing score for
+	// that slot divided by his own click probability, capped at his bid.
+	PricingGSP Pricing = iota
+	// PricingVCG charges each winner his social opportunity cost
+	// (Theorem 1 / Section III-E's "very simple computation" given
+	// winner determination): one counterfactual winner-determination
+	// solve per winner, run in a dedicated reused workspace rather than
+	// as a cold auction. The expected charge is converted to a per-click
+	// price by dividing by the winner's click probability, so realized
+	// revenue matches the VCG expectation.
+	PricingVCG
+)
+
+// String implements fmt.Stringer.
+func (p Pricing) String() string {
+	switch p {
+	case PricingGSP:
+		return "GSP"
+	case PricingVCG:
+		return "VCG"
+	default:
+		return "Pricing(?)"
 	}
 }

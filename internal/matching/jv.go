@@ -20,6 +20,7 @@ package matching
 //     quadratic-in-n behavior that motivates the reduced algorithm;
 //   - the reduced solve (method RH) runs rows = slots over the ≤ k²
 //     candidates, giving the O(k⁵)-bounded tail of Section III-E.
+//
 // The solver body lives on Workspace.assignRows (workspace.go) so the
 // serving engine can run it allocation-free; this wrapper serves the
 // one-shot callers.

@@ -98,7 +98,3 @@ func dropNonPositiveFunc(weight func(i, j int) float64, advOf []int) {
 		}
 	}
 }
-
-func dropNonPositive(w [][]float64, advOf []int) {
-	dropNonPositiveFunc(func(i, j int) float64 { return w[i][j] }, advOf)
-}

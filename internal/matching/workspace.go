@@ -223,6 +223,42 @@ func (ws *Workspace) SelectCandidates(n, k, depth int, weight func(i, j int) flo
 	return ws.lists
 }
 
+// MaxWeightInto is MaxWeightFunc (the full-graph method-H solve,
+// rows = advertisers) running entirely in the workspace: the
+// Jonker–Volgenant scratch is reused and the slot → advertiser map is
+// written into advOf, which must have k entries. Matched edges whose
+// weight is not strictly positive are dropped, exactly as MaxWeight
+// does. The returned value is the total weight of the kept edges,
+// summed in slot order — bit-identical to MaxWeightFunc's
+// Assignment.Value. In steady state the call performs zero heap
+// allocations; it is the reuse point for callers that solve the same
+// full graph repeatedly, such as the VCG counterfactuals and the
+// heavyweight pattern enumeration.
+func (ws *Workspace) MaxWeightInto(n, k int, weight func(i, j int) float64, advOf []int) (value float64) {
+	if len(advOf) != k {
+		panic("matching: advOf length must equal the slot count")
+	}
+	for j := range advOf {
+		advOf[j] = -1
+	}
+	if n == 0 || k == 0 {
+		return 0
+	}
+	slotOf := ws.assignRows(n, k, weight)
+	for i, j := range slotOf {
+		if j >= 0 {
+			advOf[j] = i
+		}
+	}
+	dropNonPositiveFunc(weight, advOf)
+	for j, i := range advOf {
+		if i >= 0 {
+			value += weight(i, j)
+		}
+	}
+	return value
+}
+
 // MaxWeightReduced is the package-level MaxWeightReduced running on
 // the workspace's scratch buffers. Only the returned Assignment's own
 // slices are freshly allocated (callers may retain them); all

@@ -53,6 +53,23 @@ const (
 	MethodRHTALU = engine.MethodRHTALU
 	// MethodRHParallel is RH with the tree-parallel top-k scan.
 	MethodRHParallel = engine.MethodRHParallel
+	// MethodHeavy is the Section III-F heavyweight path: 2^k pattern
+	// enumeration through a reused core.HeavyDeterminer, with click
+	// probabilities conditioned on the realized pattern.
+	MethodHeavy = engine.MethodHeavy
+)
+
+// Pricing selects the payment rule (generalized second pricing or
+// Vickrey opportunity costs).
+type Pricing = engine.Pricing
+
+// Payment rules.
+const (
+	// PricingGSP is the generalized second-price rule of Section V.
+	PricingGSP = engine.PricingGSP
+	// PricingVCG charges Vickrey opportunity costs via one
+	// counterfactual winner-determination solve per winner.
+	PricingVCG = engine.PricingVCG
 )
 
 // Outcome reports one auction's results.
@@ -75,4 +92,9 @@ type World = engine.Market
 // users.
 func NewWorld(inst *workload.Instance, method Method, clickSeed int64) *World {
 	return engine.NewMarket(inst, method, clickSeed)
+}
+
+// NewWorldPriced is NewWorld with an explicit payment rule.
+func NewWorldPriced(inst *workload.Instance, method Method, pricing Pricing, clickSeed int64) *World {
+	return engine.NewMarketPriced(inst, method, pricing, clickSeed)
 }

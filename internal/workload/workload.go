@@ -52,6 +52,16 @@ type Instance struct {
 	// ClickProb[i][j] is the probability advertiser i's ad is clicked
 	// in slot j, drawn uniformly within slot j's interval.
 	ClickProb [][]float64
+
+	// Heavy marks Section III-F heavyweight ("famous") advertisers;
+	// nil means every advertiser is a lightweight. Only MethodHeavy
+	// markets read it.
+	Heavy []bool
+	// Shadow is the click-shadowing strength a heavyweight placed
+	// above a slot exerts on that slot's occupant (each one multiplies
+	// the click probability by 1−Shadow; see probmodel.ShadowFactors).
+	// Zero means pattern-independent click probabilities.
+	Shadow float64
 }
 
 // Generate builds an instance with n advertisers, k slots, and nk
@@ -97,6 +107,21 @@ func Generate(rng *rand.Rand, n, k, keywords int) *Instance {
 			inst.ClickProb[i][j] = lo + rng.Float64()*width
 		}
 	}
+	return inst
+}
+
+// GenerateHeavy is Generate plus a Section III-F population overlay:
+// each advertiser is independently a heavyweight with probability
+// heavyFrac, and shadow sets the click-shadowing strength. The base
+// draws are identical to Generate with the same rng state, so a heavy
+// instance differs from its flat twin only in the overlay fields.
+func GenerateHeavy(rng *rand.Rand, n, k, keywords int, heavyFrac, shadow float64) *Instance {
+	inst := Generate(rng, n, k, keywords)
+	inst.Heavy = make([]bool, n)
+	for i := range inst.Heavy {
+		inst.Heavy[i] = rng.Float64() < heavyFrac
+	}
+	inst.Shadow = shadow
 	return inst
 }
 

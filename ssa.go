@@ -246,18 +246,42 @@ type (
 )
 
 // Simulation methods (Figure 12's four curves plus the parallel-RH
-// ablation).
+// ablation and the Section III-F heavyweight path).
 const (
 	SimLP         = strategy.MethodLP
 	SimH          = strategy.MethodH
 	SimRH         = strategy.MethodRH
 	SimRHTALU     = strategy.MethodRHTALU
 	SimRHParallel = strategy.MethodRHParallel
+	// SimHeavy serves the heavyweight/lightweight model: winner
+	// determination enumerates the 2^k heavyweight patterns through a
+	// reused determiner, and pricing plus the user simulation condition
+	// on the realized pattern. Per-auction cost grows as 2^Slots; use
+	// small slot counts.
+	SimHeavy = strategy.MethodHeavy
+)
+
+// SimPricing selects the payment rule of a simulation world or
+// serving engine.
+type SimPricing = strategy.Pricing
+
+// Payment rules: generalized second pricing (the Section V default)
+// and Vickrey opportunity costs (Theorem 1's "very simple
+// computation" given winner determination — one counterfactual solve
+// per winner, run in reused workspaces on the serving path).
+const (
+	PricingGSP = strategy.PricingGSP
+	PricingVCG = strategy.PricingVCG
 )
 
 // NewSimWorld builds a simulation world over inst.
 func NewSimWorld(inst *SimInstance, m SimMethod, clickSeed int64) *SimWorld {
 	return strategy.NewWorld(inst, m, clickSeed)
+}
+
+// NewSimWorldPriced is NewSimWorld with an explicit payment rule.
+func NewSimWorldPriced(inst *SimInstance, m SimMethod, pricing SimPricing, clickSeed int64) *SimWorld {
+	return strategy.NewWorldPriced(inst, m, pricing, clickSeed)
 }
 
 // Concurrent serving (the keyword-sharded engine).
@@ -268,7 +292,8 @@ type (
 	// equivalence to SimWorld as its correctness contract.
 	Engine = engine.Engine
 	// EngineConfig tunes shard count, queue depth, winner-determination
-	// method, click seed, and the keyword catalog for text routing.
+	// method, payment rule (GSP or VCG), click seed, and the keyword
+	// catalog for text routing.
 	EngineConfig = engine.Config
 	// EngineStats aggregates one Engine.Serve call: revenue, clicks,
 	// fill rate, throughput, and latency percentiles.
@@ -290,6 +315,16 @@ func KeywordClickSeed(base int64, q int) int64 { return engine.KeywordSeed(base,
 // slot-interval click probabilities.
 func GenerateInstance(seed int64, n, k, keywords int) *SimInstance {
 	return workload.Generate(rand.New(rand.NewSource(seed)), n, k, keywords)
+}
+
+// GenerateHeavyInstance is GenerateInstance plus the Section III-F
+// population overlay: each advertiser is independently a heavyweight
+// with probability heavyFrac, and shadow sets the click-shadowing
+// strength heavyweights exert on slots below them (SimHeavy markets
+// condition click probabilities on the realized heavyweight pattern
+// through it).
+func GenerateHeavyInstance(seed int64, n, k, keywords int, heavyFrac, shadow float64) *SimInstance {
+	return workload.GenerateHeavy(rand.New(rand.NewSource(seed)), n, k, keywords, heavyFrac, shadow)
 }
 
 // QueryStream draws t queries, one uniform keyword each.
