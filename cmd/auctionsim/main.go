@@ -23,11 +23,23 @@
 // -method or -pricing values are rejected with the list of valid
 // names.
 //
+// With -stream it becomes an open-world load generator against the
+// streaming server: arrivals are paced to -qps for -duration (Poisson
+// by default; -burst > 1 adds on/off bursts and -zipf > 1 skews
+// keyword popularity), -churn scripted advertiser add/remove events
+// are applied live at auction boundaries, and -overload picks the
+// admission policy when a shard queue saturates — block (backpressure)
+// or shed (never block the submitter; dropped queries are counted,
+// never silently lost). A rolling status line prints every -report
+// auctions' worth of window, and the final drain flushes cumulative
+// accounting plus the per-shard breakdown.
+//
 // Usage:
 //
 //	auctionsim -n 2000 -auctions 5000 -method rh-talu -report 1000
 //	auctionsim -engine -method rh-talu -shards 8 -queue 256 -n 2000 -auctions 200000
 //	auctionsim -method heavy -pricing vcg -slots 6 -n 500 -heavy-frac 0.2 -shadow 0.3
+//	auctionsim -stream -qps 3000 -duration 10s -churn 6 -overload shed -zipf 1.2
 package main
 
 import (
@@ -42,6 +54,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/strategy"
+	"repro/internal/stream"
 	"repro/internal/workload"
 )
 
@@ -60,6 +73,13 @@ func main() {
 		useEng    = flag.Bool("engine", false, "serve through the concurrent sharded engine (load-generator mode)")
 		shards    = flag.Int("shards", 0, "engine worker shards (0 = GOMAXPROCS, capped at keywords)")
 		queue     = flag.Int("queue", 0, "engine per-shard queue depth (0 = default)")
+		useStream = flag.Bool("stream", false, "serve an open-world stream through the long-running streaming server")
+		qps       = flag.Float64("qps", 2000, "stream mode: mean arrival rate")
+		duration  = flag.Duration("duration", 5*time.Second, "stream mode: stream length")
+		churn     = flag.Int("churn", 0, "stream mode: scripted advertiser add/remove events over the run")
+		overload  = flag.String("overload", "block", "stream mode: admission policy at queue saturation: block, shed")
+		zipf      = flag.Float64("zipf", 0, "stream mode: Zipf keyword-popularity exponent (> 1; 0 = uniform)")
+		burst     = flag.Float64("burst", 1, "stream mode: burst rate factor (> 1 enables on/off bursts)")
 	)
 	flag.Parse()
 
@@ -87,6 +107,22 @@ func main() {
 	} else {
 		inst = workload.Generate(rng, *n, *slots, *keywords)
 	}
+	if *useStream {
+		pol, err := parsePolicy(*overload)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "auctionsim:", err)
+			flag.Usage()
+			os.Exit(2)
+		}
+		runStream(inst, streamOpts{
+			method: m, pricing: pr, shards: *shards, queue: *queue,
+			clickSeed: *seed + 2, report: *report, qps: *qps,
+			duration: *duration, churn: *churn, policy: pol,
+			zipf: *zipf, burst: *burst, seed: *seed + 3,
+		})
+		return
+	}
+
 	queries := inst.Queries(rand.New(rand.NewSource(*seed+1)), *auctions)
 
 	if *useEng {
@@ -180,6 +216,107 @@ func runEngine(inst *workload.Instance, queries []int, m engine.Method, pr engin
 		}
 	}
 	printSpendSummary(inst, spent, float64(total.Auctions))
+}
+
+// streamOpts bundles stream-mode configuration.
+type streamOpts struct {
+	method    engine.Method
+	pricing   engine.Pricing
+	shards    int
+	queue     int
+	clickSeed int64
+	report    int
+	qps       float64
+	duration  time.Duration
+	churn     int
+	policy    stream.Policy
+	zipf      float64
+	burst     float64
+	seed      int64
+}
+
+// runStream is open-world mode: a deterministic workload.Stream paces
+// submissions (and live churn events) into the long-running streaming
+// server; every report window prints the rolling view, and Close
+// flushes the drain summary.
+func runStream(inst *workload.Instance, o streamOpts) {
+	total := int(o.qps * o.duration.Seconds())
+	if total < 1 {
+		total = 1
+	}
+	rng := rand.New(rand.NewSource(o.seed))
+	events := workload.NewStream(inst, rng, workload.StreamConfig{
+		Queries: total, QPS: o.qps, ZipfS: o.zipf, BurstFactor: o.burst,
+		Churn: workload.ScriptChurn(rng, inst, o.churn, total),
+	})
+	srv := stream.NewServer(inst, stream.Config{
+		Engine: engine.Config{
+			Shards: o.shards, QueueDepth: o.queue,
+			Method: o.method, Pricing: o.pricing, ClickSeed: o.clickSeed,
+		},
+		Overload: o.policy,
+	})
+	fmt.Printf("auctionsim: stream mode, n=%d k=%d keywords=%d method=%v pricing=%v qps=%.0f duration=%v overload=%v churn=%d shards=%d\n",
+		inst.N, inst.Slots, inst.Keywords, o.method, o.pricing, o.qps, o.duration, o.policy, o.churn, srv.Shards())
+	fmt.Println("t\tsubmitted\tserved\tshed\tadv\tepoch\tqps(win)\tp50µs\tp95µs\tp99µs")
+
+	start := time.Now()
+	submitted, nextReport := 0, o.report
+	for {
+		ev, ok := events.Next()
+		if !ok {
+			break
+		}
+		if ev.Churn != nil {
+			if ev.Churn.Add != nil {
+				if _, err := srv.AddAdvertiser(*ev.Churn.Add); err != nil {
+					fmt.Fprintln(os.Stderr, "auctionsim: churn add:", err)
+					os.Exit(1)
+				}
+			} else if err := srv.RemoveAdvertiser(ev.Churn.Remove); err != nil {
+				fmt.Fprintln(os.Stderr, "auctionsim: churn remove:", err)
+				os.Exit(1)
+			}
+			continue
+		}
+		// Pace to the scripted arrival offset; sleeping only for gaps
+		// the OS timer can resolve keeps high-qps streams accurate.
+		if ahead := ev.At - time.Since(start); ahead > 200*time.Microsecond {
+			time.Sleep(ahead)
+		}
+		srv.Submit(ev.Keyword)
+		submitted++
+		if submitted >= nextReport {
+			nextReport += o.report
+			st := srv.Stats()
+			fmt.Printf("%.1fs\t%d\t%d\t%d\t%d\t%d\t%.0f\t%.1f\t%.1f\t%.1f\n",
+				time.Since(start).Seconds(), st.Submitted, st.Served, st.Shed,
+				st.Advertisers, st.Epoch, st.WindowThroughput,
+				float64(st.P50.Nanoseconds())/1000,
+				float64(st.P95.Nanoseconds())/1000,
+				float64(st.P99.Nanoseconds())/1000)
+		}
+	}
+	st := srv.Close()
+	fmt.Printf("drained: submitted=%d served=%d shed=%d (identity %v) unrouted=%d epochs=%d advertisers=%d\n",
+		st.Submitted, st.Served, st.Shed, st.Served+st.Shed == st.Submitted,
+		st.Unrouted, st.Epoch, st.Advertisers)
+	fmt.Printf("totals: revenue=%.0f clicks=%d fill=%.1f%% in %v (%.0f qps lifetime)\n",
+		st.Revenue, st.Clicks, 100*float64(st.Filled)/float64(st.TotalSlots),
+		st.Elapsed.Round(time.Millisecond), st.Throughput)
+	for i, ps := range st.PerShard {
+		fmt.Printf("  shard %d: served=%d shed=%d epoch=%d\n", i, ps.Served, ps.Shed, ps.Epoch)
+	}
+}
+
+func parsePolicy(s string) (stream.Policy, error) {
+	switch strings.ToLower(s) {
+	case "block":
+		return stream.Block, nil
+	case "shed":
+		return stream.Shed, nil
+	}
+	return 0, fmt.Errorf("unknown overload policy %q (want block, shed)", s)
 }
 
 func parseMethod(s string) (strategy.Method, error) {

@@ -121,6 +121,10 @@ type Stats struct {
 // Serve may be called repeatedly (markets persist and keep evolving,
 // exactly like a long-running World), but not concurrently — the
 // engine serializes whole batches, parallelism lives inside a batch.
+// The streaming layer (internal/stream) drives the same markets
+// through persistent workers instead: one goroutine per shard calling
+// ServeOne, with RebuildShard applying live advertiser churn at
+// auction boundaries.
 type Engine struct {
 	inst    *workload.Instance
 	cfg     Config
@@ -129,6 +133,15 @@ type Engine struct {
 	kwIndex *kwmatch.Index
 
 	mu sync.Mutex // serializes Serve calls
+
+	// Persistent batch-serve scratch: the per-shard feed channels, the
+	// per-shard totals, and the latency sample buffer are allocated once
+	// (lazily, at the first serve) and reused by every subsequent batch,
+	// so a long-running server's steady per-batch cost is goroutine
+	// spawns only, not O(shards + len(queries)) fresh buffers.
+	chans  []chan int
+	totals []Totals
+	lat    []int64
 }
 
 // New builds an engine over inst. Every keyword gets an independent
@@ -169,6 +182,15 @@ func New(inst *workload.Instance, cfg Config) *Engine {
 
 // Shards returns the number of worker shards the engine runs.
 func (e *Engine) Shards() int { return e.cfg.Shards }
+
+// QueueDepth returns the per-shard bounded-queue capacity after the
+// constructor's defaulting — the streaming layer sizes its own
+// channels from it.
+func (e *Engine) QueueDepth() int { return e.cfg.QueueDepth }
+
+// ShardOf returns the shard that owns keyword q; all of q's auctions
+// run on that shard's goroutine, batch or streaming alike.
+func (e *Engine) ShardOf(q int) int { return e.shardOf[q] }
 
 // KeywordMarket exposes keyword q's market for inspection (bids,
 // accounting) — test and diagnostic use; do not call while Serve runs.
@@ -230,11 +252,72 @@ func (e *Engine) ServeText(queries []string) *Stats {
 	return st
 }
 
-// shardTotals is one worker's private aggregate, merged after the
-// batch completes so workers never share cache lines mid-flight.
-type shardTotals struct {
-	auctions, clicks, filled, slots int
-	revenue                         float64
+// Totals is one serving worker's private aggregate: the batch path
+// merges per-shard Totals after the batch completes, and the
+// streaming layer accumulates into a per-shard Totals under its stats
+// lock — both through the same Add, so the two paths cannot drift in
+// what they count.
+type Totals struct {
+	Auctions, Clicks, Filled, Slots int
+	Revenue                         float64
+}
+
+// Add accumulates one auction outcome.
+func (t *Totals) Add(out *Outcome) {
+	t.Auctions++
+	t.Revenue += out.Revenue
+	for j := range out.AdvOf {
+		t.Slots++
+		if out.AdvOf[j] >= 0 {
+			t.Filled++
+		}
+		if out.Clicked[j] {
+			t.Clicks++
+		}
+	}
+}
+
+// ServeOne runs one auction for keyword q on the calling goroutine and
+// accumulates it into tot — the single per-query serving step shared
+// by the batch workers and the streaming layer's persistent workers.
+// The returned outcome is owned by q's market and valid only until its
+// next auction. The caller must be the sole concurrent runner of q's
+// shard; allocation-free in steady state under MethodRH/MethodRHTALU.
+func (e *Engine) ServeOne(q int, tot *Totals) *Outcome {
+	out := e.markets[q].Run(q)
+	tot.Add(out)
+	return out
+}
+
+// RebuildShard replaces every market owned by shard s with a freshly
+// constructed market over inst, seeded with the engine's own
+// KeywordSeed — the streaming layer's churn fence. Because the caller
+// invokes it between auctions on the goroutine that owns shard s, no
+// in-flight auction is ever torn, and because a fresh market over inst
+// is exactly what New would build, the shard's subsequent outcomes are
+// byte-identical to a freshly constructed engine over inst. The
+// keyword catalog must be unchanged (only the advertiser population
+// churns).
+func (e *Engine) RebuildShard(s int, inst *workload.Instance) {
+	if inst.Keywords != len(e.markets) {
+		panic(fmt.Sprintf("engine: RebuildShard keyword catalog changed (%d != %d)", inst.Keywords, len(e.markets)))
+	}
+	for q := range e.markets {
+		if e.shardOf[q] == s {
+			e.markets[q] = NewMarketPriced(inst, e.cfg.Method, e.cfg.Pricing, KeywordSeed(e.cfg.ClickSeed, q))
+		}
+	}
+}
+
+// SetInstance repoints the engine's population reference after a churn
+// (batch-serve validation and diagnostics read it). The caller must
+// ensure no Serve call is in flight; the streaming layer invokes it
+// under its churn lock.
+func (e *Engine) SetInstance(inst *workload.Instance) {
+	if inst.Keywords != len(e.markets) {
+		panic(fmt.Sprintf("engine: SetInstance keyword catalog changed (%d != %d)", inst.Keywords, len(e.markets)))
+	}
+	e.inst = inst
 }
 
 func (e *Engine) serve(queries []int, results []*Outcome) *Stats {
@@ -248,72 +331,83 @@ func (e *Engine) serve(queries []int, results []*Outcome) *Stats {
 	}
 
 	shards := e.cfg.Shards
-	chans := make([]chan int, shards)
-	totals := make([]shardTotals, shards)
-	latencies := make([]int64, len(queries))
+	if e.chans == nil {
+		e.chans = make([]chan int, shards)
+		for s := range e.chans {
+			e.chans[s] = make(chan int, e.cfg.QueueDepth)
+		}
+		e.totals = make([]Totals, shards)
+	}
+	if cap(e.lat) < len(queries) {
+		e.lat = make([]int64, len(queries))
+	}
+	latencies := e.lat[:len(queries)]
 	var wg sync.WaitGroup
 	start := time.Now()
 	for s := 0; s < shards; s++ {
-		ch := make(chan int, e.cfg.QueueDepth)
-		chans[s] = ch
+		ch := e.chans[s]
 		wg.Add(1)
 		go func(s int, ch <-chan int) {
 			defer wg.Done()
-			var tot shardTotals
+			// Accumulate into a worker-local Totals and publish it once
+			// on exit: adjacent e.totals entries share cache lines, and
+			// per-auction writes there would ping-pong them across cores.
+			var tot Totals
+			defer func() { e.totals[s] = tot }()
+			// The channels persist across batches, so workers stop on a
+			// −1 sentinel rather than channel close.
 			for idx := range ch {
+				if idx < 0 {
+					return
+				}
 				q := queries[idx]
 				t0 := time.Now()
-				out := e.markets[q].Run(q)
+				out := e.ServeOne(q, &tot)
 				latencies[idx] = int64(time.Since(t0))
-				tot.auctions++
-				tot.revenue += out.Revenue
-				for j := range out.AdvOf {
-					tot.slots++
-					if out.AdvOf[j] >= 0 {
-						tot.filled++
-					}
-					if out.Clicked[j] {
-						tot.clicks++
-					}
-				}
 				if results != nil {
 					results[idx] = out.Clone()
 				}
 			}
-			totals[s] = tot
 		}(s, ch)
 	}
 	// Feed in arrival order. A keyword lives on exactly one shard, so
 	// the per-keyword auction order is the arrival order regardless of
 	// how shards interleave; the bounded channels provide backpressure.
 	for idx, q := range queries {
-		chans[e.shardOf[q]] <- idx
+		e.chans[e.shardOf[q]] <- idx
 	}
-	for _, ch := range chans {
-		close(ch)
+	for _, ch := range e.chans {
+		ch <- -1
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
 
 	st := &Stats{Elapsed: elapsed}
-	for _, tot := range totals {
-		st.Auctions += tot.auctions
-		st.Revenue += tot.revenue
-		st.Clicks += tot.clicks
-		st.Filled += tot.filled
-		st.TotalSlots += tot.slots
+	for s := range e.totals {
+		tot := &e.totals[s]
+		st.Auctions += tot.Auctions
+		st.Revenue += tot.Revenue
+		st.Clicks += tot.Clicks
+		st.Filled += tot.Filled
+		st.TotalSlots += tot.Slots
 	}
 	if elapsed > 0 {
 		st.Throughput = float64(st.Auctions) / elapsed.Seconds()
 	}
 	if len(latencies) > 0 {
-		sort.Slice(latencies, func(a, b int) bool { return latencies[a] < latencies[b] })
-		pct := func(p float64) time.Duration {
-			idx := int(p * float64(len(latencies)-1))
-			return time.Duration(latencies[idx])
-		}
-		st.P50, st.P95, st.P99 = pct(0.50), pct(0.95), pct(0.99)
-		st.Max = time.Duration(latencies[len(latencies)-1])
+		st.P50, st.P95, st.P99, st.Max = SummarizeLatencies(latencies)
 	}
 	return st
+}
+
+// SummarizeLatencies sorts lat (in place, nanoseconds) and returns
+// the p50/p95/p99/max service latencies — the one percentile
+// convention shared by the batch Stats and the streaming layer's
+// rolling windows.
+func SummarizeLatencies(lat []int64) (p50, p95, p99, max time.Duration) {
+	sort.Slice(lat, func(a, b int) bool { return lat[a] < lat[b] })
+	pct := func(p float64) time.Duration {
+		return time.Duration(lat[int(p*float64(len(lat)-1))])
+	}
+	return pct(0.50), pct(0.95), pct(0.99), time.Duration(lat[len(lat)-1])
 }

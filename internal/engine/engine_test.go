@@ -152,6 +152,83 @@ func TestEngineTextRouting(t *testing.T) {
 	}
 }
 
+// TestEngineServeReusesBuffers: the batch path's per-call scratch —
+// feed channels, per-shard totals, and the latency sample buffer — is
+// allocated once and reused, so a long-running server's steady
+// per-batch overhead is goroutine spawns only.
+func TestEngineServeReusesBuffers(t *testing.T) {
+	inst := workload.Generate(rand.New(rand.NewSource(80)), 40, 4, 6)
+	queries := inst.Queries(rand.New(rand.NewSource(81)), 600)
+	e := New(inst, Config{Shards: 3, Method: MethodRH, ClickSeed: 4})
+	e.Serve(queries)
+	lat0, ch0 := &e.lat[0], e.chans[0]
+	e.Serve(queries[:300]) // smaller batch: the latency buffer must not shrink
+	if &e.lat[0] != lat0 || e.chans[0] != ch0 {
+		t.Fatal("Serve reallocated its persistent scratch on a second batch")
+	}
+	if cap(e.lat) < len(queries) {
+		t.Fatalf("latency buffer shrank to %d, want >= %d", cap(e.lat), len(queries))
+	}
+	// And a larger batch grows the buffer without disturbing outcomes.
+	st := e.Serve(append(append([]int(nil), queries...), queries...))
+	if st.Auctions != 2*len(queries) {
+		t.Fatalf("grown batch served %d, want %d", st.Auctions, 2*len(queries))
+	}
+}
+
+// TestEngineServeTextMixedAccounting: under a long interleaved stream
+// of routed and unrouted free-text queries, every query is accounted
+// exactly once — Auctions + Unrouted == submitted — and the unrouted
+// ones are pure no-ops: the routed subsequence produces the same
+// market evolution as serving it alone.
+func TestEngineServeTextMixedAccounting(t *testing.T) {
+	inst := workload.Generate(rand.New(rand.NewSource(82)), 40, 4, 3)
+	names := []string{"leather boot", "running shoe", "garden hose"}
+	mk := func() *Engine {
+		return New(inst, Config{Shards: 2, Method: MethodRH, ClickSeed: 13, KeywordNames: names})
+	}
+	junk := []string{"quantum gravity", "", "zzz unknown tokens", "plasma lattice"}
+	rng := rand.New(rand.NewSource(83))
+	var text []string
+	var routedOnly []string
+	wantUnrouted := 0
+	for i := 0; i < 800; i++ {
+		if rng.Intn(3) == 0 {
+			text = append(text, junk[rng.Intn(len(junk))])
+			wantUnrouted++
+		} else {
+			s := names[rng.Intn(len(names))]
+			text = append(text, s)
+			routedOnly = append(routedOnly, s)
+		}
+	}
+	a := mk()
+	st := a.ServeText(text)
+	if st.Unrouted != wantUnrouted {
+		t.Fatalf("Unrouted = %d, want %d", st.Unrouted, wantUnrouted)
+	}
+	if st.Auctions+st.Unrouted != len(text) {
+		t.Fatalf("accounting leak: %d auctions + %d unrouted != %d submitted",
+			st.Auctions, st.Unrouted, len(text))
+	}
+	b := mk()
+	st2 := b.ServeText(routedOnly)
+	if st2.Unrouted != 0 || st2.Auctions != len(routedOnly) {
+		t.Fatalf("routed-only control: %d auctions, %d unrouted", st2.Auctions, st2.Unrouted)
+	}
+	if st.Revenue != st2.Revenue || st.Clicks != st2.Clicks || st.Filled != st2.Filled {
+		t.Fatalf("unrouted queries perturbed the market: mixed (rev=%g clicks=%d) vs routed-only (rev=%g clicks=%d)",
+			st.Revenue, st.Clicks, st2.Revenue, st2.Clicks)
+	}
+	for q := 0; q < inst.Keywords; q++ {
+		for i := 0; i < inst.N; i++ {
+			if a.KeywordMarket(q).Bid(i, q) != b.KeywordMarket(q).Bid(i, q) {
+				t.Fatalf("bid[%d][%d] differs between mixed and routed-only streams", i, q)
+			}
+		}
+	}
+}
+
 // TestMarketRunMatchesRunAuction: the reused-outcome hot path and the
 // retainable-outcome facade must report the same auctions.
 func TestMarketRunMatchesRunAuction(t *testing.T) {

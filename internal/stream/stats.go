@@ -1,0 +1,140 @@
+package stream
+
+import (
+	"time"
+
+	"repro/internal/engine"
+)
+
+// Stats is one snapshot of a streaming server — taken live by Stats()
+// or flushed final by Close(). Unlike the batch engine.Stats, counts
+// are cumulative over the server's whole life and the latency and
+// throughput figures come from a rolling window of the most recent
+// auctions, which is what a long-running server's operator actually
+// watches.
+type Stats struct {
+	// Submitted counts every query accepted by Submit/SubmitText into
+	// the admission stage: the ones served plus the ones shed plus the
+	// ones still queued. After Close the queues are drained, so
+	// Submitted == Served + Shed exactly.
+	Submitted int64
+	// Served is the number of auctions completed.
+	Served int64
+	// Shed counts queries dropped by the Shed overload policy, per the
+	// admission contract: counted at the moment of rejection, never
+	// silently lost.
+	Shed int64
+	// Pending is Submitted − Served − Shed: queries sitting in shard
+	// queues at snapshot time (always 0 in a Close flush).
+	Pending int64
+	// Unrouted counts SubmitText queries that matched no catalog
+	// keyword; they never enter a queue and are not in Submitted.
+	Unrouted int64
+
+	// Revenue, Clicks, Filled, and TotalSlots aggregate the served
+	// auctions, exactly as the batch engine counts them.
+	Revenue    float64
+	Clicks     int
+	Filled     int
+	TotalSlots int
+
+	// Epoch counts churn fences published; each shard applies its
+	// fence at its next auction boundary, so a live snapshot may show
+	// PerShard entries still behind Epoch. After Close every shard has
+	// drained its fences and all agree with Epoch. Advertisers is the
+	// published (post-fence) population size.
+	Epoch       int
+	Advertisers int
+
+	// Elapsed spans server start to this snapshot (to Close for the
+	// final flush); Throughput is lifetime Served/Elapsed.
+	Elapsed    time.Duration
+	Throughput float64
+
+	// WindowThroughput and the percentiles summarize the rolling
+	// window: the most recent Window auctions per shard.
+	WindowThroughput   float64
+	P50, P95, P99, Max time.Duration
+
+	// PerShard breaks the aggregate down by worker shard.
+	PerShard []ShardStats
+}
+
+// ShardStats is one shard's slice of a snapshot.
+type ShardStats struct {
+	Served int
+	Shed   int64
+	Queued int // queue length at snapshot time
+	Epoch  int
+}
+
+// window is a fixed-size ring of recent auction samples — completion
+// timestamp and service latency — owned by one shard worker and read
+// under the shard's stats lock. Writing is two array stores and one
+// increment: nothing on the hot path allocates or contends beyond the
+// shard's own lock.
+type window struct {
+	done []int64 // completion time, unix nanos
+	lat  []int64 // service latency, nanos
+	n    int64   // samples ever written
+}
+
+func newWindow(size int) *window {
+	return &window{done: make([]int64, size), lat: make([]int64, size)}
+}
+
+func (w *window) add(done, lat int64) {
+	i := w.n % int64(len(w.lat))
+	w.done[i] = done
+	w.lat[i] = lat
+	w.n++
+}
+
+// count returns the number of valid samples in the ring.
+func (w *window) count() int {
+	if w.n < int64(len(w.lat)) {
+		return int(w.n)
+	}
+	return len(w.lat)
+}
+
+// appendTo copies the valid samples into the two destination slices.
+func (w *window) appendTo(done, lat []int64) ([]int64, []int64) {
+	c := w.count()
+	return append(done, w.done[:c]...), append(lat, w.lat[:c]...)
+}
+
+// summarize fills a snapshot's rolling-window figures from the merged
+// per-shard samples: percentiles over the latencies (the engine's
+// shared convention), and window throughput from the completion
+// -timestamp span. Samples completed before cutoff (unix nanos) are
+// discarded first: a shard left cold by skewed traffic retains
+// arbitrarily old ring entries, and "rolling" must mean recent, not
+// merely last-N-per-shard.
+func (st *Stats) summarize(done, lat []int64, cutoff int64) {
+	w := 0
+	for i, d := range done {
+		if d >= cutoff {
+			done[w], lat[w] = d, lat[i]
+			w++
+		}
+	}
+	done, lat = done[:w], lat[:w]
+	if len(lat) == 0 {
+		return
+	}
+	st.P50, st.P95, st.P99, st.Max = engine.SummarizeLatencies(lat)
+
+	lo, hi := done[0], done[0]
+	for _, d := range done[1:] {
+		if d < lo {
+			lo = d
+		}
+		if d > hi {
+			hi = d
+		}
+	}
+	if hi > lo && len(done) > 1 {
+		st.WindowThroughput = float64(len(done)-1) / (time.Duration(hi - lo)).Seconds()
+	}
+}

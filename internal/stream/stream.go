@@ -1,0 +1,442 @@
+// Package stream is the open-world serving layer: a long-running
+// Server wrapping engine.Engine that turns the closed-batch Serve
+// model into continuous ingestion — the system the paper's premise
+// (§I, §V: queries and budgets arrive over time against an evolving
+// advertiser base) actually calls for, and the shape Feldman &
+// Muthukrishnan's survey frames sponsored search as.
+//
+// # Worker model
+//
+// Where Engine.Serve spins up goroutines per batch, a Server starts
+// one persistent worker per engine shard at construction, each
+// draining a bounded channel of query items for the keywords that
+// shard owns. Submit routes a keyword query to its shard's queue;
+// SubmitText routes free text through the engine's keyword index
+// first. Per-keyword FIFO order — and with it the engine's sequential
+// -equivalence contract — is preserved exactly as in batch mode,
+// because a keyword still lives on exactly one shard.
+//
+// # Admission control
+//
+// The queues are bounded, and Config.Overload picks what saturation
+// means: Block (backpressure — Submit waits for space, nothing is
+// ever dropped) or Shed (Submit never blocks — a query that finds its
+// shard's queue full is rejected immediately and counted in that
+// shard's shed tally). Shed queries are accounted, never silently
+// lost: after Close, Submitted == Served + Shed exactly.
+//
+// # Live churn
+//
+// AddAdvertiser and RemoveAdvertiser change the population while the
+// server runs. A churn builds the post-churn workload.Instance and
+// enqueues an epoch fence in-band into every shard's queue; each
+// worker applies the fence between auctions (never tearing one) by
+// rebuilding its markets over the new instance via
+// engine.RebuildShard. Because a rebuilt market is exactly what a
+// fresh engine.New over the post-churn instance would build, the
+// server's post-fence outcomes are byte-identical to a freshly
+// constructed engine serving the same per-keyword subsequences — the
+// contract the churn equivalence test pins under -race. Queries
+// submitted before a churn call run against the old population,
+// queries after it against the new one, per shard, in submission
+// order.
+//
+// # Drain
+//
+// Close stops intake (subsequent Submits are rejected without being
+// counted), drains every queue to empty, joins the workers, and
+// flushes the final Stats snapshot — rolling-window p50/p95/p99
+// latency and throughput over the last Config.Window auctions per
+// shard, lifetime totals, and the per-shard breakdown.
+package stream
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/workload"
+)
+
+// Policy selects what a full shard queue means to Submit.
+type Policy int
+
+const (
+	// Block applies backpressure: Submit waits for queue space; no
+	// query is ever dropped.
+	Block Policy = iota
+	// Shed keeps the submitter wait-free: a query arriving at a full
+	// queue is dropped and counted in Stats.Shed.
+	Shed
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case Block:
+		return "block"
+	case Shed:
+		return "shed"
+	default:
+		return "Policy(?)"
+	}
+}
+
+// Config tunes a streaming server.
+type Config struct {
+	// Engine configures the wrapped serving engine: shards, per-shard
+	// queue depth, winner-determination method, payment rule, click
+	// seed, and keyword names for text routing.
+	Engine engine.Config
+	// Overload picks the admission policy at queue saturation
+	// (default Block).
+	Overload Policy
+	// Window is the per-shard rolling-window size, in auctions, behind
+	// the latency percentiles and window throughput (default 1024).
+	Window int
+	// WindowAge bounds the age of rolling-window samples: auctions
+	// completed longer ago than this are excluded from the window
+	// percentiles and throughput (default 10s). Without it, a shard
+	// left cold by skewed traffic would contribute arbitrarily old
+	// samples and drag the "recent" figures toward history. Lifetime
+	// totals are unaffected.
+	WindowAge time.Duration
+	// Sink, when non-nil, observes every auction outcome on the
+	// serving shard's goroutine. The outcome is owned by the keyword's
+	// market and valid only for the duration of the call; Clone it to
+	// retain. The callback must not call back into the Server.
+	Sink func(*engine.Outcome)
+}
+
+// itemKind tags a shard-queue entry.
+type itemKind uint8
+
+const (
+	itemQuery itemKind = iota
+	itemChurn
+)
+
+// item is one shard-queue entry: a keyword query, or an epoch fence
+// carrying the post-churn population.
+type item struct {
+	kind  itemKind
+	q     int
+	epoch int
+	inst  *workload.Instance
+}
+
+// shard is one persistent worker's state: its feed queue, the
+// submitter-side shed tally, and the worker-side serving aggregates
+// guarded by mu (locked briefly per auction; Stats snapshots under
+// the same lock).
+type shard struct {
+	id   int
+	ch   chan item
+	shed atomic.Int64
+
+	mu    sync.Mutex
+	tot   engine.Totals
+	epoch int
+	win   *window
+}
+
+// Server is the long-running streaming front end. Construct with
+// NewServer; it is live immediately. Submit/SubmitText may be called
+// from any goroutine; churn and Close may run concurrently with
+// submission (ordering between concurrent callers is the callers'
+// own).
+type Server struct {
+	eng      *engine.Engine
+	cfg      Config
+	keywords int // catalog size; immutable (only advertisers churn)
+	shards   []*shard
+	wg       sync.WaitGroup
+	start    time.Time
+
+	submitted atomic.Int64
+	unrouted  atomic.Int64
+
+	// mu guards the admission gate (closed) and the churn state
+	// (inst, epoch); Submit holds it shared, churn and Close exclusive.
+	// Critically, no blocking channel send ever happens under an
+	// exclusive hold of mu, so Shed-policy Submit stays wait-free even
+	// while a churn or Close is in progress.
+	mu     sync.RWMutex
+	inst   *workload.Instance
+	epoch  int
+	closed bool
+
+	// churnMu serializes the fence-publication phase of churn and
+	// Close's queue-closing against each other, outside mu: fences for
+	// successive epochs land in every shard queue in epoch order, and
+	// a queue is never closed mid-publication. Lock order: churnMu
+	// before mu.
+	churnMu sync.Mutex
+
+	closeOnce sync.Once
+	closedAt  time.Time
+	final     *Stats
+}
+
+// NewServer builds a streaming server over inst and starts its
+// persistent shard workers.
+func NewServer(inst *workload.Instance, cfg Config) *Server {
+	if cfg.Window <= 0 {
+		cfg.Window = 1024
+	}
+	if cfg.WindowAge <= 0 {
+		cfg.WindowAge = 10 * time.Second
+	}
+	s := &Server{
+		eng:      engine.New(inst, cfg.Engine),
+		cfg:      cfg,
+		keywords: inst.Keywords,
+		inst:     inst,
+		start:    time.Now(),
+	}
+	s.shards = make([]*shard, s.eng.Shards())
+	for i := range s.shards {
+		s.shards[i] = &shard{
+			id:  i,
+			ch:  make(chan item, s.eng.QueueDepth()),
+			win: newWindow(cfg.Window),
+		}
+		s.wg.Add(1)
+		go s.worker(s.shards[i])
+	}
+	return s
+}
+
+// worker is one shard's persistent serving loop: queries run through
+// the engine's shared per-auction step (engine.ServeOne), epoch
+// fences rebuild the shard's markets between auctions. Exits when the
+// queue is closed and drained.
+func (s *Server) worker(sh *shard) {
+	defer s.wg.Done()
+	// The auction itself runs outside sh.mu — this goroutine is the
+	// shard's sole runner, so only the stats publication needs the
+	// lock (a 40-byte copy plus two ring stores). A Stats snapshot
+	// therefore never waits behind an in-flight auction, and a slow
+	// auction (heavy+VCG is ~30ms) never holds snapshots hostage.
+	var tot engine.Totals
+	for it := range sh.ch {
+		if it.kind == itemChurn {
+			s.eng.RebuildShard(sh.id, it.inst)
+			sh.mu.Lock()
+			sh.epoch = it.epoch
+			sh.mu.Unlock()
+			continue
+		}
+		t0 := time.Now()
+		out := s.eng.ServeOne(it.q, &tot)
+		now := time.Now()
+		sh.mu.Lock()
+		sh.tot = tot
+		sh.win.add(now.UnixNano(), int64(now.Sub(t0)))
+		sh.mu.Unlock()
+		if s.cfg.Sink != nil {
+			s.cfg.Sink(out)
+		}
+	}
+}
+
+// Submit offers one keyword query for service. It reports true when
+// the query was queued (it will be served), false when it was shed
+// (Shed policy, full queue — counted in Stats.Shed) or the server is
+// closed (not counted at all). Under Block it waits for queue space
+// and, on an open server, always returns true.
+func (s *Server) Submit(q int) bool {
+	if q < 0 || q >= s.keywords {
+		panic(fmt.Sprintf("stream: query keyword %d out of range [0,%d)", q, s.keywords))
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return false
+	}
+	sh := s.shards[s.eng.ShardOf(q)]
+	s.submitted.Add(1)
+	if s.cfg.Overload == Shed {
+		select {
+		case sh.ch <- item{kind: itemQuery, q: q}:
+			return true
+		default:
+			sh.shed.Add(1)
+			return false
+		}
+	}
+	sh.ch <- item{kind: itemQuery, q: q}
+	return true
+}
+
+// SubmitText routes a free-text search through the keyword index and
+// submits the matched keyword. Unrouted text (no catalog keyword
+// shares a token) is counted in Stats.Unrouted and reported false; it
+// never enters a queue. Like Submit, a closed server rejects without
+// counting anything.
+func (s *Server) SubmitText(query string) bool {
+	q, ok := s.eng.RouteText(query)
+	if !ok {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		if !s.closed {
+			s.unrouted.Add(1)
+		}
+		return false
+	}
+	return s.Submit(q)
+}
+
+// AddAdvertiser admits a into the live population and returns its
+// advertiser index (the highest index of the post-churn instance).
+// The change is applied per shard at the next auction boundary via an
+// in-band epoch fence: queries submitted before this call see the old
+// population, queries submitted after it see the new one.
+func (s *Server) AddAdvertiser(a workload.Advertiser) (int, error) {
+	s.churnMu.Lock()
+	defer s.churnMu.Unlock()
+	next, err := s.applyChurn(func(cur *workload.Instance) (*workload.Instance, error) {
+		return cur.WithAdvertiser(a)
+	})
+	if err != nil {
+		return 0, fmt.Errorf("stream: AddAdvertiser: %w", err)
+	}
+	return next.N - 1, nil
+}
+
+// RemoveAdvertiser evicts advertiser i from the live population;
+// advertisers above i shift down one index, exactly as in
+// workload.Instance.WithoutAdvertiser. Applied at auction boundaries
+// like AddAdvertiser.
+func (s *Server) RemoveAdvertiser(i int) error {
+	s.churnMu.Lock()
+	defer s.churnMu.Unlock()
+	if _, err := s.applyChurn(func(cur *workload.Instance) (*workload.Instance, error) {
+		return cur.WithoutAdvertiser(i)
+	}); err != nil {
+		return fmt.Errorf("stream: RemoveAdvertiser: %w", err)
+	}
+	return nil
+}
+
+// applyChurn derives and publishes the post-churn instance under
+// churnMu: the churn state flips under a brief exclusive hold of mu,
+// then one fence is pushed into every shard queue with mu released —
+// fences always use blocking sends (population changes are rare
+// control traffic that must never be shed), and doing so outside mu
+// keeps Shed-policy Submit wait-free even against a fence stuck
+// behind a saturated queue. churnMu keeps successive epochs' fences
+// in order in every queue and excludes Close's queue-closing.
+func (s *Server) applyChurn(derive func(*workload.Instance) (*workload.Instance, error)) (*workload.Instance, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("server is closed")
+	}
+	next, err := derive(s.inst)
+	if err != nil {
+		s.mu.Unlock()
+		return nil, err
+	}
+	s.inst = next
+	s.epoch++
+	epoch := s.epoch
+	s.eng.SetInstance(next)
+	s.mu.Unlock()
+	for _, sh := range s.shards {
+		sh.ch <- item{kind: itemChurn, epoch: epoch, inst: next}
+	}
+	return next, nil
+}
+
+// Instance returns the current advertiser population (the post-churn
+// instance once all pending fences are applied).
+func (s *Server) Instance() *workload.Instance {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.inst
+}
+
+// Engine exposes the wrapped serving engine for inspection (markets,
+// accounting). Safe to use only after Close, or for read paths that
+// tolerate concurrent serving.
+func (s *Server) Engine() *engine.Engine { return s.eng }
+
+// Shards returns the number of persistent worker shards.
+func (s *Server) Shards() int { return len(s.shards) }
+
+// Stats takes a live snapshot: cumulative admission and serving
+// counters, the current churn epoch, and rolling-window latency and
+// throughput over the most recent auctions.
+func (s *Server) Stats() *Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.snapshotLocked(time.Since(s.start))
+}
+
+// snapshotLocked assembles a Stats under at least a read-hold of s.mu.
+func (s *Server) snapshotLocked(elapsed time.Duration) *Stats {
+	st := &Stats{
+		Unrouted:    s.unrouted.Load(),
+		Epoch:       s.epoch,
+		Advertisers: s.inst.N,
+		Elapsed:     elapsed,
+		PerShard:    make([]ShardStats, len(s.shards)),
+	}
+	var done, lat []int64
+	for i, sh := range s.shards {
+		shed := sh.shed.Load()
+		sh.mu.Lock()
+		tot := sh.tot
+		epoch := sh.epoch
+		done, lat = sh.win.appendTo(done, lat)
+		sh.mu.Unlock()
+		st.PerShard[i] = ShardStats{Served: tot.Auctions, Shed: shed, Queued: len(sh.ch), Epoch: epoch}
+		st.Served += int64(tot.Auctions)
+		st.Shed += shed
+		st.Revenue += tot.Revenue
+		st.Clicks += tot.Clicks
+		st.Filled += tot.Filled
+		st.TotalSlots += tot.Slots
+	}
+	// Submitted is read after the served/shed tallies: every query those
+	// counted was admission-counted first, so a live snapshot's Pending
+	// (Submitted − Served − Shed) can overstate the queues by in-flight
+	// admissions but never go negative.
+	st.Submitted = s.submitted.Load()
+	st.Pending = st.Submitted - st.Served - st.Shed
+	if elapsed > 0 {
+		st.Throughput = float64(st.Served) / elapsed.Seconds()
+	}
+	st.summarize(done, lat, time.Now().Add(-s.cfg.WindowAge).UnixNano())
+	return st
+}
+
+// Close gracefully drains the server: intake stops (concurrent and
+// subsequent Submits are rejected and not counted), every queued
+// query is served, pending churn fences are applied, the workers
+// exit, and the final Stats is flushed and returned. Close is
+// idempotent; later calls return the same final snapshot.
+func (s *Server) Close() *Stats {
+	s.closeOnce.Do(func() {
+		s.churnMu.Lock()
+		s.mu.Lock()
+		s.closed = true
+		s.mu.Unlock()
+		// No submitter can hold mu now and churnMu excludes an
+		// in-flight fence publication, so no further sends can race
+		// the close: drain is exact.
+		for _, sh := range s.shards {
+			close(sh.ch)
+		}
+		s.churnMu.Unlock()
+		s.wg.Wait()
+		s.closedAt = time.Now()
+		s.mu.RLock()
+		s.final = s.snapshotLocked(s.closedAt.Sub(s.start))
+		s.mu.RUnlock()
+	})
+	return s.final
+}

@@ -1,0 +1,528 @@
+package stream
+
+import (
+	"flag"
+	"math/rand"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/racetest"
+	"repro/internal/workload"
+)
+
+// soakDur is the length of the randomized soak (TestStreamSoak); CI's
+// race-enabled soak step raises it (go test ./internal/stream -race
+// -soak=5s).
+var soakDur = flag.Duration("soak", 600*time.Millisecond, "duration of the randomized streaming soak")
+
+// collectPerKeyword returns a Sink that clones every outcome into a
+// per-keyword sequence. A keyword is served by exactly one shard
+// goroutine, so the per-keyword slices need no locking; reading them
+// is safe once Close has returned.
+func collectPerKeyword(keywords int) (func(*engine.Outcome), [][]*engine.Outcome) {
+	got := make([][]*engine.Outcome, keywords)
+	return func(out *engine.Outcome) {
+		got[out.Query] = append(got[out.Query], out.Clone())
+	}, got
+}
+
+// phasedReference serves each phase's query subsequence through a
+// freshly built engine over that phase's population — the literal
+// "freshly built engine with the post-churn population" of the churn
+// contract — and returns the expected per-keyword outcome sequences,
+// concatenated across phases.
+func phasedReference(t *testing.T, cfg engine.Config, phases []struct {
+	inst    *workload.Instance
+	queries []int
+}) [][]*engine.Outcome {
+	t.Helper()
+	keywords := phases[0].inst.Keywords
+	want := make([][]*engine.Outcome, keywords)
+	for _, ph := range phases {
+		fresh := engine.New(ph.inst, cfg)
+		outs, st := fresh.ServeOutcomes(ph.queries)
+		if st.Auctions != len(ph.queries) {
+			t.Fatalf("reference engine served %d of %d", st.Auctions, len(ph.queries))
+		}
+		for _, o := range outs {
+			want[o.Query] = append(want[o.Query], o)
+		}
+	}
+	return want
+}
+
+func comparePerKeyword(t *testing.T, label string, got, want [][]*engine.Outcome) {
+	t.Helper()
+	for q := range want {
+		if len(got[q]) != len(want[q]) {
+			t.Fatalf("%s: kw %d served %d auctions, want %d", label, q, len(got[q]), len(want[q]))
+		}
+		for a := range want[q] {
+			if !got[q][a].Equal(want[q][a]) {
+				t.Fatalf("%s: kw %d auction %d: streamed %+v != fresh-engine %+v",
+					label, q, a, got[q][a], want[q][a])
+			}
+		}
+	}
+}
+
+// TestStreamMatchesBatchEngine: without churn, the streaming server is
+// the batch engine — every keyword's outcome sequence is byte-identical
+// to Engine.ServeOutcomes over the same stream. Run under -race this
+// also exercises the persistent workers against concurrent Stats.
+func TestStreamMatchesBatchEngine(t *testing.T) {
+	for _, method := range []engine.Method{engine.MethodRH, engine.MethodRHTALU} {
+		inst := workload.Generate(rand.New(rand.NewSource(31)), 70, 5, 7)
+		queries := inst.Queries(rand.New(rand.NewSource(32)), 800)
+		ecfg := engine.Config{Shards: 3, QueueDepth: 8, Method: method, ClickSeed: 19}
+		sink, got := collectPerKeyword(inst.Keywords)
+		s := NewServer(inst, Config{Engine: ecfg, Sink: sink})
+		done := make(chan struct{})
+		go func() { // concurrent observer: snapshots must never tear
+			defer close(done)
+			for i := 0; i < 50; i++ {
+				s.Stats()
+				time.Sleep(time.Millisecond)
+			}
+		}()
+		for _, q := range queries {
+			if !s.Submit(q) {
+				t.Fatal("Block-policy Submit rejected a query on an open server")
+			}
+		}
+		st := s.Close()
+		<-done
+		if st.Submitted != int64(len(queries)) || st.Served != int64(len(queries)) ||
+			st.Shed != 0 || st.Pending != 0 {
+			t.Fatalf("accounting: %+v", st)
+		}
+		want := phasedReference(t, ecfg, []struct {
+			inst    *workload.Instance
+			queries []int
+		}{{inst, queries}})
+		comparePerKeyword(t, method.String(), got, want)
+	}
+}
+
+// TestStreamChurnEquivalence is the churn contract, pinned under
+// -race: scripted add/remove events are applied mid-stream with
+// queries still in flight (no quiescing), and every post-churn
+// outcome must be byte-identical to a freshly built engine over the
+// post-churn population serving the same subsequences. The in-band
+// epoch fence makes the phase split exact per keyword: everything
+// submitted before a churn call runs against the old population,
+// everything after against the new one.
+func TestStreamChurnEquivalence(t *testing.T) {
+	for _, method := range []engine.Method{engine.MethodRH, engine.MethodRHTALU} {
+		inst0 := workload.Generate(rand.New(rand.NewSource(33)), 50, 5, 6)
+		rng := rand.New(rand.NewSource(34))
+		qrng := rand.New(rand.NewSource(35))
+
+		newcomerA := workload.RandomAdvertiser(rng, inst0.Slots, inst0.Keywords)
+		newcomerB := workload.RandomAdvertiser(rng, inst0.Slots, inst0.Keywords)
+		inst1, err := inst0.WithAdvertiser(newcomerA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst2, err := inst1.WithoutAdvertiser(7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst3, err := inst2.WithAdvertiser(newcomerB)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		phases := []struct {
+			inst    *workload.Instance
+			queries []int
+		}{
+			{inst0, inst0.Queries(qrng, 300)},
+			{inst1, inst1.Queries(qrng, 250)},
+			{inst2, inst2.Queries(qrng, 250)},
+			{inst3, inst3.Queries(qrng, 200)},
+		}
+
+		for _, shards := range []int{1, 3} {
+			ecfg := engine.Config{Shards: shards, QueueDepth: 4, Method: method, ClickSeed: 23}
+			sink, got := collectPerKeyword(inst0.Keywords)
+			s := NewServer(inst0, Config{Engine: ecfg, Sink: sink})
+
+			for i, ph := range phases {
+				for _, q := range ph.queries {
+					s.Submit(q)
+				}
+				// Churn immediately — queries from this phase are still
+				// queued; the fence must split the phases exactly anyway.
+				switch i {
+				case 0:
+					idx, err := s.AddAdvertiser(newcomerA)
+					if err != nil || idx != inst0.N {
+						t.Fatalf("AddAdvertiser: idx=%d err=%v", idx, err)
+					}
+				case 1:
+					if err := s.RemoveAdvertiser(7); err != nil {
+						t.Fatal(err)
+					}
+				case 2:
+					if _, err := s.AddAdvertiser(newcomerB); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			st := s.Close()
+
+			if st.Epoch != 3 {
+				t.Fatalf("method=%v shards=%d: epoch %d, want 3", method, shards, st.Epoch)
+			}
+			for i, ps := range st.PerShard {
+				if ps.Epoch != 3 {
+					t.Fatalf("method=%v shard %d drained at epoch %d, want 3", method, i, ps.Epoch)
+				}
+			}
+			if !reflect.DeepEqual(s.Instance(), inst3) {
+				t.Fatalf("method=%v shards=%d: final population differs from the scripted post-churn instance", method, shards)
+			}
+			if st.Advertisers != inst3.N {
+				t.Fatalf("Advertisers = %d, want %d", st.Advertisers, inst3.N)
+			}
+
+			want := phasedReference(t, ecfg, phases)
+			comparePerKeyword(t, method.String(), got, want)
+		}
+	}
+}
+
+// TestStreamChurnEquivalenceHeavy extends the churn contract to the
+// Section III-F serving path: the epoch fence rebuilds heavyweight
+// markets (persistent HeavyDeterminer state included) exactly as a
+// fresh engine would build them.
+func TestStreamChurnEquivalenceHeavy(t *testing.T) {
+	inst0 := workload.GenerateHeavy(rand.New(rand.NewSource(36)), 24, 4, 3, 0.3, 0.4)
+	rng := rand.New(rand.NewSource(37))
+	qrng := rand.New(rand.NewSource(38))
+	joiner := workload.RandomAdvertiser(rng, inst0.Slots, inst0.Keywords)
+	joiner.Heavy = true
+	inst1, err := inst0.WithAdvertiser(joiner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phases := []struct {
+		inst    *workload.Instance
+		queries []int
+	}{
+		{inst0, inst0.Queries(qrng, 120)},
+		{inst1, inst1.Queries(qrng, 120)},
+	}
+	ecfg := engine.Config{Shards: 2, QueueDepth: 4, Method: engine.MethodHeavy, ClickSeed: 29}
+	sink, got := collectPerKeyword(inst0.Keywords)
+	s := NewServer(inst0, Config{Engine: ecfg, Sink: sink})
+	for _, q := range phases[0].queries {
+		s.Submit(q)
+	}
+	if _, err := s.AddAdvertiser(joiner); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range phases[1].queries {
+		s.Submit(q)
+	}
+	s.Close()
+	want := phasedReference(t, ecfg, phases)
+	comparePerKeyword(t, "heavy", got, want)
+}
+
+// TestStreamShedAccounting: under the Shed policy every submission is
+// accounted exactly once — Submitted == Served + Shed after the drain
+// — the rejected submissions are the ones Submit reported false, and
+// saturating a 1-deep queue from a tight loop must actually shed.
+func TestStreamShedAccounting(t *testing.T) {
+	inst := workload.Generate(rand.New(rand.NewSource(39)), 300, 8, 4)
+	s := NewServer(inst, Config{
+		Engine:   engine.Config{Shards: 2, QueueDepth: 1, Method: engine.MethodRH, ClickSeed: 3},
+		Overload: Shed,
+	})
+	const n = 4000
+	qs := inst.Queries(rand.New(rand.NewSource(40)), n)
+	rejected := 0
+	for _, q := range qs {
+		if !s.Submit(q) {
+			rejected++
+		}
+	}
+	st := s.Close()
+	if st.Submitted != n {
+		t.Fatalf("Submitted = %d, want %d", st.Submitted, n)
+	}
+	if st.Served+st.Shed != st.Submitted || st.Pending != 0 {
+		t.Fatalf("shed accounting leak: served %d + shed %d != submitted %d (pending %d)",
+			st.Served, st.Shed, st.Submitted, st.Pending)
+	}
+	if int64(rejected) != st.Shed {
+		t.Fatalf("Submit reported %d rejections, stats counted %d shed", rejected, st.Shed)
+	}
+	if st.Shed == 0 {
+		t.Fatal("tight-loop submission into 1-deep queues shed nothing")
+	}
+	if st.Served == 0 {
+		t.Fatal("no auctions served")
+	}
+	var perShard int64
+	for _, ps := range st.PerShard {
+		perShard += int64(ps.Served) + ps.Shed
+	}
+	if perShard != st.Submitted {
+		t.Fatalf("per-shard breakdown sums to %d, want %d", perShard, st.Submitted)
+	}
+}
+
+// TestStreamCloseSemantics: Close drains everything queued, later
+// Closes return the same flushed snapshot, and a closed server
+// rejects submissions (uncounted) and churn (error).
+func TestStreamCloseSemantics(t *testing.T) {
+	inst := workload.Generate(rand.New(rand.NewSource(41)), 40, 4, 5)
+	s := NewServer(inst, Config{Engine: engine.Config{Shards: 2, QueueDepth: 16, Method: engine.MethodRH, ClickSeed: 5}})
+	qs := inst.Queries(rand.New(rand.NewSource(42)), 500)
+	for _, q := range qs {
+		s.Submit(q)
+	}
+	st := s.Close() // likely still queued work: drain must serve it all
+	if st.Served != int64(len(qs)) || st.Pending != 0 {
+		t.Fatalf("drain incomplete: served %d of %d (pending %d)", st.Served, len(qs), st.Pending)
+	}
+	if again := s.Close(); again != st {
+		t.Fatal("second Close did not return the flushed snapshot")
+	}
+	if s.Submit(3) {
+		t.Fatal("Submit accepted on a closed server")
+	}
+	if s.Stats().Submitted != st.Submitted {
+		t.Fatal("post-close Submit was counted")
+	}
+	if s.SubmitText("zzz unroutable junk") {
+		t.Fatal("SubmitText accepted on a closed server")
+	}
+	if s.Stats().Unrouted != st.Unrouted {
+		t.Fatal("post-close SubmitText was counted in Unrouted")
+	}
+	if _, err := s.AddAdvertiser(workload.RandomAdvertiser(rand.New(rand.NewSource(43)), inst.Slots, inst.Keywords)); err == nil {
+		t.Fatal("AddAdvertiser accepted on a closed server")
+	}
+	if err := s.RemoveAdvertiser(0); err == nil {
+		t.Fatal("RemoveAdvertiser accepted on a closed server")
+	}
+}
+
+// TestStreamTextRouting: SubmitText under a mixed routed/unrouted
+// stream — unrouted text is counted in Unrouted, never queued, and
+// the routed subsequence's outcomes are exactly the keyword-submitted
+// ones.
+func TestStreamTextRouting(t *testing.T) {
+	inst := workload.Generate(rand.New(rand.NewSource(44)), 40, 4, 3)
+	names := []string{"leather boot", "running shoe", "garden hose"}
+	ecfg := engine.Config{Shards: 2, Method: engine.MethodRH, ClickSeed: 7, KeywordNames: names}
+	sink, got := collectPerKeyword(inst.Keywords)
+	s := NewServer(inst, Config{Engine: ecfg, Sink: sink})
+
+	junk := []string{"quantum gravity", "", "zzz"}
+	rng := rand.New(rand.NewSource(45))
+	var routedKw []int
+	wantUnrouted := 0
+	for i := 0; i < 600; i++ {
+		if rng.Intn(3) == 0 {
+			if s.SubmitText(junk[rng.Intn(len(junk))]) {
+				t.Fatal("unrouted text reported accepted")
+			}
+			wantUnrouted++
+		} else {
+			kw := rng.Intn(len(names))
+			if !s.SubmitText(names[kw]) {
+				t.Fatal("routed text rejected under Block policy")
+			}
+			routedKw = append(routedKw, kw)
+		}
+	}
+	st := s.Close()
+	if st.Unrouted != int64(wantUnrouted) {
+		t.Fatalf("Unrouted = %d, want %d", st.Unrouted, wantUnrouted)
+	}
+	if st.Submitted != int64(len(routedKw)) || st.Served != int64(len(routedKw)) {
+		t.Fatalf("routed accounting: submitted %d served %d, want %d", st.Submitted, st.Served, len(routedKw))
+	}
+	want := phasedReference(t, ecfg, []struct {
+		inst    *workload.Instance
+		queries []int
+	}{{inst, routedKw}})
+	comparePerKeyword(t, "text", got, want)
+}
+
+// TestStreamSteadyStateAllocs: the streaming auction path — Submit,
+// channel hand-off, ServeOne in the persistent worker, rolling-window
+// bookkeeping — performs zero heap allocations per query in steady
+// state, extending the engine's allocation-free guarantee to the
+// open-world layer.
+func TestStreamSteadyStateAllocs(t *testing.T) {
+	if racetest.Enabled {
+		t.Skip("allocation accounting is perturbed under -race")
+	}
+	inst := workload.Generate(rand.New(rand.NewSource(46)), 300, 8, 6)
+	s := NewServer(inst, Config{
+		Engine: engine.Config{Shards: 2, QueueDepth: 64, Method: engine.MethodRH, ClickSeed: 9},
+		Window: 256,
+	})
+	qs := inst.Queries(rand.New(rand.NewSource(47)), 4096)
+	for _, q := range qs[:2048] {
+		s.Submit(q)
+	}
+	next := 2048
+	allocs := testing.AllocsPerRun(1500, func() {
+		s.Submit(qs[next%len(qs)])
+		next++
+	})
+	st := s.Close()
+	if allocs != 0 {
+		t.Fatalf("steady-state streamed auction allocates %.2f objects/op, want 0", allocs)
+	}
+	if st.Served != st.Submitted {
+		t.Fatalf("drain lost queries: %d served of %d", st.Served, st.Submitted)
+	}
+}
+
+// TestStreamWindowRing: the rolling window wraps and summarizes only
+// the newest samples, and the age cutoff excludes stale entries from
+// shards that have gone cold.
+func TestStreamWindowRing(t *testing.T) {
+	w := newWindow(4)
+	for i := 1; i <= 6; i++ {
+		w.add(int64(i*1000), int64(i*10))
+	}
+	if w.count() != 4 {
+		t.Fatalf("count = %d, want 4", w.count())
+	}
+	done, lat := w.appendTo(nil, nil)
+	var st Stats
+	st.summarize(done, lat, 0)
+	// Samples 3..6 survive: max 60ns, p50 index 1 of sorted [30 40 50 60].
+	if st.Max != 60 || st.P50 != 40 {
+		t.Fatalf("summarize over wrapped ring: max=%v p50=%v", st.Max, st.P50)
+	}
+	if st.WindowThroughput == 0 {
+		t.Fatal("window throughput not computed")
+	}
+	// Age cutoff: only the samples completed at/after 5000 remain
+	// (latencies 50, 60); fully stale input yields zeroed figures.
+	done, lat = w.appendTo(nil, nil)
+	var recent Stats
+	recent.summarize(done, lat, 5000)
+	if recent.Max != 60 || recent.P50 != 50 {
+		t.Fatalf("cutoff summarize: max=%v p50=%v", recent.Max, recent.P50)
+	}
+	done, lat = w.appendTo(nil, nil)
+	var stale Stats
+	stale.summarize(done, lat, 99999)
+	if stale.Max != 0 || stale.WindowThroughput != 0 {
+		t.Fatalf("stale-only window not zeroed: %+v", stale)
+	}
+}
+
+// TestStreamSoak is the randomized race soak CI runs with -race and a
+// longer -soak: concurrent submitters (keyword and text), a churner
+// alternating admissions and evictions, and a stats poller all hammer
+// a Shed-policy server; the drain must still account every query and
+// land every shard on the final epoch.
+func TestStreamSoak(t *testing.T) {
+	inst := workload.Generate(rand.New(rand.NewSource(48)), 120, 6, 8)
+	names := []string{"alpha boot", "beta shoe", "gamma hose", "delta lamp", "epsilon desk", "zeta chair", "eta stove", "theta rug"}
+	s := NewServer(inst, Config{
+		Engine:   engine.Config{Shards: 4, QueueDepth: 8, Method: engine.MethodRHTALU, ClickSeed: 11, KeywordNames: names},
+		Overload: Shed,
+		Window:   512,
+	})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var rejected atomic.Int64
+
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if rng.Intn(4) == 0 {
+					s.SubmitText(names[rng.Intn(len(names))])
+				} else if !s.Submit(rng.Intn(inst.Keywords)) {
+					rejected.Add(1)
+				}
+			}
+		}(int64(100 + w))
+	}
+	wg.Add(1)
+	go func() { // churner: the server is the only population authority
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(200))
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(5 * time.Millisecond):
+			}
+			if rng.Intn(2) == 0 {
+				if _, err := s.AddAdvertiser(workload.RandomAdvertiser(rng, inst.Slots, inst.Keywords)); err != nil {
+					t.Errorf("soak AddAdvertiser: %v", err)
+					return
+				}
+			} else if n := s.Instance().N; n > 1 {
+				if err := s.RemoveAdvertiser(rng.Intn(n)); err != nil {
+					t.Errorf("soak RemoveAdvertiser: %v", err)
+					return
+				}
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() { // poller
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(2 * time.Millisecond):
+			}
+			st := s.Stats()
+			if st.Pending < 0 || st.Served+st.Shed+st.Pending != st.Submitted {
+				t.Errorf("live snapshot violated the accounting identity: %+v", st)
+				return
+			}
+		}
+	}()
+
+	time.Sleep(*soakDur)
+	close(stop)
+	wg.Wait()
+	st := s.Close()
+
+	if st.Served+st.Shed != st.Submitted || st.Pending != 0 {
+		t.Fatalf("soak accounting leak: %+v", st)
+	}
+	if st.Served == 0 {
+		t.Fatal("soak served nothing")
+	}
+	for i, ps := range st.PerShard {
+		if ps.Epoch != st.Epoch {
+			t.Fatalf("shard %d drained at epoch %d, server at %d", i, ps.Epoch, st.Epoch)
+		}
+	}
+	if st.Advertisers != s.Instance().N {
+		t.Fatalf("Advertisers %d != instance N %d", st.Advertisers, s.Instance().N)
+	}
+	t.Logf("soak: submitted=%d served=%d shed=%d unrouted=%d epochs=%d advertisers=%d p99=%v",
+		st.Submitted, st.Served, st.Shed, st.Unrouted, st.Epoch, st.Advertisers, st.P99)
+}

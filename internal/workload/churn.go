@@ -1,0 +1,113 @@
+package workload
+
+import "fmt"
+
+// Advertiser is one bidder's row of an Instance, detached from any
+// index — the unit of live population churn. The open-world premise of
+// the paper (queries and budgets arrive over time, Feldman &
+// Muthukrishnan's framing) needs advertisers that can join and leave a
+// running market; WithAdvertiser and WithoutAdvertiser derive the
+// post-churn population an engine is rebuilt over.
+type Advertiser struct {
+	// Value[q] is the click value for keyword q (doubles as the max
+	// bid); must have exactly Keywords entries.
+	Value []int
+	// InitialBid[q] is the starting bid; nil derives Value/2, the
+	// Generate convention.
+	InitialBid []int
+	// ClickProb[j] is the click probability in slot j; must have
+	// exactly Slots entries.
+	ClickProb []float64
+	// Target is the target spending rate (≥ 1).
+	Target int
+	// Heavy marks a Section III-F heavyweight.
+	Heavy bool
+}
+
+// cloneRows deep-copies the per-advertiser rows of inst into a new
+// instance with capacity for extra more rows. Churn always copies:
+// markets built over the old instance keep reading it concurrently
+// while the new population is being assembled, so rows are never
+// shared between generations.
+func (inst *Instance) cloneRows(extra int) *Instance {
+	out := &Instance{
+		N:          inst.N,
+		Slots:      inst.Slots,
+		Keywords:   inst.Keywords,
+		Value:      make([][]int, inst.N, inst.N+extra),
+		Target:     make([]int, inst.N, inst.N+extra),
+		InitialBid: make([][]int, inst.N, inst.N+extra),
+		ClickProb:  make([][]float64, inst.N, inst.N+extra),
+		Shadow:     inst.Shadow,
+	}
+	copy(out.Target, inst.Target)
+	for i := 0; i < inst.N; i++ {
+		out.Value[i] = append([]int(nil), inst.Value[i]...)
+		out.InitialBid[i] = append([]int(nil), inst.InitialBid[i]...)
+		out.ClickProb[i] = append([]float64(nil), inst.ClickProb[i]...)
+	}
+	if inst.Heavy != nil {
+		out.Heavy = make([]bool, inst.N, inst.N+extra)
+		copy(out.Heavy, inst.Heavy)
+	}
+	return out
+}
+
+// WithAdvertiser returns a new instance extending inst with a as its
+// last advertiser (index N of the result). inst is not modified; rows
+// are deep-copied so the two generations share no state.
+func (inst *Instance) WithAdvertiser(a Advertiser) (*Instance, error) {
+	if len(a.Value) != inst.Keywords {
+		return nil, fmt.Errorf("workload: advertiser has %d keyword values, instance has %d keywords", len(a.Value), inst.Keywords)
+	}
+	if len(a.ClickProb) != inst.Slots {
+		return nil, fmt.Errorf("workload: advertiser has %d slot probabilities, instance has %d slots", len(a.ClickProb), inst.Slots)
+	}
+	if a.InitialBid != nil && len(a.InitialBid) != inst.Keywords {
+		return nil, fmt.Errorf("workload: advertiser has %d initial bids, instance has %d keywords", len(a.InitialBid), inst.Keywords)
+	}
+	if a.Target < 1 {
+		return nil, fmt.Errorf("workload: advertiser target %d, want >= 1", a.Target)
+	}
+	out := inst.cloneRows(1)
+	out.N++
+	out.Value = append(out.Value, append([]int(nil), a.Value...))
+	bid := a.InitialBid
+	if bid == nil {
+		bid = make([]int, inst.Keywords)
+		for q, v := range a.Value {
+			bid[q] = v / 2
+		}
+	}
+	out.InitialBid = append(out.InitialBid, append([]int(nil), bid...))
+	out.ClickProb = append(out.ClickProb, append([]float64(nil), a.ClickProb...))
+	out.Target = append(out.Target, a.Target)
+	if out.Heavy == nil && a.Heavy {
+		out.Heavy = make([]bool, inst.N, inst.N+1)
+	}
+	if out.Heavy != nil {
+		out.Heavy = append(out.Heavy, a.Heavy)
+	}
+	return out, nil
+}
+
+// WithoutAdvertiser returns a new instance with advertiser i removed;
+// advertisers above i shift down one index. inst is not modified.
+func (inst *Instance) WithoutAdvertiser(i int) (*Instance, error) {
+	if i < 0 || i >= inst.N {
+		return nil, fmt.Errorf("workload: remove advertiser %d out of range [0,%d)", i, inst.N)
+	}
+	if inst.N == 1 {
+		return nil, fmt.Errorf("workload: cannot remove the last advertiser")
+	}
+	out := inst.cloneRows(0)
+	out.N--
+	out.Value = append(out.Value[:i], out.Value[i+1:]...)
+	out.InitialBid = append(out.InitialBid[:i], out.InitialBid[i+1:]...)
+	out.ClickProb = append(out.ClickProb[:i], out.ClickProb[i+1:]...)
+	out.Target = append(out.Target[:i], out.Target[i+1:]...)
+	if out.Heavy != nil {
+		out.Heavy = append(out.Heavy[:i], out.Heavy[i+1:]...)
+	}
+	return out, nil
+}

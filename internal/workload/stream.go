@@ -1,0 +1,144 @@
+package workload
+
+import (
+	"math/rand"
+	"time"
+)
+
+// This file generates open-world query streams: instead of a closed
+// batch of keyword indices, a Stream emits timestamped arrival events
+// — Poisson or bursty interarrivals, optional Zipf hot-keyword skew,
+// and scripted advertiser churn — the workload the streaming server
+// (internal/stream) is built to absorb. The generator is fully
+// deterministic given its rng: arrival offsets are computed, not
+// measured, so tests and benchmarks can replay identical open-world
+// traffic.
+
+// StreamConfig shapes an open-world query stream.
+type StreamConfig struct {
+	// Queries is the number of query events to emit (required > 0).
+	Queries int
+	// QPS is the mean arrival rate in queries per second; 0 defaults
+	// to 1000.
+	QPS float64
+	// ZipfS, when > 1, skews keyword popularity by a Zipf law with
+	// that exponent (keyword 0 hottest); otherwise keywords are
+	// uniform, the Section V default.
+	ZipfS float64
+	// BurstFactor, when > 1, turns the arrival process into a
+	// two-state modulated Poisson process: the stream alternates
+	// between a calm regime at QPS and bursts at QPS·BurstFactor.
+	BurstFactor float64
+	// BurstDwell is the mean number of queries between regime
+	// switches (geometric dwell); 0 defaults to 64.
+	BurstDwell int
+	// Churn is the scripted population-churn timeline, sorted by
+	// After; events are emitted between query events.
+	Churn []ChurnEvent
+}
+
+// ChurnEvent is one scripted population change: after After query
+// events, add Add (when non-nil) or remove advertiser Remove.
+type ChurnEvent struct {
+	After  int
+	Add    *Advertiser
+	Remove int
+}
+
+// Event is one emission of a Stream: either a query (Keyword >= 0)
+// arriving At nanoseconds after the stream's start, or a churn event
+// (Keyword == -1, Churn non-nil) due at that same offset.
+type Event struct {
+	At      time.Duration
+	Keyword int
+	Churn   *ChurnEvent
+}
+
+// Stream is a deterministic open-world event source; create with
+// NewStream and drain with Next.
+type Stream struct {
+	rng      *rand.Rand
+	cfg      StreamConfig
+	zipf     *rand.Zipf
+	keywords int
+	now      time.Duration
+	emitted  int // query events emitted so far
+	churnAt  int // next cfg.Churn index
+	burst    bool
+}
+
+// NewStream builds a stream of cfg.Queries arrivals over inst's
+// keyword catalog, drawing all randomness from rng.
+func NewStream(inst *Instance, rng *rand.Rand, cfg StreamConfig) *Stream {
+	if cfg.QPS <= 0 {
+		cfg.QPS = 1000
+	}
+	if cfg.BurstDwell <= 0 {
+		cfg.BurstDwell = 64
+	}
+	s := &Stream{rng: rng, cfg: cfg, keywords: inst.Keywords}
+	if cfg.ZipfS > 1 && inst.Keywords > 1 {
+		s.zipf = rand.NewZipf(rng, cfg.ZipfS, 1, uint64(inst.Keywords-1))
+	}
+	return s
+}
+
+// Next returns the next event, or ok == false when the stream is
+// exhausted (all queries emitted and all churn events delivered).
+func (s *Stream) Next() (ev Event, ok bool) {
+	// A churn event scheduled beyond the last query (After >
+	// cfg.Queries) is still delivered, at end of stream: exhaustion
+	// means every query AND every churn event emitted.
+	if s.churnAt < len(s.cfg.Churn) &&
+		(s.cfg.Churn[s.churnAt].After <= s.emitted || s.emitted >= s.cfg.Queries) {
+		c := &s.cfg.Churn[s.churnAt]
+		s.churnAt++
+		return Event{At: s.now, Keyword: -1, Churn: c}, true
+	}
+	if s.emitted >= s.cfg.Queries {
+		return Event{}, false
+	}
+	rate := s.cfg.QPS
+	if s.cfg.BurstFactor > 1 {
+		// Geometric dwell: each arrival flips the regime with
+		// probability 1/BurstDwell, giving exponential-ish on/off
+		// periods without tracking wall time.
+		if s.rng.Intn(s.cfg.BurstDwell) == 0 {
+			s.burst = !s.burst
+		}
+		if s.burst {
+			rate *= s.cfg.BurstFactor
+		}
+	}
+	s.now += time.Duration(s.rng.ExpFloat64() / rate * 1e9)
+	kw := 0
+	if s.zipf != nil {
+		kw = int(s.zipf.Uint64())
+	} else if s.keywords > 1 {
+		kw = s.rng.Intn(s.keywords)
+	}
+	s.emitted++
+	return Event{At: s.now, Keyword: kw}, true
+}
+
+// ScriptChurn draws a churn timeline of n events spread evenly over a
+// stream of totalQueries: odd events admit a fresh RandomAdvertiser,
+// even events evict a uniformly chosen index, with the running
+// population size tracked so every removal index is valid at its
+// scheduled time.
+func ScriptChurn(rng *rand.Rand, inst *Instance, n, totalQueries int) []ChurnEvent {
+	pop := inst.N
+	events := make([]ChurnEvent, 0, n)
+	for e := 1; e <= n; e++ {
+		after := e * totalQueries / (n + 1)
+		if e%2 == 1 || pop <= 1 {
+			a := RandomAdvertiser(rng, inst.Slots, inst.Keywords)
+			events = append(events, ChurnEvent{After: after, Add: &a})
+			pop++
+		} else {
+			events = append(events, ChurnEvent{After: after, Remove: rng.Intn(pop)})
+			pop--
+		}
+	}
+	return events
+}

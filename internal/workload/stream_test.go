@@ -1,0 +1,306 @@
+package workload
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestRandomAdvertiserMatchesGenerate: Generate is now a loop over
+// RandomAdvertiser, so drawing n advertisers by hand from an
+// identically seeded rng must reproduce the instance byte for byte —
+// the property that makes churn admissions distributionally identical
+// to the founding population.
+func TestRandomAdvertiserMatchesGenerate(t *testing.T) {
+	inst := Generate(rand.New(rand.NewSource(7)), 40, 5, 8)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < inst.N; i++ {
+		a := RandomAdvertiser(rng, 5, 8)
+		if !reflect.DeepEqual(a.Value, inst.Value[i]) ||
+			!reflect.DeepEqual(a.InitialBid, inst.InitialBid[i]) ||
+			!reflect.DeepEqual(a.ClickProb, inst.ClickProb[i]) ||
+			a.Target != inst.Target[i] {
+			t.Fatalf("advertiser %d: RandomAdvertiser draw diverged from Generate", i)
+		}
+	}
+}
+
+func TestWithAdvertiser(t *testing.T) {
+	inst := Generate(rand.New(rand.NewSource(8)), 10, 4, 6)
+	a := RandomAdvertiser(rand.New(rand.NewSource(9)), 4, 6)
+	next, err := inst.WithAdvertiser(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.N != 11 || inst.N != 10 {
+		t.Fatalf("N: next=%d inst=%d", next.N, inst.N)
+	}
+	if !reflect.DeepEqual(next.Value[10], a.Value) || next.Target[10] != a.Target {
+		t.Fatal("appended row does not match the advertiser")
+	}
+	// Deep copy: mutating the new generation must not touch the old.
+	next.Value[0][0] = 999
+	if inst.Value[0][0] == 999 {
+		t.Fatal("WithAdvertiser shared rows with the source instance")
+	}
+	// Derived initial bid.
+	b := a
+	b.InitialBid = nil
+	next2, err := inst.WithAdvertiser(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q, v := range b.Value {
+		if next2.InitialBid[10][q] != v/2 {
+			t.Fatalf("derived initial bid[%d] = %d, want %d", q, next2.InitialBid[10][q], v/2)
+		}
+	}
+	// Shape validation.
+	bad := a
+	bad.Value = bad.Value[:3]
+	if _, err := inst.WithAdvertiser(bad); err == nil {
+		t.Fatal("short Value row accepted")
+	}
+	bad = a
+	bad.ClickProb = append([]float64(nil), 0.5)
+	if _, err := inst.WithAdvertiser(bad); err == nil {
+		t.Fatal("short ClickProb row accepted")
+	}
+	bad = a
+	bad.Target = 0
+	if _, err := inst.WithAdvertiser(bad); err == nil {
+		t.Fatal("zero target accepted")
+	}
+}
+
+func TestWithAdvertiserHeavyOverlay(t *testing.T) {
+	inst := GenerateHeavy(rand.New(rand.NewSource(10)), 6, 3, 4, 0.5, 0.3)
+	a := RandomAdvertiser(rand.New(rand.NewSource(11)), 3, 4)
+	a.Heavy = true
+	next, err := inst.WithAdvertiser(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(next.Heavy) != 7 || !next.Heavy[6] {
+		t.Fatalf("heavy overlay not extended: %v", next.Heavy)
+	}
+	// A heavyweight joining a flat instance materializes the overlay.
+	flat := Generate(rand.New(rand.NewSource(12)), 5, 3, 4)
+	next2, err := flat.WithAdvertiser(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(next2.Heavy) != 6 || !next2.Heavy[5] || next2.Heavy[0] {
+		t.Fatalf("flat instance heavy overlay: %v", next2.Heavy)
+	}
+}
+
+func TestWithoutAdvertiser(t *testing.T) {
+	inst := Generate(rand.New(rand.NewSource(13)), 8, 4, 5)
+	next, err := inst.WithoutAdvertiser(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.N != 7 || inst.N != 8 {
+		t.Fatalf("N: next=%d inst=%d", next.N, inst.N)
+	}
+	// Index 3 gone; higher indices shifted down.
+	for i := 0; i < 3; i++ {
+		if !reflect.DeepEqual(next.Value[i], inst.Value[i]) {
+			t.Fatalf("row %d changed", i)
+		}
+	}
+	for i := 4; i < 8; i++ {
+		if !reflect.DeepEqual(next.Value[i-1], inst.Value[i]) {
+			t.Fatalf("row %d did not shift down", i)
+		}
+	}
+	if _, err := inst.WithoutAdvertiser(8); err == nil {
+		t.Fatal("out-of-range removal accepted")
+	}
+	if _, err := inst.WithoutAdvertiser(-1); err == nil {
+		t.Fatal("negative removal accepted")
+	}
+	one := Generate(rand.New(rand.NewSource(14)), 1, 4, 5)
+	if _, err := one.WithoutAdvertiser(0); err == nil {
+		t.Fatal("removing the last advertiser accepted")
+	}
+}
+
+// TestStreamDeterministic: two identically seeded streams emit the
+// same event sequence — the property replayable open-world tests and
+// benchmarks rest on.
+func TestStreamDeterministic(t *testing.T) {
+	inst := Generate(rand.New(rand.NewSource(15)), 10, 4, 6)
+	cfg := StreamConfig{Queries: 500, QPS: 5000, ZipfS: 1.3, BurstFactor: 4, BurstDwell: 32}
+	a := NewStream(inst, rand.New(rand.NewSource(16)), cfg)
+	b := NewStream(inst, rand.New(rand.NewSource(16)), cfg)
+	for {
+		ea, oka := a.Next()
+		eb, okb := b.Next()
+		if oka != okb || ea != eb {
+			t.Fatalf("streams diverged: %+v/%v vs %+v/%v", ea, oka, eb, okb)
+		}
+		if !oka {
+			return
+		}
+	}
+}
+
+// TestStreamArrivalRate: Poisson interarrivals at QPS λ must span
+// close to Queries/λ seconds, and arrival offsets must be monotone.
+func TestStreamArrivalRate(t *testing.T) {
+	inst := Generate(rand.New(rand.NewSource(17)), 10, 4, 6)
+	const n, qps = 20000, 2000.0
+	s := NewStream(inst, rand.New(rand.NewSource(18)), StreamConfig{Queries: n, QPS: qps})
+	var last time.Duration
+	count := 0
+	for {
+		ev, ok := s.Next()
+		if !ok {
+			break
+		}
+		if ev.At < last {
+			t.Fatalf("arrival time went backwards: %v after %v", ev.At, last)
+		}
+		last = ev.At
+		count++
+		if ev.Keyword < 0 || ev.Keyword >= inst.Keywords {
+			t.Fatalf("keyword %d out of range", ev.Keyword)
+		}
+	}
+	if count != n {
+		t.Fatalf("emitted %d queries, want %d", count, n)
+	}
+	want := float64(n) / qps
+	got := last.Seconds()
+	if got < 0.9*want || got > 1.1*want {
+		t.Fatalf("stream spans %.2fs, want ~%.2fs at %g qps", got, want, qps)
+	}
+}
+
+// TestStreamBurstFactor: a bursty stream at the same base QPS
+// finishes sooner (its bursts run faster than the base rate and
+// nothing runs slower), and keeps emitting exactly Queries events.
+func TestStreamBurstFactor(t *testing.T) {
+	inst := Generate(rand.New(rand.NewSource(19)), 10, 4, 6)
+	const n = 20000
+	span := func(factor float64) time.Duration {
+		s := NewStream(inst, rand.New(rand.NewSource(20)), StreamConfig{Queries: n, QPS: 1000, BurstFactor: factor})
+		var last time.Duration
+		for {
+			ev, ok := s.Next()
+			if !ok {
+				return last
+			}
+			last = ev.At
+		}
+	}
+	plain, bursty := span(1), span(8)
+	if bursty >= plain {
+		t.Fatalf("bursty stream (%v) not faster than plain (%v)", bursty, plain)
+	}
+}
+
+// TestStreamZipfSkew: with a Zipf exponent, keyword 0 must dominate;
+// uniform streams must not.
+func TestStreamZipfSkew(t *testing.T) {
+	inst := Generate(rand.New(rand.NewSource(21)), 10, 4, 10)
+	counts := func(zipf float64) []int {
+		c := make([]int, inst.Keywords)
+		s := NewStream(inst, rand.New(rand.NewSource(22)), StreamConfig{Queries: 20000, ZipfS: zipf})
+		for {
+			ev, ok := s.Next()
+			if !ok {
+				return c
+			}
+			c[ev.Keyword]++
+		}
+	}
+	skewed := counts(1.5)
+	if skewed[0] < 3*skewed[9] {
+		t.Fatalf("zipf skew too weak: hot=%d cold=%d", skewed[0], skewed[9])
+	}
+	uniform := counts(0)
+	if uniform[0] > 2*uniform[9] {
+		t.Fatalf("uniform stream skewed: %v", uniform)
+	}
+}
+
+// TestStreamChurnScript: scripted churn events are emitted at their
+// After offsets, interleaved with queries, and every removal index is
+// valid against the running population when applied in order.
+func TestStreamChurnScript(t *testing.T) {
+	inst := Generate(rand.New(rand.NewSource(23)), 12, 4, 6)
+	churn := ScriptChurn(rand.New(rand.NewSource(24)), inst, 7, 1000)
+	if len(churn) != 7 {
+		t.Fatalf("scripted %d events, want 7", len(churn))
+	}
+	s := NewStream(inst, rand.New(rand.NewSource(25)), StreamConfig{Queries: 1000, QPS: 1e6, Churn: churn})
+	cur := inst
+	queries, churns := 0, 0
+	for {
+		ev, ok := s.Next()
+		if !ok {
+			break
+		}
+		if ev.Churn == nil {
+			queries++
+			continue
+		}
+		churns++
+		if ev.Keyword != -1 {
+			t.Fatalf("churn event carries keyword %d", ev.Keyword)
+		}
+		if ev.Churn.After > queries {
+			t.Fatalf("churn due after %d queries emitted at %d", ev.Churn.After, queries)
+		}
+		var err error
+		if ev.Churn.Add != nil {
+			cur, err = cur.WithAdvertiser(*ev.Churn.Add)
+		} else {
+			cur, err = cur.WithoutAdvertiser(ev.Churn.Remove)
+		}
+		if err != nil {
+			t.Fatalf("churn event %d invalid: %v", churns, err)
+		}
+	}
+	if queries != 1000 || churns != 7 {
+		t.Fatalf("emitted %d queries and %d churn events, want 1000 and 7", queries, churns)
+	}
+	// 4 adds, 3 removes: net +1.
+	if cur.N != inst.N+1 {
+		t.Fatalf("final population %d, want %d", cur.N, inst.N+1)
+	}
+}
+
+// TestStreamTrailingChurnDelivered: a churn event scheduled beyond
+// the last query is still emitted before the stream reports
+// exhaustion — Next's contract is every query AND every churn event.
+func TestStreamTrailingChurnDelivered(t *testing.T) {
+	inst := Generate(rand.New(rand.NewSource(26)), 5, 3, 4)
+	a := RandomAdvertiser(rand.New(rand.NewSource(27)), 3, 4)
+	s := NewStream(inst, rand.New(rand.NewSource(28)), StreamConfig{
+		Queries: 10, QPS: 1e6,
+		Churn: []ChurnEvent{{After: 999, Add: &a}},
+	})
+	queries, churns := 0, 0
+	for {
+		ev, ok := s.Next()
+		if !ok {
+			break
+		}
+		if ev.Churn != nil {
+			churns++
+			if queries != 10 {
+				t.Fatalf("trailing churn emitted after %d queries, want 10", queries)
+			}
+		} else {
+			queries++
+		}
+	}
+	if queries != 10 || churns != 1 {
+		t.Fatalf("emitted %d queries, %d churns; want 10 and 1", queries, churns)
+	}
+}

@@ -77,37 +77,53 @@ func Generate(rng *rand.Rand, n, k, keywords int) *Instance {
 		InitialBid: make([][]int, n),
 		ClickProb:  make([][]float64, n),
 	}
-	width := (ProbHigh - ProbLow) / float64(k)
 	for i := 0; i < n; i++ {
-		inst.Value[i] = make([]int, keywords)
-		inst.InitialBid[i] = make([]int, keywords)
-		maxVal := 0
-		for q := 0; q < keywords; q++ {
-			v := rng.Intn(MaxClickValue + 1)
-			inst.Value[i][q] = v
-			if v > maxVal {
-				maxVal = v
-			}
-		}
-		if maxVal == 0 { // at least one non-zero click value
-			q := rng.Intn(keywords)
-			inst.Value[i][q] = 1 + rng.Intn(MaxClickValue)
-			maxVal = inst.Value[i][q]
-		}
-		for q := 0; q < keywords; q++ {
-			inst.InitialBid[i][q] = inst.Value[i][q] / 2
-		}
-		inst.Target[i] = 1 + rng.Intn(maxVal)
-
-		inst.ClickProb[i] = make([]float64, k)
-		for j := 0; j < k; j++ {
-			// Slot j (0-based, topmost first) gets the (j+1)-highest
-			// interval: [high − (j+1)·width, high − j·width).
-			lo := ProbHigh - float64(j+1)*width
-			inst.ClickProb[i][j] = lo + rng.Float64()*width
-		}
+		a := RandomAdvertiser(rng, k, keywords)
+		inst.Value[i] = a.Value
+		inst.InitialBid[i] = a.InitialBid
+		inst.Target[i] = a.Target
+		inst.ClickProb[i] = a.ClickProb
 	}
 	return inst
+}
+
+// RandomAdvertiser draws one Section V advertiser — the exact
+// per-bidder draw sequence of Generate, factored out so live churn
+// (stream.Server.AddAdvertiser) can admit newcomers from the same
+// population distribution. k is the slot count, keywords the catalog
+// size.
+func RandomAdvertiser(rng *rand.Rand, k, keywords int) Advertiser {
+	a := Advertiser{
+		Value:      make([]int, keywords),
+		InitialBid: make([]int, keywords),
+		ClickProb:  make([]float64, k),
+	}
+	maxVal := 0
+	for q := 0; q < keywords; q++ {
+		v := rng.Intn(MaxClickValue + 1)
+		a.Value[q] = v
+		if v > maxVal {
+			maxVal = v
+		}
+	}
+	if maxVal == 0 { // at least one non-zero click value
+		q := rng.Intn(keywords)
+		a.Value[q] = 1 + rng.Intn(MaxClickValue)
+		maxVal = a.Value[q]
+	}
+	for q := 0; q < keywords; q++ {
+		a.InitialBid[q] = a.Value[q] / 2
+	}
+	a.Target = 1 + rng.Intn(maxVal)
+
+	width := (ProbHigh - ProbLow) / float64(k)
+	for j := 0; j < k; j++ {
+		// Slot j (0-based, topmost first) gets the (j+1)-highest
+		// interval: [high − (j+1)·width, high − j·width).
+		lo := ProbHigh - float64(j+1)*width
+		a.ClickProb[j] = lo + rng.Float64()*width
+	}
+	return a
 }
 
 // GenerateHeavy is Generate plus a Section III-F population overlay:

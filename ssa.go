@@ -42,6 +42,17 @@
 // winner-determination API use a Determiner to reuse matrices and
 // matching workspaces across auctions.
 //
+// For open-world traffic — queries arriving continuously against an
+// evolving advertiser base, the paper's own premise — StreamServer
+// wraps the engine with persistent per-shard workers, bounded-queue
+// admission control (block or shed, every dropped query accounted),
+// live advertiser churn applied at auction boundaries via epoch
+// fences (post-churn outcomes byte-identical to a freshly built
+// engine over the new population), and a graceful drain that flushes
+// rolling-window latency and throughput statistics. SimStream
+// generates matching workloads: Poisson or bursty arrivals, Zipf
+// keyword skew, and scripted churn timelines.
+//
 // # Quick start
 //
 //	model := ssa.NewModel(2, 2) // 2 advertisers, 2 slots
@@ -71,6 +82,7 @@ import (
 	"repro/internal/probmodel"
 	"repro/internal/sqlmini"
 	"repro/internal/strategy"
+	"repro/internal/stream"
 	"repro/internal/table"
 	"repro/internal/workload"
 )
@@ -309,6 +321,76 @@ func NewEngine(inst *SimInstance, cfg EngineConfig) *Engine {
 // from an engine's base seed — the seed to give a sequential SimWorld
 // that replays a single keyword's auctions.
 func KeywordClickSeed(base int64, q int) int64 { return engine.KeywordSeed(base, q) }
+
+// Open-world streaming (the long-running serving layer).
+type (
+	// StreamServer is the long-running open-world front end over the
+	// sharded engine: persistent per-shard workers fed by Submit and
+	// SubmitText, bounded queues with a block-or-shed admission policy,
+	// live advertiser churn applied at auction boundaries through
+	// per-shard epoch fences, and a graceful Close that drains every
+	// queue and flushes the final statistics. Its contract is the
+	// engine's, extended across churn: post-churn outcomes are
+	// byte-identical to a freshly built engine over the post-churn
+	// population.
+	StreamServer = stream.Server
+	// StreamConfig tunes a streaming server: the wrapped EngineConfig,
+	// the overload policy, the rolling stats window, and an optional
+	// per-auction outcome sink.
+	StreamConfig = stream.Config
+	// StreamStats is one streaming snapshot: admission accounting
+	// (Submitted == Served + Shed after a drain), rolling-window
+	// latency percentiles and throughput, churn epoch, and the
+	// per-shard breakdown.
+	StreamStats = stream.Stats
+	// StreamPolicy selects what a saturated shard queue means to
+	// Submit: OverloadBlock (backpressure) or OverloadShed (wait-free
+	// rejection, counted per shard).
+	StreamPolicy = stream.Policy
+	// SimAdvertiser is one bidder row detached from an instance — the
+	// unit of live churn.
+	SimAdvertiser = workload.Advertiser
+	// SimStream is a deterministic open-world arrival generator:
+	// Poisson or bursty interarrivals, optional Zipf keyword skew,
+	// scripted churn events.
+	SimStream = workload.Stream
+	// SimStreamConfig shapes a SimStream.
+	SimStreamConfig = workload.StreamConfig
+	// SimStreamEvent is one arrival: a keyword query or a churn event.
+	SimStreamEvent = workload.Event
+	// SimChurnEvent is one scripted population change.
+	SimChurnEvent = workload.ChurnEvent
+)
+
+// Overload policies for StreamConfig.
+const (
+	OverloadBlock = stream.Block
+	OverloadShed  = stream.Shed
+)
+
+// NewStreamServer starts a streaming server over a Section V instance;
+// its shard workers are live immediately.
+func NewStreamServer(inst *SimInstance, cfg StreamConfig) *StreamServer {
+	return stream.NewServer(inst, cfg)
+}
+
+// NewSimStream builds a deterministic open-world arrival stream over
+// inst's keyword catalog.
+func NewSimStream(inst *SimInstance, seed int64, cfg SimStreamConfig) *SimStream {
+	return workload.NewStream(inst, rand.New(rand.NewSource(seed)), cfg)
+}
+
+// RandomAdvertiser draws one advertiser from the Section V population
+// distribution — the newcomer source for live churn.
+func RandomAdvertiser(seed int64, inst *SimInstance) SimAdvertiser {
+	return workload.RandomAdvertiser(rand.New(rand.NewSource(seed)), inst.Slots, inst.Keywords)
+}
+
+// ScriptChurn draws a valid churn timeline of n events spread evenly
+// over a stream of totalQueries, alternating admissions and evictions.
+func ScriptChurn(seed int64, inst *SimInstance, n, totalQueries int) []SimChurnEvent {
+	return workload.ScriptChurn(rand.New(rand.NewSource(seed)), inst, n, totalQueries)
+}
 
 // GenerateInstance draws a Section V workload: n advertisers, k
 // slots, the given keyword count, click values uniform on {0,…,50},

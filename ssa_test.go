@@ -182,3 +182,54 @@ func TestGenerateInstanceDefaults(t *testing.T) {
 		t.Fatalf("unexpected shape: %+v", inst)
 	}
 }
+
+// TestStreamServerPublicAPI drives the whole open-world surface
+// exported by this package: a SimStream with scripted churn feeds a
+// StreamServer, the churn events are applied live, and the final
+// drain accounts every query.
+func TestStreamServerPublicAPI(t *testing.T) {
+	inst := GenerateInstance(51, 80, 6, DefaultKeywords)
+	const queries = 1500
+	churn := ScriptChurn(52, inst, 4, queries)
+	src := NewSimStream(inst, 53, SimStreamConfig{
+		Queries: queries, QPS: 1e6, ZipfS: 1.2, BurstFactor: 3, Churn: churn,
+	})
+	s := NewStreamServer(inst, StreamConfig{
+		Engine:   EngineConfig{Shards: 3, QueueDepth: 32, Method: SimRHTALU, ClickSeed: 54},
+		Overload: OverloadBlock,
+	})
+	for {
+		ev, ok := src.Next()
+		if !ok {
+			break
+		}
+		if ev.Churn != nil {
+			if ev.Churn.Add != nil {
+				if _, err := s.AddAdvertiser(*ev.Churn.Add); err != nil {
+					t.Fatal(err)
+				}
+			} else if err := s.RemoveAdvertiser(ev.Churn.Remove); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		if !s.Submit(ev.Keyword) {
+			t.Fatal("block-policy Submit rejected on an open server")
+		}
+	}
+	st := s.Close()
+	if st.Submitted != queries || st.Served != queries || st.Shed != 0 {
+		t.Fatalf("accounting: %+v", st)
+	}
+	if st.Epoch != len(churn) {
+		t.Fatalf("applied %d churn events, want %d", st.Epoch, len(churn))
+	}
+	// ScriptChurn alternates add/remove starting with an add: 2 adds,
+	// 2 removes over 4 events.
+	if st.Advertisers != inst.N {
+		t.Fatalf("final population %d, want %d", st.Advertisers, inst.N)
+	}
+	if st.Throughput <= 0 || st.P99 <= 0 {
+		t.Fatalf("missing serving stats: %+v", st)
+	}
+}
