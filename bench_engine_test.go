@@ -200,3 +200,38 @@ func BenchmarkMarketSteadyStateHeavyVCG(b *testing.B) {
 		return GenerateHeavyInstance(42, 150, 4, DefaultKeywords, 0.2, 0.3)
 	}, SimHeavy, PricingVCG, 200)
 }
+
+// BenchmarkMarketSteadyStateBudget measures the budget-enabled hot
+// path on both serving engines: cross-keyword Hard enforcement over a
+// population whose caps bind mid-run, so the steady state mixes gate
+// consults, denials, spend charges, and periodic ledger publishes on
+// top of the normal auction pipeline. Both rows must stay at 0
+// allocs/op (TestBudgetSteadyStateAllocs pins the same guarantee per
+// policy); the ns/op delta against the unbudgeted RH/TALU rows is the
+// whole cost of enforcement.
+func BenchmarkMarketSteadyStateBudget(b *testing.B) {
+	for _, sub := range []struct {
+		name   string
+		method SimMethod
+	}{
+		{"rh-n=1000", SimRH},
+		{"talu-n=1000", SimRHTALU},
+	} {
+		b.Run(sub.name, func(b *testing.B) {
+			const n, warmup = 1000, 2000
+			inst := GenerateInstance(42, n, DefaultSlots, DefaultKeywords)
+			AttachBudgets(43, inst, 1000)
+			w := NewSimWorldBudget(inst, sub.method, PricingGSP, 7,
+				BudgetConfig{Policy: PolicyHard, RefreshEvery: 64})
+			queries := QueryStream(inst, 9, warmup+b.N)
+			for _, q := range queries[:warmup] {
+				w.Run(q)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w.Run(queries[warmup+i])
+			}
+		})
+	}
+}

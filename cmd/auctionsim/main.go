@@ -34,12 +34,24 @@
 // auctions' worth of window, and the final drain flushes cumulative
 // accounting plus the per-shard breakdown.
 //
+// With -budget N (in every mode) each advertiser gets a daily budget
+// scaled so an on-target spender exhausts it after roughly N
+// auctions, and the cross-keyword budget subsystem enforces the caps:
+// -budget-policy picks hard (excluded at the cap, like the bidding
+// language's budget-guard program) or paced (deterministic throttling
+// that smooths spend across the run), and -budget-refresh sets the
+// spend-ledger snapshot cadence in per-keyword auctions (the
+// eventual-consistency knob: smaller is tighter, larger is cheaper).
+// A budget summary line — total enforced spend, advertisers at their
+// caps, gate denials — is printed after the run.
+//
 // Usage:
 //
 //	auctionsim -n 2000 -auctions 5000 -method rh-talu -report 1000
 //	auctionsim -engine -method rh-talu -shards 8 -queue 256 -n 2000 -auctions 200000
 //	auctionsim -method heavy -pricing vcg -slots 6 -n 500 -heavy-frac 0.2 -shadow 0.3
 //	auctionsim -stream -qps 3000 -duration 10s -churn 6 -overload shed -zipf 1.2
+//	auctionsim -engine -budget 300 -budget-policy paced -budget-refresh 32 -auctions 20000
 package main
 
 import (
@@ -52,6 +64,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/budget"
 	"repro/internal/engine"
 	"repro/internal/strategy"
 	"repro/internal/stream"
@@ -80,6 +93,9 @@ func main() {
 		overload  = flag.String("overload", "block", "stream mode: admission policy at queue saturation: block, shed")
 		zipf      = flag.Float64("zipf", 0, "stream mode: Zipf keyword-popularity exponent (> 1; 0 = uniform)")
 		burst     = flag.Float64("burst", 1, "stream mode: burst rate factor (> 1 enables on/off bursts)")
+		budgetAt  = flag.Float64("budget", 0, "attach daily budgets scaled to this many on-target auctions and enforce them (0 = budgets off)")
+		budgetPol = flag.String("budget-policy", "hard", "budget enforcement: hard (exclude at cap), paced (smooth spend over the run)")
+		budgetRef = flag.Int("budget-refresh", 0, "budget ledger snapshot refresh, in per-keyword auctions (0 = default)")
 	)
 	flag.Parse()
 
@@ -107,6 +123,31 @@ func main() {
 	} else {
 		inst = workload.Generate(rng, *n, *slots, *keywords)
 	}
+
+	var bcfg budget.Config // PolicyOff unless -budget is set
+	if *budgetAt > 0 {
+		pol, err := parseBudgetPolicy(*budgetPol)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "auctionsim:", err)
+			flag.Usage()
+			os.Exit(2)
+		}
+		workload.AttachBudgets(rng, inst, *budgetAt)
+		// The pacing horizon is per lane (per keyword in engine/stream
+		// mode; the whole run for the single-market sequential mode).
+		// The per-keyword split assumes uniform traffic: under -zipf
+		// skew a hot lane reaches its horizon early and paces greedily
+		// from there, while cold lanes never finish theirs — adaptive
+		// per-keyword forecasts are a ROADMAP follow-up.
+		horizon := *auctions / *keywords
+		if *useStream {
+			horizon = int(*qps * duration.Seconds() / float64(*keywords))
+		} else if !*useEng {
+			horizon = *auctions
+		}
+		bcfg = budget.Config{Policy: pol, RefreshEvery: *budgetRef, Horizon: horizon, Seed: *seed + 4}
+	}
+
 	if *useStream {
 		pol, err := parsePolicy(*overload)
 		if err != nil {
@@ -118,7 +159,7 @@ func main() {
 			method: m, pricing: pr, shards: *shards, queue: *queue,
 			clickSeed: *seed + 2, report: *report, qps: *qps,
 			duration: *duration, churn: *churn, policy: pol,
-			zipf: *zipf, burst: *burst, seed: *seed + 3,
+			zipf: *zipf, burst: *burst, seed: *seed + 3, budget: bcfg,
 		})
 		return
 	}
@@ -126,11 +167,16 @@ func main() {
 	queries := inst.Queries(rand.New(rand.NewSource(*seed+1)), *auctions)
 
 	if *useEng {
-		runEngine(inst, queries, m, pr, *shards, *queue, *seed+2, *report)
+		runEngine(inst, queries, m, pr, *shards, *queue, *seed+2, *report, bcfg)
 		return
 	}
 
-	w := strategy.NewWorldPriced(inst, m, pr, *seed+2)
+	var w *strategy.World
+	if bcfg.Policy != budget.PolicyOff {
+		w = strategy.NewWorldBudget(inst, m, pr, *seed+2, bcfg)
+	} else {
+		w = strategy.NewWorldPriced(inst, m, pr, *seed+2)
+	}
 
 	fmt.Printf("auctionsim: n=%d k=%d keywords=%d method=%v pricing=%v auctions=%d\n",
 		*n, *slots, *keywords, m, pr, *auctions)
@@ -166,18 +212,23 @@ func main() {
 	}
 
 	printSpendSummary(inst, spendTotals(inst, w), float64(w.Auctions()))
+	if lane := w.BudgetLane(); lane != nil {
+		lane.Publish()
+		printBudgetSummary(lane.Ledger())
+	}
 }
 
 // runEngine is load-generator mode: the stream is served in
 // report-sized batches through the sharded engine, each batch printing
 // throughput and per-auction latency percentiles.
-func runEngine(inst *workload.Instance, queries []int, m engine.Method, pr engine.Pricing, shards, queue int, clickSeed int64, report int) {
+func runEngine(inst *workload.Instance, queries []int, m engine.Method, pr engine.Pricing, shards, queue int, clickSeed int64, report int, bcfg budget.Config) {
 	e := engine.New(inst, engine.Config{
 		Shards:     shards,
 		QueueDepth: queue,
 		Method:     m,
 		Pricing:    pr,
 		ClickSeed:  clickSeed,
+		Budget:     bcfg,
 	})
 	fmt.Printf("auctionsim: engine mode, n=%d k=%d keywords=%d method=%v pricing=%v auctions=%d shards=%d\n",
 		inst.N, inst.Slots, inst.Keywords, m, pr, len(queries), e.Shards())
@@ -216,6 +267,18 @@ func runEngine(inst *workload.Instance, queries []int, m engine.Method, pr engin
 		}
 	}
 	printSpendSummary(inst, spent, float64(total.Auctions))
+	if led := e.Ledger(); led != nil {
+		printBudgetSummary(led) // Serve flushed the lanes: the snapshot is current
+	}
+}
+
+// printBudgetSummary reports the ledger's published view — total
+// spend under enforcement, advertisers at their caps, and gate
+// denials.
+func printBudgetSummary(led *budget.Ledger) {
+	spent, exhausted, denied := led.Totals()
+	fmt.Printf("budget[%v]: spent=%.0f exhausted=%d/%d denied=%d (refresh=%d)\n",
+		led.Config().Policy, spent, exhausted, led.N(), denied, led.Config().RefreshEvery)
 }
 
 // streamOpts bundles stream-mode configuration.
@@ -233,6 +296,7 @@ type streamOpts struct {
 	zipf      float64
 	burst     float64
 	seed      int64
+	budget    budget.Config
 }
 
 // runStream is open-world mode: a deterministic workload.Stream paces
@@ -253,6 +317,7 @@ func runStream(inst *workload.Instance, o streamOpts) {
 		Engine: engine.Config{
 			Shards: o.shards, QueueDepth: o.queue,
 			Method: o.method, Pricing: o.pricing, ClickSeed: o.clickSeed,
+			Budget: o.budget,
 		},
 		Overload: o.policy,
 	})
@@ -307,6 +372,20 @@ func runStream(inst *workload.Instance, o streamOpts) {
 	for i, ps := range st.PerShard {
 		fmt.Printf("  shard %d: served=%d shed=%d epoch=%d\n", i, ps.Served, ps.Shed, ps.Epoch)
 	}
+	if o.budget.Policy != budget.PolicyOff {
+		fmt.Printf("budget[%v]: spent=%.0f exhausted=%d denied=%d\n",
+			o.budget.Policy, st.BudgetSpent, st.BudgetExhausted, st.BudgetDenied)
+	}
+}
+
+func parseBudgetPolicy(s string) (budget.Policy, error) {
+	switch strings.ToLower(s) {
+	case "hard":
+		return budget.PolicyHard, nil
+	case "paced":
+		return budget.PolicyPaced, nil
+	}
+	return 0, fmt.Errorf("unknown budget policy %q (want hard, paced)", s)
 }
 
 func parsePolicy(s string) (stream.Policy, error) {

@@ -1,0 +1,250 @@
+// Command benchrecord turns `go test -bench` output into
+// BENCH_ENGINE.json rows. It exists to close the ROADMAP's standing
+// loop on benchmark provenance: the CI bench-multicore job runs the
+// engine shard sweep on genuinely parallel hardware and uploads its
+// bench.out as an artifact, and this tool parses that artifact (or
+// any local bench run) and merges the measured rows into the
+// checked-in baseline — replacing rows with matching names, appending
+// new ones, and preserving hand-written annotations (note, benchtime)
+// on rows it updates.
+//
+// Usage:
+//
+//	go test -bench 'EngineThroughput' -benchtime=2000x -benchmem -run xxx . | tee bench.out
+//	go run ./cmd/benchrecord -bench bench.out -json BENCH_ENGINE.json -date 2026-07-27 -w
+//
+// Without -w the merged document is printed to stdout for review.
+// Benchmark names are recorded without the trailing -GOMAXPROCS
+// suffix, matching the baseline's convention. Standard metrics map to
+// the baseline's keys (ns/op → ns_per_op, B/op → bytes_per_op,
+// allocs/op → allocs_per_op) and the engine's custom metrics keep
+// their names with dashes flattened (qps, p99-ns → p99_ns).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Row is one benchmark result in the BENCH_ENGINE.json schema. The
+// zero-able alloc columns are pointers so that a measured 0 — the
+// whole point of the steady-state rows — still serializes.
+type Row struct {
+	Name        string   `json:"name"`
+	Iterations  int64    `json:"iterations,omitempty"`
+	NsPerOp     float64  `json:"ns_per_op,omitempty"`
+	Qps         *float64 `json:"qps,omitempty"`
+	P99Ns       *float64 `json:"p99_ns,omitempty"`
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	Benchtime   string   `json:"benchtime,omitempty"`
+	Note        string   `json:"note,omitempty"`
+}
+
+// File is the BENCH_ENGINE.json document.
+type File struct {
+	Name       string         `json:"name"`
+	Date       string         `json:"date,omitempty"`
+	Host       map[string]any `json:"host,omitempty"`
+	Command    string         `json:"command,omitempty"`
+	Workload   string         `json:"workload,omitempty"`
+	Acceptance string         `json:"acceptance,omitempty"`
+	Results    []Row          `json:"results"`
+}
+
+// benchLine matches one `go test -bench` result line: the name (with
+// its -P procs suffix), the iteration count, and the metric tail.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*\S)\s*$`)
+
+// parseBench extracts rows from go-test benchmark output. Non-result
+// lines (goos/pkg headers, PASS, progress output) are skipped.
+func parseBench(r io.Reader) ([]Row, error) {
+	var rows []Row
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchrecord: bad iteration count in %q: %v", sc.Text(), err)
+		}
+		row := Row{Name: m[1], Iterations: iters}
+		fields := strings.Fields(m[3])
+		if len(fields)%2 != 0 {
+			return nil, fmt.Errorf("benchrecord: odd metric tail in %q", sc.Text())
+		}
+		for f := 0; f < len(fields); f += 2 {
+			val, err := strconv.ParseFloat(fields[f], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchrecord: bad metric value %q in %q: %v", fields[f], sc.Text(), err)
+			}
+			switch unit := fields[f+1]; unit {
+			case "ns/op":
+				row.NsPerOp = val
+			case "B/op":
+				row.BytesPerOp = ptr(val)
+			case "allocs/op":
+				row.AllocsPerOp = ptr(val)
+			case "qps":
+				row.Qps = ptr(val)
+			case "p99-ns", "p99_ns":
+				row.P99Ns = ptr(val)
+			case "MB/s":
+				// throughput column of -benchtime byte benchmarks; the
+				// baseline schema has no slot for it — skip.
+			default:
+				// Unknown custom metric: ignore rather than fail, so the
+				// tool survives future ReportMetric additions.
+			}
+		}
+		rows = append(rows, row)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("benchrecord: no benchmark result lines found")
+	}
+	return rows, nil
+}
+
+func ptr(f float64) *float64 { return &f }
+
+// merge folds the measured rows into doc: rows with matching names
+// are updated in place (measured metrics overwrite, hand annotations
+// survive, and a metric absent from the new measurement — e.g. no
+// -benchmem — keeps its recorded value), new names append in
+// measurement order. Returns the counts for the summary line.
+func merge(doc *File, rows []Row) (updated, added int) {
+	index := make(map[string]int, len(doc.Results))
+	for i, r := range doc.Results {
+		index[r.Name] = i
+	}
+	for _, row := range rows {
+		i, ok := index[row.Name]
+		if !ok {
+			doc.Results = append(doc.Results, row)
+			index[row.Name] = len(doc.Results) - 1
+			added++
+			continue
+		}
+		dst := &doc.Results[i]
+		dst.Iterations = row.Iterations
+		dst.NsPerOp = row.NsPerOp
+		if row.Qps != nil {
+			dst.Qps = row.Qps
+		}
+		if row.P99Ns != nil {
+			dst.P99Ns = row.P99Ns
+		}
+		if row.BytesPerOp != nil {
+			dst.BytesPerOp = row.BytesPerOp
+		}
+		if row.AllocsPerOp != nil {
+			dst.AllocsPerOp = row.AllocsPerOp
+		}
+		updated++
+	}
+	return updated, added
+}
+
+// load reads the baseline document, or starts a fresh one when the
+// file does not exist yet.
+func load(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &File{Name: "engine-baseline"}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var doc File
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("benchrecord: %s: %v", path, err)
+	}
+	return &doc, nil
+}
+
+func run(benchPath, jsonPath, date, filter string, write bool, stdout, stderr io.Writer) error {
+	var in io.Reader
+	if benchPath == "-" {
+		in = os.Stdin
+	} else {
+		f, err := os.Open(benchPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	rows, err := parseBench(in)
+	if err != nil {
+		return err
+	}
+	if filter != "" {
+		re, err := regexp.Compile(filter)
+		if err != nil {
+			return fmt.Errorf("benchrecord: bad -filter: %v", err)
+		}
+		kept := rows[:0]
+		for _, r := range rows {
+			if re.MatchString(r.Name) {
+				kept = append(kept, r)
+			}
+		}
+		rows = kept
+		if len(rows) == 0 {
+			return fmt.Errorf("benchrecord: -filter %q matched no rows", filter)
+		}
+	}
+	doc, err := load(jsonPath)
+	if err != nil {
+		return err
+	}
+	updated, added := merge(doc, rows)
+	if date != "" {
+		doc.Date = date
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if write {
+		if err := os.WriteFile(jsonPath, out, 0o644); err != nil {
+			return err
+		}
+	} else {
+		if _, err := stdout.Write(out); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(stderr, "benchrecord: %d rows updated, %d added (%d parsed from %s)\n",
+		updated, added, len(rows), benchPath)
+	return nil
+}
+
+func main() {
+	var (
+		benchPath = flag.String("bench", "bench.out", "go test -bench output to parse (\"-\" for stdin)")
+		jsonPath  = flag.String("json", "BENCH_ENGINE.json", "baseline document to merge into")
+		date      = flag.String("date", "", "stamp the document's date field (YYYY-MM-DD; empty keeps the recorded date)")
+		filter    = flag.String("filter", "", "only merge benchmark names matching this regexp")
+		write     = flag.Bool("w", false, "write the merged document back to -json instead of stdout")
+	)
+	flag.Parse()
+	if err := run(*benchPath, *jsonPath, *date, *filter, *write, os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "benchrecord:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,130 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkEngineThroughput/n=1000/workers=1-4         	    2000	    200100 ns/op	      5100 qps	    280000 p99-ns	       0 B/op	       0 allocs/op
+BenchmarkEngineThroughput/n=1000/workers=4-4         	    2000	     60100 ns/op	     16600 qps	    310000 p99-ns	       0 B/op	       0 allocs/op
+BenchmarkMarketSteadyStateBudget/rh-n=1000-4         	     100	    190000 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	repro	12.3s
+`
+
+func TestParseBench(t *testing.T) {
+	rows, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("parsed %d rows, want 3", len(rows))
+	}
+	r := rows[0]
+	if r.Name != "BenchmarkEngineThroughput/n=1000/workers=1" {
+		t.Fatalf("procs suffix not stripped: %q", r.Name)
+	}
+	if r.Iterations != 2000 || r.NsPerOp != 200100 {
+		t.Fatalf("core metrics wrong: %+v", r)
+	}
+	if r.Qps == nil || *r.Qps != 5100 || r.P99Ns == nil || *r.P99Ns != 280000 {
+		t.Fatalf("custom metrics wrong: %+v", r)
+	}
+	if r.BytesPerOp == nil || *r.BytesPerOp != 0 || r.AllocsPerOp == nil || *r.AllocsPerOp != 0 {
+		t.Fatalf("zero alloc columns must be recorded, not dropped: %+v", r)
+	}
+	if rows[2].Qps != nil {
+		t.Fatalf("market row grew a qps metric: %+v", rows[2])
+	}
+	if _, err := parseBench(strings.NewReader("PASS\nok repro 1s\n")); err == nil {
+		t.Fatal("result-free input accepted")
+	}
+}
+
+func TestMergePreservesAnnotations(t *testing.T) {
+	doc := &File{
+		Name: "engine-baseline",
+		Date: "2026-01-01",
+		Results: []Row{
+			{Name: "BenchmarkEngineThroughput/n=1000/workers=1", Iterations: 1, NsPerOp: 999999,
+				Qps: ptr(10), BytesPerOp: ptr(0), AllocsPerOp: ptr(0),
+				Note: "recorded on a 1-core host"},
+			{Name: "BenchmarkMarketSteadyStateRH/n=500", Iterations: 5, NsPerOp: 5,
+				Benchtime: "100x", Note: "untouched"},
+		},
+	}
+	rows, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	updated, added := merge(doc, rows)
+	if updated != 1 || added != 2 {
+		t.Fatalf("updated=%d added=%d, want 1/2", updated, added)
+	}
+	got := doc.Results[0]
+	if got.NsPerOp != 200100 || *got.Qps != 5100 || got.Iterations != 2000 {
+		t.Fatalf("matched row not updated: %+v", got)
+	}
+	if got.Note != "recorded on a 1-core host" {
+		t.Fatalf("hand annotation clobbered: %+v", got)
+	}
+	if r := doc.Results[1]; r.NsPerOp != 5 || r.Note != "untouched" || r.Benchtime != "100x" {
+		t.Fatalf("unmeasured row modified: %+v", r)
+	}
+	if doc.Results[3].Name != "BenchmarkMarketSteadyStateBudget/rh-n=1000" {
+		t.Fatalf("new rows not appended in order: %+v", doc.Results)
+	}
+}
+
+// TestRunRoundTrip drives the tool end to end against the repository's
+// actual BENCH_ENGINE.json schema: parse, merge, write, re-load.
+func TestRunRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	benchPath := filepath.Join(dir, "bench.out")
+	jsonPath := filepath.Join(dir, "BENCH_ENGINE.json")
+	if err := os.WriteFile(benchPath, []byte(sampleBench), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	seed := `{
+  "name": "engine-baseline",
+  "date": "2026-01-01",
+  "host": {"goos": "linux"},
+  "results": [
+    {"name": "BenchmarkEngineThroughput/n=1000/workers=1", "iterations": 1, "ns_per_op": 1, "qps": 1, "p99_ns": 1, "bytes_per_op": 8, "allocs_per_op": 1, "note": "stale"}
+  ]
+}`
+	if err := os.WriteFile(jsonPath, []byte(seed), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr strings.Builder
+	if err := run(benchPath, jsonPath, "2026-07-27", "EngineThroughput", true, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc File
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("merged document is not valid JSON: %v", err)
+	}
+	if doc.Date != "2026-07-27" || doc.Host["goos"] != "linux" {
+		t.Fatalf("document metadata wrong: %+v", doc)
+	}
+	if len(doc.Results) != 2 {
+		t.Fatalf("filter leaked rows: %d results (want workers=1 updated + workers=4 added)", len(doc.Results))
+	}
+	if doc.Results[0].NsPerOp != 200100 || *doc.Results[0].BytesPerOp != 0 || doc.Results[0].Note != "stale" {
+		t.Fatalf("round-trip row wrong: %+v", doc.Results[0])
+	}
+	if !strings.Contains(stderr.String(), "1 rows updated, 1 added") {
+		t.Fatalf("summary line wrong: %q", stderr.String())
+	}
+}

@@ -1,0 +1,412 @@
+// Package budget is the cross-keyword spend subsystem of the serving
+// engine: an eventually-consistent global ledger of per-advertiser
+// spend, plus the enforcement policies that decide — per advertiser,
+// per auction — whether a budgeted advertiser participates.
+//
+// The paper's bidding language makes daily budgets a first-class
+// constraint (the budget-guarded program pinned in
+// internal/sqlmini/programs_test.go zeroes its bids once amtSpent
+// reaches the budget), and budget-constrained bidders are the central
+// modeling concern of the sponsored-search literature the ROADMAP
+// cites (Feldman & Muthukrishnan; Iyengar & Kumar). The serving
+// engine, however, partitions state by keyword: each keyword's market
+// tracks spend independently, so no single market can see an
+// advertiser's global spend. This package closes that gap without
+// giving up the partition.
+//
+// # Consistency model
+//
+// A Ledger holds one Lane per keyword market. The lane is owned by
+// the shard goroutine serving that keyword: spend charges
+// (Lane.Charge) are plain single-writer array writes on the auction
+// hot path — no locks, no atomics, no allocations. Each lane
+// periodically publishes its unpublished spend into the ledger's
+// shared snapshot (Lane.Publish, driven every Config.RefreshEvery of
+// the lane's own auctions, by the streaming layer's in-band flush
+// fences, and at batch/drain boundaries). The snapshot is an array of
+// atomically-updated float64 bits: reading an advertiser's global
+// spend estimate is one atomic load plus the reader's own lane's
+// unpublished delta — wait-free, and exact with respect to the
+// reader's own market.
+//
+// The estimate is therefore eventually consistent: it can trail true
+// global spend by at most the other lanes' unpublished windows. With
+// K lanes, a refresh interval of R auctions, and a maximum
+// per-auction charge of P (one slot per advertiser per auction, price
+// capped at the bid, bids capped at the click value), enforcement
+// admits at most
+//
+//	overspend ≤ K · R · P
+//
+// beyond the cap: each lane independently admits only while its own
+// estimate is below the budget, and its estimate can miss at most
+// R·P unpublished spend from each of the other lanes plus the charge
+// of its own in-flight auction. TestHardOverspendBound in
+// internal/engine drives an adversarial trace against this bound.
+//
+// # Exactness at drain
+//
+// A lane's cumulative spend array receives exactly the same sequence
+// of float64 additions as its market's Accounting.SpentTotal, so the
+// two are bitwise equal at every instant. Once serving has quiesced
+// (batch Serve returned, or the streaming server drained),
+// Ledger.ExactSpent sums the lanes in lane order — the same
+// summation any cross-market accounting aggregate performs — so
+// ledger totals equal the per-market spend sums exactly, not
+// approximately. The published snapshot may differ from the exact
+// total in the last ulp (its additions interleave across lanes);
+// Ledger.Spent is the operational read, ExactSpent the settlement
+// read.
+//
+// # Policies
+//
+// PolicyHard zeroes a budgeted advertiser's participation the moment
+// the spend estimate reaches the cap — the serving-side analogue of
+// the sqlmini budget-guarded program's "UPDATE Keywords SET bid = 0".
+// PolicyPaced smooths spend across a configured horizon instead of
+// spending greedily until the cap: while the advertiser's spent
+// fraction runs ahead of the elapsed fraction of the horizon, it
+// participates with probability (1−spentFrac)/(1−elapsedFrac), drawn
+// deterministically from Config.Seed, the lane, the advertiser, and
+// the lane's auction count — so a paced market is exactly
+// reproducible given its configuration and trace. Paced enforcement
+// still hard-stops at the cap.
+package budget
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Policy selects the enforcement rule applied to budgeted
+// advertisers.
+type Policy uint8
+
+const (
+	// PolicyOff disables the subsystem entirely: no ledger is built
+	// and the serving hot path is untouched (byte-identical outcomes
+	// to an engine without budget support).
+	PolicyOff Policy = iota
+	// PolicyHard excludes an advertiser from every auction once the
+	// spend estimate reaches the budget.
+	PolicyHard
+	// PolicyPaced probabilistically throttles participation to smooth
+	// spend across Config.Horizon auctions, and hard-stops at the cap.
+	PolicyPaced
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case PolicyOff:
+		return "off"
+	case PolicyHard:
+		return "hard"
+	case PolicyPaced:
+		return "paced"
+	default:
+		return "Policy(?)"
+	}
+}
+
+// Config tunes a Ledger. Budgets themselves live with the population
+// (workload.Instance.Budget); the config carries only the enforcement
+// parameters, so it survives advertiser churn unchanged.
+type Config struct {
+	// Policy selects the enforcement rule; PolicyOff disables the
+	// subsystem.
+	Policy Policy
+	// RefreshEvery is the lane-local publish cadence: a lane folds its
+	// unpublished spend into the shared snapshot every this many of
+	// its own auctions. Smaller values tighten the overspend bound and
+	// cost one O(n) scan per refresh per lane; 0 means 64.
+	RefreshEvery int
+	// Horizon is the pacing horizon in lane-local auctions
+	// (PolicyPaced only): the number of auctions a lane's paced
+	// advertisers should spread their budgets across. 0 means 10000.
+	Horizon int
+	// Seed drives the deterministic pacing draws.
+	Seed int64
+}
+
+// withDefaults fills the zero values.
+func (c Config) withDefaults() Config {
+	if c.RefreshEvery <= 0 {
+		c.RefreshEvery = 64
+	}
+	if c.Horizon <= 0 {
+		c.Horizon = 10000
+	}
+	return c
+}
+
+// Ledger is one population's cross-keyword spend state: per-advertiser
+// budgets, the shared published snapshot, and one Lane per market.
+// Construct with NewLedger; a Ledger is tied to one population
+// generation (advertiser churn builds a fresh ledger, exactly as it
+// rebuilds markets and accounting — the engine's fresh-engine churn
+// contract).
+type Ledger struct {
+	n      int
+	cfg    Config
+	budget []float64 // per advertiser; 0 (or negative) = unlimited
+	snap   []uint64  // published spend, atomic float64 bits
+	lanes  []Lane
+}
+
+// NewLedger builds a ledger for n advertisers and the given number of
+// lanes (one per keyword market; a sequential world uses one).
+// budgets is the per-advertiser cap in currency — nil, or an entry
+// ≤ 0, means unlimited. The slice is copied.
+func NewLedger(n, lanes int, budgets []float64, cfg Config) *Ledger {
+	l := &Ledger{
+		n:    n,
+		cfg:  cfg.withDefaults(),
+		snap: make([]uint64, n),
+	}
+	if budgets != nil {
+		l.budget = make([]float64, n)
+		copy(l.budget, budgets)
+	}
+	l.lanes = make([]Lane, lanes)
+	for q := range l.lanes {
+		mark := make([]uint64, n)
+		for i := range mark {
+			mark[i] = ^uint64(0) // never matches an auction count
+		}
+		l.lanes[q] = Lane{
+			led:      l,
+			id:       q,
+			cum:      make([]float64, n),
+			pub:      make([]float64, n),
+			mark:     mark,
+			decision: make([]bool, n),
+		}
+	}
+	return l
+}
+
+// N returns the advertiser count the ledger was built for.
+func (l *Ledger) N() int { return l.n }
+
+// Lanes returns the number of lanes.
+func (l *Ledger) Lanes() int { return len(l.lanes) }
+
+// Lane returns lane q. Each lane must be driven by exactly one
+// goroutine at a time (the market's serving shard).
+func (l *Ledger) Lane(q int) *Lane { return &l.lanes[q] }
+
+// Config returns the enforcement configuration (defaults applied).
+func (l *Ledger) Config() Config { return l.cfg }
+
+// Budget returns advertiser i's cap, or 0 when unlimited.
+func (l *Ledger) Budget(i int) float64 {
+	if l.budget == nil || l.budget[i] <= 0 {
+		return 0
+	}
+	return l.budget[i]
+}
+
+// Spent returns the published global spend of advertiser i — the
+// wait-free snapshot read, trailing true spend by at most the lanes'
+// unpublished windows.
+func (l *Ledger) Spent(i int) float64 {
+	return math.Float64frombits(atomic.LoadUint64(&l.snap[i]))
+}
+
+// Exhausted reports whether advertiser i's published spend has
+// reached its budget (always false for unlimited advertisers).
+func (l *Ledger) Exhausted(i int) bool {
+	b := l.Budget(i)
+	return b > 0 && l.Spent(i) >= b
+}
+
+// ExactSpent returns advertiser i's exact global spend: the sum of
+// the lanes' cumulative spend arrays in lane order. Each lane's array
+// is bitwise equal to its market's Accounting.SpentTotal, so this sum
+// equals the cross-market accounting aggregate exactly. The caller
+// must have quiesced serving (batch Serve returned, or the streaming
+// server drained); the plain reads are otherwise racy.
+func (l *Ledger) ExactSpent(i int) float64 {
+	var total float64
+	for q := range l.lanes {
+		total += l.lanes[q].cum[i]
+	}
+	return total
+}
+
+// Totals summarizes the published snapshot: total spend across all
+// advertisers, the number of budgeted advertisers at or over their
+// cap, and the cumulative published count of participation denials.
+// All reads are atomic; safe while serving runs.
+func (l *Ledger) Totals() (spent float64, exhausted int, denied int64) {
+	for i := 0; i < l.n; i++ {
+		s := l.Spent(i)
+		spent += s
+		if b := l.Budget(i); b > 0 && s >= b {
+			exhausted++
+		}
+	}
+	for q := range l.lanes {
+		denied += l.lanes[q].deniedPub.Load()
+	}
+	return spent, exhausted, denied
+}
+
+// PublishAll publishes every lane. The caller must have quiesced all
+// lane owners (the batch engine calls it after its workers join).
+func (l *Ledger) PublishAll() {
+	for q := range l.lanes {
+		l.lanes[q].Publish()
+	}
+}
+
+// Lane is one market's slice of the ledger: the cumulative spend this
+// market has charged, the portion already published, and the
+// per-auction gating state. All methods except the ledger-level
+// atomic reads must be called from the single goroutine that owns the
+// market.
+type Lane struct {
+	led *Ledger
+	id  int
+
+	t      int       // auctions begun on this lane
+	cum    []float64 // cumulative spend per advertiser (single writer)
+	pub    []float64 // portion of cum already folded into led.snap
+	denied int64     // cumulative participation denials
+
+	deniedPub atomic.Int64 // published view of denied
+
+	// Per-auction decision cache: mark[i] == uint64(t) iff decision[i]
+	// holds this auction's verdict for advertiser i. One decision per
+	// (advertiser, auction) no matter how many times the winner
+	// -determination path consults the gate.
+	mark     []uint64
+	decision []bool
+}
+
+// Ledger returns the lane's owning ledger.
+func (l *Lane) Ledger() *Ledger { return l.led }
+
+// BeginAuction advances the lane to its next auction, invalidating
+// the per-auction decision cache, and publishes on the refresh
+// cadence. Call once at the top of every market auction.
+func (l *Lane) BeginAuction() {
+	l.t++
+	if l.t%l.led.cfg.RefreshEvery == 0 {
+		l.Publish()
+	}
+}
+
+// Auctions returns the number of auctions begun on this lane.
+func (l *Lane) Auctions() int { return l.t }
+
+// Charge records that advertiser i was charged amount in this lane's
+// market. The market calls it with exactly the values it adds to
+// Accounting.SpentTotal, keeping the two bitwise equal.
+func (l *Lane) Charge(i int, amount float64) {
+	l.cum[i] += amount
+}
+
+// Spent returns this lane's own cumulative charge to advertiser i
+// (owner read).
+func (l *Lane) Spent(i int) float64 { return l.cum[i] }
+
+// Estimate returns the lane's view of advertiser i's global spend:
+// the published snapshot plus this lane's own unpublished delta —
+// exact for the lane's own market, stale by at most the refresh
+// window for every other lane.
+func (l *Lane) Estimate(i int) float64 {
+	return l.led.Spent(i) + (l.cum[i] - l.pub[i])
+}
+
+// Allowed reports whether advertiser i participates in the lane's
+// current auction. The first call per auction decides (and counts a
+// denial when it gates); repeated calls return the cached verdict, so
+// the threshold-algorithm path can consult the gate per lookup
+// without re-drawing pacing decisions. Allocation-free.
+func (l *Lane) Allowed(i int) bool {
+	if l.mark[i] == uint64(l.t) {
+		return l.decision[i]
+	}
+	l.mark[i] = uint64(l.t)
+	d := l.decide(i)
+	l.decision[i] = d
+	if !d {
+		l.denied++
+	}
+	return d
+}
+
+// decide computes the per-auction participation verdict.
+func (l *Lane) decide(i int) bool {
+	b := l.led.Budget(i)
+	if b == 0 {
+		return true
+	}
+	spent := l.Estimate(i)
+	if spent >= b {
+		return false // both policies hard-stop at the cap
+	}
+	if l.led.cfg.Policy != PolicyPaced {
+		return true
+	}
+	h := float64(l.led.cfg.Horizon)
+	elapsed := float64(l.t) / h
+	if elapsed >= 1 {
+		return true // horizon over: nothing left to smooth
+	}
+	if spent/b <= elapsed {
+		return true // on or behind schedule
+	}
+	// Ahead of schedule: participate with probability proportional to
+	// the remaining budget over the remaining horizon.
+	p := (b - spent) / (b * (1 - elapsed))
+	return l.u01(i) < p
+}
+
+// u01 derives the deterministic pacing draw for (lane, advertiser,
+// auction) in [0, 1).
+func (l *Lane) u01(i int) float64 {
+	x := uint64(l.led.cfg.Seed) ^
+		uint64(l.id+1)*0x9e3779b97f4a7c15 ^
+		uint64(i+1)*0xbf58476d1ce4e5b9 ^
+		uint64(l.t)*0x94d049bb133111eb
+	x = splitmix64(x)
+	return float64(x>>11) / (1 << 53)
+}
+
+// splitmix64 is the finalizer of the SplitMix64 generator — a cheap,
+// well-mixed 64-bit hash.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Publish folds the lane's unpublished spend into the shared
+// snapshot and publishes the denial counter. Owner-called (refresh
+// cadence, flush fences, drain); the snapshot additions are lock-free
+// CAS loops, contended only when two lanes publish the same
+// advertiser simultaneously. Allocation-free.
+func (l *Lane) Publish() {
+	for i := range l.cum {
+		if d := l.cum[i] - l.pub[i]; d != 0 {
+			addFloat(&l.led.snap[i], d)
+			l.pub[i] = l.cum[i]
+		}
+	}
+	l.deniedPub.Store(l.denied)
+}
+
+// addFloat atomically adds delta to the float64 stored in bits at p.
+func addFloat(p *uint64, delta float64) {
+	for {
+		old := atomic.LoadUint64(p)
+		nw := math.Float64bits(math.Float64frombits(old) + delta)
+		if atomic.CompareAndSwapUint64(p, old, nw) {
+			return
+		}
+	}
+}

@@ -1,0 +1,261 @@
+package budget
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/racetest"
+)
+
+// TestHardGate: the hard policy admits until the estimate reaches the
+// cap and gates from then on; unlimited advertisers are never gated.
+func TestHardGate(t *testing.T) {
+	led := NewLedger(3, 1, []float64{10, 0, 5}, Config{Policy: PolicyHard, RefreshEvery: 1})
+	lane := led.Lane(0)
+
+	lane.BeginAuction()
+	for i := 0; i < 3; i++ {
+		if !lane.Allowed(i) {
+			t.Fatalf("advertiser %d gated with zero spend", i)
+		}
+	}
+	lane.Charge(0, 10) // exactly at cap
+	lane.Charge(2, 4.5)
+	lane.BeginAuction() // publishes (RefreshEvery=1)
+	if lane.Allowed(0) {
+		t.Fatal("advertiser 0 at cap still allowed")
+	}
+	if !lane.Allowed(1) {
+		t.Fatal("unlimited advertiser gated")
+	}
+	if !lane.Allowed(2) {
+		t.Fatal("advertiser 2 under cap gated")
+	}
+	if !led.Exhausted(0) || led.Exhausted(1) || led.Exhausted(2) {
+		t.Fatalf("exhausted flags wrong: %v %v %v",
+			led.Exhausted(0), led.Exhausted(1), led.Exhausted(2))
+	}
+}
+
+// TestDecisionCachedPerAuction: one verdict (and at most one denial)
+// per advertiser per auction, however many times the gate is
+// consulted.
+func TestDecisionCachedPerAuction(t *testing.T) {
+	led := NewLedger(1, 1, []float64{1}, Config{Policy: PolicyHard, RefreshEvery: 1})
+	lane := led.Lane(0)
+	lane.Charge(0, 2)
+	lane.BeginAuction()
+	for r := 0; r < 5; r++ {
+		if lane.Allowed(0) {
+			t.Fatal("over-cap advertiser allowed")
+		}
+	}
+	lane.Publish()
+	if _, _, denied := led.Totals(); denied != 1 {
+		t.Fatalf("denied = %d, want 1 (one per auction, not per consult)", denied)
+	}
+}
+
+// TestEstimateSeesOwnLaneExactly: a lane's estimate includes its own
+// unpublished spend immediately, and other lanes' spend only after
+// they publish.
+func TestEstimateSeesOwnLaneExactly(t *testing.T) {
+	led := NewLedger(1, 2, []float64{100}, Config{Policy: PolicyHard, RefreshEvery: 1 << 30})
+	a, b := led.Lane(0), led.Lane(1)
+	a.Charge(0, 7)
+	if got := a.Estimate(0); got != 7 {
+		t.Fatalf("own-lane estimate %v, want 7", got)
+	}
+	if got := b.Estimate(0); got != 0 {
+		t.Fatalf("cross-lane estimate %v before publish, want 0", got)
+	}
+	a.Publish()
+	if got := b.Estimate(0); got != 7 {
+		t.Fatalf("cross-lane estimate %v after publish, want 7", got)
+	}
+	// Publishing twice must not double-count.
+	a.Publish()
+	if got := led.Spent(0); got != 7 {
+		t.Fatalf("snapshot %v after republish, want 7", got)
+	}
+}
+
+// TestExactSpentMatchesPerLaneSums: ExactSpent is the lane-order sum
+// of the cumulative arrays — bitwise equal to summing the per-market
+// accounting the same way, including awkward floating-point values.
+func TestExactSpentMatchesPerLaneSums(t *testing.T) {
+	led := NewLedger(1, 3, nil, Config{Policy: PolicyHard})
+	vals := [][]float64{{0.1, 0.7, 1e-9}, {3.3}, {0.2, 0.2, 0.2, 1e17}}
+	var mirror [3]float64
+	for q, charges := range vals {
+		for _, c := range charges {
+			led.Lane(q).Charge(0, c)
+			mirror[q] += c
+		}
+	}
+	var want float64
+	for q := 0; q < 3; q++ {
+		want += mirror[q]
+	}
+	if got := led.ExactSpent(0); got != want {
+		t.Fatalf("ExactSpent %v != lane-order sum %v", got, want)
+	}
+}
+
+// TestPacedDeterministicAndSmoothing: paced decisions are a pure
+// function of (config, lane, advertiser, auction); an advertiser
+// ahead of schedule is throttled but not silenced, and the cap still
+// hard-stops.
+func TestPacedDeterministicAndSmoothing(t *testing.T) {
+	cfg := Config{Policy: PolicyPaced, RefreshEvery: 1, Horizon: 1000, Seed: 9}
+	run := func() []bool {
+		led := NewLedger(1, 1, []float64{100}, cfg)
+		lane := led.Lane(0)
+		var out []bool
+		for a := 0; a < 400; a++ {
+			lane.BeginAuction()
+			ok := lane.Allowed(0)
+			out = append(out, ok)
+			if ok {
+				lane.Charge(0, 1) // spending 1/auction: 10x the smooth rate
+			}
+		}
+		return out
+	}
+	first, second := run(), run()
+	allowed, denied := 0, 0
+	for a := range first {
+		if first[a] != second[a] {
+			t.Fatalf("auction %d: paced decision not deterministic", a)
+		}
+		if first[a] {
+			allowed++
+		} else {
+			denied++
+		}
+	}
+	if denied == 0 {
+		t.Fatal("advertiser 10x ahead of schedule was never throttled")
+	}
+	if allowed == 0 {
+		t.Fatal("paced advertiser never participated")
+	}
+	// The budget must never be breached by more than one auction's
+	// charge (single lane: the estimate is exact).
+	led := NewLedger(1, 1, []float64{100}, cfg)
+	lane := led.Lane(0)
+	for a := 0; a < 5000; a++ {
+		lane.BeginAuction()
+		if lane.Allowed(0) {
+			lane.Charge(0, 1)
+		}
+	}
+	if got := lane.Spent(0); got > 100 {
+		t.Fatalf("paced spend %v exceeded the cap", got)
+	}
+}
+
+// TestPacedBehindScheduleAlwaysAllowed: an advertiser at or behind
+// the smooth spend schedule is never throttled.
+func TestPacedBehindScheduleAlwaysAllowed(t *testing.T) {
+	led := NewLedger(1, 1, []float64{1000}, Config{Policy: PolicyPaced, Horizon: 1000, Seed: 3})
+	lane := led.Lane(0)
+	for a := 0; a < 900; a++ {
+		lane.BeginAuction()
+		if !lane.Allowed(0) {
+			t.Fatalf("auction %d: behind-schedule advertiser throttled", a)
+		}
+		lane.Charge(0, 0.5) // half the smooth rate
+	}
+}
+
+// TestConcurrentPublishAndRead: lanes charging and publishing from
+// separate goroutines while a reader polls the snapshot — the -race
+// proof of the single-writer-lane / atomic-snapshot split. The final
+// snapshot must equal the exact total up to float summation-order
+// slack.
+func TestConcurrentPublishAndRead(t *testing.T) {
+	const lanes, perLane = 4, 2000
+	led := NewLedger(2, lanes, []float64{1e18, 0}, Config{Policy: PolicyHard, RefreshEvery: 7})
+	stop := make(chan struct{})
+	var pollers, owners sync.WaitGroup
+	pollers.Add(1)
+	go func() { // snapshot poller
+		defer pollers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if s := led.Spent(0); s < 0 || math.IsNaN(s) {
+				t.Error("snapshot read returned garbage")
+				return
+			}
+			led.Totals()
+		}
+	}()
+	for q := 0; q < lanes; q++ {
+		owners.Add(1)
+		go func(q int) {
+			defer owners.Done()
+			lane := led.Lane(q)
+			for a := 0; a < perLane; a++ {
+				lane.BeginAuction()
+				if lane.Allowed(0) {
+					lane.Charge(0, 0.25)
+				}
+			}
+			lane.Publish()
+		}(q)
+	}
+	owners.Wait()
+	close(stop)
+	pollers.Wait()
+	exact := led.ExactSpent(0)
+	if exact != float64(lanes*perLane)*0.25 {
+		t.Fatalf("exact total %v, want %v", exact, float64(lanes*perLane)*0.25)
+	}
+	if snap := led.Spent(0); math.Abs(snap-exact) > 1e-6 {
+		t.Fatalf("published snapshot %v far from exact %v", snap, exact)
+	}
+}
+
+// TestLaneSteadyStateAllocs: the per-auction lane operations —
+// BeginAuction (including its periodic Publish), Allowed under both
+// policies, and Charge — perform zero heap allocations.
+func TestLaneSteadyStateAllocs(t *testing.T) {
+	if racetest.Enabled {
+		t.Skip("allocation accounting is perturbed under -race")
+	}
+	for _, pol := range []Policy{PolicyHard, PolicyPaced} {
+		const n = 200
+		budgets := make([]float64, n)
+		for i := range budgets {
+			budgets[i] = float64(50 + i)
+		}
+		led := NewLedger(n, 1, budgets, Config{Policy: pol, RefreshEvery: 8, Horizon: 500, Seed: 4})
+		lane := led.Lane(0)
+		allocs := testing.AllocsPerRun(500, func() {
+			lane.BeginAuction()
+			for i := 0; i < n; i++ {
+				if lane.Allowed(i) {
+					lane.Charge(i, 0.5)
+				}
+			}
+		})
+		if allocs != 0 {
+			t.Fatalf("policy %v: steady-state lane ops allocate %.2f objects/op, want 0", pol, allocs)
+		}
+	}
+}
+
+// TestPolicyString covers the operator-facing names.
+func TestPolicyString(t *testing.T) {
+	for p, want := range map[Policy]string{PolicyOff: "off", PolicyHard: "hard", PolicyPaced: "paced", Policy(9): "Policy(?)"} {
+		if got := p.String(); got != want {
+			t.Fatalf("Policy(%d).String() = %q, want %q", p, got, want)
+		}
+	}
+}

@@ -38,7 +38,12 @@
 // cross-keyword coupling a single sequential World has). Section V's
 // evaluation never exercises that coupling — each query involves one
 // keyword — and the per-keyword ROI statistics the Figure 5 strategy
-// steers by are per-keyword already.
+// steers by are per-keyword already. Daily budgets, the one
+// cross-keyword constraint the paper's language makes first-class,
+// are recovered without re-coupling the shards by the internal/budget
+// subsystem: Config.Budget builds an eventually-consistent spend
+// ledger whose lanes the markets charge and consult (wait-free reads,
+// bounded overspend; see that package's doc).
 //
 // Memory: each market carries full-width per-advertiser state (the
 // Figure 5 strategy's roiRange scans every keyword's ROI, so a market
@@ -56,6 +61,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/budget"
 	"repro/internal/kwmatch"
 	"repro/internal/workload"
 )
@@ -84,6 +90,15 @@ type Config struct {
 	// KeywordNames optionally names the instance's keywords for
 	// text-query routing (ServeText); defaults to "kw0", "kw1", …
 	KeywordNames []string
+	// Budget configures cross-keyword budget enforcement
+	// (internal/budget). The zero value (PolicyOff) disables the
+	// subsystem entirely: no ledger is built and outcomes are
+	// byte-identical to an engine without budget support. With a
+	// policy set, the engine builds one budget.Ledger over the
+	// instance's Budget column, hands each keyword market its lane,
+	// and publishes lane deltas on Budget.RefreshEvery plus at batch
+	// boundaries (the streaming layer adds time-based flush fences).
+	Budget budget.Config
 }
 
 // KeywordSeed derives the click-RNG seed of keyword q's market from
@@ -131,6 +146,7 @@ type Engine struct {
 	markets []*Market // one per keyword
 	shardOf []int     // keyword -> shard
 	kwIndex *kwmatch.Index
+	ledger  *budget.Ledger // nil when Budget.Policy == PolicyOff
 
 	mu sync.Mutex // serializes Serve calls
 
@@ -163,8 +179,9 @@ func New(inst *workload.Instance, cfg Config) *Engine {
 		shardOf: make([]int, inst.Keywords),
 		kwIndex: kwmatch.New(),
 	}
+	e.ledger = e.NewLedger(inst)
 	for q := 0; q < inst.Keywords; q++ {
-		e.markets[q] = NewMarketPriced(inst, cfg.Method, cfg.Pricing, KeywordSeed(cfg.ClickSeed, q))
+		e.markets[q] = NewMarketBudget(inst, cfg.Method, cfg.Pricing, KeywordSeed(cfg.ClickSeed, q), e.laneOf(e.ledger, q))
 		e.shardOf[q] = q % cfg.Shards
 		name := fmt.Sprintf("kw%d", q)
 		if q < len(cfg.KeywordNames) && cfg.KeywordNames[q] != "" {
@@ -178,6 +195,44 @@ func New(inst *workload.Instance, cfg Config) *Engine {
 		e.kwIndex.Register(q, name)
 	}
 	return e
+}
+
+// NewLedger builds a cross-keyword budget ledger for inst under the
+// engine's budget configuration, or nil when budgets are off. The
+// streaming layer calls it during churn: a fresh population gets a
+// fresh ledger, exactly as it gets fresh markets and accounting (the
+// fresh-engine churn contract extends to budgets).
+func (e *Engine) NewLedger(inst *workload.Instance) *budget.Ledger {
+	if e.cfg.Budget.Policy == budget.PolicyOff {
+		return nil
+	}
+	return budget.NewLedger(inst.N, inst.Keywords, inst.Budget, e.cfg.Budget)
+}
+
+// laneOf returns keyword q's lane of led, or nil for a nil ledger.
+func (e *Engine) laneOf(led *budget.Ledger, q int) *budget.Lane {
+	if led == nil {
+		return nil
+	}
+	return led.Lane(q)
+}
+
+// Ledger returns the engine's current budget ledger (nil when budgets
+// are off). After a churn it is the post-churn ledger; markets on
+// shards that have not yet applied their fence still charge the
+// previous one.
+func (e *Engine) Ledger() *budget.Ledger { return e.ledger }
+
+// FlushShard publishes the unpublished budget spend of every market
+// owned by shard s. Must run on the goroutine that currently owns the
+// shard (the streaming layer's in-band flush fences and drain); no-op
+// when budgets are off.
+func (e *Engine) FlushShard(s int) {
+	for q := range e.markets {
+		if e.shardOf[q] == s {
+			e.markets[q].FlushBudget()
+		}
+	}
 }
 
 // Shards returns the number of worker shards the engine runs.
@@ -297,27 +352,31 @@ func (e *Engine) ServeOne(q int, tot *Totals) *Outcome {
 // is exactly what New would build, the shard's subsequent outcomes are
 // byte-identical to a freshly constructed engine over inst. The
 // keyword catalog must be unchanged (only the advertiser population
-// churns).
-func (e *Engine) RebuildShard(s int, inst *workload.Instance) {
+// churns). led is the post-churn budget ledger the rebuilt markets
+// charge (nil when budgets are off); it travels with the fence rather
+// than being read from the engine so that a slow shard applying an
+// old fence never observes a newer churn's ledger.
+func (e *Engine) RebuildShard(s int, inst *workload.Instance, led *budget.Ledger) {
 	if inst.Keywords != len(e.markets) {
 		panic(fmt.Sprintf("engine: RebuildShard keyword catalog changed (%d != %d)", inst.Keywords, len(e.markets)))
 	}
 	for q := range e.markets {
 		if e.shardOf[q] == s {
-			e.markets[q] = NewMarketPriced(inst, e.cfg.Method, e.cfg.Pricing, KeywordSeed(e.cfg.ClickSeed, q))
+			e.markets[q] = NewMarketBudget(inst, e.cfg.Method, e.cfg.Pricing, KeywordSeed(e.cfg.ClickSeed, q), e.laneOf(led, q))
 		}
 	}
 }
 
-// SetInstance repoints the engine's population reference after a churn
-// (batch-serve validation and diagnostics read it). The caller must
-// ensure no Serve call is in flight; the streaming layer invokes it
-// under its churn lock.
-func (e *Engine) SetInstance(inst *workload.Instance) {
+// SetInstance repoints the engine's population reference (and budget
+// ledger) after a churn — batch-serve validation, diagnostics, and
+// statistics read them. The caller must ensure no Serve call is in
+// flight; the streaming layer invokes it under its churn lock.
+func (e *Engine) SetInstance(inst *workload.Instance, led *budget.Ledger) {
 	if inst.Keywords != len(e.markets) {
 		panic(fmt.Sprintf("engine: SetInstance keyword catalog changed (%d != %d)", inst.Keywords, len(e.markets)))
 	}
 	e.inst = inst
+	e.ledger = led
 }
 
 func (e *Engine) serve(queries []int, results []*Outcome) *Stats {
@@ -381,6 +440,16 @@ func (e *Engine) serve(queries []int, results []*Outcome) *Stats {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+
+	if e.ledger != nil {
+		// Batch boundary: the workers have joined (their lane writes
+		// happen-before this), so fold every market's unpublished spend
+		// into the snapshot — after Serve returns, the published ledger
+		// is current.
+		for _, m := range e.markets {
+			m.FlushBudget()
+		}
+	}
 
 	st := &Stats{Elapsed: elapsed}
 	for s := range e.totals {

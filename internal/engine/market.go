@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"runtime"
 
+	"repro/internal/budget"
 	"repro/internal/lp"
 	"repro/internal/matching"
 	"repro/internal/topk"
@@ -27,6 +28,16 @@ type Market struct {
 	acct    *Accounting
 	rng     *rand.Rand // user click simulation
 	pricing Pricing
+
+	// lane is the market's slice of the cross-keyword budget ledger;
+	// nil when budget enforcement is off, in which case every
+	// budget-related branch below is skipped and the market behaves
+	// byte-identically to a pre-budget market. When set, the market
+	// consults it before winner determination (gated advertisers score
+	// zero and are never assigned — dropNonPositive discards
+	// non-positive edges) and reports every click charge to it with
+	// exactly the values added to the accounting.
+	lane *budget.Lane
 
 	ex    *explicitEngine
 	talu  *taluEngine
@@ -75,15 +86,23 @@ func NewMarket(inst *workload.Instance, method Method, clickSeed int64) *Market 
 
 // NewMarketPriced is NewMarket with an explicit payment rule.
 func NewMarketPriced(inst *workload.Instance, method Method, pricing Pricing, clickSeed int64) *Market {
+	return NewMarketBudget(inst, method, pricing, clickSeed, nil)
+}
+
+// NewMarketBudget is NewMarketPriced with a budget-ledger lane. A nil
+// lane disables budget enforcement for this market (the historical
+// behavior, bit for bit).
+func NewMarketBudget(inst *workload.Instance, method Method, pricing Pricing, clickSeed int64, lane *budget.Lane) *Market {
 	m := &Market{
 		Inst:    inst,
 		Method:  method,
 		pricing: pricing,
 		acct:    newAccounting(inst.N, inst.Keywords),
 		rng:     rand.New(rand.NewSource(clickSeed)),
+		lane:    lane,
 	}
 	if method == MethodRHTALU {
-		m.talu = newTALUEngine(inst, m.acct)
+		m.talu = newTALUEngine(inst, m.acct, lane)
 	} else {
 		m.ex = newExplicitEngine(inst)
 	}
@@ -119,6 +138,25 @@ func NewMarketPriced(inst *workload.Instance, method Method, pricing Pricing, cl
 // Pricing reports the market's payment rule.
 func (m *Market) Pricing() Pricing { return m.pricing }
 
+// gateBids applies the budget gate to the effective bid vector: an
+// advertiser over its cap (or paced out) participates with a bid of
+// zero this auction — the serving-side analogue of the sqlmini budget
+// program's "UPDATE Keywords SET bid = 0". Bid *state* keeps evolving
+// normally (the gate masks participation, not the program), which is
+// exactly what the TALU path's lazy gating does, keeping the methods
+// equivalent under budgets. Zero bids skip the gate: they cannot win
+// regardless. No-op without a lane.
+func (m *Market) gateBids() {
+	if m.lane == nil {
+		return
+	}
+	for i := range m.bidf {
+		if m.bidf[i] != 0 && !m.lane.Allowed(i) {
+			m.bidf[i] = 0
+		}
+	}
+}
+
 // clickProbOf is the click probability the pricing and user-simulation
 // stages see: the instance matrix, conditioned on the realized
 // heavyweight pattern under MethodHeavy.
@@ -140,6 +178,20 @@ func (m *Market) Bid(i, q int) int {
 
 // Accounting exposes the provider-maintained state (read-only use).
 func (m *Market) Accounting() *Accounting { return m.acct }
+
+// BudgetLane exposes the market's ledger lane (nil when budget
+// enforcement is off) — inspection and test use.
+func (m *Market) BudgetLane() *budget.Lane { return m.lane }
+
+// FlushBudget publishes the market's unpublished spend into the
+// ledger snapshot. Must run on the goroutine that owns the market
+// (the streaming layer's in-band flush fences, the batch engine after
+// its workers join). No-op without a lane.
+func (m *Market) FlushBudget() {
+	if m.lane != nil {
+		m.lane.Publish()
+	}
+}
 
 // Auctions returns the number of auctions processed.
 func (m *Market) Auctions() int { return m.t }
@@ -174,6 +226,14 @@ func (m *Market) Run(q int) *Outcome {
 	t := float64(m.t)
 	k := m.Inst.Slots
 
+	if m.lane != nil {
+		// Advance the budget lane: one gating decision per advertiser
+		// for this auction, and a snapshot publish on the refresh
+		// cadence. Must precede bid evaluation — both engines consult
+		// the gate during selection.
+		m.lane.BeginAuction()
+	}
+
 	out := &m.out
 	out.Query = q
 	out.Revenue = 0
@@ -197,6 +257,7 @@ func (m *Market) Run(q int) *Outcome {
 		for i := 0; i < m.Inst.N; i++ {
 			m.bidf[i] = float64(m.ex.bid[i][q])
 		}
+		m.gateBids()
 		score := m.weightFn
 
 		// Candidate lists (k+1 deep) serve both the reduced matching
@@ -268,6 +329,10 @@ func (m *Market) Run(q int) *Outcome {
 			for i := 0; i < m.Inst.N; i++ {
 				m.bidf[i] = float64(m.talu.bid(i, q))
 			}
+			// Same gate the selection phase applied (decisions are
+			// cached per auction), so the counterfactual solves see the
+			// same effective bids.
+			m.gateBids()
 		}
 		m.priceVCG(advOf, out)
 	} else {
@@ -325,6 +390,12 @@ func (m *Market) Run(q int) *Outcome {
 		m.acct.SpentTotal[i] += price
 		m.acct.SpentKw[i][q] += price
 		m.acct.GainedKw[i][q] += float64(m.Inst.Value[i][q])
+		if m.lane != nil {
+			// Report the identical value the accounting recorded, so
+			// the lane's cumulative array stays bitwise equal to
+			// SpentTotal — the ledger's drain-exactness contract.
+			m.lane.Charge(i, price)
+		}
 		m.clickedWinners = append(m.clickedWinners, i)
 	}
 

@@ -4,6 +4,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/budget"
 	"repro/internal/logical"
 	"repro/internal/matching"
 	"repro/internal/ta"
@@ -54,6 +55,20 @@ import (
 type taluEngine struct {
 	inst *workload.Instance
 	acct *Accounting
+
+	// lane is the market's budget-ledger lane (nil = enforcement off).
+	// Gating is lazy, preserving Section IV's sublinearity: instead of
+	// scanning all n advertisers per auction, the gate is consulted
+	// only for advertisers the threshold algorithm actually touches —
+	// the merged bid source's random accesses return 0 for gated
+	// advertisers (gatedBidSource below), and the winner-determination
+	// score does the same. Sorted accesses still surface the ungated
+	// stored bids, which keeps the TA threshold a valid upper bound
+	// (gating only lowers true scores), so the algorithm remains
+	// correct and merely scans past gated entries. Because the explicit
+	// engine gates by zeroing effective bids while leaving bid *state*
+	// drifting, the two engines stay exactly equivalent under budgets.
+	lane *budget.Lane
 
 	// groups[q][mode] holds the bidders whose behavior for keyword q
 	// is mode (modeConst/modeInc/modeDec); member[i][q] records which.
@@ -109,10 +124,11 @@ type taluEngine struct {
 	recomputes int64
 }
 
-func newTALUEngine(inst *workload.Instance, acct *Accounting) *taluEngine {
+func newTALUEngine(inst *workload.Instance, acct *Accounting, lane *budget.Lane) *taluEngine {
 	e := &taluEngine{
 		inst:    inst,
 		acct:    acct,
+		lane:    lane,
 		groups:  make([][]*logical.Group, inst.Keywords),
 		member:  make([][]int8, inst.N),
 		genTime: make([]int, inst.N),
@@ -148,6 +164,10 @@ func newTALUEngine(inst *workload.Instance, acct *Accounting) *taluEngine {
 	e.wSorted = make([][]topk.Item, inst.Slots)
 	e.wSources = make([]*ta.SliceSource, inst.Slots)
 	e.bidSource = &logical.MergedSource{}
+	bidSrc := ta.Source(e.bidSource)
+	if lane != nil {
+		bidSrc = &gatedBidSource{inner: e.bidSource, lane: lane}
+	}
 	e.srcs = make([][]ta.Source, inst.Slots)
 	e.lists = make([][]topk.Item, inst.Slots)
 	for j := 0; j < inst.Slots; j++ {
@@ -167,11 +187,14 @@ func newTALUEngine(inst *workload.Instance, acct *Accounting) *taluEngine {
 			Items: items,
 			Get:   func(id int) float64 { return inst.ClickProb[id][j] },
 		}
-		e.srcs[j] = []ta.Source{e.wSources[j], e.bidSource}
+		e.srcs[j] = []ta.Source{e.wSources[j], bidSrc}
 		e.lists[j] = make([]topk.Item, 0, inst.Slots+1)
 	}
 	e.product = func(v []float64) float64 { return v[0] * v[1] }
 	e.score = func(i, j int) float64 {
+		if e.lane != nil && !e.lane.Allowed(i) {
+			return 0
+		}
 		return e.inst.ClickProb[i][j] * float64(e.bid(i, e.curQ))
 	}
 
@@ -314,4 +337,28 @@ func (e *taluEngine) afterAuction(t float64, clickedWinners []int) {
 		e.recompute(i, -1)
 	}
 	e.curQ = -1
+}
+
+// gatedBidSource wraps the merged bid source with the budget gate:
+// random accesses for gated advertisers return 0, so their aggregate
+// score is 0 and winner determination never assigns them. Sorted
+// accesses pass through unmodified — the threshold is computed from
+// stored (ungated) bids, which over-approximates gated advertisers'
+// true scores and therefore keeps the TA stopping rule sound: an
+// unseen object's true score never exceeds the frontier product. The
+// wrapper is built once per market; the per-lookup gate consult is an
+// array read (decisions are cached per auction), so the hot path
+// stays allocation-free.
+type gatedBidSource struct {
+	inner ta.Source
+	lane  *budget.Lane
+}
+
+func (g *gatedBidSource) Next() (int, float64, bool) { return g.inner.Next() }
+
+func (g *gatedBidSource) Lookup(id int) float64 {
+	if !g.lane.Allowed(id) {
+		return 0
+	}
+	return g.inner.Lookup(id)
 }

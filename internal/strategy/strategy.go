@@ -32,6 +32,7 @@
 package strategy
 
 import (
+	"repro/internal/budget"
 	"repro/internal/engine"
 	"repro/internal/workload"
 )
@@ -97,4 +98,16 @@ func NewWorld(inst *workload.Instance, method Method, clickSeed int64) *World {
 // NewWorldPriced is NewWorld with an explicit payment rule.
 func NewWorldPriced(inst *workload.Instance, method Method, pricing Pricing, clickSeed int64) *World {
 	return engine.NewMarketPriced(inst, method, pricing, clickSeed)
+}
+
+// NewWorldBudget is NewWorldPriced with budget enforcement: the world
+// owns a single-lane budget.Ledger over inst.Budget (a sequential
+// world serves every keyword from one market, so its one lane is the
+// advertiser's global spend — cross-keyword budgets are exact here,
+// with no snapshot staleness), and gated advertisers sit out auctions
+// per the configured policy. Inspect the ledger via
+// World.BudgetLane().Ledger().
+func NewWorldBudget(inst *workload.Instance, method Method, pricing Pricing, clickSeed int64, cfg budget.Config) *World {
+	led := budget.NewLedger(inst.N, 1, inst.Budget, cfg)
+	return engine.NewMarketBudget(inst, method, pricing, clickSeed, led.Lane(0))
 }

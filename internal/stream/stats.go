@@ -46,6 +46,18 @@ type Stats struct {
 	Epoch       int
 	Advertisers int
 
+	// Budget counters, populated only when the engine runs a budget
+	// policy; they read the published ledger snapshot (the current
+	// churn epoch's ledger), so live figures trail true spend by the
+	// lanes' unpublished windows and are exact after a drain.
+	// BudgetSpent is total published spend, BudgetExhausted the number
+	// of budgeted advertisers at or over their cap, and BudgetDenied
+	// the cumulative published count of gate denials (one per
+	// consulted advertiser-auction pair that was blocked).
+	BudgetSpent     float64
+	BudgetExhausted int
+	BudgetDenied    int64
+
 	// Elapsed spans server start to this snapshot (to Close for the
 	// final flush); Throughput is lifetime Served/Elapsed.
 	Elapsed    time.Duration

@@ -56,6 +56,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/budget"
 	"repro/internal/engine"
 	"repro/internal/workload"
 )
@@ -103,6 +104,15 @@ type Config struct {
 	// samples and drag the "recent" figures toward history. Lifetime
 	// totals are unaffected.
 	WindowAge time.Duration
+	// BudgetFlush is the period of the time-based budget flush: every
+	// this often an in-band flush fence is offered to each shard
+	// queue, and the serving worker publishes its markets' unpublished
+	// spend into the shared ledger snapshot at its next auction
+	// boundary — bounding snapshot staleness by wall clock even on
+	// shards whose keywords see little traffic (the auction-count
+	// refresh alone never fires there). Only meaningful when the
+	// engine's budget policy is enabled; default 250ms.
+	BudgetFlush time.Duration
 	// Sink, when non-nil, observes every auction outcome on the
 	// serving shard's goroutine. The outcome is owned by the keyword's
 	// market and valid only for the duration of the call; Clone it to
@@ -116,15 +126,18 @@ type itemKind uint8
 const (
 	itemQuery itemKind = iota
 	itemChurn
+	itemFlush
 )
 
-// item is one shard-queue entry: a keyword query, or an epoch fence
-// carrying the post-churn population.
+// item is one shard-queue entry: a keyword query, an epoch fence
+// carrying the post-churn population and its fresh budget ledger, or
+// a budget flush fence.
 type item struct {
 	kind  itemKind
 	q     int
 	epoch int
 	inst  *workload.Instance
+	led   *budget.Ledger
 }
 
 // shard is one persistent worker's state: its feed queue, the
@@ -168,12 +181,16 @@ type Server struct {
 	epoch  int
 	closed bool
 
-	// churnMu serializes the fence-publication phase of churn and
-	// Close's queue-closing against each other, outside mu: fences for
-	// successive epochs land in every shard queue in epoch order, and
-	// a queue is never closed mid-publication. Lock order: churnMu
-	// before mu.
+	// churnMu serializes the fence-publication phase of churn, the
+	// budget flusher's fence offers, and Close's queue-closing against
+	// each other, outside mu: fences for successive epochs land in
+	// every shard queue in epoch order, and a queue is never closed
+	// mid-publication. Lock order: churnMu before mu.
 	churnMu sync.Mutex
+
+	// flushStop ends the periodic budget flusher (closed once, in
+	// Close); nil when the flusher never started.
+	flushStop chan struct{}
 
 	closeOnce sync.Once
 	closedAt  time.Time
@@ -206,7 +223,50 @@ func NewServer(inst *workload.Instance, cfg Config) *Server {
 		s.wg.Add(1)
 		go s.worker(s.shards[i])
 	}
+	if s.eng.Ledger() != nil {
+		d := cfg.BudgetFlush
+		if d <= 0 {
+			d = 250 * time.Millisecond
+		}
+		s.flushStop = make(chan struct{})
+		s.wg.Add(1)
+		go s.budgetFlusher(d)
+	}
 	return s
+}
+
+// budgetFlusher periodically offers an in-band flush fence to every
+// shard queue, bounding budget-snapshot staleness by wall clock. The
+// offers are non-blocking: a saturated queue misses a round (its
+// backlog of auctions is about to publish on the count-based refresh
+// anyway) rather than wedging the flusher. churnMu excludes Close's
+// queue-closing, so a fence is never sent on a closed channel.
+func (s *Server) budgetFlusher(period time.Duration) {
+	defer s.wg.Done()
+	ticker := time.NewTicker(period)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.flushStop:
+			return
+		case <-ticker.C:
+		}
+		s.churnMu.Lock()
+		s.mu.RLock()
+		closed := s.closed
+		s.mu.RUnlock()
+		if closed {
+			s.churnMu.Unlock()
+			return
+		}
+		for _, sh := range s.shards {
+			select {
+			case sh.ch <- item{kind: itemFlush}:
+			default:
+			}
+		}
+		s.churnMu.Unlock()
+	}
 }
 
 // worker is one shard's persistent serving loop: queries run through
@@ -222,11 +282,15 @@ func (s *Server) worker(sh *shard) {
 	// auction (heavy+VCG is ~30ms) never holds snapshots hostage.
 	var tot engine.Totals
 	for it := range sh.ch {
-		if it.kind == itemChurn {
-			s.eng.RebuildShard(sh.id, it.inst)
+		switch it.kind {
+		case itemChurn:
+			s.eng.RebuildShard(sh.id, it.inst, it.led)
 			sh.mu.Lock()
 			sh.epoch = it.epoch
 			sh.mu.Unlock()
+			continue
+		case itemFlush:
+			s.eng.FlushShard(sh.id)
 			continue
 		}
 		t0 := time.Now()
@@ -240,6 +304,10 @@ func (s *Server) worker(sh *shard) {
 			s.cfg.Sink(out)
 		}
 	}
+	// Drain flush: the queue is closed and empty, so this is the
+	// shard's final word — after every worker exits, the published
+	// ledger snapshot equals the exact per-market totals.
+	s.eng.FlushShard(sh.id)
 }
 
 // Submit offers one keyword query for service. It reports true when
@@ -343,10 +411,15 @@ func (s *Server) applyChurn(derive func(*workload.Instance) (*workload.Instance,
 	s.inst = next
 	s.epoch++
 	epoch := s.epoch
-	s.eng.SetInstance(next)
+	// A fresh population gets a fresh budget ledger (nil when budgets
+	// are off), mirroring the fresh-market churn contract; the ledger
+	// rides the fence so each shard switches population and ledger at
+	// the same auction boundary.
+	led := s.eng.NewLedger(next)
+	s.eng.SetInstance(next, led)
 	s.mu.Unlock()
 	for _, sh := range s.shards {
-		sh.ch <- item{kind: itemChurn, epoch: epoch, inst: next}
+		sh.ch <- item{kind: itemChurn, epoch: epoch, inst: next, led: led}
 	}
 	return next, nil
 }
@@ -401,6 +474,9 @@ func (s *Server) snapshotLocked(elapsed time.Duration) *Stats {
 		st.Filled += tot.Filled
 		st.TotalSlots += tot.Slots
 	}
+	if led := s.eng.Ledger(); led != nil {
+		st.BudgetSpent, st.BudgetExhausted, st.BudgetDenied = led.Totals()
+	}
 	// Submitted is read after the served/shed tallies: every query those
 	// counted was admission-counted first, so a live snapshot's Pending
 	// (Submitted − Served − Shed) can overstate the queues by in-flight
@@ -432,6 +508,9 @@ func (s *Server) Close() *Stats {
 			close(sh.ch)
 		}
 		s.churnMu.Unlock()
+		if s.flushStop != nil {
+			close(s.flushStop)
+		}
 		s.wg.Wait()
 		s.closedAt = time.Now()
 		s.mu.RLock()

@@ -2,6 +2,7 @@ package stream
 
 import (
 	"flag"
+	"math"
 	"math/rand"
 	"reflect"
 	"sync"
@@ -9,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/budget"
 	"repro/internal/engine"
 	"repro/internal/racetest"
 	"repro/internal/workload"
@@ -525,4 +527,256 @@ func TestStreamSoak(t *testing.T) {
 	}
 	t.Logf("soak: submitted=%d served=%d shed=%d unrouted=%d epochs=%d advertisers=%d p99=%v",
 		st.Submitted, st.Served, st.Shed, st.Unrouted, st.Epoch, st.Advertisers, st.P99)
+}
+
+// budgetedInstance draws a Section V population with attached budgets
+// scaled so a meaningful fraction of advertisers exhaust their caps
+// within a few thousand auctions.
+func budgetedInstance(seed int64, n, k, keywords int, meanAuctions float64) *workload.Instance {
+	inst := workload.Generate(rand.New(rand.NewSource(seed)), n, k, keywords)
+	workload.AttachBudgets(rand.New(rand.NewSource(seed+1)), inst, meanAuctions)
+	return inst
+}
+
+// TestStreamBudgetLedgerExactness: after a graceful drain the
+// published ledger snapshot is exact — every worker's final flush has
+// landed — and the ledger totals equal the per-market accounting sums
+// bitwise, advertiser by advertiser. The snapshot totals feed the
+// Stats budget counters, which must agree with the drained ledger.
+func TestStreamBudgetLedgerExactness(t *testing.T) {
+	inst := budgetedInstance(71, 80, 6, 7, 60)
+	s := NewServer(inst, Config{
+		Engine: engine.Config{Shards: 3, QueueDepth: 16, Method: engine.MethodRHTALU, ClickSeed: 9,
+			Budget: budget.Config{Policy: budget.PolicyHard, RefreshEvery: 32}},
+		BudgetFlush: 5 * time.Millisecond,
+	})
+	queries := inst.Queries(rand.New(rand.NewSource(72)), 6000)
+	for _, q := range queries {
+		s.Submit(q)
+	}
+	st := s.Close()
+	if st.Served != int64(len(queries)) {
+		t.Fatalf("served %d of %d", st.Served, len(queries))
+	}
+
+	led := s.Engine().Ledger()
+	if led == nil {
+		t.Fatal("budget-enabled server has no ledger")
+	}
+	var snapTotal float64
+	exhausted := 0
+	for i := 0; i < inst.N; i++ {
+		var want float64
+		for q := 0; q < inst.Keywords; q++ {
+			want += s.Engine().KeywordMarket(q).Accounting().SpentTotal[i]
+		}
+		if got := led.ExactSpent(i); got != want {
+			t.Fatalf("advertiser %d: ledger %v != Σ per-market spend %v", i, got, want)
+		}
+		// Drained snapshot: every lane flushed, so the published value
+		// differs from exact only by float summation order.
+		if snap := led.Spent(i); math.Abs(snap-led.ExactSpent(i)) > 1e-6 {
+			t.Fatalf("advertiser %d: drained snapshot %v far from exact %v", i, snap, led.ExactSpent(i))
+		}
+		snapTotal += led.Spent(i)
+		if led.Exhausted(i) {
+			exhausted++
+		}
+	}
+	if exhausted == 0 {
+		t.Fatal("no advertiser exhausted its budget — the trace does not exercise enforcement")
+	}
+	if st.BudgetExhausted != exhausted {
+		t.Fatalf("Stats.BudgetExhausted %d != ledger count %d", st.BudgetExhausted, exhausted)
+	}
+	if math.Abs(st.BudgetSpent-snapTotal) > 1e-6 {
+		t.Fatalf("Stats.BudgetSpent %v != snapshot total %v", st.BudgetSpent, snapTotal)
+	}
+	if st.BudgetDenied == 0 {
+		t.Fatal("no denials recorded despite exhausted advertisers")
+	}
+	t.Logf("drain: spent=%.1f exhausted=%d denied=%d", st.BudgetSpent, st.BudgetExhausted, st.BudgetDenied)
+}
+
+// TestStreamBudgetChurnFreshLedger: a churn rebuilds the ledger with
+// the population, exactly as it rebuilds markets — the post-churn
+// ledger covers the new advertiser count and starts from zero spend,
+// and the drain exactness contract holds for the post-churn epoch.
+func TestStreamBudgetChurnFreshLedger(t *testing.T) {
+	inst := budgetedInstance(73, 30, 4, 5, 50)
+	s := NewServer(inst, Config{
+		Engine: engine.Config{Shards: 2, QueueDepth: 8, Method: engine.MethodRH, ClickSeed: 4,
+			Budget: budget.Config{Policy: budget.PolicyHard, RefreshEvery: 8}},
+	})
+	for _, q := range inst.Queries(rand.New(rand.NewSource(74)), 800) {
+		s.Submit(q)
+	}
+	oldLed := s.Engine().Ledger()
+	a := workload.RandomAdvertiser(rand.New(rand.NewSource(75)), inst.Slots, inst.Keywords)
+	a.Budget = 123
+	idx, err := s.AddAdvertiser(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range inst.Queries(rand.New(rand.NewSource(76)), 800) {
+		s.Submit(q)
+	}
+	s.Close()
+
+	led := s.Engine().Ledger()
+	if led == oldLed {
+		t.Fatal("churn did not build a fresh ledger")
+	}
+	if led.N() != inst.N+1 {
+		t.Fatalf("post-churn ledger covers %d advertisers, want %d", led.N(), inst.N+1)
+	}
+	if got := led.Budget(idx); got != 123 {
+		t.Fatalf("newcomer budget %v, want 123", got)
+	}
+	for i := 0; i < led.N(); i++ {
+		var want float64
+		for q := 0; q < inst.Keywords; q++ {
+			want += s.Engine().KeywordMarket(q).Accounting().SpentTotal[i]
+		}
+		if got := led.ExactSpent(i); got != want {
+			t.Fatalf("post-churn advertiser %d: ledger %v != accounting %v", i, got, want)
+		}
+	}
+}
+
+// TestStreamCloseEmpty: a server closed without ever serving traffic
+// must flush well-defined statistics — zero counts, zero percentiles,
+// no NaN, no panic — and so must a live snapshot of an idle server.
+// The rolling window is empty in both cases.
+func TestStreamCloseEmpty(t *testing.T) {
+	inst := workload.Generate(rand.New(rand.NewSource(77)), 20, 3, 4)
+	s := NewServer(inst, Config{Engine: engine.Config{Shards: 2, ClickSeed: 1}})
+	live := s.Stats()
+	st := s.Close()
+	for name, snap := range map[string]*Stats{"live": live, "final": st} {
+		if snap.Submitted != 0 || snap.Served != 0 || snap.Shed != 0 || snap.Pending != 0 || snap.Unrouted != 0 {
+			t.Fatalf("%s: idle server counted traffic: %+v", name, snap)
+		}
+		if snap.P50 != 0 || snap.P95 != 0 || snap.P99 != 0 || snap.Max != 0 {
+			t.Fatalf("%s: empty window produced percentiles: %+v", name, snap)
+		}
+		for metric, v := range map[string]float64{
+			"Throughput": snap.Throughput, "WindowThroughput": snap.WindowThroughput,
+			"Revenue": snap.Revenue, "BudgetSpent": snap.BudgetSpent,
+		} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v != 0 {
+				t.Fatalf("%s: %s = %v on an idle server, want 0", name, metric, v)
+			}
+		}
+		if len(snap.PerShard) != s.Shards() {
+			t.Fatalf("%s: %d shard entries, want %d", name, len(snap.PerShard), s.Shards())
+		}
+	}
+	// Idempotent re-close returns the same snapshot.
+	if again := s.Close(); again != st {
+		t.Fatal("second Close returned a different snapshot")
+	}
+}
+
+// TestStreamSoakBudget is the budget-enabled churn soak CI runs under
+// -race alongside TestStreamSoak: concurrent submitters against a
+// budgeted Shed-policy server with the periodic flusher ticking fast,
+// a churner replacing the population (and hence the ledger) live, and
+// a stats poller reading the budget counters throughout. The drain
+// must preserve the admission identity and the post-churn ledger
+// exactness.
+func TestStreamSoakBudget(t *testing.T) {
+	inst := budgetedInstance(78, 100, 6, 8, 40)
+	s := NewServer(inst, Config{
+		Engine: engine.Config{Shards: 4, QueueDepth: 8, Method: engine.MethodRHTALU, ClickSeed: 13,
+			Budget: budget.Config{Policy: budget.PolicyPaced, RefreshEvery: 16, Horizon: 2000, Seed: 6}},
+		Overload:    Shed,
+		Window:      256,
+		BudgetFlush: time.Millisecond,
+	})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s.Submit(rng.Intn(inst.Keywords))
+			}
+		}(int64(300 + w))
+	}
+	wg.Add(1)
+	go func() { // churner: budgeted newcomers in, random evictions out
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(400))
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(5 * time.Millisecond):
+			}
+			if rng.Intn(2) == 0 {
+				a := workload.RandomAdvertiser(rng, inst.Slots, inst.Keywords)
+				a.Budget = workload.RandomBudget(rng, a.Target, 40)
+				if _, err := s.AddAdvertiser(a); err != nil {
+					t.Errorf("soak AddAdvertiser: %v", err)
+					return
+				}
+			} else if n := s.Instance().N; n > 1 {
+				if err := s.RemoveAdvertiser(rng.Intn(n)); err != nil {
+					t.Errorf("soak RemoveAdvertiser: %v", err)
+					return
+				}
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() { // poller exercising the budget counters concurrently
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(2 * time.Millisecond):
+			}
+			st := s.Stats()
+			if st.BudgetSpent < 0 || math.IsNaN(st.BudgetSpent) || st.BudgetDenied < 0 {
+				t.Errorf("budget counters corrupt: %+v", st)
+				return
+			}
+			if st.Pending < 0 || st.Served+st.Shed+st.Pending != st.Submitted {
+				t.Errorf("live snapshot violated the accounting identity: %+v", st)
+				return
+			}
+		}
+	}()
+
+	time.Sleep(*soakDur)
+	close(stop)
+	wg.Wait()
+	st := s.Close()
+	if st.Served+st.Shed != st.Submitted || st.Pending != 0 {
+		t.Fatalf("soak accounting leak: %+v", st)
+	}
+	if st.Served == 0 {
+		t.Fatal("soak served nothing")
+	}
+	led := s.Engine().Ledger()
+	for i := 0; i < led.N(); i++ {
+		var want float64
+		for q := 0; q < s.Instance().Keywords; q++ {
+			want += s.Engine().KeywordMarket(q).Accounting().SpentTotal[i]
+		}
+		if got := led.ExactSpent(i); got != want {
+			t.Fatalf("post-soak advertiser %d: ledger %v != accounting %v", i, got, want)
+		}
+	}
+	t.Logf("budget soak: served=%d shed=%d epochs=%d spent=%.1f denied=%d exhausted=%d",
+		st.Served, st.Shed, st.Epoch, st.BudgetSpent, st.BudgetDenied, st.BudgetExhausted)
 }

@@ -20,6 +20,9 @@ type Advertiser struct {
 	ClickProb []float64
 	// Target is the target spending rate (≥ 1).
 	Target int
+	// Budget is the daily budget cap the cross-keyword budget
+	// subsystem enforces; 0 means unlimited.
+	Budget float64
 	// Heavy marks a Section III-F heavyweight.
 	Heavy bool
 }
@@ -49,6 +52,10 @@ func (inst *Instance) cloneRows(extra int) *Instance {
 	if inst.Heavy != nil {
 		out.Heavy = make([]bool, inst.N, inst.N+extra)
 		copy(out.Heavy, inst.Heavy)
+	}
+	if inst.Budget != nil {
+		out.Budget = make([]float64, inst.N, inst.N+extra)
+		copy(out.Budget, inst.Budget)
 	}
 	return out
 }
@@ -88,6 +95,12 @@ func (inst *Instance) WithAdvertiser(a Advertiser) (*Instance, error) {
 	if out.Heavy != nil {
 		out.Heavy = append(out.Heavy, a.Heavy)
 	}
+	if out.Budget == nil && a.Budget > 0 {
+		out.Budget = make([]float64, inst.N, inst.N+1)
+	}
+	if out.Budget != nil {
+		out.Budget = append(out.Budget, a.Budget)
+	}
 	return out, nil
 }
 
@@ -108,6 +121,9 @@ func (inst *Instance) WithoutAdvertiser(i int) (*Instance, error) {
 	out.Target = append(out.Target[:i], out.Target[i+1:]...)
 	if out.Heavy != nil {
 		out.Heavy = append(out.Heavy[:i], out.Heavy[i+1:]...)
+	}
+	if out.Budget != nil {
+		out.Budget = append(out.Budget[:i], out.Budget[i+1:]...)
 	}
 	return out, nil
 }

@@ -125,7 +125,9 @@ func (s *Stream) Next() (ev Event, ok bool) {
 // stream of totalQueries: odd events admit a fresh RandomAdvertiser,
 // even events evict a uniformly chosen index, with the running
 // population size tracked so every removal index is valid at its
-// scheduled time.
+// scheduled time. Into a budgeted population (inst.Budget non-nil)
+// newcomers arrive with a RandomBudget scaled to the stream length;
+// unbudgeted populations draw exactly the pre-budget sequence.
 func ScriptChurn(rng *rand.Rand, inst *Instance, n, totalQueries int) []ChurnEvent {
 	pop := inst.N
 	events := make([]ChurnEvent, 0, n)
@@ -133,6 +135,9 @@ func ScriptChurn(rng *rand.Rand, inst *Instance, n, totalQueries int) []ChurnEve
 		after := e * totalQueries / (n + 1)
 		if e%2 == 1 || pop <= 1 {
 			a := RandomAdvertiser(rng, inst.Slots, inst.Keywords)
+			if inst.Budget != nil {
+				a.Budget = RandomBudget(rng, a.Target, float64(totalQueries))
+			}
 			events = append(events, ChurnEvent{After: after, Add: &a})
 			pop++
 		} else {

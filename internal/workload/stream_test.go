@@ -304,3 +304,79 @@ func TestStreamTrailingChurnDelivered(t *testing.T) {
 		t.Fatalf("emitted %d queries, %d churns; want 10 and 1", queries, churns)
 	}
 }
+
+// TestBudgetOverlayChurn: AttachBudgets leaves the base draws alone,
+// and the budget column survives (and shifts through) live churn
+// exactly like the heavy overlay.
+func TestBudgetOverlayChurn(t *testing.T) {
+	base := Generate(rand.New(rand.NewSource(21)), 6, 3, 4)
+	inst := Generate(rand.New(rand.NewSource(21)), 6, 3, 4)
+	AttachBudgets(rand.New(rand.NewSource(22)), inst, 500)
+	if !reflect.DeepEqual(base.Value, inst.Value) || !reflect.DeepEqual(base.Target, inst.Target) {
+		t.Fatal("AttachBudgets perturbed the base draws")
+	}
+	for i, b := range inst.Budget {
+		lo, hi := 0.5*float64(inst.Target[i])*500, 1.5*float64(inst.Target[i])*500
+		if b < lo || b >= hi {
+			t.Fatalf("budget %d = %v outside [%v, %v)", i, b, lo, hi)
+		}
+	}
+
+	a := RandomAdvertiser(rand.New(rand.NewSource(23)), 3, 4)
+	a.Budget = 123.5
+	next, err := inst.WithAdvertiser(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(next.Budget) != 7 || next.Budget[6] != 123.5 || next.Budget[0] != inst.Budget[0] {
+		t.Fatalf("budget column not extended: %v", next.Budget)
+	}
+	smaller, err := next.WithoutAdvertiser(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(smaller.Budget) != 6 || smaller.Budget[2] != next.Budget[3] || smaller.Budget[5] != 123.5 {
+		t.Fatalf("budget column did not shift: %v", smaller.Budget)
+	}
+
+	// A budgeted newcomer joining an unbudgeted instance materializes
+	// the column; a zero-budget newcomer does not.
+	flat := Generate(rand.New(rand.NewSource(24)), 4, 3, 4)
+	next2, err := flat.WithAdvertiser(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(next2.Budget) != 5 || next2.Budget[4] != 123.5 || next2.Budget[0] != 0 {
+		t.Fatalf("flat instance budget overlay: %v", next2.Budget)
+	}
+	a.Budget = 0
+	next3, err := flat.WithAdvertiser(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next3.Budget != nil {
+		t.Fatalf("unlimited newcomer materialized budgets: %v", next3.Budget)
+	}
+
+	// ScriptChurn draws budgets for newcomers only into budgeted
+	// populations, leaving the unbudgeted draw sequence untouched.
+	plain := ScriptChurn(rand.New(rand.NewSource(25)), flat, 5, 1000)
+	budgeted := ScriptChurn(rand.New(rand.NewSource(25)), inst, 5, 1000)
+	for _, ev := range plain {
+		if ev.Add != nil && ev.Add.Budget != 0 {
+			t.Fatalf("unbudgeted churn drew a budget: %+v", ev.Add)
+		}
+	}
+	saw := false
+	for _, ev := range budgeted {
+		if ev.Add != nil {
+			if ev.Add.Budget <= 0 {
+				t.Fatalf("budgeted churn newcomer without budget: %+v", ev.Add)
+			}
+			saw = true
+		}
+	}
+	if !saw {
+		t.Fatal("script produced no admissions")
+	}
+}

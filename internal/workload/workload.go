@@ -53,6 +53,14 @@ type Instance struct {
 	// in slot j, drawn uniformly within slot j's interval.
 	ClickProb [][]float64
 
+	// Budget[i] is advertiser i's daily budget in currency — the cap
+	// the cross-keyword budget subsystem (internal/budget) enforces
+	// when an engine is configured with a budget policy. nil, or an
+	// entry ≤ 0, means unlimited. Budgets are an overlay like Heavy:
+	// Generate never draws them (keeping its draw sequence
+	// byte-identical across PRs); AttachBudgets adds them afterwards.
+	Budget []float64
+
 	// Heavy marks Section III-F heavyweight ("famous") advertisers;
 	// nil means every advertiser is a lightweight. Only MethodHeavy
 	// markets read it.
@@ -139,6 +147,30 @@ func GenerateHeavy(rng *rand.Rand, n, k, keywords int, heavyFrac, shadow float64
 	}
 	inst.Shadow = shadow
 	return inst
+}
+
+// AttachBudgets overlays per-advertiser daily budgets on inst, drawn
+// after the base population exactly as GenerateHeavy overlays its
+// fields (the base draw sequence is untouched, so a budgeted instance
+// differs from its unlimited twin only in the Budget column).
+// meanAuctions scales the caps to the trace length: an advertiser
+// spending exactly at its target rate exhausts a budget of
+// Target·meanAuctions after meanAuctions auctions, and the drawn cap
+// is uniform in [0.5, 1.5) times that — so over a run comfortably
+// longer than meanAuctions, roughly target-tracking advertisers hit
+// their caps at staggered times.
+func AttachBudgets(rng *rand.Rand, inst *Instance, meanAuctions float64) {
+	inst.Budget = make([]float64, inst.N)
+	for i := range inst.Budget {
+		inst.Budget[i] = RandomBudget(rng, inst.Target[i], meanAuctions)
+	}
+}
+
+// RandomBudget draws one AttachBudgets-style budget for an advertiser
+// with the given target spending rate — the newcomer source for live
+// churn into a budgeted population.
+func RandomBudget(rng *rand.Rand, target int, meanAuctions float64) float64 {
+	return float64(target) * meanAuctions * (0.5 + rng.Float64())
 }
 
 // Queries draws a query stream of length t: one keyword uniformly at

@@ -53,6 +53,15 @@
 // generates matching workloads: Poisson or bursty arrivals, Zipf
 // keyword skew, and scripted churn timelines.
 //
+// Daily budgets — the bidding language's first-named constraint —
+// are enforced across every keyword market by the cross-keyword
+// budget subsystem: AttachBudgets overlays per-advertiser caps on an
+// instance, and an engine or streaming server configured with a
+// BudgetConfig (PolicyHard or PolicyPaced) tracks global spend in an
+// eventually-consistent sharded ledger with wait-free reads, a
+// documented overspend bound, and totals that settle exactly to the
+// per-market accounting after a drain.
+//
 // # Quick start
 //
 //	model := ssa.NewModel(2, 2) // 2 advertisers, 2 slots
@@ -75,6 +84,7 @@ package ssa
 import (
 	"math/rand"
 
+	"repro/internal/budget"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/formula"
@@ -390,6 +400,58 @@ func RandomAdvertiser(seed int64, inst *SimInstance) SimAdvertiser {
 // over a stream of totalQueries, alternating admissions and evictions.
 func ScriptChurn(seed int64, inst *SimInstance, n, totalQueries int) []SimChurnEvent {
 	return workload.ScriptChurn(rand.New(rand.NewSource(seed)), inst, n, totalQueries)
+}
+
+// Cross-keyword budgets (the internal/budget subsystem): per-advertiser
+// daily caps enforced across every keyword market through an
+// eventually-consistent sharded spend ledger — wait-free snapshot
+// reads on the auction hot path, per-market deltas published on a
+// refresh cadence, documented overspend bound of
+// lanes × refresh × max-per-auction-price, and exact totals after a
+// drain.
+type (
+	// BudgetConfig tunes enforcement: the policy, the snapshot refresh
+	// cadence, the pacing horizon, and the pacing seed. Budgets
+	// themselves live on the instance (SimInstance.Budget,
+	// SimAdvertiser.Budget).
+	BudgetConfig = budget.Config
+	// BudgetPolicy selects the enforcement rule.
+	BudgetPolicy = budget.Policy
+	// BudgetLedger is one population's cross-keyword spend state;
+	// Engine.Ledger and StreamServer expose it for inspection.
+	BudgetLedger = budget.Ledger
+	// BudgetLane is one market's slice of the ledger.
+	BudgetLane = budget.Lane
+)
+
+// Budget enforcement policies.
+const (
+	// PolicyOff disables the subsystem (the default): outcomes are
+	// byte-identical to an engine without budget support.
+	PolicyOff = budget.PolicyOff
+	// PolicyHard excludes an advertiser once its spend estimate
+	// reaches the cap — the serving-side analogue of the bidding
+	// language's budget-guard program.
+	PolicyHard = budget.PolicyHard
+	// PolicyPaced throttles participation deterministically to smooth
+	// spend across the configured horizon, hard-stopping at the cap.
+	PolicyPaced = budget.PolicyPaced
+)
+
+// AttachBudgets overlays per-advertiser daily budgets on a generated
+// instance, scaled so an on-target advertiser exhausts its cap after
+// roughly meanAuctions auctions (uniform in [0.5, 1.5)×). The base
+// population draws are untouched.
+func AttachBudgets(seed int64, inst *SimInstance, meanAuctions float64) {
+	workload.AttachBudgets(rand.New(rand.NewSource(seed)), inst, meanAuctions)
+}
+
+// NewSimWorldBudget is NewSimWorldPriced with budget enforcement: the
+// sequential world owns a single-lane ledger over inst.Budget (exact,
+// staleness-free — one market sees all keywords), reachable via
+// World.BudgetLane().Ledger().
+func NewSimWorldBudget(inst *SimInstance, m SimMethod, pricing SimPricing, clickSeed int64, cfg BudgetConfig) *SimWorld {
+	return strategy.NewWorldBudget(inst, m, pricing, clickSeed, cfg)
 }
 
 // GenerateInstance draws a Section V workload: n advertisers, k
