@@ -81,6 +81,7 @@ func main() {
 		pricing   = flag.String("pricing", "gsp", "payment rule: gsp, vcg")
 		heavyFrac = flag.Float64("heavy-frac", 0.2, "heavyweight advertiser fraction (method heavy)")
 		shadow    = flag.Float64("shadow", 0.3, "heavyweight click-shadowing strength (method heavy)")
+		heavyPar  = flag.Int("heavy-parallel", 0, "method heavy: pattern-enumeration workers per market (0 = GOMAXPROCS, 1 = sequential)")
 		report    = flag.Int("report", 1000, "print a summary every this many auctions")
 		seed      = flag.Int64("seed", 1, "random seed")
 		useEng    = flag.Bool("engine", false, "serve through the concurrent sharded engine (load-generator mode)")
@@ -113,6 +114,11 @@ func main() {
 	}
 	if m == strategy.MethodHeavy && *slots > 20 {
 		fmt.Fprintf(os.Stderr, "auctionsim: -method heavy enumerates 2^slots patterns and needs -slots <= 20, got %d\n", *slots)
+		os.Exit(2)
+	}
+	if *heavyPar < 0 {
+		fmt.Fprintf(os.Stderr, "auctionsim: -heavy-parallel wants a non-negative worker count (0 = GOMAXPROCS), got %d\n", *heavyPar)
+		flag.Usage()
 		os.Exit(2)
 	}
 
@@ -160,6 +166,7 @@ func main() {
 			clickSeed: *seed + 2, report: *report, qps: *qps,
 			duration: *duration, churn: *churn, policy: pol,
 			zipf: *zipf, burst: *burst, seed: *seed + 3, budget: bcfg,
+			heavyPar: *heavyPar,
 		})
 		return
 	}
@@ -167,16 +174,17 @@ func main() {
 	queries := inst.Queries(rand.New(rand.NewSource(*seed+1)), *auctions)
 
 	if *useEng {
-		runEngine(inst, queries, m, pr, *shards, *queue, *seed+2, *report, bcfg)
+		runEngine(inst, queries, m, pr, *shards, *queue, *seed+2, *report, bcfg, *heavyPar)
 		return
 	}
 
-	var w *strategy.World
+	wo := strategy.WorldOpts{Method: m, Pricing: pr, ClickSeed: *seed + 2, HeavyParallelism: *heavyPar}
 	if bcfg.Policy != budget.PolicyOff {
-		w = strategy.NewWorldBudget(inst, m, pr, *seed+2, bcfg)
-	} else {
-		w = strategy.NewWorldPriced(inst, m, pr, *seed+2)
+		// A sequential world owns a single-lane ledger: cross-keyword
+		// budgets are exact here (one market sees all keywords).
+		wo.Lane = budget.NewLedger(inst.N, 1, inst.Budget, bcfg).Lane(0)
 	}
+	w := strategy.NewWorldOpts(inst, wo)
 
 	fmt.Printf("auctionsim: n=%d k=%d keywords=%d method=%v pricing=%v auctions=%d\n",
 		*n, *slots, *keywords, m, pr, *auctions)
@@ -221,14 +229,15 @@ func main() {
 // runEngine is load-generator mode: the stream is served in
 // report-sized batches through the sharded engine, each batch printing
 // throughput and per-auction latency percentiles.
-func runEngine(inst *workload.Instance, queries []int, m engine.Method, pr engine.Pricing, shards, queue int, clickSeed int64, report int, bcfg budget.Config) {
+func runEngine(inst *workload.Instance, queries []int, m engine.Method, pr engine.Pricing, shards, queue int, clickSeed int64, report int, bcfg budget.Config, heavyPar int) {
 	e := engine.New(inst, engine.Config{
-		Shards:     shards,
-		QueueDepth: queue,
-		Method:     m,
-		Pricing:    pr,
-		ClickSeed:  clickSeed,
-		Budget:     bcfg,
+		Shards:           shards,
+		QueueDepth:       queue,
+		Method:           m,
+		Pricing:          pr,
+		ClickSeed:        clickSeed,
+		Budget:           bcfg,
+		HeavyParallelism: heavyPar,
 	})
 	fmt.Printf("auctionsim: engine mode, n=%d k=%d keywords=%d method=%v pricing=%v auctions=%d shards=%d\n",
 		inst.N, inst.Slots, inst.Keywords, m, pr, len(queries), e.Shards())
@@ -297,6 +306,7 @@ type streamOpts struct {
 	burst     float64
 	seed      int64
 	budget    budget.Config
+	heavyPar  int
 }
 
 // runStream is open-world mode: a deterministic workload.Stream paces
@@ -317,7 +327,7 @@ func runStream(inst *workload.Instance, o streamOpts) {
 		Engine: engine.Config{
 			Shards: o.shards, QueueDepth: o.queue,
 			Method: o.method, Pricing: o.pricing, ClickSeed: o.clickSeed,
-			Budget: o.budget,
+			Budget: o.budget, HeavyParallelism: o.heavyPar,
 		},
 		Overload: o.policy,
 	})

@@ -8,7 +8,6 @@ import (
 	"sync/atomic"
 
 	"repro/internal/formula"
-	"repro/internal/matching"
 	"repro/internal/probmodel"
 )
 
@@ -74,53 +73,71 @@ func (h *HeavyAuction) Determine(parallel bool) (*Result, error) {
 		}
 	}
 
+	// Both branches reduce through the same deterministic argmax —
+	// highest revenue, lowest pattern index on exact ties — which is
+	// what an ascending scan with a strict > running best selects, so
+	// sequential, parallel, and the serving-path HeavyDeterminer agree
+	// bit for bit (pinned by TestHeavyParallelPathsAgree).
+	type localBest struct {
+		ok      bool
+		rev     float64
+		pattern int
+		advOf   []int
+	}
+	better := func(b *localBest, ok bool, rev float64, pattern int) bool {
+		return ok && (!b.ok || rev > b.rev || (rev == b.rev && pattern < b.pattern))
+	}
+
 	patterns := 1 << uint(h.Slots)
-	type patternResult struct {
-		ok    bool
-		rev   float64
-		advOf []int
-	}
-	results := make([]patternResult, patterns)
-	solve := func(pattern int) {
-		results[pattern] = h.solvePattern(uint64(pattern), heavyIdx, lightIdx)
-	}
+	var best localBest
 	if parallel {
 		// A bounded worker pool: the paper's bound assumes 2^k
 		// processing units, but spawning a goroutine per pattern at
-		// k=20 (a million) would only add scheduler overhead.
+		// k=20 (a million) would only add scheduler overhead. Each
+		// worker claims patterns in ascending order off the shared
+		// counter and keeps a local best; the merge below applies the
+		// same rule across workers, so the result is independent of
+		// how the claims interleaved.
 		workers := runtime.GOMAXPROCS(0)
 		if workers > patterns {
 			workers = patterns
 		}
+		bests := make([]localBest, workers)
 		var wg sync.WaitGroup
 		var next int64
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
-			go func() {
+			go func(lb *localBest) {
 				defer wg.Done()
 				for {
 					p := int(atomic.AddInt64(&next, 1)) - 1
 					if p >= patterns {
 						return
 					}
-					solve(p)
+					r := h.solvePattern(uint64(p), heavyIdx, lightIdx)
+					if better(lb, r.ok, r.rev, p) {
+						*lb = localBest{ok: true, rev: r.rev, pattern: p, advOf: r.advOf}
+					}
 				}
-			}()
+			}(&bests[w])
 		}
 		wg.Wait()
+		for w := range bests {
+			lb := &bests[w]
+			if better(&best, lb.ok, lb.rev, lb.pattern) {
+				best = *lb
+			}
+		}
 	} else {
 		for p := 0; p < patterns; p++ {
-			solve(p)
+			r := h.solvePattern(uint64(p), heavyIdx, lightIdx)
+			if better(&best, r.ok, r.rev, p) {
+				best = localBest{ok: true, rev: r.rev, pattern: p, advOf: r.advOf}
+			}
 		}
 	}
 
-	best := patternResult{rev: math.Inf(-1)}
-	for _, r := range results {
-		if r.ok && r.rev > best.rev {
-			best = r
-		}
-	}
-	if best.advOf == nil {
+	if !best.ok {
 		return nil, fmt.Errorf("core: no consistent heavyweight pattern (internal error)")
 	}
 	res := &Result{
@@ -191,25 +208,36 @@ func (h *HeavyAuction) solvePattern(pattern uint64, heavyIdx, lightIdx []int) (o
 		}
 	}
 
-	heavyAssign := matching.MaxWeight(heavyW)
-	for _, i := range heavyAssign.AdvOf {
+	// Both sub-matchings run through the same top-(k+1)
+	// candidate-reduced solve as the serving-path HeavyDeterminer (a
+	// fresh solver per pattern — this is the cold, allocating path).
+	// The reduction preserves the exact optimal value (see
+	// heavySolver.matchReduced), and sharing one implementation keeps
+	// the two paths bit-identical even on instances with exact weight
+	// ties, where equally-optimal assignments exist and any
+	// independent solve could legitimately pick a different one.
+	solver := newHeavySolver()
+	heavyAdvOf := make([]int, len(heavySlots))
+	solver.matchReduced(heavyW, len(heavyIdx), len(heavySlots), k+1, heavyAdvOf)
+	for _, i := range heavyAdvOf {
 		if i < 0 {
 			return // a heavyweight slot stayed empty: inconsistent pattern
 		}
 	}
-	lightAssign := matching.MaxWeight(lightW)
+	lightAdvOf := make([]int, len(lightSlots))
+	solver.matchReduced(lightW, len(lightIdx), len(lightSlots), k+1, lightAdvOf)
 
 	advOf := make([]int, k)
 	for j := range advOf {
 		advOf[j] = -1
 	}
 	rev := baseline
-	for sj, ri := range heavyAssign.AdvOf {
+	for sj, ri := range heavyAdvOf {
 		i, j := heavyIdx[ri], heavySlots[sj]
 		advOf[j] = i
 		rev += h.expectedPaymentPattern(i, j, pattern) - base[i]
 	}
-	for sj, ri := range lightAssign.AdvOf {
+	for sj, ri := range lightAdvOf {
 		if ri < 0 {
 			continue
 		}

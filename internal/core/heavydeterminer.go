@@ -3,10 +3,14 @@ package core
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/formula"
 	"repro/internal/matching"
 	"repro/internal/probmodel"
+	"repro/internal/topk"
 )
 
 // HeavyDeterminer solves Section III-F heavyweight winner
@@ -21,7 +25,30 @@ import (
 // (same enumeration order, same matrix construction, same tie
 // handling), which the equivalence tests pin exactly.
 //
-// Like Determiner, a HeavyDeterminer is not safe for concurrent use.
+// Two serving-path optimizations ride on top of the plain
+// enumeration, both outcome-preserving (see DESIGN.md, "Heavy path at
+// scale"):
+//
+//   - Pattern-parallel solving: the per-pattern solves are
+//     independent (the paper's "2^k processing units" remark), so a
+//     determiner built with NewHeavyDeterminerParallel fans them
+//     across a persistent worker pool. Each worker owns a full
+//     heavySolver (workspace, matrices, candidate scratch) and keeps
+//     a local argmax; the coordinator merges the local bests under
+//     the deterministic (highest revenue, lowest pattern index) rule,
+//     which is exactly the argmax the sequential ascending strict->
+//     scan selects.
+//   - Reduced per-pattern matching: each pattern's two sub-matchings
+//     restrict the Jonker–Volgenant solve to every slot's top-(k+1)
+//     candidates (boundary ties included), using the topk bounded
+//     heap over the already-materialized weight columns. The weight
+//     matrices are still filled in full — the shared forcing
+//     constant's maxAbs must see every entry to stay bit-identical —
+//     but the superlinear assignment solve runs on O(k²) rows
+//     instead of n.
+//
+// Like Determiner, a HeavyDeterminer is not safe for concurrent use
+// (its internal pool parallelism is invisible to callers).
 // Structural validation is cached per (auction pointer, advertiser
 // count, slot count): callers that mutate bid *values* in place
 // between calls (the serving engine's pattern) skip revalidation, but
@@ -29,17 +56,17 @@ import (
 // same auction pointer is the caller's contract to revalidate — pass
 // a fresh auction value (or call Invalidate) when the shape changes.
 type HeavyDeterminer struct {
-	ws *matching.Workspace
+	// parallelism is the resolved worker count (≥ 1); solvers holds one
+	// heavySolver per worker, with solvers[0] doubling as the
+	// sequential path and the coordinating goroutine's share of a
+	// parallel enumeration. pool is spawned lazily on the first
+	// enumeration that can use more than one worker.
+	parallelism int
+	solvers     []*heavySolver
+	pool        *heavyPool
+	released    bool
 
-	heavyIdx, lightIdx     []int
-	heavySlots, lightSlots []int
-	base                   []float64
-
-	heavyFlat, lightFlat []float64
-	heavyRows, lightRows [][]float64
-
-	heavyAdvOf, lightAdvOf []int
-	curAdvOf, bestAdvOf    []int
+	heavyIdx, lightIdx []int
 
 	// Validation cache: DetermineInto skips structural validation when
 	// the auction pointer and shape match the last validated call.
@@ -62,19 +89,67 @@ type HeavyDeterminer struct {
 	sub         *HeavyDeterminer
 }
 
-// NewHeavyDeterminer returns a determiner with empty buffers; they
-// grow to the largest auction seen and then stay allocation-free.
-func NewHeavyDeterminer() *HeavyDeterminer {
-	return &HeavyDeterminer{ws: matching.NewWorkspace()}
+// NewHeavyDeterminer returns a sequential determiner with empty
+// buffers; they grow to the largest auction seen and then stay
+// allocation-free.
+func NewHeavyDeterminer() *HeavyDeterminer { return NewHeavyDeterminerParallel(1) }
+
+// NewHeavyDeterminerParallel returns a determiner that solves the
+// 2^k pattern enumeration on up to parallelism workers (the calling
+// goroutine plus parallelism−1 pooled goroutines, spawned lazily and
+// parked between calls). parallelism ≤ 0 means GOMAXPROCS; the
+// effective worker count of any one call is additionally capped by
+// its pattern count. parallelism 1 is exactly NewHeavyDeterminer: no
+// goroutines, ever. Results are byte-identical at every setting.
+//
+// A parallel determiner holds pooled goroutines once used; Release
+// stops them (a finalizer covers determiners dropped without it).
+func NewHeavyDeterminerParallel(parallelism int) *HeavyDeterminer {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	d := &HeavyDeterminer{
+		parallelism: parallelism,
+		solvers:     make([]*heavySolver, parallelism),
+	}
+	for i := range d.solvers {
+		d.solvers[i] = newHeavySolver()
+	}
+	return d
 }
+
+// Parallelism reports the determiner's resolved worker count.
+func (d *HeavyDeterminer) Parallelism() int { return d.parallelism }
 
 // Invalidate drops the cached structural validation, forcing the next
 // DetermineInto to revalidate. Call it after changing an auction's
 // formulas, model, or Heavy flags in place.
 func (d *HeavyDeterminer) Invalidate() { d.lastH = nil }
 
-// growF, growI, growRows resize scratch slices, reusing backing
-// arrays whenever they are large enough.
+// Release stops the determiner's pooled goroutines (a parallel
+// determiner parks parallelism−1 workers between calls) and those of
+// its nested VCG determiner. Idempotent; must not race an in-flight
+// Determine, and a released determiner must not be used again. A
+// finalizer calls Release for determiners dropped without one, so
+// leaking a determiner leaks no goroutines permanently — Release just
+// makes the reclamation deterministic (the serving engine calls it
+// when a market is rebuilt or closed).
+func (d *HeavyDeterminer) Release() {
+	if d.released {
+		return
+	}
+	d.released = true
+	if d.pool != nil {
+		close(d.pool.stop)
+		runtime.SetFinalizer(d, nil)
+	}
+	if d.sub != nil {
+		d.sub.Release()
+	}
+}
+
+// growF, growI resize scratch slices, reusing backing arrays whenever
+// they are large enough.
 func growF(s []float64, n int) []float64 {
 	if cap(s) < n {
 		return make([]float64, n)
@@ -137,31 +212,51 @@ func (d *HeavyDeterminer) DetermineInto(h *HeavyAuction, res *Result) error {
 			d.lightIdx = append(d.lightIdx, i)
 		}
 	}
-	d.base = growF(d.base, n)
-	d.curAdvOf = growI(d.curAdvOf, k)
-	d.bestAdvOf = growI(d.bestAdvOf, k)
 
-	// Enumerate patterns in ascending order with a strict > running
-	// best — the same argmax (first pattern attaining the maximum) the
-	// sequential HeavyAuction.Determine scan selects.
+	// Patterns are enumerated in ascending order under the
+	// deterministic (highest revenue, lowest pattern index) argmax —
+	// the same winner the sequential HeavyAuction.Determine scan's
+	// strict > running best selects. With no heavyweight advertisers
+	// only pattern 0 can be consistent (every other pattern has a
+	// heavyweight slot nobody can fill), so the enumeration collapses
+	// to the flat single-matching path.
 	patterns := 1 << uint(k)
-	bestRev := math.Inf(-1)
-	found := false
-	for p := 0; p < patterns; p++ {
-		ok, rev := d.solvePattern(h, uint64(p))
-		if ok && rev > bestRev {
-			bestRev = rev
-			found = true
-			copy(d.bestAdvOf, d.curAdvOf)
+	if len(d.heavyIdx) == 0 {
+		patterns = 1
+	}
+	for _, s := range d.solvers {
+		s.resetBest(n, k)
+	}
+	if d.parallelism == 1 || patterns == 1 {
+		s := d.solvers[0]
+		for p := 0; p < patterns; p++ {
+			s.solvePattern(h, uint64(p), d.heavyIdx, d.lightIdx)
+		}
+	} else {
+		d.runParallel(h, patterns)
+	}
+
+	// Merge the per-worker local bests. Each worker claimed patterns
+	// in ascending order and kept the lowest pattern attaining its
+	// local maximum, so the rule below reproduces the global ascending
+	// scan regardless of how the atomic claims interleaved.
+	var best *heavySolver
+	for _, s := range d.solvers {
+		if !s.bestOK {
+			continue
+		}
+		if best == nil || s.bestRev > best.bestRev ||
+			(s.bestRev == best.bestRev && s.bestPattern < best.bestPattern) {
+			best = s
 		}
 	}
-	if !found {
+	if best == nil {
 		return fmt.Errorf("core: no consistent heavyweight pattern (internal error)")
 	}
 
 	res.AdvOf = growI(res.AdvOf, k)
 	res.SlotOf = growI(res.SlotOf, n)
-	copy(res.AdvOf, d.bestAdvOf)
+	copy(res.AdvOf, best.bestAdvOf)
 	for i := range res.SlotOf {
 		res.SlotOf[i] = -1
 	}
@@ -170,34 +265,162 @@ func (d *HeavyDeterminer) DetermineInto(h *HeavyAuction, res *Result) error {
 			res.SlotOf[i] = j
 		}
 	}
-	res.ExpectedRevenue = bestRev
+	res.ExpectedRevenue = best.bestRev
 	res.Method = MethodHeavy2K
 	return nil
 }
 
-// solvePattern mirrors HeavyAuction.solvePattern operation for
-// operation — baseline sums, weight-matrix fill order, the shared
-// forcing constant, the two Jonker–Volgenant sub-matchings, and the
-// revenue summation order are all identical — but runs entirely in
-// the determiner's scratch. The winning allocation is left in
-// d.curAdvOf.
-func (d *HeavyDeterminer) solvePattern(h *HeavyAuction, pattern uint64) (ok bool, rev float64) {
-	k := h.Slots
-	d.heavySlots, d.lightSlots = d.heavySlots[:0], d.lightSlots[:0]
-	for j := 0; j < k; j++ {
-		if pattern&(1<<uint(j)) != 0 {
-			d.heavySlots = append(d.heavySlots, j)
-		} else {
-			d.lightSlots = append(d.lightSlots, j)
+// runParallel fans one enumeration across the persistent pool,
+// spawning it on first use. The coordinator participates as a worker
+// (solvers[0]), so parallelism goroutines in total claim patterns
+// from the shared atomic counter; the call allocates nothing once the
+// pool exists.
+func (d *HeavyDeterminer) runParallel(h *HeavyAuction, patterns int) {
+	if d.pool == nil {
+		p := &heavyPool{
+			stop: make(chan struct{}),
+			wake: make([]chan struct{}, len(d.solvers)-1),
+		}
+		for w := range p.wake {
+			p.wake[w] = make(chan struct{}, 1)
+			go p.worker(d.solvers[w+1], p.wake[w])
+		}
+		d.pool = p
+		// The workers reference the pool and the solvers, never the
+		// determiner, so an abandoned determiner stays collectable;
+		// the finalizer then stops its goroutines.
+		runtime.SetFinalizer(d, (*HeavyDeterminer).Release)
+	}
+	p := d.pool
+	p.h, p.patterns = h, patterns
+	p.heavyIdx, p.lightIdx = d.heavyIdx, d.lightIdx
+	p.next.Store(0)
+	p.wg.Add(len(p.wake))
+	for _, c := range p.wake {
+		c <- struct{}{}
+	}
+	p.claim(d.solvers[0])
+	p.wg.Wait()
+	p.h = nil // drop the auction reference between calls
+}
+
+// heavyPool is the persistent worker set behind a parallel
+// HeavyDeterminer: parallelism−1 goroutines parked on buffered
+// per-worker wake channels, a shared atomic pattern-claim counter,
+// and the job fields the coordinator publishes before waking (the
+// channel send orders the publication before the worker's reads, and
+// wg.Done orders the worker's solver writes before the coordinator's
+// merge).
+type heavyPool struct {
+	stop chan struct{}
+	wake []chan struct{}
+	wg   sync.WaitGroup
+	next atomic.Int64
+
+	h        *HeavyAuction
+	patterns int
+	heavyIdx []int
+	lightIdx []int
+}
+
+// claim pulls patterns off the shared counter until the enumeration
+// is exhausted, folding each into s's local best.
+func (p *heavyPool) claim(s *heavySolver) {
+	for {
+		pat := p.next.Add(1) - 1
+		if pat >= int64(p.patterns) {
+			return
+		}
+		s.solvePattern(p.h, uint64(pat), p.heavyIdx, p.lightIdx)
+	}
+}
+
+func (p *heavyPool) worker(s *heavySolver, wake <-chan struct{}) {
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-wake:
+			p.claim(s)
+			p.wg.Done()
 		}
 	}
-	if len(d.heavySlots) > len(d.heavyIdx) {
-		return false, 0 // cannot fill every heavyweight slot
+}
+
+// heavySolver is the per-worker half of a HeavyDeterminer: every
+// scratch buffer one pattern solve touches — slot partitions, the
+// baseline vector, both weight matrices, the reduced-matching
+// candidate machinery, and a matching.Workspace — plus a local
+// running argmax, so parallel workers share nothing mutable.
+type heavySolver struct {
+	ws *matching.Workspace
+
+	heavySlots, lightSlots []int
+	base                   []float64
+
+	heavyFlat, lightFlat []float64
+	heavyRows, lightRows [][]float64
+
+	heavyAdvOf, lightAdvOf []int
+	curAdvOf               []int
+
+	// Reduced-matching scratch: the bounded top-depth heap, the
+	// stamp-cleared candidate marks (mark[a] == stamp iff row a is in
+	// cands for the current reduction), and the ascending candidate
+	// union.
+	heap  *topk.Heap
+	depth int
+	mark  []int
+	stamp int
+	cands []int
+
+	// Local argmax under the deterministic reduction rule: highest
+	// revenue, lowest pattern index on exact ties.
+	bestOK      bool
+	bestRev     float64
+	bestPattern uint64
+	bestAdvOf   []int
+}
+
+func newHeavySolver() *heavySolver {
+	return &heavySolver{ws: matching.NewWorkspace()}
+}
+
+// resetBest clears the local argmax before an enumeration and sizes
+// the per-pattern buffers for n advertisers and k slots.
+func (s *heavySolver) resetBest(n, k int) {
+	s.bestOK = false
+	s.bestRev = math.Inf(-1)
+	s.bestPattern = 0
+	s.base = growF(s.base, n)
+	s.curAdvOf = growI(s.curAdvOf, k)
+	s.bestAdvOf = growI(s.bestAdvOf, k)
+}
+
+// solvePattern scores one heavyweight-slot pattern — mirroring
+// HeavyAuction.solvePattern operation for operation: baseline sums,
+// weight-matrix fill order, the shared forcing constant, the two
+// Jonker–Volgenant sub-matchings, and the revenue summation order are
+// all identical — and folds a consistent pattern into the solver's
+// local best. The sub-matchings run candidate-reduced when the board
+// is tall enough (matchReduced), which preserves the exact optimum.
+func (s *heavySolver) solvePattern(h *HeavyAuction, pattern uint64, heavyIdx, lightIdx []int) {
+	k := h.Slots
+	s.heavySlots, s.lightSlots = s.heavySlots[:0], s.lightSlots[:0]
+	for j := 0; j < k; j++ {
+		if pattern&(1<<uint(j)) != 0 {
+			s.heavySlots = append(s.heavySlots, j)
+		} else {
+			s.lightSlots = append(s.lightSlots, j)
+		}
+	}
+	if len(s.heavySlots) > len(heavyIdx) {
+		return // cannot fill every heavyweight slot
 	}
 
 	baseOutcome := formula.Outcome{HeavySlots: pattern}
 	var baseline float64
-	base := d.base
+	base := s.base
 	for i := range h.Advertisers {
 		base[i] = h.Advertisers[i].Bids.Payment(baseOutcome)
 		baseline += base[i]
@@ -206,64 +429,154 @@ func (d *HeavyDeterminer) solvePattern(h *HeavyAuction, pattern uint64) (ok bool
 	// The sub-matrices are filled in the exact order buildSub visits
 	// them (heavy rows first, then light), with the forcing constant's
 	// maxAbs accumulated over both — only then is forcing added to the
-	// heavy side, as in the sequential path.
+	// heavy side, as in the sequential path. Both matrices are always
+	// filled in full: the reduced matching below still needs every
+	// column materialized, and maxAbs must see every entry for the
+	// forcing constant (and hence the heavy-side solve) to stay
+	// bit-identical to the full-graph reference.
 	var maxAbs float64
-	hw := subMatrix(&d.heavyFlat, &d.heavyRows, len(d.heavyIdx), len(d.heavySlots))
-	for a, i := range d.heavyIdx {
-		for s, j := range d.heavySlots {
+	hw := subMatrix(&s.heavyFlat, &s.heavyRows, len(heavyIdx), len(s.heavySlots))
+	for a, i := range heavyIdx {
+		for sj, j := range s.heavySlots {
 			w := h.expectedPaymentPattern(i, j, pattern) - base[i]
 			if abs := math.Abs(w); abs > maxAbs {
 				maxAbs = abs
 			}
-			hw[a][s] = w
+			hw[a][sj] = w
 		}
 	}
-	lw := subMatrix(&d.lightFlat, &d.lightRows, len(d.lightIdx), len(d.lightSlots))
-	for a, i := range d.lightIdx {
-		for s, j := range d.lightSlots {
+	lw := subMatrix(&s.lightFlat, &s.lightRows, len(lightIdx), len(s.lightSlots))
+	for a, i := range lightIdx {
+		for sj, j := range s.lightSlots {
 			w := h.expectedPaymentPattern(i, j, pattern) - base[i]
 			if abs := math.Abs(w); abs > maxAbs {
 				maxAbs = abs
 			}
-			lw[a][s] = w
+			lw[a][sj] = w
 		}
 	}
 	forcing := (maxAbs + 1) * float64(len(h.Advertisers)+k+1)
 	for _, row := range hw {
-		for s := range row {
-			row[s] += forcing
+		for sj := range row {
+			row[sj] += forcing
 		}
 	}
 
-	d.heavyAdvOf = growI(d.heavyAdvOf, len(d.heavySlots))
-	d.ws.MaxWeightInto(len(d.heavyIdx), len(d.heavySlots),
-		func(a, s int) float64 { return hw[a][s] }, d.heavyAdvOf)
-	for _, a := range d.heavyAdvOf {
+	depth := k + 1
+	s.heavyAdvOf = growI(s.heavyAdvOf, len(s.heavySlots))
+	s.matchReduced(hw, len(heavyIdx), len(s.heavySlots), depth, s.heavyAdvOf)
+	for _, a := range s.heavyAdvOf {
 		if a < 0 {
-			return false, 0 // a heavyweight slot stayed empty: inconsistent pattern
+			return // a heavyweight slot stayed empty: inconsistent pattern
 		}
 	}
-	d.lightAdvOf = growI(d.lightAdvOf, len(d.lightSlots))
-	d.ws.MaxWeightInto(len(d.lightIdx), len(d.lightSlots),
-		func(a, s int) float64 { return lw[a][s] }, d.lightAdvOf)
+	s.lightAdvOf = growI(s.lightAdvOf, len(s.lightSlots))
+	s.matchReduced(lw, len(lightIdx), len(s.lightSlots), depth, s.lightAdvOf)
 
-	advOf := d.curAdvOf
+	advOf := s.curAdvOf
 	for j := range advOf {
 		advOf[j] = -1
 	}
-	rev = baseline
-	for sj, ri := range d.heavyAdvOf {
-		i, j := d.heavyIdx[ri], d.heavySlots[sj]
+	rev := baseline
+	for sj, ri := range s.heavyAdvOf {
+		i, j := heavyIdx[ri], s.heavySlots[sj]
 		advOf[j] = i
 		rev += h.expectedPaymentPattern(i, j, pattern) - base[i]
 	}
-	for sj, ri := range d.lightAdvOf {
+	for sj, ri := range s.lightAdvOf {
 		if ri < 0 {
 			continue
 		}
-		i, j := d.lightIdx[ri], d.lightSlots[sj]
+		i, j := lightIdx[ri], s.lightSlots[sj]
 		advOf[j] = i
 		rev += h.expectedPaymentPattern(i, j, pattern) - base[i]
 	}
-	return true, rev
+
+	if !s.bestOK || rev > s.bestRev || (rev == s.bestRev && pattern < s.bestPattern) {
+		s.bestOK = true
+		s.bestRev = rev
+		s.bestPattern = pattern
+		copy(s.bestAdvOf, advOf)
+	}
+}
+
+// matchReduced runs one maximum-weight sub-matching over the
+// materialized rows×cols matrix w, writing the winning row of each
+// column into advOf (−1 for unmatched, non-positive matched edges
+// dropped — MaxWeightInto's contract). When the board has more than
+// depth rows, the Jonker–Volgenant solve is restricted to the union
+// of each column's top-depth strictly-positive rows, boundary ties
+// included: since depth = k+1 ≥ cols, any optimal matching that uses
+// a row outside a column's list can swap in an unmatched listed row
+// of no smaller weight, so the restriction preserves the exact
+// optimum (DESIGN.md, "Heavy path at scale"). Short boards take the
+// full solve — the candidate union would be all rows anyway.
+func (s *heavySolver) matchReduced(w [][]float64, rows, cols, depth int, advOf []int) {
+	if rows <= depth || cols == 0 {
+		s.ws.MaxWeightInto(rows, cols,
+			func(a, sj int) float64 { return w[a][sj] }, advOf)
+		return
+	}
+	s.reduceCands(w, rows, cols, depth)
+	cands := s.cands
+	s.ws.MaxWeightInto(len(cands), cols,
+		func(a, sj int) float64 { return w[cands[a]][sj] }, advOf)
+	for sj, ri := range advOf {
+		if ri >= 0 {
+			advOf[sj] = cands[ri]
+		}
+	}
+}
+
+// reduceCands fills s.cands with the ascending union of each column's
+// top-depth strictly-positive rows of w, including every row tied
+// with the depth-th value (boundary ties widen a list, never cut it,
+// so exact-tie optima stay reachable). Ascending order matters: the
+// reduced solve must visit surviving rows in the same relative order
+// as the full solve for its tie-breaking to coincide.
+func (s *heavySolver) reduceCands(w [][]float64, rows, cols, depth int) {
+	if s.heap == nil || s.depth != depth {
+		s.heap = topk.NewHeap(depth)
+		s.depth = depth
+	}
+	s.mark = growI(s.mark, rows)
+	s.stamp++
+	stamp := s.stamp
+	for sj := 0; sj < cols; sj++ {
+		hp := s.heap
+		hp.Reset()
+		for a := 0; a < rows; a++ {
+			if v := w[a][sj]; v > 0 {
+				hp.Offer(topk.Item{ID: a, Score: v})
+			}
+		}
+		switch {
+		case hp.Len() == 0:
+			// No positive rows: the full solve would match nothing
+			// here either (non-positive edges are dropped).
+		case hp.Len() == depth:
+			// Full heap: everything at or above the depth-th value is
+			// a candidate — a second scan against the threshold picks
+			// up the retained rows and their boundary ties at once.
+			kth := hp.Min().Score
+			for a := 0; a < rows; a++ {
+				if w[a][sj] >= kth {
+					s.mark[a] = stamp
+				}
+			}
+		default:
+			// Fewer than depth positive rows: all of them qualify.
+			for a := 0; a < rows; a++ {
+				if w[a][sj] > 0 {
+					s.mark[a] = stamp
+				}
+			}
+		}
+	}
+	s.cands = s.cands[:0]
+	for a := 0; a < rows; a++ {
+		if s.mark[a] == stamp {
+			s.cands = append(s.cands, a)
+		}
+	}
 }

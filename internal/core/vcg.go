@@ -229,7 +229,11 @@ func (d *HeavyDeterminer) solveWithout(h *HeavyAuction, skip int) (float64, erro
 	d.subModel = probmodel.HeavyModel{Base: &d.subBase, IsHeavy: isHeavy, Factor: h.Model.Factor}
 	d.subAuction = HeavyAuction{Slots: h.Slots, Advertisers: d.subAdvs, Model: &d.subModel}
 	if d.sub == nil {
-		d.sub = NewHeavyDeterminer()
+		// The nested determiner inherits the parent's parallelism:
+		// each counterfactual is a full 2^k enumeration, so VCG
+		// pricing benefits from the pool exactly as the primary solve
+		// does. Release cascades to it.
+		d.sub = NewHeavyDeterminerParallel(d.parallelism)
 	}
 	// The sub-auction struct is reused, so its pointer-keyed validation
 	// cache stays warm across winners and across calls: structural

@@ -87,6 +87,16 @@ type Config struct {
 	// ClickSeed is the base seed for simulated user clicks; keyword q's
 	// market draws from KeywordSeed(ClickSeed, q).
 	ClickSeed int64
+	// HeavyParallelism is the per-market worker count of the
+	// heavyweight pattern enumeration (MethodHeavy only): 0 means
+	// GOMAXPROCS, 1 fully sequential, and any setting is capped per
+	// auction by the 2^k pattern count. Like Shards it is a pure
+	// performance knob — outcomes are byte-identical at every setting,
+	// which the parallel-heavy equivalence tests pin. Each keyword
+	// market owns its pool (parallelism−1 goroutines, parked between
+	// auctions), so total heavyweight workers scale with
+	// keywords × HeavyParallelism.
+	HeavyParallelism int
 	// KeywordNames optionally names the instance's keywords for
 	// text-query routing (ServeText); defaults to "kw0", "kw1", …
 	KeywordNames []string
@@ -181,7 +191,7 @@ func New(inst *workload.Instance, cfg Config) *Engine {
 	}
 	e.ledger = e.NewLedger(inst)
 	for q := 0; q < inst.Keywords; q++ {
-		e.markets[q] = NewMarketBudget(inst, cfg.Method, cfg.Pricing, KeywordSeed(cfg.ClickSeed, q), e.laneOf(e.ledger, q))
+		e.markets[q] = NewMarketOpts(inst, e.marketOpts(q, e.ledger))
 		e.shardOf[q] = q % cfg.Shards
 		name := fmt.Sprintf("kw%d", q)
 		if q < len(cfg.KeywordNames) && cfg.KeywordNames[q] != "" {
@@ -362,8 +372,36 @@ func (e *Engine) RebuildShard(s int, inst *workload.Instance, led *budget.Ledger
 	}
 	for q := range e.markets {
 		if e.shardOf[q] == s {
-			e.markets[q] = NewMarketBudget(inst, e.cfg.Method, e.cfg.Pricing, KeywordSeed(e.cfg.ClickSeed, q), e.laneOf(led, q))
+			old := e.markets[q]
+			e.markets[q] = NewMarketOpts(inst, e.marketOpts(q, led))
+			// The replaced market is between auctions on this very
+			// goroutine, so its heavyweight worker pool (if any) is
+			// idle and safe to stop.
+			old.Close()
 		}
+	}
+}
+
+// marketOpts assembles keyword q's market options from the engine
+// configuration and the given ledger — the one place New and
+// RebuildShard derive construction parameters, so a rebuilt market is
+// exactly what New would build.
+func (e *Engine) marketOpts(q int, led *budget.Ledger) MarketOpts {
+	return MarketOpts{
+		Method:           e.cfg.Method,
+		Pricing:          e.cfg.Pricing,
+		ClickSeed:        KeywordSeed(e.cfg.ClickSeed, q),
+		Lane:             e.laneOf(led, q),
+		HeavyParallelism: e.cfg.HeavyParallelism,
+	}
+}
+
+// Close releases every market's background resources (heavyweight
+// worker pools). Call it when the engine is retired and no Serve is
+// in flight; the streaming layer does so at the end of its drain.
+func (e *Engine) Close() {
+	for _, m := range e.markets {
+		m.Close()
 	}
 }
 

@@ -39,7 +39,12 @@ type heavyEngine struct {
 	scoreFn func(i, j int) float64
 }
 
-func newHeavyEngine(inst *workload.Instance, m *Market) *heavyEngine {
+// newHeavyEngine builds the serving path with a determiner solving
+// its 2^k enumeration on up to parallelism workers (0 means
+// GOMAXPROCS, 1 fully sequential; see MarketOpts.HeavyParallelism).
+// The pool is per market and persists across auctions, so shard
+// workers never re-spawn goroutines on the hot path.
+func newHeavyEngine(inst *workload.Instance, m *Market, parallelism int) *heavyEngine {
 	n, k := inst.N, inst.Slots
 	if k > 20 {
 		panic(fmt.Sprintf("engine: MethodHeavy enumerates 2^k patterns and needs k ≤ 20, got %d slots", k))
@@ -70,7 +75,7 @@ func newHeavyEngine(inst *workload.Instance, m *Market) *heavyEngine {
 	hv := &heavyEngine{
 		model:    model,
 		auction:  &core.HeavyAuction{Slots: k, Advertisers: advs, Model: model},
-		det:      core.NewHeavyDeterminer(),
+		det:      core.NewHeavyDeterminerParallel(parallelism),
 		payments: make([]float64, n),
 	}
 	hv.scoreFn = func(i, j int) float64 {

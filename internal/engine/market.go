@@ -93,16 +93,44 @@ func NewMarketPriced(inst *workload.Instance, method Method, pricing Pricing, cl
 // lane disables budget enforcement for this market (the historical
 // behavior, bit for bit).
 func NewMarketBudget(inst *workload.Instance, method Method, pricing Pricing, clickSeed int64, lane *budget.Lane) *Market {
+	return NewMarketOpts(inst, MarketOpts{Method: method, Pricing: pricing, ClickSeed: clickSeed, Lane: lane})
+}
+
+// MarketOpts bundles every market-construction knob; the zero value
+// of each field is its historical default, so the positional
+// constructors above are thin wrappers.
+type MarketOpts struct {
+	// Method selects the winner-determination pipeline.
+	Method Method
+	// Pricing selects the payment rule.
+	Pricing Pricing
+	// ClickSeed seeds the simulated user clicks.
+	ClickSeed int64
+	// Lane is the market's slice of the cross-keyword budget ledger;
+	// nil disables budget enforcement.
+	Lane *budget.Lane
+	// HeavyParallelism is the worker count of the heavyweight pattern
+	// enumeration (MethodHeavy only): 0 means GOMAXPROCS, 1 fully
+	// sequential, and any setting is capped per auction by the 2^k
+	// pattern count. Outcomes are byte-identical at every setting —
+	// this is a pure performance knob, like Config.Shards one level up.
+	HeavyParallelism int
+}
+
+// NewMarketOpts builds a market from an options bundle — the full
+// constructor behind NewMarket/NewMarketPriced/NewMarketBudget.
+func NewMarketOpts(inst *workload.Instance, o MarketOpts) *Market {
+	method, pricing := o.Method, o.Pricing
 	m := &Market{
 		Inst:    inst,
 		Method:  method,
 		pricing: pricing,
 		acct:    newAccounting(inst.N, inst.Keywords),
-		rng:     rand.New(rand.NewSource(clickSeed)),
-		lane:    lane,
+		rng:     rand.New(rand.NewSource(o.ClickSeed)),
+		lane:    o.Lane,
 	}
 	if method == MethodRHTALU {
-		m.talu = newTALUEngine(inst, m.acct, lane)
+		m.talu = newTALUEngine(inst, m.acct, o.Lane)
 	} else {
 		m.ex = newExplicitEngine(inst)
 	}
@@ -112,7 +140,7 @@ func NewMarketBudget(inst *workload.Instance, method Method, pricing Pricing, cl
 		return m.Inst.ClickProb[i][j] * m.bidf[i]
 	}
 	if method == MethodHeavy {
-		m.heavy = newHeavyEngine(inst, m)
+		m.heavy = newHeavyEngine(inst, m, o.HeavyParallelism)
 	}
 	if pricing == PricingVCG {
 		m.vcgWS = matching.NewWorkspace()
@@ -190,6 +218,19 @@ func (m *Market) BudgetLane() *budget.Lane { return m.lane }
 func (m *Market) FlushBudget() {
 	if m.lane != nil {
 		m.lane.Publish()
+	}
+}
+
+// Close releases the market's background resources — today that is
+// the heavyweight determiner's parked worker goroutines (MethodHeavy
+// with HeavyParallelism > 1). Idempotent; must not race a Run. A
+// market dropped without Close leaks nothing permanently (the
+// determiner's finalizer stops its pool), Close just makes the
+// reclamation deterministic — the engine calls it when a churn fence
+// replaces a shard's markets, and Engine.Close sweeps the rest.
+func (m *Market) Close() {
+	if m.heavy != nil {
+		m.heavy.det.Release()
 	}
 }
 

@@ -111,3 +111,16 @@ func NewWorldBudget(inst *workload.Instance, method Method, pricing Pricing, cli
 	led := budget.NewLedger(inst.N, 1, inst.Budget, cfg)
 	return engine.NewMarketBudget(inst, method, pricing, clickSeed, led.Lane(0))
 }
+
+// WorldOpts bundles every world-construction knob — engine.MarketOpts
+// under the simulation-facing name. The zero value of each field is
+// its historical default.
+type WorldOpts = engine.MarketOpts
+
+// NewWorldOpts builds a world from an options bundle; the positional
+// constructors above are thin wrappers over it. Use it to set
+// HeavyParallelism (the MethodHeavy pattern-enumeration worker count)
+// on a sequential world.
+func NewWorldOpts(inst *workload.Instance, o WorldOpts) *World {
+	return engine.NewMarketOpts(inst, o)
+}

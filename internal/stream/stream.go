@@ -512,6 +512,11 @@ func (s *Server) Close() *Stats {
 			close(s.flushStop)
 		}
 		s.wg.Wait()
+		// Workers are gone: release the markets' background resources
+		// (heavyweight pattern-solver pools). Post-churn markets are
+		// covered too — RebuildShard closes the markets it replaces,
+		// and the engine's slice holds the current generation.
+		s.eng.Close()
 		s.closedAt = time.Now()
 		s.mu.RLock()
 		s.final = s.snapshotLocked(s.closedAt.Sub(s.start))

@@ -306,6 +306,18 @@ func NewSimWorldPriced(inst *SimInstance, m SimMethod, pricing SimPricing, click
 	return strategy.NewWorldPriced(inst, m, pricing, clickSeed)
 }
 
+// SimWorldOpts bundles every world-construction knob (method, payment
+// rule, click seed, budget lane, and the MethodHeavy enumeration
+// worker count HeavyParallelism); zero values are the historical
+// defaults.
+type SimWorldOpts = strategy.WorldOpts
+
+// NewSimWorldOpts builds a simulation world from an options bundle —
+// the full constructor behind the positional NewSimWorld variants.
+func NewSimWorldOpts(inst *SimInstance, o SimWorldOpts) *SimWorld {
+	return strategy.NewWorldOpts(inst, o)
+}
+
 // Concurrent serving (the keyword-sharded engine).
 type (
 	// Engine is the concurrent keyword-sharded serving engine: one
