@@ -269,3 +269,45 @@ func BenchmarkMarketSteadyStateBudget(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkMarketSteadyStateBudgetJournal is the budgeted steady
+// state with the durable spend journal attached: every charge also
+// lands in the lane's preallocated batch buffer, and each ledger
+// publish flushes a checksummed record through the writer's reused
+// encode buffer. Durability must be allocation-free too — both rows
+// stay at 0 allocs/op — and the ns/op delta against the plain Budget
+// rows is the whole cost of crash safety at FsyncNever.
+func BenchmarkMarketSteadyStateBudgetJournal(b *testing.B) {
+	for _, sub := range []struct {
+		name   string
+		method SimMethod
+	}{
+		{"rh-n=1000", SimRH},
+		{"talu-n=1000", SimRHTALU},
+	} {
+		b.Run(sub.name, func(b *testing.B) {
+			const n, warmup = 1000, 2000
+			inst := GenerateInstance(42, n, DefaultSlots, DefaultKeywords)
+			AttachBudgets(43, inst, 1000)
+			w := NewSimWorldBudget(inst, sub.method, PricingGSP, 7,
+				BudgetConfig{Policy: PolicyHard, RefreshEvery: 64})
+			jw, err := OpenSpendJournal(b.TempDir(), SpendJournalOptions{SnapshotEvery: 1 << 30})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer jw.Close()
+			if err := w.BudgetLane().Ledger().AttachJournal(jw); err != nil {
+				b.Fatal(err)
+			}
+			queries := QueryStream(inst, 9, warmup+b.N)
+			for _, q := range queries[:warmup] {
+				w.Run(q)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w.Run(queries[warmup+i])
+			}
+		})
+	}
+}

@@ -45,6 +45,18 @@
 // A budget summary line — total enforced spend, advertisers at their
 // caps, gate denials — is printed after the run.
 //
+// With -journal <dir> (requires -budget) every charge is batched into
+// an append-only, checksummed spend journal with periodic snapshot
+// compaction, and the drain summary compares the journaled total
+// against the in-memory ledger. -fsync picks the durability point:
+// never (default) keeps records in the kernel page cache — they
+// survive a SIGKILL but not power loss — while always fsyncs every
+// append. A later run with the same population flags plus -recover
+// replays the journal first, prints a recovery summary (recovered
+// advertisers, replayed records, snapshot age, any corruption), and
+// resumes serving from the recovered spend state; -recover without
+// -journal is rejected.
+//
 // Usage:
 //
 //	auctionsim -n 2000 -auctions 5000 -method rh-talu -report 1000
@@ -52,6 +64,8 @@
 //	auctionsim -method heavy -pricing vcg -slots 6 -n 500 -heavy-frac 0.2 -shadow 0.3
 //	auctionsim -stream -qps 3000 -duration 10s -churn 6 -overload shed -zipf 1.2
 //	auctionsim -engine -budget 300 -budget-policy paced -budget-refresh 32 -auctions 20000
+//	auctionsim -stream -budget 200 -journal /var/tmp/ssa-journal -duration 10s
+//	auctionsim -stream -budget 200 -journal /var/tmp/ssa-journal -recover -duration 10s
 package main
 
 import (
@@ -66,6 +80,7 @@ import (
 
 	"repro/internal/budget"
 	"repro/internal/engine"
+	"repro/internal/journal"
 	"repro/internal/strategy"
 	"repro/internal/stream"
 	"repro/internal/workload"
@@ -97,6 +112,9 @@ func main() {
 		budgetAt  = flag.Float64("budget", 0, "attach daily budgets scaled to this many on-target auctions and enforce them (0 = budgets off)")
 		budgetPol = flag.String("budget-policy", "hard", "budget enforcement: hard (exclude at cap), paced (smooth spend over the run)")
 		budgetRef = flag.Int("budget-refresh", 0, "budget ledger snapshot refresh, in per-keyword auctions (0 = default)")
+		jdir      = flag.String("journal", "", "durable spend-journal directory (requires -budget); spend is batched, checksummed, and compacted there")
+		doRecover = flag.Bool("recover", false, "replay the -journal directory before serving and resume from the recovered spend state")
+		fsyncMode = flag.String("fsync", "never", "journal durability: never (kernel page cache — survives SIGKILL), always (fsync every append — survives power loss)")
 	)
 	flag.Parse()
 
@@ -154,6 +172,57 @@ func main() {
 		bcfg = budget.Config{Policy: pol, RefreshEvery: *budgetRef, Horizon: horizon, Seed: *seed + 4}
 	}
 
+	if *doRecover && *jdir == "" {
+		fmt.Fprintln(os.Stderr, "auctionsim: -recover replays a journal and needs -journal <dir> to say which one")
+		flag.Usage()
+		os.Exit(2)
+	}
+	var (
+		jw      *journal.Writer
+		restore *journal.LedgerState
+	)
+	if *jdir != "" {
+		if bcfg.Policy == budget.PolicyOff {
+			fmt.Fprintln(os.Stderr, "auctionsim: -journal records budget spend and needs -budget > 0")
+			flag.Usage()
+			os.Exit(2)
+		}
+		fs, err := journal.ParseFsync(*fsyncMode)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "auctionsim:", err)
+			flag.Usage()
+			os.Exit(2)
+		}
+		// Lanes are per keyword in engine/stream mode; the sequential
+		// world runs one cross-keyword lane.
+		lanes := *keywords
+		if !*useEng && !*useStream {
+			lanes = 1
+		}
+		if *doRecover {
+			r, err := journal.Recover(*jdir)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "auctionsim: recover:", err)
+				os.Exit(1)
+			}
+			printRecoverySummary(r)
+			if r.State != nil {
+				// Resuming assumes the same population: identical -seed,
+				// -n, and -keywords regenerate it deterministically.
+				if int(r.State.N) != inst.N || int(r.State.Lanes) != lanes {
+					fmt.Fprintf(os.Stderr, "auctionsim: journal covers %d advertisers x %d lanes, this run has %d x %d — rerun with the flags that wrote it\n",
+						r.State.N, r.State.Lanes, inst.N, lanes)
+					os.Exit(1)
+				}
+				restore = r.State
+			}
+		}
+		if jw, err = journal.Open(*jdir, journal.Options{Fsync: fs}); err != nil {
+			fmt.Fprintln(os.Stderr, "auctionsim: journal:", err)
+			os.Exit(1)
+		}
+	}
+
 	if *useStream {
 		pol, err := parsePolicy(*overload)
 		if err != nil {
@@ -166,7 +235,7 @@ func main() {
 			clickSeed: *seed + 2, report: *report, qps: *qps,
 			duration: *duration, churn: *churn, policy: pol,
 			zipf: *zipf, burst: *burst, seed: *seed + 3, budget: bcfg,
-			heavyPar: *heavyPar,
+			heavyPar: *heavyPar, journal: jw, restore: restore,
 		})
 		return
 	}
@@ -174,7 +243,7 @@ func main() {
 	queries := inst.Queries(rand.New(rand.NewSource(*seed+1)), *auctions)
 
 	if *useEng {
-		runEngine(inst, queries, m, pr, *shards, *queue, *seed+2, *report, bcfg, *heavyPar)
+		runEngine(inst, queries, m, pr, *shards, *queue, *seed+2, *report, bcfg, *heavyPar, jw, restore)
 		return
 	}
 
@@ -182,7 +251,17 @@ func main() {
 	if bcfg.Policy != budget.PolicyOff {
 		// A sequential world owns a single-lane ledger: cross-keyword
 		// budgets are exact here (one market sees all keywords).
-		wo.Lane = budget.NewLedger(inst.N, 1, inst.Budget, bcfg).Lane(0)
+		led := budget.NewLedger(inst.N, 1, inst.Budget, bcfg)
+		if restore != nil {
+			led = budget.NewLedgerState(restore, inst.Budget, bcfg)
+		}
+		if jw != nil {
+			if err := led.AttachJournal(jw); err != nil {
+				fmt.Fprintln(os.Stderr, "auctionsim: journal:", err)
+				os.Exit(1)
+			}
+		}
+		wo.Lane = led.Lane(0)
 	}
 	w := strategy.NewWorldOpts(inst, wo)
 
@@ -221,15 +300,21 @@ func main() {
 
 	printSpendSummary(inst, spendTotals(inst, w), float64(w.Auctions()))
 	if lane := w.BudgetLane(); lane != nil {
-		lane.Publish()
+		lane.Publish() // also flushes the lane's journal batch
 		printBudgetSummary(lane.Ledger())
+		if jw != nil {
+			if err := jw.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "auctionsim: journal degraded:", err)
+			}
+			printJournalSummary(jw, lane.Ledger())
+		}
 	}
 }
 
 // runEngine is load-generator mode: the stream is served in
 // report-sized batches through the sharded engine, each batch printing
 // throughput and per-auction latency percentiles.
-func runEngine(inst *workload.Instance, queries []int, m engine.Method, pr engine.Pricing, shards, queue int, clickSeed int64, report int, bcfg budget.Config, heavyPar int) {
+func runEngine(inst *workload.Instance, queries []int, m engine.Method, pr engine.Pricing, shards, queue int, clickSeed int64, report int, bcfg budget.Config, heavyPar int, jw *journal.Writer, restore *journal.LedgerState) {
 	e := engine.New(inst, engine.Config{
 		Shards:           shards,
 		QueueDepth:       queue,
@@ -238,6 +323,8 @@ func runEngine(inst *workload.Instance, queries []int, m engine.Method, pr engin
 		ClickSeed:        clickSeed,
 		Budget:           bcfg,
 		HeavyParallelism: heavyPar,
+		Journal:          jw,
+		Restore:          restore,
 	})
 	fmt.Printf("auctionsim: engine mode, n=%d k=%d keywords=%d method=%v pricing=%v auctions=%d shards=%d\n",
 		inst.N, inst.Slots, inst.Keywords, m, pr, len(queries), e.Shards())
@@ -276,8 +363,16 @@ func runEngine(inst *workload.Instance, queries []int, m engine.Method, pr engin
 		}
 	}
 	printSpendSummary(inst, spent, float64(total.Auctions))
-	if led := e.Ledger(); led != nil {
+	led := e.Ledger()
+	if led != nil {
 		printBudgetSummary(led) // Serve flushed the lanes: the snapshot is current
+	}
+	e.Close() // flushes the last journal batches and closes the writer
+	if jw != nil {
+		if err := jw.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, "auctionsim: journal degraded:", err)
+		}
+		printJournalSummary(jw, led)
 	}
 }
 
@@ -307,6 +402,8 @@ type streamOpts struct {
 	seed      int64
 	budget    budget.Config
 	heavyPar  int
+	journal   *journal.Writer
+	restore   *journal.LedgerState
 }
 
 // runStream is open-world mode: a deterministic workload.Stream paces
@@ -328,6 +425,7 @@ func runStream(inst *workload.Instance, o streamOpts) {
 			Shards: o.shards, QueueDepth: o.queue,
 			Method: o.method, Pricing: o.pricing, ClickSeed: o.clickSeed,
 			Budget: o.budget, HeavyParallelism: o.heavyPar,
+			Journal: o.journal, Restore: o.restore,
 		},
 		Overload: o.policy,
 	})
@@ -386,6 +484,57 @@ func runStream(inst *workload.Instance, o streamOpts) {
 		fmt.Printf("budget[%v]: spent=%.0f exhausted=%d denied=%d\n",
 			o.budget.Policy, st.BudgetSpent, st.BudgetExhausted, st.BudgetDenied)
 	}
+	if o.journal != nil { // the drain closed the engine, and with it the writer
+		if err := o.journal.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, "auctionsim: journal degraded:", err)
+		}
+		printJournalSummary(o.journal, srv.Engine().Ledger())
+	}
+}
+
+// printRecoverySummary reports what -recover reconstructed before the
+// run resumes: how much spend came back, how it was pieced together
+// (snapshot + replayed tail), and any damage that truncated the
+// replay.
+func printRecoverySummary(r *journal.Recovery) {
+	if r.State == nil {
+		fmt.Println("recovery: journal empty — starting fresh")
+	} else {
+		recovered := 0
+		for i := 0; i < int(r.State.N); i++ {
+			if r.State.Spent(i) > 0 {
+				recovered++
+			}
+		}
+		fmt.Printf("recovery: advertisers=%d/%d with spend=%.0f epoch=%d (replayed=%d records, covered=%d, stale=%d)\n",
+			recovered, r.State.N, r.State.TotalSpend(), r.State.Epoch,
+			r.Replayed, r.Covered, r.Stale)
+		if r.SnapshotLoaded {
+			fmt.Printf("recovery: snapshot seq=%d age=%v\n", r.SnapshotSeq, r.SnapshotAge.Round(time.Millisecond))
+		}
+	}
+	if r.SnapshotErr != "" {
+		fmt.Printf("recovery: snapshot unusable (%s) — rebuilt from the journal alone\n", r.SnapshotErr)
+	}
+	if r.CorruptOffset >= 0 {
+		fmt.Printf("recovery: journal damaged at byte %d (%s) — recovered the prefix before it\n",
+			r.CorruptOffset, r.CorruptReason)
+	}
+}
+
+// printJournalSummary compares what the (now flushed and closed)
+// journal durably holds against the in-memory ledger — equal totals
+// mean a crash right now would lose nothing.
+func printJournalSummary(w *journal.Writer, led *budget.Ledger) {
+	st := w.Stats()
+	var exact float64
+	if led != nil {
+		for i := 0; i < led.N(); i++ {
+			exact += led.ExactSpent(i)
+		}
+	}
+	fmt.Printf("journal: spent(journal)=%.0f spent(memory)=%.0f epoch=%d records=%d snapshots=%d tail=%dB staleDropped=%d\n",
+		st.TotalSpend, exact, st.Epoch, st.Records, st.Snapshots, st.JournalBytes, st.StaleDropped)
 }
 
 func parseBudgetPolicy(s string) (budget.Policy, error) {

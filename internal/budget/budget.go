@@ -76,6 +76,8 @@ package budget
 import (
 	"math"
 	"sync/atomic"
+
+	"repro/internal/journal"
 )
 
 // Policy selects the enforcement rule applied to budgeted
@@ -152,6 +154,16 @@ type Ledger struct {
 	budget []float64 // per advertiser; 0 (or negative) = unlimited
 	snap   []uint64  // published spend, atomic float64 bits
 	lanes  []Lane
+
+	// Durability (optional): the attached journal writer, the journal
+	// epoch this ledger's spend belongs to, and the journal sequence
+	// number the ledger was restored at (0 for a fresh ledger). A
+	// retired ledger's lanes keep flushing with their old epoch; the
+	// writer drops those batches, which is what makes churn/reset
+	// swaps race-free without coordinating the old lanes.
+	jw     *journal.Writer
+	jEpoch uint64
+	jSeq   uint64
 }
 
 // NewLedger builds a ledger for n advertisers and the given number of
@@ -168,6 +180,7 @@ func NewLedger(n, lanes int, budgets []float64, cfg Config) *Ledger {
 		l.budget = make([]float64, n)
 		copy(l.budget, budgets)
 	}
+	l.jEpoch = 1
 	l.lanes = make([]Lane, lanes)
 	for q := range l.lanes {
 		mark := make([]uint64, n)
@@ -185,6 +198,103 @@ func NewLedger(n, lanes int, budgets []float64, cfg Config) *Ledger {
 	}
 	return l
 }
+
+// NewLedgerState rebuilds a ledger from a recovered journal state:
+// every lane's cumulative spend array, auction clock, and denial
+// counter resume exactly where the journal left them, fully published
+// (the snapshot is the lane-order sum, bitwise identical to what
+// ExactSpent returns). budgets and cfg are supplied by the caller —
+// they are population/configuration state, not spend state, and are
+// not journaled.
+func NewLedgerState(st *journal.LedgerState, budgets []float64, cfg Config) *Ledger {
+	l := NewLedger(st.N, st.Lanes, budgets, cfg)
+	for q := range l.lanes {
+		lane := &l.lanes[q]
+		copy(lane.cum, st.Cum[q])
+		copy(lane.pub, st.Cum[q])
+		lane.t = int(st.LaneT[q])
+		lane.denied = st.Denied[q]
+		lane.deniedPub.Store(st.Denied[q])
+	}
+	for i := 0; i < l.n; i++ {
+		var s float64
+		for q := range l.lanes {
+			s += l.lanes[q].cum[i]
+		}
+		l.snap[i] = math.Float64bits(s)
+	}
+	l.jEpoch = st.Epoch
+	if l.jEpoch == 0 {
+		l.jEpoch = 1
+	}
+	l.jSeq = st.Seq
+	return l
+}
+
+// State captures the ledger's spend state in journal form — the value
+// a recovery of a journal fed by this ledger reproduces. The caller
+// must have quiesced the lane owners (same contract as ExactSpent).
+func (l *Ledger) State() *journal.LedgerState {
+	st := &journal.LedgerState{
+		Seq:    l.jSeq,
+		Epoch:  l.jEpoch,
+		N:      l.n,
+		Lanes:  len(l.lanes),
+		Cum:    make([][]float64, len(l.lanes)),
+		LaneT:  make([]uint64, len(l.lanes)),
+		Denied: make([]int64, len(l.lanes)),
+	}
+	for q := range l.lanes {
+		lane := &l.lanes[q]
+		st.Cum[q] = append([]float64(nil), lane.cum...)
+		st.LaneT[q] = uint64(lane.t)
+		st.Denied[q] = lane.denied
+	}
+	return st
+}
+
+// AttachJournal makes the ledger durable: it begins a new journal
+// session whose base snapshot is the ledger's current state (all
+// zeros for a fresh ledger, the recovered spend for one built by
+// NewLedgerState) and routes every subsequent charge through
+// per-lane batch buffers into w. Call before serving starts.
+func (l *Ledger) AttachJournal(w *journal.Writer) error {
+	if err := w.Begin(l.State()); err != nil {
+		return err
+	}
+	l.bindJournal(w)
+	return nil
+}
+
+// AttachJournalNextEpoch attaches a *fresh* ledger (churn rebuild or
+// budget reset) to an already-begun journal by starting a new epoch
+// instead of a new session. The retired ledger's lanes may still
+// flush their final batches concurrently; the writer drops them as
+// stale. Errors are sticky in the writer (surfaced by Err/Close), so
+// swap paths that cannot abort may ignore the return.
+func (l *Ledger) AttachJournalNextEpoch(w *journal.Writer, reason journal.Reason) error {
+	ep, err := w.BeginEpoch(l.n, len(l.lanes), reason)
+	if err != nil {
+		return err
+	}
+	l.jEpoch = ep
+	l.bindJournal(w)
+	return nil
+}
+
+func (l *Ledger) bindJournal(w *journal.Writer) {
+	l.jw = w
+	for q := range l.lanes {
+		lane := &l.lanes[q]
+		lane.jw = w
+		lane.jbuf = make([]journal.Spend, 0, w.MaxBatch())
+		lane.jT = uint64(lane.t)
+		lane.jDenied = lane.denied
+	}
+}
+
+// Journal returns the attached journal writer, or nil.
+func (l *Ledger) Journal() *journal.Writer { return l.jw }
 
 // N returns the advertiser count the ledger was built for.
 func (l *Ledger) N() int { return l.n }
@@ -283,6 +393,17 @@ type Lane struct {
 	// -determination path consults the gate.
 	mark     []uint64
 	decision []bool
+
+	// Durability (optional): charges batch into jbuf (preallocated to
+	// the writer's MaxBatch, so the append path never allocates) and
+	// flush to jw on every Publish trigger or when the buffer fills.
+	// jT/jDenied remember the clock and denial counter last flushed so
+	// a publish with no new charges still journals counter movement
+	// (and an idle lane appends nothing at all).
+	jw      *journal.Writer
+	jbuf    []journal.Spend
+	jT      uint64
+	jDenied int64
 }
 
 // Ledger returns the lane's owning ledger.
@@ -306,6 +427,29 @@ func (l *Lane) Auctions() int { return l.t }
 // Accounting.SpentTotal, keeping the two bitwise equal.
 func (l *Lane) Charge(i int, amount float64) {
 	l.cum[i] += amount
+	if l.jw != nil {
+		if len(l.jbuf) == cap(l.jbuf) {
+			l.flushJournal()
+		}
+		l.jbuf = append(l.jbuf, journal.Spend{Adv: uint32(i), Bits: math.Float64bits(amount)})
+	}
+}
+
+// flushJournal hands the lane's batched charges to the journal writer
+// in charge order (which is what makes replayed lane sums bitwise
+// equal to the live ones). A write failure is sticky in the writer
+// and surfaced at Close — the auction path never stalls on the disk.
+func (l *Lane) flushJournal() {
+	if l.jw == nil {
+		return
+	}
+	if len(l.jbuf) == 0 && uint64(l.t) == l.jT && l.denied == l.jDenied {
+		return
+	}
+	_ = l.jw.AppendSpend(l.led.jEpoch, l.id, uint64(l.t), l.denied, l.jbuf)
+	l.jT = uint64(l.t)
+	l.jDenied = l.denied
+	l.jbuf = l.jbuf[:0]
 }
 
 // Spent returns this lane's own cumulative charge to advertiser i
@@ -389,8 +533,12 @@ func splitmix64(x uint64) uint64 {
 // snapshot and publishes the denial counter. Owner-called (refresh
 // cadence, flush fences, drain); the snapshot additions are lock-free
 // CAS loops, contended only when two lanes publish the same
-// advertiser simultaneously. Allocation-free.
+// advertiser simultaneously. Allocation-free. When a journal is
+// attached, every publish trigger also flushes the lane's batched
+// charges, so journal staleness is bounded by the same K·R·P argument
+// as snapshot staleness.
 func (l *Lane) Publish() {
+	l.flushJournal()
 	for i := range l.cum {
 		if d := l.cum[i] - l.pub[i]; d != 0 {
 			addFloat(&l.led.snap[i], d)

@@ -1,0 +1,154 @@
+package budget
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/journal"
+)
+
+// driveLanes runs a deterministic charge/deny trace over every lane.
+func driveLanes(l *Ledger, seed int64, auctions int) {
+	rng := rand.New(rand.NewSource(seed))
+	for a := 0; a < auctions; a++ {
+		for q := 0; q < l.Lanes(); q++ {
+			lane := l.Lane(q)
+			lane.BeginAuction()
+			for c := 0; c < 3; c++ {
+				i := rng.Intn(l.N())
+				if lane.Allowed(i) {
+					lane.Charge(i, float64(rng.Intn(400))/8)
+				}
+			}
+		}
+	}
+}
+
+// TestLedgerJournalRoundTrip pins the bitwise replay contract at the
+// ledger level: journal → Recover → NewLedgerState reproduces every
+// per-advertiser ExactSpent bit for bit, and a resumed session keeps
+// accumulating on top of the restored base.
+func TestLedgerJournalRoundTrip(t *testing.T) {
+	for _, snapEvery := range []int64{-1, 1 << 10} { // tail-only and compacted
+		dir := t.TempDir()
+		w, err := journal.Open(dir, journal.Options{SnapshotEvery: snapEvery, MaxBatch: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		const n, lanes = 50, 4
+		budgets := make([]float64, n)
+		for i := range budgets {
+			budgets[i] = 900 + float64(i)
+		}
+		led := NewLedger(n, lanes, budgets, Config{Policy: PolicyHard, RefreshEvery: 8})
+		if err := led.AttachJournal(w); err != nil {
+			t.Fatal(err)
+		}
+		driveLanes(led, 11, 300)
+		led.PublishAll()
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		rec, err := journal.Recover(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.CorruptOffset != -1 {
+			t.Fatalf("snapEvery=%d: corrupt at %d (%s)", snapEvery, rec.CorruptOffset, rec.CorruptReason)
+		}
+		restored := NewLedgerState(rec.State, budgets, led.Config())
+		for i := 0; i < n; i++ {
+			want := led.ExactSpent(i)
+			got := restored.ExactSpent(i)
+			if math.Float64bits(want) != math.Float64bits(got) {
+				t.Fatalf("snapEvery=%d: advertiser %d restored %v, want %v (bitwise)", snapEvery, i, got, want)
+			}
+			if math.Float64bits(restored.Spent(i)) != math.Float64bits(got) {
+				t.Fatalf("snapEvery=%d: advertiser %d snapshot %v != exact %v after restore", snapEvery, i, restored.Spent(i), got)
+			}
+		}
+		for q := 0; q < lanes; q++ {
+			if restored.Lane(q).Auctions() != led.Lane(q).Auctions() {
+				t.Fatalf("snapEvery=%d: lane %d clock %d, want %d", snapEvery, q, restored.Lane(q).Auctions(), led.Lane(q).Auctions())
+			}
+		}
+
+		// Resume: a second session over the restored ledger.
+		w2, err := journal.Open(dir, journal.Options{MaxBatch: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := restored.AttachJournal(w2); err != nil {
+			t.Fatal(err)
+		}
+		driveLanes(restored, 12, 100)
+		restored.PublishAll()
+		if err := w2.Close(); err != nil {
+			t.Fatal(err)
+		}
+		rec2, err := journal.Recover(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		final := NewLedgerState(rec2.State, budgets, led.Config())
+		for i := 0; i < n; i++ {
+			if math.Float64bits(final.ExactSpent(i)) != math.Float64bits(restored.ExactSpent(i)) {
+				t.Fatalf("snapEvery=%d: advertiser %d resumed-recovery mismatch", snapEvery, i)
+			}
+		}
+	}
+}
+
+// TestLedgerJournalEpochSwap pins the churn/reset contract: a fresh
+// ledger attached with AttachJournalNextEpoch starts a new epoch, and
+// the retired ledger's late flushes are dropped rather than polluting
+// the new epoch's recovery.
+func TestLedgerJournalEpochSwap(t *testing.T) {
+	dir := t.TempDir()
+	w, err := journal.Open(dir, journal.Options{MaxBatch: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n, lanes = 20, 2
+	old := NewLedger(n, lanes, nil, Config{Policy: PolicyHard})
+	if err := old.AttachJournal(w); err != nil {
+		t.Fatal(err)
+	}
+	driveLanes(old, 21, 50)
+	old.PublishAll()
+
+	fresh := NewLedger(n, lanes, nil, Config{Policy: PolicyHard})
+	if err := fresh.AttachJournalNextEpoch(w, journal.ReasonReset); err != nil {
+		t.Fatal(err)
+	}
+	// Straggler: the retired ledger flushes after the swap.
+	old.Lane(0).Charge(3, 1e8)
+	old.Lane(0).Publish()
+	if got := w.Stats().StaleDropped; got == 0 {
+		t.Fatal("retired ledger's flush was not dropped")
+	}
+
+	driveLanes(fresh, 22, 40)
+	fresh.PublishAll()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := journal.Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.State.Epoch != 2 {
+		t.Fatalf("recovered epoch %d, want 2", rec.State.Epoch)
+	}
+	restored := NewLedgerState(rec.State, nil, fresh.Config())
+	for i := 0; i < n; i++ {
+		if math.Float64bits(restored.ExactSpent(i)) != math.Float64bits(fresh.ExactSpent(i)) {
+			t.Fatalf("advertiser %d: recovered %v, want the fresh ledger's %v", i, restored.ExactSpent(i), fresh.ExactSpent(i))
+		}
+	}
+	if restored.ExactSpent(3) >= 1e8 {
+		t.Fatal("stale spend leaked across the epoch swap")
+	}
+}

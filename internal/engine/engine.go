@@ -62,6 +62,7 @@ import (
 	"time"
 
 	"repro/internal/budget"
+	"repro/internal/journal"
 	"repro/internal/kwmatch"
 	"repro/internal/workload"
 )
@@ -109,6 +110,20 @@ type Config struct {
 	// and publishes lane deltas on Budget.RefreshEvery plus at batch
 	// boundaries (the streaming layer adds time-based flush fences).
 	Budget budget.Config
+	// Journal, when non-nil, makes budget spend durable: the ledger is
+	// attached to it at construction (requires a Budget policy), every
+	// lane's charges are journaled on the publish triggers, churn
+	// rebuilds and budget resets begin fresh journal epochs, and
+	// Engine.Close flushes and closes it (the engine takes ownership).
+	// Journal write errors are sticky and surfaced by JournalErr and
+	// Close — a full disk degrades durability, never serving.
+	Journal *journal.Writer
+	// Restore, when non-nil, seeds the budget ledger from a recovered
+	// journal state (journal.Recover) instead of starting from zero:
+	// every advertiser resumes with exactly the spend the journal
+	// replay reconstructed. Its dimensions must match the instance
+	// (N advertisers, Keywords lanes).
+	Restore *journal.LedgerState
 }
 
 // KeywordSeed derives the click-RNG seed of keyword q's market from
@@ -158,7 +173,8 @@ type Engine struct {
 	kwIndex *kwmatch.Index
 	ledger  *budget.Ledger // nil when Budget.Policy == PolicyOff
 
-	mu sync.Mutex // serializes Serve calls
+	mu        sync.Mutex // serializes Serve calls
+	closeOnce sync.Once
 
 	// Persistent batch-serve scratch: the per-shard feed channels, the
 	// per-shard totals, and the latency sample buffer are allocated once
@@ -189,7 +205,26 @@ func New(inst *workload.Instance, cfg Config) *Engine {
 		shardOf: make([]int, inst.Keywords),
 		kwIndex: kwmatch.New(),
 	}
-	e.ledger = e.NewLedger(inst)
+	if cfg.Journal != nil && cfg.Budget.Policy == budget.PolicyOff {
+		panic("engine: Config.Journal requires a budget policy (there is no other durable state)")
+	}
+	if cfg.Restore != nil {
+		if cfg.Budget.Policy == budget.PolicyOff {
+			panic("engine: Config.Restore requires a budget policy")
+		}
+		if cfg.Restore.N != inst.N || cfg.Restore.Lanes != inst.Keywords {
+			panic(fmt.Sprintf("engine: recovered ledger state is %d advertisers x %d lanes, instance is %d x %d",
+				cfg.Restore.N, cfg.Restore.Lanes, inst.N, inst.Keywords))
+		}
+		e.ledger = budget.NewLedgerState(cfg.Restore, inst.Budget, cfg.Budget)
+		if cfg.Journal != nil {
+			if err := e.ledger.AttachJournal(cfg.Journal); err != nil {
+				panic(fmt.Sprintf("engine: attach journal: %v", err))
+			}
+		}
+	} else {
+		e.ledger = e.newLedger(inst, true)
+	}
 	for q := 0; q < inst.Keywords; q++ {
 		e.markets[q] = NewMarketOpts(inst, e.marketOpts(q, e.ledger))
 		e.shardOf[q] = q % cfg.Shards
@@ -211,12 +246,46 @@ func New(inst *workload.Instance, cfg Config) *Engine {
 // engine's budget configuration, or nil when budgets are off. The
 // streaming layer calls it during churn: a fresh population gets a
 // fresh ledger, exactly as it gets fresh markets and accounting (the
-// fresh-engine churn contract extends to budgets).
+// fresh-engine churn contract extends to budgets). With a journal
+// configured, the new ledger begins a fresh journal epoch
+// (journal.ReasonChurn): recovery reconstructs the post-churn ledger
+// only, and the retired ledger's final flushes are dropped as stale.
 func (e *Engine) NewLedger(inst *workload.Instance) *budget.Ledger {
+	return e.newLedger(inst, false)
+}
+
+// NewResetLedger builds a fresh ledger over the engine's current
+// instance for a budget reset ("next day": same population, zero
+// spend, exhausted advertisers re-admitted), journaled as a
+// journal.ReasonReset epoch. Nil when budgets are off.
+func (e *Engine) NewResetLedger() *budget.Ledger {
 	if e.cfg.Budget.Policy == budget.PolicyOff {
 		return nil
 	}
-	return budget.NewLedger(inst.N, inst.Keywords, inst.Budget, e.cfg.Budget)
+	led := budget.NewLedger(e.inst.N, e.inst.Keywords, e.inst.Budget, e.cfg.Budget)
+	if e.cfg.Journal != nil {
+		// Errors are sticky in the writer (JournalErr/Close surface
+		// them); the swap itself must not abort halfway.
+		_ = led.AttachJournalNextEpoch(e.cfg.Journal, journal.ReasonReset)
+	}
+	return led
+}
+
+func (e *Engine) newLedger(inst *workload.Instance, boot bool) *budget.Ledger {
+	if e.cfg.Budget.Policy == budget.PolicyOff {
+		return nil
+	}
+	led := budget.NewLedger(inst.N, inst.Keywords, inst.Budget, e.cfg.Budget)
+	if e.cfg.Journal != nil {
+		if boot {
+			if err := led.AttachJournal(e.cfg.Journal); err != nil {
+				panic(fmt.Sprintf("engine: attach journal: %v", err))
+			}
+		} else {
+			_ = led.AttachJournalNextEpoch(e.cfg.Journal, journal.ReasonChurn)
+		}
+	}
+	return led
 }
 
 // laneOf returns keyword q's lane of led, or nil for a nil ledger.
@@ -396,13 +465,84 @@ func (e *Engine) marketOpts(q int, led *budget.Ledger) MarketOpts {
 	}
 }
 
-// Close releases every market's background resources (heavyweight
-// worker pools). Call it when the engine is retired and no Serve is
-// in flight; the streaming layer does so at the end of its drain.
-func (e *Engine) Close() {
-	for _, m := range e.markets {
-		m.Close()
+// ResetShardBudgets swaps every market owned by shard s onto its lane
+// of led — the budget-reset analogue of RebuildShard's churn fence.
+// Unlike churn, the markets themselves persist: bids, accounting, and
+// ROI trajectories continue; only the spend ledger is replaced. Must
+// run on the goroutine that owns shard s, between auctions (the
+// streaming layer's in-band reset fences); each market publishes its
+// old lane's tail before switching. No-op when budgets are off.
+func (e *Engine) ResetShardBudgets(s int, led *budget.Ledger) {
+	if led == nil {
+		return
 	}
+	for q := range e.markets {
+		if e.shardOf[q] == s {
+			e.markets[q].SetLane(led.Lane(q))
+		}
+	}
+}
+
+// ResetBudgets performs a batch-mode budget reset: a fresh ledger
+// (journaled as a reset epoch) replaces the current one across every
+// market, re-admitting exhausted advertisers while bid state
+// continues. The caller must have quiesced serving — it takes the
+// batch lock, so no Serve call may be in flight. Returns the new
+// ledger, or nil when budgets are off. Streaming callers use
+// stream.Server.ResetBudgets, which applies the same swap through
+// in-band fences instead.
+func (e *Engine) ResetBudgets() *budget.Ledger {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	led := e.NewResetLedger()
+	if led == nil {
+		return nil
+	}
+	for s := 0; s < e.cfg.Shards; s++ {
+		e.ResetShardBudgets(s, led)
+	}
+	e.ledger = led
+	return led
+}
+
+// Journal returns the configured journal writer, or nil.
+func (e *Engine) Journal() *journal.Writer { return e.cfg.Journal }
+
+// JournalErr returns the journal's sticky write error, if any — the
+// non-blocking way to notice degraded durability while serving.
+func (e *Engine) JournalErr() error {
+	if e.cfg.Journal == nil {
+		return nil
+	}
+	return e.cfg.Journal.Err()
+}
+
+// Close releases every market's background resources (heavyweight
+// worker pools), publishes any unpublished budget spend, and flushes
+// and closes the journal if one is configured. Call it when the
+// engine is retired and no Serve is in flight; the streaming layer
+// does so at the end of its drain. Close is idempotent: the first
+// call does the work (one flush, one journal close), later calls are
+// no-ops.
+func (e *Engine) Close() {
+	e.closeOnce.Do(func() {
+		if e.ledger != nil {
+			// The caller has quiesced serving, so the lane owners are
+			// parked and the final publish (which also flushes the
+			// lanes' journal batches) is safe here.
+			for _, m := range e.markets {
+				m.FlushBudget()
+			}
+		}
+		if e.cfg.Journal != nil {
+			// The engine owns the writer; sticky errors surface in
+			// JournalErr before this and in the writer's Close result.
+			_ = e.cfg.Journal.Close()
+		}
+		for _, m := range e.markets {
+			m.Close()
+		}
+	})
 }
 
 // SetInstance repoints the engine's population reference (and budget

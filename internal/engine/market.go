@@ -221,6 +221,29 @@ func (m *Market) FlushBudget() {
 	}
 }
 
+// SetLane swaps the market's budget lane — the budget-reset fence.
+// The old lane's tail is published first (its ledger's settlement
+// reads stay exact), then every budget consumer in the market (the
+// gate, the TALU bid sources, the charge path) switches to the new
+// lane. The market's own state — bids, accounting, ROI, click RNG —
+// is untouched: a reset re-admits exhausted advertisers without
+// rewinding anyone's trajectory. Must run on the owning goroutine
+// between auctions. Toggling enforcement on or off is not supported
+// (the TALU fast path bakes the gate's presence into its sources at
+// construction): both lanes must be non-nil, or both nil.
+func (m *Market) SetLane(lane *budget.Lane) {
+	if (m.lane == nil) != (lane == nil) {
+		panic("engine: SetLane cannot toggle budget enforcement on a live market")
+	}
+	if m.lane != nil {
+		m.lane.Publish()
+	}
+	m.lane = lane
+	if m.talu != nil {
+		m.talu.setLane(lane)
+	}
+}
+
 // Close releases the market's background resources — today that is
 // the heavyweight determiner's parked worker goroutines (MethodHeavy
 // with HeavyParallelism > 1). Idempotent; must not race a Run. A

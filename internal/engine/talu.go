@@ -68,7 +68,10 @@ type taluEngine struct {
 	// correct and merely scans past gated entries. Because the explicit
 	// engine gates by zeroing effective bids while leaving bid *state*
 	// drifting, the two engines stay exactly equivalent under budgets.
-	lane *budget.Lane
+	// gated is the lane-consulting bid-source wrapper wired into srcs
+	// at construction; setLane repoints both for budget resets.
+	lane  *budget.Lane
+	gated *gatedBidSource
 
 	// groups[q][mode] holds the bidders whose behavior for keyword q
 	// is mode (modeConst/modeInc/modeDec); member[i][q] records which.
@@ -166,7 +169,8 @@ func newTALUEngine(inst *workload.Instance, acct *Accounting, lane *budget.Lane)
 	e.bidSource = &logical.MergedSource{}
 	bidSrc := ta.Source(e.bidSource)
 	if lane != nil {
-		bidSrc = &gatedBidSource{inner: e.bidSource, lane: lane}
+		e.gated = &gatedBidSource{inner: e.bidSource, lane: lane}
+		bidSrc = e.gated
 	}
 	e.srcs = make([][]ta.Source, inst.Slots)
 	e.lists = make([][]topk.Item, inst.Slots)
@@ -212,6 +216,18 @@ func newTALUEngine(inst *workload.Instance, acct *Accounting, lane *budget.Lane)
 		// No time trigger: underspending is absorbing for losers.
 	}
 	return e
+}
+
+// setLane swaps the budget lane (Market.SetLane's reset fence): the
+// winner-determination score closure reads e.lane dynamically, and the
+// gated bid source baked into srcs is repointed in place. Lane
+// presence cannot change (Market.SetLane enforces it), so a non-nil
+// gated always receives a non-nil lane.
+func (e *taluEngine) setLane(lane *budget.Lane) {
+	e.lane = lane
+	if e.gated != nil {
+		e.gated.lane = lane
+	}
 }
 
 // bid returns advertiser i's current effective bid for keyword q.

@@ -1,0 +1,662 @@
+// Package journal makes budget spend durable: an append-only,
+// checksummed, length-prefixed record log plus a periodically rewritten
+// snapshot, from which Recover reconstructs the spend state of a
+// budget.Ledger bit-exactly (snapshot base + replayed tail).
+//
+// # On-disk layout
+//
+// A journal directory holds two files:
+//
+//	spend.journal   magic "SSAJRN01", then a sequence of framed records
+//	ledger.snap     magic "SSASNP01", then exactly one framed snapshot
+//
+// Every frame is
+//
+//	u32 payload length (little endian)
+//	u32 CRC32 (IEEE) of the payload
+//	payload bytes
+//
+// so a torn tail (partial frame, short payload, bit rot anywhere in the
+// frame) is detected by the length/checksum pair and recovery stops at
+// the last intact record — the longest valid prefix — without losing
+// anything before it.
+//
+// Record payloads carry a session id (drawn at Begin time), a strictly
+// increasing sequence number, and an epoch. The snapshot carries the
+// session and the sequence number it covers, which makes the crash
+// window between "snapshot renamed into place" and "journal truncated"
+// harmless: replay skips records already covered by the snapshot
+// (seq <= snapshot seq) and records from an older session entirely.
+//
+// # Durability contract
+//
+// Appends are written straight to the file descriptor — there is no
+// user-space buffering — so every record handed to the Writer survives
+// a process crash (SIGKILL included) as soon as AppendSpend returns.
+// FsyncAlways additionally fsyncs per append and extends the guarantee
+// to power loss, at a large throughput cost. What is *not* covered is
+// spend still sitting in the budget lanes' batch buffers: that tail is
+// bounded by the same K·R·P argument as snapshot staleness (see
+// DESIGN.md "Durable budgets and crash recovery").
+package journal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+const (
+	journalMagic = "SSAJRN01"
+	snapMagic    = "SSASNP01"
+
+	// JournalFile and SnapshotFile are the file names inside a journal
+	// directory.
+	JournalFile  = "spend.journal"
+	SnapshotFile = "ledger.snap"
+	snapshotTmp  = "ledger.snap.tmp"
+
+	// maxRecordLen bounds a single frame's payload so a corrupted
+	// length field cannot make recovery attempt a multi-gigabyte read.
+	// Snapshots are the largest frames (8 bytes per advertiser per
+	// lane); 256 MiB covers ~1e6 advertisers × 32 lanes.
+	maxRecordLen = 256 << 20
+
+	recKindEpoch = 1
+	recKindSpend = 2
+
+	// maxDims sanity-bounds the population/lane counts a record may
+	// declare before recovery allocates state for them.
+	maxN     = 1 << 26
+	maxLanes = 1 << 16
+)
+
+// Fsync selects the writer's fsync policy.
+type Fsync uint8
+
+const (
+	// FsyncNever (the default) never fsyncs on the append path.
+	// Records still survive process crashes — they are in the kernel
+	// page cache the moment AppendSpend returns — but not power loss.
+	FsyncNever Fsync = iota
+	// FsyncAlways fsyncs the journal after every append (and snapshots
+	// are always fsynced before being renamed into place). Survives
+	// power loss; costs a disk round-trip per batch.
+	FsyncAlways
+)
+
+func (f Fsync) String() string {
+	switch f {
+	case FsyncNever:
+		return "never"
+	case FsyncAlways:
+		return "always"
+	}
+	return fmt.Sprintf("Fsync(%d)", uint8(f))
+}
+
+// ParseFsync parses the -fsync flag values understood by auctionsim.
+func ParseFsync(s string) (Fsync, error) {
+	switch s {
+	case "never":
+		return FsyncNever, nil
+	case "always":
+		return FsyncAlways, nil
+	}
+	return 0, fmt.Errorf("unknown fsync policy %q (want never or always)", s)
+}
+
+// Reason records why an epoch began, for diagnostics.
+type Reason uint8
+
+const (
+	// ReasonBoot is the implicit first epoch of a fresh journal.
+	ReasonBoot Reason = iota
+	// ReasonChurn marks an advertiser-population rebuild: the old
+	// ledger is gone and spend restarts from zero over a new world.
+	ReasonChurn
+	// ReasonReset marks a budget reset ("next day"): same population,
+	// fresh ledger, exhausted advertisers re-admitted.
+	ReasonReset
+)
+
+func (r Reason) String() string {
+	switch r {
+	case ReasonBoot:
+		return "boot"
+	case ReasonChurn:
+		return "churn"
+	case ReasonReset:
+		return "reset"
+	}
+	return fmt.Sprintf("Reason(%d)", uint8(r))
+}
+
+// Spend is one advertiser charge inside a batch. Amounts travel as
+// float64 bits so replay reproduces lane sums bit-exactly.
+type Spend struct {
+	Adv  uint32
+	Bits uint64
+}
+
+// LedgerState is the journal's view of a budget ledger: per-lane
+// cumulative spend (lane-major, so replaying additions in record order
+// reproduces each lane's float64 sum bitwise), per-lane auction clocks
+// and denial counters, and the journal cursor (session/seq/epoch) the
+// state was captured at.
+type LedgerState struct {
+	Session uint64
+	Seq     uint64
+	Epoch   uint64
+	N       int
+	Lanes   int
+	Cum     [][]float64 // [lane][advertiser] cumulative spend
+	LaneT   []uint64    // per-lane auction counter
+	Denied  []int64     // per-lane denied-charge counter
+}
+
+// TotalSpend sums all lanes' cumulative spend.
+func (st *LedgerState) TotalSpend() float64 {
+	var s float64
+	for _, lane := range st.Cum {
+		for _, v := range lane {
+			s += v
+		}
+	}
+	return s
+}
+
+// Spent sums advertiser i's spend across lanes in lane order — the
+// same order budget.Ledger.ExactSpent uses, so the two agree bitwise.
+func (st *LedgerState) Spent(i int) float64 {
+	var s float64
+	for _, lane := range st.Cum {
+		s += lane[i]
+	}
+	return s
+}
+
+func (st *LedgerState) clone() *LedgerState {
+	c := *st
+	c.Cum = make([][]float64, len(st.Cum))
+	for q := range st.Cum {
+		c.Cum[q] = append([]float64(nil), st.Cum[q]...)
+	}
+	c.LaneT = append([]uint64(nil), st.LaneT...)
+	c.Denied = append([]int64(nil), st.Denied...)
+	return &c
+}
+
+func newZeroState(n, lanes int) *LedgerState {
+	st := &LedgerState{
+		N:      n,
+		Lanes:  lanes,
+		Cum:    make([][]float64, lanes),
+		LaneT:  make([]uint64, lanes),
+		Denied: make([]int64, lanes),
+	}
+	for q := range st.Cum {
+		st.Cum[q] = make([]float64, n)
+	}
+	return st
+}
+
+// Options configures a Writer.
+type Options struct {
+	// Fsync policy; default FsyncNever.
+	Fsync Fsync
+	// SnapshotEvery is the number of journal bytes appended between
+	// snapshot compactions. 0 means the 4 MiB default; negative
+	// disables compaction entirely (the journal only shrinks at the
+	// next Begin).
+	SnapshotEvery int64
+	// MaxBatch is the spend-record batch size the writer sizes its
+	// encode buffer for (larger batches still work, they just grow the
+	// buffer once). 0 means 1024. budget lanes use this as their batch
+	// buffer capacity so the append path never allocates.
+	MaxBatch int
+}
+
+const (
+	defaultSnapshotEvery = 4 << 20
+	defaultMaxBatch      = 1024
+)
+
+// Stats is a point-in-time summary of a Writer.
+type Stats struct {
+	Session      uint64
+	Seq          uint64
+	Epoch        uint64
+	Records      int64 // framed records appended this session
+	StaleDropped int64 // appends dropped because their epoch had passed
+	Snapshots    int64 // compactions performed (excluding the Begin base)
+	JournalBytes int64 // journal size since the last snapshot
+	TotalSpend   float64
+}
+
+// Writer is the durable side of the journal: it owns the two files in
+// a journal directory and mirrors every accepted record into an
+// in-memory shadow LedgerState, which is both the snapshot source for
+// compaction and the ground truth that recovery is tested against.
+//
+// All methods are safe for concurrent use. Errors on the append path
+// are sticky: the first failure is kept, later appends become no-ops,
+// and Err/Close surface it — a full disk degrades durability, never
+// the auction path.
+type Writer struct {
+	mu   sync.Mutex
+	dir  string
+	opts Options
+	jf   *os.File
+
+	begun  bool
+	closed bool
+	err    error
+
+	session uint64
+	seq     uint64
+	epoch   uint64
+	reason  Reason
+
+	shadow *LedgerState
+
+	enc     []byte // preallocated frame encode buffer
+	snapBuf []byte // preallocated snapshot encode buffer
+
+	journalBytes int64
+	records      int64
+	stale        int64
+	snapshots    int64
+}
+
+// Open creates the journal directory if needed and opens (or creates)
+// the journal file. No bytes are written until Begin.
+func Open(dir string, opts Options) (*Writer, error) {
+	if opts.SnapshotEvery == 0 {
+		opts.SnapshotEvery = defaultSnapshotEvery
+	}
+	if opts.MaxBatch <= 0 {
+		opts.MaxBatch = defaultMaxBatch
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("journal: open %s: %w", dir, err)
+	}
+	// A tmp snapshot left by a crash mid-compaction is garbage.
+	_ = os.Remove(filepath.Join(dir, snapshotTmp))
+	jf, err := os.OpenFile(filepath.Join(dir, JournalFile), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: open %s: %w", dir, err)
+	}
+	w := &Writer{
+		dir:  dir,
+		opts: opts,
+		jf:   jf,
+		enc:  make([]byte, 0, 64+12*opts.MaxBatch),
+	}
+	return w, nil
+}
+
+// Dir returns the journal directory.
+func (w *Writer) Dir() string { return w.dir }
+
+// MaxBatch returns the batch size the writer is tuned for; budget
+// lanes size their append buffers to it.
+func (w *Writer) MaxBatch() int { return w.opts.MaxBatch }
+
+// Begin starts a new session from st: it writes st as the base
+// snapshot (atomically: tmp file, fsync, rename) and truncates the
+// journal to an empty log. st is copied; it may be nil for an empty
+// 0×0 base (useful only in tests — engines always pass the ledger's
+// real dimensions). Sequence numbering continues from st.Seq so
+// cursors remain monotone across restarts; the session id is always
+// freshly drawn, which is what retires any pre-crash journal tail.
+func (w *Writer) Begin(st *LedgerState) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return fmt.Errorf("journal: Begin on closed writer")
+	}
+	if w.err != nil {
+		return w.err
+	}
+	if st == nil {
+		st = newZeroState(0, 0)
+	}
+	if st.N < 0 || st.N > maxN || st.Lanes < 0 || st.Lanes > maxLanes {
+		return fmt.Errorf("journal: Begin: implausible dimensions n=%d lanes=%d", st.N, st.Lanes)
+	}
+	w.shadow = st.clone()
+	if w.shadow.Epoch == 0 {
+		w.shadow.Epoch = 1
+	}
+	w.session = uint64(time.Now().UnixNano())
+	w.shadow.Session = w.session
+	w.seq = w.shadow.Seq
+	w.epoch = w.shadow.Epoch
+	w.reason = ReasonBoot
+	if err := w.writeSnapshotLocked(); err != nil {
+		w.err = err
+		return err
+	}
+	if err := w.resetJournalLocked(); err != nil {
+		w.err = err
+		return err
+	}
+	w.begun = true
+	return nil
+}
+
+// BeginEpoch starts a new ledger epoch (churn rebuild or budget
+// reset): the shadow state is replaced by an all-zero n×lanes state
+// and an epoch record is journaled so replay performs the same reset.
+// It returns the new epoch id; appends carrying an older epoch are
+// dropped from then on (the pre-swap lanes' final flushes race the
+// swap by design — their spend belongs to a discarded ledger).
+//
+// Errors are sticky like any append error; callers that cannot abort
+// mid-swap may ignore the return and rely on Err/Close.
+func (w *Writer) BeginEpoch(n, lanes int, reason Reason) (uint64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return 0, fmt.Errorf("journal: BeginEpoch on closed writer")
+	}
+	if !w.begun {
+		return 0, fmt.Errorf("journal: BeginEpoch before Begin")
+	}
+	if n < 0 || n > maxN || lanes < 0 || lanes > maxLanes {
+		return 0, fmt.Errorf("journal: BeginEpoch: implausible dimensions n=%d lanes=%d", n, lanes)
+	}
+	if w.err != nil {
+		return 0, w.err
+	}
+	w.epoch++
+	w.seq++
+	w.reason = reason
+	sh := newZeroState(n, lanes)
+	sh.Session = w.session
+	sh.Seq = w.seq
+	sh.Epoch = w.epoch
+	w.shadow = sh
+	if err := w.appendEpochLocked(reason); err != nil {
+		w.err = err
+		return 0, err
+	}
+	return w.epoch, nil
+}
+
+// appendEpochLocked journals an epoch record at the writer's current
+// cursor (session, seq, epoch, shadow dimensions).
+func (w *Writer) appendEpochLocked(reason Reason) error {
+	p := w.enc[:0]
+	p = append(p, recKindEpoch)
+	p = binary.LittleEndian.AppendUint64(p, w.session)
+	p = binary.LittleEndian.AppendUint64(p, w.seq)
+	p = binary.LittleEndian.AppendUint64(p, w.epoch)
+	p = binary.LittleEndian.AppendUint32(p, uint32(w.shadow.N))
+	p = binary.LittleEndian.AppendUint32(p, uint32(w.shadow.Lanes))
+	p = append(p, byte(reason))
+	w.enc = p
+	return w.appendFrameLocked(p)
+}
+
+// AppendSpend journals one lane's batch of charges. epoch is the
+// ledger epoch the charges belong to; a batch from a retired epoch is
+// silently dropped (counted in Stats.StaleDropped) because its ledger
+// has already been replaced. laneT and denied are the lane's current
+// auction clock and denial counter — absolute values, not deltas, so
+// replay is idempotent for them. recs amounts are float64 bits and are
+// added to the shadow state in slice order, which is the lane's charge
+// order; this is what makes recovery bitwise.
+//
+// The call does not allocate for batches up to MaxBatch.
+func (w *Writer) AppendSpend(epoch uint64, lane int, laneT uint64, denied int64, recs []Spend) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed || w.err != nil || !w.begun {
+		// Sticky error (or misuse): the auction path must not stall on
+		// a dead journal. Err/Close surface the condition.
+		return w.err
+	}
+	if epoch != w.epoch {
+		w.stale++
+		return nil
+	}
+	sh := w.shadow
+	if lane < 0 || lane >= sh.Lanes {
+		w.err = fmt.Errorf("journal: AppendSpend: lane %d out of range [0,%d)", lane, sh.Lanes)
+		return w.err
+	}
+	w.seq++
+	p := w.enc[:0]
+	p = append(p, recKindSpend)
+	p = binary.LittleEndian.AppendUint64(p, w.session)
+	p = binary.LittleEndian.AppendUint64(p, w.seq)
+	p = binary.LittleEndian.AppendUint64(p, epoch)
+	p = binary.LittleEndian.AppendUint32(p, uint32(lane))
+	p = binary.LittleEndian.AppendUint64(p, laneT)
+	p = binary.LittleEndian.AppendUint64(p, uint64(denied))
+	p = binary.LittleEndian.AppendUint32(p, uint32(len(recs)))
+	cum := sh.Cum[lane]
+	for _, r := range recs {
+		if int(r.Adv) >= sh.N {
+			w.err = fmt.Errorf("journal: AppendSpend: advertiser %d out of range [0,%d)", r.Adv, sh.N)
+			return w.err
+		}
+		p = binary.LittleEndian.AppendUint32(p, r.Adv)
+		p = binary.LittleEndian.AppendUint64(p, r.Bits)
+		cum[r.Adv] += frombits(r.Bits)
+	}
+	w.enc = p
+	sh.LaneT[lane] = laneT
+	sh.Denied[lane] = denied
+	sh.Seq = w.seq
+	if err := w.appendFrameLocked(p); err != nil {
+		w.err = err
+		return err
+	}
+	if w.opts.SnapshotEvery > 0 && w.journalBytes >= w.opts.SnapshotEvery {
+		if err := w.compactLocked(); err != nil {
+			w.err = err
+			return err
+		}
+	}
+	return nil
+}
+
+// Sync forces the journal file to stable storage regardless of the
+// fsync policy.
+func (w *Writer) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return w.err
+	}
+	if err := w.jf.Sync(); err != nil && w.err == nil {
+		w.err = fmt.Errorf("journal: sync: %w", err)
+	}
+	return w.err
+}
+
+// Err returns the writer's sticky error, if any.
+func (w *Writer) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+// Stats returns a point-in-time summary.
+func (w *Writer) Stats() Stats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	s := Stats{
+		Session:      w.session,
+		Seq:          w.seq,
+		Epoch:        w.epoch,
+		Records:      w.records,
+		StaleDropped: w.stale,
+		Snapshots:    w.snapshots,
+		JournalBytes: w.journalBytes,
+	}
+	if w.shadow != nil {
+		s.TotalSpend = w.shadow.TotalSpend()
+	}
+	return s
+}
+
+// State returns a copy of the writer's shadow state — the exact state
+// Recover reproduces when the journal is intact.
+func (w *Writer) State() *LedgerState {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.shadow == nil {
+		return nil
+	}
+	return w.shadow.clone()
+}
+
+// Close flushes (fsync) and closes the journal. It is idempotent:
+// the first call does the work, later calls return the same result.
+// The sticky append error, if any, is what Close returns — a crashed
+// disk is reported here at the latest, never swallowed.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return w.err
+	}
+	w.closed = true
+	if w.jf != nil {
+		if err := w.jf.Sync(); err != nil && w.err == nil {
+			w.err = fmt.Errorf("journal: close sync: %w", err)
+		}
+		if err := w.jf.Close(); err != nil && w.err == nil {
+			w.err = fmt.Errorf("journal: close: %w", err)
+		}
+	}
+	return w.err
+}
+
+// appendFrameLocked frames payload and writes it straight through to
+// the journal fd (no user-space buffering: a SIGKILL after return
+// cannot lose the record).
+func (w *Writer) appendFrameLocked(payload []byte) error {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	if _, err := w.jf.Write(hdr[:]); err != nil {
+		return fmt.Errorf("journal: append: %w", err)
+	}
+	if _, err := w.jf.Write(payload); err != nil {
+		return fmt.Errorf("journal: append: %w", err)
+	}
+	if w.opts.Fsync == FsyncAlways {
+		if err := w.jf.Sync(); err != nil {
+			return fmt.Errorf("journal: append sync: %w", err)
+		}
+	}
+	w.journalBytes += int64(8 + len(payload))
+	w.records++
+	return nil
+}
+
+// compactLocked rewrites the snapshot from the shadow state and
+// truncates the journal. Crash-safe at every step: the snapshot is
+// renamed into place only after an fsync, and if the process dies
+// between the rename and the truncate, replay skips the journal
+// records the new snapshot already covers (seq <= snapshot seq).
+func (w *Writer) compactLocked() error {
+	if err := w.writeSnapshotLocked(); err != nil {
+		return err
+	}
+	if err := w.resetJournalLocked(); err != nil {
+		return err
+	}
+	w.snapshots++
+	return nil
+}
+
+func (w *Writer) writeSnapshotLocked() error {
+	sh := w.shadow
+	need := 8 + 8 + 1 + 8*6 + 8*len(sh.LaneT) + 8*len(sh.Denied) + 8*sh.N*sh.Lanes + 64
+	if cap(w.snapBuf) < need {
+		w.snapBuf = make([]byte, 0, need)
+	}
+	p := w.snapBuf[:0]
+	p = append(p, snapMagic...)
+	// Frame header goes at [8,16); payload follows.
+	p = append(p, 0, 0, 0, 0, 0, 0, 0, 0)
+	p = binary.LittleEndian.AppendUint64(p, w.session)
+	p = binary.LittleEndian.AppendUint64(p, w.seq)
+	p = binary.LittleEndian.AppendUint64(p, w.epoch)
+	p = binary.LittleEndian.AppendUint32(p, uint32(sh.N))
+	p = binary.LittleEndian.AppendUint32(p, uint32(sh.Lanes))
+	p = binary.LittleEndian.AppendUint64(p, uint64(time.Now().UnixNano()))
+	for _, t := range sh.LaneT {
+		p = binary.LittleEndian.AppendUint64(p, t)
+	}
+	for _, d := range sh.Denied {
+		p = binary.LittleEndian.AppendUint64(p, uint64(d))
+	}
+	for _, lane := range sh.Cum {
+		for _, v := range lane {
+			p = binary.LittleEndian.AppendUint64(p, bits(v))
+		}
+	}
+	payload := p[16:]
+	binary.LittleEndian.PutUint32(p[8:12], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(p[12:16], crc32.ChecksumIEEE(payload))
+	w.snapBuf = p
+
+	tmp := filepath.Join(w.dir, snapshotTmp)
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: snapshot: %w", err)
+	}
+	if _, err := f.Write(p); err != nil {
+		f.Close()
+		return fmt.Errorf("journal: snapshot write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("journal: snapshot sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("journal: snapshot close: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(w.dir, SnapshotFile)); err != nil {
+		return fmt.Errorf("journal: snapshot rename: %w", err)
+	}
+	return nil
+}
+
+func (w *Writer) resetJournalLocked() error {
+	if err := w.jf.Truncate(0); err != nil {
+		return fmt.Errorf("journal: truncate: %w", err)
+	}
+	if _, err := w.jf.Seek(0, 0); err != nil {
+		return fmt.Errorf("journal: seek: %w", err)
+	}
+	if _, err := w.jf.Write([]byte(journalMagic)); err != nil {
+		return fmt.Errorf("journal: header: %w", err)
+	}
+	w.journalBytes = 0
+	// An epoch marker at the journal head carries the writer's current
+	// cursor at the same seq the snapshot covers. With an intact
+	// snapshot replay skips it (covered); if the snapshot is lost or
+	// corrupted it seeds a zero-base state so the tail still lands —
+	// best-effort rather than orphaned.
+	if err := w.appendEpochLocked(w.reason); err != nil {
+		return err
+	}
+	if w.opts.Fsync == FsyncAlways {
+		if err := w.jf.Sync(); err != nil {
+			return fmt.Errorf("journal: header sync: %w", err)
+		}
+	}
+	return nil
+}

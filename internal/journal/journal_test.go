@@ -1,0 +1,505 @@
+package journal
+
+import (
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// fill appends deterministic pseudo-random batches across lanes and
+// returns nothing; the writer's shadow state is the ground truth.
+func fill(t *testing.T, w *Writer, rng *rand.Rand, n, lanes, batches, perBatch int) {
+	t.Helper()
+	for b := 0; b < batches; b++ {
+		lane := rng.Intn(lanes)
+		recs := make([]Spend, 0, perBatch)
+		for j := 0; j < perBatch; j++ {
+			recs = append(recs, Spend{
+				Adv:  uint32(rng.Intn(n)),
+				Bits: bits(float64(rng.Intn(5000)) / 100),
+			})
+		}
+		if err := w.AppendSpend(w.Stats().Epoch, lane, uint64(b+1), int64(b%3), recs); err != nil {
+			t.Fatalf("AppendSpend: %v", err)
+		}
+	}
+}
+
+func statesEqual(t *testing.T, want, got *LedgerState, ctx string) {
+	t.Helper()
+	if got == nil {
+		t.Fatalf("%s: recovered state is nil", ctx)
+	}
+	if got.N != want.N || got.Lanes != want.Lanes {
+		t.Fatalf("%s: dims %dx%d, want %dx%d", ctx, got.N, got.Lanes, want.N, want.Lanes)
+	}
+	if got.Epoch != want.Epoch {
+		t.Fatalf("%s: epoch %d, want %d", ctx, got.Epoch, want.Epoch)
+	}
+	for q := range want.Cum {
+		if got.LaneT[q] != want.LaneT[q] {
+			t.Fatalf("%s: lane %d clock %d, want %d", ctx, q, got.LaneT[q], want.LaneT[q])
+		}
+		if got.Denied[q] != want.Denied[q] {
+			t.Fatalf("%s: lane %d denied %d, want %d", ctx, q, got.Denied[q], want.Denied[q])
+		}
+		for i := range want.Cum[q] {
+			if math.Float64bits(got.Cum[q][i]) != math.Float64bits(want.Cum[q][i]) {
+				t.Fatalf("%s: lane %d adv %d: %v (%#x), want %v (%#x) — recovery must be bitwise",
+					ctx, q, i, got.Cum[q][i], math.Float64bits(got.Cum[q][i]),
+					want.Cum[q][i], math.Float64bits(want.Cum[q][i]))
+			}
+		}
+	}
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{SnapshotEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n, lanes = 40, 3
+	if err := w.Begin(newZeroState(n, lanes)); err != nil {
+		t.Fatal(err)
+	}
+	fill(t, w, rand.New(rand.NewSource(1)), n, lanes, 200, 7)
+	want := w.State()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.CorruptOffset != -1 {
+		t.Fatalf("clean journal reported corrupt at %d (%s)", rec.CorruptOffset, rec.CorruptReason)
+	}
+	if !rec.SnapshotLoaded {
+		t.Fatal("base snapshot not loaded")
+	}
+	if rec.Replayed != 200 {
+		t.Fatalf("replayed %d records, want 200", rec.Replayed)
+	}
+	statesEqual(t, want, rec.State, "round trip")
+}
+
+func TestJournalCompaction(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny compaction interval: every few batches rewrites the
+	// snapshot and truncates the journal.
+	w, err := Open(dir, Options{SnapshotEvery: 1 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n, lanes = 60, 4
+	if err := w.Begin(newZeroState(n, lanes)); err != nil {
+		t.Fatal(err)
+	}
+	fill(t, w, rand.New(rand.NewSource(2)), n, lanes, 500, 9)
+	st := w.Stats()
+	if st.Snapshots == 0 {
+		t.Fatal("expected at least one compaction")
+	}
+	want := w.State()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(filepath.Join(dir, JournalFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() > 4<<10 {
+		t.Fatalf("journal is %d bytes after compaction; truncation is not happening", info.Size())
+	}
+	rec, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.CorruptOffset != -1 {
+		t.Fatalf("clean journal reported corrupt at %d (%s)", rec.CorruptOffset, rec.CorruptReason)
+	}
+	statesEqual(t, want, rec.State, "compacted")
+}
+
+func TestJournalEpochs(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{SnapshotEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n, lanes = 20, 2
+	if err := w.Begin(newZeroState(n, lanes)); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	fill(t, w, rng, n, lanes, 50, 5)
+	oldEpoch := w.Stats().Epoch
+
+	// Reset: new epoch over the same population.
+	ep, err := w.BeginEpoch(n, lanes, ReasonReset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep != oldEpoch+1 {
+		t.Fatalf("epoch %d after reset, want %d", ep, oldEpoch+1)
+	}
+	// A straggler flush from the retired ledger must be dropped.
+	if err := w.AppendSpend(oldEpoch, 0, 99, 0, []Spend{{Adv: 1, Bits: bits(1e9)}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Stats().StaleDropped; got != 1 {
+		t.Fatalf("StaleDropped = %d, want 1", got)
+	}
+	fill(t, w, rng, n, lanes, 30, 5)
+
+	// Churn: different population size.
+	const n2, lanes2 = 35, 3
+	if _, err := w.BeginEpoch(n2, lanes2, ReasonChurn); err != nil {
+		t.Fatal(err)
+	}
+	fill(t, w, rng, n2, lanes2, 30, 5)
+
+	want := w.State()
+	if want.TotalSpend() >= 1e9 {
+		t.Fatal("stale append leaked into shadow state")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.CorruptOffset != -1 {
+		t.Fatalf("clean journal reported corrupt at %d (%s)", rec.CorruptOffset, rec.CorruptReason)
+	}
+	statesEqual(t, want, rec.State, "epochs")
+}
+
+func TestJournalResume(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n, lanes = 25, 2
+	if err := w.Begin(newZeroState(n, lanes)); err != nil {
+		t.Fatal(err)
+	}
+	fill(t, w, rand.New(rand.NewSource(4)), n, lanes, 80, 6)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rec, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A second process resumes from the recovered state.
+	w2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Begin(rec.State); err != nil {
+		t.Fatal(err)
+	}
+	if got := w2.Stats().Seq; got != rec.State.Seq {
+		t.Fatalf("resumed seq %d, want %d (cursors must stay monotone)", got, rec.State.Seq)
+	}
+	fill(t, w2, rand.New(rand.NewSource(5)), n, lanes, 80, 6)
+	want := w2.State()
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec2, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	statesEqual(t, want, rec2.State, "resume")
+	if rec2.State.TotalSpend() <= rec.State.TotalSpend() {
+		t.Fatal("resumed session lost the base spend")
+	}
+}
+
+// TestJournalSnapshotCovers simulates the crash window between
+// "snapshot renamed into place" and "journal truncated": the journal
+// still holds records the snapshot already includes, and replay must
+// skip them instead of double-counting.
+func TestJournalSnapshotCovers(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{SnapshotEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n, lanes = 30, 2
+	if err := w.Begin(newZeroState(n, lanes)); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	fill(t, w, rng, n, lanes, 60, 5)
+	// White box: write the snapshot without truncating the journal —
+	// exactly the state a crash between the two steps leaves behind.
+	w.mu.Lock()
+	if err := w.writeSnapshotLocked(); err != nil {
+		w.mu.Unlock()
+		t.Fatal(err)
+	}
+	w.mu.Unlock()
+	fill(t, w, rng, n, lanes, 40, 5)
+	want := w.State()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Covered != 61 { // 60 spend batches + the head epoch marker
+		t.Fatalf("Covered = %d, want 61", rec.Covered)
+	}
+	if rec.Replayed != 40 {
+		t.Fatalf("Replayed = %d, want 40", rec.Replayed)
+	}
+	statesEqual(t, want, rec.State, "snapshot covers")
+}
+
+// TestJournalSnapshotCorrupt: when the snapshot is damaged, recovery
+// reports it and falls back to the journal alone. Within one
+// uncompacted session that is still the complete, bit-exact state
+// (the head epoch marker seeds the zero base).
+func TestJournalSnapshotCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{SnapshotEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n, lanes = 30, 2
+	if err := w.Begin(newZeroState(n, lanes)); err != nil {
+		t.Fatal(err)
+	}
+	fill(t, w, rand.New(rand.NewSource(7)), n, lanes, 100, 5)
+	want := w.State()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, SnapshotFile)
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[len(buf)/2] ^= 0xff
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.SnapshotErr == "" {
+		t.Fatal("corrupted snapshot not reported")
+	}
+	if rec.SnapshotLoaded {
+		t.Fatal("corrupted snapshot was loaded")
+	}
+	statesEqual(t, want, rec.State, "journal-only")
+}
+
+// TestJournalTornAndCorrupt drives the longest-valid-prefix contract
+// with targeted damage; FuzzJournalRecover generalizes it.
+func TestJournalTornAndCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{SnapshotEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n, lanes = 30, 2
+	if err := w.Begin(newZeroState(n, lanes)); err != nil {
+		t.Fatal(err)
+	}
+	fill(t, w, rand.New(rand.NewSource(8)), n, lanes, 120, 5)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	clean, err := os.ReadFile(filepath.Join(dir, JournalFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := os.ReadFile(filepath.Join(dir, SnapshotFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		mut  func([]byte) []byte
+	}{
+		{"truncate mid-payload", func(b []byte) []byte { return b[:len(b)-11] }},
+		{"truncate mid-header", func(b []byte) []byte { return b[:len(b)/2] }},
+		{"flip payload byte", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[3*len(c)/4] ^= 0x40
+			return c
+		}},
+		{"flip length byte", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[len(journalMagic)] ^= 0x80 // first record's length field
+			return c
+		}},
+		{"zero tail", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			for i := len(c) - 40; i < len(c); i++ {
+				c[i] = 0
+			}
+			return c
+		}},
+		{"bad magic", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[0] ^= 0xff
+			return c
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := t.TempDir()
+			if err := os.WriteFile(filepath.Join(d, SnapshotFile), snap, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			mutated := tc.mut(append([]byte(nil), clean...))
+			if err := os.WriteFile(filepath.Join(d, JournalFile), mutated, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			rec, err := Recover(d)
+			if err != nil {
+				t.Fatalf("Recover returned hard error on soft corruption: %v", err)
+			}
+			if rec.CorruptOffset < 0 {
+				t.Fatal("corruption not reported")
+			}
+			if rec.CorruptReason == "" {
+				t.Fatal("corruption reported without a reason")
+			}
+			// The recovered state must equal recovering the clean
+			// prefix that precedes the damaged record.
+			prefixDir := t.TempDir()
+			if err := os.WriteFile(filepath.Join(prefixDir, SnapshotFile), snap, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			end := rec.CorruptOffset
+			if end > int64(len(clean)) {
+				end = int64(len(clean))
+			}
+			if err := os.WriteFile(filepath.Join(prefixDir, JournalFile), clean[:end], 0o644); err != nil {
+				t.Fatal(err)
+			}
+			want, err := Recover(prefixDir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want.State == nil {
+				if rec.State != nil {
+					t.Fatal("mutated recovery produced state, clean prefix did not")
+				}
+				return
+			}
+			statesEqual(t, want.State, rec.State, tc.name)
+		})
+	}
+}
+
+// TestJournalDuplicateEpoch: a hand-crafted duplicate of an epoch
+// record (same seq replayed twice) must stop recovery at the
+// duplicate — sequence numbers only move forward — without panicking.
+func TestJournalDuplicateEpoch(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{SnapshotEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n, lanes = 10, 2
+	if err := w.Begin(newZeroState(n, lanes)); err != nil {
+		t.Fatal(err)
+	}
+	fill(t, w, rand.New(rand.NewSource(9)), n, lanes, 10, 3)
+	if _, err := w.BeginEpoch(n, lanes, ReasonReset); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, JournalFile)
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The final record is the reset epoch record; duplicate its frame.
+	const epochFrame = 8 + 1 + 8 + 8 + 8 + 4 + 4 + 1
+	dup := append(buf, buf[len(buf)-epochFrame:]...)
+	if err := os.WriteFile(path, dup, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.CorruptOffset != int64(len(buf)) {
+		t.Fatalf("CorruptOffset = %d, want %d (the duplicated record)", rec.CorruptOffset, len(buf))
+	}
+	if rec.State == nil || rec.State.Epoch != 2 {
+		t.Fatal("state before the duplicate was not recovered")
+	}
+}
+
+// TestJournalStickyError: appends after the writer is poisoned are
+// no-ops and Close surfaces the first error.
+func TestJournalStickyError(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Begin(newZeroState(5, 1)); err != nil {
+		t.Fatal(err)
+	}
+	// Out-of-range advertiser poisons the writer.
+	if err := w.AppendSpend(1, 0, 1, 0, []Spend{{Adv: 99, Bits: bits(1)}}); err == nil {
+		t.Fatal("expected error for out-of-range advertiser")
+	}
+	first := w.Err()
+	if first == nil {
+		t.Fatal("error not sticky")
+	}
+	if err := w.AppendSpend(1, 0, 2, 0, []Spend{{Adv: 0, Bits: bits(1)}}); err != first {
+		t.Fatalf("poisoned append returned %v, want the sticky %v", err, first)
+	}
+	if err := w.Close(); err != first {
+		t.Fatalf("Close returned %v, want the sticky %v", err, first)
+	}
+	if err := w.Close(); err != first {
+		t.Fatalf("second Close returned %v, want the sticky %v", err, first)
+	}
+}
+
+func TestJournalRecoverEmptyDir(t *testing.T) {
+	rec, err := Recover(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.State != nil || rec.SnapshotLoaded || rec.CorruptOffset != -1 {
+		t.Fatalf("empty dir recovered %+v", rec)
+	}
+}
+
+func TestParseFsync(t *testing.T) {
+	if f, err := ParseFsync("never"); err != nil || f != FsyncNever {
+		t.Fatalf("never -> %v, %v", f, err)
+	}
+	if f, err := ParseFsync("always"); err != nil || f != FsyncAlways {
+		t.Fatalf("always -> %v, %v", f, err)
+	}
+	if _, err := ParseFsync("sometimes"); err == nil {
+		t.Fatal("expected error for unknown policy")
+	}
+}

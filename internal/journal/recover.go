@@ -1,0 +1,306 @@
+package journal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+func bits(v float64) uint64     { return math.Float64bits(v) }
+func frombits(b uint64) float64 { return math.Float64frombits(b) }
+func crc32IEEE(p []byte) uint32 { return crc32.ChecksumIEEE(p) }
+
+// Recovery is the result of replaying a journal directory.
+type Recovery struct {
+	// State is the recovered ledger state: snapshot base plus every
+	// intact, in-session, uncovered journal record, applied in order.
+	// Nil only when the directory holds neither a usable snapshot nor
+	// a single usable record (a fresh or fully corrupted directory).
+	State *LedgerState
+
+	// SnapshotLoaded reports whether a snapshot seeded the state;
+	// SnapshotSeq and SnapshotAge describe it.
+	SnapshotLoaded bool
+	SnapshotSeq    uint64
+	SnapshotAge    time.Duration
+	// SnapshotErr is non-empty when a snapshot file existed but was
+	// unusable (recovery then proceeds from the journal alone).
+	SnapshotErr string
+
+	// Replayed counts journal records applied to the state. Covered
+	// counts records skipped because the snapshot already includes
+	// them (seq <= snapshot seq — the crash-between-rename-and-
+	// truncate window). Stale counts records skipped for belonging to
+	// an older session or a retired epoch. Orphaned counts spend
+	// records with no state to land in (no snapshot and no epoch
+	// record yet).
+	Replayed int
+	Covered  int
+	Stale    int
+	Orphaned int
+
+	// CorruptOffset is the journal byte offset of the first record
+	// that failed validation (torn frame, checksum mismatch,
+	// implausible field), or -1 if the whole journal was intact.
+	// Everything before the offset — the longest valid prefix — is in
+	// State; CorruptReason says what stopped the replay.
+	CorruptOffset int64
+	CorruptReason string
+}
+
+// Recover replays the journal directory at dir and returns the
+// recovered state. Corruption is never an error: the longest valid
+// prefix is recovered and the damage is reported via CorruptOffset /
+// CorruptReason / SnapshotErr. The returned error is reserved for
+// real I/O failures (permissions, unreadable device).
+func Recover(dir string) (*Recovery, error) {
+	rec := &Recovery{CorruptOffset: -1}
+
+	snap, err := os.ReadFile(filepath.Join(dir, SnapshotFile))
+	switch {
+	case err == nil:
+		st, stamp, serr := decodeSnapshot(snap)
+		if serr != nil {
+			rec.SnapshotErr = serr.Error()
+		} else {
+			rec.State = st
+			rec.SnapshotLoaded = true
+			rec.SnapshotSeq = st.Seq
+			if stamp > 0 {
+				rec.SnapshotAge = time.Since(time.Unix(0, int64(stamp)))
+			}
+		}
+	case os.IsNotExist(err):
+		// Fresh directory or pre-snapshot crash; journal may still
+		// carry everything.
+	default:
+		return nil, fmt.Errorf("journal: recover: %w", err)
+	}
+
+	buf, err := os.ReadFile(filepath.Join(dir, JournalFile))
+	if os.IsNotExist(err) {
+		return rec, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("journal: recover: %w", err)
+	}
+	replay(rec, buf)
+	return rec, nil
+}
+
+// replay walks the framed records in buf, applying them to rec.State
+// under the session/seq/epoch skip rules, and stops at the first
+// record that fails validation.
+func replay(rec *Recovery, buf []byte) {
+	if len(buf) == 0 {
+		// An empty journal (crash before the header write) is not
+		// corruption: the snapshot, if any, stands alone.
+		return
+	}
+	if len(buf) < len(journalMagic) || string(buf[:len(journalMagic)]) != journalMagic {
+		rec.CorruptOffset = 0
+		rec.CorruptReason = "bad journal magic"
+		return
+	}
+	off := int64(len(journalMagic))
+	for off < int64(len(buf)) {
+		rest := buf[off:]
+		if len(rest) < 8 {
+			rec.CorruptOffset = off
+			rec.CorruptReason = "torn frame header"
+			return
+		}
+		n := binary.LittleEndian.Uint32(rest[0:4])
+		sum := binary.LittleEndian.Uint32(rest[4:8])
+		if n == 0 || n > maxRecordLen {
+			rec.CorruptOffset = off
+			rec.CorruptReason = fmt.Sprintf("implausible record length %d", n)
+			return
+		}
+		if int64(len(rest)) < 8+int64(n) {
+			rec.CorruptOffset = off
+			rec.CorruptReason = "torn record payload"
+			return
+		}
+		payload := rest[8 : 8+n]
+		if crc32IEEE(payload) != sum {
+			rec.CorruptOffset = off
+			rec.CorruptReason = "checksum mismatch"
+			return
+		}
+		if reason := applyRecord(rec, payload); reason != "" {
+			rec.CorruptOffset = off
+			rec.CorruptReason = reason
+			return
+		}
+		off += 8 + int64(n)
+	}
+}
+
+// applyRecord decodes one checksummed payload and applies it to
+// rec.State. A non-empty return is a validation failure (the payload
+// checksummed correctly but declares something impossible) and stops
+// the replay at this record.
+func applyRecord(rec *Recovery, p []byte) string {
+	if len(p) < 1 {
+		return "empty record"
+	}
+	switch p[0] {
+	case recKindEpoch:
+		if len(p) != 1+8+8+8+4+4+1 {
+			return fmt.Sprintf("epoch record has %d bytes", len(p))
+		}
+		session := binary.LittleEndian.Uint64(p[1:9])
+		seq := binary.LittleEndian.Uint64(p[9:17])
+		epoch := binary.LittleEndian.Uint64(p[17:25])
+		n := int(binary.LittleEndian.Uint32(p[25:29]))
+		lanes := int(binary.LittleEndian.Uint32(p[29:33]))
+		if n > maxN || lanes > maxLanes {
+			return fmt.Sprintf("implausible epoch dimensions n=%d lanes=%d", n, lanes)
+		}
+		if st := rec.State; st != nil {
+			if session != st.Session {
+				rec.Stale++
+				return ""
+			}
+			if seq <= rec.SnapshotSeq {
+				rec.Covered++
+				return ""
+			}
+			if seq <= st.Seq {
+				return fmt.Sprintf("sequence went backwards (%d after %d)", seq, st.Seq)
+			}
+		}
+		st := newZeroState(n, lanes)
+		st.Session = session
+		st.Seq = seq
+		st.Epoch = epoch
+		rec.State = st
+		rec.Replayed++
+		return ""
+	case recKindSpend:
+		const fixed = 1 + 8 + 8 + 8 + 4 + 8 + 8 + 4
+		if len(p) < fixed {
+			return fmt.Sprintf("spend record has %d bytes", len(p))
+		}
+		session := binary.LittleEndian.Uint64(p[1:9])
+		seq := binary.LittleEndian.Uint64(p[9:17])
+		epoch := binary.LittleEndian.Uint64(p[17:25])
+		lane := int(binary.LittleEndian.Uint32(p[25:29]))
+		laneT := binary.LittleEndian.Uint64(p[29:37])
+		denied := int64(binary.LittleEndian.Uint64(p[37:45]))
+		count := int(binary.LittleEndian.Uint32(p[45:49]))
+		if len(p) != fixed+12*count {
+			return fmt.Sprintf("spend record declares %d charges in %d bytes", count, len(p))
+		}
+		st := rec.State
+		if st == nil {
+			// No snapshot and no epoch record yet: nowhere to land.
+			rec.Orphaned++
+			return ""
+		}
+		if session != st.Session {
+			rec.Stale++
+			return ""
+		}
+		if seq <= rec.SnapshotSeq {
+			rec.Covered++
+			return ""
+		}
+		if seq <= st.Seq {
+			return fmt.Sprintf("sequence went backwards (%d after %d)", seq, st.Seq)
+		}
+		if epoch < st.Epoch {
+			// A retired lane's final flush raced an epoch swap; the
+			// writer normally drops these, but one can land if the
+			// swap happened between the lane's epoch check and its
+			// append. Its ledger is gone either way.
+			st.Seq = seq
+			rec.Stale++
+			return ""
+		}
+		if epoch > st.Epoch {
+			return fmt.Sprintf("spend for unbegun epoch %d (current %d)", epoch, st.Epoch)
+		}
+		if lane >= st.Lanes {
+			return fmt.Sprintf("lane %d out of range [0,%d)", lane, st.Lanes)
+		}
+		cum := st.Cum[lane]
+		q := p[fixed:]
+		for i := 0; i < count; i++ {
+			adv := binary.LittleEndian.Uint32(q[12*i : 12*i+4])
+			if int(adv) >= st.N {
+				return fmt.Sprintf("advertiser %d out of range [0,%d)", adv, st.N)
+			}
+		}
+		for i := 0; i < count; i++ {
+			adv := binary.LittleEndian.Uint32(q[12*i : 12*i+4])
+			amt := binary.LittleEndian.Uint64(q[12*i+4 : 12*i+12])
+			cum[adv] += frombits(amt)
+		}
+		st.LaneT[lane] = laneT
+		st.Denied[lane] = denied
+		st.Seq = seq
+		rec.Replayed++
+		return ""
+	default:
+		return fmt.Sprintf("unknown record kind %d", p[0])
+	}
+}
+
+func decodeSnapshot(buf []byte) (*LedgerState, uint64, error) {
+	if len(buf) < len(snapMagic)+8 || string(buf[:len(snapMagic)]) != snapMagic {
+		return nil, 0, fmt.Errorf("bad snapshot magic")
+	}
+	n := binary.LittleEndian.Uint32(buf[8:12])
+	sum := binary.LittleEndian.Uint32(buf[12:16])
+	if n == 0 || n > maxRecordLen || int64(len(buf)) < 16+int64(n) {
+		return nil, 0, fmt.Errorf("torn snapshot (payload %d bytes, file %d)", n, len(buf))
+	}
+	p := buf[16 : 16+n]
+	if crc32IEEE(p) != sum {
+		return nil, 0, fmt.Errorf("snapshot checksum mismatch")
+	}
+	const fixed = 8 + 8 + 8 + 4 + 4 + 8
+	if len(p) < fixed {
+		return nil, 0, fmt.Errorf("snapshot payload too short (%d bytes)", len(p))
+	}
+	session := binary.LittleEndian.Uint64(p[0:8])
+	seq := binary.LittleEndian.Uint64(p[8:16])
+	epoch := binary.LittleEndian.Uint64(p[16:24])
+	nAdv := int(binary.LittleEndian.Uint32(p[24:28]))
+	lanes := int(binary.LittleEndian.Uint32(p[28:32]))
+	stamp := binary.LittleEndian.Uint64(p[32:40])
+	if nAdv > maxN || lanes > maxLanes {
+		return nil, 0, fmt.Errorf("implausible snapshot dimensions n=%d lanes=%d", nAdv, lanes)
+	}
+	want := fixed + 8*lanes + 8*lanes + 8*nAdv*lanes
+	if len(p) != want {
+		return nil, 0, fmt.Errorf("snapshot payload %d bytes, want %d for n=%d lanes=%d", len(p), want, nAdv, lanes)
+	}
+	st := newZeroState(nAdv, lanes)
+	st.Session = session
+	st.Seq = seq
+	st.Epoch = epoch
+	q := p[fixed:]
+	for i := 0; i < lanes; i++ {
+		st.LaneT[i] = binary.LittleEndian.Uint64(q[8*i : 8*i+8])
+	}
+	q = q[8*lanes:]
+	for i := 0; i < lanes; i++ {
+		st.Denied[i] = int64(binary.LittleEndian.Uint64(q[8*i : 8*i+8]))
+	}
+	q = q[8*lanes:]
+	for lane := 0; lane < lanes; lane++ {
+		cum := st.Cum[lane]
+		for i := 0; i < nAdv; i++ {
+			cum[i] = frombits(binary.LittleEndian.Uint64(q[8*i : 8*i+8]))
+		}
+		q = q[8*nAdv:]
+	}
+	return st, stamp, nil
+}

@@ -41,6 +41,18 @@
 // queries after it against the new one, per shard, in submission
 // order.
 //
+// # Budget durability
+//
+// With a journal configured (Config.Engine.Journal), budget spend
+// survives the process: lanes batch their charges and flush on every
+// publish trigger — the count-based refresh, the BudgetFlush time
+// fences, and drain — so journal staleness obeys the same K·R·P bound
+// as snapshot staleness. Churn rebuilds and ResetBudgets begin fresh
+// journal epochs, and Close flushes and closes the journal exactly
+// once (Close is idempotent). ResetBudgets is the "next day"
+// operation: a fresh ledger re-admits exhausted advertisers through
+// in-band fences while bid state continues undisturbed.
+//
 // # Drain
 //
 // Close stops intake (subsequent Submits are rejected without being
@@ -127,11 +139,13 @@ const (
 	itemQuery itemKind = iota
 	itemChurn
 	itemFlush
+	itemReset
 )
 
 // item is one shard-queue entry: a keyword query, an epoch fence
-// carrying the post-churn population and its fresh budget ledger, or
-// a budget flush fence.
+// carrying the post-churn population and its fresh budget ledger, a
+// budget flush fence, or a budget-reset fence carrying the fresh
+// ledger that re-admits exhausted advertisers.
 type item struct {
 	kind  itemKind
 	q     int
@@ -292,6 +306,12 @@ func (s *Server) worker(sh *shard) {
 		case itemFlush:
 			s.eng.FlushShard(sh.id)
 			continue
+		case itemReset:
+			s.eng.ResetShardBudgets(sh.id, it.led)
+			sh.mu.Lock()
+			sh.epoch = it.epoch
+			sh.mu.Unlock()
+			continue
 		}
 		t0 := time.Now()
 		out := s.eng.ServeOne(it.q, &tot)
@@ -422,6 +442,41 @@ func (s *Server) applyChurn(derive func(*workload.Instance) (*workload.Instance,
 		sh.ch <- item{kind: itemChurn, epoch: epoch, inst: next, led: led}
 	}
 	return next, nil
+}
+
+// ResetBudgets performs a live budget reset ("next day"): a fresh
+// ledger — journaled as a reset epoch when the engine has a journal —
+// replaces the current one, re-admitting exhausted advertisers while
+// every market's bid state continues undisturbed. Like churn, the
+// swap is applied per shard at the next auction boundary via an
+// in-band fence: queries submitted before this call are charged to
+// the old ledger, queries after it to the new one, per shard, in
+// submission order. Returns an error when budgets are off or the
+// server is closed.
+func (s *Server) ResetBudgets() error {
+	s.churnMu.Lock()
+	defer s.churnMu.Unlock()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return fmt.Errorf("stream: ResetBudgets: server is closed")
+	}
+	led := s.eng.NewResetLedger()
+	if led == nil {
+		s.mu.Unlock()
+		return fmt.Errorf("stream: ResetBudgets: budgets are not enabled")
+	}
+	s.epoch++
+	epoch := s.epoch
+	s.eng.SetInstance(s.inst, led)
+	s.mu.Unlock()
+	// Blocking sends outside mu, exactly like churn fences: resets are
+	// rare control traffic that must never be shed, and churnMu keeps
+	// them ordered against churns and excludes Close's queue-closing.
+	for _, sh := range s.shards {
+		sh.ch <- item{kind: itemReset, epoch: epoch, led: led}
+	}
+	return nil
 }
 
 // Instance returns the current advertiser population (the post-churn

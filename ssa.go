@@ -88,6 +88,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/formula"
+	"repro/internal/journal"
 	"repro/internal/kwmatch"
 	"repro/internal/probmodel"
 	"repro/internal/sqlmini"
@@ -466,6 +467,63 @@ func NewSimWorldBudget(inst *SimInstance, m SimMethod, pricing SimPricing, click
 	return strategy.NewWorldBudget(inst, m, pricing, clickSeed, cfg)
 }
 
+// Durable budgets (the internal/journal subsystem): budget spend is
+// the one piece of engine state that must legally survive a restart,
+// and the spend journal makes it do so — an append-only checksummed
+// record log with periodic snapshot compaction, crash recovery that
+// reconstructs ledger totals bit-exactly from snapshot + tail, and
+// journaled epochs for churn rebuilds and budget resets. Attach via
+// EngineConfig.Journal (the engine owns and closes the writer) or
+// BudgetLedger.AttachJournal directly; resume a crashed process with
+// RecoverSpendJournal + EngineConfig.Restore.
+type (
+	// SpendJournal is the durable journal writer (journal.Writer).
+	SpendJournal = journal.Writer
+	// SpendJournalOptions tunes fsync policy, snapshot-compaction
+	// interval, and batch sizing.
+	SpendJournalOptions = journal.Options
+	// SpendJournalStats is a point-in-time writer summary.
+	SpendJournalStats = journal.Stats
+	// SpendJournalRecovery is the result of replaying a journal
+	// directory: the recovered state plus replay/corruption
+	// diagnostics.
+	SpendJournalRecovery = journal.Recovery
+	// SpendLedgerState is the journal's view of a budget ledger — what
+	// recovery returns and EngineConfig.Restore consumes.
+	SpendLedgerState = journal.LedgerState
+)
+
+// Journal fsync policies: FsyncNever survives process crashes (records
+// reach the kernel before AppendSpend returns), FsyncAlways also
+// survives power loss at a large throughput cost.
+const (
+	FsyncNever  = journal.FsyncNever
+	FsyncAlways = journal.FsyncAlways
+)
+
+// OpenSpendJournal opens (creating if needed) the spend journal in
+// dir. Attach it to a ledger via EngineConfig.Journal or
+// BudgetLedger.AttachJournal before serving.
+func OpenSpendJournal(dir string, opts SpendJournalOptions) (*SpendJournal, error) {
+	return journal.Open(dir, opts)
+}
+
+// RecoverSpendJournal replays the journal directory and returns the
+// recovered ledger state (bitwise equal to the last flushed spend)
+// plus diagnostics. Corruption is reported, never fatal: the longest
+// valid prefix is recovered.
+func RecoverSpendJournal(dir string) (*SpendJournalRecovery, error) {
+	return journal.Recover(dir)
+}
+
+// RestoreBudgetLedger rebuilds a budget ledger from a recovered
+// journal state: every advertiser resumes with exactly the journaled
+// spend. budgets come from the instance (population state is not
+// journaled); pass inst.Budget.
+func RestoreBudgetLedger(st *SpendLedgerState, budgets []float64, cfg BudgetConfig) *BudgetLedger {
+	return budget.NewLedgerState(st, budgets, cfg)
+}
+
 // GenerateInstance draws a Section V workload: n advertisers, k
 // slots, the given keyword count, click values uniform on {0,…,50},
 // slot-interval click probabilities.
@@ -488,8 +546,11 @@ func QueryStream(inst *SimInstance, seed int64, t int) []int {
 	return inst.Queries(rand.New(rand.NewSource(seed)), t)
 }
 
-// Section V workload defaults.
+// Section V workload defaults. MaxClickValue is the P in the budget
+// subsystem's K·R·P overspend bound — the largest per-auction charge
+// the workload generator can draw.
 const (
 	DefaultSlots    = workload.DefaultSlots
 	DefaultKeywords = workload.DefaultKeywords
+	MaxClickValue   = workload.MaxClickValue
 )
