@@ -1,0 +1,75 @@
+package ssa
+
+// Networked-tier benchmarks: the same steady-state measurement as
+// BenchmarkStreamSteadyState, but through the full loopback socket
+// path — client encode, TCP write, server frame decode, connection
+// window, shard queue, auction, outcome encode on the shard
+// goroutine, TCP write back, client decode and copy-out. Both method
+// rows must report 0 allocs/op (the measurement is process-wide, so
+// it covers server-side goroutines too); they feed the same CI
+// allocation-regression gate as the market and stream rows. The qps
+// metric is end-to-end networked throughput for one synchronous
+// client; p99-ns is the server-side service-time percentile.
+//
+//	go test -bench=ServerSteadyState -benchmem
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/client"
+	"repro/internal/engine"
+	"repro/internal/server"
+	"repro/internal/stream"
+	"repro/internal/wire"
+	"repro/internal/workload"
+)
+
+func benchServerSteadyState(b *testing.B, method engine.Method) {
+	const n, warmup = 1000, 2000
+	inst := workload.Generate(rand.New(rand.NewSource(42)), n, DefaultSlots, DefaultKeywords)
+	s, err := server.Listen("127.0.0.1:0", inst, server.Config{Stream: stream.Config{
+		Engine: engine.Config{Shards: 0, QueueDepth: 256, Method: method, ClickSeed: 7},
+	}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	c, err := client.Dial(s.Addr(), client.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+
+	rng := rand.New(rand.NewSource(9))
+	var out wire.Outcome
+	for i := 0; i < warmup; i++ {
+		if err := c.AuctionInto(rng.Intn(inst.Keywords), &out); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.AuctionInto(rng.Intn(inst.Keywords), &out); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	st := s.Close()
+	if got := int(st.Served); got != warmup+b.N {
+		b.Fatalf("served %d of %d", got, warmup+b.N)
+	}
+	sub, served, shed, rejected := int64(0), int64(0), int64(0), int64(0)
+	sub, served, shed, rejected, _ = s.Counters()
+	if sub != served+shed+rejected || served != int64(warmup+b.N) {
+		b.Fatalf("identity: submitted=%d served=%d shed=%d rejected=%d", sub, served, shed, rejected)
+	}
+	b.ReportMetric(st.WindowThroughput, "qps")
+	b.ReportMetric(float64(st.P99.Nanoseconds()), "p99-ns")
+}
+
+func BenchmarkServerSteadyState(b *testing.B) {
+	b.Run("rh", func(b *testing.B) { benchServerSteadyState(b, engine.MethodRH) })
+	b.Run("talu", func(b *testing.B) { benchServerSteadyState(b, engine.MethodRHTALU) })
+}

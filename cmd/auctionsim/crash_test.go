@@ -206,5 +206,13 @@ func TestMain(m *testing.M) {
 		crashChild(dir) // loops until the parent kills the process
 		return
 	}
+	if dir := os.Getenv(netServeEnv); dir != "" {
+		netServeChild(dir) // serves until a connect child drains it
+		return
+	}
+	if addr := os.Getenv(netConnectEnv); addr != "" {
+		netConnectChild(addr)
+		return
+	}
 	os.Exit(m.Run())
 }

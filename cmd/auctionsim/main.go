@@ -57,6 +57,21 @@
 // resumes serving from the recovered spend state; -recover without
 // -journal is rejected.
 //
+// With -serve <addr> it becomes the networked serving tier: the
+// streaming server is put behind TCP speaking the internal/wire frame
+// protocol, and the process blocks until a client requests a graceful
+// drain over the wire, then prints the connection-layer accounting
+// identity (submitted == served + shed + rejected), the stream
+// drain summary, and — with budgets — a bitwise spend fingerprint.
+// With -connect <addr> it is the matching load generator: -conns
+// connections times -pipeline concurrent workers drive -auctions
+// auctions through a serving process (typically a separate OS
+// process) and print client-side dispositions with end-to-end
+// latency percentiles; -resets fences the run with mid-traffic budget
+// resets, and -drain finishes by draining the server. The CI network
+// soak runs one -serve and several -connect processes over loopback
+// and checks the two sides' counters agree exactly.
+//
 // Usage:
 //
 //	auctionsim -n 2000 -auctions 5000 -method rh-talu -report 1000
@@ -66,6 +81,8 @@
 //	auctionsim -engine -budget 300 -budget-policy paced -budget-refresh 32 -auctions 20000
 //	auctionsim -stream -budget 200 -journal /var/tmp/ssa-journal -duration 10s
 //	auctionsim -stream -budget 200 -journal /var/tmp/ssa-journal -recover -duration 10s
+//	auctionsim -serve 127.0.0.1:7071 -method rh-talu -budget 200 -journal /var/tmp/ssa-journal
+//	auctionsim -connect 127.0.0.1:7071 -conns 4 -pipeline 8 -auctions 100000 -drain
 package main
 
 import (
@@ -115,6 +132,12 @@ func main() {
 		jdir      = flag.String("journal", "", "durable spend-journal directory (requires -budget); spend is batched, checksummed, and compacted there")
 		doRecover = flag.Bool("recover", false, "replay the -journal directory before serving and resume from the recovered spend state")
 		fsyncMode = flag.String("fsync", "never", "journal durability: never (kernel page cache — survives SIGKILL), always (fsync every append — survives power loss)")
+		serveAddr = flag.String("serve", "", "serve mode: listen for networked wire-protocol clients on this address and block until a client drains the server")
+		connAddr  = flag.String("connect", "", "connect mode: drive auctions against a -serve process at this address")
+		conns     = flag.Int("conns", 2, "connect mode: client connections to open")
+		pipeline  = flag.Int("pipeline", 4, "connect mode: concurrent in-flight workers per connection")
+		doDrain   = flag.Bool("drain", false, "connect mode: request a graceful server drain after the load finishes")
+		resets    = flag.Int("resets", 0, "connect mode: budget resets fenced into the run at even intervals")
 	)
 	flag.Parse()
 
@@ -138,6 +161,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "auctionsim: -heavy-parallel wants a non-negative worker count (0 = GOMAXPROCS), got %d\n", *heavyPar)
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *connAddr != "" {
+		// Connect mode needs no local instance — the serving process
+		// owns the population; only the keyword range matters here.
+		runConnect(connectOpts{
+			addr: *connAddr, conns: *conns, pipeline: *pipeline,
+			auctions: *auctions, keywords: *keywords,
+			resets: *resets, drain: *doDrain, seed: *seed,
+		})
+		return
 	}
 
 	rng := rand.New(rand.NewSource(*seed))
@@ -166,7 +200,7 @@ func main() {
 		horizon := *auctions / *keywords
 		if *useStream {
 			horizon = int(*qps * duration.Seconds() / float64(*keywords))
-		} else if !*useEng {
+		} else if !*useEng && *serveAddr == "" {
 			horizon = *auctions
 		}
 		bcfg = budget.Config{Policy: pol, RefreshEvery: *budgetRef, Horizon: horizon, Seed: *seed + 4}
@@ -196,7 +230,7 @@ func main() {
 		// Lanes are per keyword in engine/stream mode; the sequential
 		// world runs one cross-keyword lane.
 		lanes := *keywords
-		if !*useEng && !*useStream {
+		if !*useEng && !*useStream && *serveAddr == "" {
 			lanes = 1
 		}
 		if *doRecover {
@@ -221,6 +255,21 @@ func main() {
 			fmt.Fprintln(os.Stderr, "auctionsim: journal:", err)
 			os.Exit(1)
 		}
+	}
+
+	if *serveAddr != "" {
+		pol, err := parsePolicy(*overload)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "auctionsim:", err)
+			flag.Usage()
+			os.Exit(2)
+		}
+		runServe(inst, serveOpts{
+			addr: *serveAddr, method: m, pricing: pr,
+			shards: *shards, queue: *queue, clickSeed: *seed + 2,
+			policy: pol, budget: bcfg, journal: jw, restore: restore,
+		})
+		return
 	}
 
 	if *useStream {

@@ -1,0 +1,268 @@
+package main
+
+// The network soak re-execs this test binary as one serving process
+// plus several connecting processes over loopback — real sockets,
+// real process isolation — and checks the two sides of the wire agree
+// exactly: the server's connection-layer identity (submitted ==
+// served + shed + rejected), the cross-process counter agreement
+// (every client-side disposition equals the server's count), and
+// bitwise journal recovery (the parent replays the journal the serve
+// child wrote and must land on the same spend fingerprint the child
+// printed from its in-memory ledger). TestMain dispatches the
+// children, same as the crash soak.
+
+import (
+	"bufio"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/budget"
+	"repro/internal/engine"
+	"repro/internal/journal"
+	"repro/internal/stream"
+	"repro/internal/workload"
+)
+
+const (
+	netServeEnv    = "AUCTIONSIM_NET_SERVE"   // journal dir: run the serve child
+	netConnectEnv  = "AUCTIONSIM_NET_CONNECT" // server addr: run a connect child
+	netAuctionsEnv = "AUCTIONSIM_NET_AUCTIONS"
+	netResetsEnv   = "AUCTIONSIM_NET_RESETS"
+	netDrainEnv    = "AUCTIONSIM_NET_DRAIN"
+	netSeedEnv     = "AUCTIONSIM_NET_SEED"
+
+	netN        = 80
+	netKeywords = 5
+	netResets   = 2
+)
+
+// netInstance regenerates the soak population deterministically in
+// the serve child — the connect children never see it; only the
+// keyword range crosses the wire.
+func netInstance() *workload.Instance {
+	inst := workload.Generate(rand.New(rand.NewSource(601)), netN, 4, netKeywords)
+	workload.AttachBudgets(rand.New(rand.NewSource(602)), inst, 60)
+	return inst
+}
+
+// netServeChild is the serving process: a budgeted, journaling
+// networked server on an ephemeral loopback port. runServe prints the
+// listening address (the parent scrapes the port), blocks until a
+// connect child drains it, and prints the accounting the parent
+// asserts on.
+func netServeChild(dir string) {
+	w, err := journal.Open(dir, journal.Options{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "net serve child:", err)
+		os.Exit(1)
+	}
+	runServe(netInstance(), serveOpts{
+		addr: "127.0.0.1:0", method: engine.MethodRHTALU, pricing: engine.PricingGSP,
+		shards: 3, queue: 16, clickSeed: 13, policy: stream.Block,
+		budget:  budget.Config{Policy: budget.PolicyHard, RefreshEvery: 8},
+		journal: w,
+	})
+}
+
+// netConnectChild is one load-generating process.
+func netConnectChild(addr string) {
+	auctions, _ := strconv.Atoi(os.Getenv(netAuctionsEnv))
+	resets, _ := strconv.Atoi(os.Getenv(netResetsEnv))
+	seed, _ := strconv.ParseInt(os.Getenv(netSeedEnv), 10, 64)
+	runConnect(connectOpts{
+		addr: addr, conns: 2, pipeline: 4,
+		auctions: auctions, keywords: netKeywords,
+		resets: resets, drain: os.Getenv(netDrainEnv) == "1", seed: seed,
+	})
+}
+
+// connectCounts is one connect child's parsed summary line.
+type connectCounts struct {
+	auctions, served, shed, rejected int64
+}
+
+func runConnectChild(t *testing.T, addr string, auctions, resets int, drain bool, seed int64) (connectCounts, string) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(),
+		netConnectEnv+"="+addr,
+		netAuctionsEnv+"="+strconv.Itoa(auctions),
+		netResetsEnv+"="+strconv.Itoa(resets),
+		netSeedEnv+"="+strconv.FormatInt(seed, 10),
+	)
+	if drain {
+		cmd.Env = append(cmd.Env, netDrainEnv+"=1")
+	}
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("connect child: %v\n%s", err, out)
+	}
+	var cc connectCounts
+	var connsN, pipelineN int64
+	found := false
+	for _, line := range strings.Split(string(out), "\n") {
+		if _, err := fmt.Sscanf(line, "connect: done auctions=%d served=%d shed=%d rejected=%d conns=%d pipeline=%d",
+			&cc.auctions, &cc.served, &cc.shed, &cc.rejected, &connsN, &pipelineN); err == nil {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("connect child printed no summary:\n%s", out)
+	}
+	if cc.auctions != cc.served+cc.shed+cc.rejected {
+		t.Fatalf("connect child identity: %+v", cc)
+	}
+	return cc, string(out)
+}
+
+// TestNetworkSoak: one serving process, two concurrent load
+// processes, then a third that fences budget resets into live traffic
+// and finally drains the server over the wire. Exact accounting must
+// survive all three process boundaries.
+func TestNetworkSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-execs the test binary and serves real network traffic")
+	}
+	dir := t.TempDir()
+
+	serve := exec.Command(os.Args[0])
+	serve.Env = append(os.Environ(), netServeEnv+"="+dir)
+	serve.Stderr = os.Stderr
+	stdout, err := serve.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := serve.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer serve.Process.Kill()
+
+	// Scrape the ephemeral address from the listening line, then keep
+	// scanning: the drain summary arrives after the last child exits.
+	addrCh := make(chan string, 1)
+	var serveOut []string
+	scanDone := make(chan struct{})
+	go func() {
+		defer close(scanDone)
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			serveOut = append(serveOut, line)
+			if i := strings.Index(line, "listening addr="); i >= 0 {
+				addr := line[i+len("listening addr="):]
+				if j := strings.IndexByte(addr, ' '); j >= 0 {
+					addr = addr[:j]
+				}
+				select {
+				case addrCh <- addr:
+				default:
+				}
+			}
+		}
+	}()
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case <-time.After(30 * time.Second):
+		t.Fatal("serve child never printed its listening address")
+	}
+
+	// Two concurrent load processes.
+	const loadAuctions = 3000
+	var mu sync.Mutex
+	var clients []connectCounts
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			cc, _ := runConnectChild(t, addr, loadAuctions, 0, false, seed)
+			mu.Lock()
+			clients = append(clients, cc)
+			mu.Unlock()
+		}(int64(700 + i*100))
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Third process: budget resets fenced into live traffic, then the
+	// graceful wire drain.
+	const drainAuctions = 1000
+	cc, drainOut := runConnectChild(t, addr, drainAuctions, netResets, true, 900)
+	clients = append(clients, cc)
+	if !strings.Contains(drainOut, "(identity true)") {
+		t.Fatalf("drain child's server-final stats flunked the identity:\n%s", drainOut)
+	}
+
+	// The drain lets the serve child finish; its exit closes stdout.
+	if err := serve.Wait(); err != nil {
+		t.Fatalf("serve child exit: %v", err)
+	}
+	<-scanDone
+
+	// Cross-process counter agreement: the server's connection-layer
+	// counts must equal the sum of every client-side disposition.
+	var want connectCounts
+	for _, c := range clients {
+		want.auctions += c.auctions
+		want.served += c.served
+		want.shed += c.shed
+		want.rejected += c.rejected
+	}
+	var got connectCounts
+	var unrouted int64
+	var spendbits uint64
+	var fpN int
+	foundNet, foundBits := false, false
+	for _, line := range serveOut {
+		if _, err := fmt.Sscanf(line, "net: submitted=%d served=%d shed=%d rejected=%d unrouted=%d",
+			&got.auctions, &got.served, &got.shed, &got.rejected, &unrouted); err == nil {
+			foundNet = true
+		}
+		if _, err := fmt.Sscanf(line, "spendbits=%x n=%d", &spendbits, &fpN); err == nil {
+			foundBits = true
+		}
+	}
+	if !foundNet || !foundBits {
+		t.Fatalf("serve child summary incomplete (net=%v spendbits=%v):\n%s",
+			foundNet, foundBits, strings.Join(serveOut, "\n"))
+	}
+	if got != want {
+		t.Fatalf("cross-process counters: server %+v != clients %+v", got, want)
+	}
+	if got.auctions != int64(2*loadAuctions+drainAuctions) {
+		t.Fatalf("submitted %d, want %d", got.auctions, 2*loadAuctions+drainAuctions)
+	}
+
+	// Bitwise journal recovery: replaying the journal the child wrote
+	// must land exactly on the fingerprint of its in-memory ledger.
+	rec, err := journal.Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.CorruptOffset != -1 {
+		t.Fatalf("clean drain recovered corrupt at %d (%s)", rec.CorruptOffset, rec.CorruptReason)
+	}
+	if rec.State == nil {
+		t.Fatal("recovered no state from the soak journal")
+	}
+	if int(rec.State.Epoch) != 1+netResets {
+		t.Fatalf("recovered epoch %d, want %d (boot + %d wire resets)",
+			rec.State.Epoch, 1+netResets, netResets)
+	}
+	if int(rec.State.N) != fpN {
+		t.Fatalf("recovered %d advertisers, serve child fingerprinted %d", rec.State.N, fpN)
+	}
+	if fp := recoveryFingerprint(rec.State); fp != spendbits {
+		t.Fatalf("recovered spend fingerprint %016x != serve child's ledger %016x", fp, spendbits)
+	}
+}

@@ -1,0 +1,271 @@
+package server_test
+
+// Loopback equivalence: outcomes served through the full socket path
+// — client encode, TCP, frame decode, connection window, shard queue,
+// auction, outcome encode, TCP, client decode — are byte-identical to
+// the in-process engine serving the same streams. These are the wire
+// twins of the stream layer's TestStreamMatchesBatchEngine /
+// TestStreamChurnEquivalence / TestStreamBudgetResetEquivalence,
+// pinned under -race by the CI network-soak job. A single synchronous
+// client preserves one total submission order, so the per-keyword
+// outcome sequences are directly comparable.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/budget"
+	"repro/internal/client"
+	"repro/internal/engine"
+	"repro/internal/journal"
+	"repro/internal/server"
+	"repro/internal/stream"
+	"repro/internal/wire"
+	"repro/internal/workload"
+)
+
+// toEngine converts a received wire outcome into an engine.Outcome so
+// the comparison reuses engine's bit-level Equal. Floats cross the
+// wire as Float64bits, so equality here is exactly the in-process
+// contract.
+func toEngine(o *wire.Outcome) *engine.Outcome {
+	return &engine.Outcome{
+		Query:         o.Query,
+		Revenue:       o.Revenue,
+		AdvOf:         append([]int(nil), o.AdvOf...),
+		PricePerClick: append([]float64(nil), o.PricePerClick...),
+		Clicked:       append([]bool(nil), o.Clicked...),
+	}
+}
+
+// serveWire submits queries synchronously through c and returns the
+// per-keyword outcome sequences.
+func serveWire(t *testing.T, c *client.Conn, keywords int, queries []int) [][]*engine.Outcome {
+	t.Helper()
+	got := make([][]*engine.Outcome, keywords)
+	var out wire.Outcome
+	for i, q := range queries {
+		if err := c.AuctionInto(q, &out); err != nil {
+			t.Fatalf("auction %d (kw %d): %v", i, q, err)
+		}
+		got[out.Query] = append(got[out.Query], toEngine(&out))
+	}
+	return got
+}
+
+func comparePerKeyword(t *testing.T, label string, got, want [][]*engine.Outcome) {
+	t.Helper()
+	for q := range want {
+		if len(got[q]) != len(want[q]) {
+			t.Fatalf("%s: kw %d served %d auctions, want %d", label, q, len(got[q]), len(want[q]))
+		}
+		for a := range want[q] {
+			if !got[q][a].Equal(want[q][a]) {
+				t.Fatalf("%s: kw %d auction %d: wire %+v != in-process %+v",
+					label, q, a, got[q][a], want[q][a])
+			}
+		}
+	}
+}
+
+// TestServerLoopbackEquivalence: without churn, the networked server
+// is the batch engine — for both serving methods and both shard
+// shapes, every keyword's outcome sequence crossing the socket is
+// byte-identical to Engine.ServeOutcomes over the same stream.
+func TestServerLoopbackEquivalence(t *testing.T) {
+	for _, method := range []engine.Method{engine.MethodRH, engine.MethodRHTALU} {
+		for _, shards := range []int{1, 3} {
+			inst := workload.Generate(rand.New(rand.NewSource(91)), 70, 5, 7)
+			queries := inst.Queries(rand.New(rand.NewSource(92)), 800)
+			ecfg := engine.Config{Shards: shards, QueueDepth: 8, Method: method, ClickSeed: 19}
+
+			ref := engine.New(inst, ecfg)
+			refOuts, st := ref.ServeOutcomes(queries)
+			if st.Auctions != len(queries) {
+				t.Fatalf("reference served %d of %d", st.Auctions, len(queries))
+			}
+			ref.Close()
+			want := make([][]*engine.Outcome, inst.Keywords)
+			for _, o := range refOuts {
+				want[o.Query] = append(want[o.Query], o)
+			}
+
+			s := listen(t, inst, server.Config{Stream: stream.Config{Engine: ecfg}})
+			c := dial(t, s, client.Options{Timeout: 30 * time.Second})
+			got := serveWire(t, c, inst.Keywords, queries)
+			fin := s.Close()
+			if fin.Served != int64(len(queries)) {
+				t.Fatalf("served %d of %d", fin.Served, len(queries))
+			}
+			checkIdentity(t, s)
+			comparePerKeyword(t, method.String(), got, want)
+		}
+	}
+}
+
+// TestServerLoopbackChurnEquivalence: scripted add/remove events
+// arrive as wire control requests between query phases, and every
+// post-churn outcome crossing the socket is byte-identical to a
+// freshly built engine over the post-churn population — the stream
+// layer's churn contract, end to end through TCP.
+func TestServerLoopbackChurnEquivalence(t *testing.T) {
+	inst0 := workload.Generate(rand.New(rand.NewSource(93)), 50, 5, 6)
+	rng := rand.New(rand.NewSource(94))
+	qrng := rand.New(rand.NewSource(95))
+
+	newcomerA := workload.RandomAdvertiser(rng, inst0.Slots, inst0.Keywords)
+	newcomerB := workload.RandomAdvertiser(rng, inst0.Slots, inst0.Keywords)
+	inst1, err := inst0.WithAdvertiser(newcomerA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst2, err := inst1.WithoutAdvertiser(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst3, err := inst2.WithAdvertiser(newcomerB)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	phases := []struct {
+		inst    *workload.Instance
+		queries []int
+	}{
+		{inst0, inst0.Queries(qrng, 300)},
+		{inst1, inst1.Queries(qrng, 250)},
+		{inst2, inst2.Queries(qrng, 250)},
+		{inst3, inst3.Queries(qrng, 200)},
+	}
+	ecfg := engine.Config{Shards: 3, QueueDepth: 4, Method: engine.MethodRHTALU, ClickSeed: 23}
+
+	want := make([][]*engine.Outcome, inst0.Keywords)
+	for _, ph := range phases {
+		fresh := engine.New(ph.inst, ecfg)
+		outs, st := fresh.ServeOutcomes(ph.queries)
+		if st.Auctions != len(ph.queries) {
+			t.Fatalf("reference served %d of %d", st.Auctions, len(ph.queries))
+		}
+		fresh.Close()
+		for _, o := range outs {
+			want[o.Query] = append(want[o.Query], o)
+		}
+	}
+
+	s := listen(t, inst0, server.Config{Stream: stream.Config{Engine: ecfg}})
+	c := dial(t, s, client.Options{Timeout: 30 * time.Second})
+	got := make([][]*engine.Outcome, inst0.Keywords)
+	for i, ph := range phases {
+		phaseOuts := serveWire(t, c, inst0.Keywords, ph.queries)
+		for q := range phaseOuts {
+			got[q] = append(got[q], phaseOuts[q]...)
+		}
+		switch i {
+		case 0:
+			idx, err := c.AddAdvertiser(&newcomerA)
+			if err != nil || idx != inst0.N {
+				t.Fatalf("AddAdvertiser over the wire: idx=%d err=%v", idx, err)
+			}
+		case 1:
+			if err := c.RemoveAdvertiser(7); err != nil {
+				t.Fatal(err)
+			}
+		case 2:
+			if _, err := c.AddAdvertiser(&newcomerB); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	fin := s.Close()
+	if fin.Epoch != 3 {
+		t.Fatalf("drained at epoch %d, want 3", fin.Epoch)
+	}
+	if fin.Advertisers != inst3.N {
+		t.Fatalf("Advertisers = %d, want %d", fin.Advertisers, inst3.N)
+	}
+	checkIdentity(t, s)
+	comparePerKeyword(t, "churn", got, want)
+}
+
+// TestServerLoopbackBudgetResetEquivalence: a budget reset submitted
+// as a wire control request lands as the same in-band fence —
+// everything before it runs against the exhausted ledger, everything
+// after against the fresh one, byte-identical to a batch engine
+// resetting between the phases. Single shard and the periodic flusher
+// pinned far beyond the test (budget gating reads boundedly-stale
+// cross-lane publishes, so byte-level equivalence needs one total
+// order on both sides). The server journals throughout; recovery
+// after the drain must land on the post-reset epoch with bitwise lane
+// totals.
+func TestServerLoopbackBudgetResetEquivalence(t *testing.T) {
+	inst := workload.Generate(rand.New(rand.NewSource(96)), 40, 4, 5)
+	workload.AttachBudgets(rand.New(rand.NewSource(97)), inst, 50)
+	phase1 := inst.Queries(rand.New(rand.NewSource(98)), 1500)
+	phase2 := inst.Queries(rand.New(rand.NewSource(99)), 700)
+	ecfg := engine.Config{Shards: 1, QueueDepth: 8, Method: engine.MethodRHTALU, ClickSeed: 21,
+		Budget: budget.Config{Policy: budget.PolicyHard, RefreshEvery: 4}}
+
+	// Batch reference: serve, reset, serve again.
+	ref := engine.New(inst, ecfg)
+	refOuts1, _ := ref.ServeOutcomes(phase1)
+	if _, preExhausted, _ := ref.Ledger().Totals(); preExhausted == 0 {
+		t.Fatal("phase 1 exhausted nobody — the reset fence would be a no-op")
+	}
+	if ref.ResetBudgets() == nil {
+		t.Fatal("reference ResetBudgets returned nil with budgets on")
+	}
+	refOuts2, _ := ref.ServeOutcomes(phase2)
+	ref.Close()
+	want := make([][]*engine.Outcome, inst.Keywords)
+	for _, o := range append(refOuts1, refOuts2...) {
+		want[o.Query] = append(want[o.Query], o)
+	}
+
+	dir := t.TempDir()
+	w, err := journal.Open(dir, journal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jcfg := ecfg
+	jcfg.Journal = w
+	s := listen(t, inst, server.Config{Stream: stream.Config{
+		Engine:      jcfg,
+		BudgetFlush: time.Hour, // no mid-test flush fence: one total order
+	}})
+	c := dial(t, s, client.Options{Timeout: 30 * time.Second})
+	got := serveWire(t, c, inst.Keywords, phase1)
+	if err := c.ResetBudgets(); err != nil {
+		t.Fatalf("ResetBudgets over the wire: %v", err)
+	}
+	phase2Got := serveWire(t, c, inst.Keywords, phase2)
+	for q := range phase2Got {
+		got[q] = append(got[q], phase2Got[q]...)
+	}
+	fin := s.Close()
+	if fin.Served != int64(len(phase1)+len(phase2)) {
+		t.Fatalf("served %d of %d", fin.Served, len(phase1)+len(phase2))
+	}
+	checkIdentity(t, s)
+	comparePerKeyword(t, "budget-reset", got, want)
+
+	// The drain flushed the journal; recovery is the post-reset epoch.
+	rec, err := journal.Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.CorruptOffset != -1 {
+		t.Fatalf("clean drain recovered corrupt at %d (%s)", rec.CorruptOffset, rec.CorruptReason)
+	}
+	if rec.State.Epoch != 2 {
+		t.Fatalf("recovered epoch %d, want 2 (boot + reset)", rec.State.Epoch)
+	}
+	led := s.Stream().Engine().Ledger()
+	for i := 0; i < inst.N; i++ {
+		if math.Float64bits(rec.State.Spent(i)) != math.Float64bits(led.ExactSpent(i)) {
+			t.Fatalf("advertiser %d: recovered %v != post-reset ledger %v",
+				i, rec.State.Spent(i), led.ExactSpent(i))
+		}
+	}
+}

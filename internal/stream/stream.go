@@ -145,13 +145,16 @@ const (
 // item is one shard-queue entry: a keyword query, an epoch fence
 // carrying the post-churn population and its fresh budget ledger, a
 // budget flush fence, or a budget-reset fence carrying the fresh
-// ledger that re-admits exhausted advertisers.
+// ledger that re-admits exhausted advertisers. A query item may carry
+// a per-query completion callback (SubmitFunc) invoked on the shard
+// goroutine with the auction's outcome.
 type item struct {
 	kind  itemKind
 	q     int
 	epoch int
 	inst  *workload.Instance
 	led   *budget.Ledger
+	fn    func(*engine.Outcome)
 }
 
 // shard is one persistent worker's state: its feed queue, the
@@ -320,6 +323,9 @@ func (s *Server) worker(sh *shard) {
 		sh.tot = tot
 		sh.win.add(now.UnixNano(), int64(now.Sub(t0)))
 		sh.mu.Unlock()
+		if it.fn != nil {
+			it.fn(out)
+		}
 		if s.cfg.Sink != nil {
 			s.cfg.Sink(out)
 		}
@@ -330,33 +336,68 @@ func (s *Server) worker(sh *shard) {
 	s.eng.FlushShard(sh.id)
 }
 
+// SubmitResult classifies how SubmitFunc (and SubmitTextFunc)
+// disposed of a query.
+type SubmitResult uint8
+
+const (
+	// SubmitQueued: the query was admitted and will be served; its
+	// callback (if any) will run exactly once. Counted in
+	// Stats.Submitted.
+	SubmitQueued SubmitResult = iota
+	// SubmitShed: Shed policy and a full shard queue — the query was
+	// dropped and counted in Stats.Submitted and Stats.Shed; the
+	// callback never runs.
+	SubmitShed
+	// SubmitClosed: the server is closed; nothing was counted and the
+	// callback never runs.
+	SubmitClosed
+	// SubmitUnrouted (SubmitTextFunc only): the text matched no
+	// catalog keyword — counted in Stats.Unrouted, never queued.
+	SubmitUnrouted
+)
+
 // Submit offers one keyword query for service. It reports true when
 // the query was queued (it will be served), false when it was shed
 // (Shed policy, full queue — counted in Stats.Shed) or the server is
 // closed (not counted at all). Under Block it waits for queue space
 // and, on an open server, always returns true.
 func (s *Server) Submit(q int) bool {
+	return s.SubmitFunc(q, nil) == SubmitQueued
+}
+
+// SubmitFunc offers one keyword query for service with a per-query
+// completion callback: when the result is SubmitQueued, fn (if
+// non-nil) is invoked exactly once with the auction's outcome, on the
+// serving shard's goroutine, after the shard's stats are updated and
+// before Config.Sink. The outcome is owned by the keyword's market
+// and valid only for the duration of the call; Clone it to retain.
+// fn must not call back into the Server. Admission accounting is
+// identical to Submit — Submitted counts SubmitQueued and SubmitShed,
+// Shed counts SubmitShed, a closed server counts nothing — so
+// Submitted == Served + Shed still holds exactly after Close.
+func (s *Server) SubmitFunc(q int, fn func(*engine.Outcome)) SubmitResult {
 	if q < 0 || q >= s.keywords {
 		panic(fmt.Sprintf("stream: query keyword %d out of range [0,%d)", q, s.keywords))
 	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.closed {
-		return false
+		return SubmitClosed
 	}
 	sh := s.shards[s.eng.ShardOf(q)]
 	s.submitted.Add(1)
 	if s.cfg.Overload == Shed {
 		select {
-		case sh.ch <- item{kind: itemQuery, q: q}:
-			return true
+		case sh.ch <- item{kind: itemQuery, q: q, fn: fn}:
+			return SubmitQueued
 		default:
 			sh.shed.Add(1)
-			return false
+			return SubmitShed
 		}
 	}
-	sh.ch <- item{kind: itemQuery, q: q}
-	return true
+	sh.ch <- item{kind: itemQuery, q: q, fn: fn}
+	return SubmitQueued
 }
 
 // SubmitText routes a free-text search through the keyword index and
@@ -365,16 +406,25 @@ func (s *Server) Submit(q int) bool {
 // never enters a queue. Like Submit, a closed server rejects without
 // counting anything.
 func (s *Server) SubmitText(query string) bool {
+	return s.SubmitTextFunc(query, nil) == SubmitQueued
+}
+
+// SubmitTextFunc is SubmitFunc for free-text queries: the text is
+// routed through the keyword index first, and SubmitUnrouted reports
+// a query that matched no catalog keyword (counted in Stats.Unrouted
+// unless the server is closed, in which case SubmitClosed).
+func (s *Server) SubmitTextFunc(query string, fn func(*engine.Outcome)) SubmitResult {
 	q, ok := s.eng.RouteText(query)
 	if !ok {
 		s.mu.RLock()
 		defer s.mu.RUnlock()
-		if !s.closed {
-			s.unrouted.Add(1)
+		if s.closed {
+			return SubmitClosed
 		}
-		return false
+		s.unrouted.Add(1)
+		return SubmitUnrouted
 	}
-	return s.Submit(q)
+	return s.SubmitFunc(q, fn)
 }
 
 // AddAdvertiser admits a into the live population and returns its

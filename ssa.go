@@ -62,6 +62,15 @@
 // documented overspend bound, and totals that settle exactly to the
 // per-market accounting after a drain.
 //
+// The networked serving tier puts all of that behind TCP:
+// ListenNetServer wraps a StreamServer in a length-prefixed,
+// CRC-checked binary wire protocol with per-connection admission
+// control, and DialNetClient is the matching pipelined client driver,
+// so separate OS processes can drive auctions through a real socket
+// path with the same exact accounting (submitted == served + shed +
+// rejected after a drain) and zero steady-state allocations end to
+// end.
+//
 // # Quick start
 //
 //	model := ssa.NewModel(2, 2) // 2 advertisers, 2 slots
@@ -85,16 +94,19 @@ import (
 	"math/rand"
 
 	"repro/internal/budget"
+	"repro/internal/client"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/formula"
 	"repro/internal/journal"
 	"repro/internal/kwmatch"
 	"repro/internal/probmodel"
+	"repro/internal/server"
 	"repro/internal/sqlmini"
 	"repro/internal/strategy"
 	"repro/internal/stream"
 	"repro/internal/table"
+	"repro/internal/wire"
 	"repro/internal/workload"
 )
 
@@ -522,6 +534,49 @@ func RecoverSpendJournal(dir string) (*SpendJournalRecovery, error) {
 // journaled); pass inst.Budget.
 func RestoreBudgetLedger(st *SpendLedgerState, budgets []float64, cfg BudgetConfig) *BudgetLedger {
 	return budget.NewLedgerState(st, budgets, cfg)
+}
+
+// Networked serving tier (internal/wire + internal/server +
+// internal/client): a StreamServer behind TCP speaking a
+// length-prefixed, CRC-checked binary frame protocol, with
+// per-connection windowed admission control layered over the stream
+// policy, and a pipelined client driver on the other end.
+type (
+	// NetServer is a listening networked serving tier (server.Server):
+	// a StreamServer wrapped in the wire protocol with a connection
+	// cap, per-connection in-flight windows, and the exact four-way
+	// accounting identity submitted == served + shed + rejected.
+	NetServer = server.Server
+	// NetServerConfig tunes the networked tier — the wrapped
+	// StreamConfig plus connection cap, window size, frame limit, and
+	// handshake/drain timeouts.
+	NetServerConfig = server.Config
+	// NetClient is one client connection (client.Conn): synchronous
+	// typed calls, safe for concurrent use — concurrent callers
+	// pipeline onto the single connection up to its window.
+	NetClient = client.Conn
+	// NetClientOptions tunes a client connection (window, timeouts).
+	NetClientOptions = client.Options
+	// NetOutcome is an auction outcome as decoded from the wire,
+	// bit-exact with the serving engine's outcome.
+	NetOutcome = wire.Outcome
+	// NetBatchResult aggregates one batch-submit call.
+	NetBatchResult = wire.BatchResult
+	// NetServerStats is the server-side stats snapshot a client can
+	// request over the wire (also returned by a graceful drain).
+	NetServerStats = wire.ServerStats
+)
+
+// ListenNetServer builds the stream server over inst, binds addr
+// (e.g. "127.0.0.1:0"), and starts accepting wire-protocol clients.
+func ListenNetServer(addr string, inst *SimInstance, cfg NetServerConfig) (*NetServer, error) {
+	return server.Listen(addr, inst, cfg)
+}
+
+// DialNetClient connects to a NetServer (or auctionsim -serve) and
+// performs the protocol handshake.
+func DialNetClient(addr string, opts NetClientOptions) (*NetClient, error) {
+	return client.Dial(addr, opts)
 }
 
 // GenerateInstance draws a Section V workload: n advertisers, k
