@@ -77,6 +77,56 @@ func BenchmarkStreamSteadyState(b *testing.B) {
 	b.ReportMetric(float64(st.P99.Nanoseconds()), "p99-ns")
 }
 
+// BenchmarkBroadmatchSteadyState measures the broad-match serving
+// path end to end: SubmitText admission, allocation-free kwmatch
+// scoring in the router, the seeded match draw, the bounded-channel
+// hand-off, and the weighted reserve-priced auction in the winning
+// shard. Like every steady-state row it must report 0 allocs/op —
+// broad match adds no per-query garbage on top of the exact path —
+// and it feeds the CI allocation-regression gate under both methods.
+func BenchmarkBroadmatchSteadyState(b *testing.B) {
+	b.Run("rh", func(b *testing.B) { benchBroadmatchSteadyState(b, SimRH) })
+	b.Run("talu", func(b *testing.B) { benchBroadmatchSteadyState(b, SimRHTALU) })
+}
+
+func benchBroadmatchSteadyState(b *testing.B, method SimMethod) {
+	const n, warmup = 1000, 2000
+	inst := GenerateInstance(42, n, DefaultSlots, DefaultKeywords)
+	names := BigramKeywordNames(DefaultKeywords)
+	s := NewStreamServer(inst, StreamConfig{
+		Engine: EngineConfig{
+			Shards: 0, QueueDepth: 256, Method: method, ClickSeed: 7,
+			KeywordNames: names,
+			Broadmatch:   BroadmatchConfig{Enabled: true, Threshold: 0.4, Squash: 0.5, Seed: 11},
+			Reserve:      10,
+		},
+	})
+	texts := TextQueries(9, DefaultKeywords, warmup+b.N, 3, 1.2)
+	for _, q := range texts[:warmup] {
+		s.SubmitText(q)
+	}
+	for s.Stats().Pending > 0 {
+		runtime.Gosched()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.SubmitText(texts[warmup+i])
+	}
+	b.StopTimer()
+	st := s.Close()
+	// Under broad match a submission may be unrouted or overmatched, so
+	// the drain check is the accounting identity, not Served == N.
+	if st.Submitted != st.Served+st.Shed+st.Unrouted+st.Overmatched {
+		b.Fatalf("identity: %+v", st)
+	}
+	if st.Submitted != int64(warmup+b.N)+st.Overmatched {
+		b.Fatalf("submitted %d of %d (+%d overmatched)", st.Submitted, warmup+b.N, st.Overmatched)
+	}
+	b.ReportMetric(st.WindowThroughput, "qps")
+	b.ReportMetric(float64(st.P99.Nanoseconds()), "p99-ns")
+}
+
 // benchShardCounts returns the shard sweep: 1, 2, 4, … capped at
 // GOMAXPROCS, always including GOMAXPROCS itself.
 func benchShardCounts() []int {

@@ -34,6 +34,21 @@
 // auctions' worth of window, and the final drain flushes cumulative
 // accounting plus the per-shard breakdown.
 //
+// With -broadmatch t (engine or stream mode) queries become free text
+// over the bigram keyword catalog and the probabilistic broad-match
+// router fans each query out to every keyword whose name scores at
+// least t under subset relevance scoring; per-(query,keyword) match
+// draws are seeded and replayable, the highest-relevance admitted
+// market serves the impression, and the matched-but-unserved rest are
+// counted as overmatched. -squash e weights eligible bids by
+// relevance^e before GSP/VCG pricing, and -reserve r (also available
+// without -broadmatch) excludes effective bids below the reserve and
+// floors charged prices at it. The drained accounting identity
+// becomes submitted == served + shed + unrouted + overmatched.
+// Invalid knob values, -broadmatch outside -engine/-stream, and
+// -broadmatch with -serve/-connect (the wire protocol carries keyword
+// ids, not text) are rejected.
+//
 // With -budget N (in every mode) each advertiser gets a daily budget
 // scaled so an on-target spender exhausts it after roughly N
 // auctions, and the cross-keyword budget subsystem enforces the caps:
@@ -78,6 +93,8 @@
 //	auctionsim -engine -method rh-talu -shards 8 -queue 256 -n 2000 -auctions 200000
 //	auctionsim -method heavy -pricing vcg -slots 6 -n 500 -heavy-frac 0.2 -shadow 0.3
 //	auctionsim -stream -qps 3000 -duration 10s -churn 6 -overload shed -zipf 1.2
+//	auctionsim -engine -broadmatch 0.4 -squash 0.5 -reserve 3 -zipf 1.2 -auctions 50000
+//	auctionsim -stream -broadmatch 0.4 -reserve 3 -qps 3000 -duration 10s
 //	auctionsim -engine -budget 300 -budget-policy paced -budget-refresh 32 -auctions 20000
 //	auctionsim -stream -budget 200 -journal /var/tmp/ssa-journal -duration 10s
 //	auctionsim -stream -budget 200 -journal /var/tmp/ssa-journal -recover -duration 10s
@@ -95,6 +112,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/broadmatch"
 	"repro/internal/budget"
 	"repro/internal/engine"
 	"repro/internal/journal"
@@ -124,7 +142,10 @@ func main() {
 		duration  = flag.Duration("duration", 5*time.Second, "stream mode: stream length")
 		churn     = flag.Int("churn", 0, "stream mode: scripted advertiser add/remove events over the run")
 		overload  = flag.String("overload", "block", "stream mode: admission policy at queue saturation: block, shed")
-		zipf      = flag.Float64("zipf", 0, "stream mode: Zipf keyword-popularity exponent (> 1; 0 = uniform)")
+		zipf      = flag.Float64("zipf", 0, "stream/broad-match mode: Zipf keyword- or token-popularity exponent (> 1; 0 = uniform)")
+		broadTh   = flag.Float64("broadmatch", 0, "broad-match relevance threshold in (0, 1]: route free-text queries to every keyword scoring at least this (0 = exact routing; needs -engine or -stream)")
+		reserve   = flag.Float64("reserve", 0, "per-click reserve price: bids below reserve/weight are excluded and prices floored at the reserve (needs -engine or -stream)")
+		squash    = flag.Float64("squash", 1, "broad-match squashing exponent: eligible bids are weighted by relevance^squash before pricing (needs -broadmatch)")
 		burst     = flag.Float64("burst", 1, "stream mode: burst rate factor (> 1 enables on/off bursts)")
 		budgetAt  = flag.Float64("budget", 0, "attach daily budgets scaled to this many on-target auctions and enforce them (0 = budgets off)")
 		budgetPol = flag.String("budget-policy", "hard", "budget enforcement: hard (exclude at cap), paced (smooth spend over the run)")
@@ -162,6 +183,42 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *broadTh < 0 || *broadTh > 1 {
+		fmt.Fprintf(os.Stderr, "auctionsim: -broadmatch wants a relevance threshold in (0, 1] (0 = exact routing), got %v\n", *broadTh)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *reserve < 0 {
+		fmt.Fprintf(os.Stderr, "auctionsim: -reserve wants a non-negative per-click price, got %v\n", *reserve)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *squash <= 0 {
+		fmt.Fprintf(os.Stderr, "auctionsim: -squash wants a positive exponent (1 = rank by raw relevance), got %v\n", *squash)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *broadTh > 0 && !*useEng && !*useStream {
+		fmt.Fprintln(os.Stderr, "auctionsim: -broadmatch routes free text through the sharded engine and needs -engine or -stream")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *broadTh > 0 && (*serveAddr != "" || *connAddr != "") {
+		fmt.Fprintln(os.Stderr, "auctionsim: -broadmatch is not available over the wire protocol (it carries keyword ids, not text) — drop -serve/-connect")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *reserve > 0 && !*useEng && !*useStream {
+		fmt.Fprintln(os.Stderr, "auctionsim: -reserve is enforced by the sharded engine's markets and needs -engine or -stream")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *squash != 1 && *broadTh == 0 {
+		fmt.Fprintln(os.Stderr, "auctionsim: -squash weights broad-match candidates and needs -broadmatch > 0")
+		flag.Usage()
+		os.Exit(2)
+	}
+	bm := broadOpts{threshold: *broadTh, squash: *squash, reserve: *reserve, zipf: *zipf, seed: *seed + 5}
 
 	if *connAddr != "" {
 		// Connect mode needs no local instance — the serving process
@@ -284,7 +341,7 @@ func main() {
 			clickSeed: *seed + 2, report: *report, qps: *qps,
 			duration: *duration, churn: *churn, policy: pol,
 			zipf: *zipf, burst: *burst, seed: *seed + 3, budget: bcfg,
-			heavyPar: *heavyPar, journal: jw, restore: restore,
+			heavyPar: *heavyPar, journal: jw, restore: restore, broad: bm,
 		})
 		return
 	}
@@ -292,7 +349,7 @@ func main() {
 	queries := inst.Queries(rand.New(rand.NewSource(*seed+1)), *auctions)
 
 	if *useEng {
-		runEngine(inst, queries, m, pr, *shards, *queue, *seed+2, *report, bcfg, *heavyPar, jw, restore)
+		runEngine(inst, queries, m, pr, *shards, *queue, *seed+2, *report, bcfg, *heavyPar, jw, restore, bm)
 		return
 	}
 
@@ -360,11 +417,39 @@ func main() {
 	}
 }
 
+// broadMaxTokens caps free-text query length in broad-match mode:
+// 1…3 tokens over the bigram catalog's vocabulary, enough to reach
+// every relevance class (1/2, 2/3, 1) the scorer can produce.
+const broadMaxTokens = 3
+
+// broadOpts bundles the broad-match serving knobs shared by engine
+// and stream mode.
+type broadOpts struct {
+	threshold, squash, reserve float64
+	zipf                       float64 // token-popularity skew for generated text
+	seed                       int64
+}
+
+func (o broadOpts) on() bool { return o.threshold > 0 }
+
+// apply merges the knobs into an engine config: the reserve applies
+// in every mode, the router and bigram catalog names only when broad
+// match is on.
+func (o broadOpts) apply(cfg *engine.Config, keywords int) {
+	cfg.Reserve = o.reserve
+	if o.on() {
+		cfg.KeywordNames = workload.BigramKeywordNames(keywords)
+		cfg.Broadmatch = broadmatch.Config{Enabled: true, Threshold: o.threshold, Squash: o.squash, Seed: o.seed}
+	}
+}
+
 // runEngine is load-generator mode: the stream is served in
 // report-sized batches through the sharded engine, each batch printing
-// throughput and per-auction latency percentiles.
-func runEngine(inst *workload.Instance, queries []int, m engine.Method, pr engine.Pricing, shards, queue int, clickSeed int64, report int, bcfg budget.Config, heavyPar int, jw *journal.Writer, restore *journal.LedgerState) {
-	e := engine.New(inst, engine.Config{
+// throughput and per-auction latency percentiles. With broad match on
+// the batches are free-text queries routed by relevance instead of
+// pre-resolved keyword indices.
+func runEngine(inst *workload.Instance, queries []int, m engine.Method, pr engine.Pricing, shards, queue int, clickSeed int64, report int, bcfg budget.Config, heavyPar int, jw *journal.Writer, restore *journal.LedgerState, bm broadOpts) {
+	cfg := engine.Config{
 		Shards:           shards,
 		QueueDepth:       queue,
 		Method:           m,
@@ -374,9 +459,18 @@ func runEngine(inst *workload.Instance, queries []int, m engine.Method, pr engin
 		HeavyParallelism: heavyPar,
 		Journal:          jw,
 		Restore:          restore,
-	})
-	fmt.Printf("auctionsim: engine mode, n=%d k=%d keywords=%d method=%v pricing=%v auctions=%d shards=%d\n",
-		inst.N, inst.Slots, inst.Keywords, m, pr, len(queries), e.Shards())
+	}
+	bm.apply(&cfg, inst.Keywords)
+	e := engine.New(inst, cfg)
+	var texts []string
+	if bm.on() {
+		texts = workload.TextQueries(rand.New(rand.NewSource(bm.seed+1)), inst.Keywords, len(queries), broadMaxTokens, bm.zipf)
+		fmt.Printf("auctionsim: engine mode (broad match: threshold=%v squash=%v reserve=%v), n=%d k=%d keywords=%d method=%v pricing=%v queries=%d shards=%d\n",
+			bm.threshold, bm.squash, bm.reserve, inst.N, inst.Slots, inst.Keywords, m, pr, len(texts), e.Shards())
+	} else {
+		fmt.Printf("auctionsim: engine mode, n=%d k=%d keywords=%d method=%v pricing=%v auctions=%d shards=%d\n",
+			inst.N, inst.Slots, inst.Keywords, m, pr, len(queries), e.Shards())
+	}
 	fmt.Println("auction\trevenue\tclicks\tfill%\tqps\tp50µs\tp99µs")
 
 	var total engine.Stats
@@ -385,13 +479,20 @@ func runEngine(inst *workload.Instance, queries []int, m engine.Method, pr engin
 		if end > len(queries) {
 			end = len(queries)
 		}
-		st := e.Serve(queries[off:end])
+		var st *engine.Stats
+		if bm.on() {
+			st = e.ServeText(texts[off:end])
+		} else {
+			st = e.Serve(queries[off:end])
+		}
 		total.Auctions += st.Auctions
 		total.Revenue += st.Revenue
 		total.Clicks += st.Clicks
 		total.Filled += st.Filled
 		total.TotalSlots += st.TotalSlots
 		total.Elapsed += st.Elapsed
+		total.Unrouted += st.Unrouted
+		total.Overmatched += st.Overmatched
 		fmt.Printf("%d\t%.0f\t%d\t%.1f\t%.0f\t%.1f\t%.1f\n",
 			total.Auctions, total.Revenue, total.Clicks,
 			100*float64(total.Filled)/float64(total.TotalSlots),
@@ -402,6 +503,10 @@ func runEngine(inst *workload.Instance, queries []int, m engine.Method, pr engin
 	fmt.Printf("total: %d auctions in %v (%.0f qps overall)\n",
 		total.Auctions, total.Elapsed.Round(time.Millisecond),
 		float64(total.Auctions)/total.Elapsed.Seconds())
+	if bm.on() {
+		fmt.Printf("broad match: unrouted=%d overmatched=%d (served+unrouted = %d submitted queries)\n",
+			total.Unrouted, total.Overmatched, total.Auctions+total.Unrouted)
+	}
 
 	// Aggregate per-keyword market accounting into the advertiser view.
 	spent := make([]float64, inst.N)
@@ -453,6 +558,7 @@ type streamOpts struct {
 	heavyPar  int
 	journal   *journal.Writer
 	restore   *journal.LedgerState
+	broad     broadOpts
 }
 
 // runStream is open-world mode: a deterministic workload.Stream paces
@@ -465,21 +571,33 @@ func runStream(inst *workload.Instance, o streamOpts) {
 		total = 1
 	}
 	rng := rand.New(rand.NewSource(o.seed))
-	events := workload.NewStream(inst, rng, workload.StreamConfig{
+	scfg := workload.StreamConfig{
 		Queries: total, QPS: o.qps, ZipfS: o.zipf, BurstFactor: o.burst,
 		Churn: workload.ScriptChurn(rng, inst, o.churn, total),
-	})
+	}
+	if o.broad.on() {
+		scfg.TextTokens = broadMaxTokens
+	}
+	events := workload.NewStream(inst, rng, scfg)
+	ecfg := engine.Config{
+		Shards: o.shards, QueueDepth: o.queue,
+		Method: o.method, Pricing: o.pricing, ClickSeed: o.clickSeed,
+		Budget: o.budget, HeavyParallelism: o.heavyPar,
+		Journal: o.journal, Restore: o.restore,
+	}
+	o.broad.apply(&ecfg, inst.Keywords)
 	srv := stream.NewServer(inst, stream.Config{
-		Engine: engine.Config{
-			Shards: o.shards, QueueDepth: o.queue,
-			Method: o.method, Pricing: o.pricing, ClickSeed: o.clickSeed,
-			Budget: o.budget, HeavyParallelism: o.heavyPar,
-			Journal: o.journal, Restore: o.restore,
-		},
+		Engine:   ecfg,
 		Overload: o.policy,
 	})
-	fmt.Printf("auctionsim: stream mode, n=%d k=%d keywords=%d method=%v pricing=%v qps=%.0f duration=%v overload=%v churn=%d shards=%d\n",
-		inst.N, inst.Slots, inst.Keywords, o.method, o.pricing, o.qps, o.duration, o.policy, o.churn, srv.Shards())
+	if o.broad.on() {
+		fmt.Printf("auctionsim: stream mode (broad match: threshold=%v squash=%v reserve=%v), n=%d k=%d keywords=%d method=%v pricing=%v qps=%.0f duration=%v overload=%v churn=%d shards=%d\n",
+			o.broad.threshold, o.broad.squash, o.broad.reserve,
+			inst.N, inst.Slots, inst.Keywords, o.method, o.pricing, o.qps, o.duration, o.policy, o.churn, srv.Shards())
+	} else {
+		fmt.Printf("auctionsim: stream mode, n=%d k=%d keywords=%d method=%v pricing=%v qps=%.0f duration=%v overload=%v churn=%d shards=%d\n",
+			inst.N, inst.Slots, inst.Keywords, o.method, o.pricing, o.qps, o.duration, o.policy, o.churn, srv.Shards())
+	}
 	fmt.Println("t\tsubmitted\tserved\tshed\tadv\tepoch\tqps(win)\tp50µs\tp95µs\tp99µs")
 
 	start := time.Now()
@@ -506,7 +624,11 @@ func runStream(inst *workload.Instance, o streamOpts) {
 		if ahead := ev.At - time.Since(start); ahead > 200*time.Microsecond {
 			time.Sleep(ahead)
 		}
-		srv.Submit(ev.Keyword)
+		if ev.Text != "" {
+			srv.SubmitText(ev.Text)
+		} else {
+			srv.Submit(ev.Keyword)
+		}
 		submitted++
 		if submitted >= nextReport {
 			nextReport += o.report
@@ -520,9 +642,15 @@ func runStream(inst *workload.Instance, o streamOpts) {
 		}
 	}
 	st := srv.Close()
-	fmt.Printf("drained: submitted=%d served=%d shed=%d (identity %v) unrouted=%d epochs=%d advertisers=%d\n",
-		st.Submitted, st.Served, st.Shed, st.Served+st.Shed == st.Submitted,
-		st.Unrouted, st.Epoch, st.Advertisers)
+	// Under broad match every text query is an admission unit, so the
+	// drained identity gains the unrouted and overmatched legs.
+	identity := st.Served+st.Shed == st.Submitted
+	if o.broad.on() {
+		identity = st.Served+st.Shed+st.Unrouted+st.Overmatched == st.Submitted
+	}
+	fmt.Printf("drained: submitted=%d served=%d shed=%d (identity %v) unrouted=%d overmatched=%d epochs=%d advertisers=%d\n",
+		st.Submitted, st.Served, st.Shed, identity,
+		st.Unrouted, st.Overmatched, st.Epoch, st.Advertisers)
 	fmt.Printf("totals: revenue=%.0f clicks=%d fill=%.1f%% in %v (%.0f qps lifetime)\n",
 		st.Revenue, st.Clicks, 100*float64(st.Filled)/float64(st.TotalSlots),
 		st.Elapsed.Round(time.Millisecond), st.Throughput)

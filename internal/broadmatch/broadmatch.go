@@ -1,0 +1,170 @@
+// Package broadmatch implements the probabilistic broad-match query
+// router from "Generalized Second Price Auction with Probabilistic
+// Broad Match" (arXiv 1404.3828), adapted to this repo's
+// keyword-sharded serving engine. A multi-token user query no longer
+// maps to exactly one keyword market: it fans out to every market
+// whose catalog keyword scores at or above a relevance threshold
+// under kwmatch subset scoring, each candidate is admitted with
+// probability equal to its relevance (a deterministic seeded draw, so
+// runs replay bit for bit), and admitted candidates carry a squashed
+// pricing weight relevance^squash — the Feldman–Muthukrishnan
+// squashing knob — that the market applies to every GSP/VCG charge.
+//
+// The serving layers resolve one winner per query (the
+// highest-relevance admitted candidate, ties to the lowest keyword
+// id — exactly the exact router's ordering); the losing candidates
+// are "overmatched": matched but not serving the impression. With the
+// neutral knobs (threshold 1, squash 1) every admitted candidate has
+// relevance exactly 1 and weight exactly 1, which is why a
+// broad-neutral run is byte-identical to exact routing whenever
+// queries name catalog keywords.
+package broadmatch
+
+import (
+	"math"
+	"sync"
+
+	"repro/internal/kwmatch"
+)
+
+// Config tunes a Router. The zero value (Enabled false) means exact
+// routing: the engine never consults a Router at all, keeping the
+// historical path byte-identical.
+type Config struct {
+	// Enabled switches text routing from exact keyword lookup to
+	// broad match.
+	Enabled bool
+	// Threshold is the minimum kwmatch relevance, in (0, 1], for a
+	// catalog keyword to become a candidate. 0 admits any positive
+	// relevance; 1 admits only full-overlap matches.
+	Threshold float64
+	// Squash is the squashing exponent: an admitted candidate's
+	// pricing weight is Relevance^Squash. 0 is treated as 1 (plain
+	// relevance weighting). Values below 1 flatten the weight toward
+	// 1; above 1 sharpen it.
+	Squash float64
+	// Seed drives the per-(query, keyword) match draws. Two routers
+	// with the same seed and catalog route identically, so a seeded
+	// run is replayable.
+	Seed int64
+}
+
+// Candidate is one market a query matched.
+type Candidate struct {
+	// Keyword is the engine keyword id (the market's shard key).
+	Keyword int
+	// Relevance is the kwmatch subset score of the query against
+	// this keyword, in (0, 1].
+	Relevance float64
+	// Weight is Relevance^Squash — the squashed pricing weight the
+	// market applies to every charge for this query.
+	Weight float64
+}
+
+// Router resolves free-text queries to broad-matched candidate sets.
+// It is safe for concurrent use; the query path reuses one internal
+// kwmatch Scratch under a mutex and performs zero steady-state heap
+// allocations.
+type Router struct {
+	cfg Config
+	idx *kwmatch.Index
+
+	mu  sync.Mutex
+	sc  kwmatch.Scratch
+	buf []kwmatch.Match
+}
+
+// New builds a Router over the engine's keyword catalog: names[q] is
+// the text of keyword q, registered so that kwmatch scores queries
+// against it. A zero Squash is normalized to 1.
+func New(names []string, cfg Config) *Router {
+	if cfg.Squash == 0 {
+		cfg.Squash = 1
+	}
+	idx := kwmatch.New()
+	for q, name := range names {
+		idx.Register(q, name)
+	}
+	return &Router{cfg: cfg, idx: idx}
+}
+
+// Config returns the (normalized) configuration the router runs with.
+func (r *Router) Config() Config { return r.cfg }
+
+// RouteBest resolves the query's admitted candidate set and returns
+// the winning candidate — highest relevance, ties to the lowest
+// keyword id, the same ordering exact routing uses — along with the
+// total number of admitted candidates. ok is false when nothing
+// matched (the query is unrouted). Deterministic for a fixed seed,
+// catalog, and query.
+func (r *Router) RouteBest(query string) (best Candidate, matched int, ok bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.buf = r.idx.QueryInto(query, &r.sc, r.buf[:0])
+	for _, m := range r.buf {
+		c, admitted := r.admit(query, m)
+		if !admitted {
+			continue
+		}
+		if matched == 0 {
+			best = c
+		}
+		matched++
+	}
+	return best, matched, matched > 0
+}
+
+// Route appends every admitted candidate for the query to out, winner
+// first (descending relevance, ties ascending keyword id), and
+// returns the extended slice — the inspection twin of RouteBest, for
+// tools and tests that want the whole matched set.
+func (r *Router) Route(query string, out []Candidate) []Candidate {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.buf = r.idx.QueryInto(query, &r.sc, r.buf[:0])
+	for _, m := range r.buf {
+		if c, admitted := r.admit(query, m); admitted {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// admit applies the threshold filter and the probabilistic match draw
+// to one kwmatch hit. Full-relevance hits always match; a hit with
+// relevance rel < 1 matches with probability rel.
+func (r *Router) admit(query string, m kwmatch.Match) (Candidate, bool) {
+	rel := m.Relevance
+	if rel < r.cfg.Threshold {
+		return Candidate{}, false
+	}
+	if rel < 1 && r.draw(query, m.Advertiser) >= rel {
+		return Candidate{}, false
+	}
+	w := rel
+	if r.cfg.Squash != 1 {
+		w = math.Pow(rel, r.cfg.Squash)
+	}
+	return Candidate{Keyword: m.Advertiser, Relevance: rel, Weight: w}, true
+}
+
+// draw returns the uniform [0, 1) variate for (seed, query, keyword):
+// FNV-64a over the seed bytes, the keyword id bytes, and the query
+// bytes. Pure and allocation-free, so match decisions replay exactly.
+func (r *Router) draw(query string, kw int) float64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for s := uint(0); s < 64; s += 8 {
+		h = (h ^ (uint64(r.cfg.Seed)>>s)&0xff) * prime64
+	}
+	for s := uint(0); s < 64; s += 8 {
+		h = (h ^ (uint64(kw)>>s)&0xff) * prime64
+	}
+	for i := 0; i < len(query); i++ {
+		h = (h ^ uint64(query[i])) * prime64
+	}
+	return float64(h>>11) / (1 << 53)
+}

@@ -1,0 +1,159 @@
+package broadmatch
+
+import (
+	"math"
+	"testing"
+)
+
+func bigram(n int) []string {
+	names := make([]string, n)
+	for q := range names {
+		names[q] = "t" + itoa(q) + " t" + itoa(q+1)
+	}
+	return names
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// TestNeutralKnobsAdmitExactMatches pins the byte-identity regime:
+// threshold 1 admits only relevance-1 candidates, which always match
+// and carry weight exactly 1 regardless of seed.
+func TestNeutralKnobsAdmitExactMatches(t *testing.T) {
+	r := New(bigram(8), Config{Enabled: true, Threshold: 1, Squash: 1, Seed: 99})
+	best, matched, ok := r.RouteBest("t3 t4")
+	if !ok || matched != 1 {
+		t.Fatalf("exact bigram query: ok=%v matched=%d", ok, matched)
+	}
+	if best.Keyword != 3 || best.Relevance != 1 || best.Weight != 1 {
+		t.Fatalf("best = %+v, want keyword 3 rel 1 weight 1", best)
+	}
+	if _, _, ok := r.RouteBest("t5"); ok {
+		t.Fatal("half-relevance query admitted under threshold 1")
+	}
+}
+
+// TestWinnerOrdering pins the exact router's tie-break: highest
+// relevance first, then lowest keyword id.
+func TestWinnerOrdering(t *testing.T) {
+	// Threshold 0, squash 1, and a catalog where "t3 t4" scores 1
+	// against keyword 3 and 1/2 against keywords 2 and 4.
+	r := New(bigram(8), Config{Enabled: true, Seed: 4})
+	cands := r.Route("t3 t4", nil)
+	if len(cands) == 0 || cands[0].Keyword != 3 || cands[0].Relevance != 1 {
+		t.Fatalf("winner should be the full match: %+v", cands)
+	}
+	for i := 1; i < len(cands); i++ {
+		a, b := cands[i-1], cands[i]
+		if a.Relevance < b.Relevance || (a.Relevance == b.Relevance && a.Keyword > b.Keyword) {
+			t.Fatalf("candidates out of order: %+v", cands)
+		}
+	}
+	best, matched, ok := r.RouteBest("t3 t4")
+	if !ok || matched != len(cands) || best != cands[0] {
+		t.Fatalf("RouteBest (%+v, %d, %v) disagrees with Route %+v", best, matched, ok, cands)
+	}
+}
+
+// TestDrawsAreDeterministic pins replayability: two routers with the
+// same seed and catalog route every query identically; a different
+// seed changes at least one admission on a probe set large enough to
+// make a no-op seed essentially impossible.
+func TestDrawsAreDeterministic(t *testing.T) {
+	cfg := Config{Enabled: true, Threshold: 0.4, Squash: 0.5, Seed: 7}
+	a, b := New(bigram(32), cfg), New(bigram(32), cfg)
+	other := cfg
+	other.Seed = 8
+	c := New(bigram(32), other)
+	diff := false
+	var bufA, bufB, bufC []Candidate
+	for q := 0; q < 32; q++ {
+		query := "t" + itoa(q)
+		bufA = a.Route(query, bufA[:0])
+		bufB = b.Route(query, bufB[:0])
+		bufC = c.Route(query, bufC[:0])
+		if len(bufA) != len(bufB) {
+			t.Fatalf("same seed, different candidate count for %q", query)
+		}
+		for i := range bufA {
+			if bufA[i] != bufB[i] {
+				t.Fatalf("same seed, different candidate %d for %q: %+v vs %+v", i, query, bufA[i], bufB[i])
+			}
+		}
+		if len(bufA) != len(bufC) {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("seeds 7 and 8 admitted identical sets on every probe query")
+	}
+}
+
+// TestSquashWeights pins Weight = Relevance^Squash and the zero-value
+// normalization Squash 0 → 1.
+func TestSquashWeights(t *testing.T) {
+	r := New(bigram(8), Config{Enabled: true, Squash: 0.5, Seed: 1})
+	cands := r.Route("t2 t3 t4", nil)
+	if len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+	for _, c := range cands {
+		want := math.Pow(c.Relevance, 0.5)
+		if c.Weight != want {
+			t.Fatalf("weight %g for relevance %g, want %g", c.Weight, c.Relevance, want)
+		}
+	}
+	if got := New(nil, Config{}).Config().Squash; got != 1 {
+		t.Fatalf("zero Squash normalized to %g, want 1", got)
+	}
+}
+
+// TestProbabilisticAdmission checks the match draw actually gates:
+// across many half-relevance probes, some are admitted and some are
+// not, and the admitted fraction is loosely near the relevance.
+func TestProbabilisticAdmission(t *testing.T) {
+	r := New(bigram(400), Config{Enabled: true, Seed: 3})
+	admitted := 0
+	probes := 0
+	var buf []Candidate
+	for q := 1; q < 400; q += 2 {
+		// Single-token query "t<q>" scores 1/2 against keywords q-1
+		// and q (no full match exists for a lone token).
+		buf = r.Route("t"+itoa(q), buf[:0])
+		probes += 2
+		admitted += len(buf)
+	}
+	frac := float64(admitted) / float64(probes)
+	if frac < 0.35 || frac > 0.65 {
+		t.Fatalf("admitted fraction %g for relevance-1/2 probes, want ≈0.5", frac)
+	}
+}
+
+// TestRouteSteadyStateAllocs pins the serving path's zero-allocation
+// contract end to end through the router.
+func TestRouteSteadyStateAllocs(t *testing.T) {
+	r := New(bigram(64), Config{Enabled: true, Threshold: 0.4, Squash: 0.5, Seed: 11})
+	queries := []string{"t3 t4", "t10", "t20 t21 t22", "none here", "t63 t64"}
+	for _, q := range queries {
+		r.RouteBest(q)
+	}
+	n := testing.AllocsPerRun(200, func() {
+		for _, q := range queries {
+			r.RouteBest(q)
+		}
+	})
+	if n != 0 {
+		t.Fatalf("RouteBest steady state allocated %.1f times per run, want 0", n)
+	}
+}

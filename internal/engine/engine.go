@@ -61,6 +61,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/broadmatch"
 	"repro/internal/budget"
 	"repro/internal/journal"
 	"repro/internal/kwmatch"
@@ -101,6 +102,23 @@ type Config struct {
 	// KeywordNames optionally names the instance's keywords for
 	// text-query routing (ServeText); defaults to "kw0", "kw1", …
 	KeywordNames []string
+	// Broadmatch configures the probabilistic broad-match query
+	// router (internal/broadmatch): when Enabled, ServeText and the
+	// streaming layer's SubmitText fan each text query out to every
+	// catalog keyword scoring at or above Broadmatch.Threshold under
+	// kwmatch subset scoring, admit candidates by deterministic
+	// seeded per-(query, keyword) draws, serve the highest-relevance
+	// admitted market (ties to the lowest keyword id) with the
+	// squashed pricing weight relevance^Squash, and count the losing
+	// candidates as Overmatched. The zero value (Enabled false) keeps
+	// exact routing, byte for byte.
+	Broadmatch broadmatch.Config
+	// Reserve is the per-click reserve price, applied in every
+	// method and pricing rule: advertisers whose (squash-weighted)
+	// bid falls below it are excluded from winner determination, and
+	// every charged click pays at least it. 0 disables reserve
+	// pricing byte-identically.
+	Reserve float64
 	// Budget configures cross-keyword budget enforcement
 	// (internal/budget). The zero value (PolicyOff) disables the
 	// subsystem entirely: no ledger is built and outcomes are
@@ -148,6 +166,10 @@ type Stats struct {
 	// Unrouted counts ServeText queries that matched no keyword (always
 	// 0 for Serve).
 	Unrouted int
+	// Overmatched counts broad-match candidates that matched a query
+	// but lost the impression to a higher-relevance market (always 0
+	// for Serve and for exact routing).
+	Overmatched int
 	// Elapsed is the wall-clock span of the Serve call; Throughput is
 	// Auctions/Elapsed in queries per second.
 	Elapsed    time.Duration
@@ -171,7 +193,8 @@ type Engine struct {
 	markets []*Market // one per keyword
 	shardOf []int     // keyword -> shard
 	kwIndex *kwmatch.Index
-	ledger  *budget.Ledger // nil when Budget.Policy == PolicyOff
+	router  *broadmatch.Router // nil = exact routing
+	ledger  *budget.Ledger     // nil when Budget.Policy == PolicyOff
 
 	mu        sync.Mutex // serializes Serve calls
 	closeOnce sync.Once
@@ -205,6 +228,9 @@ func New(inst *workload.Instance, cfg Config) *Engine {
 		shardOf: make([]int, inst.Keywords),
 		kwIndex: kwmatch.New(),
 	}
+	if cfg.Reserve < 0 {
+		panic(fmt.Sprintf("engine: negative Reserve %v", cfg.Reserve))
+	}
 	if cfg.Journal != nil && cfg.Budget.Policy == budget.PolicyOff {
 		panic("engine: Config.Journal requires a budget policy (there is no other durable state)")
 	}
@@ -225,6 +251,7 @@ func New(inst *workload.Instance, cfg Config) *Engine {
 	} else {
 		e.ledger = e.newLedger(inst, true)
 	}
+	names := make([]string, inst.Keywords)
 	for q := 0; q < inst.Keywords; q++ {
 		e.markets[q] = NewMarketOpts(inst, e.marketOpts(q, e.ledger))
 		e.shardOf[q] = q % cfg.Shards
@@ -232,12 +259,16 @@ func New(inst *workload.Instance, cfg Config) *Engine {
 		if q < len(cfg.KeywordNames) && cfg.KeywordNames[q] != "" {
 			name = cfg.KeywordNames[q]
 		}
+		names[q] = name
 		// The kwmatch inverted index is advertiser-oriented; the engine
 		// indexes its keyword catalog by using the keyword id as the
 		// "advertiser": Query then prunes the catalog to the keywords
 		// sharing tokens with the search text, Section IV's
 		// keyword-matching step.
 		e.kwIndex.Register(q, name)
+	}
+	if cfg.Broadmatch.Enabled {
+		e.router = broadmatch.New(names, cfg.Broadmatch)
 	}
 	return e
 }
@@ -350,12 +381,25 @@ func (e *Engine) RouteText(query string) (int, bool) {
 	return ms[0].Advertiser, true
 }
 
+// Broadmatch returns the engine's broad-match router, or nil when
+// Config.Broadmatch is disabled (exact routing). The streaming layer
+// uses nil-ness to pick its SubmitText path.
+func (e *Engine) Broadmatch() *broadmatch.Router { return e.router }
+
+// RouteBroad resolves a free-text search through the broad-match
+// router: the winning candidate (highest admitted relevance, ties to
+// the lowest keyword id), the total admitted-candidate count, and
+// whether anything matched. Panics when broad match is disabled.
+func (e *Engine) RouteBroad(query string) (broadmatch.Candidate, int, bool) {
+	return e.router.RouteBest(query)
+}
+
 // Serve runs one auction per query (queries are keyword indices, as
 // produced by workload.Instance.Queries), fanning them out to the
 // keyword shards, and blocks until all have completed. Outcomes are
 // discarded after aggregation; use ServeOutcomes to retain them.
 func (e *Engine) Serve(queries []int) *Stats {
-	return e.serve(queries, nil)
+	return e.serve(queries, nil, nil, nil)
 }
 
 // ServeOutcomes is Serve, additionally returning every auction's
@@ -363,17 +407,39 @@ func (e *Engine) Serve(queries []int) *Stats {
 // outcome).
 func (e *Engine) ServeOutcomes(queries []int) ([]*Outcome, *Stats) {
 	results := make([]*Outcome, len(queries))
-	st := e.serve(queries, results)
+	st := e.serve(queries, nil, nil, results)
 	return results, st
 }
 
-// ServeText routes free-text searches through the keyword index and
-// serves the matched ones; unmatched queries are counted in
-// Stats.Unrouted (no auction runs — no keyword means no interested
-// advertisers).
+// ServeText routes free-text searches and serves the matched ones;
+// unmatched queries are counted in Stats.Unrouted (no auction runs —
+// no keyword means no interested advertisers). With broad match
+// enabled each query fans out to its admitted candidate set, the
+// highest-relevance candidate is served with its relevance and
+// squashed weight, and the losers are counted in Stats.Overmatched.
 func (e *Engine) ServeText(queries []string) *Stats {
 	routed := make([]int, 0, len(queries))
 	unrouted := 0
+	if e.router != nil {
+		overmatched := 0
+		rels := make([]float64, 0, len(queries))
+		ws := make([]float64, 0, len(queries))
+		for _, s := range queries {
+			best, matched, ok := e.router.RouteBest(s)
+			if !ok {
+				unrouted++
+				continue
+			}
+			overmatched += matched - 1
+			routed = append(routed, best.Keyword)
+			rels = append(rels, best.Relevance)
+			ws = append(ws, best.Weight)
+		}
+		st := e.serve(routed, rels, ws, nil)
+		st.Unrouted = unrouted
+		st.Overmatched = overmatched
+		return st
+	}
 	for _, s := range queries {
 		if q, ok := e.RouteText(s); ok {
 			routed = append(routed, q)
@@ -381,7 +447,7 @@ func (e *Engine) ServeText(queries []string) *Stats {
 			unrouted++
 		}
 	}
-	st := e.serve(routed, nil)
+	st := e.serve(routed, nil, nil, nil)
 	st.Unrouted = unrouted
 	return st
 }
@@ -419,6 +485,16 @@ func (t *Totals) Add(out *Outcome) {
 // shard; allocation-free in steady state under MethodRH/MethodRHTALU.
 func (e *Engine) ServeOne(q int, tot *Totals) *Outcome {
 	out := e.markets[q].Run(q)
+	tot.Add(out)
+	return out
+}
+
+// ServeOneWeighted is ServeOne for a broad-matched query: rel and w
+// are the winning candidate's relevance and squashed pricing weight
+// (see Market.RunWeighted). ServeOneWeighted(q, 1, 1, tot) is
+// ServeOne(q, tot), byte for byte.
+func (e *Engine) ServeOneWeighted(q int, rel, w float64, tot *Totals) *Outcome {
+	out := e.markets[q].RunWeighted(q, rel, w)
 	tot.Add(out)
 	return out
 }
@@ -462,6 +538,7 @@ func (e *Engine) marketOpts(q int, led *budget.Ledger) MarketOpts {
 		ClickSeed:        KeywordSeed(e.cfg.ClickSeed, q),
 		Lane:             e.laneOf(led, q),
 		HeavyParallelism: e.cfg.HeavyParallelism,
+		Reserve:          e.cfg.Reserve,
 	}
 }
 
@@ -557,7 +634,11 @@ func (e *Engine) SetInstance(inst *workload.Instance, led *budget.Ledger) {
 	e.ledger = led
 }
 
-func (e *Engine) serve(queries []int, results []*Outcome) *Stats {
+// serve fans queries out to the keyword shards. rels/ws, when
+// non-nil, carry the per-query broad-match relevance and squashed
+// weight (parallel to queries); nil means exact routing, every query
+// at (1, 1).
+func (e *Engine) serve(queries []int, rels, ws []float64, results []*Outcome) *Stats {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 
@@ -598,8 +679,12 @@ func (e *Engine) serve(queries []int, results []*Outcome) *Stats {
 					return
 				}
 				q := queries[idx]
+				rel, w := 1.0, 1.0
+				if rels != nil {
+					rel, w = rels[idx], ws[idx]
+				}
 				t0 := time.Now()
-				out := e.ServeOne(q, &tot)
+				out := e.ServeOneWeighted(q, rel, w, &tot)
 				latencies[idx] = int64(time.Since(t0))
 				if results != nil {
 					results[idx] = out.Clone()

@@ -39,6 +39,18 @@ type Market struct {
 	// exactly the values added to the accounting.
 	lane *budget.Lane
 
+	// reserve is the per-click reserve price (0 = off): advertisers
+	// whose squash-weighted bid w·bid falls below it sit out the
+	// auction in every method, and every charged click pays at least
+	// it. curRel/curW carry the in-flight auction's broad-match
+	// relevance and squashed pricing weight (both 1 for exact
+	// routing), and resCut caches reserve/curW — the raw-bid
+	// participation cutoff — once per auction.
+	reserve float64
+	curRel  float64
+	curW    float64
+	resCut  float64
+
 	ex    *explicitEngine
 	talu  *taluEngine
 	heavy *heavyEngine
@@ -115,6 +127,12 @@ type MarketOpts struct {
 	// pattern count. Outcomes are byte-identical at every setting —
 	// this is a pure performance knob, like Config.Shards one level up.
 	HeavyParallelism int
+	// Reserve is the per-click reserve price: advertisers bidding
+	// below it (below Reserve/weight under a broad-match squash
+	// weight) are excluded from winner determination in every method,
+	// and every charged click pays at least Reserve. 0 — the zero
+	// value — disables reserve pricing byte-identically.
+	Reserve float64
 }
 
 // NewMarketOpts builds a market from an options bundle — the full
@@ -128,9 +146,12 @@ func NewMarketOpts(inst *workload.Instance, o MarketOpts) *Market {
 		acct:    newAccounting(inst.N, inst.Keywords),
 		rng:     rand.New(rand.NewSource(o.ClickSeed)),
 		lane:    o.Lane,
+		reserve: o.Reserve,
+		curRel:  1,
+		curW:    1,
 	}
 	if method == MethodRHTALU {
-		m.talu = newTALUEngine(inst, m.acct, o.Lane)
+		m.talu = newTALUEngine(inst, m.acct, o.Lane, o.Reserve > 0)
 	} else {
 		m.ex = newExplicitEngine(inst)
 	}
@@ -180,6 +201,23 @@ func (m *Market) gateBids() {
 	}
 	for i := range m.bidf {
 		if m.bidf[i] != 0 && !m.lane.Allowed(i) {
+			m.bidf[i] = 0
+		}
+	}
+}
+
+// gateReserve applies the reserve-price filter to the effective bid
+// vector: an advertiser whose raw bid falls below resCut = reserve/w
+// — i.e. whose squash-weighted bid w·bid falls below the reserve —
+// participates with a bid of zero this auction, exactly like the
+// budget gate masks over-cap advertisers. No-op when the reserve is
+// off or nothing this auction set a cutoff.
+func (m *Market) gateReserve() {
+	if m.resCut == 0 {
+		return
+	}
+	for i := range m.bidf {
+		if m.bidf[i] != 0 && m.bidf[i] < m.resCut {
 			m.bidf[i] = 0
 		}
 	}
@@ -286,9 +324,30 @@ func (m *Market) RunAuction(q int) *Outcome {
 // only until the next Run; under MethodRH and MethodRHTALU the whole
 // call is allocation-free in steady state.
 func (m *Market) Run(q int) *Outcome {
+	return m.RunWeighted(q, 1, 1)
+}
+
+// RunWeighted is Run for a broad-matched query: rel is the query's
+// relevance to this market's keyword (it scales the winners' click
+// probabilities in the user simulation — a loosely related query
+// draws proportionally fewer clicks), and w is the squashed pricing
+// weight (every charge is scaled by w, the winner's cap becomes
+// w·bid, and reserve participation requires w·bid ≥ reserve).
+// RunWeighted(q, 1, 1) is Run, byte for byte: every weighted branch
+// is gated on rel != 1, w != 1, or reserve > 0.
+func (m *Market) RunWeighted(q int, rel, w float64) *Outcome {
 	m.t++
 	t := float64(m.t)
 	k := m.Inst.Slots
+
+	m.curRel, m.curW = rel, w
+	m.resCut = 0
+	if m.reserve > 0 {
+		m.resCut = m.reserve / w
+	}
+	if m.talu != nil {
+		m.talu.resCut = m.resCut
+	}
 
 	if m.lane != nil {
 		// Advance the budget lane: one gating decision per advertiser
@@ -322,6 +381,7 @@ func (m *Market) Run(q int) *Outcome {
 			m.bidf[i] = float64(m.ex.bid[i][q])
 		}
 		m.gateBids()
+		m.gateReserve()
 		score := m.weightFn
 
 		// Candidate lists (k+1 deep) serve both the reduced matching
@@ -393,12 +453,32 @@ func (m *Market) Run(q int) *Outcome {
 			for i := 0; i < m.Inst.N; i++ {
 				m.bidf[i] = float64(m.talu.bid(i, q))
 			}
-			// Same gate the selection phase applied (decisions are
+			// Same gates the selection phase applied (decisions are
 			// cached per auction), so the counterfactual solves see the
 			// same effective bids.
 			m.gateBids()
+			m.gateReserve()
 		}
 		m.priceVCG(advOf, out)
+		if m.curW != 1 || m.reserve > 0 {
+			// The broad-match/reserve price transform: counterfactual
+			// prices scale by the squash weight and floor at the
+			// reserve (participants cleared w·bid ≥ reserve, so the
+			// floor never exceeds a winner's weighted bid).
+			for j, i := range advOf {
+				if i < 0 {
+					continue
+				}
+				p := out.PricePerClick[j]
+				if m.curW != 1 {
+					p *= m.curW
+				}
+				if m.reserve > 0 && p < m.reserve {
+					p = m.reserve
+				}
+				out.PricePerClick[j] = p
+			}
+		}
 	} else {
 		// Generalized second pricing: the winner of slot j pays, per
 		// click, the highest competing score for that slot divided by his
@@ -433,6 +513,17 @@ func (m *Market) Run(q int) *Outcome {
 			if bid := float64(m.Bid(i, q)); price > bid {
 				price = bid
 			}
+			if m.curW != 1 {
+				// Squashed pricing: the per-click charge — runner-up
+				// pressure and bid cap alike — scales by the query's
+				// weight, so a loosely matched impression is cheaper.
+				price *= m.curW
+			}
+			if m.reserve > 0 && price < m.reserve {
+				// The reserve is also the price floor; participants
+				// cleared w·bid ≥ reserve, so the floor respects caps.
+				price = m.reserve
+			}
 			out.PricePerClick[j] = price
 		}
 	}
@@ -445,7 +536,17 @@ func (m *Market) Run(q int) *Outcome {
 	for j := 0; j < k; j++ {
 		u := m.rng.Float64()
 		i := advOf[j]
-		if i < 0 || u >= m.clickProbOf(i, j) {
+		if i < 0 {
+			continue
+		}
+		cp := m.clickProbOf(i, j)
+		if m.curRel != 1 {
+			// Broad match: a partially relevant impression draws
+			// proportionally fewer clicks. The draw count is unchanged
+			// (always k per auction), so equal click seeds stay aligned.
+			cp *= m.curRel
+		}
+		if u >= cp {
 			continue
 		}
 		out.Clicked[j] = true

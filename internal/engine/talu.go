@@ -73,6 +73,15 @@ type taluEngine struct {
 	lane  *budget.Lane
 	gated *gatedBidSource
 
+	// resCut is the in-flight auction's reserve cutoff (reserve/w; 0
+	// when the reserve is off), set by Market.RunWeighted before
+	// prepare. Like the budget gate it is applied lazily: the bid
+	// source's random accesses return 0 for below-cutoff advertisers
+	// (reservedBidSource), sorted accesses pass through so the TA
+	// threshold stays a sound upper bound, and the
+	// winner-determination score applies the same cutoff.
+	resCut float64
+
 	// groups[q][mode] holds the bidders whose behavior for keyword q
 	// is mode (modeConst/modeInc/modeDec); member[i][q] records which.
 	groups [][]*logical.Group
@@ -127,7 +136,11 @@ type taluEngine struct {
 	recomputes int64
 }
 
-func newTALUEngine(inst *workload.Instance, acct *Accounting, lane *budget.Lane) *taluEngine {
+// newTALUEngine builds the §IV engine. withReserve bakes the
+// reserve-consulting bid-source wrapper into srcs, mirroring how lane
+// presence bakes in the budget gate; the cutoff itself (resCut) is set
+// per auction by Market.RunWeighted.
+func newTALUEngine(inst *workload.Instance, acct *Accounting, lane *budget.Lane, withReserve bool) *taluEngine {
 	e := &taluEngine{
 		inst:    inst,
 		acct:    acct,
@@ -172,6 +185,9 @@ func newTALUEngine(inst *workload.Instance, acct *Accounting, lane *budget.Lane)
 		e.gated = &gatedBidSource{inner: e.bidSource, lane: lane}
 		bidSrc = e.gated
 	}
+	if withReserve {
+		bidSrc = &reservedBidSource{inner: bidSrc, eng: e}
+	}
 	e.srcs = make([][]ta.Source, inst.Slots)
 	e.lists = make([][]topk.Item, inst.Slots)
 	for j := 0; j < inst.Slots; j++ {
@@ -199,7 +215,11 @@ func newTALUEngine(inst *workload.Instance, acct *Accounting, lane *budget.Lane)
 		if e.lane != nil && !e.lane.Allowed(i) {
 			return 0
 		}
-		return e.inst.ClickProb[i][j] * float64(e.bid(i, e.curQ))
+		b := float64(e.bid(i, e.curQ))
+		if e.resCut > 0 && b < e.resCut {
+			return 0
+		}
+		return e.inst.ClickProb[i][j] * b
 	}
 
 	// Initial placement: zero spend against a positive target means
@@ -377,4 +397,29 @@ func (g *gatedBidSource) Lookup(id int) float64 {
 		return 0
 	}
 	return g.inner.Lookup(id)
+}
+
+// reservedBidSource wraps the (possibly budget-gated) bid source with
+// the reserve-price cutoff, the same lazy-gating shape as
+// gatedBidSource: random accesses for advertisers bidding below
+// resCut = reserve/w return 0 — their aggregate score is 0 and winner
+// determination never assigns them — while sorted accesses surface
+// stored bids unmodified, over-approximating true scores and keeping
+// the TA stopping rule sound. Built once per market when the reserve
+// is configured; resCut is a field read, so the hot path stays
+// allocation-free. A cutoff of 0 (exact routing with the reserve off,
+// or w large enough) passes everything through.
+type reservedBidSource struct {
+	inner ta.Source
+	eng   *taluEngine
+}
+
+func (r *reservedBidSource) Next() (int, float64, bool) { return r.inner.Next() }
+
+func (r *reservedBidSource) Lookup(id int) float64 {
+	v := r.inner.Lookup(id)
+	if c := r.eng.resCut; c > 0 && v < c {
+		return 0
+	}
+	return v
 }

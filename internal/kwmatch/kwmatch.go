@@ -15,9 +15,11 @@
 package kwmatch
 
 import (
+	"bytes"
 	"sort"
 	"strings"
 	"unicode"
+	"unicode/utf8"
 )
 
 // Index maps query tokens to registered advertiser keywords.
@@ -28,11 +30,22 @@ type Index struct {
 	// regs[advertiser] lists that advertiser's registrations, in
 	// registration order, for relevance reporting.
 	regs map[int][]Registration
+	// flat assigns every registration a dense id so the
+	// allocation-free query path can accumulate per-registration
+	// counts in flat arrays instead of a map.
+	flat []flatReg
 }
 
 type posting struct {
 	advertiser int
 	reg        int // index into regs[advertiser]
+	flat       int // index into Index.flat
+}
+
+type flatReg struct {
+	advertiser int
+	reg        int // index into regs[advertiser]
+	ntokens    int
 }
 
 // Registration is one (advertiser, keyword) interest.
@@ -76,8 +89,10 @@ func (x *Index) Register(advertiser int, keyword string) {
 	reg := Registration{Keyword: keyword, tokens: tokens}
 	x.regs[advertiser] = append(x.regs[advertiser], reg)
 	idx := len(x.regs[advertiser]) - 1
+	fid := len(x.flat)
+	x.flat = append(x.flat, flatReg{advertiser, idx, len(tokens)})
 	for _, tok := range tokens {
-		x.postings[tok] = append(x.postings[tok], posting{advertiser, idx})
+		x.postings[tok] = append(x.postings[tok], posting{advertiser, idx, fid})
 	}
 }
 
@@ -144,4 +159,116 @@ func (x *Index) Interested(query string) []int {
 // registration order.
 func (x *Index) Registrations(advertiser int) []Registration {
 	return x.regs[advertiser]
+}
+
+// Scratch is the reusable state behind the allocation-free query path
+// (ScoreInto/QueryInto). A zero Scratch is ready to use; its internal
+// buffers grow to the index's registration count and the longest query
+// seen, then stop allocating. A Scratch is not safe for concurrent use
+// and must not be shared across goroutines without external locking.
+type Scratch struct {
+	count   []int32  // matched-token count per flat registration id
+	stamp   []uint64 // epoch stamp marking count[f] as current
+	epoch   uint64
+	touched []int // flat ids touched this query, accumulation order
+	tok     []byte
+	seen    []byte // arena of this query's distinct tokens, back to back
+	seenEnd []int  // seen[...seenEnd[i]] ends distinct token i
+}
+
+// ScoreInto scores the query exactly like Query but appends the hits
+// to out (unsorted, in token-posting accumulation order) using only
+// the caller's Scratch for working state: in steady state — warm
+// Scratch, out with capacity — it performs zero heap allocations. The
+// returned slice aliases out's array when capacity suffices.
+func (x *Index) ScoreInto(query string, sc *Scratch, out []Match) []Match {
+	if len(sc.stamp) < len(x.flat) {
+		sc.stamp = make([]uint64, len(x.flat))
+		sc.count = make([]int32, len(x.flat))
+	}
+	sc.epoch++
+	sc.touched = sc.touched[:0]
+	sc.seen = sc.seen[:0]
+	sc.seenEnd = sc.seenEnd[:0]
+	sc.tok = sc.tok[:0]
+	for _, r := range query {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			sc.tok = utf8.AppendRune(sc.tok, unicode.ToLower(r))
+			continue
+		}
+		x.scoreToken(sc)
+	}
+	x.scoreToken(sc)
+	for _, f := range sc.touched {
+		fr := x.flat[f]
+		out = append(out, Match{
+			Advertiser: fr.advertiser,
+			Keyword:    x.regs[fr.advertiser][fr.reg].Keyword,
+			Relevance:  float64(sc.count[f]) / float64(fr.ntokens),
+		})
+	}
+	return out
+}
+
+// scoreToken folds the token accumulated in sc.tok into the counts
+// (skipping duplicates of earlier query tokens, matching Tokenize's
+// dedup) and resets the token buffer.
+func (x *Index) scoreToken(sc *Scratch) {
+	if len(sc.tok) == 0 {
+		return
+	}
+	start := 0
+	for _, end := range sc.seenEnd {
+		if bytes.Equal(sc.seen[start:end], sc.tok) {
+			sc.tok = sc.tok[:0]
+			return
+		}
+		start = end
+	}
+	sc.seen = append(sc.seen, sc.tok...)
+	sc.seenEnd = append(sc.seenEnd, len(sc.seen))
+	// m[string(b)] map reads do not copy the key — this lookup is
+	// allocation-free.
+	for _, p := range x.postings[string(sc.tok)] {
+		if sc.stamp[p.flat] != sc.epoch {
+			sc.stamp[p.flat] = sc.epoch
+			sc.count[p.flat] = 0
+			sc.touched = append(sc.touched, p.flat)
+		}
+		sc.count[p.flat]++
+	}
+	sc.tok = sc.tok[:0]
+}
+
+// QueryInto is the allocation-free twin of Query: identical hits in
+// the identical order (descending relevance; ties ascending
+// advertiser, then keyword), appended to out with all working state in
+// the caller's Scratch. Steady state is zero heap allocations per
+// call.
+func (x *Index) QueryInto(query string, sc *Scratch, out []Match) []Match {
+	base := len(out)
+	out = x.ScoreInto(query, sc, out)
+	hits := out[base:]
+	for a := 1; a < len(hits); a++ {
+		m := hits[a]
+		b := a - 1
+		for b >= 0 && matchLess(m, hits[b]) {
+			hits[b+1] = hits[b]
+			b--
+		}
+		hits[b+1] = m
+	}
+	return out
+}
+
+// matchLess is Query's sort order: a before b on higher relevance,
+// then lower advertiser, then lexicographically smaller keyword.
+func matchLess(a, b Match) bool {
+	if a.Relevance != b.Relevance {
+		return a.Relevance > b.Relevance
+	}
+	if a.Advertiser != b.Advertiser {
+		return a.Advertiser < b.Advertiser
+	}
+	return a.Keyword < b.Keyword
 }

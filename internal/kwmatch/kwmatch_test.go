@@ -94,6 +94,76 @@ func TestBlankRegistrationIgnored(t *testing.T) {
 	}
 }
 
+// TestQueryIntoMatchesQuery pins the allocation-free path to the
+// allocating one: identical hits in identical order across random
+// registration sets and queries, reusing one Scratch and one buffer
+// throughout.
+func TestQueryIntoMatchesQuery(t *testing.T) {
+	vocab := []string{"boot", "shoe", "red", "blue", "kit", "sale", "run", "walk", "size", "9"}
+	rng := rand.New(rand.NewSource(602))
+	var sc Scratch
+	var buf []Match
+	for trial := 0; trial < 200; trial++ {
+		x := New()
+		seen := map[string]bool{}
+		for adv := 0; adv < 8; adv++ {
+			for r := 0; r < 1+rng.Intn(3); r++ {
+				nw := 1 + rng.Intn(3)
+				words := make([]string, nw)
+				for i := range words {
+					words[i] = vocab[rng.Intn(len(vocab))]
+				}
+				kw := strings.Join(words, " ")
+				if seen[kw] { // duplicate (adv,kw,rel) hits have no defined order
+					continue
+				}
+				seen[kw] = true
+				x.Register(adv, kw)
+			}
+		}
+		qWords := make([]string, 1+rng.Intn(5))
+		for i := range qWords {
+			qWords[i] = vocab[rng.Intn(len(vocab))]
+		}
+		// Mixed case and punctuation separators exercise the inline
+		// tokenizer against Tokenize.
+		query := strings.ToUpper(strings.Join(qWords, ", "))
+
+		want := x.Query(query)
+		buf = x.QueryInto(query, &sc, buf[:0])
+		if len(want) == 0 && len(buf) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(buf, want) {
+			t.Fatalf("trial %d: QueryInto = %v, Query = %v (query %q)", trial, buf, want, query)
+		}
+	}
+}
+
+// TestQueryIntoSteadyStateAllocs pins the router hot path's
+// zero-allocation contract: once the Scratch and buffer are warm,
+// QueryInto must not touch the heap.
+func TestQueryIntoSteadyStateAllocs(t *testing.T) {
+	x := New()
+	for q := 0; q < 16; q++ {
+		x.Register(q, "t"+string(rune('a'+q%8))+" t"+string(rune('a'+(q+1)%8)))
+	}
+	queries := []string{"ta tb", "tc", "TB, TD tc", "te tf ta", "zz none"}
+	var sc Scratch
+	var buf []Match
+	for _, q := range queries { // warm the scratch and buffer
+		buf = x.QueryInto(q, &sc, buf[:0])
+	}
+	n := testing.AllocsPerRun(200, func() {
+		for _, q := range queries {
+			buf = x.QueryInto(q, &sc, buf[:0])
+		}
+	})
+	if n != 0 {
+		t.Fatalf("QueryInto steady state allocated %.1f times per run, want 0", n)
+	}
+}
+
 // TestQueryAgainstNaiveScan cross-checks the inverted index against a
 // direct scan over random registrations.
 func TestQueryAgainstNaiveScan(t *testing.T) {

@@ -24,12 +24,21 @@ type Stats struct {
 	// admission contract: counted at the moment of rejection, never
 	// silently lost.
 	Shed int64
-	// Pending is Submitted − Served − Shed: queries sitting in shard
+	// Pending is Submitted − Served − Shed (under broad match also
+	// minus Unrouted and Overmatched): queries sitting in shard
 	// queues at snapshot time (always 0 in a Close flush).
 	Pending int64
 	// Unrouted counts SubmitText queries that matched no catalog
-	// keyword; they never enter a queue and are not in Submitted.
+	// keyword; they never enter a queue. Under exact routing they are
+	// not in Submitted (the historical identity Submitted == Served +
+	// Shed); under broad match every text query is an admission unit,
+	// so Unrouted is inside Submitted and the drained identity becomes
+	// Submitted == Served + Shed + Unrouted + Overmatched.
 	Unrouted int64
+	// Overmatched counts broad-match candidates that matched a query
+	// but lost the impression to a higher-relevance market — matched
+	// but unserved, inside Submitted. Always 0 under exact routing.
+	Overmatched int64
 
 	// Revenue, Clicks, Filled, and TotalSlots aggregate the served
 	// auctions, exactly as the batch engine counts them.

@@ -152,9 +152,13 @@ type item struct {
 	kind  itemKind
 	q     int
 	epoch int
-	inst  *workload.Instance
-	led   *budget.Ledger
-	fn    func(*engine.Outcome)
+	// rel and w are the query's broad-match relevance and squashed
+	// pricing weight (both 1 for keyword queries and exact-routed
+	// text — the byte-identical path).
+	rel, w float64
+	inst   *workload.Instance
+	led    *budget.Ledger
+	fn     func(*engine.Outcome)
 }
 
 // shard is one persistent worker's state: its feed queue, the
@@ -185,8 +189,9 @@ type Server struct {
 	wg       sync.WaitGroup
 	start    time.Time
 
-	submitted atomic.Int64
-	unrouted  atomic.Int64
+	submitted   atomic.Int64
+	unrouted    atomic.Int64
+	overmatched atomic.Int64
 
 	// mu guards the admission gate (closed) and the churn state
 	// (inst, epoch); Submit holds it shared, churn and Close exclusive.
@@ -317,7 +322,7 @@ func (s *Server) worker(sh *shard) {
 			continue
 		}
 		t0 := time.Now()
-		out := s.eng.ServeOne(it.q, &tot)
+		out := s.eng.ServeOneWeighted(it.q, it.rel, it.w, &tot)
 		now := time.Now()
 		sh.mu.Lock()
 		sh.tot = tot
@@ -354,6 +359,8 @@ const (
 	SubmitClosed
 	// SubmitUnrouted (SubmitTextFunc only): the text matched no
 	// catalog keyword — counted in Stats.Unrouted, never queued.
+	// Under broad match it is additionally counted in
+	// Stats.Submitted (every broad query is an admission unit).
 	SubmitUnrouted
 )
 
@@ -387,16 +394,17 @@ func (s *Server) SubmitFunc(q int, fn func(*engine.Outcome)) SubmitResult {
 	}
 	sh := s.shards[s.eng.ShardOf(q)]
 	s.submitted.Add(1)
+	it := item{kind: itemQuery, q: q, rel: 1, w: 1, fn: fn}
 	if s.cfg.Overload == Shed {
 		select {
-		case sh.ch <- item{kind: itemQuery, q: q, fn: fn}:
+		case sh.ch <- it:
 			return SubmitQueued
 		default:
 			sh.shed.Add(1)
 			return SubmitShed
 		}
 	}
-	sh.ch <- item{kind: itemQuery, q: q, fn: fn}
+	sh.ch <- it
 	return SubmitQueued
 }
 
@@ -412,8 +420,13 @@ func (s *Server) SubmitText(query string) bool {
 // SubmitTextFunc is SubmitFunc for free-text queries: the text is
 // routed through the keyword index first, and SubmitUnrouted reports
 // a query that matched no catalog keyword (counted in Stats.Unrouted
-// unless the server is closed, in which case SubmitClosed).
+// unless the server is closed, in which case SubmitClosed). With
+// broad match enabled (Config.Engine.Broadmatch), routing fans the
+// query out instead — see submitBroad for the accounting.
 func (s *Server) SubmitTextFunc(query string, fn func(*engine.Outcome)) SubmitResult {
+	if s.eng.Broadmatch() != nil {
+		return s.submitBroad(query, fn)
+	}
 	q, ok := s.eng.RouteText(query)
 	if !ok {
 		s.mu.RLock()
@@ -425,6 +438,51 @@ func (s *Server) SubmitTextFunc(query string, fn func(*engine.Outcome)) SubmitRe
 		return SubmitUnrouted
 	}
 	return s.SubmitFunc(q, fn)
+}
+
+// submitBroad is SubmitTextFunc's broad-match path: the query fans
+// out to every admitted candidate market, the winner (highest
+// relevance, ties to the lowest keyword id) is physically served —
+// admission-controlled exactly like Submit, with its relevance and
+// squashed weight riding the queue item — and the losing candidates
+// are counted in Stats.Overmatched: matched, but not serving the
+// impression. Every (query, admitted market) pair is one admission
+// unit and an unmatched query is one Unrouted unit, so after Close
+//
+//	Submitted == Served + Shed + Unrouted + Overmatched
+//
+// exactly — the broad-match accounting identity. (Exact routing keeps
+// the historical identity Submitted == Served + Shed, with Unrouted
+// counted outside Submitted.)
+func (s *Server) submitBroad(query string, fn func(*engine.Outcome)) SubmitResult {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return SubmitClosed
+	}
+	best, matched, ok := s.eng.RouteBroad(query)
+	if !ok {
+		s.submitted.Add(1)
+		s.unrouted.Add(1)
+		return SubmitUnrouted
+	}
+	s.submitted.Add(int64(matched))
+	if matched > 1 {
+		s.overmatched.Add(int64(matched - 1))
+	}
+	sh := s.shards[s.eng.ShardOf(best.Keyword)]
+	it := item{kind: itemQuery, q: best.Keyword, rel: best.Relevance, w: best.Weight, fn: fn}
+	if s.cfg.Overload == Shed {
+		select {
+		case sh.ch <- it:
+			return SubmitQueued
+		default:
+			sh.shed.Add(1)
+			return SubmitShed
+		}
+	}
+	sh.ch <- it
+	return SubmitQueued
 }
 
 // AddAdvertiser admits a into the live population and returns its
@@ -558,6 +616,7 @@ func (s *Server) Stats() *Stats {
 func (s *Server) snapshotLocked(elapsed time.Duration) *Stats {
 	st := &Stats{
 		Unrouted:    s.unrouted.Load(),
+		Overmatched: s.overmatched.Load(),
 		Epoch:       s.epoch,
 		Advertisers: s.inst.N,
 		Elapsed:     elapsed,
@@ -587,7 +646,13 @@ func (s *Server) snapshotLocked(elapsed time.Duration) *Stats {
 	// (Submitted − Served − Shed) can overstate the queues by in-flight
 	// admissions but never go negative.
 	st.Submitted = s.submitted.Load()
-	st.Pending = st.Submitted - st.Served - st.Shed
+	st.Pending = st.Submitted - st.Served - st.Shed - st.Overmatched
+	if s.eng.Broadmatch() != nil {
+		// Broad match counts unrouted queries inside Submitted; exact
+		// routing does not (Overmatched is always 0 there, so the
+		// subtraction above is a no-op).
+		st.Pending -= st.Unrouted
+	}
 	if elapsed > 0 {
 		st.Throughput = float64(st.Served) / elapsed.Seconds()
 	}

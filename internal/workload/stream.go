@@ -2,6 +2,7 @@ package workload
 
 import (
 	"math/rand"
+	"strings"
 	"time"
 )
 
@@ -35,6 +36,13 @@ type StreamConfig struct {
 	// Churn is the scripted population-churn timeline, sorted by
 	// After; events are emitted between query events.
 	Churn []ChurnEvent
+	// TextTokens, when > 0, switches query events to free-text mode
+	// for the broad-match serving path: each query event carries a
+	// query of 1…TextTokens tokens in Event.Text, drawn from the
+	// bigram catalog's token vocabulary t0…t<keywords> with the same
+	// ZipfS skew the keyword draw would use, and Event.Keyword is −1
+	// (routing happens on the serving side, not in the generator).
+	TextTokens int
 }
 
 // ChurnEvent is one scripted population change: after After query
@@ -45,12 +53,14 @@ type ChurnEvent struct {
 	Remove int
 }
 
-// Event is one emission of a Stream: either a query (Keyword >= 0)
-// arriving At nanoseconds after the stream's start, or a churn event
-// (Keyword == -1, Churn non-nil) due at that same offset.
+// Event is one emission of a Stream: a keyword query (Keyword >= 0)
+// arriving At nanoseconds after the stream's start, a free-text query
+// (Text != "", Keyword == -1; TextTokens mode), or a churn event
+// (Churn non-nil, Keyword == -1) due at that same offset.
 type Event struct {
 	At      time.Duration
 	Keyword int
+	Text    string
 	Churn   *ChurnEvent
 }
 
@@ -60,6 +70,8 @@ type Stream struct {
 	rng      *rand.Rand
 	cfg      StreamConfig
 	zipf     *rand.Zipf
+	tzipf    *rand.Zipf // token skew, TextTokens mode only
+	tbuf     strings.Builder
 	keywords int
 	now      time.Duration
 	emitted  int // query events emitted so far
@@ -77,6 +89,16 @@ func NewStream(inst *Instance, rng *rand.Rand, cfg StreamConfig) *Stream {
 		cfg.BurstDwell = 64
 	}
 	s := &Stream{rng: rng, cfg: cfg, keywords: inst.Keywords}
+	if cfg.TextTokens > 0 {
+		// Free-text mode draws tokens (vocabulary t0…t<keywords>, one
+		// larger than the catalog) instead of keyword indices; the
+		// keyword Zipf is never built, so non-text streams' draw
+		// sequences are untouched.
+		if cfg.ZipfS > 1 && inst.Keywords > 0 {
+			s.tzipf = rand.NewZipf(rng, cfg.ZipfS, 1, uint64(inst.Keywords))
+		}
+		return s
+	}
 	if cfg.ZipfS > 1 && inst.Keywords > 1 {
 		s.zipf = rand.NewZipf(rng, cfg.ZipfS, 1, uint64(inst.Keywords-1))
 	}
@@ -111,6 +133,11 @@ func (s *Stream) Next() (ev Event, ok bool) {
 		}
 	}
 	s.now += time.Duration(s.rng.ExpFloat64() / rate * 1e9)
+	if s.cfg.TextTokens > 0 {
+		s.emitted++
+		text := textQuery(s.rng, s.tzipf, s.keywords, s.cfg.TextTokens, &s.tbuf)
+		return Event{At: s.now, Keyword: -1, Text: text}, true
+	}
 	kw := 0
 	if s.zipf != nil {
 		kw = int(s.zipf.Uint64())

@@ -1,0 +1,69 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// This file generates the free-text query workload the broad-match
+// router serves: a keyword catalog whose names overlap token-wise
+// (BigramKeywordNames) and multi-token queries with Zipf token skew
+// (TextQueries, and Stream's TextTokens mode). With single-token
+// catalog names every query token either matches a keyword fully or
+// not at all — relevance stays 0/1, the Section V regime; the bigram
+// catalog is what makes fractional relevances, and therefore broad
+// match, reachable.
+
+// BigramKeywordNames names a catalog of keywords so that adjacent
+// keywords overlap in one token: keyword q is "t<q> t<q+1>" over the
+// token vocabulary t0…t<keywords>. A single token tq then scores 1/2
+// against keywords q−1 and q, and the exact bigram "tq tq+1" scores 1
+// against keyword q and 1/2 against its neighbors — the fractional
+// -relevance catalog broad match needs.
+func BigramKeywordNames(keywords int) []string {
+	names := make([]string, keywords)
+	for q := range names {
+		names[q] = fmt.Sprintf("t%d t%d", q, q+1)
+	}
+	return names
+}
+
+// TextQueries draws t multi-token free-text queries over the bigram
+// catalog's token vocabulary t0…t<keywords>: each query carries
+// 1…maxTokens tokens (uniform length), tokens drawn with Zipf skew s
+// when s > 1 (token 0 hottest) or uniformly otherwise. Deterministic
+// given rng — the batch twin of Stream's TextTokens mode.
+func TextQueries(rng *rand.Rand, keywords, t, maxTokens int, s float64) []string {
+	var zipf *rand.Zipf
+	if s > 1 && keywords > 0 {
+		zipf = rand.NewZipf(rng, s, 1, uint64(keywords))
+	}
+	out := make([]string, t)
+	var b strings.Builder
+	for i := range out {
+		out[i] = textQuery(rng, zipf, keywords, maxTokens, &b)
+	}
+	return out
+}
+
+// textQuery draws one query of 1…maxTokens tokens from t0…t<tokens>
+// into b's reset buffer. Tokens may repeat within a query; the
+// kwmatch scorer deduplicates, exactly as it does real queries.
+func textQuery(rng *rand.Rand, zipf *rand.Zipf, tokens, maxTokens int, b *strings.Builder) string {
+	b.Reset()
+	n := 1 + rng.Intn(maxTokens)
+	for w := 0; w < n; w++ {
+		tok := 0
+		if zipf != nil {
+			tok = int(zipf.Uint64())
+		} else if tokens > 0 {
+			tok = rng.Intn(tokens + 1)
+		}
+		if w > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(b, "t%d", tok)
+	}
+	return b.String()
+}

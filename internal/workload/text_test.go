@@ -1,0 +1,102 @@
+package workload
+
+import (
+	"math/rand"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestBigramKeywordNamesShape(t *testing.T) {
+	names := BigramKeywordNames(4)
+	want := []string{"t0 t1", "t1 t2", "t2 t3", "t3 t4"}
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("BigramKeywordNames(4) = %v, want %v", names, want)
+	}
+}
+
+func TestTextQueriesDeterministic(t *testing.T) {
+	a := TextQueries(rand.New(rand.NewSource(3)), 8, 200, 3, 1.2)
+	b := TextQueries(rand.New(rand.NewSource(3)), 8, 200, 3, 1.2)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("TextQueries not deterministic for equal seeds")
+	}
+	if len(a) != 200 {
+		t.Fatalf("got %d queries, want 200", len(a))
+	}
+	for _, q := range a {
+		toks := strings.Fields(q)
+		if len(toks) < 1 || len(toks) > 3 {
+			t.Fatalf("query %q has %d tokens, want 1..3", q, len(toks))
+		}
+		for _, tok := range toks {
+			n, err := strconv.Atoi(strings.TrimPrefix(tok, "t"))
+			if err != nil || n < 0 || n > 8 {
+				t.Fatalf("query %q token %q outside vocabulary t0..t8", q, tok)
+			}
+		}
+	}
+}
+
+// TestTextQueriesZipfSkew checks the skew knob actually skews: with a
+// hot Zipf exponent, token t0 dominates; uniform draws spread out.
+func TestTextQueriesZipfSkew(t *testing.T) {
+	count := func(s float64) int {
+		hot := 0
+		for _, q := range TextQueries(rand.New(rand.NewSource(4)), 16, 2000, 1, s) {
+			if q == "t0" {
+				hot++
+			}
+		}
+		return hot
+	}
+	if skewed, uniform := count(1.5), count(0); skewed <= 2*uniform {
+		t.Fatalf("Zipf skew ineffective: t0 count %d skewed vs %d uniform", skewed, uniform)
+	}
+}
+
+// TestStreamTextTokens pins the Stream free-text mode: every query
+// event carries Text with Keyword −1, the stream is replay
+// -deterministic, and churn events still interleave.
+func TestStreamTextTokens(t *testing.T) {
+	inst := Generate(rand.New(rand.NewSource(5)), 20, 5, 6)
+	cfg := StreamConfig{
+		Queries: 300, ZipfS: 1.2, TextTokens: 3,
+		Churn: []ChurnEvent{{After: 100, Remove: 3}},
+	}
+	drain := func() []Event {
+		s := NewStream(inst, rand.New(rand.NewSource(6)), cfg)
+		var evs []Event
+		for {
+			ev, ok := s.Next()
+			if !ok {
+				break
+			}
+			evs = append(evs, ev)
+		}
+		return evs
+	}
+	a, b := drain(), drain()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("text-mode stream not deterministic for equal seeds")
+	}
+	queries, churns := 0, 0
+	for _, ev := range a {
+		if ev.Churn != nil {
+			churns++
+			continue
+		}
+		queries++
+		if ev.Keyword != -1 {
+			t.Fatalf("text event has Keyword %d, want -1", ev.Keyword)
+		}
+		toks := strings.Fields(ev.Text)
+		if len(toks) < 1 || len(toks) > cfg.TextTokens {
+			t.Fatalf("text %q has %d tokens, want 1..%d", ev.Text, len(toks), cfg.TextTokens)
+		}
+	}
+	if queries != cfg.Queries || churns != 1 {
+		t.Fatalf("drained %d queries and %d churn events, want %d and 1", queries, churns, cfg.Queries)
+	}
+}

@@ -93,6 +93,7 @@ package ssa
 import (
 	"math/rand"
 
+	"repro/internal/broadmatch"
 	"repro/internal/budget"
 	"repro/internal/client"
 	"repro/internal/core"
@@ -262,6 +263,9 @@ type (
 	KeywordIndex = kwmatch.Index
 	// KeywordMatch is one scored (advertiser, keyword) hit.
 	KeywordMatch = kwmatch.Match
+	// KeywordScratch is the caller-owned workspace of the
+	// allocation-free QueryInto/ScoreInto hot path.
+	KeywordScratch = kwmatch.Scratch
 )
 
 // NewKeywordIndex returns an empty keyword index.
@@ -425,6 +429,49 @@ func RandomAdvertiser(seed int64, inst *SimInstance) SimAdvertiser {
 // over a stream of totalQueries, alternating admissions and evictions.
 func ScriptChurn(seed int64, inst *SimInstance, n, totalQueries int) []SimChurnEvent {
 	return workload.ScriptChurn(rand.New(rand.NewSource(seed)), inst, n, totalQueries)
+}
+
+// Probabilistic broad match (internal/broadmatch): multi-token
+// queries fan out to every keyword market whose name scores at least
+// a relevance threshold under kwmatch subset scoring, with seeded,
+// replayable per-(query,keyword) match draws; the highest-relevance
+// admitted market serves the impression with its bids squashed by
+// relevance^Squash and reserve-filtered, and the losers are counted
+// as overmatched. Enable it by setting EngineConfig.Broadmatch (and
+// optionally EngineConfig.Reserve); neutral knobs (threshold 1,
+// squash 1, reserve 0) are byte-identical to exact routing.
+type (
+	// BroadmatchConfig tunes the router: Enabled, Threshold, Squash,
+	// and the match-draw Seed.
+	BroadmatchConfig = broadmatch.Config
+	// BroadmatchRouter scores and probabilistically admits candidate
+	// markets for free-text queries.
+	BroadmatchRouter = broadmatch.Router
+	// BroadmatchCandidate is one admitted (keyword, relevance, weight)
+	// candidate.
+	BroadmatchCandidate = broadmatch.Candidate
+)
+
+// NewBroadmatchRouter builds a standalone broad-match router over a
+// keyword catalog; engines build their own from
+// EngineConfig.Broadmatch and EngineConfig.KeywordNames.
+func NewBroadmatchRouter(names []string, cfg BroadmatchConfig) *BroadmatchRouter {
+	return broadmatch.New(names, cfg)
+}
+
+// BigramKeywordNames names a catalog so adjacent keywords share one
+// token (keyword q is "t<q> t<q+1>") — the fractional-relevance
+// catalog that makes broad match reachable from generated workloads.
+func BigramKeywordNames(keywords int) []string {
+	return workload.BigramKeywordNames(keywords)
+}
+
+// TextQueries draws t deterministic multi-token free-text queries of
+// 1…maxTokens tokens over the bigram catalog's vocabulary, with Zipf
+// token skew zipfS when > 1 — the batch twin of the SimStream's
+// TextTokens mode.
+func TextQueries(seed int64, keywords, t, maxTokens int, zipfS float64) []string {
+	return workload.TextQueries(rand.New(rand.NewSource(seed)), keywords, t, maxTokens, zipfS)
 }
 
 // Cross-keyword budgets (the internal/budget subsystem): per-advertiser
