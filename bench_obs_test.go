@@ -1,0 +1,76 @@
+package ssa
+
+// Telemetry benchmarks: the observability subsystem's two promises,
+// measured. BenchmarkObsSteadyStateTraced re-runs the streaming
+// steady-state measurement with the full instrument set hot — shard
+// counters, the revenue float cell, the latency histogram, and a live
+// 1-in-8 trace sampler stamping lifecycle timestamps into the ring —
+// and must still report 0 allocs/op: turning telemetry on cannot add
+// per-query garbage. BenchmarkObsSteadyStateRender scrapes a live
+// serving stack's registry (counters, lanes, gauges reading engine
+// internals, histogram buckets) into the reused exposition buffer,
+// also 0 allocs/op — a Prometheus scrape never pressures the
+// collector the metrics exist to observe. Both rows feed the CI
+// allocation-regression gate.
+//
+//	go test -bench=ObsSteadyState -benchmem
+
+import (
+	"runtime"
+	"testing"
+)
+
+func BenchmarkObsSteadyStateTraced(b *testing.B) {
+	const n, warmup = 1000, 2000
+	inst := GenerateInstance(42, n, DefaultSlots, DefaultKeywords)
+	s := NewStreamServer(inst, StreamConfig{
+		Engine: EngineConfig{
+			Shards: 0, QueueDepth: 256, Method: SimRH, ClickSeed: 7,
+			TraceSample: 8,
+		},
+	})
+	queries := QueryStream(inst, 9, warmup+b.N)
+	for _, q := range queries[:warmup] {
+		s.Submit(q)
+	}
+	for s.Stats().Pending > 0 {
+		runtime.Gosched()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Submit(queries[warmup+i])
+	}
+	b.StopTimer()
+	st := s.Close()
+	if got := int(st.Served); got != warmup+b.N {
+		b.Fatalf("served %d of %d", got, warmup+b.N)
+	}
+	ring := s.Engine().TraceRing()
+	if ring == nil || ring.Total() == 0 {
+		b.Fatal("trace sampler recorded nothing")
+	}
+	b.ReportMetric(st.WindowThroughput, "qps")
+	b.ReportMetric(float64(st.P99.Nanoseconds()), "p99-ns")
+}
+
+func BenchmarkObsSteadyStateRender(b *testing.B) {
+	inst := GenerateInstance(42, 1000, DefaultSlots, DefaultKeywords)
+	s := NewStreamServer(inst, StreamConfig{
+		Engine: EngineConfig{Shards: 0, QueueDepth: 256, Method: SimRH, ClickSeed: 7},
+	})
+	defer s.Close()
+	for _, q := range QueryStream(inst, 9, 2000) {
+		s.Submit(q)
+	}
+	reg := s.Engine().Metrics().Registry
+	var bytes int
+	reg.Render() // warm the exposition buffer to its final size
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bytes = len(reg.Render())
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(bytes), "bytes")
+}

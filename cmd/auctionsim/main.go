@@ -116,10 +116,25 @@ import (
 	"repro/internal/budget"
 	"repro/internal/engine"
 	"repro/internal/journal"
+	"repro/internal/obs"
 	"repro/internal/strategy"
 	"repro/internal/stream"
 	"repro/internal/workload"
 )
+
+// startMetrics exposes reg (plus /debug/pprof and, when ring is
+// non-nil, the /trace dump) over HTTP and prints the bound address in
+// the same machine-parseable shape the serve-mode listener uses, so
+// the network soak can scrape a child's endpoint mid-traffic.
+func startMetrics(addr string, reg *obs.Registry, ring *obs.TraceRing) *obs.HTTPServer {
+	hs, err := obs.Serve(addr, reg, ring)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "auctionsim: metrics:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("metrics: listening addr=%s\n", hs.Addr())
+	return hs
+}
 
 func main() {
 	var (
@@ -159,6 +174,8 @@ func main() {
 		pipeline  = flag.Int("pipeline", 4, "connect mode: concurrent in-flight workers per connection")
 		doDrain   = flag.Bool("drain", false, "connect mode: request a graceful server drain after the load finishes")
 		resets    = flag.Int("resets", 0, "connect mode: budget resets fenced into the run at even intervals")
+		metrics   = flag.String("metrics-addr", "", "expose live /metrics (Prometheus text), /debug/pprof, and /trace on this HTTP address (engine, stream, serve, connect modes)")
+		traceN    = flag.Int("trace-sample", 0, "record every Nth auction into the in-memory trace ring, dumpable at /trace (0 = off; needs -engine, -stream, or -serve)")
 	)
 	flag.Parse()
 
@@ -218,6 +235,21 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *traceN < 0 {
+		fmt.Fprintf(os.Stderr, "auctionsim: -trace-sample wants a non-negative sampling period (0 = off), got %d\n", *traceN)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *traceN > 0 && !*useEng && !*useStream && *serveAddr == "" {
+		fmt.Fprintln(os.Stderr, "auctionsim: -trace-sample records engine-side auction traces and needs -engine, -stream, or -serve")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *metrics != "" && !*useEng && !*useStream && *serveAddr == "" && *connAddr == "" {
+		fmt.Fprintln(os.Stderr, "auctionsim: -metrics-addr exposes the serving-tier registry and needs -engine, -stream, -serve, or -connect")
+		flag.Usage()
+		os.Exit(2)
+	}
 	bm := broadOpts{threshold: *broadTh, squash: *squash, reserve: *reserve, zipf: *zipf, seed: *seed + 5}
 
 	if *connAddr != "" {
@@ -227,6 +259,7 @@ func main() {
 			addr: *connAddr, conns: *conns, pipeline: *pipeline,
 			auctions: *auctions, keywords: *keywords,
 			resets: *resets, drain: *doDrain, seed: *seed,
+			metricsAddr: *metrics,
 		})
 		return
 	}
@@ -325,6 +358,7 @@ func main() {
 			addr: *serveAddr, method: m, pricing: pr,
 			shards: *shards, queue: *queue, clickSeed: *seed + 2,
 			policy: pol, budget: bcfg, journal: jw, restore: restore,
+			metricsAddr: *metrics, traceSample: *traceN,
 		})
 		return
 	}
@@ -342,6 +376,7 @@ func main() {
 			duration: *duration, churn: *churn, policy: pol,
 			zipf: *zipf, burst: *burst, seed: *seed + 3, budget: bcfg,
 			heavyPar: *heavyPar, journal: jw, restore: restore, broad: bm,
+			metricsAddr: *metrics, traceSample: *traceN,
 		})
 		return
 	}
@@ -349,7 +384,7 @@ func main() {
 	queries := inst.Queries(rand.New(rand.NewSource(*seed+1)), *auctions)
 
 	if *useEng {
-		runEngine(inst, queries, m, pr, *shards, *queue, *seed+2, *report, bcfg, *heavyPar, jw, restore, bm)
+		runEngine(inst, queries, m, pr, *shards, *queue, *seed+2, *report, bcfg, *heavyPar, jw, restore, bm, *metrics, *traceN)
 		return
 	}
 
@@ -448,7 +483,7 @@ func (o broadOpts) apply(cfg *engine.Config, keywords int) {
 // throughput and per-auction latency percentiles. With broad match on
 // the batches are free-text queries routed by relevance instead of
 // pre-resolved keyword indices.
-func runEngine(inst *workload.Instance, queries []int, m engine.Method, pr engine.Pricing, shards, queue int, clickSeed int64, report int, bcfg budget.Config, heavyPar int, jw *journal.Writer, restore *journal.LedgerState, bm broadOpts) {
+func runEngine(inst *workload.Instance, queries []int, m engine.Method, pr engine.Pricing, shards, queue int, clickSeed int64, report int, bcfg budget.Config, heavyPar int, jw *journal.Writer, restore *journal.LedgerState, bm broadOpts, metricsAddr string, traceSample int) {
 	cfg := engine.Config{
 		Shards:           shards,
 		QueueDepth:       queue,
@@ -459,9 +494,13 @@ func runEngine(inst *workload.Instance, queries []int, m engine.Method, pr engin
 		HeavyParallelism: heavyPar,
 		Journal:          jw,
 		Restore:          restore,
+		TraceSample:      traceSample,
 	}
 	bm.apply(&cfg, inst.Keywords)
 	e := engine.New(inst, cfg)
+	if metricsAddr != "" {
+		defer startMetrics(metricsAddr, e.Metrics().Registry, e.TraceRing()).Close()
+	}
 	var texts []string
 	if bm.on() {
 		texts = workload.TextQueries(rand.New(rand.NewSource(bm.seed+1)), inst.Keywords, len(queries), broadMaxTokens, bm.zipf)
@@ -559,6 +598,9 @@ type streamOpts struct {
 	journal   *journal.Writer
 	restore   *journal.LedgerState
 	broad     broadOpts
+
+	metricsAddr string // "" = no HTTP exposition
+	traceSample int    // 0 = tracing off
 }
 
 // runStream is open-world mode: a deterministic workload.Stream paces
@@ -584,12 +626,17 @@ func runStream(inst *workload.Instance, o streamOpts) {
 		Method: o.method, Pricing: o.pricing, ClickSeed: o.clickSeed,
 		Budget: o.budget, HeavyParallelism: o.heavyPar,
 		Journal: o.journal, Restore: o.restore,
+		TraceSample: o.traceSample,
 	}
 	o.broad.apply(&ecfg, inst.Keywords)
 	srv := stream.NewServer(inst, stream.Config{
 		Engine:   ecfg,
 		Overload: o.policy,
 	})
+	if o.metricsAddr != "" {
+		eng := srv.Engine()
+		defer startMetrics(o.metricsAddr, eng.Metrics().Registry, eng.TraceRing()).Close()
+	}
 	if o.broad.on() {
 		fmt.Printf("auctionsim: stream mode (broad match: threshold=%v squash=%v reserve=%v), n=%d k=%d keywords=%d method=%v pricing=%v qps=%.0f duration=%v overload=%v churn=%d shards=%d\n",
 			o.broad.threshold, o.broad.squash, o.broad.reserve,

@@ -26,6 +26,7 @@ import (
 	"repro/internal/client"
 	"repro/internal/engine"
 	"repro/internal/journal"
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/stream"
 	"repro/internal/wire"
@@ -44,6 +45,9 @@ type serveOpts struct {
 	budget    budget.Config
 	journal   *journal.Writer
 	restore   *journal.LedgerState
+
+	metricsAddr string // "" = no HTTP exposition
+	traceSample int    // 0 = tracing off
 }
 
 // runServe listens for networked clients and blocks until a wire
@@ -57,6 +61,7 @@ func runServe(inst *workload.Instance, o serveOpts) {
 				Shards: o.shards, QueueDepth: o.queue,
 				Method: o.method, Pricing: o.pricing, ClickSeed: o.clickSeed,
 				Budget: o.budget, Journal: o.journal, Restore: o.restore,
+				TraceSample: o.traceSample,
 			},
 			Overload: o.policy,
 		},
@@ -67,9 +72,20 @@ func runServe(inst *workload.Instance, o serveOpts) {
 	}
 	fmt.Printf("auctionsim: serve mode, listening addr=%s n=%d k=%d keywords=%d method=%v pricing=%v overload=%v shards=%d\n",
 		s.Addr(), inst.N, inst.Slots, inst.Keywords, o.method, o.pricing, o.policy, s.Stream().Shards())
+	if o.metricsAddr != "" {
+		defer startMetrics(o.metricsAddr, s.Registry(), s.Stream().Engine().TraceRing()).Close()
+	}
 
 	<-s.Drained() // a client's wire drain request stops intake and drains the shards
 	st := s.Close()
+
+	// The CI soak asks for a post-drain registry render as a build
+	// artifact: every counter at its final, reconcilable value.
+	if out := os.Getenv("AUCTIONSIM_METRICS_OUT"); out != "" && o.metricsAddr != "" {
+		if err := os.WriteFile(out, s.Registry().Render(), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "auctionsim: metrics dump:", err)
+		}
+	}
 
 	sub, served, shed, rejected, unrouted := s.Counters()
 	fmt.Printf("net: submitted=%d served=%d shed=%d rejected=%d unrouted=%d (identity %v)\n",
@@ -130,6 +146,8 @@ type connectOpts struct {
 	resets   int  // budget resets spread through the run (0 = none)
 	drain    bool // request a graceful server drain when done
 	seed     int64
+
+	metricsAddr string // "" = no HTTP exposition
 }
 
 // runConnect opens conns connections, drives auctions through them
@@ -144,9 +162,28 @@ func runConnect(o connectOpts) {
 	if o.pipeline < 1 {
 		o.pipeline = 1
 	}
+	// With -metrics-addr the client side grows its own registry: the
+	// end-to-end RTT histogram is shared across every connection
+	// (records are atomic), and the in-flight gauge sums window
+	// occupancy at scrape time.
+	var rtt *obs.Histogram
 	cs := make([]*client.Conn, o.conns)
+	if o.metricsAddr != "" {
+		reg := obs.NewRegistry()
+		rtt = reg.Histogram("ssa_client_rtt_ns", "end-to-end auction round-trip time, client-observed")
+		reg.Gauge("ssa_client_inflight", "requests currently occupying pipeline window slots", func() float64 {
+			n := 0
+			for _, c := range cs {
+				if c != nil {
+					n += c.Inflight()
+				}
+			}
+			return float64(n)
+		})
+		defer startMetrics(o.metricsAddr, reg, nil).Close()
+	}
 	for i := range cs {
-		c, err := client.Dial(o.addr, client.Options{Window: o.pipeline, Timeout: 30 * time.Second})
+		c, err := client.Dial(o.addr, client.Options{Window: o.pipeline, Timeout: 30 * time.Second, RTT: rtt})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "auctionsim: connect:", err)
 			os.Exit(1)

@@ -15,8 +15,10 @@ import (
 	"bufio"
 	"fmt"
 	"math/rand"
+	"net/http"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
@@ -68,6 +70,9 @@ func netServeChild(dir string) {
 		shards: 3, queue: 16, clickSeed: 13, policy: stream.Block,
 		budget:  budget.Config{Policy: budget.PolicyHard, RefreshEvery: 8},
 		journal: w,
+		// The soak parent scrapes this endpoint mid-traffic and, via
+		// AUCTIONSIM_METRICS_OUT, reads the post-drain render.
+		metricsAddr: "127.0.0.1:0", traceSample: 16,
 	})
 }
 
@@ -81,6 +86,30 @@ func netConnectChild(addr string) {
 		auctions: auctions, keywords: netKeywords,
 		resets: resets, drain: os.Getenv(netDrainEnv) == "1", seed: seed,
 	})
+}
+
+// scrapeMetric GETs the serve child's /metrics endpoint and returns
+// the named series' value — the live half of the soak's telemetry
+// checks (the post-drain half reads the AUCTIONSIM_METRICS_OUT dump).
+func scrapeMetric(t *testing.T, addr, name string) float64 {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatalf("scrape %s: %v", addr, err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if v, ok := strings.CutPrefix(sc.Text(), name+" "); ok {
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				t.Fatalf("scrape %s: %v", name, err)
+			}
+			return f
+		}
+	}
+	t.Fatalf("scrape: metric %s absent", name)
+	return 0
 }
 
 // connectCounts is one connect child's parsed summary line.
@@ -132,8 +161,15 @@ func TestNetworkSoak(t *testing.T) {
 	}
 	dir := t.TempDir()
 
+	// The serve child dumps its post-drain registry render here; CI
+	// points AUCTIONSIM_METRICS_OUT at the workspace to upload it.
+	metricsOut := os.Getenv("AUCTIONSIM_METRICS_OUT")
+	if metricsOut == "" {
+		metricsOut = filepath.Join(dir, "metrics.prom")
+	}
+
 	serve := exec.Command(os.Args[0])
-	serve.Env = append(os.Environ(), netServeEnv+"="+dir)
+	serve.Env = append(os.Environ(), netServeEnv+"="+dir, "AUCTIONSIM_METRICS_OUT="+metricsOut)
 	serve.Stderr = os.Stderr
 	stdout, err := serve.StdoutPipe()
 	if err != nil {
@@ -144,9 +180,11 @@ func TestNetworkSoak(t *testing.T) {
 	}
 	defer serve.Process.Kill()
 
-	// Scrape the ephemeral address from the listening line, then keep
-	// scanning: the drain summary arrives after the last child exits.
+	// Scrape the ephemeral wire and metrics addresses from the two
+	// listening lines, then keep scanning: the drain summary arrives
+	// after the last child exits.
 	addrCh := make(chan string, 1)
+	metricsCh := make(chan string, 1)
 	var serveOut []string
 	scanDone := make(chan struct{})
 	go func() {
@@ -160,18 +198,27 @@ func TestNetworkSoak(t *testing.T) {
 				if j := strings.IndexByte(addr, ' '); j >= 0 {
 					addr = addr[:j]
 				}
+				ch := addrCh
+				if strings.HasPrefix(line, "metrics:") {
+					ch = metricsCh
+				}
 				select {
-				case addrCh <- addr:
+				case ch <- addr:
 				default:
 				}
 			}
 		}
 	}()
-	var addr string
+	var addr, metricsAddr string
 	select {
 	case addr = <-addrCh:
 	case <-time.After(30 * time.Second):
 		t.Fatal("serve child never printed its listening address")
+	}
+	select {
+	case metricsAddr = <-metricsCh:
+	case <-time.After(30 * time.Second):
+		t.Fatal("serve child never printed its metrics address")
 	}
 
 	// Two concurrent load processes.
@@ -189,9 +236,25 @@ func TestNetworkSoak(t *testing.T) {
 			mu.Unlock()
 		}(int64(700 + i*100))
 	}
+	// First live scrape lands while the load children are submitting.
+	scrape1 := scrapeMetric(t, metricsAddr, "ssa_auctions_total")
 	wg.Wait()
 	if t.Failed() {
 		return
+	}
+	// Second scrape after the first wave: the live counter must be
+	// monotone, and it covers at least every auction a client already
+	// saw answered (the response happens after the engine's count).
+	scrape2 := scrapeMetric(t, metricsAddr, "ssa_auctions_total")
+	if scrape2 < scrape1 || scrape2 <= 0 {
+		t.Fatalf("live ssa_auctions_total not monotone: %v then %v", scrape1, scrape2)
+	}
+	var waveServed int64
+	for _, c := range clients {
+		waveServed += c.served
+	}
+	if scrape2 < float64(waveServed) {
+		t.Fatalf("post-wave ssa_auctions_total %v below the %d auctions clients saw served", scrape2, waveServed)
 	}
 
 	// Third process: budget resets fenced into live traffic, then the
@@ -241,6 +304,36 @@ func TestNetworkSoak(t *testing.T) {
 	}
 	if got.auctions != int64(2*loadAuctions+drainAuctions) {
 		t.Fatalf("submitted %d, want %d", got.auctions, 2*loadAuctions+drainAuctions)
+	}
+
+	// The post-drain registry render must reconcile exactly with the
+	// printed connection-layer identity: the scraped counters ARE the
+	// accounting, not a parallel tally.
+	prom, err := os.ReadFile(metricsOut)
+	if err != nil {
+		t.Fatalf("serve child wrote no metrics dump: %v", err)
+	}
+	fromProm := func(name string) int64 {
+		for _, line := range strings.Split(string(prom), "\n") {
+			if v, ok := strings.CutPrefix(line, name+" "); ok {
+				f, err := strconv.ParseFloat(v, 64)
+				if err != nil {
+					t.Fatalf("metric %s: %v", name, err)
+				}
+				return int64(f)
+			}
+		}
+		t.Fatalf("metric %s absent from dump:\n%s", name, prom)
+		return 0
+	}
+	promCounts := connectCounts{
+		auctions: fromProm("ssa_server_submitted_total"),
+		served:   fromProm("ssa_server_served_total"),
+		shed:     fromProm("ssa_server_shed_total"),
+		rejected: fromProm("ssa_server_rejected_total"),
+	}
+	if promCounts != got {
+		t.Fatalf("scraped counters %+v != printed drain identity %+v", promCounts, got)
 	}
 
 	// Bitwise journal recovery: replaying the journal the child wrote

@@ -11,12 +11,25 @@
 // too. After the graceful wire drain, the connection-layer identity
 // is exact: submitted == served + shed + rejected.
 //
+// The serving stack is also observable while it runs: every layer
+// records into the server's metrics registry (wait-free, zero
+// allocations on the auction path), ServeMetrics exposes it over
+// HTTP as Prometheus text plus pprof, and the stats-v2 wire call
+// ships the server's latency histogram to the client, which can then
+// compute any percentile locally. The equivalent auctionsim flags are
+// -metrics-addr (engine/stream/serve/connect modes) and
+// -trace-sample (adds the /trace ring of sampled per-auction
+// lifecycle timestamps).
+//
 // Run:  go run ./examples/networked
 package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"net/http"
+	"strings"
 	"sync"
 
 	ssa "repro"
@@ -36,6 +49,15 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("serving on %s\n", srv.Addr())
+
+	// Live telemetry: the server's registry behind HTTP. /metrics is
+	// Prometheus text exposition, /debug/pprof the standard profiles.
+	ms, err := ssa.ServeMetrics("127.0.0.1:0", srv.Registry(), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ms.Close()
+	fmt.Printf("metrics on http://%s/metrics\n", ms.Addr())
 
 	// One client connection, eight concurrent workers pipelining onto
 	// it — the wire protocol correlates responses by request ID, so
@@ -65,6 +87,36 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("batch: served %d/%d, revenue %.0f\n", br.Served, br.Requested, br.Revenue)
+
+	// One mid-run scrape: the registry is the accounting, readable
+	// while shards serve.
+	resp, err := http.Get("http://" + ms.Addr() + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	prom, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, line := range strings.Split(string(prom), "\n") {
+		if strings.HasPrefix(line, "ssa_auctions_total ") ||
+			strings.HasPrefix(line, "ssa_server_submitted_total ") {
+			fmt.Println("scraped:", line)
+		}
+	}
+
+	// The stats-v2 wire call carries the server's lifetime latency
+	// histogram; rebuilding a snapshot from the sparse buckets lets
+	// the client compute any percentile without a metrics endpoint.
+	v2, err := c.StatsV2()
+	if err != nil {
+		log.Fatal(err)
+	}
+	var hs ssa.LatencySnapshot
+	hs.Count, hs.Sum, hs.Max = v2.HistCount, v2.HistSum, v2.HistMax
+	for _, bk := range v2.Buckets {
+		hs.Counts[bk.Index] = bk.Count
+	}
+	fmt.Printf("server latency over the wire: p50=%dns p99=%dns max=%dns (%d auctions)\n",
+		hs.Quantile(0.50), hs.Quantile(0.99), hs.Max, hs.Count)
 
 	// Graceful drain over the wire: intake stops, every queued auction
 	// is served, and the final stats come back on the draining

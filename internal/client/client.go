@@ -38,6 +38,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/wire"
 	"repro/internal/workload"
 )
@@ -73,6 +74,13 @@ type Options struct {
 	MaxFrame int
 	// DialTimeout bounds the TCP connect + handshake (default 10s).
 	DialTimeout time.Duration
+	// RTT, when non-nil, receives the end-to-end latency of every
+	// successful auction-carrying call (AuctionInto/TextInto), from
+	// send to decoded response, in nanoseconds. A histogram may be
+	// shared by many Conns (its writes are atomic); nil skips the
+	// time.Now calls entirely. Register it in an obs.Registry to
+	// expose it.
+	RTT *obs.Histogram
 }
 
 func (o *Options) window() int {
@@ -300,6 +308,13 @@ func (c *Conn) release(si int32) {
 	c.free <- si
 }
 
+// Inflight reports the number of occupied request slots — the window
+// occupancy a telemetry gauge over one or many Conns sums. Safe to
+// call concurrently with serving calls.
+func (c *Conn) Inflight() int {
+	return len(c.slots) - len(c.free)
+}
+
 // rejectedErr maps a KindRejected reason into ErrRejected-wrapped
 // sentinels without allocating for the common reasons.
 var (
@@ -330,6 +345,10 @@ func (c *Conn) AuctionInto(q int, out *wire.Outcome) error {
 	if err != nil {
 		return err
 	}
+	var t0 time.Time
+	if c.opts.RTT != nil {
+		t0 = time.Now()
+	}
 	if err := c.send(si, func(dst []byte, id uint64) []byte {
 		return wire.AppendAuctionReq(dst, id, q)
 	}); err != nil {
@@ -338,6 +357,9 @@ func (c *Conn) AuctionInto(q int, out *wire.Outcome) error {
 	resp, err := c.wait(si)
 	if err != nil {
 		return err
+	}
+	if c.opts.RTT != nil {
+		c.opts.RTT.Record(time.Since(t0).Nanoseconds())
 	}
 	defer c.release(si)
 	switch resp.Kind {
@@ -371,6 +393,10 @@ func (c *Conn) TextInto(query string, out *wire.Outcome) error {
 	if err != nil {
 		return err
 	}
+	var t0 time.Time
+	if c.opts.RTT != nil {
+		t0 = time.Now()
+	}
 	if err := c.send(si, func(dst []byte, id uint64) []byte {
 		return wire.AppendTextReq(dst, id, query)
 	}); err != nil {
@@ -379,6 +405,9 @@ func (c *Conn) TextInto(query string, out *wire.Outcome) error {
 	resp, err := c.wait(si)
 	if err != nil {
 		return err
+	}
+	if c.opts.RTT != nil {
+		c.opts.RTT.Record(time.Since(t0).Nanoseconds())
 	}
 	defer c.release(si)
 	switch resp.Kind {
@@ -429,6 +458,35 @@ func (c *Conn) Batch(qs []int) (wire.BatchResult, error) {
 // stream layer beneath.
 func (c *Conn) Stats() (wire.ServerStats, error) {
 	return c.statsCall(wire.AppendStatsReq)
+}
+
+// StatsV2 snapshots the server like Stats and additionally carries
+// the serving latency histogram (totals plus nonzero buckets). The
+// returned Buckets slice is caller-owned.
+func (c *Conn) StatsV2() (wire.ServerStatsV2, error) {
+	si, err := c.acquire()
+	if err != nil {
+		return wire.ServerStatsV2{}, err
+	}
+	if err := c.send(si, wire.AppendStatsV2Req); err != nil {
+		return wire.ServerStatsV2{}, err
+	}
+	resp, err := c.wait(si)
+	if err != nil {
+		return wire.ServerStatsV2{}, err
+	}
+	defer c.release(si)
+	switch resp.Kind {
+	case wire.KindStatsV2Result:
+		st := resp.StatsV2
+		// The decode reuses the slot's bucket slice; copy out.
+		st.Buckets = append([]wire.HistBucket(nil), resp.StatsV2.Buckets...)
+		return st, nil
+	case wire.KindError:
+		return wire.ServerStatsV2{}, fmt.Errorf("client: server error: %s", resp.Msg)
+	default:
+		return wire.ServerStatsV2{}, fmt.Errorf("client: unexpected response kind 0x%02x", uint8(resp.Kind))
+	}
 }
 
 // Drain asks the server to gracefully drain — intake stops, every

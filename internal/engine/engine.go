@@ -59,12 +59,14 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/broadmatch"
 	"repro/internal/budget"
 	"repro/internal/journal"
 	"repro/internal/kwmatch"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -142,6 +144,14 @@ type Config struct {
 	// replay reconstructed. Its dimensions must match the instance
 	// (N advertisers, Keywords lanes).
 	Restore *journal.LedgerState
+	// TraceSample enables the per-auction trace ring (obs.TraceRing):
+	// a deterministic 1 in TraceSample of auctions stamps its pipeline
+	// phases (solve, price, charge — time.Now only on sampled
+	// auctions) into a fixed 4096-event ring, dumpable as JSON from
+	// the telemetry endpoint's /trace and auctionsim -trace-sample.
+	// 0 — the default — disables tracing entirely: no ring, no
+	// per-auction sampling branch cost beyond one nil check.
+	TraceSample int
 }
 
 // KeywordSeed derives the click-RNG seed of keyword q's market from
@@ -194,7 +204,17 @@ type Engine struct {
 	shardOf []int     // keyword -> shard
 	kwIndex *kwmatch.Index
 	router  *broadmatch.Router // nil = exact routing
-	ledger  *budget.Ledger     // nil when Budget.Policy == PolicyOff
+
+	// ledger holds the current budget ledger (nil pointer value when
+	// Budget.Policy == PolicyOff). It is an atomic pointer so the
+	// telemetry gauges can read it at render time concurrently with
+	// churn/reset swaps.
+	ledger atomic.Pointer[budget.Ledger]
+
+	// met is the engine's telemetry (never nil); tracer the optional
+	// per-auction trace sampler (nil unless Config.TraceSample > 0).
+	met    *Metrics
+	tracer *obs.Tracer
 
 	mu        sync.Mutex // serializes Serve calls
 	closeOnce sync.Once
@@ -242,19 +262,32 @@ func New(inst *workload.Instance, cfg Config) *Engine {
 			panic(fmt.Sprintf("engine: recovered ledger state is %d advertisers x %d lanes, instance is %d x %d",
 				cfg.Restore.N, cfg.Restore.Lanes, inst.N, inst.Keywords))
 		}
-		e.ledger = budget.NewLedgerState(cfg.Restore, inst.Budget, cfg.Budget)
+		led := budget.NewLedgerState(cfg.Restore, inst.Budget, cfg.Budget)
 		if cfg.Journal != nil {
-			if err := e.ledger.AttachJournal(cfg.Journal); err != nil {
+			if err := led.AttachJournal(cfg.Journal); err != nil {
 				panic(fmt.Sprintf("engine: attach journal: %v", err))
 			}
 		}
+		e.ledger.Store(led)
 	} else {
-		e.ledger = e.newLedger(inst, true)
+		e.ledger.Store(e.newLedger(inst, true))
 	}
+	// The batch-serve scratch is allocated here rather than lazily so
+	// the queue-depth gauge below can read the channel slice without
+	// racing a first Serve call.
+	e.chans = make([]chan int, cfg.Shards)
+	for s := range e.chans {
+		e.chans[s] = make(chan int, cfg.QueueDepth)
+	}
+	e.totals = make([]Totals, cfg.Shards)
+	if cfg.TraceSample > 0 {
+		e.tracer = obs.NewTracer(obs.NewTraceRing(4096), cfg.TraceSample)
+	}
+	e.met = newMetrics(e)
 	names := make([]string, inst.Keywords)
 	for q := 0; q < inst.Keywords; q++ {
-		e.markets[q] = NewMarketOpts(inst, e.marketOpts(q, e.ledger))
 		e.shardOf[q] = q % cfg.Shards
+		e.markets[q] = NewMarketOpts(inst, e.marketOpts(q, e.Ledger()))
 		name := fmt.Sprintf("kw%d", q)
 		if q < len(cfg.KeywordNames) && cfg.KeywordNames[q] != "" {
 			name = cfg.KeywordNames[q]
@@ -330,8 +363,9 @@ func (e *Engine) laneOf(led *budget.Ledger, q int) *budget.Lane {
 // Ledger returns the engine's current budget ledger (nil when budgets
 // are off). After a churn it is the post-churn ledger; markets on
 // shards that have not yet applied their fence still charge the
-// previous one.
-func (e *Engine) Ledger() *budget.Ledger { return e.ledger }
+// previous one. Safe to call concurrently with churn swaps (the
+// telemetry gauges read it at render time).
+func (e *Engine) Ledger() *budget.Ledger { return e.ledger.Load() }
 
 // FlushShard publishes the unpublished budget spend of every market
 // owned by shard s. Must run on the goroutine that currently owns the
@@ -496,6 +530,7 @@ func (e *Engine) ServeOne(q int, tot *Totals) *Outcome {
 func (e *Engine) ServeOneWeighted(q int, rel, w float64, tot *Totals) *Outcome {
 	out := e.markets[q].RunWeighted(q, rel, w)
 	tot.Add(out)
+	e.met.observe(e.shardOf[q], out)
 	return out
 }
 
@@ -539,6 +574,9 @@ func (e *Engine) marketOpts(q int, led *budget.Ledger) MarketOpts {
 		Lane:             e.laneOf(led, q),
 		HeavyParallelism: e.cfg.HeavyParallelism,
 		Reserve:          e.cfg.Reserve,
+		Tracer:           e.tracer,
+		TraceKeyword:     q,
+		TraceShard:       e.shardOf[q],
 	}
 }
 
@@ -578,7 +616,7 @@ func (e *Engine) ResetBudgets() *budget.Ledger {
 	for s := 0; s < e.cfg.Shards; s++ {
 		e.ResetShardBudgets(s, led)
 	}
-	e.ledger = led
+	e.ledger.Store(led)
 	return led
 }
 
@@ -603,7 +641,7 @@ func (e *Engine) JournalErr() error {
 // no-ops.
 func (e *Engine) Close() {
 	e.closeOnce.Do(func() {
-		if e.ledger != nil {
+		if e.Ledger() != nil {
 			// The caller has quiesced serving, so the lane owners are
 			// parked and the final publish (which also flushes the
 			// lanes' journal batches) is safe here.
@@ -631,7 +669,7 @@ func (e *Engine) SetInstance(inst *workload.Instance, led *budget.Ledger) {
 		panic(fmt.Sprintf("engine: SetInstance keyword catalog changed (%d != %d)", inst.Keywords, len(e.markets)))
 	}
 	e.inst = inst
-	e.ledger = led
+	e.ledger.Store(led)
 }
 
 // serve fans queries out to the keyword shards. rels/ws, when
@@ -649,13 +687,6 @@ func (e *Engine) serve(queries []int, rels, ws []float64, results []*Outcome) *S
 	}
 
 	shards := e.cfg.Shards
-	if e.chans == nil {
-		e.chans = make([]chan int, shards)
-		for s := range e.chans {
-			e.chans[s] = make(chan int, e.cfg.QueueDepth)
-		}
-		e.totals = make([]Totals, shards)
-	}
 	if cap(e.lat) < len(queries) {
 		e.lat = make([]int64, len(queries))
 	}
@@ -686,6 +717,7 @@ func (e *Engine) serve(queries []int, rels, ws []float64, results []*Outcome) *S
 				t0 := time.Now()
 				out := e.ServeOneWeighted(q, rel, w, &tot)
 				latencies[idx] = int64(time.Since(t0))
+				e.met.Latency.Record(latencies[idx])
 				if results != nil {
 					results[idx] = out.Clone()
 				}
@@ -704,7 +736,7 @@ func (e *Engine) serve(queries []int, rels, ws []float64, results []*Outcome) *S
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	if e.ledger != nil {
+	if e.Ledger() != nil {
 		// Batch boundary: the workers have joined (their lane writes
 		// happen-before this), so fold every market's unpublished spend
 		// into the snapshot — after Serve returns, the published ledger

@@ -3,10 +3,12 @@ package engine
 import (
 	"math/rand"
 	"runtime"
+	"time"
 
 	"repro/internal/budget"
 	"repro/internal/lp"
 	"repro/internal/matching"
+	"repro/internal/obs"
 	"repro/internal/topk"
 	"repro/internal/workload"
 )
@@ -76,6 +78,12 @@ type Market struct {
 	assignedStamp  int
 	clickedWinners []int
 
+	// Per-auction trace sampling (nil tracer = off): sampled auctions
+	// stamp solve/price/charge boundaries into the shared ring.
+	tracer     *obs.Tracer
+	traceKw    int32
+	traceShard int32
+
 	// VCG counterfactual scratch (PricingVCG only): a dedicated
 	// workspace so the per-winner reduced solves never disturb the main
 	// solve's candidate lists, an advOf sink, the skipped-advertiser
@@ -133,6 +141,13 @@ type MarketOpts struct {
 	// and every charged click pays at least Reserve. 0 — the zero
 	// value — disables reserve pricing byte-identically.
 	Reserve float64
+	// Tracer, when non-nil, samples this market's auctions into the
+	// per-auction trace ring (obs.Tracer's deterministic 1-in-N);
+	// TraceKeyword/TraceShard identify the market in the events. Nil
+	// disables tracing at the cost of one nil check per auction.
+	Tracer       *obs.Tracer
+	TraceKeyword int
+	TraceShard   int
 }
 
 // NewMarketOpts builds a market from an options bundle — the full
@@ -140,15 +155,18 @@ type MarketOpts struct {
 func NewMarketOpts(inst *workload.Instance, o MarketOpts) *Market {
 	method, pricing := o.Method, o.Pricing
 	m := &Market{
-		Inst:    inst,
-		Method:  method,
-		pricing: pricing,
-		acct:    newAccounting(inst.N, inst.Keywords),
-		rng:     rand.New(rand.NewSource(o.ClickSeed)),
-		lane:    o.Lane,
-		reserve: o.Reserve,
-		curRel:  1,
-		curW:    1,
+		Inst:       inst,
+		Method:     method,
+		pricing:    pricing,
+		acct:       newAccounting(inst.N, inst.Keywords),
+		rng:        rand.New(rand.NewSource(o.ClickSeed)),
+		lane:       o.Lane,
+		reserve:    o.Reserve,
+		curRel:     1,
+		curW:       1,
+		tracer:     o.Tracer,
+		traceKw:    int32(o.TraceKeyword),
+		traceShard: int32(o.TraceShard),
 	}
 	if method == MethodRHTALU {
 		m.talu = newTALUEngine(inst, m.acct, o.Lane, o.Reserve > 0)
@@ -340,6 +358,18 @@ func (m *Market) RunWeighted(q int, rel, w float64) *Outcome {
 	t := float64(m.t)
 	k := m.Inst.Slots
 
+	// Trace sampling: the 1-in-N decision is one atomic add; only
+	// sampled auctions pay for time.Now stamps. ev lives on the stack —
+	// TraceRing.Append copies it into the ring's preallocated slots.
+	var ev obs.TraceEvent
+	traced := m.tracer.Sample()
+	if traced {
+		ev.Keyword = m.traceKw
+		ev.Shard = m.traceShard
+		ev.Auction = int64(m.t)
+		ev.Start = time.Now().UnixNano()
+	}
+
 	m.curRel, m.curW = rel, w
 	m.resCut = 0
 	if m.reserve > 0 {
@@ -444,6 +474,10 @@ func (m *Market) RunWeighted(q int, rel, w float64) *Outcome {
 		}
 	}
 
+	if traced {
+		ev.Solve = time.Now().UnixNano()
+	}
+
 	if m.pricing == PricingVCG {
 		// Vickrey pricing: one counterfactual winner-determination
 		// solve per winner in the dedicated VCG workspace (engine/vcg.go).
@@ -528,6 +562,10 @@ func (m *Market) RunWeighted(q int, rel, w float64) *Outcome {
 		}
 	}
 
+	if traced {
+		ev.Price = time.Now().UnixNano()
+	}
+
 	// User action: one uniform draw per slot (always k draws, so
 	// markets with equal click seeds stay aligned), a click when the
 	// draw falls under the winner's click probability (conditioned on
@@ -564,8 +602,17 @@ func (m *Market) RunWeighted(q int, rel, w float64) *Outcome {
 		m.clickedWinners = append(m.clickedWinners, i)
 	}
 
+	if traced {
+		ev.Charge = time.Now().UnixNano()
+	}
+
 	if m.talu != nil {
 		m.talu.afterAuction(t, m.clickedWinners)
+	}
+
+	if traced {
+		ev.Done = time.Now().UnixNano()
+		m.tracer.Ring.Append(&ev)
 	}
 	return out
 }

@@ -47,6 +47,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -271,7 +272,35 @@ type Writer struct {
 	records      int64
 	stale        int64
 	snapshots    int64
+
+	// Telemetry hooks. fsyncRec (set once at engine construction, under
+	// mu) receives per-append fsync latencies when the policy is
+	// FsyncAlways; lastSnap is the wall-clock stamp of the most recent
+	// snapshot, atomic so gauges can read it without taking mu.
+	fsyncRec LatencyRecorder
+	lastSnap atomic.Int64
 }
+
+// LatencyRecorder receives nanosecond latency observations — the shape
+// of obs.Histogram.Record, declared here so the journal does not
+// depend on the telemetry package.
+type LatencyRecorder interface {
+	Record(ns int64)
+}
+
+// SetFsyncRecorder installs a sink for fsync latencies on the
+// FsyncAlways append path. Timing is taken only when a recorder is
+// installed; pass nil to detach.
+func (w *Writer) SetFsyncRecorder(r LatencyRecorder) {
+	w.mu.Lock()
+	w.fsyncRec = r
+	w.mu.Unlock()
+}
+
+// LastSnapshotNanos returns the UnixNano stamp of the most recent
+// snapshot written this session, or 0 before the first Begin. Safe to
+// call without blocking the append path.
+func (w *Writer) LastSnapshotNanos() int64 { return w.lastSnap.Load() }
 
 // Open creates the journal directory if needed and opens (or creates)
 // the journal file. No bytes are written until Begin.
@@ -555,8 +584,15 @@ func (w *Writer) appendFrameLocked(payload []byte) error {
 		return fmt.Errorf("journal: append: %w", err)
 	}
 	if w.opts.Fsync == FsyncAlways {
+		var t0 time.Time
+		if w.fsyncRec != nil {
+			t0 = time.Now()
+		}
 		if err := w.jf.Sync(); err != nil {
 			return fmt.Errorf("journal: append sync: %w", err)
+		}
+		if w.fsyncRec != nil {
+			w.fsyncRec.Record(time.Since(t0).Nanoseconds())
 		}
 	}
 	w.journalBytes += int64(8 + len(payload))
@@ -595,7 +631,8 @@ func (w *Writer) writeSnapshotLocked() error {
 	p = binary.LittleEndian.AppendUint64(p, w.epoch)
 	p = binary.LittleEndian.AppendUint32(p, uint32(sh.N))
 	p = binary.LittleEndian.AppendUint32(p, uint32(sh.Lanes))
-	p = binary.LittleEndian.AppendUint64(p, uint64(time.Now().UnixNano()))
+	snapNanos := time.Now().UnixNano()
+	p = binary.LittleEndian.AppendUint64(p, uint64(snapNanos))
 	for _, t := range sh.LaneT {
 		p = binary.LittleEndian.AppendUint64(p, t)
 	}
@@ -631,6 +668,7 @@ func (w *Writer) writeSnapshotLocked() error {
 	if err := os.Rename(tmp, filepath.Join(w.dir, SnapshotFile)); err != nil {
 		return fmt.Errorf("journal: snapshot rename: %w", err)
 	}
+	w.lastSnap.Store(snapNanos)
 	return nil
 }
 

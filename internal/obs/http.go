@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Handler builds the telemetry mux over a registry and an optional
+// trace ring:
+//
+//	/metrics        Prometheus text exposition (Registry.Render)
+//	/trace          JSON dump of the trace ring (404 when no ring)
+//	/debug/pprof/*  the standard runtime profiles
+//
+// The /metrics handler serializes scrapes on the registry lock and
+// writes the registry's reused render buffer — concurrent scrapers
+// are safe and steady-state scraping does not allocate in Render
+// itself.
+func Handler(reg *Registry, ring *TraceRing) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		// Render's buffer is reused across scrapes; Write copies it
+		// into the response before the next scrape can re-enter.
+		w.Write(reg.Render())
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, req *http.Request) {
+		if ring == nil {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		ring.DumpJSON(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// HTTPServer is a running telemetry endpoint; construct with Serve,
+// stop with Close.
+type HTTPServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve binds addr (e.g. "127.0.0.1:0") and serves the telemetry
+// Handler on it in a background goroutine.
+func Serve(addr string, reg *Registry, ring *TraceRing) (*HTTPServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &HTTPServer{
+		ln: ln,
+		srv: &http.Server{
+			Handler:           Handler(reg, ring),
+			ReadHeaderTimeout: 5 * time.Second,
+		},
+	}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound listen address (with the real port when addr
+// was ":0").
+func (s *HTTPServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the endpoint. In-flight scrapes are abandoned — this is
+// a diagnostic listener, not a serving path.
+func (s *HTTPServer) Close() error { return s.srv.Close() }

@@ -1,0 +1,311 @@
+// Package obs is the zero-allocation telemetry subsystem threaded
+// through every serving layer: a Registry of preregistered counters,
+// float counters, and render-time gauges; HDR-style log-scale latency
+// Histograms (hist.go); a fixed-capacity per-auction TraceRing with a
+// deterministic 1-in-N sampler (trace.go); and an HTTP exposition
+// endpoint serving Prometheus text format plus net/http/pprof
+// (http.go).
+//
+// # Memory model
+//
+// Write-side operations are wait-free and allocation-free: a Counter
+// or FloatCounter is a fixed slice of cache-line-padded per-lane
+// cells, and Add is a single atomic operation on the caller's lane.
+// Lanes mirror the engine's shard partition — each serving shard owns
+// one lane, so the hot path never contends on a shared cache line.
+// Integer cells tolerate multiple writers (atomic add); float cells
+// are single-writer per lane (load + store of the accumulated bits,
+// the same discipline as the budget ledger's lanes), which keeps the
+// accumulation order per lane identical to a local float accumulator
+// — the property that lets stream.Stats remain bit-for-bit equal to
+// the pre-registry accounting.
+//
+// Reads aggregate: Value sums the lanes in index order at call time.
+// A live read may straddle concurrent writes (per-lane values are
+// each atomically consistent, the cross-lane sum is not a snapshot);
+// after a drain, when the writers have quiesced, reads are exact —
+// the same live/drained contract every accounting identity in this
+// repository already obeys.
+//
+// Gauges are the opposite trade: a Gauge is just a closure evaluated
+// at render time (queue depth, connection count, journal lag), so it
+// costs the hot path nothing at all.
+//
+// # Exposition
+//
+// Render produces Prometheus text format into a buffer owned by the
+// Registry, reused across scrapes: after the first render, scraping
+// allocates nothing either. Histograms render only their nonzero
+// buckets (cumulative counts stay correct — Prometheus does not
+// require exhaustive le coverage).
+package obs
+
+import (
+	"math"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// cell is one lane of a Counter: a single atomic word padded to a
+// cache line so adjacent lanes never false-share.
+type cell struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// fcell is one lane of a FloatCounter: float64 bits in an atomic
+// word, padded like cell.
+type fcell struct {
+	bits atomic.Uint64
+	_    [56]byte
+}
+
+// Counter is a monotonically increasing integer metric with one cell
+// per lane. Add is one atomic add — wait-free, allocation-free, and
+// safe for multiple writers per lane (though the serving layers give
+// each shard its own lane to keep cache lines private).
+type Counter struct {
+	name, help string
+	cells      []cell
+
+	// laneLabel/laneNames/laneFamily, when set via RenderLanes, add a
+	// per-lane series family to the render alongside the aggregate
+	// (the family name is derived once at registration so rendering
+	// stays allocation-free).
+	laneLabel  string
+	laneNames  []string
+	laneFamily string
+}
+
+// Add increments lane by d.
+func (c *Counter) Add(lane int, d int64) { c.cells[lane].v.Add(d) }
+
+// Inc increments lane by one.
+func (c *Counter) Inc(lane int) { c.cells[lane].v.Add(1) }
+
+// Lane returns lane i's current value.
+func (c *Counter) Lane(i int) int64 { return c.cells[i].v.Load() }
+
+// Lanes returns the number of lanes.
+func (c *Counter) Lanes() int { return len(c.cells) }
+
+// Value sums the lanes in index order.
+func (c *Counter) Value() int64 {
+	var t int64
+	for i := range c.cells {
+		t += c.cells[i].v.Load()
+	}
+	return t
+}
+
+// RenderLanes makes the render emit a per-lane series family in
+// addition to the aggregate: the family is named by rewriting the
+// "_total" suffix to "_by_<label>_total" (distinct metric names — a
+// single family must not mix labeled and unlabeled series). names,
+// when non-nil, provides the label values (defaults to lane indices).
+// Returns c for chaining at registration time.
+func (c *Counter) RenderLanes(label string, names []string) *Counter {
+	c.laneLabel = label
+	c.laneNames = names
+	c.laneFamily = laneName(c.name, label)
+	return c
+}
+
+// FloatCounter is a monotonically increasing float64 metric with one
+// cell per lane. Add is a load + store of the accumulated bits —
+// wait-free and allocation-free, but each lane must have a single
+// writer (the owning shard goroutine), exactly like a budget lane.
+type FloatCounter struct {
+	name, help string
+	cells      []fcell
+}
+
+// Add accumulates x into lane. Single writer per lane.
+func (f *FloatCounter) Add(lane int, x float64) {
+	c := &f.cells[lane].bits
+	c.Store(math.Float64bits(math.Float64frombits(c.Load()) + x))
+}
+
+// Lane returns lane i's current value.
+func (f *FloatCounter) Lane(i int) float64 {
+	return math.Float64frombits(f.cells[i].bits.Load())
+}
+
+// Value sums the lanes in index order — the same order a sequential
+// accumulation over the shards would use, so a drained Value is
+// bit-for-bit the sum the legacy per-shard accounting produced.
+func (f *FloatCounter) Value() float64 {
+	var t float64
+	for i := range f.cells {
+		t += math.Float64frombits(f.cells[i].bits.Load())
+	}
+	return t
+}
+
+// Gauge is a render-time metric: fn is evaluated only when the
+// registry renders, so a gauge costs the serving path nothing.
+type Gauge struct {
+	name, help string
+	fn         func() float64
+}
+
+// Registry holds the preregistered instruments of one serving stack
+// and renders them in Prometheus text format. Registration happens at
+// construction time (engine/stream/server wiring); the write-side
+// instrument methods are lock-free, and only registration and Render
+// take the registry lock.
+type Registry struct {
+	mu       sync.Mutex
+	names    map[string]struct{}
+	counters []*Counter
+	floats   []*FloatCounter
+	gauges   []*Gauge
+	hists    []*Histogram
+
+	buf     []byte       // reused render buffer
+	scratch HistSnapshot // reused histogram snapshot for renders
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{names: make(map[string]struct{})}
+}
+
+func (r *Registry) register(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.names[name]; dup {
+		panic("obs: duplicate metric " + name)
+	}
+	r.names[name] = struct{}{}
+}
+
+// Counter registers a new integer counter with lanes cells.
+func (r *Registry) Counter(name, help string, lanes int) *Counter {
+	if lanes <= 0 {
+		lanes = 1
+	}
+	c := &Counter{name: name, help: help, cells: make([]cell, lanes)}
+	r.register(name)
+	r.mu.Lock()
+	r.counters = append(r.counters, c)
+	r.mu.Unlock()
+	return c
+}
+
+// FloatCounter registers a new float counter with lanes single-writer
+// cells.
+func (r *Registry) FloatCounter(name, help string, lanes int) *FloatCounter {
+	if lanes <= 0 {
+		lanes = 1
+	}
+	f := &FloatCounter{name: name, help: help, cells: make([]fcell, lanes)}
+	r.register(name)
+	r.mu.Lock()
+	r.floats = append(r.floats, f)
+	r.mu.Unlock()
+	return f
+}
+
+// Gauge registers a render-time gauge backed by fn. fn runs on the
+// scraping goroutine and must be safe to call concurrently with
+// serving (atomic loads, channel lengths, published snapshots).
+func (r *Registry) Gauge(name, help string, fn func() float64) {
+	g := &Gauge{name: name, help: help, fn: fn}
+	r.register(name)
+	r.mu.Lock()
+	r.gauges = append(r.gauges, g)
+	r.mu.Unlock()
+}
+
+// Histogram registers a new log-scale latency histogram (hist.go).
+func (r *Registry) Histogram(name, help string) *Histogram {
+	h := &Histogram{name: name, help: help}
+	r.register(name)
+	r.mu.Lock()
+	r.hists = append(r.hists, h)
+	r.mu.Unlock()
+	return h
+}
+
+// Render produces the registry's Prometheus text exposition into an
+// internal buffer reused across calls and returns it. The returned
+// slice is valid until the next Render; copy it to retain. After the
+// first call, rendering allocates nothing.
+func (r *Registry) Render() []byte {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	b := r.buf[:0]
+	for _, c := range r.counters {
+		b = head(b, c.name, c.help, "counter")
+		b = append(b, c.name...)
+		b = append(b, ' ')
+		b = strconv.AppendInt(b, c.Value(), 10)
+		b = append(b, '\n')
+		if c.laneLabel != "" {
+			b = append(b, "# TYPE "...)
+			b = append(b, c.laneFamily...)
+			b = append(b, " counter\n"...)
+			for i := range c.cells {
+				b = append(b, c.laneFamily...)
+				b = append(b, '{')
+				b = append(b, c.laneLabel...)
+				b = append(b, `="`...)
+				if c.laneNames != nil {
+					b = append(b, c.laneNames[i]...)
+				} else {
+					b = strconv.AppendInt(b, int64(i), 10)
+				}
+				b = append(b, `"} `...)
+				b = strconv.AppendInt(b, c.Lane(i), 10)
+				b = append(b, '\n')
+			}
+		}
+	}
+	for _, f := range r.floats {
+		b = head(b, f.name, f.help, "counter")
+		b = append(b, f.name...)
+		b = append(b, ' ')
+		b = strconv.AppendFloat(b, f.Value(), 'g', -1, 64)
+		b = append(b, '\n')
+	}
+	for _, g := range r.gauges {
+		b = head(b, g.name, g.help, "gauge")
+		b = append(b, g.name...)
+		b = append(b, ' ')
+		b = strconv.AppendFloat(b, g.fn(), 'g', -1, 64)
+		b = append(b, '\n')
+	}
+	for _, h := range r.hists {
+		h.SnapshotInto(&r.scratch)
+		b = r.scratch.appendProm(b, h.name, h.help)
+	}
+	r.buf = b
+	return b
+}
+
+// head appends the # HELP / # TYPE preamble of one metric family.
+func head(b []byte, name, help, typ string) []byte {
+	b = append(b, "# HELP "...)
+	b = append(b, name...)
+	b = append(b, ' ')
+	b = append(b, help...)
+	b = append(b, "\n# TYPE "...)
+	b = append(b, name...)
+	b = append(b, ' ')
+	b = append(b, typ...)
+	b = append(b, '\n')
+	return b
+}
+
+// laneName rewrites a counter family name for its per-lane series:
+// "x_total" becomes "x_by_<label>_total" ("x" without the suffix
+// becomes "x_by_<label>").
+func laneName(name, label string) string {
+	const suffix = "_total"
+	if n := len(name) - len(suffix); n > 0 && name[n:] == suffix {
+		return name[:n] + "_by_" + label + suffix
+	}
+	return name + "_by_" + label
+}

@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"io"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// TraceEvent is one sampled per-auction trace record: fixed size, no
+// pointers, so the ring is a flat array and appending is a struct
+// copy. Timestamps are time.Now().UnixNano() values taken only when
+// the auction was sampled; fields that a given layer does not stamp
+// stay zero (the stream layer stamps Enqueue/Dequeue/Done around the
+// queue hand-off, the market stamps Start/Solve/Price/Charge around
+// its pipeline phases).
+type TraceEvent struct {
+	Seq     int64 // ring sequence number (total events ever appended)
+	Keyword int32 // keyword id of the auction
+	Shard   int32 // serving shard (-1 when unknown at the stamp site)
+	Auction int64 // the market's auction counter at the sample
+
+	Enqueue int64 // unix nanos: query admitted to the shard queue
+	Dequeue int64 // unix nanos: worker picked the query up
+	Start   int64 // unix nanos: market pipeline entered
+	Solve   int64 // unix nanos: winner determination finished
+	Price   int64 // unix nanos: pricing finished
+	Charge  int64 // unix nanos: user simulation + charges finished
+	Done    int64 // unix nanos: outcome delivered (stream layer)
+}
+
+// TraceRing is a fixed-capacity power-of-two ring of trace events:
+// the newest capacity events are retained, older ones overwritten.
+// Append copies the event under a mutex (sampled events are rare — a
+// deterministic 1-in-N of traffic — so the lock is uncontended and
+// the hot path of unsampled auctions never touches it), which keeps
+// DumpJSON race-free against concurrent appends.
+type TraceRing struct {
+	mu     sync.Mutex
+	events []TraceEvent
+	next   int64
+}
+
+// NewTraceRing builds a ring holding the newest capacity events;
+// capacity is rounded up to a power of two (minimum 16).
+func NewTraceRing(capacity int) *TraceRing {
+	n := 16
+	for n < capacity {
+		n <<= 1
+	}
+	return &TraceRing{events: make([]TraceEvent, n)}
+}
+
+// Cap returns the ring capacity.
+func (r *TraceRing) Cap() int { return len(r.events) }
+
+// Len returns the number of events currently retained.
+func (r *TraceRing) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.next < int64(len(r.events)) {
+		return int(r.next)
+	}
+	return len(r.events)
+}
+
+// Total returns the number of events ever appended.
+func (r *TraceRing) Total() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.next
+}
+
+// Append stores one event (assigning its Seq), overwriting the
+// oldest when full. ev is copied; the caller keeps ownership.
+// Allocation-free.
+func (r *TraceRing) Append(ev *TraceEvent) {
+	r.mu.Lock()
+	seq := r.next
+	r.next++
+	slot := &r.events[seq&int64(len(r.events)-1)]
+	*slot = *ev
+	slot.Seq = seq
+	r.mu.Unlock()
+}
+
+// DumpJSON writes the retained events, oldest first, as a JSON array
+// to w. It is a diagnostic path (the /trace HTTP endpoint and
+// auctionsim -trace-sample's exit dump); it buffers the encoded bytes
+// and holds the ring lock only while copying the events out.
+func (r *TraceRing) DumpJSON(w io.Writer) error {
+	r.mu.Lock()
+	n := r.next
+	start := int64(0)
+	if n > int64(len(r.events)) {
+		start = n - int64(len(r.events))
+	}
+	out := make([]TraceEvent, 0, n-start)
+	for s := start; s < n; s++ {
+		out = append(out, r.events[s&int64(len(r.events)-1)])
+	}
+	r.mu.Unlock()
+
+	buf := make([]byte, 0, 1+len(out)*128)
+	buf = append(buf, '[')
+	for i := range out {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = appendEventJSON(buf, &out[i])
+	}
+	buf = append(buf, ']', '\n')
+	_, err := w.Write(buf)
+	return err
+}
+
+// appendEventJSON encodes one event without reflection (every field
+// is an integer; encoding/json's struct walk buys nothing here).
+func appendEventJSON(b []byte, ev *TraceEvent) []byte {
+	field := func(b []byte, name string, v int64, first bool) []byte {
+		if !first {
+			b = append(b, ',')
+		}
+		b = append(b, '"')
+		b = append(b, name...)
+		b = append(b, `":`...)
+		return strconv.AppendInt(b, v, 10)
+	}
+	b = append(b, '{')
+	b = field(b, "seq", ev.Seq, true)
+	b = field(b, "keyword", int64(ev.Keyword), false)
+	b = field(b, "shard", int64(ev.Shard), false)
+	b = field(b, "auction", ev.Auction, false)
+	b = field(b, "enqueue_ns", ev.Enqueue, false)
+	b = field(b, "dequeue_ns", ev.Dequeue, false)
+	b = field(b, "start_ns", ev.Start, false)
+	b = field(b, "solve_ns", ev.Solve, false)
+	b = field(b, "price_ns", ev.Price, false)
+	b = field(b, "charge_ns", ev.Charge, false)
+	b = field(b, "done_ns", ev.Done, false)
+	return append(b, '}')
+}
+
+// Tracer pairs a ring with a deterministic 1-in-N sampler: the i-th
+// Sample call (counting from 1, across all callers, in atomic-counter
+// order) reports true exactly when i ≡ 1 (mod N). Determinism is by
+// arrival index, not wall clock — replaying the same traffic through
+// the same interleaving samples the same auctions. N <= 1 samples
+// everything.
+type Tracer struct {
+	Ring  *TraceRing
+	every int64
+	n     atomic.Int64
+}
+
+// NewTracer builds a tracer sampling 1 in every auctions into ring.
+func NewTracer(ring *TraceRing, every int) *Tracer {
+	if every < 1 {
+		every = 1
+	}
+	return &Tracer{Ring: ring, every: int64(every)}
+}
+
+// Every returns the sampling period N.
+func (t *Tracer) Every() int { return int(t.every) }
+
+// Sample advances the arrival counter and reports whether this
+// arrival is sampled. One atomic add; allocation-free.
+func (t *Tracer) Sample() bool {
+	if t == nil {
+		return false
+	}
+	return t.n.Add(1)%t.every == 1%t.every
+}

@@ -92,11 +92,11 @@ func newConn(s *Server, nc net.Conn) *conn {
 		sl.bmu = make(chan struct{}, 1)
 		sl.cb = func(out *engine.Outcome) {
 			sl.buf = wire.AppendOutcomeResp(sl.buf[:0], sl.id, out)
-			c.srv.served.Add(1)
+			c.srv.mServed.Inc(0)
 			c.out <- sl.idx
 		}
 		sl.bcb = func(out *engine.Outcome) {
-			c.srv.served.Add(1)
+			c.srv.mServed.Inc(0)
 			sl.lock()
 			sl.batch.Served++
 			sl.batch.Revenue += out.Revenue
@@ -163,6 +163,7 @@ func (c *conn) readLoop() {
 // KindError and keep the connection).
 func (c *conn) handle() bool {
 	req := &c.req
+	c.srv.mFrames.Inc(frameKindLane(req.Kind))
 	switch req.Kind {
 	case wire.KindAuction:
 		c.auction(req.ID, req.Q)
@@ -175,6 +176,12 @@ func (c *conn) handle() bool {
 		var ws wire.ServerStats
 		c.srv.fillStats(&ws)
 		c.ctlBufs[ci] = wire.AppendStatsResp(c.ctlBufs[ci][:0], req.ID, &ws)
+		c.out <- -(ci + 1)
+	case wire.KindStatsV2:
+		ci := c.ctlAcquire()
+		var ws wire.ServerStatsV2
+		c.srv.fillStatsV2(&ws)
+		c.ctlBufs[ci] = wire.AppendStatsV2Resp(c.ctlBufs[ci][:0], req.ID, &ws)
 		c.out <- -(ci + 1)
 	case wire.KindReset:
 		if err := c.srv.st.ResetBudgets(); err != nil {
@@ -265,15 +272,15 @@ func (c *conn) auction(id uint64, q int) {
 		c.ctlError(id, "keyword out of range")
 		return
 	}
-	s.submitted.Add(1)
+	s.mSubmitted.Inc(0)
 	if s.draining.Load() {
-		s.rejected.Add(1)
+		s.mRejected.Inc(0)
 		c.ctlRejected(id, wire.ReasonDraining)
 		return
 	}
 	si := c.acquire()
 	if si < 0 {
-		s.rejected.Add(1)
+		s.mRejected.Inc(0)
 		c.ctlRejected(id, wire.ReasonWindow)
 		return
 	}
@@ -283,11 +290,11 @@ func (c *conn) auction(id uint64, q int) {
 	case stream.SubmitQueued:
 		// sl.cb answers from the shard goroutine.
 	case stream.SubmitShed:
-		s.shedN.Add(1)
+		s.mShed.Inc(0)
 		sl.buf = wire.AppendShedResp(sl.buf[:0], id)
 		c.out <- si
 	case stream.SubmitClosed:
-		s.rejected.Add(1)
+		s.mRejected.Inc(0)
 		sl.buf = wire.AppendRejectedResp(sl.buf[:0], id, wire.ReasonClosed)
 		c.out <- si
 	}
@@ -301,15 +308,15 @@ func (c *conn) text(id uint64, query []byte) {
 	if s.draining.Load() {
 		// During drain every text request is rejected at the
 		// connection layer, routed or not.
-		s.submitted.Add(1)
-		s.rejected.Add(1)
+		s.mSubmitted.Inc(0)
+		s.mRejected.Inc(0)
 		c.ctlRejected(id, wire.ReasonDraining)
 		return
 	}
 	si := c.acquire()
 	if si < 0 {
-		s.submitted.Add(1)
-		s.rejected.Add(1)
+		s.mSubmitted.Inc(0)
+		s.mRejected.Inc(0)
 		c.ctlRejected(id, wire.ReasonWindow)
 		return
 	}
@@ -317,20 +324,20 @@ func (c *conn) text(id uint64, query []byte) {
 	sl.id = id
 	res := s.st.SubmitTextFunc(string(query), sl.cb)
 	if res != stream.SubmitUnrouted {
-		s.submitted.Add(1)
+		s.mSubmitted.Inc(0)
 	}
 	switch res {
 	case stream.SubmitQueued:
 	case stream.SubmitShed:
-		s.shedN.Add(1)
+		s.mShed.Inc(0)
 		sl.buf = wire.AppendShedResp(sl.buf[:0], id)
 		c.out <- si
 	case stream.SubmitClosed:
-		s.rejected.Add(1)
+		s.mRejected.Inc(0)
 		sl.buf = wire.AppendRejectedResp(sl.buf[:0], id, wire.ReasonClosed)
 		c.out <- si
 	case stream.SubmitUnrouted:
-		s.unrouted.Add(1)
+		s.mUnrouted.Inc(0)
 		sl.buf = wire.AppendUnroutedResp(sl.buf[:0], id)
 		c.out <- si
 	}
@@ -352,8 +359,8 @@ func (c *conn) batch(id uint64, qs []int) {
 		}
 	}
 	if s.draining.Load() {
-		s.submitted.Add(int64(len(qs)))
-		s.rejected.Add(int64(len(qs)))
+		s.mSubmitted.Add(0, int64(len(qs)))
+		s.mRejected.Add(0, int64(len(qs)))
 		ci := c.ctlAcquire()
 		br := wire.BatchResult{Requested: len(qs), Rejected: len(qs)}
 		c.ctlBufs[ci] = wire.AppendBatchResp(c.ctlBufs[ci][:0], id, &br)
@@ -362,8 +369,8 @@ func (c *conn) batch(id uint64, qs []int) {
 	}
 	si := c.acquire()
 	if si < 0 {
-		s.submitted.Add(int64(len(qs)))
-		s.rejected.Add(int64(len(qs)))
+		s.mSubmitted.Add(0, int64(len(qs)))
+		s.mRejected.Add(0, int64(len(qs)))
 		ci := c.ctlAcquire()
 		br := wire.BatchResult{Requested: len(qs), Rejected: len(qs)}
 		c.ctlBufs[ci] = wire.AppendBatchResp(c.ctlBufs[ci][:0], id, &br)
@@ -378,18 +385,18 @@ func (c *conn) batch(id uint64, qs []int) {
 	sl.bSubmitted = false
 	sl.batch = wire.BatchResult{Requested: len(qs)}
 	sl.unlock()
-	s.submitted.Add(int64(len(qs)))
+	s.mSubmitted.Add(0, int64(len(qs)))
 	for _, q := range qs {
 		switch s.st.SubmitFunc(q, sl.bcb) {
 		case stream.SubmitQueued:
 		case stream.SubmitShed:
-			s.shedN.Add(1)
+			s.mShed.Inc(0)
 			sl.lock()
 			sl.batch.Shed++
 			sl.bDone++
 			sl.unlock()
 		case stream.SubmitClosed:
-			s.rejected.Add(1)
+			s.mRejected.Inc(0)
 			sl.lock()
 			sl.batch.Rejected++
 			sl.bDone++

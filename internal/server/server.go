@@ -52,6 +52,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/stream"
 	"repro/internal/wire"
 	"repro/internal/workload"
@@ -121,14 +122,21 @@ type Server struct {
 	keywords int
 	shed     bool // stream overload policy is Shed
 
-	// Connection-layer accounting (see the package comment for the
-	// identity these maintain).
-	submitted atomic.Int64
-	served    atomic.Int64
-	shedN     atomic.Int64
-	rejected  atomic.Int64
-	unrouted  atomic.Int64
-	conns     atomic.Int64
+	// Connection-layer accounting, registered into the engine's
+	// telemetry registry (see the package comment for the identity
+	// these maintain; Counters() is a view over them). mHandshake has
+	// one lane per reject reason, mFrames one lane per request kind.
+	mSubmitted *obs.Counter
+	mServed    *obs.Counter
+	mShed      *obs.Counter
+	mRejected  *obs.Counter
+	mUnrouted  *obs.Counter
+	mHandshake *obs.Counter
+	mFrames    *obs.Counter
+
+	// conns stays a plain atomic: the handshake's admission decision
+	// reads its own Add result, which a lane counter does not expose.
+	conns atomic.Int64
 
 	draining atomic.Bool
 
@@ -161,9 +169,85 @@ func Listen(addr string, inst *workload.Instance, cfg Config) (*Server, error) {
 		active:    make(map[*conn]struct{}),
 		drainedCh: make(chan struct{}),
 	}
+	reg := s.Registry()
+	s.mSubmitted = reg.Counter("ssa_server_submitted_total",
+		"auction-carrying requests admitted past decode", 1)
+	s.mServed = reg.Counter("ssa_server_served_total",
+		"requests answered with a full outcome", 1)
+	s.mShed = reg.Counter("ssa_server_shed_total",
+		"requests dropped by the stream Shed policy", 1)
+	s.mRejected = reg.Counter("ssa_server_rejected_total",
+		"requests refused at the connection layer", 1)
+	s.mUnrouted = reg.Counter("ssa_server_unrouted_total",
+		"text requests that matched no catalog keyword", 1)
+	s.mHandshake = reg.Counter("ssa_server_handshake_rejects_total",
+		"connections refused at the handshake", 2).
+		RenderLanes("reason", []string{"draining", "full"})
+	s.mFrames = reg.Counter("ssa_server_frames_total",
+		"request frames dispatched, by kind", len(frameKindNames)).
+		RenderLanes("kind", frameKindNames)
+	reg.Gauge("ssa_server_connections",
+		"currently admitted connections", func() float64 {
+			return float64(s.conns.Load())
+		})
+	reg.Gauge("ssa_server_window_inflight",
+		"occupied in-flight window slots across connections", func() float64 {
+			var n int
+			s.mu.Lock()
+			for c := range s.active {
+				n += len(c.slots) - len(c.free)
+			}
+			s.mu.Unlock()
+			return float64(n)
+		})
 	s.acceptWG.Add(1)
 	go s.acceptLoop()
 	return s, nil
+}
+
+// Registry returns the telemetry registry shared by every layer under
+// this server (engine, stream, connection) — what auctionsim's
+// -metrics-addr endpoint renders.
+func (s *Server) Registry() *obs.Registry {
+	return s.st.Engine().Metrics().Registry
+}
+
+// Handshake-reject counter lanes.
+const (
+	hsDraining = iota
+	hsFull
+)
+
+// frameKindNames label the mFrames lanes; frameKindLane maps a request
+// kind to its lane (the last lane collects unknown kinds).
+var frameKindNames = []string{
+	"auction", "text", "batch", "stats", "statsv2",
+	"reset", "add", "remove", "drain", "other",
+}
+
+func frameKindLane(k wire.Kind) int {
+	switch k {
+	case wire.KindAuction:
+		return 0
+	case wire.KindText:
+		return 1
+	case wire.KindBatch:
+		return 2
+	case wire.KindStats:
+		return 3
+	case wire.KindStatsV2:
+		return 4
+	case wire.KindReset:
+		return 5
+	case wire.KindAdd:
+		return 6
+	case wire.KindRemove:
+		return 7
+	case wire.KindDrain:
+		return 8
+	default:
+		return 9
+	}
 }
 
 // Addr returns the bound listen address (with the real port when
@@ -185,8 +269,8 @@ func (s *Server) Drained() <-chan struct{} { return s.drainedCh }
 // has returned; live reads may observe in-flight requests between
 // counts.
 func (s *Server) Counters() (submitted, served, shed, rejected, unrouted int64) {
-	return s.submitted.Load(), s.served.Load(), s.shedN.Load(),
-		s.rejected.Load(), s.unrouted.Load()
+	return s.mSubmitted.Value(), s.mServed.Value(), s.mShed.Value(),
+		s.mRejected.Value(), s.mUnrouted.Value()
 }
 
 func (s *Server) acceptLoop() {
@@ -227,6 +311,12 @@ func (s *Server) handleConn(nc net.Conn) {
 		status = wire.HandshakeFull // any failure: do not admit
 	}
 	if status != wire.HandshakeOK {
+		switch status {
+		case wire.HandshakeDraining:
+			s.mHandshake.Inc(hsDraining)
+		case wire.HandshakeFull:
+			s.mHandshake.Inc(hsFull)
+		}
 		s.conns.Add(-1)
 		nc.Close()
 		return
@@ -322,6 +412,24 @@ func (s *Server) fillStats(ws *wire.ServerStats) {
 	ws.P95 = st.P95.Nanoseconds()
 	ws.P99 = st.P99.Nanoseconds()
 	ws.WindowThroughput = st.WindowThroughput
+}
+
+// fillStatsV2 assembles the extended wire snapshot: the v1 fields plus
+// the serving latency histogram's totals and nonzero buckets (control
+// path: the snapshot and bucket slice allocate).
+func (s *Server) fillStatsV2(ws *wire.ServerStatsV2) {
+	s.fillStats(&ws.ServerStats)
+	var hs obs.HistSnapshot
+	s.st.Engine().Metrics().Latency.SnapshotInto(&hs)
+	ws.HistCount = hs.Count
+	ws.HistSum = hs.Sum
+	ws.HistMax = hs.Max
+	ws.Buckets = ws.Buckets[:0]
+	for i, c := range hs.Counts {
+		if c != 0 {
+			ws.Buckets = append(ws.Buckets, wire.HistBucket{Index: i, Count: c})
+		}
+	}
 }
 
 var errUnknownKind = errors.New("server: unknown request kind")

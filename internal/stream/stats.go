@@ -2,16 +2,16 @@ package stream
 
 import (
 	"time"
-
-	"repro/internal/engine"
 )
 
 // Stats is one snapshot of a streaming server — taken live by Stats()
 // or flushed final by Close(). Unlike the batch engine.Stats, counts
-// are cumulative over the server's whole life and the latency and
-// throughput figures come from a rolling window of the most recent
-// auctions, which is what a long-running server's operator actually
-// watches.
+// are cumulative over the server's whole life. Since PR 10 every
+// figure here is a view over the engine's telemetry registry
+// (engine.Metrics): the counters read the same per-shard lanes the
+// serving path writes, and the latency percentiles are quantiles of
+// the lifetime latency histogram. The view preserves the drained
+// accounting identities bit for bit — see TestStatsViewMatchesRegistry.
 type Stats struct {
 	// Submitted counts every query accepted by Submit/SubmitText into
 	// the admission stage: the ones served plus the ones shed plus the
@@ -72,8 +72,12 @@ type Stats struct {
 	Elapsed    time.Duration
 	Throughput float64
 
-	// WindowThroughput and the percentiles summarize the rolling
-	// window: the most recent Window auctions per shard.
+	// WindowThroughput summarizes the rolling window: completion rate
+	// over the most recent Window auctions per shard, bounded by
+	// WindowAge. The latency percentiles are quantiles of the engine's
+	// lifetime latency histogram (obs.Histogram, 32 sub-buckets per
+	// octave): each is a bucket upper bound, so the reported value is
+	// within 3.2% above the true quantile. Max is tracked exactly.
 	WindowThroughput   float64
 	P50, P95, P99, Max time.Duration
 
@@ -89,63 +93,56 @@ type ShardStats struct {
 	Epoch  int
 }
 
-// window is a fixed-size ring of recent auction samples — completion
-// timestamp and service latency — owned by one shard worker and read
-// under the shard's stats lock. Writing is two array stores and one
-// increment: nothing on the hot path allocates or contends beyond the
-// shard's own lock.
+// window is a fixed-size ring of recent auction completion timestamps,
+// owned by one shard worker and read under the shard's stats lock. It
+// backs WindowThroughput only; latencies go to the engine's telemetry
+// histogram, which is where the percentiles come from. Writing is one
+// array store and one increment: nothing on the hot path allocates or
+// contends beyond the shard's own lock.
 type window struct {
 	done []int64 // completion time, unix nanos
-	lat  []int64 // service latency, nanos
 	n    int64   // samples ever written
 }
 
 func newWindow(size int) *window {
-	return &window{done: make([]int64, size), lat: make([]int64, size)}
+	return &window{done: make([]int64, size)}
 }
 
-func (w *window) add(done, lat int64) {
-	i := w.n % int64(len(w.lat))
-	w.done[i] = done
-	w.lat[i] = lat
+func (w *window) add(done int64) {
+	w.done[w.n%int64(len(w.done))] = done
 	w.n++
 }
 
 // count returns the number of valid samples in the ring.
 func (w *window) count() int {
-	if w.n < int64(len(w.lat)) {
+	if w.n < int64(len(w.done)) {
 		return int(w.n)
 	}
-	return len(w.lat)
+	return len(w.done)
 }
 
-// appendTo copies the valid samples into the two destination slices.
-func (w *window) appendTo(done, lat []int64) ([]int64, []int64) {
-	c := w.count()
-	return append(done, w.done[:c]...), append(lat, w.lat[:c]...)
+// appendTo copies the valid samples into the destination slice.
+func (w *window) appendTo(done []int64) []int64 {
+	return append(done, w.done[:w.count()]...)
 }
 
-// summarize fills a snapshot's rolling-window figures from the merged
-// per-shard samples: percentiles over the latencies (the engine's
-// shared convention), and window throughput from the completion
-// -timestamp span. Samples completed before cutoff (unix nanos) are
-// discarded first: a shard left cold by skewed traffic retains
-// arbitrarily old ring entries, and "rolling" must mean recent, not
-// merely last-N-per-shard.
-func (st *Stats) summarize(done, lat []int64, cutoff int64) {
+// summarize fills a snapshot's window throughput from the merged
+// per-shard completion stamps. Samples completed before cutoff (unix
+// nanos) are discarded first: a shard left cold by skewed traffic
+// retains arbitrarily old ring entries, and "rolling" must mean
+// recent, not merely last-N-per-shard.
+func (st *Stats) summarize(done []int64, cutoff int64) {
 	w := 0
-	for i, d := range done {
+	for _, d := range done {
 		if d >= cutoff {
-			done[w], lat[w] = d, lat[i]
+			done[w] = d
 			w++
 		}
 	}
-	done, lat = done[:w], lat[:w]
-	if len(lat) == 0 {
+	done = done[:w]
+	if len(done) < 2 {
 		return
 	}
-	st.P50, st.P95, st.P99, st.Max = engine.SummarizeLatencies(lat)
-
 	lo, hi := done[0], done[0]
 	for _, d := range done[1:] {
 		if d < lo {
@@ -155,7 +152,7 @@ func (st *Stats) summarize(done, lat []int64, cutoff int64) {
 			hi = d
 		}
 	}
-	if hi > lo && len(done) > 1 {
+	if hi > lo {
 		st.WindowThroughput = float64(len(done)-1) / (time.Duration(hi - lo)).Seconds()
 	}
 }

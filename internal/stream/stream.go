@@ -65,11 +65,11 @@ package stream
 import (
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/budget"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -142,6 +142,13 @@ const (
 	itemReset
 )
 
+// Fence-counter lanes (ssa_stream_fences_total).
+const (
+	fenceChurn = iota
+	fenceFlush
+	fenceReset
+)
+
 // item is one shard-queue entry: a keyword query, an epoch fence
 // carrying the post-churn population and its fresh budget ledger, a
 // budget flush fence, or a budget-reset fence carrying the fresh
@@ -161,17 +168,16 @@ type item struct {
 	fn     func(*engine.Outcome)
 }
 
-// shard is one persistent worker's state: its feed queue, the
-// submitter-side shed tally, and the worker-side serving aggregates
-// guarded by mu (locked briefly per auction; Stats snapshots under
-// the same lock).
+// shard is one persistent worker's state: its feed queue and the
+// worker-side window ring and epoch guarded by mu (locked briefly per
+// auction; Stats snapshots under the same lock). Serving counts live
+// in the engine's telemetry lanes (one lane per shard), shed counts in
+// the server's shed counter lanes.
 type shard struct {
-	id   int
-	ch   chan item
-	shed atomic.Int64
+	id int
+	ch chan item
 
 	mu    sync.Mutex
-	tot   engine.Totals
 	epoch int
 	win   *window
 }
@@ -189,9 +195,17 @@ type Server struct {
 	wg       sync.WaitGroup
 	start    time.Time
 
-	submitted   atomic.Int64
-	unrouted    atomic.Int64
-	overmatched atomic.Int64
+	// Admission and fence counters, registered into the engine's
+	// telemetry registry at construction (Stats is a view over them;
+	// the wait-free lane writes replace the pre-PR-10 atomics).
+	// mShed has one lane per shard; mFences one lane per fence kind
+	// (churn, flush, reset), counted as each worker applies them.
+	mSubmitted   *obs.Counter
+	mUnrouted    *obs.Counter
+	mOvermatched *obs.Counter
+	mShed        *obs.Counter
+	mFences      *obs.Counter
+	lat          *obs.Histogram
 
 	// mu guards the admission gate (closed) and the churn state
 	// (inst, epoch); Submit holds it shared, churn and Close exclusive.
@@ -235,6 +249,20 @@ func NewServer(inst *workload.Instance, cfg Config) *Server {
 		inst:     inst,
 		start:    time.Now(),
 	}
+	reg := s.eng.Metrics().Registry
+	s.mSubmitted = reg.Counter("ssa_stream_submitted_total",
+		"queries accepted by the admission stage", 1)
+	s.mUnrouted = reg.Counter("ssa_stream_unrouted_total",
+		"text queries that matched no catalog keyword", 1)
+	s.mOvermatched = reg.Counter("ssa_stream_overmatched_total",
+		"broad-match candidates that lost the impression", 1)
+	s.mShed = reg.Counter("ssa_stream_shed_total",
+		"queries dropped by the Shed overload policy", s.eng.Shards()).
+		RenderLanes("shard", nil)
+	s.mFences = reg.Counter("ssa_stream_fences_total",
+		"control fences applied at auction boundaries", 3).
+		RenderLanes("kind", []string{"churn", "flush", "reset"})
+	s.lat = s.eng.Metrics().Latency
 	s.shards = make([]*shard, s.eng.Shards())
 	for i := range s.shards {
 		s.shards[i] = &shard{
@@ -298,24 +326,29 @@ func (s *Server) budgetFlusher(period time.Duration) {
 func (s *Server) worker(sh *shard) {
 	defer s.wg.Done()
 	// The auction itself runs outside sh.mu — this goroutine is the
-	// shard's sole runner, so only the stats publication needs the
-	// lock (a 40-byte copy plus two ring stores). A Stats snapshot
-	// therefore never waits behind an in-flight auction, and a slow
-	// auction (heavy+VCG is ~30ms) never holds snapshots hostage.
+	// shard's sole runner, so only the window publication needs the
+	// lock (one ring store). A Stats snapshot therefore never waits
+	// behind an in-flight auction, and a slow auction (heavy+VCG is
+	// ~30ms) never holds snapshots hostage. Serving totals go to the
+	// engine's telemetry lanes inside ServeOneWeighted; the latency
+	// lands in the shared histogram — both wait-free.
 	var tot engine.Totals
 	for it := range sh.ch {
 		switch it.kind {
 		case itemChurn:
 			s.eng.RebuildShard(sh.id, it.inst, it.led)
+			s.mFences.Inc(fenceChurn)
 			sh.mu.Lock()
 			sh.epoch = it.epoch
 			sh.mu.Unlock()
 			continue
 		case itemFlush:
 			s.eng.FlushShard(sh.id)
+			s.mFences.Inc(fenceFlush)
 			continue
 		case itemReset:
 			s.eng.ResetShardBudgets(sh.id, it.led)
+			s.mFences.Inc(fenceReset)
 			sh.mu.Lock()
 			sh.epoch = it.epoch
 			sh.mu.Unlock()
@@ -324,9 +357,9 @@ func (s *Server) worker(sh *shard) {
 		t0 := time.Now()
 		out := s.eng.ServeOneWeighted(it.q, it.rel, it.w, &tot)
 		now := time.Now()
+		s.lat.Record(int64(now.Sub(t0)))
 		sh.mu.Lock()
-		sh.tot = tot
-		sh.win.add(now.UnixNano(), int64(now.Sub(t0)))
+		sh.win.add(now.UnixNano())
 		sh.mu.Unlock()
 		if it.fn != nil {
 			it.fn(out)
@@ -393,14 +426,14 @@ func (s *Server) SubmitFunc(q int, fn func(*engine.Outcome)) SubmitResult {
 		return SubmitClosed
 	}
 	sh := s.shards[s.eng.ShardOf(q)]
-	s.submitted.Add(1)
+	s.mSubmitted.Inc(0)
 	it := item{kind: itemQuery, q: q, rel: 1, w: 1, fn: fn}
 	if s.cfg.Overload == Shed {
 		select {
 		case sh.ch <- it:
 			return SubmitQueued
 		default:
-			sh.shed.Add(1)
+			s.mShed.Inc(sh.id)
 			return SubmitShed
 		}
 	}
@@ -434,7 +467,7 @@ func (s *Server) SubmitTextFunc(query string, fn func(*engine.Outcome)) SubmitRe
 		if s.closed {
 			return SubmitClosed
 		}
-		s.unrouted.Add(1)
+		s.mUnrouted.Inc(0)
 		return SubmitUnrouted
 	}
 	return s.SubmitFunc(q, fn)
@@ -462,13 +495,13 @@ func (s *Server) submitBroad(query string, fn func(*engine.Outcome)) SubmitResul
 	}
 	best, matched, ok := s.eng.RouteBroad(query)
 	if !ok {
-		s.submitted.Add(1)
-		s.unrouted.Add(1)
+		s.mSubmitted.Inc(0)
+		s.mUnrouted.Inc(0)
 		return SubmitUnrouted
 	}
-	s.submitted.Add(int64(matched))
+	s.mSubmitted.Add(0, int64(matched))
 	if matched > 1 {
-		s.overmatched.Add(int64(matched - 1))
+		s.mOvermatched.Add(0, int64(matched-1))
 	}
 	sh := s.shards[s.eng.ShardOf(best.Keyword)]
 	it := item{kind: itemQuery, q: best.Keyword, rel: best.Relevance, w: best.Weight, fn: fn}
@@ -477,7 +510,7 @@ func (s *Server) submitBroad(query string, fn func(*engine.Outcome)) SubmitResul
 		case sh.ch <- it:
 			return SubmitQueued
 		default:
-			sh.shed.Add(1)
+			s.mShed.Inc(sh.id)
 			return SubmitShed
 		}
 	}
@@ -613,30 +646,35 @@ func (s *Server) Stats() *Stats {
 }
 
 // snapshotLocked assembles a Stats under at least a read-hold of s.mu.
+// Counts come from the telemetry registry's lanes: integer lanes are
+// read in shard order, and Revenue sums the float lanes in the same
+// order the legacy per-shard accumulation used, so a drained snapshot
+// is bit-for-bit what the pre-registry accounting produced.
 func (s *Server) snapshotLocked(elapsed time.Duration) *Stats {
 	st := &Stats{
-		Unrouted:    s.unrouted.Load(),
-		Overmatched: s.overmatched.Load(),
+		Unrouted:    s.mUnrouted.Value(),
+		Overmatched: s.mOvermatched.Value(),
 		Epoch:       s.epoch,
 		Advertisers: s.inst.N,
 		Elapsed:     elapsed,
 		PerShard:    make([]ShardStats, len(s.shards)),
 	}
-	var done, lat []int64
+	m := s.eng.Metrics()
+	var done []int64
 	for i, sh := range s.shards {
-		shed := sh.shed.Load()
+		shed := s.mShed.Lane(i)
+		served := m.Auctions.Lane(i)
 		sh.mu.Lock()
-		tot := sh.tot
 		epoch := sh.epoch
-		done, lat = sh.win.appendTo(done, lat)
+		done = sh.win.appendTo(done)
 		sh.mu.Unlock()
-		st.PerShard[i] = ShardStats{Served: tot.Auctions, Shed: shed, Queued: len(sh.ch), Epoch: epoch}
-		st.Served += int64(tot.Auctions)
+		st.PerShard[i] = ShardStats{Served: int(served), Shed: shed, Queued: len(sh.ch), Epoch: epoch}
+		st.Served += served
 		st.Shed += shed
-		st.Revenue += tot.Revenue
-		st.Clicks += tot.Clicks
-		st.Filled += tot.Filled
-		st.TotalSlots += tot.Slots
+		st.Revenue += m.Revenue.Lane(i)
+		st.Clicks += int(m.Clicks.Lane(i))
+		st.Filled += int(m.Filled.Lane(i))
+		st.TotalSlots += int(m.Slots.Lane(i))
 	}
 	if led := s.eng.Ledger(); led != nil {
 		st.BudgetSpent, st.BudgetExhausted, st.BudgetDenied = led.Totals()
@@ -645,7 +683,7 @@ func (s *Server) snapshotLocked(elapsed time.Duration) *Stats {
 	// counted was admission-counted first, so a live snapshot's Pending
 	// (Submitted − Served − Shed) can overstate the queues by in-flight
 	// admissions but never go negative.
-	st.Submitted = s.submitted.Load()
+	st.Submitted = s.mSubmitted.Value()
 	st.Pending = st.Submitted - st.Served - st.Shed - st.Overmatched
 	if s.eng.Broadmatch() != nil {
 		// Broad match counts unrouted queries inside Submitted; exact
@@ -656,7 +694,15 @@ func (s *Server) snapshotLocked(elapsed time.Duration) *Stats {
 	if elapsed > 0 {
 		st.Throughput = float64(st.Served) / elapsed.Seconds()
 	}
-	st.summarize(done, lat, time.Now().Add(-s.cfg.WindowAge).UnixNano())
+	var hs obs.HistSnapshot
+	s.lat.SnapshotInto(&hs)
+	if hs.Count > 0 {
+		st.P50 = time.Duration(hs.Quantile(0.50))
+		st.P95 = time.Duration(hs.Quantile(0.95))
+		st.P99 = time.Duration(hs.Quantile(0.99))
+		st.Max = time.Duration(hs.Max)
+	}
+	st.summarize(done, time.Now().Add(-s.cfg.WindowAge).UnixNano())
 	return st
 }
 

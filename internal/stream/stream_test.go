@@ -393,40 +393,59 @@ func TestStreamSteadyStateAllocs(t *testing.T) {
 	}
 }
 
-// TestStreamWindowRing: the rolling window wraps and summarizes only
-// the newest samples, and the age cutoff excludes stale entries from
-// shards that have gone cold.
+// TestStreamWindowRing: the rolling window wraps, keeping only the
+// newest completion stamps, and the age cutoff excludes stale entries
+// from shards that have gone cold. (Latency percentiles left the ring
+// in PR 10 — they now come from the telemetry histogram, pinned by
+// TestStreamHistogramPercentiles.)
 func TestStreamWindowRing(t *testing.T) {
 	w := newWindow(4)
 	for i := 1; i <= 6; i++ {
-		w.add(int64(i*1000), int64(i*10))
+		w.add(int64(i * 1000))
 	}
 	if w.count() != 4 {
 		t.Fatalf("count = %d, want 4", w.count())
 	}
-	done, lat := w.appendTo(nil, nil)
+	// Samples 3..6 survive the wrap: 4 completions spanning 3000..6000
+	// ns → 3 intervals over 3µs = 1e6/s.
 	var st Stats
-	st.summarize(done, lat, 0)
-	// Samples 3..6 survive: max 60ns, p50 index 1 of sorted [30 40 50 60].
-	if st.Max != 60 || st.P50 != 40 {
-		t.Fatalf("summarize over wrapped ring: max=%v p50=%v", st.Max, st.P50)
+	st.summarize(w.appendTo(nil), 0)
+	if want := 1e9 / 1000.0; st.WindowThroughput != want {
+		t.Fatalf("window throughput = %v, want %v", st.WindowThroughput, want)
 	}
-	if st.WindowThroughput == 0 {
-		t.Fatal("window throughput not computed")
-	}
-	// Age cutoff: only the samples completed at/after 5000 remain
-	// (latencies 50, 60); fully stale input yields zeroed figures.
-	done, lat = w.appendTo(nil, nil)
+	// Age cutoff: only completions at/after 5000 remain (5000, 6000).
 	var recent Stats
-	recent.summarize(done, lat, 5000)
-	if recent.Max != 60 || recent.P50 != 50 {
-		t.Fatalf("cutoff summarize: max=%v p50=%v", recent.Max, recent.P50)
+	recent.summarize(w.appendTo(nil), 5000)
+	if want := 1e9 / 1000.0; recent.WindowThroughput != want {
+		t.Fatalf("cutoff throughput = %v, want %v", recent.WindowThroughput, want)
 	}
-	done, lat = w.appendTo(nil, nil)
+	// Fully stale input yields zeroed figures.
 	var stale Stats
-	stale.summarize(done, lat, 99999)
-	if stale.Max != 0 || stale.WindowThroughput != 0 {
+	stale.summarize(w.appendTo(nil), 99999)
+	if stale.WindowThroughput != 0 {
 		t.Fatalf("stale-only window not zeroed: %+v", stale)
+	}
+}
+
+// TestStreamHistogramPercentiles: the snapshot's latency percentiles
+// are quantiles of the engine's telemetry histogram — nonzero once
+// auctions have been served, with Max ≥ P99 ≥ P95 ≥ P50 > 0 and Max
+// exact (every recorded latency is ≤ Max).
+func TestStreamHistogramPercentiles(t *testing.T) {
+	inst := workload.Generate(rand.New(rand.NewSource(57)), 200, 8, 5)
+	s := NewServer(inst, Config{
+		Engine: engine.Config{Shards: 2, QueueDepth: 32, Method: engine.MethodRH, ClickSeed: 3},
+	})
+	qs := inst.Queries(rand.New(rand.NewSource(58)), 3000)
+	for _, q := range qs {
+		s.Submit(q)
+	}
+	st := s.Close()
+	if st.P50 <= 0 || st.P95 < st.P50 || st.P99 < st.P95 || st.Max < st.P99 {
+		t.Fatalf("percentiles not ordered: p50=%v p95=%v p99=%v max=%v", st.P50, st.P95, st.P99, st.Max)
+	}
+	if got := s.Engine().Metrics().Latency.Count(); got != int64(st.Served) {
+		t.Fatalf("histogram count %d != served %d", got, st.Served)
 	}
 }
 

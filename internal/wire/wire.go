@@ -52,6 +52,7 @@ import (
 	"math"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -105,6 +106,9 @@ const (
 	KindAdd Kind = 0x07
 	// KindRemove evicts advertiser i. Body: u32 index.
 	KindRemove Kind = 0x08
+	// KindStatsV2 requests the extended statistics snapshot: the v1
+	// ServerStats plus the serving latency histogram. No body.
+	KindStatsV2 Kind = 0x09
 
 	// KindOutcome answers an auction with the full outcome.
 	// Body: u32 query | u64 revenueBits | u16 slots |
@@ -134,6 +138,11 @@ const (
 	// KindUnrouted answers a KindText that matched no catalog
 	// keyword. No body.
 	KindUnrouted Kind = 0x89
+	// KindStatsV2Result carries a ServerStatsV2: the v1 stats words
+	// followed by the latency histogram snapshot.
+	// Body: statsFields × u64 | u64 count | u64 sumNs | u64 maxNs |
+	// u32 nonzeroBuckets | nonzeroBuckets × (u32 index | u64 count).
+	KindStatsV2Result Kind = 0x8a
 )
 
 // RejectReason explains a KindRejected response.
@@ -342,6 +351,14 @@ func AppendAddReq(dst []byte, id uint64, a *workload.Advertiser) []byte {
 	return endFrame(dst, start)
 }
 
+// AppendStatsV2Req appends a complete KindStatsV2 frame.
+func AppendStatsV2Req(dst []byte, id uint64) []byte {
+	start := len(dst)
+	dst = beginFrame(dst)
+	dst = appendHeader(dst, KindStatsV2, id)
+	return endFrame(dst, start)
+}
+
 // AppendRemoveReq appends a complete KindRemove frame.
 func AppendRemoveReq(dst []byte, id uint64, i int) []byte {
 	start := len(dst)
@@ -452,6 +469,13 @@ func AppendStatsResp(dst []byte, id uint64, st *ServerStats) []byte {
 	start := len(dst)
 	dst = beginFrame(dst)
 	dst = appendHeader(dst, KindStatsResult, id)
+	dst = appendStatsWords(dst, st)
+	return endFrame(dst, start)
+}
+
+// appendStatsWords appends the statsFields u64 words shared by the v1
+// and v2 stats responses.
+func appendStatsWords(dst []byte, st *ServerStats) []byte {
 	for _, v := range [statsFields]uint64{
 		uint64(st.Submitted), uint64(st.Served), uint64(st.Shed),
 		uint64(st.Rejected), uint64(st.Unrouted), uint64(st.Conns),
@@ -466,11 +490,30 @@ func AppendStatsResp(dst []byte, id uint64, st *ServerStats) []byte {
 	} {
 		dst = binary.LittleEndian.AppendUint64(dst, v)
 	}
-	return endFrame(dst, start)
+	return dst
 }
 
 // statsFields is the number of u64 words in a KindStatsResult body.
 const statsFields = 23
+
+// AppendStatsV2Resp appends a complete KindStatsV2Result frame: the
+// v1 stats words followed by the histogram snapshot's totals and its
+// nonzero (bucket index, count) pairs.
+func AppendStatsV2Resp(dst []byte, id uint64, st *ServerStatsV2) []byte {
+	start := len(dst)
+	dst = beginFrame(dst)
+	dst = appendHeader(dst, KindStatsV2Result, id)
+	dst = appendStatsWords(dst, &st.ServerStats)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(st.HistCount))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(st.HistSum))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(st.HistMax))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(st.Buckets)))
+	for _, b := range st.Buckets {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(b.Index))
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(b.Count))
+	}
+	return endFrame(dst, start)
+}
 
 // ---------------------------------------------------------------------------
 // Shared payload structs
@@ -536,10 +579,31 @@ type ServerStats struct {
 	BudgetSpent      float64
 	BudgetExhausted  int64
 	BudgetDenied     int64
-	P50              int64 // rolling-window latency percentiles, ns
+	P50              int64 // latency percentiles, ns (histogram quantiles)
 	P95              int64
 	P99              int64
 	WindowThroughput float64
+}
+
+// HistBucket is one nonzero bucket of a wire-carried histogram
+// snapshot: the obs package's bucket index and its count.
+type HistBucket struct {
+	Index int
+	Count int64
+}
+
+// ServerStatsV2 extends ServerStats with the serving latency
+// histogram: total count, sum and max (nanoseconds), and the nonzero
+// buckets of the obs.Histogram bucket scheme (32 sub-buckets per
+// octave; indexes below obs.NumBuckets). A client can reconstruct any
+// quantile from the buckets rather than settling for the three the v1
+// snapshot carries.
+type ServerStatsV2 struct {
+	ServerStats
+	HistCount int64
+	HistSum   int64
+	HistMax   int64
+	Buckets   []HistBucket
 }
 
 // ---------------------------------------------------------------------------
@@ -656,7 +720,7 @@ func (req *Request) Decode(p []byte) error {
 		for i := 0; i < n; i++ {
 			req.Qs = append(req.Qs, int(int32(r.u32())))
 		}
-	case KindStats, KindReset, KindDrain:
+	case KindStats, KindStatsV2, KindReset, KindDrain:
 		// No body.
 	case KindAdd:
 		a := &req.Adv
@@ -694,14 +758,43 @@ func (req *Request) Decode(p []byte) error {
 // (KindError) is freshly allocated — the error path is not a hot
 // path.
 type Response struct {
-	Kind   Kind
-	ID     uint64
-	Reason RejectReason // KindRejected
-	Out    Outcome      // KindOutcome
-	Batch  BatchResult  // KindBatchResult
-	Stats  ServerStats  // KindStatsResult
-	Index  int          // KindAdded
-	Msg    string       // KindError
+	Kind    Kind
+	ID      uint64
+	Reason  RejectReason  // KindRejected
+	Out     Outcome       // KindOutcome
+	Batch   BatchResult   // KindBatchResult
+	Stats   ServerStats   // KindStatsResult
+	StatsV2 ServerStatsV2 // KindStatsV2Result (Buckets reused)
+	Index   int           // KindAdded
+	Msg     string        // KindError
+}
+
+// readStatsWords decodes the statsFields u64 words shared by the v1
+// and v2 stats responses.
+func readStatsWords(r *reader, st *ServerStats) {
+	st.Submitted = int64(r.u64())
+	st.Served = int64(r.u64())
+	st.Shed = int64(r.u64())
+	st.Rejected = int64(r.u64())
+	st.Unrouted = int64(r.u64())
+	st.Conns = int64(r.u64())
+	st.StreamSubmitted = int64(r.u64())
+	st.StreamServed = int64(r.u64())
+	st.StreamShed = int64(r.u64())
+	st.StreamPending = int64(r.u64())
+	st.Revenue = math.Float64frombits(r.u64())
+	st.Clicks = int64(r.u64())
+	st.Filled = int64(r.u64())
+	st.TotalSlots = int64(r.u64())
+	st.Epoch = int64(r.u64())
+	st.Advertisers = int64(r.u64())
+	st.BudgetSpent = math.Float64frombits(r.u64())
+	st.BudgetExhausted = int64(r.u64())
+	st.BudgetDenied = int64(r.u64())
+	st.P50 = int64(r.u64())
+	st.P95 = int64(r.u64())
+	st.P99 = int64(r.u64())
+	st.WindowThroughput = math.Float64frombits(r.u64())
 }
 
 // Decode parses one response payload into resp, with the same
@@ -743,30 +836,26 @@ func (resp *Response) Decode(p []byte) error {
 		b.Clicks = int(int32(r.u32()))
 		b.Revenue = math.Float64frombits(r.u64())
 	case KindStatsResult:
-		st := &resp.Stats
-		st.Submitted = int64(r.u64())
-		st.Served = int64(r.u64())
-		st.Shed = int64(r.u64())
-		st.Rejected = int64(r.u64())
-		st.Unrouted = int64(r.u64())
-		st.Conns = int64(r.u64())
-		st.StreamSubmitted = int64(r.u64())
-		st.StreamServed = int64(r.u64())
-		st.StreamShed = int64(r.u64())
-		st.StreamPending = int64(r.u64())
-		st.Revenue = math.Float64frombits(r.u64())
-		st.Clicks = int64(r.u64())
-		st.Filled = int64(r.u64())
-		st.TotalSlots = int64(r.u64())
-		st.Epoch = int64(r.u64())
-		st.Advertisers = int64(r.u64())
-		st.BudgetSpent = math.Float64frombits(r.u64())
-		st.BudgetExhausted = int64(r.u64())
-		st.BudgetDenied = int64(r.u64())
-		st.P50 = int64(r.u64())
-		st.P95 = int64(r.u64())
-		st.P99 = int64(r.u64())
-		st.WindowThroughput = math.Float64frombits(r.u64())
+		readStatsWords(&r, &resp.Stats)
+	case KindStatsV2Result:
+		st := &resp.StatsV2
+		readStatsWords(&r, &st.ServerStats)
+		st.HistCount = int64(r.u64())
+		st.HistSum = int64(r.u64())
+		st.HistMax = int64(r.u64())
+		n := int(r.u32())
+		if n > r.remaining()/12 { // 4 + 8 bytes per bucket
+			return fmt.Errorf("wire: histogram bucket count %d overruns payload", n)
+		}
+		st.Buckets = st.Buckets[:0]
+		for i := 0; i < n; i++ {
+			idx := int(int32(r.u32()))
+			cnt := int64(r.u64())
+			if idx < 0 || idx >= obs.NumBuckets {
+				return fmt.Errorf("wire: histogram bucket index %d out of range [0,%d)", idx, obs.NumBuckets)
+			}
+			st.Buckets = append(st.Buckets, HistBucket{Index: idx, Count: cnt})
+		}
 	case KindAdded:
 		resp.Index = int(int32(r.u32()))
 	case KindError:

@@ -101,6 +101,7 @@ import (
 	"repro/internal/formula"
 	"repro/internal/journal"
 	"repro/internal/kwmatch"
+	"repro/internal/obs"
 	"repro/internal/probmodel"
 	"repro/internal/server"
 	"repro/internal/sqlmini"
@@ -612,6 +613,11 @@ type (
 	// NetServerStats is the server-side stats snapshot a client can
 	// request over the wire (also returned by a graceful drain).
 	NetServerStats = wire.ServerStats
+	// NetServerStatsV2 is the extended stats snapshot: the counter
+	// block plus the server's lifetime auction-latency histogram, so a
+	// remote client can compute any percentile without a metrics
+	// endpoint (NetClient.StatsV2).
+	NetServerStatsV2 = wire.ServerStatsV2
 )
 
 // ListenNetServer builds the stream server over inst, binds addr
@@ -624,6 +630,55 @@ func ListenNetServer(addr string, inst *SimInstance, cfg NetServerConfig) (*NetS
 // performs the protocol handshake.
 func DialNetClient(addr string, opts NetClientOptions) (*NetClient, error) {
 	return client.Dial(addr, opts)
+}
+
+// Observability (internal/obs): every serving layer above records
+// into a preregistered metrics registry — padded per-shard atomic
+// counters, single-writer float cells, render-time gauges, and
+// fixed-bucket log-scale latency histograms — with wait-free,
+// zero-allocation writes on the hot path. Engine.Metrics() exposes a
+// serving stack's registry (the stream and networked tiers share
+// their engine's); ServeMetrics puts it behind HTTP as Prometheus
+// text plus pprof, and a TraceRing holds sampled per-auction
+// lifecycle traces.
+type (
+	// MetricsRegistry is a fixed set of named metrics rendered in
+	// Prometheus text exposition format (obs.Registry).
+	MetricsRegistry = obs.Registry
+	// MetricsCounter is a monotone counter striped into per-lane
+	// padded cells — wait-free Add/Inc, aggregated at read.
+	MetricsCounter = obs.Counter
+	// MetricsFloatCounter accumulates float64 sums in single-writer
+	// lanes, bit-for-bit equal to sequential accumulation per lane.
+	MetricsFloatCounter = obs.FloatCounter
+	// LatencyHistogram is a fixed-bucket log-scale histogram:
+	// lock-free recording, quantiles within 3.2% relative error.
+	LatencyHistogram = obs.Histogram
+	// LatencySnapshot is a point-in-time histogram copy with
+	// Quantile and Merge.
+	LatencySnapshot = obs.HistSnapshot
+	// EngineMetrics is the serving stack's instrument set
+	// (engine.Metrics), reachable from Engine.Metrics().
+	EngineMetrics = engine.Metrics
+	// TraceRing is a fixed-capacity ring of sampled per-auction
+	// lifecycle traces (obs.TraceRing), JSON-dumpable.
+	TraceRing = obs.TraceRing
+	// TraceEvent is one sampled auction's lifecycle timestamps.
+	TraceEvent = obs.TraceEvent
+	// MetricsServer is a live HTTP exposition endpoint
+	// (obs.HTTPServer): /metrics, /debug/pprof, /trace.
+	MetricsServer = obs.HTTPServer
+)
+
+// NewMetricsRegistry builds an empty registry for callers composing
+// their own instruments (the serving stack builds its own — see
+// Engine.Metrics).
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// ServeMetrics exposes reg (and, when ring is non-nil, the trace
+// dump) over HTTP on addr ("127.0.0.1:0" binds an ephemeral port).
+func ServeMetrics(addr string, reg *MetricsRegistry, ring *TraceRing) (*MetricsServer, error) {
+	return obs.Serve(addr, reg, ring)
 }
 
 // GenerateInstance draws a Section V workload: n advertisers, k
